@@ -1,0 +1,108 @@
+//! E11 ablation: tidset representation (EWAH vs dense vs sorted vector).
+//!
+//! Measures the posting operations the cube builder is built from — AND,
+//! AND-cardinality, construction, iteration — on three density regimes:
+//! sparse uniform, dense runs, and clustered (the regime real dictionary-
+//! encoded attributes produce, where EWAH is designed to win on space).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scube_bitmap::{DenseBitmap, EwahBitmap, Posting, TidVec};
+use std::hint::black_box;
+
+const UNIVERSE: u32 = 1_000_000;
+
+fn sparse_ids(rng: &mut SmallRng, n: usize) -> Vec<u32> {
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < n {
+        set.insert(rng.random_range(0..UNIVERSE));
+    }
+    set.into_iter().collect()
+}
+
+fn clustered_ids(rng: &mut SmallRng, clusters: usize, span: u32) -> Vec<u32> {
+    let mut set = std::collections::BTreeSet::new();
+    for _ in 0..clusters {
+        let start = rng.random_range(0..UNIVERSE - span);
+        let fill = rng.random_range(span / 4..span);
+        for _ in 0..fill {
+            set.insert(start + rng.random_range(0..span));
+        }
+    }
+    set.into_iter().collect()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let shapes: Vec<(&str, Vec<u32>, Vec<u32>)> = vec![
+        ("sparse", sparse_ids(&mut rng, 20_000), sparse_ids(&mut rng, 20_000)),
+        (
+            "clustered",
+            clustered_ids(&mut rng, 50, 4000),
+            clustered_ids(&mut rng, 50, 4000),
+        ),
+        (
+            "dense-runs",
+            (0..400_000).collect::<Vec<u32>>(),
+            (200_000..600_000).collect::<Vec<u32>>(),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("bitmap_and");
+    group.sample_size(20);
+    for (shape, a_ids, b_ids) in &shapes {
+        let ea = EwahBitmap::from_sorted(a_ids);
+        let eb = EwahBitmap::from_sorted(b_ids);
+        let da = DenseBitmap::from_sorted(a_ids);
+        let db = DenseBitmap::from_sorted(b_ids);
+        let ta = TidVec::from_sorted(a_ids);
+        let tb = TidVec::from_sorted(b_ids);
+        group.bench_with_input(BenchmarkId::new("ewah", shape), &(), |bench, ()| {
+            bench.iter(|| black_box(ea.and(&eb).cardinality()))
+        });
+        group.bench_with_input(BenchmarkId::new("dense", shape), &(), |bench, ()| {
+            bench.iter(|| black_box(da.and(&db).cardinality()))
+        });
+        group.bench_with_input(BenchmarkId::new("tidvec", shape), &(), |bench, ()| {
+            bench.iter(|| black_box(ta.and(&tb).cardinality()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ewah_and_card", shape),
+            &(),
+            |bench, ()| bench.iter(|| black_box(ea.and_cardinality(&eb))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bitmap_build");
+    group.sample_size(20);
+    let ids = clustered_ids(&mut SmallRng::seed_from_u64(9), 100, 3000);
+    group.bench_function("ewah", |b| b.iter(|| black_box(EwahBitmap::from_sorted(&ids))));
+    group.bench_function("dense", |b| b.iter(|| black_box(DenseBitmap::from_sorted(&ids))));
+    group.bench_function("tidvec", |b| b.iter(|| black_box(TidVec::from_sorted(&ids))));
+    group.finish();
+
+    let mut group = c.benchmark_group("bitmap_iterate");
+    group.sample_size(20);
+    let e = EwahBitmap::from_sorted(&ids);
+    let d = DenseBitmap::from_sorted(&ids);
+    group.bench_function("ewah", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            e.for_each(|id| acc += u64::from(id));
+            black_box(acc)
+        })
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            d.for_each(|id| acc += u64::from(id));
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E7: clustering-method ablation on the projected company graph —
+//! connected components vs weight thresholding vs SToC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scube_bench::italy_dataset;
+use scube_graph::{connected_components, stoc, NodeAttributes, StocParams};
+use std::hint::black_box;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000] {
+        let dataset = italy_dataset(n);
+        let projection = dataset.bipartite.project_groups(1);
+        let graph = projection.graph;
+        // Attribute rows: sector+region codes per company.
+        let sector_col = dataset.groups.column_index("sector").unwrap();
+        let region_col = dataset.groups.column_index("region").unwrap();
+        let mut dict: std::collections::HashMap<String, u32> = Default::default();
+        let rows: Vec<Vec<u32>> = dataset
+            .groups
+            .rows()
+            .iter()
+            .map(|r| {
+                [&r[sector_col], &r[region_col]]
+                    .iter()
+                    .map(|v| {
+                        let next = dict.len() as u32;
+                        *dict.entry((*v).clone()).or_insert(next)
+                    })
+                    .collect()
+            })
+            .collect();
+        let attrs = NodeAttributes::from_rows(rows);
+
+        group.bench_with_input(BenchmarkId::new("connected-components", n), &graph, |b, g| {
+            b.iter(|| black_box(connected_components(g, 0).num_clusters()))
+        });
+        group.bench_with_input(BenchmarkId::new("weight-threshold-2", n), &graph, |b, g| {
+            b.iter(|| black_box(connected_components(g, 2).num_clusters()))
+        });
+        group.bench_with_input(BenchmarkId::new("stoc", n), &graph, |b, g| {
+            b.iter(|| {
+                black_box(
+                    stoc(g, &attrs, StocParams { tau: 0.5, alpha: 0.5, horizon: 2, seed: 1 })
+                        .num_clusters(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E5 support: cost of the six segregation indexes vs unit count.
+//!
+//! The Gini index is the only super-linear one (sorting); this bench shows
+//! the `O(n log n)` formulation stays negligible next to cube mining even
+//! at 100k units.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scube_segindex::{IndexValues, SegIndex, UnitCounts};
+use std::hint::black_box;
+
+fn histogram(n_units: usize, seed: u64) -> UnitCounts {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    UnitCounts::from_pairs((0..n_units).map(|_| {
+        let t = rng.random_range(1..200u64);
+        let m = rng.random_range(0..=t);
+        (m, t)
+    }))
+    .expect("valid histogram")
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segindex");
+    group.sample_size(30);
+    for &n in &[10usize, 1_000, 100_000] {
+        let counts = histogram(n, 42);
+        for idx in SegIndex::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(idx.name(), n),
+                &counts,
+                |b, counts| b.iter(|| black_box(idx.compute(counts))),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("all-six", n), &counts, |b, counts| {
+            b.iter(|| black_box(IndexValues::compute(counts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

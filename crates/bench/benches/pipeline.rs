@@ -1,0 +1,49 @@
+//! E3/E6–E8: end-to-end pipeline cost per demonstration scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scube::prelude::*;
+use scube_bench::italy_dataset;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let dataset = italy_dataset(1500);
+    let cube = CubeBuilder::new().min_support(15);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("scenario1-sector-units", |b| {
+        let config =
+            ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into())).cube(cube);
+        b.iter(|| black_box(scube::run(&dataset, &config).unwrap().stats.n_cells))
+    });
+    group.bench_function("scenario2-director-communities", |b| {
+        let config = ScubeConfig::new(UnitStrategy::ClusterIndividuals(
+            ClusteringMethod::ConnectedComponents,
+        ))
+        .cube(cube);
+        b.iter(|| black_box(scube::run(&dataset, &config).unwrap().stats.n_cells))
+    });
+    group.bench_function("scenario3-company-communities", |b| {
+        let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
+            ClusteringMethod::WeightThreshold { min_weight: 1 },
+        ))
+        .cube(cube);
+        b.iter(|| black_box(scube::run(&dataset, &config).unwrap().stats.n_cells))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("pipeline_scaling");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2000] {
+        let dataset = italy_dataset(n);
+        group.bench_with_input(BenchmarkId::new("scenario1", n), &dataset, |b, d| {
+            let config =
+                ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into())).cube(cube);
+            b.iter(|| black_box(scube::run(d, &config).unwrap().stats.n_cells))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8/E11: bipartite projection (GraphBuilder) cost vs registry size, for
+//! both projection sides and weight thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scube_bench::italy_dataset;
+use std::hint::black_box;
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000] {
+        let dataset = italy_dataset(n);
+        group.bench_with_input(BenchmarkId::new("groups", n), &dataset, |b, d| {
+            b.iter(|| {
+                let p = d.bipartite.project_groups(1);
+                black_box((p.graph.num_edges(), p.isolated.len()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("individuals", n), &dataset, |b, d| {
+            b.iter(|| {
+                let p = d.bipartite.project_individuals(1);
+                black_box((p.graph.num_edges(), p.isolated.len()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("groups-min-shared-2", n), &dataset, |b, d| {
+            b.iter(|| {
+                let p = d.bipartite.project_groups(2);
+                black_box(p.graph.num_edges())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(20);
+    let dataset = scube_bench::estonia_dataset(4000, 2);
+    group.bench_function("estonia-snapshot-filter", |b| {
+        b.iter(|| black_box(dataset.bipartite.snapshot(2005).memberships().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

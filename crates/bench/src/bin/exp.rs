@@ -1,0 +1,601 @@
+//! Experiment reproduction binary: one subcommand per paper artefact.
+//!
+//! ```text
+//! cargo run -p scube-bench --release --bin exp -- <experiment> [scale]
+//!
+//! fig1         E1  — the Fig. 1 segregation cube grid (dissimilarity)
+//! final-table  E2  — the Fig. 3 finalTable sample rows
+//! provinces    E3  — Fig. 3 (right): per-region dissimilarity map rows
+//! cube-sheet   E4  — Fig. 5 (top): the cube sheet (CSV head)
+//! radial       E5  — Fig. 5 (bottom): 6 indexes × 20 sectors
+//! scenario1    E6  — tabular: women across company sectors
+//! scenario2    E7  — director-graph communities (3 clustering methods)
+//! scenario3    E8  — bipartite company communities
+//! compare      E9  — Italy vs Estonia cross-comparison
+//! temporal     E10 — Estonian 20-year snapshot trend
+//! scale        E11 — efficiency: cube build scaling and ablations
+//! simpson      E12 — the wrong-granularity (Simpson's paradox) warning
+//! significance E13 — permutation tests on discovered contexts (extension)
+//! all              — run everything
+//! ```
+//!
+//! `scale` (default 3000) is the synthetic company count for the data-sized
+//! experiments; the `scale` experiment uses its own sweep.
+
+use std::time::Instant;
+
+use scube::prelude::*;
+use scube_bench::{estonia_dataset, fmt, italy_dataset, italy_final_table};
+use scube_common::table::{Align, TextTable};
+use scube_cube::CubeExplorer;
+use scube_fpm::{Apriori, Eclat, FpGrowth, Miner};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exp = args.first().map(String::as_str).unwrap_or("all");
+    let scale: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3000);
+
+    let run = |name: &str| exp == "all" || exp == name;
+    let mut matched = false;
+    if run("fig1") {
+        fig1(scale);
+        matched = true;
+    }
+    if run("final-table") {
+        final_table(scale);
+        matched = true;
+    }
+    if run("provinces") {
+        provinces(scale);
+        matched = true;
+    }
+    if run("cube-sheet") {
+        cube_sheet(scale);
+        matched = true;
+    }
+    if run("radial") {
+        radial(scale);
+        matched = true;
+    }
+    if run("scenario1") {
+        scenario1(scale);
+        matched = true;
+    }
+    if run("scenario2") {
+        scenario2(scale);
+        matched = true;
+    }
+    if run("scenario3") {
+        scenario3(scale);
+        matched = true;
+    }
+    if run("compare") {
+        compare(scale);
+        matched = true;
+    }
+    if run("temporal") {
+        temporal(scale);
+        matched = true;
+    }
+    if run("scale") {
+        scale_experiment();
+        matched = true;
+    }
+    if run("simpson") {
+        simpson();
+        matched = true;
+    }
+    if run("significance") {
+        significance(scale);
+        matched = true;
+    }
+    if !matched {
+        eprintln!("unknown experiment '{exp}'; see the module docs for the list");
+        std::process::exit(2);
+    }
+}
+
+fn banner(id: &str, title: &str) {
+    println!("\n==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}
+
+/// E1 — Fig. 1: the segregation data cube grid with the dissimilarity
+/// index over SA = (gender, age) and CA = macro-area.
+fn fig1(scale: usize) {
+    banner("E1 (Fig. 1)", "segregation data cube with dissimilarity index");
+    let dataset = italy_dataset(scale);
+    let result = scube::run(
+        &dataset,
+        &ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+            .cube(CubeBuilder::new().min_support(20).parallel(true)),
+    )
+    .expect("pipeline succeeds");
+    print!(
+        "{}",
+        fig1_grid(&result.cube, "gender", "age", "area", SegIndex::Dissimilarity)
+    );
+    println!("(units = 20 company sectors; '-' = undefined or below min-support)");
+}
+
+/// E2 — Fig. 3 (bottom-left): the finalTable sample.
+fn final_table(scale: usize) {
+    banner("E2 (Fig. 3)", "finalTable rows (multi-valued sector cells)");
+    let dataset = italy_dataset(scale.min(500));
+    let ft = scube::build_final_table(
+        &dataset,
+        &UnitStrategy::ClusterGroups(ClusteringMethod::ConnectedComponents),
+        1,
+    )
+    .expect("pipeline succeeds");
+    let rel = scube::final_table_relation(&ft.db);
+    let mut table = TextTable::new().header(rel.columns().to_vec());
+    // Prefer rows with multi-valued sectors (the Fig. 3 highlight).
+    let mut shown = 0;
+    for row in rel.rows() {
+        if row.iter().any(|c| c.contains(';')) && shown < 5 {
+            table.row(row.clone());
+            shown += 1;
+        }
+    }
+    for row in rel.rows().iter().take(8 - shown.min(8)) {
+        table.row(row.clone());
+    }
+    print!("{}", table.render());
+    println!("({} rows total)", rel.len());
+}
+
+/// E3 — Fig. 3 (right): dissimilarity of women per region (map overlay
+/// rows; the paper colours Italian provinces by this value).
+fn provinces(scale: usize) {
+    banner("E3 (Fig. 3 right)", "per-region dissimilarity of women across sectors");
+    let dataset = italy_dataset(scale);
+    let result = scube::run(
+        &dataset,
+        &ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+            .cube(CubeBuilder::new().min_support(10).parallel(true)),
+    )
+    .expect("pipeline succeeds");
+    let mut rows: Vec<(String, f64, u64)> = result
+        .cube
+        .cells()
+        .filter_map(|(coords, v)| {
+            // Cells of the form (gender=F | residence=R).
+            let labels = result.cube.labels();
+            let is_target = coords.sa.len() == 1
+                && coords.ca.len() == 1
+                && labels.attr_of(coords.sa[0]) == "gender"
+                && labels.value_of(coords.sa[0]) == "F"
+                && labels.attr_of(coords.ca[0]) == "residence";
+            (is_target && v.dissimilarity.is_some()).then(|| {
+                (
+                    labels.value_of(coords.ca[0]).to_string(),
+                    v.dissimilarity.unwrap(),
+                    v.total,
+                )
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut table = TextTable::new()
+        .header(["region", "D", "population"])
+        .aligns(vec![Align::Left, Align::Right, Align::Right]);
+    for (region, d, t) in rows {
+        table.row([region, format!("{d:.3}"), t.to_string()]);
+    }
+    print!("{}", table.render());
+}
+
+/// E4 — Fig. 5 (top): the cube sheet.
+fn cube_sheet(scale: usize) {
+    banner("E4 (Fig. 5 top)", "multidimensional segregation cube sheet (CSV head)");
+    let db = italy_final_table(scale);
+    let cube = CubeBuilder::new()
+        .min_support(50)
+        .parallel(true)
+        .build(&db)
+        .expect("cube builds");
+    let csv = scube_cube::to_csv(&cube);
+    for line in csv.lines().take(15) {
+        println!("{line}");
+    }
+    println!("... ({} cells total)", cube.len());
+}
+
+/// E5 — Fig. 5 (bottom): radial plot series, 6 indexes per sector.
+fn radial(scale: usize) {
+    banner("E5 (Fig. 5 bottom)", "six segregation indexes per company sector");
+    let db = italy_final_table(scale);
+    let explorer: CubeExplorer = CubeExplorer::new(&db);
+    let cube = CubeBuilder::new().min_support(1).build(&db).expect("cube builds");
+    let coords = cube
+        .coords_by_names(&[("gender", "F")], &[])
+        .expect("gender=F exists");
+    let breakdown = explorer.unit_breakdown(&coords);
+    let series = radial_series(&breakdown, db.unit_names());
+    let mut table = TextTable::new()
+        .header(["sector", "D", "G", "H", "xPx", "xPy", "A"])
+        .aligns(vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    let mut series = series;
+    series.sort_by(|a, b| a.0.cmp(&b.0));
+    for (sector, v) in &series {
+        table.row([
+            sector.clone(),
+            fmt(v.dissimilarity),
+            fmt(v.gini),
+            fmt(v.information),
+            fmt(v.isolation),
+            fmt(v.interaction),
+            fmt(v.atkinson),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+/// E6 — Scenario 1: women across company sectors (tabular).
+fn scenario1(scale: usize) {
+    banner("E6 (Scenario 1)", "tabular: how segregated are women in company sectors?");
+    let dataset = italy_dataset(scale);
+    let start = Instant::now();
+    let result = scube::run(
+        &dataset,
+        &ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+            .cube(CubeBuilder::new().min_support(20).parallel(true)),
+    )
+    .expect("pipeline succeeds");
+    println!(
+        "{} directors, {} sectors, {} cells, total {:?}",
+        result.stats.n_individuals,
+        result.stats.n_units,
+        result.stats.n_cells,
+        start.elapsed()
+    );
+    let women = result.cube.get_by_names(&[("gender", "F")], &[]).expect("cell exists");
+    println!(
+        "women | * :  D={} G={} H={} xPx={} xPy={} A={}",
+        fmt(women.dissimilarity),
+        fmt(women.gini),
+        fmt(women.information),
+        fmt(women.isolation),
+        fmt(women.interaction),
+        fmt(women.atkinson)
+    );
+    println!("\ntop contexts by D (population ≥ 100):");
+    for (coords, v, d) in top_contexts(&result.cube, SegIndex::Dissimilarity, 10, 100) {
+        println!(
+            "  D={d:.3}  {}  (M={}, T={})",
+            result.cube.labels().describe(coords),
+            v.minority,
+            v.total
+        );
+    }
+}
+
+/// E7 — Scenario 2: communities of connected directors, per clustering
+/// method.
+fn scenario2(scale: usize) {
+    banner("E7 (Scenario 2)", "director communities under the three clustering methods");
+    let dataset = italy_dataset(scale);
+    // The projected director graph, for the modularity column.
+    let projection = dataset.bipartite.project_individuals(1);
+    let mut table = TextTable::new()
+        .header(["method", "clusters", "giant", "modularity", "time", "D(F|*)", "H(F|*)"])
+        .aligns(vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    for (name, method) in [
+        ("connected-components", ClusteringMethod::ConnectedComponents),
+        ("weight-threshold(2)", ClusteringMethod::WeightThreshold { min_weight: 2 }),
+        (
+            "stoc(0.5,0.5)",
+            ClusteringMethod::Stoc(StocParams { tau: 0.5, alpha: 0.5, horizon: 2, seed: 42 }),
+        ),
+        (
+            "label-propagation",
+            ClusteringMethod::LabelPropagation(LabelPropParams::default()),
+        ),
+    ] {
+        let result = scube::run(
+            &dataset,
+            &ScubeConfig::new(UnitStrategy::ClusterIndividuals(method))
+                .cube(CubeBuilder::new().min_support(20).parallel(true)),
+        )
+        .expect("pipeline succeeds");
+        let clustering = result.clustering.as_ref().unwrap();
+        let q = scube_graph::modularity(&projection.graph, clustering);
+        let women = result.cube.get_by_names(&[("gender", "F")], &[]);
+        table.row([
+            name.to_string(),
+            clustering.num_clusters().to_string(),
+            clustering.giant_size().to_string(),
+            fmt(q),
+            format!("{:?}", result.timings.clustering),
+            fmt(women.and_then(|v| v.dissimilarity)),
+            fmt(women.and_then(|v| v.information)),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+/// E8 — Scenario 3: communities of connected companies.
+fn scenario3(scale: usize) {
+    banner("E8 (Scenario 3)", "bipartite: company communities by shared directors");
+    let dataset = italy_dataset(scale);
+    for min_shared in [1u32, 2] {
+        let result = scube::run(
+            &dataset,
+            &ScubeConfig::new(UnitStrategy::ClusterGroups(
+                ClusteringMethod::ConnectedComponents,
+            ))
+            .min_shared(min_shared)
+            .cube(CubeBuilder::new().min_support(20).parallel(true)),
+        )
+        .expect("pipeline succeeds");
+        let clustering = result.clustering.as_ref().unwrap();
+        let women = result.cube.get_by_names(&[("gender", "F")], &[]);
+        println!(
+            "min_shared={min_shared}: {} communities (giant {}), {} isolated, \
+             projection {:?}, D(F|*) = {}",
+            clustering.num_clusters(),
+            clustering.giant_size(),
+            result.isolated.len(),
+            result.timings.projection,
+            fmt(women.and_then(|v| v.dissimilarity)),
+        );
+    }
+}
+
+/// E9 — Italy vs Estonia cross-comparison.
+fn compare(scale: usize) {
+    banner("E9", "Italy vs Estonia cross-comparison (women across sectors)");
+    let countries = [
+        ("italy", scube_datagen::italy(scale)),
+        ("estonia", scube_datagen::estonia(scale)),
+    ];
+    let mut results = Vec::new();
+    for (name, boards) in &countries {
+        let dataset = boards.to_dataset(vec![]).expect("valid dataset");
+        let result = scube::run(
+            &dataset,
+            &ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+                .cube(CubeBuilder::new().min_support(10).parallel(true)),
+        )
+        .expect("pipeline succeeds");
+        results.push((*name, result));
+    }
+    let mut table = TextTable::new()
+        .header(["index", results[0].0, results[1].0])
+        .aligns(vec![Align::Left, Align::Right, Align::Right]);
+    for idx in SegIndex::ALL {
+        let mut row = vec![idx.name().to_string()];
+        for (_, r) in &results {
+            let v = r.cube.get_by_names(&[("gender", "F")], &[]).and_then(|v| v.get(idx));
+            row.push(fmt(v));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}
+
+/// E10 — temporal trend on the Estonian registry.
+fn temporal(scale: usize) {
+    banner("E10", "Estonian 20-year temporal trend (yearly snapshots)");
+    let dataset = estonia_dataset(scale, 8);
+    let snaps = scube::run_snapshots(
+        &dataset,
+        &ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+            .cube(CubeBuilder::new().min_support(10).parallel(true)),
+    )
+    .expect("pipeline succeeds");
+    let mut table = TextTable::new()
+        .header(["year", "rows", "P(F)", "D", "H", "xPx"])
+        .aligns(vec![
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    for (year, r) in &snaps {
+        let v = r.cube.get_by_names(&[("gender", "F")], &[]);
+        table.row([
+            year.to_string(),
+            r.stats.n_rows.to_string(),
+            v.and_then(|v| v.minority_proportion())
+                .map(|p| format!("{p:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            fmt(v.and_then(|v| v.dissimilarity)),
+            fmt(v.and_then(|v| v.information)),
+            fmt(v.and_then(|v| v.isolation)),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+/// E11 — efficiency: scaling and ablations.
+fn scale_experiment() {
+    banner("E11", "efficiency: cube construction scaling and ablations");
+
+    println!("\n-- cube build time vs population (min_support = 0.5% of rows) --");
+    let mut table = TextTable::new()
+        .header(["companies", "rows", "cells", "all-frequent", "closed", "parallel"])
+        .aligns(vec![
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    for n in [1000usize, 2000, 4000, 8000] {
+        let db = italy_final_table(n);
+        let minsup = (db.len() as u64 / 200).max(1);
+        let t0 = Instant::now();
+        let full = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        let t_full = t0.elapsed();
+        let t0 = Instant::now();
+        let _closed = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::ClosedOnly)
+            .build(&db)
+            .unwrap();
+        let t_closed = t0.elapsed();
+        let t0 = Instant::now();
+        let _par = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::AllFrequent)
+            .parallel(true)
+            .build(&db)
+            .unwrap();
+        let t_par = t0.elapsed();
+        table.row([
+            n.to_string(),
+            db.len().to_string(),
+            full.len().to_string(),
+            format!("{t_full:?}"),
+            format!("{t_closed:?}"),
+            format!("{t_par:?}"),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\n-- miner comparison (4000 companies) --");
+    let db = italy_final_table(4000);
+    let mut table = TextTable::new()
+        .header(["min_support", "itemsets", "fpgrowth", "eclat(ewah)", "apriori"])
+        .aligns(vec![Align::Right, Align::Right, Align::Right, Align::Right, Align::Right]);
+    for rel_minsup in [0.02f64, 0.01, 0.005] {
+        let minsup = ((db.len() as f64 * rel_minsup) as u64).max(1);
+        let t0 = Instant::now();
+        let fp = FpGrowth.mine(&db, minsup).unwrap();
+        let t_fp = t0.elapsed();
+        let t0 = Instant::now();
+        let _ec = Eclat::<scube_bitmap::EwahBitmap>::new().mine(&db, minsup).unwrap();
+        let t_ec = t0.elapsed();
+        let t0 = Instant::now();
+        let _ap = Apriori.mine(&db, minsup).unwrap();
+        let t_ap = t0.elapsed();
+        table.row([
+            minsup.to_string(),
+            fp.len().to_string(),
+            format!("{t_fp:?}"),
+            format!("{t_ec:?}"),
+            format!("{t_ap:?}"),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\n-- closed-cube compression (4000 companies) --");
+    let minsup = (db.len() as u64 / 200).max(1);
+    let full = CubeBuilder::new()
+        .min_support(minsup)
+        .materialize(Materialize::AllFrequent)
+        .build(&db)
+        .unwrap();
+    let closed = CubeBuilder::new()
+        .min_support(minsup)
+        .materialize(Materialize::ClosedOnly)
+        .build(&db)
+        .unwrap();
+    println!(
+        "all-frequent cells: {}, closed cells: {} ({:.1}% of full)",
+        full.len(),
+        closed.len(),
+        100.0 * closed.len() as f64 / full.len() as f64
+    );
+}
+
+/// E12 — the Simpson's-paradox motivation (§2): analysing at the wrong
+/// granularity yields the wrong conclusion.
+fn simpson() {
+    banner("E12", "Simpson's paradox: aggregate evenness hides regional segregation");
+    // Planted construction: in the north women fill unit A, men unit B;
+    // in the south the roles reverse; the aggregate per unit is balanced.
+    let mut rel = Relation::new(vec!["gender".into(), "region".into(), "unitID".into()])
+        .unwrap();
+    let mut add = |g: &str, r: &str, u: &str, n: usize| {
+        for _ in 0..n {
+            rel.push_row(vec![g.into(), r.into(), u.into()]).unwrap();
+        }
+    };
+    add("F", "north", "A", 40);
+    add("M", "north", "A", 10);
+    add("F", "north", "B", 10);
+    add("M", "north", "B", 40);
+    add("F", "south", "A", 10);
+    add("M", "south", "A", 40);
+    add("F", "south", "B", 40);
+    add("M", "south", "B", 10);
+
+    let spec = FinalTableSpec::new("unitID").sa("gender").ca("region");
+    let result = scube::run_final_table(&rel, &spec, &CubeBuilder::new()).unwrap();
+    let at = |ca: &[(&str, &str)]| {
+        result
+            .cube
+            .get_by_names(&[("gender", "F")], ca)
+            .and_then(|v| v.dissimilarity)
+    };
+    println!("D(gender=F | *)            = {}   ← looks perfectly even", fmt(at(&[])));
+    println!("D(gender=F | region=north) = {}   ← strong segregation", fmt(at(&[("region", "north")])));
+    println!("D(gender=F | region=south) = {}   ← strong segregation (reversed)", fmt(at(&[("region", "south")])));
+    println!(
+        "\nHypothesis testing at the aggregate level would have missed both contexts;\n\
+         cube exploration over all granularities surfaces them."
+    );
+}
+
+/// E13 (extension) — permutation significance of discovered contexts:
+/// separates real segregation from the small-unit bias of random
+/// allocation before reporting findings.
+fn significance(scale: usize) {
+    banner("E13 (extension)", "permutation tests on the top discovered contexts");
+    let db = italy_final_table(scale);
+    let cube = CubeBuilder::new()
+        .min_support(100)
+        .parallel(true)
+        .build(&db)
+        .expect("cube builds");
+    let explorer: CubeExplorer = CubeExplorer::new(&db);
+    let test = scube_segindex::PermutationTest { permutations: 499, seed: 7 };
+    let mut table = TextTable::new()
+        .header(["context", "D", "null mean", "p-value"])
+        .aligns(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+    for (coords, _, d) in top_contexts(&cube, SegIndex::Dissimilarity, 5, 200) {
+        let breakdown = explorer.unit_breakdown(coords);
+        let counts = scube_segindex::UnitCounts::from_triples(breakdown)
+            .expect("breakdown is consistent");
+        if let Some(r) = test.run(SegIndex::Dissimilarity, &counts) {
+            table.row([
+                cube.labels().describe(coords),
+                format!("{d:.3}"),
+                format!("{:.3}", r.null_mean),
+                format!("{:.3}", r.p_value),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "(null mean ≫ 0 shows the small-unit bias of D; p ≤ 0.002 is the\n\
+         resolution limit of 499 permutations)"
+    );
+}

@@ -1,0 +1,46 @@
+//! Shared fixtures for the SCube benchmark harness and the `exp`
+//! experiment-reproduction binary.
+
+use scube::prelude::*;
+use scube_data::TransactionDb;
+
+/// Synthetic-Italy dataset at a given company count.
+pub fn italy_dataset(n_companies: usize) -> Dataset {
+    scube_datagen::italy(n_companies)
+        .to_dataset(vec![])
+        .expect("generator output is valid")
+}
+
+/// Synthetic-Estonia dataset with `n_snapshots` evenly spaced years.
+pub fn estonia_dataset(n_companies: usize, n_snapshots: usize) -> Dataset {
+    let boards = scube_datagen::estonia(n_companies);
+    let years = boards.snapshot_years(n_snapshots);
+    boards.to_dataset(years).expect("generator output is valid")
+}
+
+/// The scenario-1 final table (sector units) for synthetic Italy.
+pub fn italy_final_table(n_companies: usize) -> TransactionDb {
+    let dataset = italy_dataset(n_companies);
+    scube::build_final_table(&dataset, &UnitStrategy::GroupAttribute("sector".into()), 1)
+        .expect("pipeline succeeds")
+        .db
+}
+
+/// Format an optional index value for report tables.
+pub fn fmt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let db = italy_final_table(120);
+        assert!(db.len() > 100);
+        assert!(db.num_units() >= 10);
+        let d = estonia_dataset(100, 3);
+        assert_eq!(d.dates.len(), 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Uncompressed bitset over `Vec<u64>`.
+//!
+//! Used for small, dense universes — per-unit membership masks in the cube
+//! builder and the visited sets of graph traversals — and as the dense
+//! contender in the tidset-representation ablation (experiment E11).
+
+use crate::{EwahBitmap, Posting};
+
+/// A plain, zero-extended bitset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DenseBitmap {
+    words: Vec<u64>,
+}
+
+impl DenseBitmap {
+    /// Empty bitset.
+    pub fn new() -> Self {
+        DenseBitmap::default()
+    }
+
+    /// Empty bitset with room for ids `< nbits` without reallocating.
+    pub fn with_capacity(nbits: usize) -> Self {
+        DenseBitmap { words: Vec::with_capacity(nbits.div_ceil(64)) }
+    }
+
+    /// Set bit `id` (grows as needed).
+    pub fn insert(&mut self, id: u32) {
+        let w = id as usize / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (id % 64);
+    }
+
+    /// Clear bit `id` (no-op when out of range).
+    pub fn remove(&mut self, id: u32) {
+        let w = id as usize / 64;
+        if w < self.words.len() {
+            self.words[w] &= !(1 << (id % 64));
+        }
+    }
+
+    /// Reset all bits, keeping capacity (workhorse-collection pattern).
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Heap bytes used.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    /// Convert to the compressed representation.
+    pub fn to_ewah(&self) -> EwahBitmap {
+        let mut a = crate::ewah::Appender::new();
+        for &w in &self.words {
+            a.push_word(w);
+        }
+        a.finish()
+    }
+
+    /// Build from a compressed bitmap.
+    pub fn from_ewah(e: &EwahBitmap) -> Self {
+        let mut d = DenseBitmap::new();
+        e.for_each(|id| d.insert(id));
+        d
+    }
+
+    fn op(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        let n = self.words.len().max(other.words.len());
+        let mut words = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            words.push(f(a, b));
+        }
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        DenseBitmap { words }
+    }
+}
+
+impl Posting for DenseBitmap {
+    fn from_sorted(ids: &[u32]) -> Self {
+        let mut d = match ids.last() {
+            Some(&max) => DenseBitmap::with_capacity(max as usize + 1),
+            None => return DenseBitmap::new(),
+        };
+        let mut prev: Option<u32> = None;
+        for &id in ids {
+            assert!(prev.is_none_or(|p| id > p), "ids must be strictly increasing");
+            prev = Some(id);
+            d.insert(id);
+        }
+        d
+    }
+
+    fn and(&self, other: &Self) -> Self {
+        self.op(other, |a, b| a & b)
+    }
+
+    fn or(&self, other: &Self) -> Self {
+        self.op(other, |a, b| a | b)
+    }
+
+    fn andnot(&self, other: &Self) -> Self {
+        self.op(other, |a, b| a & !b)
+    }
+
+    fn cardinality(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    fn for_each(&self, mut f: impl FnMut(u32)) {
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let tz = w.trailing_zeros();
+                f((i * 64) as u32 + tz);
+                w &= w - 1;
+            }
+        }
+    }
+
+    fn and_cardinality(&self, other: &Self) -> u64 {
+        let n = self.words.len().min(other.words.len());
+        (0..n).map(|i| u64::from((self.words[i] & other.words[i]).count_ones())).sum()
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        self.words
+            .get(id as usize / 64)
+            .is_some_and(|w| w & (1 << (id % 64)) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut d = DenseBitmap::new();
+        d.insert(0);
+        d.insert(63);
+        d.insert(64);
+        assert!(d.contains(0) && d.contains(63) && d.contains(64));
+        assert!(!d.contains(1) && !d.contains(65) && !d.contains(10_000));
+        assert_eq!(d.cardinality(), 3);
+    }
+
+    #[test]
+    fn remove_bit() {
+        let mut d = DenseBitmap::from_sorted(&[1, 2, 3]);
+        d.remove(2);
+        assert_eq!(d.to_vec(), vec![1, 3]);
+        d.remove(100); // out of range: no-op
+        assert_eq!(d.cardinality(), 2);
+    }
+
+    #[test]
+    fn ops_match_sets() {
+        let a = DenseBitmap::from_sorted(&[1, 2, 3, 200]);
+        let b = DenseBitmap::from_sorted(&[2, 200, 300]);
+        assert_eq!(a.and(&b).to_vec(), vec![2, 200]);
+        assert_eq!(a.or(&b).to_vec(), vec![1, 2, 3, 200, 300]);
+        assert_eq!(a.andnot(&b).to_vec(), vec![1, 3]);
+        assert_eq!(a.and_cardinality(&b), 2);
+    }
+
+    #[test]
+    fn trailing_zero_words_trimmed_by_ops() {
+        let a = DenseBitmap::from_sorted(&[1, 1000]);
+        let b = DenseBitmap::from_sorted(&[1]);
+        let r = a.and(&b);
+        assert_eq!(r.to_vec(), vec![1]);
+        assert!(r.words.len() <= 1);
+    }
+
+    #[test]
+    fn ewah_roundtrip() {
+        let ids = vec![0u32, 5, 64, 1000, 100_000];
+        let d = DenseBitmap::from_sorted(&ids);
+        let e = d.to_ewah();
+        assert_eq!(e.to_vec(), ids);
+        assert_eq!(DenseBitmap::from_ewah(&e), d);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut d = DenseBitmap::from_sorted(&[100_000]);
+        let cap = d.heap_bytes();
+        d.clear();
+        assert_eq!(d.cardinality(), 0);
+        assert_eq!(d.heap_bytes(), cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_panics() {
+        DenseBitmap::from_sorted(&[2, 1]);
+    }
+}

@@ -1,0 +1,812 @@
+//! 64-bit EWAH (Enhanced Word-Aligned Hybrid) compressed bitmap.
+//!
+//! Layout follows JavaEWAH: the bitmap is a sequence of 64-bit words.
+//! A *marker* word encodes a run of "clean" words (all-zero or all-one)
+//! followed by a count of verbatim "literal" words:
+//!
+//! ```text
+//! bit 0        : value of the clean run (0 or 1)
+//! bits 1..=32  : number of clean words (RUN_MAX = 2^32 - 1)
+//! bits 33..=63 : number of literal words that follow (LIT_MAX = 2^31 - 1)
+//! ```
+//!
+//! Bitmaps are logically infinite and zero-extended, so trailing zero runs
+//! are never stored. Binary operations merge the two compressed streams in
+//! `O(stored words)` without decompressing to a dense form.
+
+use crate::Posting;
+
+const RUN_MAX: u64 = (1 << 32) - 1;
+const LIT_MAX: u64 = (1 << 31) - 1;
+
+#[inline]
+fn encode_marker(ones: bool, run: u64, lit: u64) -> u64 {
+    debug_assert!(run <= RUN_MAX && lit <= LIT_MAX);
+    (ones as u64) | (run << 1) | (lit << 33)
+}
+
+#[inline]
+fn decode_marker(m: u64) -> (bool, u64, u64) {
+    (m & 1 == 1, (m >> 1) & RUN_MAX, (m >> 33) & LIT_MAX)
+}
+
+/// An EWAH-compressed bitmap over `u32` ids.
+#[derive(Debug, Clone, Default)]
+pub struct EwahBitmap {
+    words: Vec<u64>,
+    card: u64,
+}
+
+/// One decoded segment of the compressed stream.
+#[derive(Debug, Clone, Copy)]
+enum Seg<'a> {
+    /// `nwords` words all equal to 0 or to `u64::MAX`.
+    Clean { ones: bool, nwords: u64 },
+    /// Verbatim words.
+    Lit(&'a [u64]),
+}
+
+/// Iterator over the segments of a compressed stream.
+struct RawSegs<'a> {
+    words: &'a [u64],
+    pos: usize,
+    pending_lit: Option<(usize, usize)>,
+}
+
+impl<'a> RawSegs<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        RawSegs { words, pos: 0, pending_lit: None }
+    }
+}
+
+impl<'a> Iterator for RawSegs<'a> {
+    type Item = Seg<'a>;
+
+    fn next(&mut self) -> Option<Seg<'a>> {
+        if let Some((start, len)) = self.pending_lit.take() {
+            return Some(Seg::Lit(&self.words[start..start + len]));
+        }
+        while self.pos < self.words.len() {
+            let (ones, run, lit) = decode_marker(self.words[self.pos]);
+            let lit_start = self.pos + 1;
+            self.pos = lit_start + lit as usize;
+            debug_assert!(self.pos <= self.words.len(), "corrupt EWAH stream");
+            if run > 0 {
+                if lit > 0 {
+                    self.pending_lit = Some((lit_start, lit as usize));
+                }
+                return Some(Seg::Clean { ones, nwords: run });
+            }
+            if lit > 0 {
+                return Some(Seg::Lit(&self.words[lit_start..lit_start + lit as usize]));
+            }
+            // Empty marker (can occur at the start of an empty bitmap).
+        }
+        None
+    }
+}
+
+/// Word-granular cursor over a compressed stream, zero-extended at the end.
+struct Cursor<'a> {
+    segs: RawSegs<'a>,
+    cur: Cur<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Cur<'a> {
+    Clean { ones: bool, left: u64 },
+    Lit { words: &'a [u64], i: usize },
+    End,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bitmap: &'a EwahBitmap) -> Self {
+        let mut c = Cursor { segs: RawSegs::new(&bitmap.words), cur: Cur::End };
+        c.bump();
+        c
+    }
+
+    fn bump(&mut self) {
+        self.cur = match self.segs.next() {
+            Some(Seg::Clean { ones, nwords }) => Cur::Clean { ones, left: nwords },
+            Some(Seg::Lit(words)) => Cur::Lit { words, i: 0 },
+            None => Cur::End,
+        };
+    }
+
+    fn is_end(&self) -> bool {
+        matches!(self.cur, Cur::End)
+    }
+
+    /// Consume and return the next word, or `None` past the stored end.
+    fn next_word(&mut self) -> Option<u64> {
+        match &mut self.cur {
+            Cur::Clean { ones, left } => {
+                let w = if *ones { u64::MAX } else { 0 };
+                *left -= 1;
+                if *left == 0 {
+                    self.bump();
+                }
+                Some(w)
+            }
+            Cur::Lit { words, i } => {
+                let w = words[*i];
+                *i += 1;
+                if *i == words.len() {
+                    self.bump();
+                }
+                Some(w)
+            }
+            Cur::End => None,
+        }
+    }
+
+    /// If positioned on a clean segment, report `(ones, remaining_words)`.
+    fn peek_clean(&self) -> Option<(bool, u64)> {
+        match self.cur {
+            Cur::Clean { ones, left } => Some((ones, left)),
+            _ => None,
+        }
+    }
+
+    /// Consume `n` words from the current clean segment (`n` ≤ remaining).
+    fn consume_clean(&mut self, n: u64) {
+        match &mut self.cur {
+            Cur::Clean { left, .. } => {
+                debug_assert!(n <= *left);
+                *left -= n;
+                if *left == 0 {
+                    self.bump();
+                }
+            }
+            _ => unreachable!("consume_clean on non-clean cursor"),
+        }
+    }
+}
+
+/// Builds an EWAH stream from a sequence of words, run-compressing on the fly.
+#[derive(Debug)]
+pub struct Appender {
+    words: Vec<u64>,
+    marker_pos: usize,
+    run_bit: bool,
+    run_len: u64,
+    lit_cnt: u64,
+    card: u64,
+}
+
+impl Default for Appender {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Appender {
+    /// Start an empty stream.
+    pub fn new() -> Self {
+        Appender { words: vec![0], marker_pos: 0, run_bit: false, run_len: 0, lit_cnt: 0, card: 0 }
+    }
+
+    fn seal_marker(&mut self) {
+        self.words[self.marker_pos] = encode_marker(self.run_bit, self.run_len, self.lit_cnt);
+    }
+
+    fn new_marker(&mut self) {
+        self.seal_marker();
+        self.marker_pos = self.words.len();
+        self.words.push(0);
+        self.run_bit = false;
+        self.run_len = 0;
+        self.lit_cnt = 0;
+    }
+
+    /// Append `n` clean words of the given value.
+    pub fn push_clean(&mut self, ones: bool, mut n: u64) {
+        if ones {
+            self.card += 64 * n;
+        }
+        while n > 0 {
+            if self.lit_cnt > 0
+                || (self.run_len > 0 && self.run_bit != ones)
+                || self.run_len == RUN_MAX
+            {
+                self.new_marker();
+            }
+            if self.run_len == 0 {
+                self.run_bit = ones;
+            }
+            let take = n.min(RUN_MAX - self.run_len);
+            self.run_len += take;
+            n -= take;
+        }
+    }
+
+    /// Append one word, auto-compressing all-zero / all-one words.
+    pub fn push_word(&mut self, w: u64) {
+        if w == 0 {
+            self.push_clean(false, 1);
+        } else if w == u64::MAX {
+            self.push_clean(true, 1);
+        } else {
+            self.card += u64::from(w.count_ones());
+            if self.lit_cnt == LIT_MAX {
+                self.new_marker();
+            }
+            self.lit_cnt += 1;
+            self.words.push(w);
+        }
+    }
+
+    /// Finish the stream, trimming any trailing zero run (bitmaps are
+    /// implicitly zero-extended, so trailing zeros carry no information).
+    pub fn finish(mut self) -> EwahBitmap {
+        if self.lit_cnt == 0 && !self.run_bit {
+            self.run_len = 0;
+        }
+        self.seal_marker();
+        if self.marker_pos > 0 && self.words[self.marker_pos] == 0 {
+            self.words.pop();
+        }
+        EwahBitmap { words: self.words, card: self.card }
+    }
+}
+
+impl EwahBitmap {
+    /// The empty bitmap.
+    pub fn new() -> Self {
+        EwahBitmap::default()
+    }
+
+    /// Number of stored 64-bit words (compression diagnostics).
+    pub fn stored_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Heap bytes used by the compressed representation.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    /// Iterate set-bit positions in increasing order.
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits { segs: RawSegs::new(&self.words), word_index: 0, state: SetBitsState::NeedSeg }
+    }
+
+    /// Complement within the universe `[0, nbits)`.
+    #[must_use]
+    pub fn not_upto(&self, nbits: u64) -> EwahBitmap {
+        let full_words = nbits / 64;
+        let rem_bits = (nbits % 64) as u32;
+        let mut cur = Cursor::new(self);
+        let mut out = Appender::new();
+        let mut done = 0u64;
+        while done < full_words {
+            match cur.peek_clean() {
+                Some((ones, left)) => {
+                    let n = left.min(full_words - done);
+                    out.push_clean(!ones, n);
+                    cur.consume_clean(n);
+                    done += n;
+                }
+                None => {
+                    let w = cur.next_word().unwrap_or(0);
+                    out.push_word(!w);
+                    done += 1;
+                }
+            }
+        }
+        if rem_bits > 0 {
+            let w = cur.next_word().unwrap_or(0);
+            let mask = (1u64 << rem_bits) - 1;
+            out.push_word(!w & mask);
+        }
+        out.finish()
+    }
+
+    fn binary_op(&self, other: &EwahBitmap, op: BinOp) -> EwahBitmap {
+        let mut a = Cursor::new(self);
+        let mut b = Cursor::new(other);
+        let mut out = Appender::new();
+        loop {
+            if a.is_end() && b.is_end() {
+                break;
+            }
+            if a.is_end() || b.is_end() {
+                // Zero-extended tail: the op degenerates per side.
+                match op {
+                    BinOp::And => break, // x AND 0 = 0
+                    BinOp::AndNot => {
+                        if a.is_end() {
+                            break; // 0 \ x = 0
+                        }
+                        copy_rest(&mut a, &mut out); // x \ 0 = x
+                        break;
+                    }
+                    BinOp::Or | BinOp::Xor => {
+                        let rest = if a.is_end() { &mut b } else { &mut a };
+                        copy_rest(rest, &mut out);
+                        break;
+                    }
+                }
+            }
+            match (a.peek_clean(), b.peek_clean()) {
+                (Some((oa, la)), Some((ob, lb))) => {
+                    let n = la.min(lb);
+                    let ones = match op {
+                        BinOp::And => oa && ob,
+                        BinOp::Or => oa || ob,
+                        BinOp::AndNot => oa && !ob,
+                        BinOp::Xor => oa != ob,
+                    };
+                    out.push_clean(ones, n);
+                    a.consume_clean(n);
+                    b.consume_clean(n);
+                }
+                _ => {
+                    let wa = a.next_word().expect("checked not end");
+                    let wb = b.next_word().expect("checked not end");
+                    let w = match op {
+                        BinOp::And => wa & wb,
+                        BinOp::Or => wa | wb,
+                        BinOp::AndNot => wa & !wb,
+                        BinOp::Xor => wa ^ wb,
+                    };
+                    out.push_word(w);
+                }
+            }
+        }
+        out.finish()
+    }
+
+    /// Symmetric difference.
+    #[must_use]
+    pub fn xor(&self, other: &EwahBitmap) -> EwahBitmap {
+        self.binary_op(other, BinOp::Xor)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BinOp {
+    And,
+    Or,
+    AndNot,
+    Xor,
+}
+
+fn copy_rest(cur: &mut Cursor<'_>, out: &mut Appender) {
+    loop {
+        match cur.peek_clean() {
+            Some((ones, left)) => {
+                out.push_clean(ones, left);
+                cur.consume_clean(left);
+            }
+            None => match cur.next_word() {
+                Some(w) => out.push_word(w),
+                None => break,
+            },
+        }
+    }
+}
+
+impl Posting for EwahBitmap {
+    fn from_sorted(ids: &[u32]) -> Self {
+        let mut out = Appender::new();
+        let mut cur_word_idx = 0u64;
+        let mut cur_word = 0u64;
+        let mut prev: Option<u32> = None;
+        for &id in ids {
+            assert!(prev.is_none_or(|p| id > p), "ids must be strictly increasing");
+            prev = Some(id);
+            let w = u64::from(id) / 64;
+            let bit = u64::from(id) % 64;
+            if w != cur_word_idx {
+                out.push_word(cur_word);
+                out.push_clean(false, w - cur_word_idx - 1);
+                cur_word_idx = w;
+                cur_word = 0;
+            }
+            cur_word |= 1u64 << bit;
+        }
+        if cur_word != 0 {
+            out.push_word(cur_word);
+        }
+        out.finish()
+    }
+
+    fn and(&self, other: &Self) -> Self {
+        self.binary_op(other, BinOp::And)
+    }
+
+    fn or(&self, other: &Self) -> Self {
+        self.binary_op(other, BinOp::Or)
+    }
+
+    fn andnot(&self, other: &Self) -> Self {
+        self.binary_op(other, BinOp::AndNot)
+    }
+
+    fn cardinality(&self) -> u64 {
+        self.card
+    }
+
+    fn for_each(&self, mut f: impl FnMut(u32)) {
+        for id in self.iter() {
+            f(id);
+        }
+    }
+
+    fn and_cardinality(&self, other: &Self) -> u64 {
+        // Streaming count: like binary_op(And) but without building output.
+        let mut a = Cursor::new(self);
+        let mut b = Cursor::new(other);
+        let mut count = 0u64;
+        loop {
+            if a.is_end() || b.is_end() {
+                break;
+            }
+            match (a.peek_clean(), b.peek_clean()) {
+                (Some((oa, la)), Some((ob, lb))) => {
+                    let n = la.min(lb);
+                    if oa && ob {
+                        count += 64 * n;
+                    }
+                    a.consume_clean(n);
+                    b.consume_clean(n);
+                }
+                (Some((false, la)), None) => {
+                    // Zero run in a: skip the same number of words in b.
+                    let mut n = la;
+                    while n > 0 && !b.is_end() {
+                        if let Some((_, lb)) = b.peek_clean() {
+                            let k = lb.min(n);
+                            b.consume_clean(k);
+                            n -= k;
+                        } else {
+                            b.next_word();
+                            n -= 1;
+                        }
+                    }
+                    a.consume_clean(la - n);
+                    if n > 0 {
+                        break;
+                    }
+                }
+                (None, Some((false, lb))) => {
+                    let mut n = lb;
+                    while n > 0 && !a.is_end() {
+                        if let Some((_, la)) = a.peek_clean() {
+                            let k = la.min(n);
+                            a.consume_clean(k);
+                            n -= k;
+                        } else {
+                            a.next_word();
+                            n -= 1;
+                        }
+                    }
+                    b.consume_clean(lb - n);
+                    if n > 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    let wa = a.next_word().expect("not end");
+                    let wb = b.next_word().expect("not end");
+                    count += u64::from((wa & wb).count_ones());
+                }
+            }
+        }
+        count
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        let target_word = u64::from(id) / 64;
+        let bit = u64::from(id) % 64;
+        let mut word_index = 0u64;
+        for seg in RawSegs::new(&self.words) {
+            match seg {
+                Seg::Clean { ones, nwords } => {
+                    if target_word < word_index + nwords {
+                        return ones;
+                    }
+                    word_index += nwords;
+                }
+                Seg::Lit(words) => {
+                    if target_word < word_index + words.len() as u64 {
+                        let w = words[(target_word - word_index) as usize];
+                        return w & (1 << bit) != 0;
+                    }
+                    word_index += words.len() as u64;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl PartialEq for EwahBitmap {
+    /// Semantic equality: equal sets compare equal even if their compressed
+    /// encodings differ (e.g. a literal word `0` vs a clean zero run).
+    fn eq(&self, other: &Self) -> bool {
+        if self.card != other.card {
+            return false;
+        }
+        let mut a = Cursor::new(self);
+        let mut b = Cursor::new(other);
+        loop {
+            if a.is_end() && b.is_end() {
+                return true;
+            }
+            match (a.peek_clean(), b.peek_clean()) {
+                (Some((oa, la)), Some((ob, lb))) => {
+                    if oa != ob {
+                        return false;
+                    }
+                    let n = la.min(lb);
+                    a.consume_clean(n);
+                    b.consume_clean(n);
+                }
+                _ => {
+                    let wa = a.next_word().unwrap_or(0);
+                    let wb = b.next_word().unwrap_or(0);
+                    if wa != wb {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Eq for EwahBitmap {}
+
+impl FromIterator<u32> for EwahBitmap {
+    /// Collect from an ascending id iterator.
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let ids: Vec<u32> = iter.into_iter().collect();
+        EwahBitmap::from_sorted(&ids)
+    }
+}
+
+/// Iterator over set bits (see [`EwahBitmap::iter`]).
+pub struct SetBits<'a> {
+    segs: RawSegs<'a>,
+    word_index: u64,
+    state: SetBitsState<'a>,
+}
+
+enum SetBitsState<'a> {
+    NeedSeg,
+    InClean { ones: bool, left: u64, bit: u32 },
+    InLit { words: &'a [u64], i: usize, cur: u64 },
+    Done,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            match &mut self.state {
+                SetBitsState::NeedSeg => {
+                    self.state = match self.segs.next() {
+                        Some(Seg::Clean { ones, nwords }) => {
+                            SetBitsState::InClean { ones, left: nwords, bit: 0 }
+                        }
+                        Some(Seg::Lit(words)) => {
+                            SetBitsState::InLit { words, i: 0, cur: words[0] }
+                        }
+                        None => SetBitsState::Done,
+                    };
+                }
+                SetBitsState::InClean { ones, left, bit } => {
+                    if !*ones {
+                        self.word_index += *left;
+                        self.state = SetBitsState::NeedSeg;
+                        continue;
+                    }
+                    let id = (self.word_index * 64 + u64::from(*bit)) as u32;
+                    *bit += 1;
+                    if *bit == 64 {
+                        *bit = 0;
+                        *left -= 1;
+                        self.word_index += 1;
+                        if *left == 0 {
+                            self.state = SetBitsState::NeedSeg;
+                        }
+                    }
+                    return Some(id);
+                }
+                SetBitsState::InLit { words, i, cur } => {
+                    if *cur == 0 {
+                        *i += 1;
+                        self.word_index += 1;
+                        if *i == words.len() {
+                            self.state = SetBitsState::NeedSeg;
+                        } else {
+                            *cur = words[*i];
+                        }
+                        continue;
+                    }
+                    let tz = cur.trailing_zeros();
+                    *cur &= *cur - 1;
+                    return Some((self.word_index * 64 + u64::from(tz)) as u32);
+                }
+                SetBitsState::Done => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bm(ids: &[u32]) -> EwahBitmap {
+        EwahBitmap::from_sorted(ids)
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = EwahBitmap::new();
+        assert_eq!(b.cardinality(), 0);
+        assert!(b.is_empty());
+        assert_eq!(b.to_vec(), Vec::<u32>::new());
+        assert!(!b.contains(0));
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let ids = vec![0, 1, 5, 63, 64, 65, 1000];
+        let b = bm(&ids);
+        assert_eq!(b.to_vec(), ids);
+        assert_eq!(b.cardinality(), ids.len() as u64);
+    }
+
+    #[test]
+    fn roundtrip_sparse_large_gaps() {
+        let ids = vec![0, 1_000_000, 2_000_000, 50_000_000];
+        let b = bm(&ids);
+        assert_eq!(b.to_vec(), ids);
+        // Sparse data must compress: 50M bits would be ~780K dense words.
+        assert!(b.stored_words() < 20, "stored {} words", b.stored_words());
+    }
+
+    #[test]
+    fn roundtrip_dense_run() {
+        let ids: Vec<u32> = (0..10_000).collect();
+        let b = bm(&ids);
+        assert_eq!(b.cardinality(), 10_000);
+        assert_eq!(b.to_vec(), ids);
+        // A solid run of ones compresses to a handful of words.
+        assert!(b.stored_words() < 10, "stored {} words", b.stored_words());
+    }
+
+    #[test]
+    fn contains_all_cases() {
+        let b = bm(&[3, 64, 128, 129]);
+        for id in [3u32, 64, 128, 129] {
+            assert!(b.contains(id), "missing {id}");
+        }
+        for id in [0u32, 2, 63, 65, 127, 130, 100_000] {
+            assert!(!b.contains(id), "spurious {id}");
+        }
+    }
+
+    #[test]
+    fn and_overlapping() {
+        let a = bm(&[1, 2, 3, 100, 200]);
+        let b = bm(&[2, 100, 300]);
+        assert_eq!(a.and(&b).to_vec(), vec![2, 100]);
+        assert_eq!(a.and_cardinality(&b), 2);
+    }
+
+    #[test]
+    fn or_disjoint() {
+        let a = bm(&[1, 1000]);
+        let b = bm(&[5, 500]);
+        assert_eq!(a.or(&b).to_vec(), vec![1, 5, 500, 1000]);
+    }
+
+    #[test]
+    fn andnot_and_xor() {
+        let a = bm(&[1, 2, 3, 4]);
+        let b = bm(&[2, 4, 6]);
+        assert_eq!(a.andnot(&b).to_vec(), vec![1, 3]);
+        assert_eq!(b.andnot(&a).to_vec(), vec![6]);
+        assert_eq!(a.xor(&b).to_vec(), vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn ops_with_empty() {
+        let a = bm(&[1, 2, 3]);
+        let e = EwahBitmap::new();
+        assert_eq!(a.and(&e).to_vec(), Vec::<u32>::new());
+        assert_eq!(a.or(&e).to_vec(), vec![1, 2, 3]);
+        assert_eq!(e.or(&a).to_vec(), vec![1, 2, 3]);
+        assert_eq!(a.andnot(&e).to_vec(), vec![1, 2, 3]);
+        assert_eq!(e.andnot(&a).to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn not_upto() {
+        let a = bm(&[0, 2, 4]);
+        assert_eq!(a.not_upto(6).to_vec(), vec![1, 3, 5]);
+        assert_eq!(a.not_upto(5).to_vec(), vec![1, 3]);
+        assert_eq!(a.not_upto(0).to_vec(), Vec::<u32>::new());
+        let e = EwahBitmap::new();
+        assert_eq!(e.not_upto(130).cardinality(), 130);
+    }
+
+    #[test]
+    fn not_upto_word_boundary() {
+        let a = bm(&[63, 64]);
+        let c = a.not_upto(128);
+        assert_eq!(c.cardinality(), 126);
+        assert!(!c.contains(63));
+        assert!(!c.contains(64));
+        assert!(c.contains(0));
+        assert!(c.contains(127));
+    }
+
+    #[test]
+    fn semantic_equality() {
+        let a = bm(&[1, 2, 3]);
+        let b = bm(&[1, 2, 3]);
+        let c = bm(&[1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Different construction path, same set.
+        let d = bm(&[1]).or(&bm(&[2, 3]));
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let ids = vec![0, 7, 63, 64, 300];
+        let a = bm(&ids);
+        assert_eq!(a.not_upto(301).not_upto(301), a);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let b: EwahBitmap = (10..20u32).collect();
+        assert_eq!(b.cardinality(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_input_panics() {
+        bm(&[5, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn duplicate_input_panics() {
+        bm(&[5, 5]);
+    }
+
+    #[test]
+    fn long_alternating_literals() {
+        // Alternating bits produce pure literal words; exercise marker limits.
+        let ids: Vec<u32> = (0..100_000).step_by(2).collect();
+        let b = bm(&ids);
+        assert_eq!(b.cardinality(), ids.len() as u64);
+        assert_eq!(b.to_vec(), ids);
+    }
+
+    #[test]
+    fn and_cardinality_matches_materialized() {
+        let a = bm(&(0..5000).step_by(3).collect::<Vec<_>>());
+        let b = bm(&(0..5000).step_by(7).collect::<Vec<_>>());
+        assert_eq!(a.and_cardinality(&b), a.and(&b).cardinality());
+        assert_eq!(b.and_cardinality(&a), a.and(&b).cardinality());
+    }
+
+    #[test]
+    fn max_id_near_u32_limit() {
+        let ids = vec![u32::MAX - 1, u32::MAX];
+        let b = bm(&ids);
+        assert_eq!(b.to_vec(), ids);
+        assert!(b.contains(u32::MAX));
+    }
+}

@@ -1,0 +1,134 @@
+#![warn(missing_docs)]
+//! Compressed bitmaps for SCube (JavaEWAH substitute).
+//!
+//! The original SCube tool stores transaction-id sets ("tidsets") as
+//! compressed bitmaps using the JavaEWAH library. This crate reimplements
+//! that substrate from scratch:
+//!
+//! * [`EwahBitmap`] — a 64-bit word-aligned hybrid (EWAH) compressed bitmap:
+//!   runs of identical words are run-length encoded, other words are stored
+//!   verbatim. Fast `AND`/`OR`/`ANDNOT`/`XOR` by merging compressed streams;
+//!   this is the default tidset representation of the cube builder.
+//! * [`DenseBitmap`] — an uncompressed `Vec<u64>` bitset, better for small
+//!   dense universes (per-unit masks).
+//! * [`TidVec`] — a sorted vector of ids, the classical Eclat
+//!   representation; kept for the representation-ablation benchmarks.
+//!
+//! All three implement the [`Posting`] trait so the mining and cube layers
+//! can be written once and benchmarked against each representation
+//! (experiment E11 of `DESIGN.md`).
+
+pub mod dense;
+pub mod ewah;
+pub mod tidvec;
+
+pub use dense::DenseBitmap;
+pub use ewah::EwahBitmap;
+pub use tidvec::TidVec;
+
+/// A set of `u32` ids (transaction ids / node ids) supporting the boolean
+/// algebra the SCube pipeline needs.
+///
+/// Implementations must behave like an *infinite, zero-extended* bit vector:
+/// ids absent from the set read as 0 regardless of representation length.
+pub trait Posting: Sized + Clone {
+    /// Build from strictly increasing ids.
+    ///
+    /// # Panics
+    /// Implementations may panic if `ids` is not strictly increasing.
+    fn from_sorted(ids: &[u32]) -> Self;
+
+    /// Set intersection.
+    #[must_use]
+    fn and(&self, other: &Self) -> Self;
+
+    /// Set union.
+    #[must_use]
+    fn or(&self, other: &Self) -> Self;
+
+    /// Set difference (`self \ other`).
+    #[must_use]
+    fn andnot(&self, other: &Self) -> Self;
+
+    /// Number of ids in the set.
+    fn cardinality(&self) -> u64;
+
+    /// Visit every id in increasing order.
+    fn for_each(&self, f: impl FnMut(u32));
+
+    /// Cardinality of the intersection, without materializing it.
+    ///
+    /// The default materializes; representations override with streaming
+    /// counting where profitable (this is the hot operation of support
+    /// counting in Eclat and of per-unit histograms in the cube builder).
+    fn and_cardinality(&self, other: &Self) -> u64 {
+        self.and(other).cardinality()
+    }
+
+    /// Collect the ids into a vector (ascending).
+    fn to_vec(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.cardinality() as usize);
+        self.for_each(|id| v.push(id));
+        v
+    }
+
+    /// True when the set is empty.
+    fn is_empty(&self) -> bool {
+        self.cardinality() == 0
+    }
+
+    /// Membership test. Default is O(n); representations override.
+    fn contains(&self, id: u32) -> bool {
+        let mut found = false;
+        self.for_each(|x| {
+            if x == id {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// Intersect many postings, smallest-cardinality first (standard Eclat
+/// optimization: the running intersection can only shrink).
+pub fn intersect_all<P: Posting>(postings: &[&P]) -> Option<P> {
+    if postings.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..postings.len()).collect();
+    order.sort_by_key(|&i| postings[i].cardinality());
+    let mut acc = postings[order[0]].clone();
+    for &i in &order[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc = acc.and(postings[i]);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_all_empty_input() {
+        assert!(intersect_all::<EwahBitmap>(&[]).is_none());
+    }
+
+    #[test]
+    fn intersect_all_three_ways() {
+        let a = EwahBitmap::from_sorted(&[1, 2, 3, 4, 5]);
+        let b = EwahBitmap::from_sorted(&[2, 4, 6]);
+        let c = EwahBitmap::from_sorted(&[4, 5, 6]);
+        let r = intersect_all(&[&a, &b, &c]).unwrap();
+        assert_eq!(r.to_vec(), vec![4]);
+    }
+
+    #[test]
+    fn intersect_all_single() {
+        let a = TidVec::from_sorted(&[7, 9]);
+        let r = intersect_all(&[&a]).unwrap();
+        assert_eq!(r.to_vec(), vec![7, 9]);
+    }
+}

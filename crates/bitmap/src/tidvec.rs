@@ -1,0 +1,169 @@
+//! Sorted-vector posting list (classical Eclat tidset).
+//!
+//! The simplest representation: a strictly increasing `Vec<u32>`. Operations
+//! are linear merges. Kept as the baseline in the tidset-representation
+//! ablation (experiment E11): EWAH wins on dense/clustered data, `TidVec`
+//! on very sparse data, and the benchmarks show the crossover.
+
+use crate::Posting;
+
+/// Sorted vector of ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TidVec {
+    ids: Vec<u32>,
+}
+
+impl TidVec {
+    /// Empty posting list.
+    pub fn new() -> Self {
+        TidVec::default()
+    }
+
+    /// Borrow the underlying sorted ids.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Heap bytes used.
+    pub fn heap_bytes(&self) -> usize {
+        self.ids.capacity() * 4
+    }
+}
+
+impl Posting for TidVec {
+    fn from_sorted(ids: &[u32]) -> Self {
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1], "ids must be strictly increasing");
+        }
+        TidVec { ids: ids.to_vec() }
+    }
+
+    fn and(&self, other: &Self) -> Self {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::with_capacity(self.ids.len().min(other.ids.len()));
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        TidVec { ids: out }
+    }
+
+    fn or(&self, other: &Self) -> Self {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        TidVec { ids: out }
+    }
+
+    fn andnot(&self, other: &Self) -> Self {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::with_capacity(self.ids.len());
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        TidVec { ids: out }
+    }
+
+    fn cardinality(&self) -> u64 {
+        self.ids.len() as u64
+    }
+
+    fn for_each(&self, mut f: impl FnMut(u32)) {
+        for &id in &self.ids {
+            f(id);
+        }
+    }
+
+    fn and_cardinality(&self, other: &Self) -> u64 {
+        let (mut i, mut j) = (0, 0);
+        let mut n = 0u64;
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    fn to_vec(&self) -> Vec<u32> {
+        self.ids.clone()
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = TidVec::from_sorted(&[1, 3, 5, 7]);
+        let b = TidVec::from_sorted(&[3, 4, 5]);
+        assert_eq!(a.and(&b).to_vec(), vec![3, 5]);
+        assert_eq!(a.or(&b).to_vec(), vec![1, 3, 4, 5, 7]);
+        assert_eq!(a.andnot(&b).to_vec(), vec![1, 7]);
+        assert_eq!(a.and_cardinality(&b), 2);
+        assert!(a.contains(7));
+        assert!(!a.contains(4));
+    }
+
+    #[test]
+    fn empty_interactions() {
+        let a = TidVec::from_sorted(&[1, 2]);
+        let e = TidVec::new();
+        assert_eq!(a.and(&e).cardinality(), 0);
+        assert_eq!(a.or(&e).to_vec(), vec![1, 2]);
+        assert_eq!(e.andnot(&a).cardinality(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_duplicates() {
+        TidVec::from_sorted(&[1, 1]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Model-based property tests: every `Posting` implementation must agree
+//! with `BTreeSet<u32>` on all operations, and the three implementations
+//! must agree with each other.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use scube_bitmap::{DenseBitmap, EwahBitmap, Posting, TidVec};
+
+fn sorted_ids(max: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0..max, 0..max_len)
+        .prop_map(|s| s.into_iter().collect::<Vec<u32>>())
+}
+
+/// Mixed-density strategy: some dense clusters, some sparse outliers —
+/// exercises both run-length and literal EWAH paths.
+fn clustered_ids() -> impl Strategy<Value = Vec<u32>> {
+    (
+        proptest::collection::btree_set(0..500u32, 0..200),
+        proptest::collection::btree_set(10_000..11_000u32, 0..50),
+        proptest::collection::btree_set(0..2_000_000u32, 0..20),
+    )
+        .prop_map(|(a, b, c)| {
+            let mut s: BTreeSet<u32> = a;
+            s.extend(b);
+            s.extend(c);
+            s.into_iter().collect()
+        })
+}
+
+fn check_all_ops<P: Posting>(xs: &[u32], ys: &[u32]) {
+    let sx: BTreeSet<u32> = xs.iter().copied().collect();
+    let sy: BTreeSet<u32> = ys.iter().copied().collect();
+    let px = P::from_sorted(xs);
+    let py = P::from_sorted(ys);
+
+    assert_eq!(px.cardinality(), sx.len() as u64, "cardinality");
+    assert_eq!(px.to_vec(), xs, "roundtrip");
+
+    let and: Vec<u32> = sx.intersection(&sy).copied().collect();
+    let or: Vec<u32> = sx.union(&sy).copied().collect();
+    let diff: Vec<u32> = sx.difference(&sy).copied().collect();
+
+    assert_eq!(px.and(&py).to_vec(), and, "and");
+    assert_eq!(px.or(&py).to_vec(), or, "or");
+    assert_eq!(px.andnot(&py).to_vec(), diff, "andnot");
+    assert_eq!(px.and_cardinality(&py), and.len() as u64, "and_cardinality");
+
+    // Algebraic laws.
+    assert_eq!(px.and(&py).to_vec(), py.and(&px).to_vec(), "and commutes");
+    assert_eq!(px.or(&py).to_vec(), py.or(&px).to_vec(), "or commutes");
+    assert_eq!(
+        px.andnot(&py).or(&px.and(&py)).to_vec(),
+        xs,
+        "partition law: (x\\y) ∪ (x∩y) = x"
+    );
+
+    // Membership.
+    for &id in xs.iter().take(20) {
+        assert!(px.contains(id), "contains({id})");
+    }
+    for probe in [0u32, 1, 63, 64, 65, 1_000_003] {
+        assert_eq!(px.contains(probe), sx.contains(&probe), "contains probe {probe}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ewah_matches_model(xs in sorted_ids(5_000, 400), ys in sorted_ids(5_000, 400)) {
+        check_all_ops::<EwahBitmap>(&xs, &ys);
+    }
+
+    #[test]
+    fn ewah_matches_model_clustered(xs in clustered_ids(), ys in clustered_ids()) {
+        check_all_ops::<EwahBitmap>(&xs, &ys);
+    }
+
+    #[test]
+    fn dense_matches_model(xs in sorted_ids(5_000, 400), ys in sorted_ids(5_000, 400)) {
+        check_all_ops::<DenseBitmap>(&xs, &ys);
+    }
+
+    #[test]
+    fn tidvec_matches_model(xs in sorted_ids(5_000, 400), ys in sorted_ids(5_000, 400)) {
+        check_all_ops::<TidVec>(&xs, &ys);
+    }
+
+    #[test]
+    fn representations_agree(xs in clustered_ids(), ys in clustered_ids()) {
+        let e = EwahBitmap::from_sorted(&xs).and(&EwahBitmap::from_sorted(&ys));
+        let d = DenseBitmap::from_sorted(&xs).and(&DenseBitmap::from_sorted(&ys));
+        let t = TidVec::from_sorted(&xs).and(&TidVec::from_sorted(&ys));
+        prop_assert_eq!(e.to_vec(), d.to_vec());
+        prop_assert_eq!(d.to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn ewah_not_upto_model(xs in sorted_ids(2_000, 300), n in 0u64..2_500) {
+        let s: BTreeSet<u32> = xs.iter().copied().collect();
+        let expected: Vec<u32> = (0..n as u32).filter(|i| !s.contains(i)).collect();
+        let got = EwahBitmap::from_sorted(&xs).not_upto(n);
+        prop_assert_eq!(got.to_vec(), expected);
+    }
+
+    #[test]
+    fn ewah_semantic_eq_reflexive(xs in clustered_ids(), ys in clustered_ids()) {
+        let a = EwahBitmap::from_sorted(&xs);
+        let b = EwahBitmap::from_sorted(&ys);
+        prop_assert_eq!(xs == ys, a == b);
+        // Bitmaps built through different op paths still compare equal.
+        let via_ops = a.andnot(&b).or(&a.and(&b));
+        prop_assert_eq!(via_ops, a.clone());
+    }
+
+    #[test]
+    fn ewah_associativity(
+        xs in sorted_ids(3_000, 200),
+        ys in sorted_ids(3_000, 200),
+        zs in sorted_ids(3_000, 200),
+    ) {
+        let (a, b, c) = (
+            EwahBitmap::from_sorted(&xs),
+            EwahBitmap::from_sorted(&ys),
+            EwahBitmap::from_sorted(&zs),
+        );
+        prop_assert_eq!(a.and(&b).and(&c), a.and(&b.and(&c)));
+        prop_assert_eq!(a.or(&b).or(&c), a.or(&b.or(&c)));
+        // Distributivity: a ∩ (b ∪ c) = (a∩b) ∪ (a∩c)
+        prop_assert_eq!(a.and(&b.or(&c)), a.and(&b).or(&a.and(&c)));
+    }
+
+    #[test]
+    fn ewah_xor_model(xs in sorted_ids(3_000, 200), ys in sorted_ids(3_000, 200)) {
+        let sx: BTreeSet<u32> = xs.iter().copied().collect();
+        let sy: BTreeSet<u32> = ys.iter().copied().collect();
+        let expected: Vec<u32> = sx.symmetric_difference(&sy).copied().collect();
+        let got = EwahBitmap::from_sorted(&xs).xor(&EwahBitmap::from_sorted(&ys));
+        prop_assert_eq!(got.to_vec(), expected);
+    }
+}

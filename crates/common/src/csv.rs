@@ -1,0 +1,391 @@
+//! Minimal, dependency-free CSV reading and writing.
+//!
+//! SCube's four inputs (`individuals`, `groups`, `membership`, `dates`) and
+//! its report outputs are CSV files. The offline crate set has no `csv`
+//! crate, so this module implements the subset of RFC 4180 the tool needs:
+//!
+//! * configurable single-byte delimiter (default `,`);
+//! * double-quoted fields containing delimiters, quotes (`""`), and newlines;
+//! * LF and CRLF record terminators;
+//! * streaming record iteration from any [`BufRead`].
+//!
+//! Fields are returned as owned `String`s; dictionary encoding downstream
+//! interns them immediately, so per-record allocations are reused via
+//! [`Reader::read_record`]'s workhorse-buffer API (perf-book "reusing
+//! collections" pattern).
+
+use std::io::{BufRead, Write};
+
+use crate::error::{Result, ScubeError};
+
+/// Streaming CSV reader over any [`BufRead`].
+#[derive(Debug)]
+pub struct Reader<R> {
+    input: R,
+    delimiter: u8,
+    line: u64,
+    buf: String,
+}
+
+impl<R: BufRead> Reader<R> {
+    /// Create a reader with the default `,` delimiter.
+    pub fn new(input: R) -> Self {
+        Self::with_delimiter(input, b',')
+    }
+
+    /// Create a reader with a custom single-byte delimiter.
+    pub fn with_delimiter(input: R, delimiter: u8) -> Self {
+        Reader { input, delimiter, line: 0, buf: String::new() }
+    }
+
+    /// 1-based line number of the most recently read record.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// Read the next record into `fields` (cleared first).
+    ///
+    /// Returns `Ok(false)` at end of input. Blank lines are skipped.
+    pub fn read_record(&mut self, fields: &mut Vec<String>) -> Result<bool> {
+        fields.clear();
+        loop {
+            self.buf.clear();
+            let n = self
+                .input
+                .read_line(&mut self.buf)
+                .map_err(|e| ScubeError::Io { path: None, source: e })?;
+            if n == 0 {
+                return Ok(false);
+            }
+            self.line += 1;
+            // Keep reading physical lines while inside an open quote.
+            while field_quote_open(&self.buf, self.delimiter) {
+                let n2 = self
+                    .input
+                    .read_line(&mut self.buf)
+                    .map_err(|e| ScubeError::Io { path: None, source: e })?;
+                if n2 == 0 {
+                    return Err(ScubeError::Csv {
+                        line: self.line,
+                        msg: "unterminated quoted field".into(),
+                    });
+                }
+                self.line += 1;
+            }
+            let trimmed = trim_terminator(&self.buf);
+            if trimmed.is_empty() {
+                continue; // skip blank lines
+            }
+            parse_record(trimmed, self.delimiter, self.line, fields)?;
+            return Ok(true);
+        }
+    }
+
+    /// Collect every remaining record.
+    pub fn read_all(&mut self) -> Result<Vec<Vec<String>>> {
+        let mut out = Vec::new();
+        let mut rec = Vec::new();
+        while self.read_record(&mut rec)? {
+            out.push(rec.clone());
+        }
+        Ok(out)
+    }
+}
+
+/// Does this (partial) physical line end inside an open quoted field?
+fn field_quote_open(s: &str, delimiter: u8) -> bool {
+    let mut in_quotes = false;
+    let mut at_field_start = true;
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_quotes {
+            if b == b'"' {
+                if bytes.get(i + 1) == Some(&b'"') {
+                    i += 1; // escaped quote
+                } else {
+                    in_quotes = false;
+                }
+            }
+        } else if b == b'"' && at_field_start {
+            in_quotes = true;
+        } else if b == delimiter {
+            at_field_start = true;
+            i += 1;
+            continue;
+        }
+        at_field_start = false;
+        i += 1;
+    }
+    in_quotes
+}
+
+fn trim_terminator(s: &str) -> &str {
+    let s = s.strip_suffix('\n').unwrap_or(s);
+    s.strip_suffix('\r').unwrap_or(s)
+}
+
+fn parse_record(s: &str, delimiter: u8, line: u64, fields: &mut Vec<String>) -> Result<()> {
+    let bytes = s.as_bytes();
+    let mut field = String::new();
+    let mut i = 0;
+    loop {
+        // Parse one field starting at i.
+        field.clear();
+        if bytes.get(i) == Some(&b'"') {
+            // Quoted field.
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(ScubeError::Csv {
+                            line,
+                            msg: "unterminated quoted field".into(),
+                        })
+                    }
+                    Some(b'"') => {
+                        if bytes.get(i + 1) == Some(&b'"') {
+                            field.push('"');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    Some(_) => {
+                        let start = i;
+                        while i < bytes.len() && bytes[i] != b'"' {
+                            i += 1;
+                        }
+                        field.push_str(&s[start..i]);
+                    }
+                }
+            }
+            match bytes.get(i) {
+                None => {
+                    fields.push(std::mem::take(&mut field));
+                    return Ok(());
+                }
+                Some(&d) if d == delimiter => {
+                    fields.push(std::mem::take(&mut field));
+                    i += 1;
+                }
+                Some(_) => {
+                    return Err(ScubeError::Csv {
+                        line,
+                        msg: "unexpected character after closing quote".into(),
+                    })
+                }
+            }
+        } else {
+            // Unquoted field: read until delimiter or end.
+            let start = i;
+            while i < bytes.len() && bytes[i] != delimiter {
+                i += 1;
+            }
+            field.push_str(&s[start..i]);
+            fields.push(std::mem::take(&mut field));
+            if i == bytes.len() {
+                return Ok(());
+            }
+            i += 1; // skip delimiter
+        }
+        // A trailing delimiter means one more (empty) field.
+        if i == bytes.len() {
+            fields.push(String::new());
+            return Ok(());
+        }
+    }
+}
+
+/// CSV writer with minimal quoting (only when needed).
+#[derive(Debug)]
+pub struct Writer<W> {
+    output: W,
+    delimiter: u8,
+}
+
+impl<W: Write> Writer<W> {
+    /// Create a writer with the default `,` delimiter.
+    pub fn new(output: W) -> Self {
+        Self::with_delimiter(output, b',')
+    }
+
+    /// Create a writer with a custom single-byte delimiter.
+    pub fn with_delimiter(output: W, delimiter: u8) -> Self {
+        Writer { output, delimiter }
+    }
+
+    /// Write one record, quoting fields only when required.
+    pub fn write_record<I, S>(&mut self, fields: I) -> Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for f in fields {
+            if !first {
+                self.output.write_all(&[self.delimiter])?;
+            }
+            first = false;
+            let f = f.as_ref();
+            if needs_quoting(f, self.delimiter) {
+                self.output.write_all(b"\"")?;
+                self.output.write_all(f.replace('"', "\"\"").as_bytes())?;
+                self.output.write_all(b"\"")?;
+            } else {
+                self.output.write_all(f.as_bytes())?;
+            }
+        }
+        self.output.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> Result<()> {
+        self.output.flush()?;
+        Ok(())
+    }
+
+    /// Consume the writer and return the underlying output.
+    pub fn into_inner(self) -> W {
+        self.output
+    }
+}
+
+fn needs_quoting(f: &str, delimiter: u8) -> bool {
+    f.bytes().any(|b| b == delimiter || b == b'"' || b == b'\n' || b == b'\r')
+}
+
+/// Parse a whole CSV string into records (test/report helper).
+pub fn parse_str(s: &str) -> Result<Vec<Vec<String>>> {
+    Reader::new(s.as_bytes()).read_all()
+}
+
+/// Render records to a CSV string (test/report helper).
+pub fn to_string<R, S>(records: R) -> String
+where
+    R: IntoIterator,
+    R::Item: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut w = Writer::new(Vec::new());
+    for rec in records {
+        w.write_record(rec).expect("writing to Vec cannot fail");
+    }
+    String::from_utf8(w.into_inner()).expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(fields: &[&str]) -> Vec<String> {
+        fields.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simple_records() {
+        let got = parse_str("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(got, vec![rec(&["a", "b", "c"]), rec(&["1", "2", "3"])]);
+    }
+
+    #[test]
+    fn crlf_terminators() {
+        let got = parse_str("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(got, vec![rec(&["a", "b"]), rec(&["c", "d"])]);
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters() {
+        let got = parse_str("\"a,b\",c\n").unwrap();
+        assert_eq!(got, vec![rec(&["a,b", "c"])]);
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let got = parse_str("\"he said \"\"hi\"\"\",x\n").unwrap();
+        assert_eq!(got, vec![rec(&["he said \"hi\"", "x"])]);
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let got = parse_str("\"line1\nline2\",y\n").unwrap();
+        assert_eq!(got, vec![rec(&["line1\nline2", "y"])]);
+    }
+
+    #[test]
+    fn empty_fields_and_trailing_delimiter() {
+        let got = parse_str(",a,\n").unwrap();
+        assert_eq!(got, vec![rec(&["", "a", ""])]);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let got = parse_str("a\n\n\nb\n").unwrap();
+        assert_eq!(got, vec![rec(&["a"]), rec(&["b"])]);
+    }
+
+    #[test]
+    fn missing_final_newline() {
+        let got = parse_str("a,b").unwrap();
+        assert_eq!(got, vec![rec(&["a", "b"])]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = parse_str("\"abc\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn garbage_after_quote_is_error() {
+        let err = parse_str("\"abc\"x,y\n").unwrap_err();
+        assert!(err.to_string().contains("after closing quote"));
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let mut r = Reader::with_delimiter("a;b;c\n".as_bytes(), b';');
+        let mut f = Vec::new();
+        assert!(r.read_record(&mut f).unwrap());
+        assert_eq!(f, rec(&["a", "b", "c"]));
+    }
+
+    #[test]
+    fn writer_quotes_when_needed() {
+        let s = to_string(vec![vec!["plain", "with,comma", "with\"quote", "with\nnewline"]]);
+        assert_eq!(s, "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = vec![
+            rec(&["id", "name", "notes"]),
+            rec(&["1", "a,b", "say \"hi\""]),
+            rec(&["2", "", "multi\nline"]),
+        ];
+        let encoded = to_string(original.iter().map(|r| r.iter().map(|s| s.as_str())));
+        let decoded = parse_str(&encoded).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let mut r = Reader::new("a\nb\nc\n".as_bytes());
+        let mut f = Vec::new();
+        r.read_record(&mut f).unwrap();
+        assert_eq!(r.line(), 1);
+        r.read_record(&mut f).unwrap();
+        assert_eq!(r.line(), 2);
+    }
+
+    #[test]
+    fn multivalued_cell_passthrough() {
+        // SCube encodes multi-valued attributes as ';'-separated values
+        // inside one field; the CSV layer must not interfere.
+        let got = parse_str("M,north,\"electricity;transports\"\n").unwrap();
+        assert_eq!(got, vec![rec(&["M", "north", "electricity;transports"])]);
+    }
+}

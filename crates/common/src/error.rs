@@ -1,0 +1,105 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, ScubeError>;
+
+/// Errors produced anywhere in the SCube pipeline.
+///
+/// The pipeline is file-oriented (CSV in, CSV out), so I/O and parse errors
+/// dominate; the remaining variants signal misuse of the analytical API
+/// (unknown attributes, inconsistent histograms, …).
+#[derive(Debug)]
+pub enum ScubeError {
+    /// Underlying I/O failure, with the path (if known) for context.
+    Io {
+        /// Path involved in the failing operation, when known.
+        path: Option<String>,
+        /// The operating-system error.
+        source: std::io::Error,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number where the problem was detected.
+        line: u64,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// Schema-level problem: unknown attribute, duplicate name, role misuse.
+    Schema(String),
+    /// Invalid parameter passed to an algorithm (e.g. `min_support = 0`).
+    InvalidParameter(String),
+    /// Inconsistent data detected at runtime (e.g. minority > total in a unit).
+    Inconsistent(String),
+}
+
+impl fmt::Display for ScubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScubeError::Io { path: Some(p), source } => write!(f, "I/O error on {p}: {source}"),
+            ScubeError::Io { path: None, source } => write!(f, "I/O error: {source}"),
+            ScubeError::Csv { line, msg } => write!(f, "CSV error at line {line}: {msg}"),
+            ScubeError::Schema(msg) => write!(f, "schema error: {msg}"),
+            ScubeError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ScubeError::Inconsistent(msg) => write!(f, "inconsistent data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScubeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScubeError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ScubeError {
+    fn from(source: std::io::Error) -> Self {
+        ScubeError::Io { path: None, source }
+    }
+}
+
+impl ScubeError {
+    /// Attach a path to an I/O error for better messages.
+    pub fn io_at(path: impl Into<String>, source: std::io::Error) -> Self {
+        ScubeError::Io { path: Some(path.into()), source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path() {
+        let e = ScubeError::io_at("foo.csv", std::io::Error::other("boom"));
+        assert!(e.to_string().contains("foo.csv"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn display_csv_line() {
+        let e = ScubeError::Csv { line: 7, msg: "unterminated quote".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("unterminated quote"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let e: ScubeError = std::io::Error::other("x").into();
+        assert!(matches!(e, ScubeError::Io { path: None, .. }));
+    }
+
+    #[test]
+    fn source_chains_to_io() {
+        use std::error::Error;
+        let e = ScubeError::io_at("p", std::io::Error::other("y"));
+        assert!(e.source().is_some());
+        let e2 = ScubeError::Schema("s".into());
+        assert!(e2.source().is_none());
+    }
+}

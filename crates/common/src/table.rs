@@ -1,0 +1,202 @@
+//! Aligned plain-text tables.
+//!
+//! The SCube demo communicates through pivot tables and grids (Fig. 1,
+//! Fig. 5); our Visualizer and the experiment binaries print equivalent
+//! reports to the terminal. This module renders rows of strings as an
+//! aligned monospace table, with numeric columns right-aligned.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table builder.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl TextTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the header row.
+    pub fn header<I, S>(mut self, cells: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cells.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Set per-column alignment (defaults to left for missing columns).
+    pub fn aligns(mut self, aligns: Vec<Align>) -> Self {
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a data row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with two-space column separators and a rule under the header.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.header.is_empty() {
+            self.render_row(&mut out, &self.header, &widths);
+            let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            self.render_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    fn render_row(&self, out: &mut String, row: &[String], widths: &[usize]) {
+        for (i, width) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            let pad = width.saturating_sub(cell.chars().count());
+            let align = self.aligns.get(i).copied().unwrap_or(Align::Left);
+            match align {
+                Align::Left => {
+                    out.push_str(cell);
+                    if i + 1 < widths.len() {
+                        let _ = write!(out, "{:pad$}", "", pad = pad);
+                    }
+                }
+                Align::Right => {
+                    let _ = write!(out, "{:pad$}", "", pad = pad);
+                    out.push_str(cell);
+                }
+            }
+        }
+        // Trim trailing spaces from left-aligned last columns.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+}
+
+/// Format an optional index value the way the paper's Fig. 1 does:
+/// two decimals, or `-` for undefined/empty cells.
+pub fn fmt_index(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.2}"),
+        _ => "-".to_string(),
+    }
+}
+
+/// Format a float with `prec` decimals, or `-` when not finite.
+pub fn fmt_f64(v: f64, prec: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.prec$}")
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new()
+            .header(["name", "value"])
+            .aligns(vec![Align::Left, Align::Right]);
+        t.row(["alpha", "1.00"]);
+        t.row(["b", "10.50"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with("1.00"));
+        assert!(lines[3].ends_with("10.50"));
+        // Right-aligned column: values end at the same character position.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn ragged_rows_tolerated() {
+        let mut t = TextTable::new().header(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn fmt_index_matches_fig1_conventions() {
+        assert_eq!(fmt_index(Some(0.78)), "0.78");
+        assert_eq!(fmt_index(Some(0.5)), "0.50");
+        assert_eq!(fmt_index(None), "-");
+        assert_eq!(fmt_index(Some(f64::NAN)), "-");
+    }
+
+    #[test]
+    fn fmt_f64_precision() {
+        assert_eq!(fmt_f64(1.23456, 3), "1.235");
+        assert_eq!(fmt_f64(f64::INFINITY, 2), "-");
+    }
+
+    #[test]
+    fn row_count() {
+        let mut t = TextTable::new();
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Fuzz-style property tests for the CSV layer: arbitrary field content —
+//! including quotes, delimiters, and newlines — must round-trip exactly.
+
+use proptest::prelude::*;
+use scube_common::csv;
+
+fn field() -> impl Strategy<Value = String> {
+    // Mix of benign text and CSV-hostile characters.
+    proptest::string::string_regex("[a-zA-Z0-9 ,;\"'\n\r|=*&-]{0,20}")
+        .expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_arbitrary_records(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(field(), 1..6),
+            0..10,
+        ),
+    ) {
+        // CR-only line endings inside fields are the one thing the format
+        // cannot represent unambiguously when unquoted; the writer quotes
+        // them, so the roundtrip must hold regardless.
+        let encoded = csv::to_string(rows.iter().map(|r| r.iter().map(|s| s.as_str())));
+        let decoded = csv::parse_str(&encoded).unwrap();
+        // Records that are entirely empty strings collapse to blank lines
+        // (skipped by the reader); filter them from the expectation.
+        let expected: Vec<Vec<String>> = rows
+            .into_iter()
+            .filter(|r| !(r.len() == 1 && r[0].is_empty()))
+            .collect();
+        prop_assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[ -~\n\r\"]{0,200}") {
+        // Any input either parses or errors; it must not panic.
+        let _ = csv::parse_str(&input);
+    }
+
+    #[test]
+    fn quoted_everything_roundtrips(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(".*{0,15}", 2..5),
+            1..6,
+        ),
+    ) {
+        let encoded = csv::to_string(rows.iter().map(|r| r.iter().map(|s| s.as_str())));
+        let decoded = csv::parse_str(&encoded).unwrap();
+        prop_assert_eq!(decoded, rows);
+    }
+}

@@ -1,0 +1,308 @@
+//! The `scube` command-line tool — the standalone wizard (paper Fig. 4)
+//! as a CLI.
+//!
+//! ```text
+//! scube --individuals directors.csv --id id --sa gender,age --ca residence \
+//!       --groups companies.csv --group-id id --group-ca sector,region \
+//!       --membership boards.csv --ind-col director --grp-col company \
+//!       [--interval from,to] [--dates 1995,2000,2005] \
+//!       --units sector | cc | threshold:2 | stoc:0.5,0.5,2 \
+//!       [--side groups|individuals] [--min-shared 1] [--min-support 50] \
+//!       [--closed] [--parallel] --out reports/
+//! ```
+//!
+//! `--units` selects the scenario: a group attribute name (tabular units),
+//! `cc` / `threshold:<w>` / `stoc:<tau>,<alpha>,<horizon>` (graph
+//! clustering; `--side` picks which projection). Reports are written by the
+//! Visualizer into `--out`. Multi-valued CSV columns are declared with a
+//! `*` suffix, e.g. `--ca sectors*`.
+
+use std::process::ExitCode;
+
+use scube::prelude::*;
+use scube_common::ScubeError;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print!("{}", USAGE);
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("scube: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "\
+scube — segregation discovery from relational and graph data
+
+required:
+  --individuals <csv>    individuals input (one row per person)
+  --id <col>             individuals id column
+  --sa <c1,c2*,...>      segregation-attribute columns ('*' = multi-valued)
+  --groups <csv>         groups input (companies, schools, ...)
+  --group-id <col>       groups id column
+  --membership <csv>     membership edges input
+  --ind-col <col>        membership column naming the individual
+  --grp-col <col>        membership column naming the group
+  --units <spec>         <group-attr> | cc | threshold:<w> | stoc:<tau>,<alpha>,<h> | labelprop
+  --out <dir>            report output directory
+
+optional:
+  --ca <c1,...>          individual context-attribute columns
+  --group-ca <c1,...>    group context-attribute columns
+  --interval <from,to>   membership validity-interval columns
+  --dates <y1,y2,...>    snapshot dates (temporal analysis)
+  --side <groups|individuals>  projection side for graph units [groups]
+  --min-shared <n>       projection weight threshold [1]
+  --min-support <n>      minimum cube-cell population [1]
+  --closed               materialize closed cells only
+  --parallel             parallel cube construction
+  --rank <index>         ranking index for top_contexts [dissimilarity]
+";
+
+struct Flags {
+    args: Vec<String>,
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str> {
+        self.get(name)
+            .ok_or_else(|| ScubeError::InvalidParameter(format!("missing required flag {name}")))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+}
+
+/// Split a `c1,c2*,c3` column list into `(name, multi_valued)` pairs.
+fn columns(list: &str) -> Vec<(String, bool)> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.strip_suffix('*') {
+            Some(name) => (name.to_string(), true),
+            None => (s.to_string(), false),
+        })
+        .collect()
+}
+
+fn parse_units(spec: &str, side: &str) -> Result<UnitStrategy> {
+    let method = if spec == "cc" {
+        Some(ClusteringMethod::ConnectedComponents)
+    } else if let Some(w) = spec.strip_prefix("threshold:") {
+        let w: u32 = w.parse().map_err(|_| {
+            ScubeError::InvalidParameter(format!("bad threshold weight '{w}'"))
+        })?;
+        Some(ClusteringMethod::WeightThreshold { min_weight: w })
+    } else if spec == "labelprop" {
+        Some(ClusteringMethod::LabelPropagation(Default::default()))
+    } else if let Some(params) = spec.strip_prefix("stoc:") {
+        let parts: Vec<&str> = params.split(',').collect();
+        if parts.len() != 3 {
+            return Err(ScubeError::InvalidParameter(
+                "stoc spec must be stoc:<tau>,<alpha>,<horizon>".into(),
+            ));
+        }
+        let parse_f = |s: &str| {
+            s.parse::<f64>()
+                .map_err(|_| ScubeError::InvalidParameter(format!("bad stoc number '{s}'")))
+        };
+        Some(ClusteringMethod::Stoc(StocParams {
+            tau: parse_f(parts[0])?,
+            alpha: parse_f(parts[1])?,
+            horizon: parts[2].parse().map_err(|_| {
+                ScubeError::InvalidParameter(format!("bad stoc horizon '{}'", parts[2]))
+            })?,
+            seed: 0xC1B7,
+        }))
+    } else {
+        None
+    };
+    Ok(match method {
+        Some(m) if side == "individuals" => UnitStrategy::ClusterIndividuals(m),
+        Some(m) => UnitStrategy::ClusterGroups(m),
+        None => UnitStrategy::GroupAttribute(spec.to_string()),
+    })
+}
+
+fn run(args: &[String]) -> Result<String> {
+    let flags = Flags { args: args.to_vec() };
+
+    let mut ind_spec = IndividualsSpec::new(flags.require("--id")?);
+    for (name, multi) in columns(flags.require("--sa")?) {
+        ind_spec.sa_columns.push((name, multi));
+    }
+    for (name, multi) in columns(flags.get("--ca").unwrap_or("")) {
+        ind_spec.ca_columns.push((name, multi));
+    }
+
+    let mut grp_spec = GroupsSpec::new(flags.require("--group-id")?);
+    for (name, multi) in columns(flags.get("--group-ca").unwrap_or("")) {
+        grp_spec.ca_columns.push((name, multi));
+    }
+
+    let mut mem_spec =
+        MembershipSpec::new(flags.require("--ind-col")?, flags.require("--grp-col")?);
+    if let Some(interval) = flags.get("--interval") {
+        let cols = columns(interval);
+        if cols.len() != 2 {
+            return Err(ScubeError::InvalidParameter(
+                "--interval needs exactly two columns: from,to".into(),
+            ));
+        }
+        mem_spec = mem_spec.with_interval(cols[0].0.clone(), cols[1].0.clone());
+    }
+
+    let dates: Vec<i64> = match flags.get("--dates") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim().parse().map_err(|_| {
+                    ScubeError::InvalidParameter(format!("bad date '{}'", s.trim()))
+                })
+            })
+            .collect::<Result<_>>()?,
+        None => Vec::new(),
+    };
+
+    let side = flags.get("--side").unwrap_or("groups");
+    if !["groups", "individuals"].contains(&side) {
+        return Err(ScubeError::InvalidParameter(format!("bad --side '{side}'")));
+    }
+    let units = parse_units(flags.require("--units")?, side)?;
+
+    let min_support: u64 = flags
+        .get("--min-support")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| ScubeError::InvalidParameter("bad --min-support".into()))?;
+    let min_shared: u32 = flags
+        .get("--min-shared")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| ScubeError::InvalidParameter("bad --min-shared".into()))?;
+    let rank = flags
+        .get("--rank")
+        .map(|s| {
+            SegIndex::parse(s)
+                .ok_or_else(|| ScubeError::InvalidParameter(format!("unknown index '{s}'")))
+        })
+        .transpose()?
+        .unwrap_or(SegIndex::Dissimilarity);
+
+    let out_dir = flags.require("--out")?.to_string();
+
+    let mut wizard = Wizard::new()
+        .individuals_csv(flags.require("--individuals")?, ind_spec)
+        .groups_csv(flags.require("--groups")?, grp_spec)
+        .membership_csv(flags.require("--membership")?, mem_spec)
+        .units(units)
+        .min_shared(min_shared)
+        .min_support(min_support)
+        .parallel(flags.has("--parallel"));
+    if flags.has("--closed") {
+        wizard = wizard.materialize(Materialize::ClosedOnly);
+    }
+
+    if dates.is_empty() {
+        let result = wizard.run()?;
+        Visualizer::new(&out_dir).rank_by(rank).write_all(&result)?;
+        Ok(format!(
+            "wrote {out_dir}: {} rows, {} units, {} cells ({:?})",
+            result.stats.n_rows,
+            result.stats.n_units,
+            result.stats.n_cells,
+            result.timings.total()
+        ))
+    } else {
+        let snapshots = wizard.dates(dates).run_snapshots()?;
+        let mut lines = Vec::new();
+        for (date, result) in &snapshots {
+            let dir = format!("{out_dir}/{date}");
+            Visualizer::new(&dir).rank_by(rank).write_all(result)?;
+            lines.push(format!(
+                "wrote {dir}: {} rows, {} units, {} cells",
+                result.stats.n_rows, result.stats.n_units, result.stats.n_cells
+            ));
+        }
+        Ok(lines.join("\n"))
+    }
+}
+
+// Keep the argument helpers honest.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_parse_multi_flags() {
+        assert_eq!(
+            columns("gender,sectors*,age"),
+            vec![
+                ("gender".to_string(), false),
+                ("sectors".to_string(), true),
+                ("age".to_string(), false),
+            ]
+        );
+        assert!(columns("").is_empty());
+    }
+
+    #[test]
+    fn unit_specs_parse() {
+        assert_eq!(
+            parse_units("sector", "groups").unwrap(),
+            UnitStrategy::GroupAttribute("sector".into())
+        );
+        assert!(matches!(
+            parse_units("cc", "groups").unwrap(),
+            UnitStrategy::ClusterGroups(ClusteringMethod::ConnectedComponents)
+        ));
+        assert!(matches!(
+            parse_units("cc", "individuals").unwrap(),
+            UnitStrategy::ClusterIndividuals(ClusteringMethod::ConnectedComponents)
+        ));
+        assert!(matches!(
+            parse_units("threshold:3", "groups").unwrap(),
+            UnitStrategy::ClusterGroups(ClusteringMethod::WeightThreshold { min_weight: 3 })
+        ));
+        let stoc = parse_units("stoc:0.4,0.6,3", "groups").unwrap();
+        match stoc {
+            UnitStrategy::ClusterGroups(ClusteringMethod::Stoc(p)) => {
+                assert!((p.tau - 0.4).abs() < 1e-12);
+                assert!((p.alpha - 0.6).abs() < 1e-12);
+                assert_eq!(p.horizon, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_units("stoc:1,2", "groups").is_err());
+        assert!(parse_units("threshold:x", "groups").is_err());
+    }
+
+    #[test]
+    fn flags_lookup() {
+        let flags = Flags {
+            args: vec!["--id".into(), "director".into(), "--closed".into()],
+        };
+        assert_eq!(flags.get("--id"), Some("director"));
+        assert!(flags.has("--closed"));
+        assert!(!flags.has("--parallel"));
+        assert!(flags.require("--missing").is_err());
+    }
+}

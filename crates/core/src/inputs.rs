@@ -1,0 +1,351 @@
+//! The four SCube inputs (Fig. 2): `individuals`, `groups`, `membership`,
+//! and snapshot `dates`.
+//!
+//! Inputs arrive as CSV-backed [`Relation`]s plus role specifications
+//! declaring which column is which. [`Dataset`] bundles them, validates the
+//! cross-references (memberships must point at known individuals/groups)
+//! and assigns the dense node ids the graph layer uses.
+
+use scube_common::{FxHashMap, Result, ScubeError};
+use scube_data::Relation;
+use scube_graph::{BipartiteGraph, Membership};
+
+/// Roles of the `individuals` input columns.
+///
+/// Individuals carry both segregation attributes (their personal traits)
+/// and context attributes (e.g. residence); groups carry only context
+/// attributes — "groups are not subject to segregation" (§3).
+#[derive(Debug, Clone, Default)]
+pub struct IndividualsSpec {
+    /// The id column.
+    pub id_column: String,
+    /// Segregation-attribute columns `(name, multi_valued)`.
+    pub sa_columns: Vec<(String, bool)>,
+    /// Context-attribute columns `(name, multi_valued)`.
+    pub ca_columns: Vec<(String, bool)>,
+}
+
+impl IndividualsSpec {
+    /// Spec with the given id column.
+    pub fn new(id_column: impl Into<String>) -> Self {
+        IndividualsSpec { id_column: id_column.into(), ..Default::default() }
+    }
+
+    /// Add a single-valued SA column.
+    pub fn sa(mut self, name: impl Into<String>) -> Self {
+        self.sa_columns.push((name.into(), false));
+        self
+    }
+
+    /// Add a single-valued CA column.
+    pub fn ca(mut self, name: impl Into<String>) -> Self {
+        self.ca_columns.push((name.into(), false));
+        self
+    }
+
+    /// Add a multi-valued CA column (`;`-separated cells).
+    pub fn ca_multi(mut self, name: impl Into<String>) -> Self {
+        self.ca_columns.push((name.into(), true));
+        self
+    }
+}
+
+/// Roles of the `groups` input columns (context attributes only).
+#[derive(Debug, Clone, Default)]
+pub struct GroupsSpec {
+    /// The id column.
+    pub id_column: String,
+    /// Context-attribute columns `(name, multi_valued)`.
+    pub ca_columns: Vec<(String, bool)>,
+}
+
+impl GroupsSpec {
+    /// Spec with the given id column.
+    pub fn new(id_column: impl Into<String>) -> Self {
+        GroupsSpec { id_column: id_column.into(), ..Default::default() }
+    }
+
+    /// Add a single-valued CA column.
+    pub fn ca(mut self, name: impl Into<String>) -> Self {
+        self.ca_columns.push((name.into(), false));
+        self
+    }
+
+    /// Add a multi-valued CA column.
+    pub fn ca_multi(mut self, name: impl Into<String>) -> Self {
+        self.ca_columns.push((name.into(), true));
+        self
+    }
+}
+
+/// Roles of the `membership` input columns.
+#[derive(Debug, Clone)]
+pub struct MembershipSpec {
+    /// Column holding the individual id.
+    pub individual_column: String,
+    /// Column holding the group id.
+    pub group_column: String,
+    /// Optional validity-interval columns (integer time units, e.g. years).
+    pub interval_columns: Option<(String, String)>,
+}
+
+impl MembershipSpec {
+    /// Untimed membership spec.
+    pub fn new(individual: impl Into<String>, group: impl Into<String>) -> Self {
+        MembershipSpec {
+            individual_column: individual.into(),
+            group_column: group.into(),
+            interval_columns: None,
+        }
+    }
+
+    /// Declare validity-interval columns (empty cells = unbounded side).
+    pub fn with_interval(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.interval_columns = Some((from.into(), to.into()));
+        self
+    }
+}
+
+/// The validated, id-resolved input bundle.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The `individuals` relation.
+    pub individuals: Relation,
+    /// Column roles of `individuals`.
+    pub individuals_spec: IndividualsSpec,
+    /// The `groups` relation.
+    pub groups: Relation,
+    /// Column roles of `groups`.
+    pub groups_spec: GroupsSpec,
+    /// The bipartite membership graph over dense ids (row index order of
+    /// the `individuals` / `groups` relations).
+    pub bipartite: BipartiteGraph,
+    /// Snapshot dates for temporal analysis (empty = untimed analysis).
+    pub dates: Vec<i64>,
+}
+
+impl Dataset {
+    /// Assemble and validate a dataset.
+    ///
+    /// Dense individual ids are the row indices of `individuals`, dense
+    /// group ids the row indices of `groups`; memberships referencing
+    /// unknown ids are rejected.
+    pub fn new(
+        individuals: Relation,
+        individuals_spec: IndividualsSpec,
+        groups: Relation,
+        groups_spec: GroupsSpec,
+        membership: &Relation,
+        membership_spec: &MembershipSpec,
+        dates: Vec<i64>,
+    ) -> Result<Dataset> {
+        let ind_lookup = build_lookup(&individuals, &individuals_spec.id_column, "individuals")?;
+        let grp_lookup = build_lookup(&groups, &groups_spec.id_column, "groups")?;
+
+        let ind_col = column(membership, &membership_spec.individual_column, "membership")?;
+        let grp_col = column(membership, &membership_spec.group_column, "membership")?;
+        let interval_cols = match &membership_spec.interval_columns {
+            Some((f, t)) => {
+                Some((column(membership, f, "membership")?, column(membership, t, "membership")?))
+            }
+            None => None,
+        };
+
+        let mut bipartite =
+            BipartiteGraph::new(individuals.len() as u32, groups.len() as u32);
+        for (row_idx, row) in membership.rows().iter().enumerate() {
+            let ind = *ind_lookup.get(row[ind_col].as_str()).ok_or_else(|| {
+                ScubeError::Inconsistent(format!(
+                    "membership row {}: unknown individual '{}'",
+                    row_idx + 1,
+                    row[ind_col]
+                ))
+            })?;
+            let grp = *grp_lookup.get(row[grp_col].as_str()).ok_or_else(|| {
+                ScubeError::Inconsistent(format!(
+                    "membership row {}: unknown group '{}'",
+                    row_idx + 1,
+                    row[grp_col]
+                ))
+            })?;
+            let membership_edge = match interval_cols {
+                Some((fc, tc)) => {
+                    let from = parse_time(&row[fc], i64::MIN, row_idx)?;
+                    let to = parse_time(&row[tc], i64::MAX, row_idx)?;
+                    Membership::timed(ind, grp, from, to)
+                }
+                None => Membership::untimed(ind, grp),
+            };
+            bipartite.add(membership_edge);
+        }
+        Ok(Dataset { individuals, individuals_spec, groups, groups_spec, bipartite, dates })
+    }
+
+    /// Number of individuals.
+    pub fn num_individuals(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The dataset restricted to memberships active at `date`.
+    pub fn snapshot(&self, date: i64) -> Dataset {
+        Dataset {
+            individuals: self.individuals.clone(),
+            individuals_spec: self.individuals_spec.clone(),
+            groups: self.groups.clone(),
+            groups_spec: self.groups_spec.clone(),
+            bipartite: self.bipartite.snapshot(date),
+            dates: Vec::new(),
+        }
+    }
+}
+
+fn build_lookup<'a>(
+    rel: &'a Relation,
+    id_column: &str,
+    what: &str,
+) -> Result<FxHashMap<&'a str, u32>> {
+    let col = column(rel, id_column, what)?;
+    let mut lookup: FxHashMap<&str, u32> = FxHashMap::default();
+    for (i, row) in rel.rows().iter().enumerate() {
+        if lookup.insert(row[col].as_str(), i as u32).is_some() {
+            return Err(ScubeError::Inconsistent(format!(
+                "{what}: duplicate id '{}'",
+                row[col]
+            )));
+        }
+    }
+    Ok(lookup)
+}
+
+fn column(rel: &Relation, name: &str, what: &str) -> Result<usize> {
+    rel.column_index(name)
+        .ok_or_else(|| ScubeError::Schema(format!("{what}: missing column '{name}'")))
+}
+
+fn parse_time(cell: &str, default: i64, row: usize) -> Result<i64> {
+    let cell = cell.trim();
+    if cell.is_empty() {
+        return Ok(default);
+    }
+    cell.parse().map_err(|_| ScubeError::Csv {
+        line: row as u64 + 1,
+        msg: format!("invalid time value '{cell}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(cols: &[&str], rows: &[&[&str]]) -> Relation {
+        let mut r = Relation::new(cols.iter().map(|s| s.to_string()).collect()).unwrap();
+        for row in rows {
+            r.push_row(row.iter().map(|s| s.to_string()).collect()).unwrap();
+        }
+        r
+    }
+
+    fn sample() -> Dataset {
+        let individuals = rel(
+            &["id", "gender", "res"],
+            &[&["d1", "F", "north"], &["d2", "M", "south"], &["d3", "F", "north"]],
+        );
+        let groups = rel(&["id", "sector"], &[&["c1", "edu"], &["c2", "agri"]]);
+        let membership = rel(
+            &["dir", "comp", "from", "to"],
+            &[&["d1", "c1", "2000", "2005"], &["d2", "c1", "", ""], &["d3", "c2", "2003", ""]],
+        );
+        Dataset::new(
+            individuals,
+            IndividualsSpec::new("id").sa("gender").ca("res"),
+            groups,
+            GroupsSpec::new("id").ca("sector"),
+            &membership,
+            &MembershipSpec::new("dir", "comp").with_interval("from", "to"),
+            vec![2000, 2004],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_bipartite_with_dense_ids() {
+        let d = sample();
+        assert_eq!(d.num_individuals(), 3);
+        assert_eq!(d.num_groups(), 2);
+        assert_eq!(d.bipartite.memberships().len(), 3);
+        let m = d.bipartite.memberships()[0];
+        assert_eq!((m.individual, m.group, m.from, m.to), (0, 0, 2000, 2005));
+        // Empty interval cells become unbounded.
+        let m = d.bipartite.memberships()[1];
+        assert_eq!((m.from, m.to), (i64::MIN, i64::MAX));
+        let m = d.bipartite.memberships()[2];
+        assert_eq!((m.from, m.to), (2003, i64::MAX));
+    }
+
+    #[test]
+    fn snapshot_restricts_memberships() {
+        let d = sample();
+        assert_eq!(d.snapshot(2004).bipartite.memberships().len(), 3);
+        assert_eq!(d.snapshot(2001).bipartite.memberships().len(), 2);
+        assert_eq!(d.snapshot(1990).bipartite.memberships().len(), 1);
+    }
+
+    #[test]
+    fn unknown_individual_rejected() {
+        let individuals = rel(&["id", "gender"], &[&["d1", "F"]]);
+        let groups = rel(&["id"], &[&["c1"]]);
+        let membership = rel(&["dir", "comp"], &[&["ghost", "c1"]]);
+        let err = Dataset::new(
+            individuals,
+            IndividualsSpec::new("id").sa("gender"),
+            groups,
+            GroupsSpec::new("id"),
+            &membership,
+            &MembershipSpec::new("dir", "comp"),
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown individual"));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let individuals = rel(&["id"], &[&["d1"], &["d1"]]);
+        let groups = rel(&["id"], &[&["c1"]]);
+        let membership = rel(&["dir", "comp"], &[]);
+        let err = Dataset::new(
+            individuals,
+            IndividualsSpec::new("id"),
+            groups,
+            GroupsSpec::new("id"),
+            &membership,
+            &MembershipSpec::new("dir", "comp"),
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate id"));
+    }
+
+    #[test]
+    fn bad_time_value_rejected() {
+        let individuals = rel(&["id"], &[&["d1"]]);
+        let groups = rel(&["id"], &[&["c1"]]);
+        let membership = rel(&["dir", "comp", "from", "to"], &[&["d1", "c1", "xx", ""]]);
+        let err = Dataset::new(
+            individuals,
+            IndividualsSpec::new("id"),
+            groups,
+            GroupsSpec::new("id"),
+            &membership,
+            &MembershipSpec::new("dir", "comp").with_interval("from", "to"),
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid time"));
+    }
+}

@@ -1,0 +1,273 @@
+//! The end-to-end SCube pipeline (Fig. 2 and Fig. 3 left-top).
+//!
+//! `inputs → GraphBuilder → GraphClustering → TableBuilder →
+//! SegregationDataCubeBuilder → Visualizer`, with the pre-processing
+//! stages skipped when data already carries a `unitID` (tabular scenario).
+
+use std::time::Instant;
+
+use scube_common::Result;
+use scube_cube::{CubeBuilder, SegregationCube};
+use scube_data::{FinalTableSpec, Relation, TransactionDb};
+use scube_graph::Clustering;
+
+use crate::inputs::Dataset;
+use crate::stats::{RunStats, StageTimings};
+use crate::table_builder::{build_final_table, UnitStrategy};
+
+/// Configuration of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct ScubeConfig {
+    /// Unit strategy (selects the scenario).
+    pub units: UnitStrategy,
+    /// Projection weight threshold (minimum shared individuals/groups).
+    pub min_shared: u32,
+    /// Cube-construction parameters.
+    pub cube: CubeBuilder,
+}
+
+impl ScubeConfig {
+    /// Configuration for a given unit strategy with defaults elsewhere.
+    pub fn new(units: UnitStrategy) -> Self {
+        ScubeConfig { units, min_shared: 1, cube: CubeBuilder::new() }
+    }
+
+    /// Set the projection threshold.
+    pub fn min_shared(mut self, w: u32) -> Self {
+        self.min_shared = w;
+        self
+    }
+
+    /// Set the cube builder (min-support, materialization, …).
+    pub fn cube(mut self, cube: CubeBuilder) -> Self {
+        self.cube = cube;
+        self
+    }
+}
+
+/// Everything one pipeline run produces.
+#[derive(Debug)]
+pub struct ScubeResult {
+    /// The segregation data cube.
+    pub cube: SegregationCube,
+    /// The encoded final table it was built from.
+    pub final_table: TransactionDb,
+    /// The clustering behind the units (graph scenarios).
+    pub clustering: Option<Clustering>,
+    /// Isolated projected nodes.
+    pub isolated: Vec<u32>,
+    /// Stage timings.
+    pub timings: StageTimings,
+    /// Size statistics.
+    pub stats: RunStats,
+}
+
+/// Run the full pipeline over a dataset.
+pub fn run(dataset: &Dataset, config: &ScubeConfig) -> Result<ScubeResult> {
+    let ft = build_final_table(dataset, &config.units, config.min_shared)?;
+    let cube_start = Instant::now();
+    let cube = config.cube.build(&ft.db)?;
+    let mut timings = ft.timings;
+    timings.cube = cube_start.elapsed();
+    let stats = RunStats {
+        n_individuals: dataset.num_individuals(),
+        n_groups: dataset.num_groups(),
+        n_memberships: dataset.bipartite.memberships().len(),
+        n_rows: ft.db.len(),
+        n_units: ft.db.num_units(),
+        n_cells: cube.len(),
+        n_isolated: ft.isolated.len(),
+    };
+    Ok(ScubeResult {
+        cube,
+        final_table: ft.db,
+        clustering: ft.clustering,
+        isolated: ft.isolated,
+        timings,
+        stats,
+    })
+}
+
+/// Run on data that already carries a `unitID` column (the pipeline's
+/// shortcut path: "the pre-processing steps … do not need to be performed").
+pub fn run_final_table(
+    table: &Relation,
+    spec: &FinalTableSpec,
+    cube: &CubeBuilder,
+) -> Result<ScubeResult> {
+    let join_start = Instant::now();
+    let db = spec.encode(table)?;
+    let join = join_start.elapsed();
+    let cube_start = Instant::now();
+    let built = cube.build(&db)?;
+    let timings =
+        StageTimings { join, cube: cube_start.elapsed(), ..Default::default() };
+    let stats = RunStats {
+        n_individuals: table.len(),
+        n_rows: db.len(),
+        n_units: db.num_units(),
+        n_cells: built.len(),
+        ..Default::default()
+    };
+    Ok(ScubeResult {
+        cube: built,
+        final_table: db,
+        clustering: None,
+        isolated: Vec::new(),
+        timings,
+        stats,
+    })
+}
+
+/// Temporal analysis: run the pipeline once per snapshot date.
+///
+/// Returns `(date, result)` pairs in date order. Uses the dataset's own
+/// `dates` input (Fig. 2).
+pub fn run_snapshots(dataset: &Dataset, config: &ScubeConfig) -> Result<Vec<(i64, ScubeResult)>> {
+    let mut dates = dataset.dates.clone();
+    dates.sort_unstable();
+    dates.dedup();
+    let mut out = Vec::with_capacity(dates.len());
+    for date in dates {
+        let snap = dataset.snapshot(date);
+        out.push((date, run(&snap, config)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::{GroupsSpec, IndividualsSpec, MembershipSpec};
+    use crate::unit_assignment::ClusteringMethod;
+    use scube_segindex::SegIndex;
+
+    fn rel(cols: &[&str], rows: &[&[&str]]) -> Relation {
+        let mut r = Relation::new(cols.iter().map(|s| s.to_string()).collect()).unwrap();
+        for row in rows {
+            r.push_row(row.iter().map(|s| s.to_string()).collect()).unwrap();
+        }
+        r
+    }
+
+    fn dataset() -> Dataset {
+        // Two "industries": companies c1,c2 (edu) interlocked through d1;
+        // c3 (agri) separate. Women concentrate in edu boards.
+        let individuals = rel(
+            &["id", "gender"],
+            &[
+                &["d1", "F"],
+                &["d2", "F"],
+                &["d3", "F"],
+                &["d4", "M"],
+                &["d5", "M"],
+                &["d6", "M"],
+            ],
+        );
+        let groups = rel(
+            &["id", "sector"],
+            &[&["c1", "edu"], &["c2", "edu"], &["c3", "agri"]],
+        );
+        let membership = rel(
+            &["dir", "comp", "from", "to"],
+            &[
+                &["d1", "c1", "2000", "2010"],
+                &["d1", "c2", "2000", "2010"],
+                &["d2", "c1", "2000", "2004"],
+                &["d3", "c2", "2005", "2010"],
+                &["d4", "c3", "2000", "2010"],
+                &["d5", "c3", "2000", "2010"],
+                &["d6", "c3", "2005", "2010"],
+            ],
+        );
+        Dataset::new(
+            individuals,
+            IndividualsSpec::new("id").sa("gender"),
+            groups,
+            GroupsSpec::new("id").ca("sector"),
+            &membership,
+            &MembershipSpec::new("dir", "comp").with_interval("from", "to"),
+            vec![2002, 2006],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scenario3_end_to_end() {
+        let d = dataset();
+        let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
+            ClusteringMethod::ConnectedComponents,
+        ));
+        let result = run(&d, &config).unwrap();
+        // Units: {c1,c2} and {c3}. All edu directors are F, all agri are M
+        // → complete segregation for gender=F at the * context.
+        assert_eq!(result.final_table.num_units(), 2);
+        let v = result.cube.get_by_names(&[("gender", "F")], &[]).unwrap();
+        assert_eq!(v.dissimilarity, Some(1.0));
+        assert_eq!(v.isolation, Some(1.0));
+        assert_eq!(result.stats.n_cells, result.cube.len());
+        assert!(result.stats.n_rows >= 6);
+    }
+
+    #[test]
+    fn scenario1_group_attribute_end_to_end() {
+        let d = dataset();
+        let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()));
+        let result = run(&d, &config).unwrap();
+        assert_eq!(result.final_table.num_units(), 2); // edu, agri
+        let v = result.cube.get_by_names(&[("gender", "F")], &[]).unwrap();
+        assert_eq!(v.dissimilarity, Some(1.0));
+    }
+
+    #[test]
+    fn tabular_shortcut_equals_group_attribute_path() {
+        // Scenario 1 via the shortcut: the final table built by hand.
+        let table = rel(
+            &["gender", "unitID"],
+            &[
+                &["F", "edu"],
+                &["F", "edu"],
+                &["F", "edu"],
+                &["M", "agri"],
+                &["M", "agri"],
+                &["M", "agri"],
+            ],
+        );
+        let spec = FinalTableSpec::new("unitID").sa("gender");
+        let result = run_final_table(&table, &spec, &CubeBuilder::new()).unwrap();
+        let v = result.cube.get_by_names(&[("gender", "F")], &[]).unwrap();
+        assert_eq!(v.dissimilarity, Some(1.0));
+        assert_eq!(result.stats.n_units, 2);
+    }
+
+    #[test]
+    fn snapshots_follow_membership_intervals() {
+        let d = dataset();
+        let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
+            ClusteringMethod::ConnectedComponents,
+        ));
+        let snaps = run_snapshots(&d, &config).unwrap();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].0, 2002);
+        // In 2002: d1,d2 active in edu, d4,d5 in agri (d3,d6 not yet).
+        assert_eq!(snaps[0].1.stats.n_rows, 4);
+        // In 2006: d1,d3 in edu; d4,d5,d6 in agri.
+        assert_eq!(snaps[1].0, 2006);
+        assert_eq!(snaps[1].1.stats.n_rows, 5);
+        // Complete segregation persists in both snapshots.
+        for (_, r) in &snaps {
+            let v = r.cube.get_by_names(&[("gender", "F")], &[]).unwrap();
+            assert_eq!(v.get(SegIndex::Dissimilarity), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let d = dataset();
+        let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
+            ClusteringMethod::ConnectedComponents,
+        ));
+        let result = run(&d, &config).unwrap();
+        assert!(result.timings.total() > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,62 @@
+//! Pipeline timing and size statistics.
+//!
+//! The demo discusses "computational efficiency challenges and solutions";
+//! every run reports where the time went so the scalability experiments
+//! (E11) can decompose cost by stage.
+
+use std::time::Duration;
+
+/// Wall-clock time per pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Bipartite projection (GraphBuilder).
+    pub projection: Duration,
+    /// Clustering (GraphClustering).
+    pub clustering: Duration,
+    /// Final-table join and encoding (TableBuilder).
+    pub join: Duration,
+    /// Cube construction (SegregationDataCubeBuilder).
+    pub cube: Duration,
+}
+
+impl StageTimings {
+    /// Total time across stages.
+    pub fn total(&self) -> Duration {
+        self.projection + self.clustering + self.join + self.cube
+    }
+}
+
+/// Size statistics of one pipeline run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Individuals in the input.
+    pub n_individuals: usize,
+    /// Groups in the input.
+    pub n_groups: usize,
+    /// Membership edges.
+    pub n_memberships: usize,
+    /// Rows of the final table.
+    pub n_rows: usize,
+    /// Organizational units.
+    pub n_units: usize,
+    /// Materialized cube cells.
+    pub n_cells: usize,
+    /// Isolated nodes reported by the projection.
+    pub n_isolated: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_stages() {
+        let t = StageTimings {
+            projection: Duration::from_millis(1),
+            clustering: Duration::from_millis(2),
+            join: Duration::from_millis(3),
+            cube: Duration::from_millis(4),
+        };
+        assert_eq!(t.total(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,124 @@
+//! The GraphClustering module (Fig. 2): turn a projected graph into
+//! organizational units.
+//!
+//! SCube offers three clustering methods (§3): plain connected components,
+//! removal of light edges followed by connected components (the method
+//! designed in the companion journal paper to break the giant component),
+//! and the SToC attributed clustering algorithm for very large graphs.
+
+use scube_graph::{
+    connected_components, label_propagation, stoc, Clustering, Graph, LabelPropParams,
+    NodeAttributes, StocParams,
+};
+
+/// Clustering method selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusteringMethod {
+    /// Connected components (BFS).
+    ConnectedComponents,
+    /// Drop edges with weight below `min_weight`, then components.
+    WeightThreshold {
+        /// Minimum edge weight kept.
+        min_weight: u32,
+    },
+    /// SToC attributed clustering.
+    Stoc(StocParams),
+    /// Weighted label propagation (extension beyond the paper's three
+    /// methods; near-linear community detection).
+    LabelPropagation(LabelPropParams),
+}
+
+impl ClusteringMethod {
+    /// Short method name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusteringMethod::ConnectedComponents => "connected-components",
+            ClusteringMethod::WeightThreshold { .. } => "weight-threshold",
+            ClusteringMethod::Stoc(_) => "stoc",
+            ClusteringMethod::LabelPropagation(_) => "label-propagation",
+        }
+    }
+
+    /// Run the method over a graph with node attributes.
+    pub fn cluster(&self, graph: &Graph, attrs: &NodeAttributes) -> Clustering {
+        match *self {
+            ClusteringMethod::ConnectedComponents => connected_components(graph, 0),
+            ClusteringMethod::WeightThreshold { min_weight } => {
+                connected_components(graph, min_weight)
+            }
+            ClusteringMethod::Stoc(params) => stoc(graph, attrs, params),
+            ClusteringMethod::LabelPropagation(params) => label_propagation(graph, params),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scube_graph::GraphBuilder;
+
+    fn bridge_graph() -> Graph {
+        // Two triangles joined by one light edge.
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 3);
+        }
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn connected_components_sees_one_cluster() {
+        let g = bridge_graph();
+        let c = ClusteringMethod::ConnectedComponents.cluster(&g, &NodeAttributes::empty(6));
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn weight_threshold_breaks_the_bridge() {
+        let g = bridge_graph();
+        let c = ClusteringMethod::WeightThreshold { min_weight: 2 }
+            .cluster(&g, &NodeAttributes::empty(6));
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.of(0), c.of(2));
+        assert_ne!(c.of(2), c.of(3));
+    }
+
+    #[test]
+    fn stoc_runs_through_selector() {
+        let g = bridge_graph();
+        let attrs = NodeAttributes::from_rows(vec![
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![1],
+            vec![1],
+            vec![1],
+        ]);
+        let c = ClusteringMethod::Stoc(StocParams::default()).cluster(&g, &attrs);
+        assert_eq!(c.num_nodes(), 6);
+        assert_eq!(c.sizes().iter().sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ClusteringMethod::ConnectedComponents.name(), "connected-components");
+        assert_eq!(ClusteringMethod::WeightThreshold { min_weight: 2 }.name(), "weight-threshold");
+        assert_eq!(ClusteringMethod::Stoc(StocParams::default()).name(), "stoc");
+        assert_eq!(
+            ClusteringMethod::LabelPropagation(LabelPropParams::default()).name(),
+            "label-propagation"
+        );
+    }
+
+    #[test]
+    fn label_propagation_separates_dense_blocks() {
+        let g = bridge_graph();
+        let c = ClusteringMethod::LabelPropagation(LabelPropParams::default())
+            .cluster(&g, &NodeAttributes::empty(6));
+        // The two triangles are denser than the bridge: two communities.
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.of(0), c.of(2));
+        assert_eq!(c.of(3), c.of(5));
+    }
+}

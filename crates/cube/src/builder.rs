@@ -1,0 +1,395 @@
+//! `SegregationDataCubeBuilder`: fill the cube from frequent itemsets.
+//!
+//! The algorithm (from the companion journal paper) in this implementation:
+//!
+//! 1. build the vertical database (item → tidset bitmap);
+//! 2. mine frequent itemsets *with their tidsets* (Eclat-style DFS); under
+//!    [`Materialize::ClosedOnly`], keep only closed ones;
+//! 3. split each itemset `I` into cell coordinates `(A, B)` by attribute
+//!    role; the minority histogram is the per-unit partition of `tidset(I)`
+//!    and the population histogram the per-unit partition of `tidset(B)`
+//!    (computed once per distinct context `B` and cached — many cells share
+//!    a context);
+//! 4. evaluate all six indexes per cell ([`IndexValues`]).
+//!
+//! Histogram evaluation is embarrassingly parallel across cells and is
+//! chunked over `std::thread::scope` when `parallel` is on.
+
+use scube_bitmap::{EwahBitmap, Posting};
+use scube_common::{FxHashMap, Result, ScubeError};
+use scube_data::{ItemId, TransactionDb, VerticalDb};
+use scube_fpm::eclat::mine_vertical_with_tidsets;
+use scube_fpm::itemset::FrequentItemset;
+use scube_segindex::{IndexValues, UnitCounts, DEFAULT_ATKINSON_B};
+
+use crate::coords::CellCoords;
+use crate::cube::{CubeLabels, SegregationCube};
+
+/// Cell materialization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Materialize {
+    /// One cell per frequent itemset (the full cube; the default, since
+    /// every frequent coordinate combination answers exact lookups).
+    #[default]
+    AllFrequent,
+    /// One cell per **closed** frequent itemset — the compression the
+    /// paper's builder applies: a non-closed cell's minority statistics
+    /// are recoverable from its closure (resolve arbitrary coordinates
+    /// through [`crate::explore::CubeExplorer`]). Far fewer cells on
+    /// correlated data; benchmarked in experiment E11.
+    ClosedOnly,
+}
+
+/// Parameters of a cube build.
+#[derive(Debug, Clone, Copy)]
+pub struct CubeConfig {
+    /// Minimum absolute support (population) of a cell.
+    pub min_support: u64,
+    /// Materialization strategy.
+    pub materialize: Materialize,
+    /// Atkinson shape parameter.
+    pub atkinson_b: f64,
+    /// Evaluate cell histograms on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for CubeConfig {
+    fn default() -> Self {
+        CubeConfig {
+            min_support: 1,
+            materialize: Materialize::default(),
+            atkinson_b: DEFAULT_ATKINSON_B,
+            parallel: false,
+        }
+    }
+}
+
+/// Builds [`SegregationCube`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CubeBuilder {
+    config: CubeConfig,
+}
+
+impl CubeBuilder {
+    /// Builder with default configuration.
+    pub fn new() -> Self {
+        CubeBuilder::default()
+    }
+
+    /// Set the minimum cell population.
+    pub fn min_support(mut self, min_support: u64) -> Self {
+        self.config.min_support = min_support;
+        self
+    }
+
+    /// Set the materialization strategy.
+    pub fn materialize(mut self, m: Materialize) -> Self {
+        self.config.materialize = m;
+        self
+    }
+
+    /// Set the Atkinson shape parameter.
+    pub fn atkinson_b(mut self, b: f64) -> Self {
+        self.config.atkinson_b = b;
+        self
+    }
+
+    /// Toggle parallel histogram evaluation.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.config.parallel = on;
+        self
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &CubeConfig {
+        &self.config
+    }
+
+    /// Build with the default (EWAH) tidset representation.
+    pub fn build(&self, db: &TransactionDb) -> Result<SegregationCube> {
+        self.build_with::<EwahBitmap>(db)
+    }
+
+    /// Build with an explicit tidset representation (ablation entry point).
+    pub fn build_with<P: Posting + Send + Sync>(
+        &self,
+        db: &TransactionDb,
+    ) -> Result<SegregationCube> {
+        let vertical: VerticalDb<P> = VerticalDb::build(db);
+        self.build_from_vertical(db, &vertical)
+    }
+
+    /// Build over a pre-constructed vertical database.
+    pub fn build_from_vertical<P: Posting + Send + Sync>(
+        &self,
+        db: &TransactionDb,
+        vertical: &VerticalDb<P>,
+    ) -> Result<SegregationCube> {
+        let cfg = &self.config;
+        if cfg.min_support == 0 {
+            return Err(ScubeError::InvalidParameter("min_support must be >= 1".into()));
+        }
+        if db.num_units() == 0 && !db.is_empty() {
+            return Err(ScubeError::Inconsistent("database has rows but no units".into()));
+        }
+
+        // 1-2. Mine frequent itemsets with tidsets; optionally keep closed.
+        let mut mined: Vec<(FrequentItemset, P)> =
+            mine_vertical_with_tidsets(vertical, cfg.min_support)?;
+        if cfg.materialize == Materialize::ClosedOnly {
+            let keep = scube_fpm::closed::closed_positions(mined.len(), |i| {
+                (mined[i].0.items.as_slice(), mined[i].0.support)
+            });
+            let mut keep_iter = keep.into_iter().peekable();
+            let mut idx = 0usize;
+            mined.retain(|_| {
+                let k = keep_iter.peek() == Some(&idx);
+                if k {
+                    keep_iter.next();
+                }
+                idx += 1;
+                k
+            });
+        }
+
+        // 3. Population histogram (context ⋆) and per-context cache.
+        let n_units = vertical.num_units() as usize;
+        let mut population = vec![0u64; n_units];
+        for &u in vertical.units() {
+            population[u as usize] += 1;
+        }
+
+        // Distinct context parts.
+        let mut context_hists: FxHashMap<Vec<ItemId>, Vec<u64>> = FxHashMap::default();
+        context_hists.insert(Vec::new(), population.clone());
+        let splits: Vec<CellCoords> =
+            mined.iter().map(|(set, _)| CellCoords::from_itemset(&set.items, db)).collect();
+        for coords in &splits {
+            context_hists
+                .entry(coords.ca.clone())
+                .or_insert_with(|| vertical.unit_histogram(&vertical.tidset(&coords.ca)));
+        }
+
+        // 4. Evaluate cells.
+        let atkinson_b = cfg.atkinson_b;
+        let eval = |coords: &CellCoords, tids: &P| -> Result<IndexValues> {
+            let minority = vertical.unit_histogram(tids);
+            let total = &context_hists[&coords.ca];
+            let counts = UnitCounts::from_triples(
+                (0..n_units as u32).filter_map(|u| {
+                    let t = total[u as usize];
+                    (t > 0).then(|| (u, minority[u as usize], t))
+                }),
+            )?;
+            Ok(IndexValues::compute_with(&counts, atkinson_b))
+        };
+
+        let mut cells: FxHashMap<CellCoords, IndexValues> =
+            scube_common::hash::fx_map_with_capacity(mined.len() + 1);
+        if cfg.parallel && mined.len() > 256 {
+            let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let chunk = mined.len().div_ceil(n_threads);
+            let results: Vec<Result<Vec<(CellCoords, IndexValues)>>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = mined
+                        .chunks(chunk)
+                        .zip(splits.chunks(chunk))
+                        .map(|(mined_chunk, split_chunk)| {
+                            let eval = &eval;
+                            scope.spawn(move || {
+                                mined_chunk
+                                    .iter()
+                                    .zip(split_chunk.iter())
+                                    .map(|((_, tids), coords)| {
+                                        Ok((coords.clone(), eval(coords, tids)?))
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                });
+            for r in results {
+                cells.extend(r?);
+            }
+        } else {
+            for ((_, tids), coords) in mined.iter().zip(splits.iter()) {
+                cells.insert(coords.clone(), eval(coords, tids)?);
+            }
+        }
+
+        // Apex cell (⋆ | ⋆): whole population vs itself.
+        let apex_counts = UnitCounts::from_triples(
+            population
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t > 0)
+                .map(|(u, &t)| (u as u32, t, t)),
+        )?;
+        cells.insert(CellCoords::apex(), IndexValues::compute_with(&apex_counts, atkinson_b));
+
+        Ok(SegregationCube::new(
+            cells,
+            CubeLabels::from_db(db),
+            vertical.num_units(),
+            cfg.min_support,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scube_data::{Attribute, Schema, TransactionDbBuilder};
+
+    /// 40 individuals across 2 units, engineered so that women concentrate
+    /// in unit u0 within the north and are even in the south.
+    fn sample_db() -> TransactionDb {
+        let schema =
+            Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")]).unwrap();
+        let mut b = TransactionDbBuilder::new(schema);
+        let mut add = |sex: &str, region: &str, unit: &str, n: usize| {
+            for _ in 0..n {
+                b.add_row(&[vec![sex], vec![region]], unit).unwrap();
+            }
+        };
+        // North: u0 = 8F+2M, u1 = 2F+8M  → segregated by sex.
+        add("F", "north", "u0", 8);
+        add("M", "north", "u0", 2);
+        add("F", "north", "u1", 2);
+        add("M", "north", "u1", 8);
+        // South: u0 = 5F+5M, u1 = 5F+5M → perfectly even.
+        add("F", "south", "u0", 5);
+        add("M", "south", "u0", 5);
+        add("F", "south", "u1", 5);
+        add("M", "south", "u1", 5);
+        b.finish()
+    }
+
+    #[test]
+    fn hand_computed_cell_values() {
+        let db = sample_db();
+        let cube = CubeBuilder::new()
+            .min_support(1)
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        // Cell (sex=F | region=north): units (m,t) = (8,10), (2,10).
+        // D = ½(|8/10 − 2/10| + |2/10 − 8/10|) = 0.6.
+        let v = cube.get_by_names(&[("sex", "F")], &[("region", "north")]).unwrap();
+        assert!((v.dissimilarity.unwrap() - 0.6).abs() < 1e-9);
+        assert_eq!(v.minority, 10);
+        assert_eq!(v.total, 20);
+        // Cell (sex=F | region=south): perfectly even → D = 0.
+        let v = cube.get_by_names(&[("sex", "F")], &[("region", "south")]).unwrap();
+        assert!((v.dissimilarity.unwrap()).abs() < 1e-9);
+        // Cell (sex=F | *): overall: u0 = 13F/20? u0 total = 20, F in u0 = 13;
+        // u1: F = 7, total 20. D = ½(|13/20−7/20|·2)/... compute directly:
+        // m = (13, 7), t = (20, 20), M = 20, T = 40.
+        // minority shares (0.65, 0.35), majority ((20−13)/20=0.35, 0.65)/…
+        // majority shares = (7/20, 13/20) = (0.35, 0.65).
+        // D = ½(|0.65−0.35| + |0.35−0.65|) = 0.3.
+        let v = cube.get_by_names(&[("sex", "F")], &[]).unwrap();
+        assert!((v.dissimilarity.unwrap() - 0.3).abs() < 1e-9, "{:?}", v.dissimilarity);
+    }
+
+    #[test]
+    fn apex_cell_present_and_degenerate() {
+        let db = sample_db();
+        let cube = CubeBuilder::new().build(&db).unwrap();
+        let apex = cube.get(&CellCoords::apex()).unwrap();
+        assert_eq!(apex.minority, 40);
+        assert_eq!(apex.total, 40);
+        assert_eq!(apex.dissimilarity, None); // M = T ⇒ evenness undefined
+    }
+
+    #[test]
+    fn sa_star_cells_have_full_context_population_as_minority() {
+        let db = sample_db();
+        let cube = CubeBuilder::new()
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        let v = cube.get_by_names(&[], &[("region", "north")]).unwrap();
+        assert_eq!(v.minority, v.total);
+        assert_eq!(v.total, 20);
+    }
+
+    #[test]
+    fn min_support_prunes_cells() {
+        let db = sample_db();
+        let small = CubeBuilder::new()
+            .min_support(15)
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        let large = CubeBuilder::new()
+            .min_support(1)
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        assert!(small.len() < large.len());
+        // Every cell in the small cube is above the support threshold.
+        for (coords, v) in small.cells() {
+            if !coords.is_empty() {
+                assert!(v.minority >= 15, "{}: {}", small.labels().describe(coords), v.minority);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_cube_is_a_restriction_of_full_cube() {
+        let db = sample_db();
+        let full = CubeBuilder::new()
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        let closed = CubeBuilder::new()
+            .materialize(Materialize::ClosedOnly)
+            .build(&db)
+            .unwrap();
+        assert!(closed.len() <= full.len());
+        for (coords, v) in closed.cells() {
+            let in_full = full.get(coords).expect("closed cell missing from full cube");
+            assert_eq!(v, in_full, "cell {}", closed.labels().describe(coords));
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let db = sample_db();
+        let serial = CubeBuilder::new()
+            .materialize(Materialize::AllFrequent)
+            .parallel(false)
+            .build(&db)
+            .unwrap();
+        let parallel = CubeBuilder::new()
+            .materialize(Materialize::AllFrequent)
+            .parallel(true)
+            .build(&db)
+            .unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (coords, v) in serial.cells() {
+            assert_eq!(parallel.get(coords), Some(v));
+        }
+    }
+
+    #[test]
+    fn zero_min_support_rejected() {
+        let db = sample_db();
+        assert!(CubeBuilder::new().min_support(0).build(&db).is_err());
+    }
+
+    #[test]
+    fn rollup_navigation() {
+        let db = sample_db();
+        let cube = CubeBuilder::new()
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        let coords = cube.coords_by_names(&[("sex", "F")], &[("region", "north")]).unwrap();
+        let rolled = cube.rollup(&coords, "region").unwrap();
+        let direct = cube.get_by_names(&[("sex", "F")], &[]).unwrap();
+        assert_eq!(rolled, direct);
+    }
+}

@@ -1,0 +1,264 @@
+//! The materialized segregation data cube.
+
+use scube_common::FxHashMap;
+use scube_data::{ItemId, TransactionDb};
+use scube_segindex::IndexValues;
+
+use crate::coords::CellCoords;
+
+/// Self-describing label set copied from the source database, so a cube can
+/// be rendered (or serialized) after the database is gone.
+#[derive(Debug, Clone, Default)]
+pub struct CubeLabels {
+    /// `item id → (attribute name, value, is_sa)`.
+    items: Vec<(String, String, bool)>,
+    /// Segregation attribute names, in schema order.
+    pub sa_attrs: Vec<String>,
+    /// Context attribute names, in schema order.
+    pub ca_attrs: Vec<String>,
+    /// Organizational unit names.
+    pub unit_names: Vec<String>,
+}
+
+impl CubeLabels {
+    /// Snapshot the labels of a transaction database.
+    pub fn from_db(db: &TransactionDb) -> Self {
+        let dict = db.dictionary();
+        let schema = db.schema();
+        let items = (0..dict.len() as ItemId)
+            .map(|it| {
+                let attr = dict.attr_of(it);
+                (
+                    schema.attr(attr).name.clone(),
+                    dict.value_of(it).to_string(),
+                    db.is_sa_item(it),
+                )
+            })
+            .collect();
+        CubeLabels {
+            items,
+            sa_attrs: schema.sa_ids().iter().map(|&a| schema.attr(a).name.clone()).collect(),
+            ca_attrs: schema.ca_ids().iter().map(|&a| schema.attr(a).name.clone()).collect(),
+            unit_names: db.unit_names().to_vec(),
+        }
+    }
+
+    /// Attribute name of an item.
+    pub fn attr_of(&self, item: ItemId) -> &str {
+        &self.items[item as usize].0
+    }
+
+    /// Value of an item.
+    pub fn value_of(&self, item: ItemId) -> &str {
+        &self.items[item as usize].1
+    }
+
+    /// `attr=value` label of an item.
+    pub fn label(&self, item: ItemId) -> String {
+        let (attr, value, _) = &self.items[item as usize];
+        format!("{attr}={value}")
+    }
+
+    /// Render coordinates like `sex=female ∧ age=young | region=north`,
+    /// with `*` for empty sides.
+    pub fn describe(&self, coords: &CellCoords) -> String {
+        let side = |items: &[ItemId]| -> String {
+            if items.is_empty() {
+                "*".to_string()
+            } else {
+                items.iter().map(|&i| self.label(i)).collect::<Vec<_>>().join(" & ")
+            }
+        };
+        format!("{} | {}", side(&coords.sa), side(&coords.ca))
+    }
+
+    /// Values of the given attribute among the items of `coords` (an
+    /// attribute can contribute several items when multi-valued).
+    pub fn attr_values<'a>(&'a self, coords: &CellCoords, attr: &str) -> Vec<&'a str> {
+        coords
+            .sa
+            .iter()
+            .chain(coords.ca.iter())
+            .filter(|&&i| self.attr_of(i) == attr)
+            .map(|&i| self.value_of(i))
+            .collect()
+    }
+
+    /// Look up an item id by attribute name and value.
+    pub fn find_item(&self, attr: &str, value: &str) -> Option<ItemId> {
+        self.items
+            .iter()
+            .position(|(a, v, _)| a == attr && v == value)
+            .map(|i| i as ItemId)
+    }
+}
+
+/// A materialized segregation data cube.
+#[derive(Debug, Clone)]
+pub struct SegregationCube {
+    cells: FxHashMap<CellCoords, IndexValues>,
+    labels: CubeLabels,
+    n_units: u32,
+    min_support: u64,
+}
+
+impl SegregationCube {
+    pub(crate) fn new(
+        cells: FxHashMap<CellCoords, IndexValues>,
+        labels: CubeLabels,
+        n_units: u32,
+        min_support: u64,
+    ) -> Self {
+        SegregationCube { cells, labels, n_units, min_support }
+    }
+
+    /// Number of materialized cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells are materialized.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The labels snapshot.
+    pub fn labels(&self) -> &CubeLabels {
+        &self.labels
+    }
+
+    /// Number of organizational units the indexes were computed over.
+    pub fn num_units(&self) -> u32 {
+        self.n_units
+    }
+
+    /// The min-support the cube was built with.
+    pub fn min_support(&self) -> u64 {
+        self.min_support
+    }
+
+    /// Exact-cell lookup.
+    pub fn get(&self, coords: &CellCoords) -> Option<&IndexValues> {
+        self.cells.get(coords)
+    }
+
+    /// Look up by attribute/value names, e.g.
+    /// `value_by_names(&[("sex","female")], &[("region","north")])`.
+    pub fn get_by_names(
+        &self,
+        sa: &[(&str, &str)],
+        ca: &[(&str, &str)],
+    ) -> Option<&IndexValues> {
+        let coords = self.coords_by_names(sa, ca)?;
+        self.get(&coords)
+    }
+
+    /// Resolve attribute/value names into [`CellCoords`].
+    pub fn coords_by_names(
+        &self,
+        sa: &[(&str, &str)],
+        ca: &[(&str, &str)],
+    ) -> Option<CellCoords> {
+        let mut sa_items = Vec::with_capacity(sa.len());
+        for (a, v) in sa {
+            sa_items.push(self.labels.find_item(a, v)?);
+        }
+        let mut ca_items = Vec::with_capacity(ca.len());
+        for (a, v) in ca {
+            ca_items.push(self.labels.find_item(a, v)?);
+        }
+        Some(CellCoords::new(sa_items, ca_items))
+    }
+
+    /// Iterate all `(coords, values)` cells (unordered).
+    pub fn cells(&self) -> impl Iterator<Item = (&CellCoords, &IndexValues)> {
+        self.cells.iter()
+    }
+
+    /// Cells whose coordinates only use the listed attributes (the cells of
+    /// a sub-cube view, e.g. Fig. 1's `(sex, age) × region`).
+    pub fn cells_over<'a>(
+        &'a self,
+        attrs: &'a [&'a str],
+    ) -> impl Iterator<Item = (&'a CellCoords, &'a IndexValues)> + 'a {
+        self.cells.iter().filter(move |(coords, _)| {
+            coords
+                .sa
+                .iter()
+                .chain(coords.ca.iter())
+                .all(|&i| attrs.contains(&self.labels.attr_of(i)))
+        })
+    }
+
+    /// Slice: cells that fix all the given `(attr, value)` coordinates
+    /// (and possibly more).
+    pub fn slice<'a>(
+        &'a self,
+        fixed: &'a [(&'a str, &'a str)],
+    ) -> impl Iterator<Item = (&'a CellCoords, &'a IndexValues)> + 'a {
+        self.cells.iter().filter(move |(coords, _)| {
+            fixed.iter().all(|(a, v)| {
+                coords
+                    .sa
+                    .iter()
+                    .chain(coords.ca.iter())
+                    .any(|&i| self.labels.attr_of(i) == *a && self.labels.value_of(i) == *v)
+            })
+        })
+    }
+
+    /// Roll up: the cell obtained from `coords` by dropping every
+    /// coordinate of attribute `attr` (⋆ granularity on that dimension).
+    pub fn rollup(&self, coords: &CellCoords, attr: &str) -> Option<&IndexValues> {
+        let keep = |items: &[ItemId]| {
+            items.iter().copied().filter(|&i| self.labels.attr_of(i) != attr).collect::<Vec<_>>()
+        };
+        self.get(&CellCoords { sa: keep(&coords.sa), ca: keep(&coords.ca) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scube_data::{Attribute, Schema, TransactionDbBuilder};
+
+    fn db() -> TransactionDb {
+        let schema =
+            Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")]).unwrap();
+        let mut b = TransactionDbBuilder::new(schema);
+        b.add_row(&[vec!["female"], vec!["north"]], "u0").unwrap();
+        b.add_row(&[vec!["male"], vec!["south"]], "u1").unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn labels_snapshot() {
+        let labels = CubeLabels::from_db(&db());
+        assert_eq!(labels.sa_attrs, vec!["sex"]);
+        assert_eq!(labels.ca_attrs, vec!["region"]);
+        assert_eq!(labels.unit_names, vec!["u0", "u1"]);
+        let f = labels.find_item("sex", "female").unwrap();
+        assert_eq!(labels.label(f), "sex=female");
+        assert!(labels.find_item("sex", "other").is_none());
+    }
+
+    #[test]
+    fn describe_renders_stars() {
+        let labels = CubeLabels::from_db(&db());
+        let f = labels.find_item("sex", "female").unwrap();
+        let c = CellCoords::new(vec![f], vec![]);
+        assert_eq!(labels.describe(&c), "sex=female | *");
+        assert_eq!(labels.describe(&CellCoords::apex()), "* | *");
+    }
+
+    #[test]
+    fn attr_values_extracts() {
+        let labels = CubeLabels::from_db(&db());
+        let f = labels.find_item("sex", "female").unwrap();
+        let n = labels.find_item("region", "north").unwrap();
+        let c = CellCoords::new(vec![f], vec![n]);
+        assert_eq!(labels.attr_values(&c, "sex"), vec!["female"]);
+        assert_eq!(labels.attr_values(&c, "region"), vec!["north"]);
+        assert!(labels.attr_values(&c, "age").is_empty());
+    }
+}

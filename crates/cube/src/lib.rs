@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! The multi-dimensional segregation data cube — SCube's core contribution.
+//!
+//! A cube cell is addressed by a pair of coordinate sets ([`CellCoords`]):
+//! `A` over segregation-attribute items (defining a minority subgroup, e.g.
+//! `sex=female ∧ age=young`) and `B` over context-attribute items (defining
+//! a context, e.g. `region=north`); the absent attributes are at the `⋆`
+//! granularity of standard multi-dimensional modelling. The cell's metric
+//! ([`scube_segindex::IndexValues`]) is every segregation index computed
+//! over the organizational units, taking
+//!
+//! * total population  = individuals matching `B`, split per unit (`t_i`),
+//! * minority population = individuals matching `A ∪ B`, per unit (`m_i`).
+//!
+//! Segregation indexes are **not additive**, so cells cannot be rolled up
+//! from finer cells; the [`builder::CubeBuilder`] instead enumerates every
+//! sufficiently-populated cell by frequent-itemset mining and computes its
+//! per-unit histograms from tidset bitmaps (the `SegregationDataCubeBuilder`
+//! algorithm of the companion journal paper). Two materialization
+//! strategies are offered:
+//!
+//! * **AllFrequent** — one cell per frequent itemset `A ∪ B`;
+//! * **ClosedOnly** — one cell per *closed* frequent itemset: lossless in
+//!   the sense that a non-closed cell's minority statistics equal those of
+//!   its closure (the [`explore::CubeExplorer`] resolves any coordinates on
+//!   demand), while storing far fewer cells.
+
+pub mod builder;
+pub mod coords;
+pub mod cube;
+pub mod explore;
+pub mod report;
+
+pub use builder::{CubeBuilder, CubeConfig, Materialize};
+pub use coords::CellCoords;
+pub use cube::{CubeLabels, SegregationCube};
+pub use explore::CubeExplorer;
+pub use report::{fig1_grid, radial_series, top_contexts, to_csv};

@@ -1,0 +1,284 @@
+//! Report generation: paper-shaped renderings of a cube.
+//!
+//! * [`fig1_grid`] — the 3-dimensional grid of the paper's Fig. 1 (two SA
+//!   attributes × one CA attribute, with ⋆ roll-ups);
+//! * [`top_contexts`] — the discovery primitive: contexts ranked by a
+//!   segregation index (what the analyst scans for candidate segregation);
+//! * [`radial_series`] — Fig. 5 (bottom): per-unit one-vs-rest index
+//!   profiles (the radial plot's data series);
+//! * [`to_csv`] — the cube sheet (Fig. 5 top), CSV instead of OOXML.
+
+use scube_common::table::{fmt_index, Align, TextTable};
+use scube_segindex::{IndexValues, SegIndex, UnitCounts};
+
+use crate::coords::CellCoords;
+use crate::cube::SegregationCube;
+
+/// Cells ranked by `index` descending — the segregation-discovery list.
+///
+/// Only cells with a real minority (non-⋆ SA side) and population at least
+/// `min_total` are candidates; `k = 0` returns all matches.
+pub fn top_contexts(
+    cube: &SegregationCube,
+    index: SegIndex,
+    k: usize,
+    min_total: u64,
+) -> Vec<(&CellCoords, &IndexValues, f64)> {
+    let mut rows: Vec<(&CellCoords, &IndexValues, f64)> = cube
+        .cells()
+        .filter(|(coords, v)| !coords.is_sa_star() && v.total >= min_total)
+        .filter_map(|(coords, v)| v.get(index).map(|x| (coords, v, x)))
+        .collect();
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.union().cmp(&b.0.union())));
+    if k > 0 {
+        rows.truncate(k);
+    }
+    rows
+}
+
+/// Values of an attribute present in the cube, sorted, for grid axes.
+fn attr_values(cube: &SegregationCube, attr: &str) -> Vec<String> {
+    let mut values: Vec<String> = cube
+        .cells()
+        .flat_map(|(coords, _)| {
+            cube.labels()
+                .attr_values(coords, attr)
+                .into_iter()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    values.sort();
+    values.dedup();
+    values
+}
+
+/// Render the Fig. 1 grid: rows are `ca_attr × row_sa` value combinations
+/// (each including ⋆), columns are `col_sa` values plus ⋆, cells show
+/// `index` (or `-` when undefined or not materialized).
+pub fn fig1_grid(
+    cube: &SegregationCube,
+    row_sa: &str,
+    col_sa: &str,
+    ca_attr: &str,
+    index: SegIndex,
+) -> String {
+    let star = "*".to_string();
+    let mut col_values = attr_values(cube, col_sa);
+    col_values.push(star.clone());
+    let mut row_values = attr_values(cube, row_sa);
+    row_values.push(star.clone());
+    let mut ca_values = attr_values(cube, ca_attr);
+    ca_values.push(star.clone());
+
+    let mut header: Vec<String> = vec![ca_attr.to_string(), row_sa.to_string()];
+    header.extend(col_values.iter().map(|v| format!("{col_sa}={v}")));
+    let mut aligns = vec![Align::Left, Align::Left];
+    aligns.extend(std::iter::repeat_n(Align::Right, col_values.len()));
+    let mut table = TextTable::new().header(header).aligns(aligns);
+
+    for ca_v in &ca_values {
+        for row_v in &row_values {
+            let mut cells: Vec<String> = vec![
+                if ca_v == &star { star.clone() } else { ca_v.clone() },
+                if row_v == &star { star.clone() } else { row_v.clone() },
+            ];
+            for col_v in &col_values {
+                let mut sa: Vec<(&str, &str)> = Vec::new();
+                if row_v != &star {
+                    sa.push((row_sa, row_v));
+                }
+                if col_v != &star {
+                    sa.push((col_sa, col_v));
+                }
+                let mut ca: Vec<(&str, &str)> = Vec::new();
+                if ca_v != &star {
+                    ca.push((ca_attr, ca_v));
+                }
+                let value = cube.get_by_names(&sa, &ca).and_then(|v| v.get(index));
+                cells.push(fmt_index(value));
+            }
+            table.row(cells);
+        }
+    }
+    table.render()
+}
+
+/// One-vs-rest index profile per unit (Fig. 5 bottom).
+///
+/// For each unit `s`, indexes are computed over the two-unit histogram
+/// `{s, everything-else}`: "how segregated is the minority between this
+/// sector and the rest of the economy". Input is the per-unit breakdown
+/// `(unit, minority, total)` (see `CubeExplorer::unit_breakdown`).
+pub fn radial_series(
+    breakdown: &[(u32, u64, u64)],
+    unit_names: &[String],
+) -> Vec<(String, IndexValues)> {
+    let total_m: u64 = breakdown.iter().map(|&(_, m, _)| m).sum();
+    let total_t: u64 = breakdown.iter().map(|&(_, _, t)| t).sum();
+    breakdown
+        .iter()
+        .map(|&(unit, m, t)| {
+            let rest = (1u32, total_m - m, total_t - t);
+            let counts = UnitCounts::from_triples([(0u32, m, t), rest])
+                .expect("one-vs-rest histogram is consistent by construction");
+            let name = unit_names
+                .get(unit as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("unit{unit}"));
+            (name, IndexValues::compute(&counts))
+        })
+        .collect()
+}
+
+/// Serialize the cube as CSV (the Fig. 5 "cube sheet"): one row per cell,
+/// one column per attribute (`*` = rolled up; multi-valued coordinates are
+/// `;`-joined), then population and the six indexes.
+pub fn to_csv(cube: &SegregationCube) -> String {
+    let labels = cube.labels();
+    let mut header: Vec<String> = Vec::new();
+    for a in labels.sa_attrs.iter().chain(labels.ca_attrs.iter()) {
+        header.push(a.clone());
+    }
+    header.extend(
+        ["M", "T", "P", "units", "D", "G", "H", "xPx", "xPy", "A"].map(str::to_string),
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(cube.len());
+    let mut cells: Vec<(&CellCoords, &IndexValues)> = cube.cells().collect();
+    cells.sort_by(|a, b| {
+        a.0.len()
+            .cmp(&b.0.len())
+            .then_with(|| a.0.sa.cmp(&b.0.sa))
+            .then_with(|| a.0.ca.cmp(&b.0.ca))
+    });
+    for (coords, v) in cells {
+        let mut row: Vec<String> = Vec::with_capacity(header.len());
+        for a in labels.sa_attrs.iter().chain(labels.ca_attrs.iter()) {
+            let values = labels.attr_values(coords, a);
+            row.push(if values.is_empty() { "*".to_string() } else { values.join(";") });
+        }
+        row.push(v.minority.to_string());
+        row.push(v.total.to_string());
+        row.push(
+            v.minority_proportion().map(|p| format!("{p:.4}")).unwrap_or_else(|| "-".into()),
+        );
+        row.push(v.num_units.to_string());
+        for idx in SegIndex::ALL {
+            row.push(fmt_index(v.get(idx)));
+        }
+        rows.push(row);
+    }
+    let all = std::iter::once(header).chain(rows);
+    scube_common::csv::to_string(all.map(|r| r.into_iter()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CubeBuilder, Materialize};
+    use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
+
+    fn db() -> TransactionDb {
+        let schema = Schema::new(vec![
+            Attribute::sa("sex"),
+            Attribute::sa("age"),
+            Attribute::ca("region"),
+        ])
+        .unwrap();
+        let mut b = TransactionDbBuilder::new(schema);
+        let rows = [
+            ("F", "young", "north", "u0"),
+            ("F", "young", "north", "u0"),
+            ("F", "old", "north", "u1"),
+            ("M", "old", "north", "u1"),
+            ("M", "young", "south", "u0"),
+            ("M", "old", "south", "u1"),
+            ("F", "young", "south", "u1"),
+            ("M", "young", "north", "u0"),
+        ];
+        for (s, a, r, u) in rows {
+            b.add_row(&[vec![s], vec![a], vec![r]], u).unwrap();
+        }
+        b.finish()
+    }
+
+    fn cube() -> SegregationCube {
+        CubeBuilder::new()
+            .materialize(Materialize::AllFrequent)
+            .build(&db())
+            .unwrap()
+    }
+
+    #[test]
+    fn top_contexts_sorted_and_filtered() {
+        let cube = cube();
+        let top = top_contexts(&cube, SegIndex::Dissimilarity, 5, 1);
+        assert!(!top.is_empty());
+        assert!(top.len() <= 5);
+        for w in top.windows(2) {
+            assert!(w[0].2 >= w[1].2, "not sorted descending");
+        }
+        for (coords, v, _) in &top {
+            assert!(!coords.is_sa_star());
+            assert!(v.total >= 1);
+        }
+        // min_total filter.
+        let filtered = top_contexts(&cube, SegIndex::Dissimilarity, 0, 100);
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    fn fig1_grid_shape() {
+        let cube = cube();
+        let grid = fig1_grid(&cube, "sex", "age", "region", SegIndex::Dissimilarity);
+        let lines: Vec<&str> = grid.lines().collect();
+        // Header + rule + (2 regions + ⋆) × (2 sexes + ⋆) rows.
+        assert_eq!(lines.len(), 2 + 3 * 3, "grid:\n{grid}");
+        // Header contains the age columns plus the ⋆ roll-up column.
+        assert!(lines[0].contains("age=young"));
+        assert!(lines[0].contains("age=old"));
+        assert!(lines[0].contains("age=*"));
+        // The fully-rolled-up row renders the apex as '-' (undefined).
+        let last = lines.last().unwrap();
+        assert!(last.trim_start().starts_with('*'));
+        assert!(last.trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn radial_series_one_vs_rest() {
+        // Two units: u0 = (2F, 3 total), u1 = (1F, 3 total) for minority F.
+        let breakdown = vec![(0u32, 2u64, 3u64), (1, 1, 3)];
+        let names = vec!["sector_a".to_string(), "sector_b".to_string()];
+        let series = radial_series(&breakdown, &names);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "sector_a");
+        // One-vs-rest for u0 is the same histogram as for u1 (two units,
+        // complements of each other) → identical index values.
+        assert_eq!(series[0].1.dissimilarity, series[1].1.dissimilarity);
+        assert!(series[0].1.dissimilarity.is_some());
+        // Population bookkeeping: M = 3, T = 6 for both.
+        assert_eq!(series[0].1.minority, 3);
+        assert_eq!(series[0].1.total, 6);
+    }
+
+    #[test]
+    fn csv_sheet_roundtrips_through_parser() {
+        let cube = cube();
+        let csv = to_csv(&cube);
+        let records = scube_common::csv::parse_str(&csv).unwrap();
+        assert_eq!(records.len(), cube.len() + 1);
+        let header = &records[0];
+        assert_eq!(
+            header,
+            &["sex", "age", "region", "M", "T", "P", "units", "D", "G", "H", "xPx", "xPy", "A"]
+        );
+        // The apex row: all coordinates '*', M = T = 8.
+        let apex = records[1..]
+            .iter()
+            .find(|r| r[0] == "*" && r[1] == "*" && r[2] == "*")
+            .expect("apex row missing");
+        assert_eq!(apex[3], "8");
+        assert_eq!(apex[4], "8");
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests for the cube builder against a brute-force model.
+//!
+//! The model computes, for random small populations, every cell's per-unit
+//! histogram by direct row scans and evaluates the indexes with the
+//! segindex crate — no mining, no bitmaps, no caching. Every materialized
+//! cube cell must match the model; the closed cube must be a restriction of
+//! the full cube; and the explorer must resolve arbitrary coordinates to
+//! model values.
+
+use proptest::prelude::*;
+use scube_cube::{CellCoords, CubeBuilder, CubeExplorer, Materialize};
+use scube_data::{Attribute, ItemId, Schema, TransactionDb, TransactionDbBuilder};
+use scube_segindex::{IndexValues, UnitCounts};
+
+/// A random population row: sex × age × region, assigned to one of 3 units.
+type Row = (u8, u8, u8, u8);
+
+fn rows() -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec((0u8..2, 0u8..3, 0u8..2, 0u8..3), 1..60)
+}
+
+fn build_db(rows: &[Row]) -> TransactionDb {
+    let schema = Schema::new(vec![
+        Attribute::sa("sex"),
+        Attribute::sa("age"),
+        Attribute::ca("region"),
+    ])
+    .unwrap();
+    let mut b = TransactionDbBuilder::new(schema);
+    for &(s, a, r, u) in rows {
+        b.add_row(
+            &[vec![format!("s{s}")], vec![format!("a{a}")], vec![format!("r{r}")]],
+            &format!("u{u}"),
+        )
+        .unwrap();
+    }
+    b.finish()
+}
+
+/// Model: evaluate a cell by scanning rows.
+fn model_cell(db: &TransactionDb, coords: &CellCoords) -> IndexValues {
+    let matches = |t: usize, items: &[ItemId]| -> bool {
+        items.iter().all(|it| db.transaction(t).contains(it))
+    };
+    let n_units = db.num_units();
+    let mut minority = vec![0u64; n_units];
+    let mut total = vec![0u64; n_units];
+    let union = coords.union();
+    for t in 0..db.len() {
+        let u = db.unit_of(t) as usize;
+        if matches(t, &coords.ca) {
+            total[u] += 1;
+            if matches(t, &union) {
+                minority[u] += 1;
+            }
+        }
+    }
+    let counts = UnitCounts::from_triples(
+        (0..n_units as u32).filter(|&u| total[u as usize] > 0).map(|u| (u, minority[u as usize], total[u as usize])),
+    )
+    .unwrap();
+    IndexValues::compute(&counts)
+}
+
+fn close(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (Some(a), Some(b)) => (a - b).abs() < 1e-9,
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+fn values_match(a: &IndexValues, b: &IndexValues) -> bool {
+    a.minority == b.minority
+        && a.total == b.total
+        && a.num_units == b.num_units
+        && close(a.dissimilarity, b.dissimilarity)
+        && close(a.gini, b.gini)
+        && close(a.information, b.information)
+        && close(a.isolation, b.isolation)
+        && close(a.interaction, b.interaction)
+        && close(a.atkinson, b.atkinson)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn full_cube_matches_model(rows in rows(), minsup in 1u64..4) {
+        let db = build_db(&rows);
+        let cube = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        for (coords, values) in cube.cells() {
+            let expected = model_cell(&db, coords);
+            prop_assert!(
+                values_match(values, &expected),
+                "cell {} mismatch: cube {:?} vs model {:?}",
+                cube.labels().describe(coords),
+                values,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn full_cube_is_complete(rows in rows(), minsup in 1u64..4) {
+        // Every (A,B) whose union is frequent must be materialized: verify
+        // through the per-transaction itemsets (each transaction's own
+        // coordinates are frequent at minsup=1 by construction).
+        let db = build_db(&rows);
+        let cube = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        for t in 0..db.len() {
+            let items = db.transaction(t).to_vec();
+            let coords = CellCoords::from_itemset(&items, &db);
+            // Support of the full transaction itemset:
+            let support = (0..db.len())
+                .filter(|&s| items.iter().all(|it| db.transaction(s).contains(it)))
+                .count() as u64;
+            if support >= minsup {
+                prop_assert!(
+                    cube.get(&coords).is_some(),
+                    "missing cell {} (support {})",
+                    cube.labels().describe(&coords),
+                    support
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_cube_restriction(rows in rows(), minsup in 1u64..4) {
+        let db = build_db(&rows);
+        let full = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        let closed = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::ClosedOnly)
+            .build(&db)
+            .unwrap();
+        prop_assert!(closed.len() <= full.len());
+        for (coords, values) in closed.cells() {
+            let in_full = full.get(coords);
+            prop_assert!(in_full.is_some());
+            prop_assert!(values_match(values, in_full.unwrap()));
+        }
+    }
+
+    #[test]
+    fn explorer_answers_any_cell(rows in rows()) {
+        let db = build_db(&rows);
+        let explorer: CubeExplorer = CubeExplorer::new(&db);
+        // Probe the coordinates of each transaction plus roll-ups.
+        for t in 0..db.len().min(10) {
+            let items = db.transaction(t).to_vec();
+            let coords = CellCoords::from_itemset(&items, &db);
+            let expected = model_cell(&db, &coords);
+            let got = explorer.values_at(&coords).unwrap();
+            prop_assert!(values_match(&got, &expected));
+            // SA-only and CA-only projections of the same transaction.
+            for probe in [
+                CellCoords::new(coords.sa.clone(), vec![]),
+                CellCoords::new(vec![], coords.ca.clone()),
+                CellCoords::apex(),
+            ] {
+                let expected = model_cell(&db, &probe);
+                let got = explorer.values_at(&probe).unwrap();
+                prop_assert!(values_match(&got, &expected));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial(rows in rows()) {
+        let db = build_db(&rows);
+        let serial = CubeBuilder::new()
+            .materialize(Materialize::AllFrequent)
+            .parallel(false)
+            .build(&db)
+            .unwrap();
+        let parallel = CubeBuilder::new()
+            .materialize(Materialize::AllFrequent)
+            .parallel(true)
+            .build(&db)
+            .unwrap();
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (coords, v) in serial.cells() {
+            let p = parallel.get(coords).unwrap();
+            prop_assert!(values_match(v, p));
+        }
+    }
+}

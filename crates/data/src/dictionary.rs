@@ -1,0 +1,116 @@
+//! Dictionary encoding of `attribute = value` items.
+//!
+//! Transactions are sets of *items*; an item is one `(attribute, value)`
+//! pair, e.g. `sex=female` or `region=north`. The dictionary interns each
+//! distinct pair once and hands out dense `u32` ids, which every downstream
+//! structure (FP-trees, tidset postings, cube coordinates) uses instead of
+//! strings.
+
+use scube_common::FxHashMap;
+
+use crate::schema::AttrId;
+
+/// Dense id of an interned `(attribute, value)` item.
+pub type ItemId = u32;
+
+#[derive(Debug, Clone)]
+struct ItemInfo {
+    attr: AttrId,
+    value: String,
+}
+
+/// Interning dictionary for items.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    items: Vec<ItemInfo>,
+    lookup: FxHashMap<(AttrId, String), ItemId>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Intern `(attr, value)`, returning its id (existing or fresh).
+    pub fn intern(&mut self, attr: AttrId, value: &str) -> ItemId {
+        if let Some(&id) = self.lookup.get(&(attr, value.to_string())) {
+            return id;
+        }
+        let id = self.items.len() as ItemId;
+        self.items.push(ItemInfo { attr, value: value.to_string() });
+        self.lookup.insert((attr, value.to_string()), id);
+        id
+    }
+
+    /// Id of an already-interned item.
+    pub fn get(&self, attr: AttrId, value: &str) -> Option<ItemId> {
+        // Temporary key allocation; lookups are off the hot path.
+        self.lookup.get(&(attr, value.to_string())).copied()
+    }
+
+    /// Attribute of an item.
+    pub fn attr_of(&self, item: ItemId) -> AttrId {
+        self.items[item as usize].attr
+    }
+
+    /// Value string of an item.
+    pub fn value_of(&self, item: ItemId) -> &str {
+        &self.items[item as usize].value
+    }
+
+    /// Number of interned items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// All items of a given attribute.
+    pub fn items_of_attr(&self, attr: AttrId) -> Vec<ItemId> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.attr == attr)
+            .map(|(i, _)| i as ItemId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(0, "female");
+        let b = d.intern(0, "female");
+        let c = d.intern(1, "female"); // same value, different attribute
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut d = Dictionary::new();
+        let id = d.intern(3, "north");
+        assert_eq!(d.attr_of(id), 3);
+        assert_eq!(d.value_of(id), "north");
+        assert_eq!(d.get(3, "north"), Some(id));
+        assert_eq!(d.get(3, "south"), None);
+    }
+
+    #[test]
+    fn items_of_attr_filters() {
+        let mut d = Dictionary::new();
+        let a = d.intern(0, "f");
+        let _b = d.intern(1, "x");
+        let c = d.intern(0, "m");
+        assert_eq!(d.items_of_attr(0), vec![a, c]);
+    }
+}

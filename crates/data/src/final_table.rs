@@ -1,0 +1,200 @@
+//! The `finalTable`: the canonical input of SegregationDataCubeBuilder.
+//!
+//! Fig. 3 of the paper shows the shape: one row per (individual,
+//! organizational unit), segregation-attribute columns, context-attribute
+//! columns, and a `unitID` column. [`FinalTableSpec`] declares which column
+//! plays which role and [`FinalTableSpec::encode`] turns a [`Relation`]
+//! into the dictionary-encoded [`TransactionDb`]. Multi-valued cells use
+//! `;` as the in-cell separator (`{electricity, transports}` ⇒
+//! `electricity;transports`).
+
+use std::path::Path;
+
+use scube_common::{Result, ScubeError};
+
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema};
+use crate::transactions::{TransactionDb, TransactionDbBuilder};
+
+/// In-cell separator for multi-valued attributes.
+pub const MULTI_VALUE_SEPARATOR: char = ';';
+
+/// Declares the roles of the columns of a final table.
+#[derive(Debug, Clone, Default)]
+pub struct FinalTableSpec {
+    /// Segregation-attribute columns, with their multi-valued flag.
+    pub sa_columns: Vec<(String, bool)>,
+    /// Context-attribute columns, with their multi-valued flag.
+    pub ca_columns: Vec<(String, bool)>,
+    /// The organizational-unit column.
+    pub unit_column: String,
+}
+
+impl FinalTableSpec {
+    /// Start an empty spec with the given unit column.
+    pub fn new(unit_column: impl Into<String>) -> Self {
+        FinalTableSpec { sa_columns: Vec::new(), ca_columns: Vec::new(), unit_column: unit_column.into() }
+    }
+
+    /// Add a single-valued segregation attribute column.
+    pub fn sa(mut self, name: impl Into<String>) -> Self {
+        self.sa_columns.push((name.into(), false));
+        self
+    }
+
+    /// Add a multi-valued segregation attribute column.
+    pub fn sa_multi(mut self, name: impl Into<String>) -> Self {
+        self.sa_columns.push((name.into(), true));
+        self
+    }
+
+    /// Add a single-valued context attribute column.
+    pub fn ca(mut self, name: impl Into<String>) -> Self {
+        self.ca_columns.push((name.into(), false));
+        self
+    }
+
+    /// Add a multi-valued context attribute column.
+    pub fn ca_multi(mut self, name: impl Into<String>) -> Self {
+        self.ca_columns.push((name.into(), true));
+        self
+    }
+
+    /// The schema induced by the spec (SA attributes first, then CA).
+    pub fn schema(&self) -> Result<Schema> {
+        let mut attrs = Vec::new();
+        for (name, multi) in &self.sa_columns {
+            let mut a = Attribute::sa(name.clone());
+            a.multi_valued = *multi;
+            attrs.push(a);
+        }
+        for (name, multi) in &self.ca_columns {
+            let mut a = Attribute::ca(name.clone());
+            a.multi_valued = *multi;
+            attrs.push(a);
+        }
+        Schema::new(attrs)
+    }
+
+    /// Encode a relation into a transaction database under this spec.
+    pub fn encode(&self, rel: &Relation) -> Result<TransactionDb> {
+        let schema = self.schema()?;
+        let mut col_of_attr = Vec::with_capacity(schema.len());
+        for attr in schema.attributes() {
+            let idx = rel.column_index(&attr.name).ok_or_else(|| {
+                ScubeError::Schema(format!("final table misses column '{}'", attr.name))
+            })?;
+            col_of_attr.push(idx);
+        }
+        let unit_col = rel.column_index(&self.unit_column).ok_or_else(|| {
+            ScubeError::Schema(format!("final table misses unit column '{}'", self.unit_column))
+        })?;
+
+        let mut builder = TransactionDbBuilder::new(schema.clone());
+        let mut values: Vec<Vec<&str>> = vec![Vec::new(); schema.len()];
+        for row in rel.rows() {
+            for (a, attr) in schema.attributes().iter().enumerate() {
+                let cell = row[col_of_attr[a]].as_str();
+                values[a].clear();
+                if attr.multi_valued {
+                    values[a].extend(
+                        cell.split(MULTI_VALUE_SEPARATOR)
+                            .map(str::trim)
+                            .filter(|v| !v.is_empty()),
+                    );
+                } else if !cell.trim().is_empty() {
+                    values[a].push(cell);
+                }
+            }
+            builder.add_row(&values, &row[unit_col])?;
+        }
+        Ok(builder.finish())
+    }
+
+    /// Convenience: read a CSV file and encode it.
+    pub fn load_csv(&self, path: impl AsRef<Path>) -> Result<TransactionDb> {
+        self.encode(&Relation::read_csv_path(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_relation() -> Relation {
+        let mut r = Relation::new(
+            ["gender", "age", "residence", "sector", "unitID"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        )
+        .unwrap();
+        // Rows mirror the finalTable of the paper's Fig. 3 (left, bottom).
+        for row in [
+            ["M", "15-38", "north", "education", "1"],
+            ["F", "39-46", "south", "electricity;transports", "2"],
+            ["M", "55-65", "south", "agriculture", "1"],
+        ] {
+            r.push_row(row.iter().map(|s| s.to_string()).collect()).unwrap();
+        }
+        r
+    }
+
+    fn spec() -> FinalTableSpec {
+        FinalTableSpec::new("unitID")
+            .sa("gender")
+            .sa("age")
+            .ca("residence")
+            .ca_multi("sector")
+    }
+
+    #[test]
+    fn encode_fig3_final_table() {
+        let db = spec().encode(&sample_relation()).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.num_units(), 2);
+        // Row 1 has a multi-valued sector: 2 SA items + 1 CA + 2 CA = 5.
+        assert_eq!(db.transaction(1).len(), 5);
+        let labels: Vec<String> =
+            db.transaction(1).iter().map(|&i| db.item_label(i)).collect();
+        assert!(labels.contains(&"sector=electricity".to_string()));
+        assert!(labels.contains(&"sector=transports".to_string()));
+        assert!(labels.contains(&"gender=F".to_string()));
+    }
+
+    #[test]
+    fn schema_roles_follow_spec() {
+        let schema = spec().schema().unwrap();
+        assert_eq!(schema.sa_ids().len(), 2);
+        assert_eq!(schema.ca_ids().len(), 2);
+        assert!(schema.attr(3).multi_valued);
+    }
+
+    #[test]
+    fn missing_column_is_schema_error() {
+        let r = Relation::new(vec!["gender".into(), "unitID".into()]).unwrap();
+        let err = spec().encode(&r).unwrap_err();
+        assert!(err.to_string().contains("misses column"));
+    }
+
+    #[test]
+    fn missing_unit_column_is_schema_error() {
+        let mut bad = spec();
+        bad.unit_column = "nope".into();
+        let err = bad.encode(&sample_relation()).unwrap_err();
+        assert!(err.to_string().contains("unit column"));
+    }
+
+    #[test]
+    fn multivalued_whitespace_trimmed() {
+        let mut r = Relation::new(vec!["gender".into(), "sector".into(), "u".into()]).unwrap();
+        r.push_row(vec!["F".into(), " a ; b ;; ".into(), "x".into()]).unwrap();
+        let spec = FinalTableSpec::new("u").sa("gender").ca_multi("sector");
+        let db = spec.encode(&r).unwrap();
+        let labels: Vec<String> =
+            db.transaction(0).iter().map(|&i| db.item_label(i)).collect();
+        assert!(labels.contains(&"sector=a".to_string()));
+        assert!(labels.contains(&"sector=b".to_string()));
+        assert_eq!(db.transaction(0).len(), 3);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Relational and transaction data layer for SCube.
+//!
+//! SCube analyses a population table with *segregation attributes* (SA),
+//! *context attributes* (CA) and a `unitID` column (the paper's
+//! `finalTable`, Fig. 3). This crate provides the whole journey from CSV to
+//! mining-ready structures:
+//!
+//! * [`schema`] — attributes with SA/CA roles and multi-valued flags;
+//! * [`relation`] — untyped CSV-backed tables ([`Relation`]);
+//! * [`final_table`] — the [`FinalTableSpec`] role declaration and encoder;
+//! * [`dictionary`] — interning of `attr=value` items to dense `u32` ids;
+//! * [`transactions`] — the horizontal [`TransactionDb`] (one transaction
+//!   per individual, unit id carried alongside);
+//! * [`vertical`] — the item→tidset [`VerticalDb`], generic over tidset
+//!   representation ([`scube_bitmap::Posting`]).
+
+pub mod dictionary;
+pub mod final_table;
+pub mod relation;
+pub mod schema;
+pub mod transactions;
+pub mod vertical;
+
+pub use dictionary::{Dictionary, ItemId};
+pub use final_table::{FinalTableSpec, MULTI_VALUE_SEPARATOR};
+pub use relation::Relation;
+pub use schema::{AttrId, AttrRole, Attribute, Schema};
+pub use transactions::{TransactionDb, TransactionDbBuilder, UnitId};
+pub use vertical::VerticalDb;

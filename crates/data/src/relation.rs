@@ -1,0 +1,175 @@
+//! String-level relational tables backed by CSV.
+//!
+//! [`Relation`] is the untyped staging area between SCube's CSV inputs and
+//! the encoded [`crate::TransactionDb`]: a header plus rows of strings.
+//! The pipeline's `individuals`, `groups`, `membership` and `finalTable`
+//! files all pass through here.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use scube_common::csv;
+use scube_common::{Result, ScubeError};
+
+/// An in-memory table: named columns, rows of strings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given column names.
+    pub fn new(columns: Vec<String>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].contains(c) {
+                return Err(ScubeError::Schema(format!("duplicate column '{c}'")));
+            }
+        }
+        Ok(Relation { columns, rows: Vec::new() })
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row; its arity must match the header.
+    pub fn push_row(&mut self, row: Vec<String>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(ScubeError::Schema(format!(
+                "row has {} fields, header has {}",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Value at `(row, column-name)`.
+    pub fn get(&self, row: usize, column: &str) -> Option<&str> {
+        let c = self.column_index(column)?;
+        self.rows.get(row).map(|r| r[c].as_str())
+    }
+
+    /// Read a relation from CSV with a header line.
+    pub fn read_csv<R: BufRead>(input: R) -> Result<Self> {
+        let mut reader = csv::Reader::new(input);
+        let mut rec = Vec::new();
+        if !reader.read_record(&mut rec)? {
+            return Err(ScubeError::Csv { line: 0, msg: "missing header".into() });
+        }
+        let mut rel = Relation::new(rec.clone())?;
+        while reader.read_record(&mut rec)? {
+            if rec.len() != rel.columns.len() {
+                return Err(ScubeError::Csv {
+                    line: reader.line(),
+                    msg: format!(
+                        "expected {} fields, found {}",
+                        rel.columns.len(),
+                        rec.len()
+                    ),
+                });
+            }
+            rel.rows.push(rec.clone());
+        }
+        Ok(rel)
+    }
+
+    /// Read a relation from a CSV file.
+    pub fn read_csv_path(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)
+            .map_err(|e| ScubeError::io_at(path.display().to_string(), e))?;
+        Self::read_csv(BufReader::new(file))
+    }
+
+    /// Write the relation as CSV (header + rows).
+    pub fn write_csv<W: Write>(&self, output: W) -> Result<()> {
+        let mut w = csv::Writer::new(BufWriter::new(output));
+        w.write_record(&self.columns)?;
+        for row in &self.rows {
+            w.write_record(row)?;
+        }
+        w.flush()
+    }
+
+    /// Write the relation to a CSV file.
+    pub fn write_csv_path(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let file = std::fs::File::create(path)
+            .map_err(|e| ScubeError::io_at(path.display().to_string(), e))?;
+        self.write_csv(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let mut r = Relation::new(vec!["id".into(), "gender".into()]).unwrap();
+        r.push_row(vec!["1".into(), "F".into()]).unwrap();
+        r.push_row(vec!["2".into(), "M".into()]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0, "gender"), Some("F"));
+        assert_eq!(r.get(1, "id"), Some("2"));
+        assert_eq!(r.get(0, "nope"), None);
+        assert_eq!(r.column_index("gender"), Some(1));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::new(vec!["a".into(), "b".into()]).unwrap();
+        assert!(r.push_row(vec!["1".into()]).is_err());
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        assert!(Relation::new(vec!["a".into(), "a".into()]).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut r = Relation::new(vec!["id".into(), "sector".into()]).unwrap();
+        r.push_row(vec!["1".into(), "edu;transport".into()]).unwrap();
+        r.push_row(vec!["2".into(), "with,comma".into()]).unwrap();
+        let mut buf = Vec::new();
+        r.write_csv(&mut buf).unwrap();
+        let back = Relation::read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn read_rejects_ragged_rows() {
+        let err = Relation::read_csv("a,b\n1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 2 fields"));
+    }
+
+    #[test]
+    fn read_rejects_empty_input() {
+        assert!(Relation::read_csv("".as_bytes()).is_err());
+    }
+}

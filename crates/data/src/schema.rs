@@ -1,0 +1,161 @@
+//! Attribute schemas with segregation/context roles.
+//!
+//! SCube distinguishes two kinds of cube dimensions (§2 of the paper):
+//! *segregation attributes* (SA) describe the potentially segregated groups
+//! (sex, age, birthplace, …) and *context attributes* (CA) describe where
+//! segregation may appear (region, sector, …). The split determines how an
+//! itemset `A ∪ B` is interpreted as a cube cell: `A` = SA coordinates
+//! (minority definition), `B` = CA coordinates (context definition).
+
+use scube_common::{Result, ScubeError};
+
+/// Role of an attribute in segregation analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrRole {
+    /// Segregation attribute: defines minority groups (e.g. `sex`, `age`).
+    Segregation,
+    /// Context attribute: defines analysis contexts (e.g. `region`).
+    Context,
+}
+
+impl std::fmt::Display for AttrRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AttrRole::Segregation => "SA",
+            AttrRole::Context => "CA",
+        })
+    }
+}
+
+/// One attribute of the population table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Column name (e.g. `"gender"`).
+    pub name: String,
+    /// SA or CA.
+    pub role: AttrRole,
+    /// Whether one individual may carry several values of this attribute
+    /// (the paper's `σ[owns] = {house, car}` example; multi-valued cells are
+    /// `;`-separated in CSV inputs).
+    pub multi_valued: bool,
+}
+
+impl Attribute {
+    /// Single-valued segregation attribute.
+    pub fn sa(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), role: AttrRole::Segregation, multi_valued: false }
+    }
+
+    /// Single-valued context attribute.
+    pub fn ca(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), role: AttrRole::Context, multi_valued: false }
+    }
+
+    /// Mark the attribute as multi-valued.
+    pub fn multi(mut self) -> Self {
+        self.multi_valued = true;
+        self
+    }
+}
+
+/// Index of an attribute within its [`Schema`].
+pub type AttrId = u16;
+
+/// An ordered set of attributes with unique names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate attribute names.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(ScubeError::Schema(format!("duplicate attribute '{}'", a.name)));
+            }
+        }
+        if attrs.len() > AttrId::MAX as usize {
+            return Err(ScubeError::Schema("too many attributes".into()));
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Attribute by id.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id as usize]
+    }
+
+    /// Look up an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attrs.iter().position(|a| a.name == name).map(|i| i as AttrId)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Ids of the segregation attributes.
+    pub fn sa_ids(&self) -> Vec<AttrId> {
+        self.ids_with_role(AttrRole::Segregation)
+    }
+
+    /// Ids of the context attributes.
+    pub fn ca_ids(&self) -> Vec<AttrId> {
+        self.ids_with_role(AttrRole::Context)
+    }
+
+    fn ids_with_role(&self, role: AttrRole) -> Vec<AttrId> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == role)
+            .map(|(i, _)| i as AttrId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_partition() {
+        let s = Schema::new(vec![
+            Attribute::sa("gender"),
+            Attribute::sa("age"),
+            Attribute::ca("region"),
+            Attribute::ca("sector").multi(),
+        ])
+        .unwrap();
+        assert_eq!(s.sa_ids(), vec![0, 1]);
+        assert_eq!(s.ca_ids(), vec![2, 3]);
+        assert!(s.attr(3).multi_valued);
+        assert_eq!(s.attr_id("region"), Some(2));
+        assert_eq!(s.attr_id("nope"), None);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![Attribute::sa("x"), Attribute::ca("x")]).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(AttrRole::Segregation.to_string(), "SA");
+        assert_eq!(AttrRole::Context.to_string(), "CA");
+    }
+}

@@ -1,0 +1,282 @@
+//! Horizontal transaction database: one transaction per individual.
+//!
+//! A transaction holds the sorted item ids of the individual's SA and CA
+//! attribute values (several per attribute when multi-valued), plus the id
+//! of the organizational unit the individual belongs to. The unit is *not*
+//! an item: the cube builder partitions every tidset by unit to obtain the
+//! per-unit `(m_i, t_i)` histograms that segregation indexes consume.
+
+use scube_common::{FxHashMap, Result, ScubeError};
+
+use crate::dictionary::{Dictionary, ItemId};
+use crate::schema::{AttrId, AttrRole, Schema};
+
+/// Unit identifier (dense, assigned by the builder).
+pub type UnitId = u32;
+
+/// Encoded transaction database.
+#[derive(Debug, Clone)]
+pub struct TransactionDb {
+    schema: Schema,
+    dictionary: Dictionary,
+    /// Flattened transactions: `offsets[t]..offsets[t+1]` indexes `items`.
+    items: Vec<ItemId>,
+    offsets: Vec<u32>,
+    units: Vec<UnitId>,
+    unit_names: Vec<String>,
+}
+
+impl TransactionDb {
+    /// Number of transactions (individuals).
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True when the database has no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Number of distinct organizational units.
+    pub fn num_units(&self) -> usize {
+        self.unit_names.len()
+    }
+
+    /// The schema the items were encoded under.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The item dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// The sorted items of transaction `t`.
+    pub fn transaction(&self, t: usize) -> &[ItemId] {
+        &self.items[self.offsets[t] as usize..self.offsets[t + 1] as usize]
+    }
+
+    /// Unit of transaction `t`.
+    pub fn unit_of(&self, t: usize) -> UnitId {
+        self.units[t]
+    }
+
+    /// The `tid → unit` mapping as a slice.
+    pub fn units(&self) -> &[UnitId] {
+        &self.units
+    }
+
+    /// Display name of a unit.
+    pub fn unit_name(&self, unit: UnitId) -> &str {
+        &self.unit_names[unit as usize]
+    }
+
+    /// All unit names, indexed by [`UnitId`].
+    pub fn unit_names(&self) -> &[String] {
+        &self.unit_names
+    }
+
+    /// Iterate `(items, unit)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[ItemId], UnitId)> + '_ {
+        (0..self.len()).map(move |t| (self.transaction(t), self.units[t]))
+    }
+
+    /// Is `item` a segregation-attribute item?
+    pub fn is_sa_item(&self, item: ItemId) -> bool {
+        self.schema.attr(self.dictionary.attr_of(item)).role == AttrRole::Segregation
+    }
+
+    /// Human-readable `attr=value` label of an item.
+    pub fn item_label(&self, item: ItemId) -> String {
+        let attr = self.dictionary.attr_of(item);
+        format!("{}={}", self.schema.attr(attr).name, self.dictionary.value_of(item))
+    }
+
+    /// Per-item absolute support (number of transactions containing it).
+    pub fn item_supports(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.dictionary.len()];
+        for &it in &self.items {
+            counts[it as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// Incremental builder for [`TransactionDb`].
+#[derive(Debug)]
+pub struct TransactionDbBuilder {
+    schema: Schema,
+    dictionary: Dictionary,
+    items: Vec<ItemId>,
+    offsets: Vec<u32>,
+    units: Vec<UnitId>,
+    unit_names: Vec<String>,
+    unit_lookup: FxHashMap<String, UnitId>,
+    scratch: Vec<ItemId>,
+}
+
+impl TransactionDbBuilder {
+    /// Start building under the given schema.
+    pub fn new(schema: Schema) -> Self {
+        TransactionDbBuilder {
+            schema,
+            dictionary: Dictionary::new(),
+            items: Vec::new(),
+            offsets: vec![0],
+            units: Vec::new(),
+            unit_names: Vec::new(),
+            unit_lookup: FxHashMap::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Intern a unit name, returning its dense id.
+    pub fn intern_unit(&mut self, name: &str) -> UnitId {
+        if let Some(&u) = self.unit_lookup.get(name) {
+            return u;
+        }
+        let u = self.unit_names.len() as UnitId;
+        self.unit_names.push(name.to_string());
+        self.unit_lookup.insert(name.to_string(), u);
+        u
+    }
+
+    /// Add one individual.
+    ///
+    /// `values[a]` holds the values of attribute `a` (one entry for single-
+    /// valued attributes, several for multi-valued ones; empty = missing).
+    pub fn add_row<S: AsRef<str>>(&mut self, values: &[Vec<S>], unit: &str) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(ScubeError::Schema(format!(
+                "row has {} attribute slots, schema has {}",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        self.scratch.clear();
+        for (a, vals) in values.iter().enumerate() {
+            let attr = a as AttrId;
+            if !self.schema.attr(attr).multi_valued && vals.len() > 1 {
+                return Err(ScubeError::Schema(format!(
+                    "attribute '{}' is single-valued but got {} values",
+                    self.schema.attr(attr).name,
+                    vals.len()
+                )));
+            }
+            for v in vals {
+                let v = v.as_ref().trim();
+                if v.is_empty() {
+                    continue; // missing value ⇒ no item
+                }
+                self.scratch.push(self.dictionary.intern(attr, v));
+            }
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        let unit_id = self.intern_unit(unit);
+        self.items.extend_from_slice(&self.scratch);
+        self.offsets.push(self.items.len() as u32);
+        self.units.push(unit_id);
+        Ok(())
+    }
+
+    /// Finish, producing the immutable database.
+    pub fn finish(self) -> TransactionDb {
+        TransactionDb {
+            schema: self.schema,
+            dictionary: self.dictionary,
+            items: self.items,
+            offsets: self.offsets,
+            units: self.units,
+            unit_names: self.unit_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::sa("gender"),
+            Attribute::ca("region"),
+            Attribute::ca("sector").multi(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let mut b = TransactionDbBuilder::new(schema());
+        b.add_row(&[vec!["F"], vec!["north"], vec!["edu", "transport"]], "u1").unwrap();
+        b.add_row(&[vec!["M"], vec!["south"], vec!["edu"]], "u2").unwrap();
+        b.add_row(&[vec!["F"], vec!["north"], vec![]], "u1").unwrap();
+        let db = b.finish();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.num_units(), 2);
+        assert_eq!(db.transaction(0).len(), 4);
+        assert_eq!(db.transaction(2).len(), 2);
+        assert_eq!(db.unit_of(0), db.unit_of(2));
+        assert_ne!(db.unit_of(0), db.unit_of(1));
+        assert_eq!(db.unit_name(0), "u1");
+    }
+
+    #[test]
+    fn items_are_sorted_and_deduped() {
+        let mut b = TransactionDbBuilder::new(schema());
+        b.add_row(&[vec!["F"], vec!["north"], vec!["edu", "edu"]], "u").unwrap();
+        let db = b.finish();
+        let t = db.transaction(0);
+        assert_eq!(t.len(), 3);
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn missing_values_skipped() {
+        let mut b = TransactionDbBuilder::new(schema());
+        b.add_row(&[vec![""], vec!["  "], vec![]], "u").unwrap();
+        let db = b.finish();
+        assert_eq!(db.transaction(0).len(), 0);
+    }
+
+    #[test]
+    fn multi_value_on_single_valued_attr_rejected() {
+        let mut b = TransactionDbBuilder::new(schema());
+        let err = b.add_row(&[vec!["F", "M"], vec!["north"], vec![]], "u").unwrap_err();
+        assert!(err.to_string().contains("single-valued"));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut b = TransactionDbBuilder::new(schema());
+        let err = b.add_row(&[vec!["F"]], "u").unwrap_err();
+        assert!(err.to_string().contains("attribute slots"));
+    }
+
+    #[test]
+    fn sa_ca_item_classification() {
+        let mut b = TransactionDbBuilder::new(schema());
+        b.add_row(&[vec!["F"], vec!["north"], vec!["edu"]], "u").unwrap();
+        let db = b.finish();
+        let t: Vec<ItemId> = db.transaction(0).to_vec();
+        let sa: Vec<bool> = t.iter().map(|&i| db.is_sa_item(i)).collect();
+        assert_eq!(sa.iter().filter(|&&x| x).count(), 1);
+        let labels: Vec<String> = t.iter().map(|&i| db.item_label(i)).collect();
+        assert!(labels.contains(&"gender=F".to_string()));
+        assert!(labels.contains(&"region=north".to_string()));
+        assert!(labels.contains(&"sector=edu".to_string()));
+    }
+
+    #[test]
+    fn item_supports() {
+        let mut b = TransactionDbBuilder::new(schema());
+        b.add_row(&[vec!["F"], vec!["north"], vec![]], "u").unwrap();
+        b.add_row(&[vec!["F"], vec!["south"], vec![]], "u").unwrap();
+        let db = b.finish();
+        let f = db.dictionary().get(0, "F").unwrap();
+        assert_eq!(db.item_supports()[f as usize], 2);
+    }
+}

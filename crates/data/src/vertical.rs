@@ -1,0 +1,184 @@
+//! Vertical (item → tidset) representation of a transaction database.
+//!
+//! The cube builder and the Eclat miner work on *postings*: for each item,
+//! the set of transaction ids containing it. The representation of a
+//! posting is generic over [`Posting`] so the EWAH / dense / tid-vector
+//! ablation (experiment E11) runs through identical code.
+
+use scube_bitmap::{EwahBitmap, Posting};
+
+use crate::dictionary::ItemId;
+use crate::transactions::{TransactionDb, UnitId};
+
+/// Item-indexed postings plus the `tid → unit` map.
+#[derive(Debug, Clone)]
+pub struct VerticalDb<P: Posting = EwahBitmap> {
+    postings: Vec<P>,
+    n_transactions: u32,
+    unit_of: Vec<UnitId>,
+    n_units: u32,
+}
+
+impl<P: Posting> VerticalDb<P> {
+    /// Build from a horizontal database.
+    pub fn build(db: &TransactionDb) -> Self {
+        // Collect tids per item, then freeze each list into a posting.
+        let mut tids: Vec<Vec<u32>> = vec![Vec::new(); db.dictionary().len()];
+        for t in 0..db.len() {
+            for &item in db.transaction(t) {
+                tids[item as usize].push(t as u32);
+            }
+        }
+        let postings = tids.iter().map(|ids| P::from_sorted(ids)).collect();
+        VerticalDb {
+            postings,
+            n_transactions: db.len() as u32,
+            unit_of: db.units().to_vec(),
+            n_units: db.num_units() as u32,
+        }
+    }
+
+    /// Posting of one item.
+    pub fn posting(&self, item: ItemId) -> &P {
+        &self.postings[item as usize]
+    }
+
+    /// Number of items with postings.
+    pub fn num_items(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of transactions.
+    pub fn num_transactions(&self) -> u32 {
+        self.n_transactions
+    }
+
+    /// Number of organizational units.
+    pub fn num_units(&self) -> u32 {
+        self.n_units
+    }
+
+    /// Unit of a transaction.
+    pub fn unit_of(&self, tid: u32) -> UnitId {
+        self.unit_of[tid as usize]
+    }
+
+    /// The full `tid → unit` map.
+    pub fn units(&self) -> &[UnitId] {
+        &self.unit_of
+    }
+
+    /// Tidset of an itemset (intersection of item postings), or the
+    /// universe when the itemset is empty.
+    pub fn tidset(&self, itemset: &[ItemId]) -> P {
+        match itemset {
+            [] => P::from_sorted(&(0..self.n_transactions).collect::<Vec<u32>>()),
+            [first, rest @ ..] => {
+                let mut acc = self.postings[*first as usize].clone();
+                for &it in rest {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = acc.and(&self.postings[it as usize]);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Support of an itemset.
+    pub fn support(&self, itemset: &[ItemId]) -> u64 {
+        match itemset {
+            [] => u64::from(self.n_transactions),
+            [single] => self.postings[*single as usize].cardinality(),
+            [first, rest @ .., last] => {
+                let mut acc = self.postings[*first as usize].clone();
+                for &it in rest {
+                    if acc.is_empty() {
+                        return 0;
+                    }
+                    acc = acc.and(&self.postings[it as usize]);
+                }
+                acc.and_cardinality(&self.postings[*last as usize])
+            }
+        }
+    }
+
+    /// Per-unit head-counts of a tidset: `counts[u]` = transactions of the
+    /// tidset belonging to unit `u`. This is the histogram primitive behind
+    /// every cube cell.
+    pub fn unit_histogram(&self, tids: &P) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n_units as usize];
+        tids.for_each(|tid| counts[self.unit_of[tid as usize] as usize] += 1);
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::transactions::TransactionDbBuilder;
+    use scube_bitmap::{DenseBitmap, TidVec};
+
+    fn small_db() -> TransactionDb {
+        let schema = Schema::new(vec![Attribute::sa("g"), Attribute::ca("r")]).unwrap();
+        let mut b = TransactionDbBuilder::new(schema);
+        b.add_row(&[vec!["F"], vec!["n"]], "u0").unwrap();
+        b.add_row(&[vec!["M"], vec!["n"]], "u0").unwrap();
+        b.add_row(&[vec!["F"], vec!["s"]], "u1").unwrap();
+        b.add_row(&[vec!["F"], vec!["n"]], "u1").unwrap();
+        b.finish()
+    }
+
+    fn item(db: &TransactionDb, attr: u16, v: &str) -> ItemId {
+        db.dictionary().get(attr, v).unwrap()
+    }
+
+    #[test]
+    fn postings_match_horizontal() {
+        let db = small_db();
+        let v: VerticalDb = VerticalDb::build(&db);
+        let f = item(&db, 0, "F");
+        let n = item(&db, 1, "n");
+        assert_eq!(v.posting(f).to_vec(), vec![0, 2, 3]);
+        assert_eq!(v.posting(n).to_vec(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn tidset_and_support() {
+        let db = small_db();
+        let v: VerticalDb = VerticalDb::build(&db);
+        let f = item(&db, 0, "F");
+        let n = item(&db, 1, "n");
+        assert_eq!(v.tidset(&[f, n]).to_vec(), vec![0, 3]);
+        assert_eq!(v.support(&[f, n]), 2);
+        assert_eq!(v.support(&[]), 4);
+        assert_eq!(v.support(&[f]), 3);
+        assert_eq!(v.tidset(&[]).cardinality(), 4);
+    }
+
+    #[test]
+    fn unit_histogram() {
+        let db = small_db();
+        let v: VerticalDb = VerticalDb::build(&db);
+        let f = item(&db, 0, "F");
+        let h = v.unit_histogram(v.posting(f));
+        assert_eq!(h, vec![1, 2]); // F in u0 once, in u1 twice
+    }
+
+    #[test]
+    fn generic_over_representations() {
+        let db = small_db();
+        let e: VerticalDb<EwahBitmap> = VerticalDb::build(&db);
+        let d: VerticalDb<DenseBitmap> = VerticalDb::build(&db);
+        let t: VerticalDb<TidVec> = VerticalDb::build(&db);
+        let f = item(&db, 0, "F");
+        let n = item(&db, 1, "n");
+        for items in [vec![f], vec![n], vec![f, n]] {
+            assert_eq!(e.support(&items), d.support(&items));
+            assert_eq!(d.support(&items), t.support(&items));
+            assert_eq!(e.tidset(&items).to_vec(), t.tidset(&items).to_vec());
+        }
+    }
+}

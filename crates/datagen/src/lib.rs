@@ -1,0 +1,557 @@
+#![warn(missing_docs)]
+//! Synthetic board-of-directors registries for the SCube case studies.
+//!
+//! The paper's evaluation uses two proprietary datasets: a 2012 snapshot of
+//! the Italian Business Register (3.6M directors, 2.15M companies) and a
+//! 20-year Estonian registry (440K directors, 340K companies). Neither is
+//! public, so this crate generates synthetic registries that reproduce the
+//! aggregate *shapes* those experiments depend on (see DESIGN.md §3):
+//!
+//! * 20 Italian sectors / 20 regions with realistic frequency skew (15
+//!   Estonian counties for the Estonian preset);
+//! * board sizes and director multi-seat ("interlock") distributions with
+//!   the right means and heavy tails, yielding the connected-company
+//!   communities the graph scenarios cluster;
+//! * **planted gender segregation**: each sector has a baseline female
+//!   propensity (education high, construction low, …), amplified or muted
+//!   by the `sector_bias` knob, plus a north/south residence effect — so
+//!   experiments can assert *who is segregated where* against ground truth;
+//! * optional validity intervals over a configurable year range with a
+//!   female-share drift (the Estonian temporal analysis).
+//!
+//! Everything is deterministic under a fixed seed.
+
+pub mod names;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use scube::inputs::{Dataset, GroupsSpec, IndividualsSpec, MembershipSpec};
+use scube_common::Result;
+use scube_data::Relation;
+
+/// Temporal generation parameters (Estonian-style registries).
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalConfig {
+    /// First year of the registry.
+    pub start_year: i64,
+    /// Last year of the registry.
+    pub end_year: i64,
+    /// Added female propensity from `start_year` to `end_year` (a linear
+    /// drift; positive = boards feminize over time).
+    pub female_drift: f64,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BoardsConfig {
+    /// Number of companies to generate.
+    pub n_companies: usize,
+    /// Mean board size (companies with 1..=15 seats, geometric-ish).
+    pub mean_board_size: f64,
+    /// Target ratio directors/companies (Italy 2012: 3.6M/2.15M ≈ 1.67).
+    pub directors_per_company: f64,
+    /// Strength of the planted sector gender bias in `[0, 1]`:
+    /// 0 = every sector at the national share (no segregation),
+    /// 1 = the full per-sector propensities of [`names::SECTORS`].
+    pub sector_bias: f64,
+    /// Extra south-vs-north female propensity gap (planted regional
+    /// segregation; subtracted in the south, added in the north).
+    pub regional_gap: f64,
+    /// Share of reused directors drawn from the same region (creates
+    /// regionally clustered interlocks).
+    pub regional_affinity: f64,
+    /// Share of reused directors drawn from the same sector (directors
+    /// tend to stay within their industry; keeps the planted sector bias
+    /// visible through interlocks).
+    pub sector_affinity: f64,
+    /// Use Estonian counties instead of Italian regions.
+    pub estonian_geography: bool,
+    /// Validity intervals (None = untimed snapshot).
+    pub temporal: Option<TemporalConfig>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BoardsConfig {
+    /// The Italian 2012-snapshot preset, scaled to `n_companies`
+    /// (full scale would be 2 150 000).
+    pub fn italy(n_companies: usize) -> Self {
+        BoardsConfig {
+            n_companies,
+            mean_board_size: 2.8,
+            directors_per_company: 1.67,
+            sector_bias: 1.0,
+            regional_gap: 0.05,
+            regional_affinity: 0.7,
+            sector_affinity: 0.65,
+            estonian_geography: false,
+            temporal: None,
+            seed: 0x17A1,
+        }
+    }
+
+    /// The Estonian 20-year preset, scaled to `n_companies`
+    /// (full scale would be 340 000; directors/companies 440/340 ≈ 1.29).
+    pub fn estonia(n_companies: usize) -> Self {
+        BoardsConfig {
+            n_companies,
+            mean_board_size: 2.2,
+            directors_per_company: 1.29,
+            sector_bias: 1.0,
+            regional_gap: 0.03,
+            regional_affinity: 0.6,
+            sector_affinity: 0.6,
+            estonian_geography: true,
+            temporal: Some(TemporalConfig {
+                start_year: 1995,
+                end_year: 2014,
+                female_drift: 0.08,
+            }),
+            seed: 0xE570,
+        }
+    }
+
+    /// Override the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the planted sector bias.
+    pub fn sector_bias(mut self, bias: f64) -> Self {
+        self.sector_bias = bias;
+        self
+    }
+}
+
+/// A generated registry: the three SCube input relations plus their specs.
+#[derive(Debug, Clone)]
+pub struct SyntheticBoards {
+    /// `individuals`: id, gender, age, birthplace, residence.
+    pub individuals: Relation,
+    /// `groups`: id, sector, region, area.
+    pub groups: Relation,
+    /// `membership`: director, company (+ from, to when temporal).
+    pub membership: Relation,
+    /// The configuration that produced the registry.
+    pub config: BoardsConfig,
+}
+
+impl SyntheticBoards {
+    /// Column roles of the `individuals` relation.
+    pub fn individuals_spec(&self) -> IndividualsSpec {
+        IndividualsSpec::new("id")
+            .sa("gender")
+            .sa("age")
+            .sa("birthplace")
+            .ca("residence")
+    }
+
+    /// Column roles of the `groups` relation.
+    pub fn groups_spec(&self) -> GroupsSpec {
+        GroupsSpec::new("id").ca("sector").ca("region").ca("area")
+    }
+
+    /// Column roles of the `membership` relation.
+    pub fn membership_spec(&self) -> MembershipSpec {
+        let spec = MembershipSpec::new("director", "company");
+        if self.config.temporal.is_some() {
+            spec.with_interval("from", "to")
+        } else {
+            spec
+        }
+    }
+
+    /// Assemble a validated [`Dataset`] with the given snapshot dates.
+    pub fn to_dataset(&self, dates: Vec<i64>) -> Result<Dataset> {
+        Dataset::new(
+            self.individuals.clone(),
+            self.individuals_spec(),
+            self.groups.clone(),
+            self.groups_spec(),
+            &self.membership,
+            &self.membership_spec(),
+            dates,
+        )
+    }
+
+    /// Evenly spaced snapshot years across the temporal range (`n ≥ 2`).
+    pub fn snapshot_years(&self, n: usize) -> Vec<i64> {
+        match self.config.temporal {
+            Some(t) if n >= 2 => {
+                let span = t.end_year - t.start_year;
+                (0..n)
+                    .map(|i| t.start_year + span * i as i64 / (n as i64 - 1))
+                    .collect()
+            }
+            Some(t) => vec![t.end_year],
+            None => Vec::new(),
+        }
+    }
+}
+
+struct DirectorRecord {
+    gender: &'static str,
+    age: &'static str,
+    birthplace: String,
+    residence: String,
+    region_idx: usize,
+    /// Year of the director's first appearance (temporal registries only):
+    /// later memberships of the same director cannot start before it.
+    first_from: i64,
+}
+
+/// Weighted index sampling.
+fn pick_weighted(rng: &mut SmallRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Geometric-ish size in `1..=cap` with the given mean.
+fn board_size(rng: &mut SmallRng, mean: f64, cap: usize) -> usize {
+    let p = 1.0 / mean;
+    let mut size = 1;
+    while size < cap && rng.random::<f64>() > p {
+        size += 1;
+    }
+    size
+}
+
+/// Generate a synthetic registry.
+pub fn generate(config: BoardsConfig) -> SyntheticBoards {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    let geography: Vec<(&str, &str, f64)> = if config.estonian_geography {
+        names::COUNTIES.to_vec()
+    } else {
+        names::REGIONS.to_vec()
+    };
+    let region_weights: Vec<f64> = geography.iter().map(|&(_, _, w)| w).collect();
+    let national_female: f64 = {
+        // Weighted national female share implied by the sector propensities.
+        let wsum: f64 = names::SECTOR_WEIGHTS.iter().sum();
+        names::SECTORS
+            .iter()
+            .zip(names::SECTOR_WEIGHTS.iter())
+            .map(|(&(_, p), &w)| p * w)
+            .sum::<f64>()
+            / wsum
+    };
+
+    // Companies.
+    let mut groups = Relation::new(
+        ["id", "sector", "region", "area"].map(str::to_string).to_vec(),
+    )
+    .expect("static columns");
+    let mut company_sector = Vec::with_capacity(config.n_companies);
+    let mut company_region = Vec::with_capacity(config.n_companies);
+    for c in 0..config.n_companies {
+        let s = pick_weighted(&mut rng, &names::SECTOR_WEIGHTS);
+        let r = pick_weighted(&mut rng, &region_weights);
+        company_sector.push(s);
+        company_region.push(r);
+        groups
+            .push_row(vec![
+                format!("c{c}"),
+                names::SECTORS[s].0.to_string(),
+                geography[r].0.to_string(),
+                geography[r].1.to_string(),
+            ])
+            .expect("arity matches");
+    }
+
+    // Directors and memberships.
+    let mut directors: Vec<DirectorRecord> = Vec::new();
+    let mut by_region: Vec<Vec<u32>> = vec![Vec::new(); geography.len()];
+    let mut by_sector: Vec<Vec<u32>> = vec![Vec::new(); names::SECTORS.len()];
+    type MembershipRecord = (u32, u32, Option<(i64, i64)>);
+    let mut memberships: Vec<MembershipRecord> = Vec::new();
+    let p_new = (config.directors_per_company / config.mean_board_size).clamp(0.05, 1.0);
+
+    for c in 0..config.n_companies {
+        let sector = company_sector[c];
+        let region = company_region[c];
+        let size = board_size(&mut rng, config.mean_board_size, 15);
+        for _ in 0..size {
+            let reuse_pool = !directors.is_empty() && rng.random::<f64>() > p_new;
+            // For reused directors the membership cannot start before the
+            // director's first appearance (career timelines move forward).
+            let reused: Option<u32> = if reuse_pool {
+                // Prefer a director from the company's own sector (industry
+                // careers), then from its region, then anyone.
+                if rng.random::<f64>() < config.sector_affinity && !by_sector[sector].is_empty()
+                {
+                    let pool = &by_sector[sector];
+                    Some(pool[rng.random_range(0..pool.len())])
+                } else if rng.random::<f64>() < config.regional_affinity
+                    && !by_region[region].is_empty()
+                {
+                    let pool = &by_region[region];
+                    Some(pool[rng.random_range(0..pool.len())])
+                } else {
+                    Some(rng.random_range(0..directors.len() as u32))
+                }
+            } else {
+                None
+            };
+            let interval = config.temporal.map(|t| {
+                let lo = reused
+                    .map(|d| directors[d as usize].first_from)
+                    .unwrap_or(t.start_year)
+                    .max(t.start_year);
+                let span = (t.end_year - lo).max(0);
+                let from = lo + rng.random_range(0..=span);
+                let duration = 1 + board_size(&mut rng, 5.0, 20) as i64;
+                (from, (from + duration).min(t.end_year))
+            });
+
+            let director = if let Some(idx) = reused {
+                idx
+            } else {
+                // Fresh director with sector/region-conditioned attributes.
+                let base = names::SECTORS[sector].1;
+                let mut p_female =
+                    national_female + config.sector_bias * (base - national_female);
+                match geography[region].1 {
+                    "south" | "east" => p_female -= config.regional_gap,
+                    "north" => p_female += config.regional_gap,
+                    _ => {}
+                }
+                if let (Some(t), Some((from, _))) = (config.temporal, interval) {
+                    let span = (t.end_year - t.start_year).max(1) as f64;
+                    p_female += t.female_drift * (from - t.start_year) as f64 / span;
+                }
+                let female = rng.random::<f64>() < p_female.clamp(0.01, 0.99);
+                // Women on boards skew younger in the planted model.
+                let age_weights: [f64; 5] =
+                    if female { [2.0, 3.0, 2.5, 1.5, 0.5] } else { [1.0, 2.0, 3.0, 2.5, 1.5] };
+                let age = names::AGE_BANDS[pick_weighted(&mut rng, &age_weights)];
+                // Birthplace: usually the residence macro-area, sometimes
+                // elsewhere, occasionally foreign.
+                let birth_roll = rng.random::<f64>();
+                let birthplace = if birth_roll < 0.75 {
+                    geography[region].1.to_string()
+                } else if birth_roll < 0.95 {
+                    geography[pick_weighted(&mut rng, &region_weights)].1.to_string()
+                } else {
+                    "foreign".to_string()
+                };
+                // Residence: usually the company's region.
+                let res_idx = if rng.random::<f64>() < 0.9 {
+                    region
+                } else {
+                    pick_weighted(&mut rng, &region_weights)
+                };
+                let idx = directors.len() as u32;
+                directors.push(DirectorRecord {
+                    gender: if female { "F" } else { "M" },
+                    age,
+                    birthplace,
+                    residence: geography[res_idx].0.to_string(),
+                    region_idx: res_idx,
+                    first_from: interval.map(|(from, _)| from).unwrap_or(0),
+                });
+                by_region[res_idx].push(idx);
+                by_sector[sector].push(idx);
+                idx
+            };
+            memberships.push((director, c as u32, interval));
+        }
+    }
+
+    let mut individuals = Relation::new(
+        ["id", "gender", "age", "birthplace", "residence"].map(str::to_string).to_vec(),
+    )
+    .expect("static columns");
+    for (i, d) in directors.iter().enumerate() {
+        debug_assert!(d.region_idx < geography.len());
+        individuals
+            .push_row(vec![
+                format!("d{i}"),
+                d.gender.to_string(),
+                d.age.to_string(),
+                d.birthplace.clone(),
+                d.residence.clone(),
+            ])
+            .expect("arity matches");
+    }
+
+    let membership_cols: Vec<String> = if config.temporal.is_some() {
+        ["director", "company", "from", "to"].map(str::to_string).to_vec()
+    } else {
+        ["director", "company"].map(str::to_string).to_vec()
+    };
+    let mut membership = Relation::new(membership_cols).expect("static columns");
+    for (d, c, interval) in &memberships {
+        let mut row = vec![format!("d{d}"), format!("c{c}")];
+        if let Some((from, to)) = interval {
+            row.push(from.to_string());
+            row.push(to.to_string());
+        }
+        membership.push_row(row).expect("arity matches");
+    }
+
+    SyntheticBoards { individuals, groups, membership, config }
+}
+
+/// Shortcut: the Italian preset at the given company count.
+pub fn italy(n_companies: usize) -> SyntheticBoards {
+    generate(BoardsConfig::italy(n_companies))
+}
+
+/// Shortcut: the Estonian preset at the given company count.
+pub fn estonia(n_companies: usize) -> SyntheticBoards {
+    generate(BoardsConfig::estonia(n_companies))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = italy(200);
+        let b = italy(200);
+        assert_eq!(a.individuals, b.individuals);
+        assert_eq!(a.groups, b.groups);
+        assert_eq!(a.membership, b.membership);
+        let c = generate(BoardsConfig::italy(200).seed(99));
+        assert_ne!(a.membership, c.membership);
+    }
+
+    #[test]
+    fn sizes_track_configuration() {
+        let boards = italy(500);
+        assert_eq!(boards.groups.len(), 500);
+        // Directors/companies ratio lands near the configured 1.67.
+        let ratio = boards.individuals.len() as f64 / 500.0;
+        assert!((1.2..2.2).contains(&ratio), "ratio {ratio}");
+        // Mean board size near 2.8.
+        let mean = boards.membership.len() as f64 / 500.0;
+        assert!((2.2..3.6).contains(&mean), "mean board size {mean}");
+    }
+
+    #[test]
+    fn planted_bias_shows_in_education_vs_construction() {
+        let boards = italy(2000);
+        let dataset = boards.to_dataset(vec![]).unwrap();
+        // Count female share per sector through the membership join.
+        let gender_col = boards.individuals.column_index("gender").unwrap();
+        let sector_col = boards.groups.column_index("sector").unwrap();
+        let mut counts: std::collections::HashMap<&str, (u64, u64)> = Default::default();
+        for m in dataset.bipartite.memberships() {
+            let sector = &boards.groups.rows()[m.group as usize][sector_col];
+            let gender = &boards.individuals.rows()[m.individual as usize][gender_col];
+            let e = counts.entry(sector.as_str()).or_default();
+            e.1 += 1;
+            if gender == "F" {
+                e.0 += 1;
+            }
+        }
+        let share = |s: &str| {
+            let (f, t) = counts[s];
+            f as f64 / t as f64
+        };
+        assert!(
+            share("education") > share("construction") + 0.15,
+            "education {} vs construction {}",
+            share("education"),
+            share("construction")
+        );
+    }
+
+    #[test]
+    fn bias_zero_flattens_sector_shares() {
+        let biased = generate(BoardsConfig::italy(1500).sector_bias(1.0));
+        let flat = generate(BoardsConfig::italy(1500).sector_bias(0.0).seed(7));
+        let spread = |boards: &SyntheticBoards| {
+            let gender_col = boards.individuals.column_index("gender").unwrap();
+            let sector_col = boards.groups.column_index("sector").unwrap();
+            let d = boards.to_dataset(vec![]).unwrap();
+            let mut counts: std::collections::HashMap<String, (f64, f64)> = Default::default();
+            for m in d.bipartite.memberships() {
+                let sector = boards.groups.rows()[m.group as usize][sector_col].clone();
+                let f = boards.individuals.rows()[m.individual as usize][gender_col] == "F";
+                let e = counts.entry(sector).or_default();
+                e.1 += 1.0;
+                if f {
+                    e.0 += 1.0;
+                }
+            }
+            let shares: Vec<f64> = counts
+                .values()
+                .filter(|&&(_, t)| t >= 30.0)
+                .map(|&(f, t)| f / t)
+                .collect();
+            let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+            shares.iter().map(|s| (s - mean).abs()).sum::<f64>() / shares.len() as f64
+        };
+        assert!(
+            spread(&biased) > 2.0 * spread(&flat),
+            "biased {} vs flat {}",
+            spread(&biased),
+            spread(&flat)
+        );
+    }
+
+    #[test]
+    fn estonia_is_temporal_and_bounded() {
+        let boards = estonia(300);
+        assert_eq!(boards.membership.columns(), &["director", "company", "from", "to"]);
+        let from_col = boards.membership.column_index("from").unwrap();
+        let to_col = boards.membership.column_index("to").unwrap();
+        for row in boards.membership.rows() {
+            let from: i64 = row[from_col].parse().unwrap();
+            let to: i64 = row[to_col].parse().unwrap();
+            assert!((1995..=2014).contains(&from));
+            assert!((1995..=2014).contains(&to));
+            assert!(from <= to);
+        }
+        let years = boards.snapshot_years(5);
+        assert_eq!(years.len(), 5);
+        assert_eq!(years[0], 1995);
+        assert_eq!(*years.last().unwrap(), 2014);
+    }
+
+    #[test]
+    fn temporal_drift_raises_late_female_share() {
+        let boards = estonia(3000);
+        let gender_col = boards.individuals.column_index("gender").unwrap();
+        let d = boards.to_dataset(vec![]).unwrap();
+        let share_at = |year: i64| {
+            let snap = d.bipartite.snapshot(year);
+            let mut f = 0u64;
+            let mut t = 0u64;
+            let mut seen = std::collections::HashSet::new();
+            for m in snap.memberships() {
+                if seen.insert(m.individual) {
+                    t += 1;
+                    if boards.individuals.rows()[m.individual as usize][gender_col] == "F" {
+                        f += 1;
+                    }
+                }
+            }
+            f as f64 / t.max(1) as f64
+        };
+        let early = share_at(1997);
+        let late = share_at(2012);
+        assert!(late > early, "late {late} <= early {early}");
+    }
+
+    #[test]
+    fn dataset_roundtrip_validates() {
+        let boards = italy(100);
+        let d = boards.to_dataset(vec![]).unwrap();
+        assert_eq!(d.num_individuals(), boards.individuals.len());
+        assert_eq!(d.num_groups(), 100);
+        assert_eq!(d.bipartite.memberships().len(), boards.membership.len());
+    }
+}

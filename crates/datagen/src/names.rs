@@ -1,0 +1,111 @@
+//! Name pools for the synthetic registries: the 20 Italian company sectors
+//! the paper's Fig. 5 radial plot spans, the 20 Italian regions with their
+//! macro-areas, and the 15 Estonian counties.
+
+/// Italian company sectors (ATECO-like top-level sections, 20 of them —
+/// Fig. 5 bottom plots "each of the 20 Italian company sectors").
+/// The second field is the planted baseline female propensity used by the
+/// generator (loosely shaped on public board-composition statistics: low in
+/// construction/mining, high in education/health/services).
+pub const SECTORS: [(&str, f64); 20] = [
+    ("agriculture", 0.18),
+    ("mining", 0.07),
+    ("manufacturing", 0.17),
+    ("electricity", 0.12),
+    ("water_waste", 0.13),
+    ("construction", 0.09),
+    ("trade", 0.26),
+    ("transports", 0.12),
+    ("accommodation", 0.33),
+    ("ict", 0.22),
+    ("finance", 0.27),
+    ("real_estate", 0.30),
+    ("professional", 0.31),
+    ("administrative", 0.35),
+    ("education", 0.52),
+    ("health", 0.48),
+    ("arts", 0.36),
+    ("other_services", 0.44),
+    ("domestic", 0.58),
+    ("extraterritorial", 0.25),
+];
+
+/// Relative frequency of each sector among companies (unnormalized).
+pub const SECTOR_WEIGHTS: [f64; 20] = [
+    5.0, 0.3, 10.0, 0.8, 0.7, 12.0, 24.0, 4.0, 6.0, 4.5, 3.0, 7.0, 8.0, 3.5, 1.0, 2.0, 1.5,
+    4.0, 0.4, 0.1,
+];
+
+/// Italian regions with macro-area and relative company frequency.
+pub const REGIONS: [(&str, &str, f64); 20] = [
+    ("lombardia", "north", 16.0),
+    ("lazio", "center", 10.0),
+    ("campania", "south", 9.0),
+    ("veneto", "north", 8.0),
+    ("emilia_romagna", "north", 8.0),
+    ("piemonte", "north", 7.0),
+    ("sicilia", "south", 7.0),
+    ("toscana", "center", 7.0),
+    ("puglia", "south", 6.0),
+    ("liguria", "north", 3.0),
+    ("marche", "center", 3.0),
+    ("calabria", "south", 3.0),
+    ("sardegna", "south", 3.0),
+    ("abruzzo", "south", 2.5),
+    ("friuli", "north", 2.2),
+    ("trentino", "north", 2.0),
+    ("umbria", "center", 1.6),
+    ("basilicata", "south", 1.0),
+    ("molise", "south", 0.6),
+    ("valle_daosta", "north", 0.4),
+];
+
+/// Estonian counties with macro-area and relative company frequency
+/// (Harju/Tallinn dominates).
+pub const COUNTIES: [(&str, &str, f64); 15] = [
+    ("harju", "north", 45.0),
+    ("tartu", "south", 10.0),
+    ("ida_viru", "east", 7.0),
+    ("parnu", "west", 6.0),
+    ("laane_viru", "north", 4.0),
+    ("viljandi", "south", 3.5),
+    ("rapla", "north", 3.0),
+    ("voru", "south", 3.0),
+    ("saare", "west", 3.0),
+    ("jogeva", "south", 2.5),
+    ("jarva", "north", 2.5),
+    ("valga", "south", 2.5),
+    ("polva", "south", 2.0),
+    ("laane", "west", 2.0),
+    ("hiiu", "west", 1.0),
+];
+
+/// Age bands used for directors (the paper's Fig. 3 uses bands like 15-38).
+pub const AGE_BANDS: [&str; 5] = ["15-38", "39-46", "47-54", "55-65", "65+"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_have_expected_sizes() {
+        assert_eq!(SECTORS.len(), 20);
+        assert_eq!(SECTOR_WEIGHTS.len(), 20);
+        assert_eq!(REGIONS.len(), 20);
+        assert_eq!(COUNTIES.len(), 15);
+    }
+
+    #[test]
+    fn propensities_are_probabilities() {
+        for (name, p) in SECTORS {
+            assert!((0.0..=1.0).contains(&p), "{name}: {p}");
+        }
+    }
+
+    #[test]
+    fn macro_areas_cover() {
+        for (_, area, _) in REGIONS {
+            assert!(["north", "center", "south"].contains(&area));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Apriori: the classical level-wise baseline.
+//!
+//! Kept as the comparison point for the efficiency experiments (E11): it
+//! re-scans the database once per level and generates candidates by
+//! self-joining the previous level, which the paper-era literature shows is
+//! dominated by FP-Growth/Eclat on dense data.
+
+use scube_common::{FxHashMap, Result};
+use scube_data::{ItemId, TransactionDb};
+
+use crate::itemset::{is_sorted_subset, sort_canonical, FrequentItemset};
+use crate::{validate_min_support, Miner};
+
+/// The Apriori miner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Apriori;
+
+impl Miner for Apriori {
+    fn name(&self) -> &'static str {
+        "apriori"
+    }
+
+    fn mine(&self, db: &TransactionDb, min_support: u64) -> Result<Vec<FrequentItemset>> {
+        validate_min_support(min_support)?;
+        let mut out: Vec<FrequentItemset> = Vec::new();
+
+        // L1.
+        let supports = db.item_supports();
+        let mut level: Vec<Vec<ItemId>> = supports
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s >= min_support)
+            .map(|(i, _)| vec![i as ItemId])
+            .collect();
+        for set in &level {
+            out.push(FrequentItemset::new(set.clone(), supports[set[0] as usize]));
+        }
+
+        while level.len() > 1 {
+            let candidates = generate_candidates(&level);
+            if candidates.is_empty() {
+                break;
+            }
+            // Count candidates with one scan; transactions are filtered to
+            // frequent items implicitly by the subset test.
+            let mut counts: FxHashMap<&[ItemId], u64> = FxHashMap::default();
+            for (items, _) in db.iter() {
+                for c in &candidates {
+                    if is_sorted_subset(c, items) {
+                        *counts.entry(c.as_slice()).or_insert(0) += 1;
+                    }
+                }
+            }
+            level = candidates
+                .iter()
+                .filter(|c| counts.get(c.as_slice()).copied().unwrap_or(0) >= min_support)
+                .cloned()
+                .collect();
+            for set in &level {
+                out.push(FrequentItemset::new(set.clone(), counts[set.as_slice()]));
+            }
+        }
+        sort_canonical(&mut out);
+        Ok(out)
+    }
+}
+
+/// Self-join of `L_{k-1}`: pairs sharing the first `k-2` items, followed by
+/// the Apriori prune (every (k-1)-subset must be frequent).
+fn generate_candidates(level: &[Vec<ItemId>]) -> Vec<Vec<ItemId>> {
+    let mut sorted: Vec<&Vec<ItemId>> = level.iter().collect();
+    sorted.sort();
+    let k = sorted.first().map(|s| s.len()).unwrap_or(0);
+    let mut out = Vec::new();
+    for i in 0..sorted.len() {
+        for j in i + 1..sorted.len() {
+            let (a, b) = (sorted[i], sorted[j]);
+            if a[..k - 1] != b[..k - 1] {
+                break; // sorted order: no further prefix matches
+            }
+            let mut cand = a.clone();
+            cand.push(b[k - 1]);
+            // Prune: all (k-1)-subsets must be in the level.
+            let all_subsets_frequent = (0..cand.len()).all(|drop| {
+                let sub: Vec<ItemId> = cand
+                    .iter()
+                    .enumerate()
+                    .filter(|&(idx, _)| idx != drop)
+                    .map(|(_, &it)| it)
+                    .collect();
+                sorted.binary_search(&&sub).is_ok()
+            });
+            if all_subsets_frequent {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::db_from_sets;
+
+    #[test]
+    fn matches_naive() {
+        let db = db_from_sets(&[&[0, 1, 2], &[0, 1], &[0, 2], &[0], &[1, 2, 3], &[3]]);
+        for minsup in 1..=3 {
+            let got = Apriori.mine(&db, minsup).unwrap();
+            let expected = crate::naive::mine(&db, minsup).unwrap();
+            assert_eq!(got, expected, "minsup {minsup}");
+        }
+    }
+
+    #[test]
+    fn candidate_generation_prunes() {
+        // {0,1}, {0,2} frequent but {1,2} not → candidate {0,1,2} pruned.
+        let level = vec![vec![0, 1], vec![0, 2]];
+        assert!(generate_candidates(&level).is_empty());
+        // With {1,2} present the triple survives.
+        let level = vec![vec![0, 1], vec![0, 2], vec![1, 2]];
+        assert_eq!(generate_candidates(&level), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = db_from_sets(&[]);
+        assert!(Apriori.mine(&db, 1).unwrap().is_empty());
+    }
+}

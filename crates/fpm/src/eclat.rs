@@ -1,0 +1,190 @@
+//! Eclat: depth-first vertical mining over tidset intersections.
+//!
+//! Generic over the tidset representation so the EWAH/dense/tid-vector
+//! ablation (experiment E11) measures mining end-to-end with each.
+
+use std::marker::PhantomData;
+
+use scube_bitmap::{EwahBitmap, Posting};
+use scube_common::Result;
+use scube_data::{ItemId, TransactionDb, VerticalDb};
+
+use crate::itemset::{sort_canonical, FrequentItemset};
+use crate::{validate_min_support, Miner};
+
+/// The Eclat miner, parameterized by posting representation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Eclat<P: Posting = EwahBitmap> {
+    _marker: PhantomData<P>,
+}
+
+impl<P: Posting> Eclat<P> {
+    /// Create a miner with the given posting representation.
+    pub fn new() -> Self {
+        Eclat { _marker: PhantomData }
+    }
+}
+
+impl<P: Posting> Miner for Eclat<P> {
+    fn name(&self) -> &'static str {
+        "eclat"
+    }
+
+    fn mine(&self, db: &TransactionDb, min_support: u64) -> Result<Vec<FrequentItemset>> {
+        validate_min_support(min_support)?;
+        let vertical: VerticalDb<P> = VerticalDb::build(db);
+
+        // Frequent single items, ascending support (smaller tidsets first
+        // keeps intermediate intersections small).
+        let mut roots: Vec<(ItemId, P)> = (0..vertical.num_items() as ItemId)
+            .filter_map(|it| {
+                let posting = vertical.posting(it);
+                (posting.cardinality() >= min_support).then(|| (it, posting.clone()))
+            })
+            .collect();
+        roots.sort_by_key(|(it, p)| (p.cardinality(), *it));
+
+        let mut out = Vec::new();
+        let mut prefix: Vec<ItemId> = Vec::new();
+        dfs(&roots, min_support, &mut prefix, &mut out);
+        for set in &mut out {
+            set.items.sort_unstable();
+        }
+        sort_canonical(&mut out);
+        Ok(out)
+    }
+}
+
+fn dfs<P: Posting>(
+    candidates: &[(ItemId, P)],
+    min_support: u64,
+    prefix: &mut Vec<ItemId>,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for (i, (item, tids)) in candidates.iter().enumerate() {
+        prefix.push(*item);
+        out.push(FrequentItemset { items: prefix.clone(), support: tids.cardinality() });
+        let extensions: Vec<(ItemId, P)> = candidates[i + 1..]
+            .iter()
+            .filter_map(|(jt, jtids)| {
+                let joined = tids.and(jtids);
+                (joined.cardinality() >= min_support).then_some((*jt, joined))
+            })
+            .collect();
+        if !extensions.is_empty() {
+            dfs(&extensions, min_support, prefix, out);
+        }
+        prefix.pop();
+    }
+}
+
+/// Eclat that also returns each itemset's tidset — the entry point the cube
+/// builder uses, since it needs to partition every tidset by unit.
+pub fn mine_with_tidsets<P: Posting>(
+    db: &TransactionDb,
+    min_support: u64,
+) -> Result<Vec<(FrequentItemset, P)>> {
+    validate_min_support(min_support)?;
+    let vertical: VerticalDb<P> = VerticalDb::build(db);
+    mine_vertical_with_tidsets(&vertical, min_support)
+}
+
+/// As [`mine_with_tidsets`], over a pre-built vertical database.
+pub fn mine_vertical_with_tidsets<P: Posting>(
+    vertical: &VerticalDb<P>,
+    min_support: u64,
+) -> Result<Vec<(FrequentItemset, P)>> {
+    validate_min_support(min_support)?;
+    let mut roots: Vec<(ItemId, P)> = (0..vertical.num_items() as ItemId)
+        .filter_map(|it| {
+            let posting = vertical.posting(it);
+            (posting.cardinality() >= min_support).then(|| (it, posting.clone()))
+        })
+        .collect();
+    roots.sort_by_key(|(it, p)| (p.cardinality(), *it));
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    dfs_tids(&roots, min_support, &mut prefix, &mut out);
+    for (set, _) in &mut out {
+        set.items.sort_unstable();
+    }
+    out.sort_by(|a, b| a.0.items.len().cmp(&b.0.items.len()).then_with(|| a.0.items.cmp(&b.0.items)));
+    Ok(out)
+}
+
+fn dfs_tids<P: Posting>(
+    candidates: &[(ItemId, P)],
+    min_support: u64,
+    prefix: &mut Vec<ItemId>,
+    out: &mut Vec<(FrequentItemset, P)>,
+) {
+    for (i, (item, tids)) in candidates.iter().enumerate() {
+        prefix.push(*item);
+        out.push((
+            FrequentItemset { items: prefix.clone(), support: tids.cardinality() },
+            tids.clone(),
+        ));
+        let extensions: Vec<(ItemId, P)> = candidates[i + 1..]
+            .iter()
+            .filter_map(|(jt, jtids)| {
+                let joined = tids.and(jtids);
+                (joined.cardinality() >= min_support).then_some((*jt, joined))
+            })
+            .collect();
+        if !extensions.is_empty() {
+            dfs_tids(&extensions, min_support, prefix, out);
+        }
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::db_from_sets;
+    use scube_bitmap::{DenseBitmap, TidVec};
+
+    #[test]
+    fn matches_naive() {
+        let db = db_from_sets(&[&[0, 1, 2], &[0, 1], &[0, 2], &[0], &[1, 2, 3]]);
+        for minsup in 1..=3 {
+            let got = Eclat::<EwahBitmap>::new().mine(&db, minsup).unwrap();
+            let expected = crate::naive::mine(&db, minsup).unwrap();
+            assert_eq!(got, expected, "minsup {minsup}");
+        }
+    }
+
+    #[test]
+    fn representations_agree() {
+        let db = db_from_sets(&[&[0, 1, 2, 3], &[0, 1], &[1, 2], &[0, 3], &[2, 3]]);
+        let e = Eclat::<EwahBitmap>::new().mine(&db, 2).unwrap();
+        let d = Eclat::<DenseBitmap>::new().mine(&db, 2).unwrap();
+        let t = Eclat::<TidVec>::new().mine(&db, 2).unwrap();
+        assert_eq!(e, d);
+        assert_eq!(d, t);
+    }
+
+    #[test]
+    fn tidsets_are_correct() {
+        let db = db_from_sets(&[&[0, 1], &[0], &[0, 1], &[1]]);
+        let result = mine_with_tidsets::<EwahBitmap>(&db, 1).unwrap();
+        for (set, tids) in &result {
+            assert_eq!(set.support, tids.cardinality());
+            // Verify against a direct scan.
+            let mut expected = Vec::new();
+            for (t, (items, _)) in db.iter().enumerate() {
+                if crate::itemset::is_sorted_subset(&set.items, items) {
+                    expected.push(t as u32);
+                }
+            }
+            assert_eq!(tids.to_vec(), expected, "itemset {:?}", set.items);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_min_support() {
+        let db = db_from_sets(&[&[0]]);
+        assert!(Eclat::<EwahBitmap>::new().mine(&db, 0).is_err());
+        assert!(mine_with_tidsets::<EwahBitmap>(&db, 0).is_err());
+    }
+}

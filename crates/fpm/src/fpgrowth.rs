@@ -1,0 +1,245 @@
+//! FP-Growth: FP-tree construction and recursive conditional mining.
+//!
+//! This is the workhorse miner (the original SCube calls Borgelt's C
+//! implementation). Items are re-ranked by descending support so shared
+//! prefixes compress into single tree paths; mining proceeds bottom-up by
+//! building conditional trees per item.
+
+use scube_common::Result;
+use scube_data::{ItemId, TransactionDb};
+
+use crate::itemset::{sort_canonical, FrequentItemset};
+use crate::{validate_min_support, Miner};
+
+const NONE: usize = usize::MAX;
+
+/// The FP-Growth miner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpGrowth;
+
+impl Miner for FpGrowth {
+    fn name(&self) -> &'static str {
+        "fpgrowth"
+    }
+
+    fn mine(&self, db: &TransactionDb, min_support: u64) -> Result<Vec<FrequentItemset>> {
+        validate_min_support(min_support)?;
+
+        // Rank frequent items by (support desc, id asc) for determinism.
+        let supports = db.item_supports();
+        let mut frequent: Vec<(ItemId, u64)> = supports
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s >= min_support)
+            .map(|(i, &s)| (i as ItemId, s))
+            .collect();
+        frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let nranks = frequent.len();
+        let mut rank_of = vec![u32::MAX; supports.len()];
+        for (rank, &(item, _)) in frequent.iter().enumerate() {
+            rank_of[item as usize] = rank as u32;
+        }
+
+        // Build the global tree (workhorse buffer reused across rows).
+        let mut tree = FpTree::new(nranks);
+        let mut ranks: Vec<u32> = Vec::new();
+        for (items, _) in db.iter() {
+            ranks.clear();
+            ranks.extend(
+                items
+                    .iter()
+                    .map(|&it| rank_of[it as usize])
+                    .filter(|&r| r != u32::MAX),
+            );
+            ranks.sort_unstable();
+            tree.insert(&ranks, 1);
+        }
+
+        // Mine, collecting itemsets in rank space.
+        let mut out_ranks: Vec<(Vec<u32>, u64)> = Vec::new();
+        let mut suffix: Vec<u32> = Vec::new();
+        mine_tree(&tree, min_support, &mut suffix, &mut out_ranks);
+
+        // Translate ranks back to item ids, canonicalize.
+        let mut out: Vec<FrequentItemset> = out_ranks
+            .into_iter()
+            .map(|(ranks, support)| {
+                let mut items: Vec<ItemId> =
+                    ranks.iter().map(|&r| frequent[r as usize].0).collect();
+                items.sort_unstable();
+                FrequentItemset::new(items, support)
+            })
+            .collect();
+        sort_canonical(&mut out);
+        Ok(out)
+    }
+}
+
+#[derive(Debug)]
+struct FpNode {
+    rank: u32,
+    count: u64,
+    parent: usize,
+    /// Next node of the same rank (header chain).
+    next: usize,
+    /// Children as (rank, node index), sorted by rank.
+    children: Vec<(u32, usize)>,
+}
+
+#[derive(Debug)]
+struct FpTree {
+    nodes: Vec<FpNode>,
+    headers: Vec<usize>,
+}
+
+impl FpTree {
+    fn new(nranks: usize) -> Self {
+        let root = FpNode { rank: u32::MAX, count: 0, parent: NONE, next: NONE, children: Vec::new() };
+        FpTree { nodes: vec![root], headers: vec![NONE; nranks] }
+    }
+
+    fn insert(&mut self, ranks: &[u32], count: u64) {
+        let mut cur = 0usize;
+        for &r in ranks {
+            let child = match self.nodes[cur].children.binary_search_by_key(&r, |&(k, _)| k) {
+                Ok(pos) => self.nodes[cur].children[pos].1,
+                Err(pos) => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(FpNode {
+                        rank: r,
+                        count: 0,
+                        parent: cur,
+                        next: self.headers[r as usize],
+                        children: Vec::new(),
+                    });
+                    self.headers[r as usize] = idx;
+                    self.nodes[cur].children.insert(pos, (r, idx));
+                    idx
+                }
+            };
+            self.nodes[child].count += count;
+            cur = child;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+fn mine_tree(
+    tree: &FpTree,
+    min_support: u64,
+    suffix: &mut Vec<u32>,
+    out: &mut Vec<(Vec<u32>, u64)>,
+) {
+    // Process ranks bottom-up (least frequent first).
+    for r in (0..tree.headers.len()).rev() {
+        let mut support = 0u64;
+        let mut node = tree.headers[r];
+        while node != NONE {
+            support += tree.nodes[node].count;
+            node = tree.nodes[node].next;
+        }
+        if support < min_support {
+            continue;
+        }
+        suffix.push(r as u32);
+        out.push((suffix.clone(), support));
+
+        // Conditional pattern base: prefix paths of every node of rank r.
+        let mut cond = FpTree::new(r); // only ranks < r can appear above r
+        let mut rank_counts = vec![0u64; r];
+        let mut paths: Vec<(Vec<u32>, u64)> = Vec::new();
+        let mut node = tree.headers[r];
+        while node != NONE {
+            let weight = tree.nodes[node].count;
+            let mut path = Vec::new();
+            let mut p = tree.nodes[node].parent;
+            while p != NONE && tree.nodes[p].rank != u32::MAX {
+                path.push(tree.nodes[p].rank);
+                p = tree.nodes[p].parent;
+            }
+            path.reverse();
+            for &pr in &path {
+                rank_counts[pr as usize] += weight;
+            }
+            if !path.is_empty() {
+                paths.push((path, weight));
+            }
+            node = tree.nodes[node].next;
+        }
+        // Insert paths filtered to locally-frequent ranks.
+        let mut filtered: Vec<u32> = Vec::new();
+        for (path, weight) in &paths {
+            filtered.clear();
+            filtered.extend(
+                path.iter().copied().filter(|&pr| rank_counts[pr as usize] >= min_support),
+            );
+            if !filtered.is_empty() {
+                cond.insert(&filtered, *weight);
+            }
+        }
+        if !cond.is_empty() {
+            mine_tree(&cond, min_support, suffix, out);
+        }
+        suffix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::db_from_sets;
+
+    #[test]
+    fn matches_naive_on_textbook_example() {
+        let db = db_from_sets(&[&[0, 1, 2], &[0, 1], &[0, 2], &[0]]);
+        let got = FpGrowth.mine(&db, 2).unwrap();
+        let expected = crate::naive::mine(&db, 2).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn matches_naive_on_classic_fp_paper_data() {
+        // The transactions from Han et al.'s FP-Growth paper (relabelled).
+        let db = db_from_sets(&[
+            &[0, 1, 2, 3, 4],
+            &[0, 1, 2, 5],
+            &[1, 6, 7],
+            &[1, 2, 8],
+            &[0, 1, 2, 5],
+            &[0, 2, 9],
+        ]);
+        for minsup in 1..=4 {
+            let got = FpGrowth.mine(&db, minsup).unwrap();
+            let expected = crate::naive::mine(&db, minsup).unwrap();
+            assert_eq!(got, expected, "minsup {minsup}");
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = db_from_sets(&[]);
+        assert_eq!(FpGrowth.mine(&db, 1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn single_transaction_minsup_one() {
+        let db = db_from_sets(&[&[0, 1]]);
+        let got = FpGrowth.mine(&db, 1).unwrap();
+        assert_eq!(got.len(), 3); // {v0}, {v1}, {v0,v1}
+    }
+
+    #[test]
+    fn closed_via_trait() {
+        let db = db_from_sets(&[&[0, 1, 2], &[0, 1], &[0, 2], &[0]]);
+        let got = FpGrowth.mine_closed(&db, 2).unwrap();
+        let expected = crate::naive::mine_closed(&db, 2).unwrap();
+        let mut got = got;
+        let mut expected = expected;
+        crate::itemset::sort_canonical(&mut got);
+        crate::itemset::sort_canonical(&mut expected);
+        assert_eq!(got, expected);
+    }
+}

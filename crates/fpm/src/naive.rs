@@ -1,0 +1,139 @@
+//! Brute-force mining oracle.
+//!
+//! Level-wise breadth-first enumeration with per-level transaction scans
+//! and no data-structure cleverness: slow but obviously correct. The test
+//! suites compare every real miner against this.
+
+use scube_common::{FxHashMap, FxHashSet, Result};
+use scube_data::{ItemId, TransactionDb};
+
+use crate::itemset::{is_sorted_subset, FrequentItemset};
+use crate::validate_min_support;
+
+/// Mine all frequent itemsets by brute force.
+pub fn mine(db: &TransactionDb, min_support: u64) -> Result<Vec<FrequentItemset>> {
+    validate_min_support(min_support)?;
+    let mut out: Vec<FrequentItemset> = Vec::new();
+
+    // Level 1: count items by a scan.
+    let supports = db.item_supports();
+    let mut level: Vec<Vec<ItemId>> = supports
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s >= min_support)
+        .map(|(i, _)| vec![i as ItemId])
+        .collect();
+    for set in &level {
+        out.push(FrequentItemset::new(set.clone(), supports[set[0] as usize]));
+    }
+
+    // Level k: extend every frequent (k-1)-set with every frequent item,
+    // dedupe, count by scan, keep the frequent ones.
+    let frequent_items: Vec<ItemId> = level.iter().map(|s| s[0]).collect();
+    while !level.is_empty() {
+        let mut candidates: FxHashSet<Vec<ItemId>> = FxHashSet::default();
+        for set in &level {
+            for &item in &frequent_items {
+                if !set.contains(&item) {
+                    let mut c = set.clone();
+                    c.push(item);
+                    c.sort_unstable();
+                    candidates.insert(c);
+                }
+            }
+        }
+        let mut counts: FxHashMap<Vec<ItemId>, u64> = FxHashMap::default();
+        for (items, _) in db.iter() {
+            for c in &candidates {
+                if is_sorted_subset(c, items) {
+                    *counts.entry(c.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        level = counts
+            .into_iter()
+            .filter(|&(_, n)| n >= min_support)
+            .map(|(c, n)| {
+                out.push(FrequentItemset::new(c.clone(), n));
+                c
+            })
+            .collect();
+    }
+    crate::itemset::sort_canonical(&mut out);
+    Ok(out)
+}
+
+/// Closed itemsets by the definition: no strict superset with the same
+/// support among the frequent sets.
+pub fn mine_closed(db: &TransactionDb, min_support: u64) -> Result<Vec<FrequentItemset>> {
+    let all = mine(db, min_support)?;
+    let closed: Vec<FrequentItemset> = all
+        .iter()
+        .filter(|s| {
+            !all.iter().any(|t| {
+                t.support == s.support && t.items.len() > s.items.len() && s.is_subset_of(t)
+            })
+        })
+        .cloned()
+        .collect();
+    Ok(closed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::db_from_sets;
+
+    #[test]
+    fn textbook_example() {
+        // {a,b,c}, {a,b}, {a,c}, {a} with minsup 2.
+        let db = db_from_sets(&[&[0, 1, 2], &[0, 1], &[0, 2], &[0]]);
+        let result = mine(&db, 2).unwrap();
+        // Map values back to readable labels for the assertion.
+        let mut found: Vec<(Vec<String>, u64)> = result
+            .iter()
+            .map(|s| {
+                (
+                    s.items.iter().map(|&i| db.item_label(i)).collect::<Vec<_>>(),
+                    s.support,
+                )
+            })
+            .collect();
+        found.sort();
+        let expect = |items: &[&str], support: u64| {
+            (items.iter().map(|s| format!("x={s}")).collect::<Vec<_>>(), support)
+        };
+        let mut expected = vec![
+            expect(&["v0"], 4),
+            expect(&["v1"], 2),
+            expect(&["v2"], 2),
+            expect(&["v0", "v1"], 2),
+            expect(&["v0", "v2"], 2),
+        ];
+        expected.sort();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn closed_subset() {
+        let db = db_from_sets(&[&[0, 1, 2], &[0, 1], &[0, 2], &[0]]);
+        let closed = mine_closed(&db, 2).unwrap();
+        // v1 (sup 2) is subsumed by {v0,v1} (sup 2); same for v2.
+        assert_eq!(closed.len(), 3);
+        let lens: Vec<usize> = closed.iter().map(FrequentItemset::len).collect();
+        assert_eq!(lens.iter().filter(|&&l| l == 1).count(), 1); // only v0
+        assert_eq!(lens.iter().filter(|&&l| l == 2).count(), 2);
+    }
+
+    #[test]
+    fn min_support_zero_rejected() {
+        let db = db_from_sets(&[&[0]]);
+        assert!(mine(&db, 0).is_err());
+    }
+
+    #[test]
+    fn high_min_support_empty_result() {
+        let db = db_from_sets(&[&[0, 1], &[0]]);
+        assert_eq!(mine(&db, 3).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: all miners agree with the brute-force oracle (and hence
+//! with each other) on random databases, for both all-frequent and closed
+//! mining, across tidset representations.
+
+use proptest::prelude::*;
+use scube_bitmap::{DenseBitmap, EwahBitmap, TidVec};
+use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
+use scube_fpm::{naive, Apriori, Eclat, FpGrowth, Miner};
+
+fn db_from_sets(sets: &[Vec<u8>]) -> TransactionDb {
+    let schema = Schema::new(vec![Attribute::ca("x").multi()]).unwrap();
+    let mut b = TransactionDbBuilder::new(schema);
+    for set in sets {
+        let vals: Vec<String> = set.iter().map(|v| format!("v{v}")).collect();
+        b.add_row(&[vals], "u").unwrap();
+    }
+    b.finish()
+}
+
+fn random_db() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0u8..8, 0..6)
+            .prop_map(|s| s.into_iter().collect::<Vec<u8>>()),
+        0..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_miners_agree_with_oracle(sets in random_db(), minsup in 1u64..5) {
+        let db = db_from_sets(&sets);
+        let expected = naive::mine(&db, minsup).unwrap();
+        let fp = FpGrowth.mine(&db, minsup).unwrap();
+        let ec = Eclat::<EwahBitmap>::new().mine(&db, minsup).unwrap();
+        let ap = Apriori.mine(&db, minsup).unwrap();
+        prop_assert_eq!(&fp, &expected, "fpgrowth");
+        prop_assert_eq!(&ec, &expected, "eclat");
+        prop_assert_eq!(&ap, &expected, "apriori");
+    }
+
+    #[test]
+    fn closed_mining_agrees_with_oracle(sets in random_db(), minsup in 1u64..5) {
+        let db = db_from_sets(&sets);
+        let expected = naive::mine_closed(&db, minsup).unwrap();
+        let fp = FpGrowth.mine_closed(&db, minsup).unwrap();
+        let ec = Eclat::<EwahBitmap>::new().mine_closed(&db, minsup).unwrap();
+        prop_assert_eq!(&fp, &expected);
+        prop_assert_eq!(&ec, &expected);
+    }
+
+    #[test]
+    fn eclat_representation_invariance(sets in random_db(), minsup in 1u64..4) {
+        let db = db_from_sets(&sets);
+        let e = Eclat::<EwahBitmap>::new().mine(&db, minsup).unwrap();
+        let d = Eclat::<DenseBitmap>::new().mine(&db, minsup).unwrap();
+        let t = Eclat::<TidVec>::new().mine(&db, minsup).unwrap();
+        prop_assert_eq!(&e, &d);
+        prop_assert_eq!(&d, &t);
+    }
+
+    #[test]
+    fn monotonicity_of_min_support(sets in random_db()) {
+        // Raising min_support can only shrink the result, and every
+        // surviving itemset keeps its exact support value.
+        let db = db_from_sets(&sets);
+        let low = FpGrowth.mine(&db, 1).unwrap();
+        let high = FpGrowth.mine(&db, 3).unwrap();
+        prop_assert!(high.len() <= low.len());
+        for h in &high {
+            prop_assert!(h.support >= 3);
+            let in_low = low.iter().find(|l| l.items == h.items);
+            prop_assert_eq!(in_low.map(|l| l.support), Some(h.support));
+        }
+    }
+
+    #[test]
+    fn supports_are_exact(sets in random_db(), minsup in 1u64..4) {
+        // Verify each reported support against a direct scan.
+        let db = db_from_sets(&sets);
+        let result = FpGrowth.mine(&db, minsup).unwrap();
+        for set in result.iter().take(50) {
+            let count = db
+                .iter()
+                .filter(|(items, _)| scube_fpm::itemset::is_sorted_subset(&set.items, items))
+                .count() as u64;
+            prop_assert_eq!(count, set.support, "itemset {:?}", &set.items);
+        }
+    }
+
+    #[test]
+    fn closed_is_subset_with_same_maximal_sets(sets in random_db(), minsup in 1u64..4) {
+        let db = db_from_sets(&sets);
+        let all = FpGrowth.mine(&db, minsup).unwrap();
+        let closed = FpGrowth.mine_closed(&db, minsup).unwrap();
+        prop_assert!(closed.len() <= all.len());
+        // Every closed set is frequent with identical support.
+        for c in &closed {
+            prop_assert!(all.iter().any(|a| a.items == c.items && a.support == c.support));
+        }
+        // Every frequent set has a closed superset with equal support.
+        for a in &all {
+            prop_assert!(
+                closed.iter().any(|c| a.support == c.support && a.is_subset_of(c)),
+                "no closure found for {:?}",
+                &a.items
+            );
+        }
+    }
+}

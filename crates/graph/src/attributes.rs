@@ -1,0 +1,103 @@
+//! Per-node categorical attribute sets and Jaccard similarity.
+//!
+//! The attribute half of SToC's combined distance. Each node carries a set
+//! of encoded attribute values (e.g. a company's sector and headquarters
+//! region, encoded to dense `u32`s by the caller).
+
+/// Sorted attribute-value sets, one per node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeAttributes {
+    values: Vec<Vec<u32>>,
+}
+
+impl NodeAttributes {
+    /// Build from rows of attribute codes (normalized to sorted unique).
+    pub fn from_rows(mut rows: Vec<Vec<u32>>) -> Self {
+        for row in &mut rows {
+            row.sort_unstable();
+            row.dedup();
+        }
+        NodeAttributes { values: rows }
+    }
+
+    /// Attributes with no values for any of `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        NodeAttributes { values: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sorted value set of node `u`.
+    pub fn of(&self, u: u32) -> &[u32] {
+        &self.values[u as usize]
+    }
+
+    /// Jaccard similarity of two nodes' attribute sets.
+    ///
+    /// Two nodes with no attributes at all are considered identical
+    /// (similarity 1): with no information, SToC should fall back to pure
+    /// structural clustering rather than treating everything as dissimilar.
+    pub fn jaccard(&self, u: u32, v: u32) -> f64 {
+        let (a, b) = (self.of(u), self.of(v));
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let mut inter = 0usize;
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_values() {
+        let attrs = NodeAttributes::from_rows(vec![
+            vec![1, 2, 3],
+            vec![2, 3, 4],
+            vec![1, 2, 3],
+            vec![9],
+            vec![],
+            vec![],
+        ]);
+        assert!((attrs.jaccard(0, 1) - 0.5).abs() < 1e-12); // {2,3}/{1,2,3,4}
+        assert_eq!(attrs.jaccard(0, 2), 1.0);
+        assert_eq!(attrs.jaccard(0, 3), 0.0);
+        assert_eq!(attrs.jaccard(4, 5), 1.0); // both empty
+        assert_eq!(attrs.jaccard(0, 4), 0.0); // one empty
+    }
+
+    #[test]
+    fn rows_are_normalized() {
+        let attrs = NodeAttributes::from_rows(vec![vec![3, 1, 3, 2]]);
+        assert_eq!(attrs.of(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn symmetry() {
+        let attrs = NodeAttributes::from_rows(vec![vec![1, 5], vec![5, 9, 11]]);
+        assert_eq!(attrs.jaccard(0, 1), attrs.jaccard(1, 0));
+    }
+}

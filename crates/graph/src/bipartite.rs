@@ -1,0 +1,258 @@
+//! Bipartite membership graphs and their unipartite projections.
+//!
+//! SCube's third input is `membership`: pairs `(individualID, groupID)`
+//! optionally labelled with a validity interval (the Estonian dataset has
+//! 20 years of board appointments). The **GraphBuilder** module of the
+//! paper's Fig. 2 projects this bipartite graph onto one side:
+//!
+//! * [`BipartiteGraph::project_groups`] — nodes are groups (companies),
+//!   an edge connects two groups sharing ≥ 1 individual, weighted by the
+//!   number of shared individuals (Scenario 3);
+//! * [`BipartiteGraph::project_individuals`] — nodes are individuals
+//!   (directors), an edge connects two individuals sitting in a common
+//!   group, weighted by the number of common groups (Scenario 2).
+
+use crate::csr::{Graph, GraphBuilder};
+
+/// One membership edge with validity interval (inclusive endpoints).
+///
+/// Untimed memberships use `(i64::MIN, i64::MAX)`; time units are whatever
+/// the dataset uses (days, years, …) as long as snapshots use the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Membership {
+    /// Individual node id (dense, `0..num_individuals`).
+    pub individual: u32,
+    /// Group node id (dense, `0..num_groups`).
+    pub group: u32,
+    /// First time instant at which the membership holds.
+    pub from: i64,
+    /// Last time instant at which the membership holds.
+    pub to: i64,
+}
+
+impl Membership {
+    /// An untimed membership (valid at every snapshot).
+    pub fn untimed(individual: u32, group: u32) -> Self {
+        Membership { individual, group, from: i64::MIN, to: i64::MAX }
+    }
+
+    /// A membership valid in `[from, to]`.
+    pub fn timed(individual: u32, group: u32, from: i64, to: i64) -> Self {
+        Membership { individual, group, from, to }
+    }
+
+    /// Does the membership hold at time `t`?
+    pub fn active_at(&self, t: i64) -> bool {
+        self.from <= t && t <= self.to
+    }
+}
+
+/// The result of a projection: the unipartite graph plus the nodes that
+/// ended up with no edges (the paper's `isolated` output file).
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// Unipartite weighted graph over the projected side.
+    pub graph: Graph,
+    /// Nodes of the projected side with zero degree.
+    pub isolated: Vec<u32>,
+}
+
+/// An individuals×groups membership graph.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    n_individuals: u32,
+    n_groups: u32,
+    memberships: Vec<Membership>,
+}
+
+impl BipartiteGraph {
+    /// Create an empty graph with fixed side sizes.
+    pub fn new(n_individuals: u32, n_groups: u32) -> Self {
+        BipartiteGraph { n_individuals, n_groups, memberships: Vec::new() }
+    }
+
+    /// Number of individual nodes.
+    pub fn num_individuals(&self) -> u32 {
+        self.n_individuals
+    }
+
+    /// Number of group nodes.
+    pub fn num_groups(&self) -> u32 {
+        self.n_groups
+    }
+
+    /// All membership edges.
+    pub fn memberships(&self) -> &[Membership] {
+        &self.memberships
+    }
+
+    /// Add a membership edge.
+    pub fn add(&mut self, m: Membership) {
+        assert!(m.individual < self.n_individuals, "individual out of range");
+        assert!(m.group < self.n_groups, "group out of range");
+        self.memberships.push(m);
+    }
+
+    /// Add an untimed membership.
+    pub fn add_untimed(&mut self, individual: u32, group: u32) {
+        self.add(Membership::untimed(individual, group));
+    }
+
+    /// The sub-graph of memberships active at time `t` (the `dates` input
+    /// of Fig. 2 turns one temporal dataset into one snapshot per date).
+    pub fn snapshot(&self, t: i64) -> BipartiteGraph {
+        BipartiteGraph {
+            n_individuals: self.n_individuals,
+            n_groups: self.n_groups,
+            memberships: self.memberships.iter().copied().filter(|m| m.active_at(t)).collect(),
+        }
+    }
+
+    /// Adjacency lists `individual → sorted groups` (deduplicated).
+    fn groups_per_individual(&self) -> Vec<Vec<u32>> {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.n_individuals as usize];
+        for m in &self.memberships {
+            adj[m.individual as usize].push(m.group);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Adjacency lists `group → sorted individuals` (deduplicated).
+    fn individuals_per_group(&self) -> Vec<Vec<u32>> {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.n_groups as usize];
+        for m in &self.memberships {
+            adj[m.group as usize].push(m.individual);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Project onto groups: edge `(g1, g2)` with weight = number of shared
+    /// individuals. Edges with weight < `min_shared` are dropped (weight
+    /// thresholding at projection time saves building the giant component
+    /// only to cut it later).
+    pub fn project_groups(&self, min_shared: u32) -> Projection {
+        Self::project(self.groups_per_individual(), self.n_groups as usize, min_shared)
+    }
+
+    /// Project onto individuals: edge `(d1, d2)` with weight = number of
+    /// common groups (directors sitting together on ≥ `min_shared` boards).
+    pub fn project_individuals(&self, min_shared: u32) -> Projection {
+        Self::project(self.individuals_per_group(), self.n_individuals as usize, min_shared)
+    }
+
+    fn project(adj: Vec<Vec<u32>>, n_projected: usize, min_shared: u32) -> Projection {
+        let mut builder = GraphBuilder::new(n_projected);
+        // Every co-membership pair contributes weight 1; GraphBuilder merges
+        // duplicates by summing, so the final weight is exactly the number
+        // of shared pivot nodes.
+        for list in &adj {
+            for (i, &a) in list.iter().enumerate() {
+                for &b in &list[i + 1..] {
+                    builder.add_edge(a, b, 1);
+                }
+            }
+        }
+        let full = builder.build();
+        let graph = if min_shared > 1 {
+            let mut filtered = GraphBuilder::new(n_projected);
+            for (u, v, w) in full.edges() {
+                if w >= min_shared {
+                    filtered.add_edge(u, v, w);
+                }
+            }
+            filtered.build()
+        } else {
+            full
+        };
+        let isolated = graph.isolated_nodes();
+        Projection { graph, isolated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper example: directors d0,d1 sit in both c0 and c1; d2 sits in c1
+    /// and c2; c3 has only d3.
+    fn sample() -> BipartiteGraph {
+        let mut b = BipartiteGraph::new(4, 4);
+        b.add_untimed(0, 0);
+        b.add_untimed(0, 1);
+        b.add_untimed(1, 0);
+        b.add_untimed(1, 1);
+        b.add_untimed(2, 1);
+        b.add_untimed(2, 2);
+        b.add_untimed(3, 3);
+        b
+    }
+
+    #[test]
+    fn group_projection_weights_count_shared_directors() {
+        let p = sample().project_groups(1);
+        // c0–c1 share d0,d1 → weight 2; c1–c2 share d2 → weight 1.
+        let mut edges: Vec<(u32, u32, u32)> = p.graph.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1, 2), (1, 2, 1)]);
+        assert_eq!(p.isolated, vec![3]);
+    }
+
+    #[test]
+    fn min_shared_threshold_filters_edges() {
+        let p = sample().project_groups(2);
+        let edges: Vec<(u32, u32, u32)> = p.graph.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 2)]);
+        assert_eq!(p.isolated, vec![2, 3]);
+    }
+
+    #[test]
+    fn individual_projection() {
+        let p = sample().project_individuals(1);
+        // d0–d1 share c0,c1 → weight 2; d0–d2 and d1–d2 share c1 → weight 1.
+        let mut edges: Vec<(u32, u32, u32)> = p.graph.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1, 2), (0, 2, 1), (1, 2, 1)]);
+        assert_eq!(p.isolated, vec![3]);
+    }
+
+    #[test]
+    fn duplicate_memberships_do_not_inflate_weights() {
+        let mut b = BipartiteGraph::new(2, 2);
+        b.add_untimed(0, 0);
+        b.add_untimed(0, 0); // duplicate record
+        b.add_untimed(0, 1);
+        let p = b.project_groups(1);
+        assert_eq!(p.graph.edges().collect::<Vec<_>>(), vec![(0, 1, 1)]);
+    }
+
+    #[test]
+    fn snapshots_filter_by_interval() {
+        let mut b = BipartiteGraph::new(2, 2);
+        b.add(Membership::timed(0, 0, 2000, 2005));
+        b.add(Membership::timed(0, 1, 2004, 2010));
+        b.add(Membership::timed(1, 1, 1998, 2001));
+        assert_eq!(b.snapshot(2004).memberships().len(), 2);
+        assert_eq!(b.snapshot(2000).memberships().len(), 2);
+        assert_eq!(b.snapshot(2011).memberships().len(), 0);
+        // Projection on a snapshot: only in 2004–2005 does c0 share d0 with c1.
+        let p = b.snapshot(2004).project_groups(1);
+        assert_eq!(p.graph.edges().collect::<Vec<_>>(), vec![(0, 1, 1)]);
+        let p = b.snapshot(2002).project_groups(1);
+        assert_eq!(p.graph.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn membership_bounds_checked() {
+        let mut b = BipartiteGraph::new(1, 1);
+        b.add_untimed(0, 1);
+    }
+}

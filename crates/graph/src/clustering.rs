@@ -1,0 +1,112 @@
+//! Node partitions — the output of every clustering method.
+//!
+//! A clustering assigns every node to exactly one cluster; the pipeline
+//! turns clusters into organizational units (`nodeUnit` in Fig. 2).
+
+/// A partition of `0..n` nodes into `num_clusters` clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    assignment: Vec<u32>,
+    n_clusters: u32,
+}
+
+impl Clustering {
+    /// Wrap an assignment vector; cluster ids must be dense `0..k`.
+    pub fn new(assignment: Vec<u32>) -> Self {
+        let n_clusters = assignment.iter().copied().max().map_or(0, |m| m + 1);
+        debug_assert!(
+            {
+                let mut seen = vec![false; n_clusters as usize];
+                for &c in &assignment {
+                    seen[c as usize] = true;
+                }
+                seen.iter().all(|&s| s)
+            },
+            "cluster ids must be dense"
+        );
+        Clustering { assignment, n_clusters }
+    }
+
+    /// Cluster of node `u`.
+    pub fn of(&self, u: u32) -> u32 {
+        self.assignment[u as usize]
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> u32 {
+        self.n_clusters
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The raw assignment slice (`node → cluster`).
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Cluster sizes, indexed by cluster id.
+    pub fn sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.n_clusters as usize];
+        for &c in &self.assignment {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest cluster (the "giant component" diagnostic the
+    /// threshold-clustering method is designed to shrink).
+    pub fn giant_size(&self) -> u32 {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Relabel clusters by decreasing size (cluster 0 becomes the largest);
+    /// ties broken by original id for determinism.
+    #[must_use]
+    pub fn relabel_by_size(&self) -> Clustering {
+        let sizes = self.sizes();
+        let mut order: Vec<u32> = (0..self.n_clusters).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(sizes[c as usize]), c));
+        let mut new_id = vec![0u32; self.n_clusters as usize];
+        for (rank, &c) in order.iter().enumerate() {
+            new_id[c as usize] = rank as u32;
+        }
+        Clustering {
+            assignment: self.assignment.iter().map(|&c| new_id[c as usize]).collect(),
+            n_clusters: self.n_clusters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let c = Clustering::new(vec![0, 1, 0, 2, 1]);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.num_nodes(), 5);
+        assert_eq!(c.of(2), 0);
+        assert_eq!(c.sizes(), vec![2, 2, 1]);
+        assert_eq!(c.giant_size(), 2);
+    }
+
+    #[test]
+    fn relabel_by_size_orders_clusters() {
+        let c = Clustering::new(vec![2, 2, 2, 0, 1, 1]);
+        let r = c.relabel_by_size();
+        // Cluster of size 3 becomes 0, size 2 becomes 1, size 1 becomes 2.
+        assert_eq!(r.assignment(), &[0, 0, 0, 2, 1, 1]);
+        assert_eq!(r.sizes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::new(vec![]);
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.giant_size(), 0);
+    }
+}

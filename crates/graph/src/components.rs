@@ -1,0 +1,101 @@
+//! Connected components, with weight thresholding.
+//!
+//! Two of the three clustering methods SCube offers (§3) live here:
+//! plain connected components (BFS), and the variant designed in the
+//! companion journal paper — drop edges lighter than a threshold from the
+//! giant component, then take components. Passing `min_weight = 1` (or 0)
+//! gives plain components.
+
+use crate::clustering::Clustering;
+use crate::csr::Graph;
+
+/// Cluster nodes into connected components of the sub-graph whose edges
+/// weigh at least `min_weight`.
+pub fn connected_components(graph: &Graph, min_weight: u32) -> Clustering {
+    let n = graph.num_nodes();
+    let mut assignment = vec![u32::MAX; n];
+    let mut next_cluster = 0u32;
+    let mut queue: Vec<u32> = Vec::new();
+    for start in 0..n as u32 {
+        if assignment[start as usize] != u32::MAX {
+            continue;
+        }
+        assignment[start as usize] = next_cluster;
+        queue.clear();
+        queue.push(start);
+        while let Some(u) = queue.pop() {
+            for (v, w) in graph.edges_of(u) {
+                if w >= min_weight && assignment[v as usize] == u32::MAX {
+                    assignment[v as usize] = next_cluster;
+                    queue.push(v);
+                }
+            }
+        }
+        next_cluster += 1;
+    }
+    Clustering::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    fn graph(n: usize, edges: &[(u32, u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, w) in edges {
+            b.add_edge(u, v, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn two_components_and_an_isolate() {
+        let g = graph(5, &[(0, 1, 1), (1, 2, 1), (3, 4, 1)]);
+        let c = connected_components(&g, 1);
+        assert_eq!(c.num_clusters(), 2); // {0,1,2} and {3,4}
+        assert_eq!(c.of(0), c.of(2));
+        assert_eq!(c.of(3), c.of(4));
+        assert_ne!(c.of(0), c.of(3));
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let g = graph(4, &[(0, 1, 1)]);
+        let c = connected_components(&g, 1);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.sizes().iter().sum::<u32>(), 4);
+    }
+
+    #[test]
+    fn threshold_splits_giant_component() {
+        // A chain glued by a weight-1 bridge: 0-1 (w3), 1-2 (w1), 2-3 (w3).
+        let g = graph(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 3)]);
+        let all = connected_components(&g, 1);
+        assert_eq!(all.num_clusters(), 1);
+        assert_eq!(all.giant_size(), 4);
+        let cut = connected_components(&g, 2);
+        assert_eq!(cut.num_clusters(), 2);
+        assert_eq!(cut.giant_size(), 2);
+        assert_eq!(cut.of(0), cut.of(1));
+        assert_eq!(cut.of(2), cut.of(3));
+        assert_ne!(cut.of(1), cut.of(2));
+    }
+
+    #[test]
+    fn every_edge_internal_when_unthresholded() {
+        let g = graph(6, &[(0, 1, 1), (1, 2, 2), (3, 4, 1), (4, 5, 9)]);
+        let c = connected_components(&g, 0);
+        for (u, v, _) in g.edges() {
+            assert_eq!(c.of(u), c.of(v), "edge ({u},{v}) crosses clusters");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(0, &[]);
+        let c = connected_components(&g, 1);
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.num_nodes(), 0);
+    }
+}

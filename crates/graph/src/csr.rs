@@ -1,0 +1,222 @@
+//! Compressed sparse row storage for undirected weighted graphs.
+
+/// An immutable undirected graph with `u32` edge weights in CSR form.
+///
+/// Both directions of every edge are materialized, so `neighbors(u)` is a
+/// contiguous slice — the layout the BFS-heavy clustering algorithms want.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<u64>,
+    neighbors: Vec<u32>,
+    weights: Vec<u32>,
+    n_edges: u64,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> u64 {
+        self.n_edges
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Neighbor ids of `u` (sorted ascending).
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.neighbors[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// Weights parallel to [`Graph::neighbors`].
+    pub fn weights(&self, u: u32) -> &[u32] {
+        &self.weights[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// Iterate `(neighbor, weight)` pairs of `u`.
+    pub fn edges_of(&self, u: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.neighbors(u).iter().copied().zip(self.weights(u).iter().copied())
+    }
+
+    /// Iterate every undirected edge once, as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        (0..self.num_nodes() as u32).flat_map(move |u| {
+            self.edges_of(u).filter(move |&(v, _)| u < v).map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Nodes with no incident edges.
+    pub fn isolated_nodes(&self) -> Vec<u32> {
+        (0..self.num_nodes() as u32).filter(|&u| self.degree(u) == 0).collect()
+    }
+}
+
+/// Accumulates weighted edges, then freezes them into a [`Graph`].
+///
+/// Duplicate `(u, v)` pairs have their weights summed; self-loops are
+/// dropped (a company "sharing a director with itself" is meaningless in
+/// the projections this graph backs).
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `n` nodes (`0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Add an undirected edge; order of endpoints is irrelevant.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: u32) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "node out of range");
+        if u == v {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, w));
+    }
+
+    /// Number of raw (pre-merge) edge records.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freeze into CSR form.
+    pub fn build(mut self) -> Graph {
+        // Merge duplicates by sorting (cheaper and more cache-friendly than
+        // a hash map at multi-million edge scale).
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut merged: Vec<(u32, u32, u32)> = Vec::with_capacity(self.edges.len());
+        for (u, v, w) in self.edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == u && last.1 == v => last.2 += w,
+                _ => merged.push((u, v, w)),
+            }
+        }
+
+        let mut degree = vec![0u64; self.n];
+        for &(u, v, _) in &merged {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut neighbors = vec![0u32; acc as usize];
+        let mut weights = vec![0u32; acc as usize];
+        let mut cursor = offsets.clone();
+        for &(u, v, w) in &merged {
+            let cu = cursor[u as usize] as usize;
+            neighbors[cu] = v;
+            weights[cu] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            neighbors[cv] = u;
+            weights[cv] = w;
+            cursor[v as usize] += 1;
+        }
+        // Sorted insertion order (edges sorted by (u,v)) guarantees each
+        // adjacency list ends up ascending for the u side; the v side needs
+        // a per-node sort.
+        let graph_n = self.n;
+        let mut g = Graph { offsets, neighbors, weights, n_edges: merged.len() as u64 };
+        for u in 0..graph_n {
+            let lo = g.offsets[u] as usize;
+            let hi = g.offsets[u + 1] as usize;
+            let mut pairs: Vec<(u32, u32)> =
+                g.neighbors[lo..hi].iter().copied().zip(g.weights[lo..hi].iter().copied()).collect();
+            pairs.sort_unstable();
+            for (i, (nb, w)) in pairs.into_iter().enumerate() {
+                g.neighbors[lo + i] = nb;
+                g.weights[lo + i] = w;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_csr() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 1, 5);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.weights(1), &[2, 1, 5]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.isolated_nodes(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn duplicate_edges_merge_weights() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 0, 2); // reversed orientation, same edge
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weights(0), &[3]);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 7);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_reported() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.isolated_nodes(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iterator_each_edge_once() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 1, 4);
+        b.add_edge(3, 0, 2);
+        let g = b.build();
+        let mut edges: Vec<(u32, u32, u32)> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1, 1), (0, 3, 2), (1, 2, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

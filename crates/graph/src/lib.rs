@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Graph substrate for SCube.
+//!
+//! The graph and bipartite scenarios of the paper (§2, §4) need:
+//!
+//! * [`csr`] — a compact undirected weighted graph (CSR adjacency), the
+//!   FastUtil-storage substitute;
+//! * [`bipartite`] — the individuals×groups membership graph with optional
+//!   validity intervals (temporal analysis) and the **GraphBuilder**
+//!   projections: group–group edges weighted by shared individuals, and
+//!   individual–individual co-membership edges;
+//! * [`components`] — connected components by BFS, with the
+//!   weight-threshold variant designed in the companion journal paper
+//!   (remove edges below a threshold, then take components);
+//! * [`stoc`] — the SToC attributed-graph clustering algorithm
+//!   (Baroni, Conte, Patrignani, Ruggieri; ASONAM 2017), reimplemented
+//!   from its published description;
+//! * [`clustering`] — the partition type all clusterers produce, which the
+//!   pipeline turns into organizational units;
+//! * [`attributes`] — per-node categorical attribute sets and Jaccard
+//!   similarity, the attribute half of SToC's combined distance;
+//! * [`quality`] — weighted modularity, the quantitative axis on which the
+//!   clustering-method experiments compare the three methods.
+
+pub mod attributes;
+pub mod bipartite;
+pub mod clustering;
+pub mod components;
+pub mod csr;
+pub mod labelprop;
+pub mod quality;
+pub mod stoc;
+
+pub use attributes::NodeAttributes;
+pub use bipartite::{BipartiteGraph, Membership, Projection};
+pub use clustering::Clustering;
+pub use components::connected_components;
+pub use csr::{Graph, GraphBuilder};
+pub use labelprop::{label_propagation, LabelPropParams};
+pub use quality::modularity;
+pub use stoc::{stoc, StocParams};

@@ -1,0 +1,129 @@
+//! Clustering quality measures.
+//!
+//! The paper's demo discusses *which* clustering to use per scenario;
+//! weighted Newman–Girvan modularity gives the experiments a quantitative
+//! axis to compare connected components, weight-thresholding and SToC
+//! beyond cluster counts.
+
+use crate::clustering::Clustering;
+use crate::csr::Graph;
+
+/// Weighted modularity `Q ∈ [-0.5, 1]` of a clustering.
+///
+/// `Q = Σ_c (w_in(c)/W − (deg(c)/2W)²)` where `w_in(c)` is the total
+/// weight of intra-cluster edges, `deg(c)` the total weighted degree of the
+/// cluster's nodes and `W` the total edge weight. Returns `None` for a
+/// graph with no edges (modularity is undefined without edges).
+pub fn modularity(graph: &Graph, clustering: &Clustering) -> Option<f64> {
+    assert_eq!(
+        graph.num_nodes(),
+        clustering.num_nodes(),
+        "clustering must cover the graph"
+    );
+    let k = clustering.num_clusters() as usize;
+    let mut intra = vec![0.0f64; k];
+    let mut degree = vec![0.0f64; k];
+    let mut total_weight = 0.0f64;
+    for (u, v, w) in graph.edges() {
+        let w = f64::from(w);
+        total_weight += w;
+        let (cu, cv) = (clustering.of(u), clustering.of(v));
+        degree[cu as usize] += w;
+        degree[cv as usize] += w;
+        if cu == cv {
+            intra[cu as usize] += w;
+        }
+    }
+    if total_weight == 0.0 {
+        return None;
+    }
+    let q = (0..k)
+        .map(|c| {
+            let e_in = intra[c] / total_weight;
+            let a = degree[c] / (2.0 * total_weight);
+            e_in - a * a
+        })
+        .sum();
+    Some(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::csr::GraphBuilder;
+
+    fn two_triangles_with_bridge() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 1);
+        }
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn natural_split_beats_single_cluster() {
+        let g = two_triangles_with_bridge();
+        let split = Clustering::new(vec![0, 0, 0, 1, 1, 1]);
+        let lumped = Clustering::new(vec![0, 0, 0, 0, 0, 0]);
+        let q_split = modularity(&g, &split).unwrap();
+        let q_lumped = modularity(&g, &lumped).unwrap();
+        assert!(q_split > q_lumped, "split {q_split} vs lumped {q_lumped}");
+        assert!(q_split > 0.3);
+        // A single cluster always has Q = 0.
+        assert!(q_lumped.abs() < 1e-12);
+    }
+
+    #[test]
+    fn singletons_score_negative() {
+        let g = two_triangles_with_bridge();
+        let singletons = Clustering::new((0..6).collect());
+        let q = modularity(&g, &singletons).unwrap();
+        assert!(q < 0.0);
+    }
+
+    #[test]
+    fn respects_edge_weights() {
+        // Heavy intra-cluster edges raise Q relative to uniform weights.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 10);
+        b.add_edge(2, 3, 10);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        let c = Clustering::new(vec![0, 0, 1, 1]);
+        let q = modularity(&g, &c).unwrap();
+        assert!(q > 0.4, "q = {q}");
+    }
+
+    #[test]
+    fn empty_graph_undefined() {
+        let g = GraphBuilder::new(3).build();
+        let c = Clustering::new(vec![0, 1, 2]);
+        assert_eq!(modularity(&g, &c), None);
+    }
+
+    #[test]
+    fn components_maximize_among_edge_closed_partitions() {
+        // For a disconnected graph, components capture all edge weight
+        // internally, so no merge of components can improve Q.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(4, 5, 1);
+        let g = b.build();
+        let comps = connected_components(&g, 0);
+        let q_comp = modularity(&g, &comps).unwrap();
+        let merged = Clustering::new(vec![0, 0, 0, 0, 1, 1]);
+        let q_merged = modularity(&g, &merged).unwrap();
+        assert!(q_comp > q_merged);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn size_mismatch_panics() {
+        let g = GraphBuilder::new(3).build();
+        let c = Clustering::new(vec![0, 1]);
+        modularity(&g, &c);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the graph substrate: projection laws, component
+//! maximality, partition invariants, and SToC determinism.
+
+use proptest::prelude::*;
+use scube_graph::{
+    connected_components, stoc, BipartiteGraph, GraphBuilder, NodeAttributes, StocParams,
+};
+
+const N_IND: u32 = 12;
+const N_GRP: u32 = 8;
+
+fn memberships() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::btree_set((0..N_IND, 0..N_GRP), 0..40)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+}
+
+fn edge_list() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    proptest::collection::vec((0u32..15, 0u32..15, 1u32..5), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn projection_weight_equals_shared_count(pairs in memberships()) {
+        let mut b = BipartiteGraph::new(N_IND, N_GRP);
+        for &(i, g) in &pairs {
+            b.add_untimed(i, g);
+        }
+        let p = b.project_groups(1);
+        for (g1, g2, w) in p.graph.edges() {
+            // Recount shared individuals directly.
+            let shared = (0..N_IND)
+                .filter(|&i| pairs.contains(&(i, g1)) && pairs.contains(&(i, g2)))
+                .count() as u32;
+            prop_assert_eq!(w, shared, "edge ({}, {})", g1, g2);
+            prop_assert!(w >= 1);
+        }
+        // Completeness: any pair of groups sharing an individual has an edge.
+        for g1 in 0..N_GRP {
+            for g2 in g1 + 1..N_GRP {
+                let shared = (0..N_IND)
+                    .filter(|&i| pairs.contains(&(i, g1)) && pairs.contains(&(i, g2)))
+                    .count() as u32;
+                if shared > 0 {
+                    let found = p.graph.edges_of(g1).any(|(v, w)| v == g2 && w == shared);
+                    prop_assert!(found, "missing edge ({g1},{g2}) with weight {shared}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_projections_have_consistent_isolated(pairs in memberships()) {
+        let mut b = BipartiteGraph::new(N_IND, N_GRP);
+        for &(i, g) in &pairs {
+            b.add_untimed(i, g);
+        }
+        for p in [b.project_groups(1), b.project_individuals(1)] {
+            for &node in &p.isolated {
+                prop_assert_eq!(p.graph.degree(node), 0);
+            }
+            let n = p.graph.num_nodes() as u32;
+            for u in 0..n {
+                prop_assert_eq!(p.graph.degree(u) == 0, p.isolated.contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn components_form_maximal_partition(edges in edge_list(), threshold in 0u32..4) {
+        let mut b = GraphBuilder::new(15);
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build();
+        let c = connected_components(&g, threshold);
+        // Partition covers all nodes.
+        prop_assert_eq!(c.num_nodes(), 15);
+        prop_assert_eq!(c.sizes().iter().sum::<u32>(), 15);
+        // Every kept edge is internal; components are edge-closed.
+        for (u, v, w) in g.edges() {
+            if w >= threshold {
+                prop_assert_eq!(c.of(u), c.of(v));
+            }
+        }
+        // Maximality: two nodes in the same cluster are connected via kept
+        // edges (checked by re-running a BFS per cluster).
+        for cluster in 0..c.num_clusters() {
+            let members: Vec<u32> = (0..15u32).filter(|&u| c.of(u) == cluster).collect();
+            let mut seen = [false; 15];
+            let mut stack = vec![members[0]];
+            seen[members[0] as usize] = true;
+            while let Some(u) = stack.pop() {
+                for (v, w) in g.edges_of(u) {
+                    if w >= threshold && !seen[v as usize] {
+                        seen[v as usize] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            for &m in &members {
+                prop_assert!(seen[m as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn raising_threshold_refines_clustering(edges in edge_list()) {
+        // Components at threshold t+1 must be a refinement of those at t.
+        let mut b = GraphBuilder::new(15);
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build();
+        let coarse = connected_components(&g, 1);
+        let fine = connected_components(&g, 3);
+        prop_assert!(fine.num_clusters() >= coarse.num_clusters());
+        for u in 0..15u32 {
+            for v in 0..15u32 {
+                if fine.of(u) == fine.of(v) {
+                    prop_assert_eq!(coarse.of(u), coarse.of(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stoc_is_deterministic_partition(
+        edges in edge_list(),
+        tau in 0.0f64..1.0,
+        alpha in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut b = GraphBuilder::new(15);
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build();
+        let attrs = NodeAttributes::from_rows((0..15).map(|i| vec![(i % 4) as u32]).collect());
+        let params = StocParams { tau, alpha, horizon: 3, seed };
+        let c1 = stoc(&g, &attrs, params);
+        let c2 = stoc(&g, &attrs, params);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_eq!(c1.sizes().iter().sum::<u32>(), 15);
+    }
+
+    #[test]
+    fn snapshot_monotone_in_interval(pairs in memberships(), t in -5i64..25) {
+        let mut b = BipartiteGraph::new(N_IND, N_GRP);
+        for (k, &(i, g)) in pairs.iter().enumerate() {
+            let from = (k as i64 % 10) - 2;
+            let to = from + 8;
+            b.add(scube_graph::bipartite::Membership::timed(i, g, from, to));
+        }
+        let snap = b.snapshot(t);
+        for m in snap.memberships() {
+            prop_assert!(m.from <= t && t <= m.to);
+        }
+        prop_assert!(snap.memberships().len() <= b.memberships().len());
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-unit minority/total histograms — the input of every index.
+
+use scube_common::{Result, ScubeError};
+
+/// Head-counts of one organizational unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitCell {
+    /// Unit identifier (cluster id, sector id, …).
+    pub unit: u32,
+    /// Members of the minority group inside the unit (`m_i`).
+    pub minority: u64,
+    /// Total members of the unit (`t_i`).
+    pub total: u64,
+}
+
+/// The per-unit histogram `{(m_i, t_i)}` a segregation index is computed on.
+///
+/// Zero-population units are dropped on construction: they contribute
+/// nothing to any index and keeping them would only distort `num_units`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitCounts {
+    cells: Vec<UnitCell>,
+    minority: u64,
+    total: u64,
+}
+
+impl UnitCounts {
+    /// Build from raw cells, validating `m_i ≤ t_i`.
+    pub fn from_cells(cells: impl IntoIterator<Item = UnitCell>) -> Result<Self> {
+        let mut kept = Vec::new();
+        let mut minority = 0u64;
+        let mut total = 0u64;
+        for c in cells {
+            if c.minority > c.total {
+                return Err(ScubeError::Inconsistent(format!(
+                    "unit {}: minority {} exceeds total {}",
+                    c.unit, c.minority, c.total
+                )));
+            }
+            if c.total == 0 {
+                continue;
+            }
+            minority += c.minority;
+            total += c.total;
+            kept.push(c);
+        }
+        Ok(UnitCounts { cells: kept, minority, total })
+    }
+
+    /// Build from `(unit, minority, total)` triples.
+    pub fn from_triples(triples: impl IntoIterator<Item = (u32, u64, u64)>) -> Result<Self> {
+        Self::from_cells(
+            triples.into_iter().map(|(unit, minority, total)| UnitCell { unit, minority, total }),
+        )
+    }
+
+    /// Build from `(minority, total)` pairs with units numbered `0..n`
+    /// (convenient in tests and index-only computations).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64)>) -> Result<Self> {
+        Self::from_cells(
+            pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (minority, total))| UnitCell { unit: i as u32, minority, total }),
+        )
+    }
+
+    /// The non-empty units.
+    pub fn cells(&self) -> &[UnitCell] {
+        &self.cells
+    }
+
+    /// `M`: total minority head-count.
+    pub fn minority(&self) -> u64 {
+        self.minority
+    }
+
+    /// `T`: total population head-count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `P = M/T`, or `None` for the empty population.
+    pub fn minority_proportion(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.minority as f64 / self.total as f64)
+    }
+
+    /// Number of non-empty units (`n` in the paper's formulas).
+    pub fn num_units(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when there is no population at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let c = UnitCounts::from_pairs([(10, 20), (0, 20)]).unwrap();
+        assert_eq!(c.minority(), 10);
+        assert_eq!(c.total(), 40);
+        assert_eq!(c.minority_proportion(), Some(0.25));
+        assert_eq!(c.num_units(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn zero_population_units_dropped() {
+        let c = UnitCounts::from_triples([(7, 0, 0), (9, 3, 5)]).unwrap();
+        assert_eq!(c.num_units(), 1);
+        assert_eq!(c.cells()[0].unit, 9);
+    }
+
+    #[test]
+    fn minority_exceeding_total_rejected() {
+        let err = UnitCounts::from_pairs([(6, 5)]).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn empty_population() {
+        let c = UnitCounts::from_pairs([]).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.minority_proportion(), None);
+    }
+}

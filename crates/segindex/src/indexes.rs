@@ -1,0 +1,520 @@
+//! The six segregation indexes and the batch evaluator.
+
+use crate::counts::UnitCounts;
+
+/// Default Atkinson shape parameter (the symmetric `b = 0.5` choice used
+/// throughout the segregation literature).
+pub const DEFAULT_ATKINSON_B: f64 = 0.5;
+
+/// Clamp tiny floating-point excursions back into `[0, 1]`.
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Dissimilarity index `D ∈ [0,1]`.
+///
+/// `D = ½ Σ |m_i/M − (t_i−m_i)/(T−M)|`: the share of either group that
+/// would have to relocate for all units to mirror the overall minority
+/// proportion. 0 on a perfectly even distribution, 1 under complete
+/// segregation. `None` when `M = 0` or `M = T`.
+pub fn dissimilarity(c: &UnitCounts) -> Option<f64> {
+    let m_total = c.minority() as f64;
+    let maj_total = (c.total() - c.minority()) as f64;
+    if c.minority() == 0 || c.minority() == c.total() {
+        return None;
+    }
+    let sum: f64 = c
+        .cells()
+        .iter()
+        .map(|u| {
+            let minority_share = u.minority as f64 / m_total;
+            let majority_share = (u.total - u.minority) as f64 / maj_total;
+            (minority_share - majority_share).abs()
+        })
+        .sum();
+    Some(clamp01(sum / 2.0))
+}
+
+/// Gini segregation index `G ∈ [0,1]`.
+///
+/// `G = Σ_i Σ_j t_i t_j |p_i − p_j| / (2 T² P(1−P))`. Computed in
+/// `O(n log n)` by sorting units on `p_i` and using prefix sums (the naive
+/// double sum is quadratic; at the paper's scale — millions of individuals
+/// mapped to thousands of units — that matters). `None` when `M = 0` or
+/// `M = T`.
+pub fn gini(c: &UnitCounts) -> Option<f64> {
+    if c.minority() == 0 || c.minority() == c.total() {
+        return None;
+    }
+    let t_total = c.total() as f64;
+    let p = c.minority() as f64 / t_total;
+
+    let mut units: Vec<(f64, f64)> = c
+        .cells()
+        .iter()
+        .map(|u| (u.minority as f64 / u.total as f64, u.total as f64))
+        .collect();
+    units.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    // Σ_{i<j} t_i t_j (p_j − p_i)  with prefix sums over sorted p.
+    let mut weight_prefix = 0.0; // Σ_{i<j} t_i
+    let mut weighted_p_prefix = 0.0; // Σ_{i<j} t_i p_i
+    let mut num = 0.0;
+    for &(p_j, t_j) in &units {
+        num += t_j * (p_j * weight_prefix - weighted_p_prefix);
+        weight_prefix += t_j;
+        weighted_p_prefix += t_j * p_j;
+    }
+    let den = t_total * t_total * p * (1.0 - p);
+    Some(clamp01(num / den))
+}
+
+/// Binary entropy `−(p ln p + (1−p) ln (1−p))`, with `0·ln 0 = 0`.
+fn entropy(p: f64) -> f64 {
+    let mut e = 0.0;
+    if p > 0.0 {
+        e -= p * p.ln();
+    }
+    if p < 1.0 {
+        e -= (1.0 - p) * (1.0 - p).ln();
+    }
+    e
+}
+
+/// Information index (Theil's H) `∈ [0,1]`.
+///
+/// `H = Σ t_i (E − E_i) / (T·E)` where `E` is the entropy of the overall
+/// minority split and `E_i` the entropy within unit `i`. `None` when
+/// `M = 0` or `M = T` (then `E = 0`).
+pub fn information(c: &UnitCounts) -> Option<f64> {
+    if c.minority() == 0 || c.minority() == c.total() {
+        return None;
+    }
+    let t_total = c.total() as f64;
+    let e = entropy(c.minority() as f64 / t_total);
+    let sum: f64 = c
+        .cells()
+        .iter()
+        .map(|u| {
+            let e_i = entropy(u.minority as f64 / u.total as f64);
+            u.total as f64 * (e - e_i)
+        })
+        .sum();
+    Some(clamp01(sum / (t_total * e)))
+}
+
+/// Isolation index `xPx`.
+///
+/// `xPx = Σ (m_i/M)(m_i/t_i)`: the minority-weighted average minority
+/// share of the unit a random minority member finds around them. Ranges in
+/// `[P, 1]`; `None` when `M = 0`.
+pub fn isolation(c: &UnitCounts) -> Option<f64> {
+    if c.minority() == 0 {
+        return None;
+    }
+    let m_total = c.minority() as f64;
+    let sum: f64 = c
+        .cells()
+        .iter()
+        .map(|u| (u.minority as f64 / m_total) * (u.minority as f64 / u.total as f64))
+        .sum();
+    Some(clamp01(sum))
+}
+
+/// Interaction index `xPy`.
+///
+/// `xPy = Σ (m_i/M)((t_i−m_i)/t_i)`: the exposure of minority members to
+/// the majority. For binary groups `xPx + xPy = 1`. `None` when `M = 0`.
+pub fn interaction(c: &UnitCounts) -> Option<f64> {
+    if c.minority() == 0 {
+        return None;
+    }
+    let m_total = c.minority() as f64;
+    let sum: f64 = c
+        .cells()
+        .iter()
+        .map(|u| {
+            (u.minority as f64 / m_total) * ((u.total - u.minority) as f64 / u.total as f64)
+        })
+        .sum();
+    Some(clamp01(sum))
+}
+
+/// Atkinson index `A(b) ∈ [0,1]` with shape parameter `b ∈ (0,1)`.
+///
+/// `A = 1 − (P/(1−P)) · [ Σ (1−p_i)^{1−b} p_i^b t_i / (P·T) ]^{1/(1−b)}`.
+/// `b` weights units where the minority is under- vs over-represented;
+/// `b = 0.5` (the default) treats both symmetrically. `None` when `M = 0`,
+/// `M = T`, or `b` outside `(0,1)`.
+pub fn atkinson(c: &UnitCounts, b: f64) -> Option<f64> {
+    if c.minority() == 0 || c.minority() == c.total() || !(0.0..1.0).contains(&b) || b == 0.0 {
+        return None;
+    }
+    let t_total = c.total() as f64;
+    let p = c.minority() as f64 / t_total;
+    let sum: f64 = c
+        .cells()
+        .iter()
+        .map(|u| {
+            let p_i = u.minority as f64 / u.total as f64;
+            (1.0 - p_i).powf(1.0 - b) * p_i.powf(b) * u.total as f64
+        })
+        .sum();
+    let inner = (sum / (p * t_total)).powf(1.0 / (1.0 - b));
+    Some(clamp01(1.0 - (p / (1.0 - p)) * inner))
+}
+
+/// Correlation ratio (eta², also `V`) — exposure adjusted for the overall
+/// minority share: `V = (xPx − P) / (1 − P)`.
+///
+/// Unlike raw isolation, `V = 0` under perfect evenness regardless of `P`
+/// and `V = 1` under complete segregation, which makes it comparable
+/// across contexts with different minority shares. Provided as an
+/// *extension* beyond the paper's six indexes (it ships in the R `seg`
+/// package the paper cites); `None` when `M = 0` or `M = T`.
+pub fn correlation_ratio(c: &UnitCounts) -> Option<f64> {
+    if c.minority() == c.total() {
+        return None;
+    }
+    let xpx = isolation(c)?;
+    let p = c.minority() as f64 / c.total() as f64;
+    Some(clamp01((xpx - p) / (1.0 - p)))
+}
+
+/// The six indexes the SCube system computes, as a closed enumeration
+/// (the cube is "parametric to the indexes" — §2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegIndex {
+    /// Dissimilarity index `D`.
+    Dissimilarity,
+    /// Gini segregation index `G`.
+    Gini,
+    /// Information index (Theil's `H`).
+    Information,
+    /// Isolation index `xPx`.
+    Isolation,
+    /// Interaction index `xPy`.
+    Interaction,
+    /// Atkinson index with the default shape `b = 0.5`.
+    Atkinson,
+}
+
+impl SegIndex {
+    /// All six indexes, in the paper's order.
+    pub const ALL: [SegIndex; 6] = [
+        SegIndex::Dissimilarity,
+        SegIndex::Gini,
+        SegIndex::Information,
+        SegIndex::Isolation,
+        SegIndex::Interaction,
+        SegIndex::Atkinson,
+    ];
+
+    /// Compute this index over a histogram.
+    pub fn compute(self, c: &UnitCounts) -> Option<f64> {
+        match self {
+            SegIndex::Dissimilarity => dissimilarity(c),
+            SegIndex::Gini => gini(c),
+            SegIndex::Information => information(c),
+            SegIndex::Isolation => isolation(c),
+            SegIndex::Interaction => interaction(c),
+            SegIndex::Atkinson => atkinson(c, DEFAULT_ATKINSON_B),
+        }
+    }
+
+    /// Short display name used in report headers.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SegIndex::Dissimilarity => "D",
+            SegIndex::Gini => "G",
+            SegIndex::Information => "H",
+            SegIndex::Isolation => "xPx",
+            SegIndex::Interaction => "xPy",
+            SegIndex::Atkinson => "A",
+        }
+    }
+
+    /// Full display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SegIndex::Dissimilarity => "dissimilarity",
+            SegIndex::Gini => "gini",
+            SegIndex::Information => "information",
+            SegIndex::Isolation => "isolation",
+            SegIndex::Interaction => "interaction",
+            SegIndex::Atkinson => "atkinson",
+        }
+    }
+
+    /// Parse a name produced by [`SegIndex::name`] or [`SegIndex::short_name`].
+    pub fn parse(s: &str) -> Option<SegIndex> {
+        match s.to_ascii_lowercase().as_str() {
+            "dissimilarity" | "d" => Some(SegIndex::Dissimilarity),
+            "gini" | "g" => Some(SegIndex::Gini),
+            "information" | "h" | "theil" => Some(SegIndex::Information),
+            "isolation" | "xpx" => Some(SegIndex::Isolation),
+            "interaction" | "xpy" => Some(SegIndex::Interaction),
+            "atkinson" | "a" => Some(SegIndex::Atkinson),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SegIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// All six index values for one histogram, plus the population summary —
+/// the payload of one cube cell.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IndexValues {
+    /// Dissimilarity `D`.
+    pub dissimilarity: Option<f64>,
+    /// Gini `G`.
+    pub gini: Option<f64>,
+    /// Information (Theil) `H`.
+    pub information: Option<f64>,
+    /// Isolation `xPx`.
+    pub isolation: Option<f64>,
+    /// Interaction `xPy`.
+    pub interaction: Option<f64>,
+    /// Atkinson `A(b)`.
+    pub atkinson: Option<f64>,
+    /// Minority head-count `M`.
+    pub minority: u64,
+    /// Total head-count `T`.
+    pub total: u64,
+    /// Number of non-empty units `n`.
+    pub num_units: u32,
+}
+
+impl IndexValues {
+    /// Evaluate every index over the histogram, with the given Atkinson `b`.
+    pub fn compute_with(c: &UnitCounts, atkinson_b: f64) -> IndexValues {
+        IndexValues {
+            dissimilarity: dissimilarity(c),
+            gini: gini(c),
+            information: information(c),
+            isolation: isolation(c),
+            interaction: interaction(c),
+            atkinson: atkinson(c, atkinson_b),
+            minority: c.minority(),
+            total: c.total(),
+            num_units: c.num_units() as u32,
+        }
+    }
+
+    /// Evaluate every index with the default Atkinson shape.
+    pub fn compute(c: &UnitCounts) -> IndexValues {
+        Self::compute_with(c, DEFAULT_ATKINSON_B)
+    }
+
+    /// Overall minority proportion `P`, when defined.
+    pub fn minority_proportion(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.minority as f64 / self.total as f64)
+    }
+
+    /// Select one index value.
+    pub fn get(&self, index: SegIndex) -> Option<f64> {
+        match index {
+            SegIndex::Dissimilarity => self.dissimilarity,
+            SegIndex::Gini => self.gini,
+            SegIndex::Information => self.information,
+            SegIndex::Isolation => self.isolation,
+            SegIndex::Interaction => self.interaction,
+            SegIndex::Atkinson => self.atkinson,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::UnitCounts;
+
+    fn counts(pairs: &[(u64, u64)]) -> UnitCounts {
+        UnitCounts::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    fn assert_close(a: Option<f64>, b: f64) {
+        let a = a.expect("index should be defined");
+        assert!((a - b).abs() < 1e-9, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn hand_computed_two_units() {
+        // Units (m,t): (10,20), (0,20) → M=10, T=40, P=0.25.
+        // D = ½(|1 − 1/3| + |0 − 2/3|) = 2/3.
+        // G: pairwise formula gives exactly 2/3 too.
+        // A(0.5) = 1 − (0.25/0.75)·1 = 2/3.
+        let c = counts(&[(10, 20), (0, 20)]);
+        assert_close(dissimilarity(&c), 2.0 / 3.0);
+        assert_close(gini(&c), 2.0 / 3.0);
+        assert_close(atkinson(&c, 0.5), 2.0 / 3.0);
+        assert_close(isolation(&c), 0.5);
+        assert_close(interaction(&c), 0.5);
+        // H computed by hand: E=0.562335, E1=ln2, E2=0.
+        let e = 0.25f64.mul_add(-(0.25f64.ln()), -(0.75 * 0.75f64.ln()));
+        let expected_h = (20.0 * (e - std::f64::consts::LN_2) + 20.0 * e) / (40.0 * e);
+        assert_close(information(&c), expected_h);
+    }
+
+    #[test]
+    fn uniform_distribution_scores_zero() {
+        // Same minority share everywhere → evenness indexes are 0 and the
+        // isolation index equals P.
+        let c = counts(&[(5, 20), (10, 40), (25, 100)]);
+        assert_close(dissimilarity(&c), 0.0);
+        assert_close(gini(&c), 0.0);
+        assert_close(information(&c), 0.0);
+        assert_close(atkinson(&c, 0.5), 0.0);
+        assert_close(isolation(&c), 0.25);
+        assert_close(interaction(&c), 0.75);
+    }
+
+    #[test]
+    fn complete_segregation_scores_one() {
+        // Every unit is single-group → evenness indexes are 1,
+        // isolation 1, interaction 0.
+        let c = counts(&[(30, 30), (0, 70), (15, 15), (0, 5)]);
+        assert_close(dissimilarity(&c), 1.0);
+        assert_close(gini(&c), 1.0);
+        assert_close(information(&c), 1.0);
+        assert_close(atkinson(&c, 0.5), 1.0);
+        assert_close(isolation(&c), 1.0);
+        assert_close(interaction(&c), 0.0);
+    }
+
+    #[test]
+    fn undefined_when_no_minority() {
+        let c = counts(&[(0, 10), (0, 20)]);
+        for idx in SegIndex::ALL {
+            assert_eq!(idx.compute(&c), None, "{idx} should be undefined");
+        }
+    }
+
+    #[test]
+    fn evenness_undefined_when_all_minority() {
+        let c = counts(&[(10, 10), (20, 20)]);
+        assert_eq!(dissimilarity(&c), None);
+        assert_eq!(gini(&c), None);
+        assert_eq!(information(&c), None);
+        assert_eq!(atkinson(&c, 0.5), None);
+        // Exposure indexes remain defined: everyone is minority.
+        assert_close(isolation(&c), 1.0);
+        assert_close(interaction(&c), 0.0);
+    }
+
+    #[test]
+    fn empty_population_undefined() {
+        let c = counts(&[]);
+        for idx in SegIndex::ALL {
+            assert_eq!(idx.compute(&c), None);
+        }
+    }
+
+    #[test]
+    fn single_unit_is_unsegregated() {
+        // With one unit the minority distribution is trivially even.
+        let c = counts(&[(3, 10)]);
+        assert_close(dissimilarity(&c), 0.0);
+        assert_close(gini(&c), 0.0);
+        assert_close(information(&c), 0.0);
+        assert_close(atkinson(&c, 0.5), 0.0);
+        assert_close(isolation(&c), 0.3);
+    }
+
+    #[test]
+    fn atkinson_rejects_bad_shape() {
+        let c = counts(&[(1, 2), (0, 2)]);
+        assert_eq!(atkinson(&c, 0.0), None);
+        assert_eq!(atkinson(&c, 1.0), None);
+        assert_eq!(atkinson(&c, -0.5), None);
+        assert_eq!(atkinson(&c, 1.5), None);
+        assert!(atkinson(&c, 0.3).is_some());
+    }
+
+    #[test]
+    fn atkinson_asymmetry() {
+        // b ≠ 0.5 weights under/over-represented units differently, so the
+        // index must change when the minority/majority roles swap.
+        let c = counts(&[(8, 10), (2, 30)]);
+        let swapped = counts(&[(2, 10), (28, 30)]);
+        let a_03 = atkinson(&c, 0.3).unwrap();
+        let a_03_swapped = atkinson(&swapped, 0.3).unwrap();
+        assert!((a_03 - a_03_swapped).abs() > 1e-6);
+        // ... while b = 0.5 is symmetric under group swap.
+        let a_05 = atkinson(&c, 0.5).unwrap();
+        let a_05_swapped = atkinson(&swapped, 0.5).unwrap();
+        assert!((a_05 - a_05_swapped).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_matches_naive_quadratic() {
+        let c = counts(&[(1, 10), (5, 10), (9, 10), (3, 30), (0, 7)]);
+        // Naive O(n²) double sum.
+        let t_total = c.total() as f64;
+        let p = c.minority() as f64 / t_total;
+        let mut num = 0.0;
+        for a in c.cells() {
+            for b in c.cells() {
+                let pa = a.minority as f64 / a.total as f64;
+                let pb = b.minority as f64 / b.total as f64;
+                num += a.total as f64 * b.total as f64 * (pa - pb).abs();
+            }
+        }
+        let naive = num / (2.0 * t_total * t_total * p * (1.0 - p));
+        assert_close(gini(&c), naive);
+    }
+
+    #[test]
+    fn dissimilarity_matches_fig1_style_example() {
+        // A 3-unit example verifiable by hand:
+        // units (m,t) = (4,10), (1,10), (5,20); M=10, T=40.
+        // minority shares: .4 .1 .5 ; majority shares: 6/30 9/30 15/30.
+        // D = ½(|.4−.2| + |.1−.3| + |.5−.5|) = 0.2
+        let c = counts(&[(4, 10), (1, 10), (5, 20)]);
+        assert_close(dissimilarity(&c), 0.2);
+    }
+
+    #[test]
+    fn index_values_bundle() {
+        let c = counts(&[(10, 20), (0, 20)]);
+        let v = IndexValues::compute(&c);
+        assert_eq!(v.minority, 10);
+        assert_eq!(v.total, 40);
+        assert_eq!(v.num_units, 2);
+        assert_eq!(v.minority_proportion(), Some(0.25));
+        for idx in SegIndex::ALL {
+            assert_eq!(v.get(idx), idx.compute(&c), "{idx}");
+        }
+    }
+
+    #[test]
+    fn correlation_ratio_extremes() {
+        // Perfect evenness → V = 0 (unlike xPx, which equals P).
+        let even = counts(&[(5, 20), (10, 40)]);
+        assert_close(correlation_ratio(&even), 0.0);
+        // Complete segregation → V = 1.
+        let total = counts(&[(10, 10), (0, 20)]);
+        assert_close(correlation_ratio(&total), 1.0);
+        // Mixed case: V = (xPx − P)/(1 − P), hand-computed.
+        let c = counts(&[(10, 20), (0, 20)]);
+        let expected = (0.5 - 0.25) / 0.75;
+        assert_close(correlation_ratio(&c), expected);
+        // Degenerate populations.
+        assert_eq!(correlation_ratio(&counts(&[(0, 10)])), None);
+        assert_eq!(correlation_ratio(&counts(&[(10, 10)])), None);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for idx in SegIndex::ALL {
+            assert_eq!(SegIndex::parse(idx.name()), Some(idx));
+            assert_eq!(SegIndex::parse(idx.short_name()), Some(idx));
+        }
+        assert_eq!(SegIndex::parse("nope"), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the segregation indexes: range bounds, invariances,
+//! and the social-science axioms the literature states for them.
+
+use proptest::prelude::*;
+use scube_segindex::{atkinson, IndexValues, SegIndex, UnitCounts};
+
+/// Random histogram with at least one mixed unit so indexes are defined.
+fn histogram() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..50, 1u64..100), 1..30).prop_map(|v| {
+        v.into_iter()
+            .map(|(m, extra)| (m, m + extra)) // total > minority ⇒ M < T
+            .collect()
+    })
+}
+
+fn counts(pairs: &[(u64, u64)]) -> UnitCounts {
+    UnitCounts::from_pairs(pairs.iter().copied()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_indexes_within_unit_interval(pairs in histogram()) {
+        let c = counts(&pairs);
+        let v = IndexValues::compute(&c);
+        for idx in SegIndex::ALL {
+            if let Some(x) = v.get(idx) {
+                prop_assert!((0.0..=1.0).contains(&x), "{idx} = {x} out of range");
+                prop_assert!(x.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn exposure_indexes_are_complementary(pairs in histogram()) {
+        let c = counts(&pairs);
+        if let (Some(xpx), Some(xpy)) =
+            (SegIndex::Isolation.compute(&c), SegIndex::Interaction.compute(&c))
+        {
+            prop_assert!((xpx + xpy - 1.0).abs() < 1e-9, "xPx+xPy = {}", xpx + xpy);
+        }
+    }
+
+    #[test]
+    fn isolation_at_least_overall_proportion(pairs in histogram()) {
+        let c = counts(&pairs);
+        if let (Some(xpx), Some(p)) =
+            (SegIndex::Isolation.compute(&c), c.minority_proportion())
+        {
+            prop_assert!(xpx >= p - 1e-9, "xPx {xpx} below P {p}");
+        }
+    }
+
+    #[test]
+    fn scale_invariance(pairs in histogram(), k in 2u64..8) {
+        // Multiplying every head-count by k leaves all indexes unchanged
+        // (indexes depend on proportions, not absolute counts).
+        let c1 = counts(&pairs);
+        let scaled: Vec<(u64, u64)> = pairs.iter().map(|&(m, t)| (m * k, t * k)).collect();
+        let c2 = counts(&scaled);
+        for idx in SegIndex::ALL {
+            match (idx.compute(&c1), idx.compute(&c2)) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{idx}: {a} vs {b}"),
+                (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn organizational_equivalence(pairs in histogram()) {
+        // Splitting a unit into two parts with identical minority share
+        // leaves every index unchanged (the "organizational equivalence"
+        // axiom of segregation measurement).
+        let c1 = counts(&pairs);
+        let mut split: Vec<(u64, u64)> = Vec::new();
+        for &(m, t) in &pairs {
+            // Duplicate each unit: (2m, 2t) split into two (m, t) halves has
+            // the same shares as one (2m, 2t) unit.
+            split.push((m, t));
+            split.push((m, t));
+        }
+        let doubled: Vec<(u64, u64)> = pairs.iter().map(|&(m, t)| (2 * m, 2 * t)).collect();
+        let c2 = counts(&split);
+        let c3 = counts(&doubled);
+        for idx in SegIndex::ALL {
+            let a = idx.compute(&c2);
+            let b = idx.compute(&c3);
+            match (a, b) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{idx}: {a} vs {b}"),
+                (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+        let _ = c1;
+    }
+
+    #[test]
+    fn empty_units_do_not_matter(pairs in histogram()) {
+        let c1 = counts(&pairs);
+        let mut with_empty = pairs.clone();
+        with_empty.push((0, 0)); // dropped by construction
+        // from_pairs drops zero-total units, so this must be identical.
+        let c2 = UnitCounts::from_pairs(with_empty).unwrap();
+        for idx in SegIndex::ALL {
+            prop_assert_eq!(idx.compute(&c1), idx.compute(&c2));
+        }
+    }
+
+    #[test]
+    fn unit_order_does_not_matter(pairs in histogram(), seed in any::<u64>()) {
+        let c1 = counts(&pairs);
+        let mut shuffled = pairs.clone();
+        // Cheap deterministic shuffle.
+        let n = shuffled.len();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let c2 = counts(&shuffled);
+        for idx in SegIndex::ALL {
+            match (idx.compute(&c1), idx.compute(&c2)) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{idx}"),
+                (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn atkinson_defined_across_shapes(pairs in histogram(), b in 0.05f64..0.95) {
+        let c = counts(&pairs);
+        if let Some(a) = atkinson(&c, b) {
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn transfer_toward_evenness_never_increases_dissimilarity(
+        pairs in proptest::collection::vec((0u64..50, 1u64..100), 2..20),
+    ) {
+        // Moving one minority member from an over-represented unit to an
+        // under-represented one (keeping totals fixed) must not increase D.
+        // The Pigou–Dalton argument holds exactly when neither unit crosses
+        // the overall share P during the transfer, so require donor and
+        // receiver to stay on their side of P afterwards.
+        let pairs: Vec<(u64, u64)> = pairs.into_iter().map(|(m, e)| (m, m + e)).collect();
+        let c = counts(&pairs);
+        let (Some(d0), Some(p)) = (SegIndex::Dissimilarity.compute(&c), c.minority_proportion())
+        else {
+            return Ok(());
+        };
+        // Donor stays ≥ P after giving one; receiver stays ≤ P after receiving.
+        let donor = pairs
+            .iter()
+            .position(|&(m, t)| m > 0 && (m as f64 - 1.0) / t as f64 >= p);
+        let receiver = pairs
+            .iter()
+            .position(|&(m, t)| m < t && (m as f64 + 1.0) / t as f64 <= p);
+        if let (Some(i), Some(j)) = (donor, receiver) {
+            if i != j {
+                let mut moved = pairs.clone();
+                moved[i].0 -= 1;
+                moved[j].0 += 1;
+                let c2 = counts(&moved);
+                if let Some(d1) = SegIndex::Dissimilarity.compute(&c2) {
+                    prop_assert!(d1 <= d0 + 1e-9, "transfer increased D: {d0} -> {d1}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Temporal analysis on the synthetic Estonian registry: segregation
+//! trends over 20 years of board appointments.
+//!
+//! Run with: `cargo run --release --example temporal_trends`
+//!
+//! Memberships carry validity intervals; the `dates` input turns them into
+//! yearly snapshots (Fig. 2), each analysed independently. The generator
+//! plants a gradual feminization of boards, so exposure indexes drift
+//! while the evenness ranking of sectors stays recognizable.
+
+use scube::prelude::*;
+
+fn main() -> Result<()> {
+    let boards = scube_datagen::estonia(3000);
+    let years = boards.snapshot_years(8);
+    let dataset = boards.to_dataset(years)?;
+    println!(
+        "Synthetic Estonia: {} directors, {} companies, {} interval-labelled seats",
+        dataset.num_individuals(),
+        dataset.num_groups(),
+        dataset.bipartite.memberships().len()
+    );
+
+    let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+        .cube(CubeBuilder::new().min_support(20).parallel(true));
+    let snapshots = run_snapshots(&dataset, &config)?;
+
+    println!("\nyear  rows   P(F)     D       H     xPx");
+    for (year, result) in &snapshots {
+        let Some(v) = result.cube.get_by_names(&[("gender", "F")], &[]) else {
+            println!("{year}  (no data)");
+            continue;
+        };
+        println!(
+            "{year}  {:>5}  {:>5.3}  {:>6}  {:>6}  {:>6}",
+            result.stats.n_rows,
+            v.minority_proportion().unwrap_or(f64::NAN),
+            fmt(v.dissimilarity),
+            fmt(v.information),
+            fmt(v.isolation),
+        );
+    }
+
+    // The planted drift: female share of active directors rises.
+    let first = snapshots.first().and_then(|(_, r)| {
+        r.cube.get_by_names(&[("gender", "F")], &[]).and_then(|v| v.minority_proportion())
+    });
+    let last = snapshots.last().and_then(|(_, r)| {
+        r.cube.get_by_names(&[("gender", "F")], &[]).and_then(|v| v.minority_proportion())
+    });
+    if let (Some(first), Some(last)) = (first, last) {
+        println!(
+            "\nfemale share drifted from {first:.3} to {last:.3} across the period \
+             (planted drift is positive)"
+        );
+    }
+    Ok(())
+}
+
+fn fmt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
+}

@@ -1,0 +1,103 @@
+//! Integration: the file-based path (CSV inputs on disk, wizard, report
+//! output) produces the same analysis as the in-memory path.
+
+use scube::prelude::*;
+
+#[test]
+fn disk_and_memory_paths_agree() {
+    let boards = scube_datagen::italy(400);
+    let dir = std::env::temp_dir().join(format!("scube_it_roundtrip_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    boards.individuals.write_csv_path(dir.join("individuals.csv")).unwrap();
+    boards.groups.write_csv_path(dir.join("groups.csv")).unwrap();
+    boards.membership.write_csv_path(dir.join("membership.csv")).unwrap();
+
+    let from_disk = Wizard::new()
+        .individuals_csv(dir.join("individuals.csv"), boards.individuals_spec())
+        .groups_csv(dir.join("groups.csv"), boards.groups_spec())
+        .membership_csv(dir.join("membership.csv"), boards.membership_spec())
+        .units(UnitStrategy::GroupAttribute("sector".into()))
+        .min_support(10)
+        .run()
+        .unwrap();
+
+    let in_memory = Wizard::new()
+        .individuals(boards.individuals.clone(), boards.individuals_spec())
+        .groups(boards.groups.clone(), boards.groups_spec())
+        .membership(boards.membership.clone(), boards.membership_spec())
+        .units(UnitStrategy::GroupAttribute("sector".into()))
+        .min_support(10)
+        .run()
+        .unwrap();
+
+    assert_eq!(from_disk.cube.len(), in_memory.cube.len());
+    for (coords, v) in in_memory.cube.cells() {
+        assert_eq!(from_disk.cube.get(coords), Some(v));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn visualizer_reports_parse_back() {
+    let boards = scube_datagen::italy(300);
+    let dataset = boards.to_dataset(vec![]).unwrap();
+    let result = scube::run(
+        &dataset,
+        &ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+            .cube(CubeBuilder::new().min_support(10)),
+    )
+    .unwrap();
+
+    let dir = std::env::temp_dir().join(format!("scube_it_viz_{}", std::process::id()));
+    let written = Visualizer::new(&dir).min_total(10).write_all(&result).unwrap();
+    assert_eq!(written.len(), 4);
+
+    // cube.csv parses and has one row per cell.
+    let cube_csv = std::fs::read_to_string(dir.join("cube.csv")).unwrap();
+    let records = scube_common::csv::parse_str(&cube_csv).unwrap();
+    assert_eq!(records.len(), result.cube.len() + 1);
+
+    // final_table.csv parses back into a relation of the right shape.
+    let ft = Relation::read_csv_path(dir.join("final_table.csv")).unwrap();
+    assert_eq!(ft.len(), result.final_table.len());
+    assert!(ft.columns().contains(&"unitID".to_string()));
+
+    // top_contexts.csv is ranked descending.
+    let top_csv = std::fs::read_to_string(dir.join("top_contexts.csv")).unwrap();
+    let top = scube_common::csv::parse_str(&top_csv).unwrap();
+    let values: Vec<f64> = top[1..].iter().map(|r| r[1].parse().unwrap()).collect();
+    for w in values.windows(2) {
+        assert!(w[0] >= w[1]);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn final_table_csv_reencodes_identically() {
+    // finalTable.csv written by the Visualizer can be re-ingested through
+    // the tabular shortcut and yields the same cube.
+    let boards = scube_datagen::italy(300);
+    let dataset = boards.to_dataset(vec![]).unwrap();
+    let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+        .cube(CubeBuilder::new().min_support(10));
+    let original = scube::run(&dataset, &config).unwrap();
+
+    let rel = scube::final_table_relation(&original.final_table);
+    let spec = FinalTableSpec::new("unitID")
+        .sa("gender")
+        .sa("age")
+        .sa("birthplace")
+        .ca("residence")
+        .ca_multi("region")
+        .ca_multi("area");
+    let reencoded =
+        scube::run_final_table(&rel, &spec, &CubeBuilder::new().min_support(10)).unwrap();
+
+    assert_eq!(original.cube.len(), reencoded.cube.len());
+    // Compare a meaningful cell.
+    let a = original.cube.get_by_names(&[("gender", "F")], &[]).unwrap();
+    let b = reencoded.cube.get_by_names(&[("gender", "F")], &[]).unwrap();
+    assert_eq!(a.minority, b.minority);
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.dissimilarity, b.dissimilarity);
+}

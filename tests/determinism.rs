@@ -1,0 +1,131 @@
+//! Property tests at the pipeline level: on arbitrary small registries the
+//! full pipeline is deterministic, scenario-invariant where it must be, and
+//! never panics on odd-but-valid input shapes.
+
+use proptest::prelude::*;
+use scube::prelude::*;
+
+const N_IND: u32 = 10;
+const N_GRP: u32 = 6;
+
+fn relation(cols: &[&str], rows: Vec<Vec<String>>) -> Relation {
+    let mut r = Relation::new(cols.iter().map(|s| s.to_string()).collect()).unwrap();
+    for row in rows {
+        r.push_row(row).unwrap();
+    }
+    r
+}
+
+/// Random small registry: individuals with gender, groups with one of two
+/// sectors, random membership pairs.
+fn registry() -> impl Strategy<Value = (Vec<bool>, Vec<u8>, Vec<(u32, u32)>)> {
+    (
+        proptest::collection::vec(any::<bool>(), N_IND as usize),
+        proptest::collection::vec(0u8..3, N_GRP as usize),
+        proptest::collection::btree_set((0..N_IND, 0..N_GRP), 0..25)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+    )
+}
+
+fn build_dataset(genders: &[bool], sectors: &[u8], pairs: &[(u32, u32)]) -> Dataset {
+    let individuals = relation(
+        &["id", "gender"],
+        genders
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| vec![format!("d{i}"), if f { "F" } else { "M" }.to_string()])
+            .collect(),
+    );
+    let groups = relation(
+        &["id", "sector"],
+        sectors
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| vec![format!("c{i}"), format!("s{s}")])
+            .collect(),
+    );
+    let membership = relation(
+        &["dir", "comp"],
+        pairs
+            .iter()
+            .map(|&(d, c)| vec![format!("d{d}"), format!("c{c}")])
+            .collect(),
+    );
+    Dataset::new(
+        individuals,
+        IndividualsSpec::new("id").sa("gender"),
+        groups,
+        GroupsSpec::new("id").ca("sector"),
+        &membership,
+        &MembershipSpec::new("dir", "comp"),
+        vec![],
+    )
+    .unwrap()
+}
+
+fn cubes_equal(a: &SegregationCube, b: &SegregationCube) -> bool {
+    a.len() == b.len()
+        && a.cells().all(|(coords, v)| b.get(coords) == Some(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_scenario_is_deterministic((genders, sectors, pairs) in registry()) {
+        let dataset = build_dataset(&genders, &sectors, &pairs);
+        for units in [
+            UnitStrategy::GroupAttribute("sector".into()),
+            UnitStrategy::ClusterIndividuals(ClusteringMethod::ConnectedComponents),
+            UnitStrategy::ClusterGroups(ClusteringMethod::Stoc(StocParams::default())),
+        ] {
+            let config = ScubeConfig::new(units);
+            let a = scube::run(&dataset, &config).unwrap();
+            let b = scube::run(&dataset, &config).unwrap();
+            prop_assert!(cubes_equal(&a.cube, &b.cube));
+            prop_assert_eq!(a.stats.n_rows, b.stats.n_rows);
+            prop_assert_eq!(a.stats.n_units, b.stats.n_units);
+        }
+    }
+
+    #[test]
+    fn apex_accounts_for_every_row((genders, sectors, pairs) in registry()) {
+        let dataset = build_dataset(&genders, &sectors, &pairs);
+        let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()));
+        let result = scube::run(&dataset, &config).unwrap();
+        let apex = result.cube.get(&CellCoords::apex()).unwrap();
+        prop_assert_eq!(apex.total as usize, result.stats.n_rows);
+        prop_assert_eq!(apex.minority, apex.total);
+    }
+
+    #[test]
+    fn cell_populations_never_exceed_context((genders, sectors, pairs) in registry()) {
+        let dataset = build_dataset(&genders, &sectors, &pairs);
+        let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()));
+        let result = scube::run(&dataset, &config).unwrap();
+        for (_, v) in result.cube.cells() {
+            prop_assert!(v.minority <= v.total);
+            if let Some(p) = v.minority_proportion() {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn membership_order_is_irrelevant((genders, sectors, pairs) in registry(), seed in any::<u64>()) {
+        let a = build_dataset(&genders, &sectors, &pairs);
+        // Deterministically shuffle the membership rows.
+        let mut shuffled = pairs.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let b = build_dataset(&genders, &sectors, &shuffled);
+        let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()));
+        let ra = scube::run(&a, &config).unwrap();
+        let rb = scube::run(&b, &config).unwrap();
+        prop_assert!(cubes_equal(&ra.cube, &rb.cube));
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration: the three demonstration scenarios end-to-end on the
+//! synthetic Italian registry, asserting the planted ground truth.
+
+use std::sync::OnceLock;
+
+use scube::prelude::*;
+
+fn italy() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| scube_datagen::italy(1200).to_dataset(vec![]).unwrap())
+}
+
+#[test]
+fn scenario1_sector_units_detect_planted_bias() {
+    let dataset = italy();
+    let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+        .cube(CubeBuilder::new().min_support(10));
+    let result = scube::run(dataset, &config).unwrap();
+
+    // Women across sectors must be visibly segregated (planted bias).
+    let women = result.cube.get_by_names(&[("gender", "F")], &[]).unwrap();
+    let d_biased = women.dissimilarity.unwrap();
+    assert!(d_biased > 0.15, "expected planted segregation, D = {d_biased}");
+
+    // The same data without the planted bias scores much lower.
+    let flat = scube_datagen::generate(
+        scube_datagen::BoardsConfig::italy(1200).sector_bias(0.0),
+    )
+    .to_dataset(vec![])
+    .unwrap();
+    let flat_result = scube::run(&flat, &config).unwrap();
+    let d_flat =
+        flat_result.cube.get_by_names(&[("gender", "F")], &[]).unwrap().dissimilarity.unwrap();
+    assert!(
+        d_biased > 2.0 * d_flat,
+        "biased D {d_biased} should dominate unbiased D {d_flat}"
+    );
+}
+
+#[test]
+fn scenario1_women_isolation_exceeds_share() {
+    let dataset = italy();
+    let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()));
+    let result = scube::run(dataset, &config).unwrap();
+    let women = result.cube.get_by_names(&[("gender", "F")], &[]).unwrap();
+    // Isolation ≥ P always; with planted clustering it must be strictly
+    // above by a margin.
+    let p = women.minority_proportion().unwrap();
+    let xpx = women.isolation.unwrap();
+    assert!(xpx > p + 0.01, "xPx {xpx} should exceed P {p}");
+    // Complement law.
+    assert!((women.isolation.unwrap() + women.interaction.unwrap() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn scenario2_director_communities() {
+    let dataset = italy();
+    let config = ScubeConfig::new(UnitStrategy::ClusterIndividuals(
+        ClusteringMethod::ConnectedComponents,
+    ))
+    .cube(CubeBuilder::new().min_support(10));
+    let result = scube::run(dataset, &config).unwrap();
+    let clustering = result.clustering.as_ref().unwrap();
+
+    // Every director is assigned; one final-table row per director.
+    assert_eq!(clustering.num_nodes(), dataset.num_individuals());
+    assert_eq!(result.stats.n_rows, dataset.num_individuals());
+    // Interlocks exist, so communities are fewer than directors.
+    assert!(
+        (clustering.num_clusters() as usize) < dataset.num_individuals(),
+        "no interlocks were generated"
+    );
+    // The cube has cells and the apex accounts for everyone.
+    let apex = result.cube.get(&CellCoords::apex()).unwrap();
+    assert_eq!(apex.total as usize, result.stats.n_rows);
+}
+
+#[test]
+fn scenario3_company_communities() {
+    let dataset = italy();
+    let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
+        ClusteringMethod::WeightThreshold { min_weight: 1 },
+    ))
+    .cube(CubeBuilder::new().min_support(10));
+    let result = scube::run(dataset, &config).unwrap();
+    let clustering = result.clustering.as_ref().unwrap();
+
+    assert_eq!(clustering.num_nodes(), dataset.num_groups());
+    // Isolated companies reported by the projection are singletons.
+    for &c in &result.isolated {
+        let unit = clustering.of(c);
+        assert_eq!(
+            clustering.sizes()[unit as usize],
+            1,
+            "isolated company {c} not a singleton"
+        );
+    }
+    // Directors sitting in two communities produce one row per community;
+    // rows can exceed directors but never memberships.
+    assert!(result.stats.n_rows >= dataset.num_individuals());
+    assert!(result.stats.n_rows <= dataset.bipartite.memberships().len() + dataset.num_individuals());
+}
+
+#[test]
+fn clustering_methods_produce_different_granularity() {
+    let dataset = italy();
+    let cc = scube::run(
+        dataset,
+        &ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::ConnectedComponents)),
+    )
+    .unwrap();
+    let cut = scube::run(
+        dataset,
+        &ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::WeightThreshold {
+            min_weight: 2,
+        })),
+    )
+    .unwrap();
+    let cc_n = cc.clustering.as_ref().unwrap().num_clusters();
+    let cut_n = cut.clustering.as_ref().unwrap().num_clusters();
+    assert!(cut_n >= cc_n, "thresholding must refine components ({cut_n} vs {cc_n})");
+    // The threshold method shrinks the giant component.
+    assert!(
+        cut.clustering.as_ref().unwrap().giant_size()
+            <= cc.clustering.as_ref().unwrap().giant_size()
+    );
+}
+
+#[test]
+fn stoc_respects_attributes_end_to_end() {
+    let dataset = italy();
+    let config = ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::Stoc(
+        StocParams { tau: 0.4, alpha: 0.3, horizon: 2, seed: 11 },
+    )));
+    let result = scube::run(dataset, &config).unwrap();
+    let clustering = result.clustering.as_ref().unwrap();
+    assert_eq!(clustering.num_nodes(), dataset.num_groups());
+    assert!(clustering.num_clusters() > 1);
+    // Deterministic under the same seed.
+    let again = scube::run(dataset, &config).unwrap();
+    assert_eq!(clustering.assignment(), again.clustering.as_ref().unwrap().assignment());
+}
+
+#[test]
+fn top_contexts_include_gender_dimensions() {
+    let dataset = italy();
+    let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+        .cube(CubeBuilder::new().min_support(20));
+    let result = scube::run(dataset, &config).unwrap();
+    let top = top_contexts(&result.cube, SegIndex::Dissimilarity, 20, 100);
+    assert!(!top.is_empty());
+    // The planted signal is on gender: some top context mentions it.
+    let mentions_gender = top.iter().any(|(coords, _, _)| {
+        coords.sa.iter().any(|&i| result.cube.labels().attr_of(i) == "gender")
+    });
+    assert!(mentions_gender, "no gender context among the top findings");
+}

@@ -1,0 +1,93 @@
+//! Integration: temporal snapshot analysis on the synthetic Estonian
+//! registry (the paper's 20-year dataset with interval-labelled edges).
+
+use scube::prelude::*;
+
+fn estonia() -> (scube_datagen::SyntheticBoards, Dataset) {
+    let boards = scube_datagen::estonia(1200);
+    let years = boards.snapshot_years(5);
+    let dataset = boards.to_dataset(years).unwrap();
+    (boards, dataset)
+}
+
+#[test]
+fn snapshots_are_produced_per_date_in_order() {
+    let (_, dataset) = estonia();
+    let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+        .cube(CubeBuilder::new().min_support(5));
+    let snaps = scube::run_snapshots(&dataset, &config).unwrap();
+    assert_eq!(snaps.len(), 5);
+    let dates: Vec<i64> = snaps.iter().map(|(d, _)| *d).collect();
+    let mut sorted = dates.clone();
+    sorted.sort_unstable();
+    assert_eq!(dates, sorted);
+    for (_, r) in &snaps {
+        assert!(!r.cube.is_empty());
+    }
+}
+
+#[test]
+fn snapshot_population_matches_active_memberships() {
+    let (_, dataset) = estonia();
+    let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
+        ClusteringMethod::ConnectedComponents,
+    ))
+    .cube(CubeBuilder::new().min_support(5));
+    for &year in &[1997i64, 2005, 2012] {
+        let snap = dataset.snapshot(year);
+        let result = scube::run(&snap, &config).unwrap();
+        // Rows are (individual, unit) pairs of active members only:
+        // count distinct active individuals as a lower bound.
+        let mut active: std::collections::HashSet<u32> = Default::default();
+        for m in snap.bipartite.memberships() {
+            active.insert(m.individual);
+        }
+        assert!(result.stats.n_rows >= active.len());
+        // Nobody inactive appears: rows ≤ active memberships.
+        assert!(result.stats.n_rows <= snap.bipartite.memberships().len() + active.len());
+    }
+}
+
+#[test]
+fn planted_feminization_drift_is_visible() {
+    let (_, dataset) = estonia();
+    let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+        .cube(CubeBuilder::new().min_support(5));
+    let snaps = scube::run_snapshots(&dataset, &config).unwrap();
+    let share = |r: &ScubeResult| {
+        r.cube
+            .get_by_names(&[("gender", "F")], &[])
+            .and_then(|v| v.minority_proportion())
+            .unwrap_or(0.0)
+    };
+    let first = share(&snaps.first().unwrap().1);
+    let last = share(&snaps.last().unwrap().1);
+    assert!(
+        last > first + 0.02,
+        "female share should drift upward: {first:.3} → {last:.3}"
+    );
+}
+
+#[test]
+fn untimed_run_covers_all_memberships() {
+    let (boards, dataset) = estonia();
+    // Without snapshot filtering, every membership row contributes.
+    let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+        .cube(CubeBuilder::new().min_support(5));
+    let result = scube::run(&dataset, &config).unwrap();
+    assert!(result.stats.n_rows > 0);
+    assert_eq!(result.stats.n_memberships, boards.membership.len());
+}
+
+#[test]
+fn empty_snapshot_yields_empty_cube_not_error() {
+    let (_, dataset) = estonia();
+    let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()));
+    // Year far outside the registry range: nothing is active.
+    let snap = dataset.snapshot(1800);
+    let result = scube::run(&snap, &config).unwrap();
+    assert_eq!(result.stats.n_rows, 0);
+    // The apex cell always exists; it is just empty.
+    let apex = result.cube.get(&CellCoords::apex()).unwrap();
+    assert_eq!(apex.total, 0);
+}
