@@ -37,11 +37,7 @@ fn bench_ops(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(7);
     let shapes: Vec<(&str, Vec<u32>, Vec<u32>)> = vec![
         ("sparse", sparse_ids(&mut rng, 20_000), sparse_ids(&mut rng, 20_000)),
-        (
-            "clustered",
-            clustered_ids(&mut rng, 50, 4000),
-            clustered_ids(&mut rng, 50, 4000),
-        ),
+        ("clustered", clustered_ids(&mut rng, 50, 4000), clustered_ids(&mut rng, 50, 4000)),
         (
             "dense-runs",
             (0..400_000).collect::<Vec<u32>>(),
@@ -67,11 +63,9 @@ fn bench_ops(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tidvec", shape), &(), |bench, ()| {
             bench.iter(|| black_box(ta.and(&tb).cardinality()))
         });
-        group.bench_with_input(
-            BenchmarkId::new("ewah_and_card", shape),
-            &(),
-            |bench, ()| bench.iter(|| black_box(ea.and_cardinality(&eb))),
-        );
+        group.bench_with_input(BenchmarkId::new("ewah_and_card", shape), &(), |bench, ()| {
+            bench.iter(|| black_box(ea.and_cardinality(&eb)))
+        });
     }
     group.finish();
 

@@ -51,9 +51,7 @@ fn bench_cube(c: &mut Criterion) {
     for divisor in [50u64, 200, 1000] {
         let minsup = (db.len() as u64 / divisor).max(1);
         group.bench_with_input(BenchmarkId::new("all-frequent", minsup), &minsup, |b, &m| {
-            b.iter(|| {
-                black_box(CubeBuilder::new().min_support(m).build(&db).unwrap().len())
-            })
+            b.iter(|| black_box(CubeBuilder::new().min_support(m).build(&db).unwrap().len()))
         });
     }
     group.finish();
@@ -63,11 +61,7 @@ fn bench_cube(c: &mut Criterion) {
     group.bench_function("ewah", |b| {
         b.iter(|| {
             black_box(
-                CubeBuilder::new()
-                    .min_support(minsup)
-                    .build_with::<EwahBitmap>(&db)
-                    .unwrap()
-                    .len(),
+                CubeBuilder::new().min_support(minsup).build_with::<EwahBitmap>(&db).unwrap().len(),
             )
         })
     });
@@ -85,11 +79,7 @@ fn bench_cube(c: &mut Criterion) {
     group.bench_function("tidvec", |b| {
         b.iter(|| {
             black_box(
-                CubeBuilder::new()
-                    .min_support(minsup)
-                    .build_with::<TidVec>(&db)
-                    .unwrap()
-                    .len(),
+                CubeBuilder::new().min_support(minsup).build_with::<TidVec>(&db).unwrap().len(),
             )
         })
     });

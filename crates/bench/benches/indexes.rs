@@ -26,11 +26,9 @@ fn bench_indexes(c: &mut Criterion) {
     for &n in &[10usize, 1_000, 100_000] {
         let counts = histogram(n, 42);
         for idx in SegIndex::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(idx.name(), n),
-                &counts,
-                |b, counts| b.iter(|| black_box(idx.compute(counts))),
-            );
+            group.bench_with_input(BenchmarkId::new(idx.name(), n), &counts, |b, counts| {
+                b.iter(|| black_box(idx.compute(counts)))
+            });
         }
         group.bench_with_input(BenchmarkId::new("all-six", n), &counts, |b, counts| {
             b.iter(|| black_box(IndexValues::compute(counts)))

@@ -17,35 +17,21 @@ fn bench_miners(c: &mut Criterion) {
     group.sample_size(10);
     for rel_minsup in [0.02f64, 0.005] {
         let minsup = ((db.len() as f64 * rel_minsup) as u64).max(1);
-        group.bench_with_input(
-            BenchmarkId::new("fpgrowth", minsup),
-            &minsup,
-            |b, &m| b.iter(|| black_box(FpGrowth.mine(&db, m).unwrap().len())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("eclat-ewah", minsup),
-            &minsup,
-            |b, &m| {
-                b.iter(|| black_box(Eclat::<EwahBitmap>::new().mine(&db, m).unwrap().len()))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("eclat-dense", minsup),
-            &minsup,
-            |b, &m| {
-                b.iter(|| black_box(Eclat::<DenseBitmap>::new().mine(&db, m).unwrap().len()))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("eclat-tidvec", minsup),
-            &minsup,
-            |b, &m| b.iter(|| black_box(Eclat::<TidVec>::new().mine(&db, m).unwrap().len())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("apriori", minsup),
-            &minsup,
-            |b, &m| b.iter(|| black_box(Apriori.mine(&db, m).unwrap().len())),
-        );
+        group.bench_with_input(BenchmarkId::new("fpgrowth", minsup), &minsup, |b, &m| {
+            b.iter(|| black_box(FpGrowth.mine(&db, m).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("eclat-ewah", minsup), &minsup, |b, &m| {
+            b.iter(|| black_box(Eclat::<EwahBitmap>::new().mine(&db, m).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("eclat-dense", minsup), &minsup, |b, &m| {
+            b.iter(|| black_box(Eclat::<DenseBitmap>::new().mine(&db, m).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("eclat-tidvec", minsup), &minsup, |b, &m| {
+            b.iter(|| black_box(Eclat::<TidVec>::new().mine(&db, m).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("apriori", minsup), &minsup, |b, &m| {
+            b.iter(|| black_box(Apriori.mine(&db, m).unwrap().len()))
+        });
     }
     group.finish();
 

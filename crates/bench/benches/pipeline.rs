@@ -12,8 +12,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("scenario1-sector-units", |b| {
-        let config =
-            ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into())).cube(cube);
+        let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into())).cube(cube);
         b.iter(|| black_box(scube::run(&dataset, &config).unwrap().stats.n_cells))
     });
     group.bench_function("scenario2-director-communities", |b| {
@@ -24,10 +23,11 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| black_box(scube::run(&dataset, &config).unwrap().stats.n_cells))
     });
     group.bench_function("scenario3-company-communities", |b| {
-        let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
-            ClusteringMethod::WeightThreshold { min_weight: 1 },
-        ))
-        .cube(cube);
+        let config =
+            ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::WeightThreshold {
+                min_weight: 1,
+            }))
+            .cube(cube);
         b.iter(|| black_box(scube::run(&dataset, &config).unwrap().stats.n_cells))
     });
     group.finish();
@@ -37,8 +37,7 @@ fn bench_pipeline(c: &mut Criterion) {
     for &n in &[500usize, 1000, 2000] {
         let dataset = italy_dataset(n);
         group.bench_with_input(BenchmarkId::new("scenario1", n), &dataset, |b, d| {
-            let config =
-                ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into())).cube(cube);
+            let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into())).cube(cube);
             b.iter(|| black_box(scube::run(d, &config).unwrap().stats.n_cells))
         });
     }

@@ -16,6 +16,7 @@
 //! scale        E11 — efficiency: cube build scaling and ablations
 //! simpson      E12 — the wrong-granularity (Simpson's paradox) warning
 //! significance E13 — permutation tests on discovered contexts (extension)
+//! cube-build   E14 — build-pipeline throughput; writes BENCH_cube_build.json
 //! all              — run everything
 //! ```
 //!
@@ -89,6 +90,10 @@ fn main() {
         significance(scale);
         matched = true;
     }
+    if run("cube-build") {
+        cube_build_experiment();
+        matched = true;
+    }
     if !matched {
         eprintln!("unknown experiment '{exp}'; see the module docs for the list");
         std::process::exit(2);
@@ -112,10 +117,7 @@ fn fig1(scale: usize) {
             .cube(CubeBuilder::new().min_support(20).parallel(true)),
     )
     .expect("pipeline succeeds");
-    print!(
-        "{}",
-        fig1_grid(&result.cube, "gender", "age", "area", SegIndex::Dissimilarity)
-    );
+    print!("{}", fig1_grid(&result.cube, "gender", "age", "area", SegIndex::Dissimilarity));
     println!("(units = 20 company sectors; '-' = undefined or below min-support)");
 }
 
@@ -169,18 +171,16 @@ fn provinces(scale: usize) {
                 && labels.value_of(coords.sa[0]) == "F"
                 && labels.attr_of(coords.ca[0]) == "residence";
             (is_target && v.dissimilarity.is_some()).then(|| {
-                (
-                    labels.value_of(coords.ca[0]).to_string(),
-                    v.dissimilarity.unwrap(),
-                    v.total,
-                )
+                (labels.value_of(coords.ca[0]).to_string(), v.dissimilarity.unwrap(), v.total)
             })
         })
         .collect();
     rows.sort_by(|a, b| b.1.total_cmp(&a.1));
-    let mut table = TextTable::new()
-        .header(["region", "D", "population"])
-        .aligns(vec![Align::Left, Align::Right, Align::Right]);
+    let mut table = TextTable::new().header(["region", "D", "population"]).aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+    ]);
     for (region, d, t) in rows {
         table.row([region, format!("{d:.3}"), t.to_string()]);
     }
@@ -191,11 +191,7 @@ fn provinces(scale: usize) {
 fn cube_sheet(scale: usize) {
     banner("E4 (Fig. 5 top)", "multidimensional segregation cube sheet (CSV head)");
     let db = italy_final_table(scale);
-    let cube = CubeBuilder::new()
-        .min_support(50)
-        .parallel(true)
-        .build(&db)
-        .expect("cube builds");
+    let cube = CubeBuilder::new().min_support(50).parallel(true).build(&db).expect("cube builds");
     let csv = scube_cube::to_csv(&cube);
     for line in csv.lines().take(15) {
         println!("{line}");
@@ -209,14 +205,11 @@ fn radial(scale: usize) {
     let db = italy_final_table(scale);
     let explorer: CubeExplorer = CubeExplorer::new(&db);
     let cube = CubeBuilder::new().min_support(1).build(&db).expect("cube builds");
-    let coords = cube
-        .coords_by_names(&[("gender", "F")], &[])
-        .expect("gender=F exists");
+    let coords = cube.coords_by_names(&[("gender", "F")], &[]).expect("gender=F exists");
     let breakdown = explorer.unit_breakdown(&coords);
     let series = radial_series(&breakdown, db.unit_names());
-    let mut table = TextTable::new()
-        .header(["sector", "D", "G", "H", "xPx", "xPy", "A"])
-        .aligns(vec![
+    let mut table =
+        TextTable::new().header(["sector", "D", "G", "H", "xPx", "xPy", "A"]).aligns(vec![
             Align::Left,
             Align::Right,
             Align::Right,
@@ -305,10 +298,7 @@ fn scenario2(scale: usize) {
             "stoc(0.5,0.5)",
             ClusteringMethod::Stoc(StocParams { tau: 0.5, alpha: 0.5, horizon: 2, seed: 42 }),
         ),
-        (
-            "label-propagation",
-            ClusteringMethod::LabelPropagation(LabelPropParams::default()),
-        ),
+        ("label-propagation", ClusteringMethod::LabelPropagation(LabelPropParams::default())),
     ] {
         let result = scube::run(
             &dataset,
@@ -339,11 +329,9 @@ fn scenario3(scale: usize) {
     for min_shared in [1u32, 2] {
         let result = scube::run(
             &dataset,
-            &ScubeConfig::new(UnitStrategy::ClusterGroups(
-                ClusteringMethod::ConnectedComponents,
-            ))
-            .min_shared(min_shared)
-            .cube(CubeBuilder::new().min_support(20).parallel(true)),
+            &ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::ConnectedComponents))
+                .min_shared(min_shared)
+                .cube(CubeBuilder::new().min_support(20).parallel(true)),
         )
         .expect("pipeline succeeds");
         let clustering = result.clustering.as_ref().unwrap();
@@ -363,10 +351,8 @@ fn scenario3(scale: usize) {
 /// E9 — Italy vs Estonia cross-comparison.
 fn compare(scale: usize) {
     banner("E9", "Italy vs Estonia cross-comparison (women across sectors)");
-    let countries = [
-        ("italy", scube_datagen::italy(scale)),
-        ("estonia", scube_datagen::estonia(scale)),
-    ];
+    let countries =
+        [("italy", scube_datagen::italy(scale)), ("estonia", scube_datagen::estonia(scale))];
     let mut results = Vec::new();
     for (name, boards) in &countries {
         let dataset = boards.to_dataset(vec![]).expect("valid dataset");
@@ -378,9 +364,11 @@ fn compare(scale: usize) {
         .expect("pipeline succeeds");
         results.push((*name, result));
     }
-    let mut table = TextTable::new()
-        .header(["index", results[0].0, results[1].0])
-        .aligns(vec![Align::Left, Align::Right, Align::Right]);
+    let mut table = TextTable::new().header(["index", results[0].0, results[1].0]).aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+    ]);
     for idx in SegIndex::ALL {
         let mut row = vec![idx.name().to_string()];
         for (_, r) in &results {
@@ -402,9 +390,8 @@ fn temporal(scale: usize) {
             .cube(CubeBuilder::new().min_support(10).parallel(true)),
     )
     .expect("pipeline succeeds");
-    let mut table = TextTable::new()
-        .header(["year", "rows", "P(F)", "D", "H", "xPx"])
-        .aligns(vec![
+    let mut table =
+        TextTable::new().header(["year", "rows", "P(F)", "D", "H", "xPx"]).aligns(vec![
             Align::Right,
             Align::Right,
             Align::Right,
@@ -531,8 +518,7 @@ fn simpson() {
     banner("E12", "Simpson's paradox: aggregate evenness hides regional segregation");
     // Planted construction: in the north women fill unit A, men unit B;
     // in the south the roles reverse; the aggregate per unit is balanced.
-    let mut rel = Relation::new(vec!["gender".into(), "region".into(), "unitID".into()])
-        .unwrap();
+    let mut rel = Relation::new(vec!["gender".into(), "region".into(), "unitID".into()]).unwrap();
     let mut add = |g: &str, r: &str, u: &str, n: usize| {
         for _ in 0..n {
             rel.push_row(vec![g.into(), r.into(), u.into()]).unwrap();
@@ -550,18 +536,135 @@ fn simpson() {
     let spec = FinalTableSpec::new("unitID").sa("gender").ca("region");
     let result = scube::run_final_table(&rel, &spec, &CubeBuilder::new()).unwrap();
     let at = |ca: &[(&str, &str)]| {
-        result
-            .cube
-            .get_by_names(&[("gender", "F")], ca)
-            .and_then(|v| v.dissimilarity)
+        result.cube.get_by_names(&[("gender", "F")], ca).and_then(|v| v.dissimilarity)
     };
     println!("D(gender=F | *)            = {}   ← looks perfectly even", fmt(at(&[])));
-    println!("D(gender=F | region=north) = {}   ← strong segregation", fmt(at(&[("region", "north")])));
-    println!("D(gender=F | region=south) = {}   ← strong segregation (reversed)", fmt(at(&[("region", "south")])));
+    println!(
+        "D(gender=F | region=north) = {}   ← strong segregation",
+        fmt(at(&[("region", "north")]))
+    );
+    println!(
+        "D(gender=F | region=south) = {}   ← strong segregation (reversed)",
+        fmt(at(&[("region", "south")]))
+    );
     println!(
         "\nHypothesis testing at the aggregate level would have missed both contexts;\n\
          cube exploration over all granularities surfaces them."
     );
+}
+
+/// E14 — build-pipeline throughput: serial vs parallel cube construction
+/// on datagen workloads, written to `BENCH_cube_build.json` so successive
+/// PRs accumulate a perf trajectory.
+fn cube_build_experiment() {
+    banner("E14", "cube build throughput (writes BENCH_cube_build.json)");
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // The canonical comparison pins 8 workers (the "8-thread datagen
+    // workload"); on smaller hosts the OS interleaves them, so record the
+    // host's own parallelism alongside.
+    let bench_threads = 8usize;
+
+    let best_of = |f: &dyn Fn() -> usize| -> (f64, usize) {
+        let mut best = f64::INFINITY;
+        let mut cells = 0;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            cells = f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (best, cells)
+    };
+
+    let mut table = TextTable::new()
+        .header(["companies", "rows", "cells", "serial", "parallel(8)", "speedup", "rows/s (par)"])
+        .aligns(vec![
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    let mut workloads = String::new();
+    for n in [1000usize, 2000, 4000] {
+        let db = italy_final_table(n);
+        let minsup = (db.len() as u64 / 200).max(1);
+        let serial_builder = CubeBuilder::new().min_support(minsup).parallel(false);
+        let parallel_builder =
+            CubeBuilder::new().min_support(minsup).parallel(true).threads(bench_threads);
+        let (serial_s, cells) = best_of(&|| serial_builder.build(&db).unwrap().len());
+        let (parallel_s, _) = best_of(&|| parallel_builder.build(&db).unwrap().len());
+        // Gate the recorded numbers on full bit-identity, cell by cell —
+        // never report timings of a divergent parallel build as validated.
+        let serial_cube = serial_builder.build(&db).unwrap();
+        let parallel_cube = parallel_builder.build(&db).unwrap();
+        assert_eq!(serial_cube.len(), parallel_cube.len(), "parallel build must be bit-identical");
+        for (coords, v) in serial_cube.cells() {
+            assert_eq!(
+                parallel_cube.get(coords),
+                Some(v),
+                "parallel build diverged from serial at a cell"
+            );
+        }
+        let rows = db.len();
+        let speedup = serial_s / parallel_s;
+        table.row([
+            n.to_string(),
+            rows.to_string(),
+            cells.to_string(),
+            format!("{:.1} ms", serial_s * 1e3),
+            format!("{:.1} ms", parallel_s * 1e3),
+            format!("{speedup:.2}x"),
+            format!("{:.0}", rows as f64 / parallel_s),
+        ]);
+        if !workloads.is_empty() {
+            workloads.push_str(",\n");
+        }
+        workloads.push_str(&format!(
+            "    {{\"dataset\": \"italy\", \"companies\": {n}, \"rows\": {rows}, \
+             \"units\": {units}, \"min_support\": {minsup}, \"cells\": {cells}, \
+             \"serial_s\": {serial_s:.6}, \"parallel_s\": {parallel_s:.6}, \
+             \"parallel_threads\": {bench_threads}, \"speedup\": {speedup:.3}, \
+             \"serial_rows_per_s\": {srps:.0}, \"parallel_rows_per_s\": {prps:.0}, \
+             \"serial_cells_per_s\": {scps:.0}, \"parallel_cells_per_s\": {pcps:.0}}}",
+            units = db.num_units(),
+            srps = rows as f64 / serial_s,
+            prps = rows as f64 / parallel_s,
+            scps = cells as f64 / serial_s,
+            pcps = cells as f64 / parallel_s,
+        ));
+    }
+    print!("{}", table.render());
+
+    // Thread sweep on the largest workload.
+    let db = italy_final_table(4000);
+    let minsup = (db.len() as u64 / 200).max(1);
+    let mut sweep_threads = String::new();
+    let mut sweep_seconds = String::new();
+    println!("\n-- thread sweep (4000 companies) --");
+    for threads in [1usize, 2, 4, 8] {
+        let builder = CubeBuilder::new().min_support(minsup).parallel(threads > 1).threads(threads);
+        let (secs, _) = best_of(&|| builder.build(&db).unwrap().len());
+        println!("  {threads} thread(s): {:.1} ms", secs * 1e3);
+        if !sweep_threads.is_empty() {
+            sweep_threads.push_str(", ");
+            sweep_seconds.push_str(", ");
+        }
+        sweep_threads.push_str(&threads.to_string());
+        sweep_seconds.push_str(&format!("{secs:.6}"));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"cube_build\",\n  \"generated_by\": \
+         \"cargo run -p scube-bench --release --bin exp -- cube-build\",\n  \
+         \"host_threads\": {host_threads},\n  \"workloads\": [\n{workloads}\n  ],\n  \
+         \"thread_sweep\": {{\"dataset\": \"italy\", \"companies\": 4000, \
+         \"min_support\": {minsup}, \"threads\": [{sweep_threads}], \
+         \"seconds\": [{sweep_seconds}]}}\n}}\n"
+    );
+    std::fs::write("BENCH_cube_build.json", &json).expect("write BENCH_cube_build.json");
+    println!("\nwrote BENCH_cube_build.json ({} workloads)", 3);
 }
 
 /// E13 (extension) — permutation significance of discovered contexts:
@@ -570,20 +673,19 @@ fn simpson() {
 fn significance(scale: usize) {
     banner("E13 (extension)", "permutation tests on the top discovered contexts");
     let db = italy_final_table(scale);
-    let cube = CubeBuilder::new()
-        .min_support(100)
-        .parallel(true)
-        .build(&db)
-        .expect("cube builds");
+    let cube = CubeBuilder::new().min_support(100).parallel(true).build(&db).expect("cube builds");
     let explorer: CubeExplorer = CubeExplorer::new(&db);
     let test = scube_segindex::PermutationTest { permutations: 499, seed: 7 };
-    let mut table = TextTable::new()
-        .header(["context", "D", "null mean", "p-value"])
-        .aligns(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut table = TextTable::new().header(["context", "D", "null mean", "p-value"]).aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     for (coords, _, d) in top_contexts(&cube, SegIndex::Dissimilarity, 5, 200) {
         let breakdown = explorer.unit_breakdown(coords);
-        let counts = scube_segindex::UnitCounts::from_triples(breakdown)
-            .expect("breakdown is consistent");
+        let counts =
+            scube_segindex::UnitCounts::from_triples(breakdown).expect("breakdown is consistent");
         if let Some(r) = test.run(SegIndex::Dissimilarity, &counts) {
             table.row([
                 cube.labels().describe(coords),

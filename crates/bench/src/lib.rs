@@ -6,9 +6,7 @@ use scube_data::TransactionDb;
 
 /// Synthetic-Italy dataset at a given company count.
 pub fn italy_dataset(n_companies: usize) -> Dataset {
-    scube_datagen::italy(n_companies)
-        .to_dataset(vec![])
-        .expect("generator output is valid")
+    scube_datagen::italy(n_companies).to_dataset(vec![]).expect("generator output is valid")
 }
 
 /// Synthetic-Estonia dataset with `n_snapshots` evenly spaced years.

@@ -82,6 +82,15 @@ impl DenseBitmap {
 }
 
 impl Posting for DenseBitmap {
+    fn full(n: u32) -> Self {
+        let nbits = n as usize;
+        let mut words = vec![u64::MAX; nbits / 64];
+        if !nbits.is_multiple_of(64) {
+            words.push((1u64 << (nbits % 64)) - 1);
+        }
+        DenseBitmap { words }
+    }
+
     fn from_sorted(ids: &[u32]) -> Self {
         let mut d = match ids.last() {
             Some(&max) => DenseBitmap::with_capacity(max as usize + 1),
@@ -129,9 +138,7 @@ impl Posting for DenseBitmap {
     }
 
     fn contains(&self, id: u32) -> bool {
-        self.words
-            .get(id as usize / 64)
-            .is_some_and(|w| w & (1 << (id % 64)) != 0)
+        self.words.get(id as usize / 64).is_some_and(|w| w & (1 << (id % 64)) != 0)
     }
 }
 

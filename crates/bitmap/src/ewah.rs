@@ -389,6 +389,16 @@ fn copy_rest(cur: &mut Cursor<'_>, out: &mut Appender) {
 }
 
 impl Posting for EwahBitmap {
+    fn full(n: u32) -> Self {
+        let nbits = u64::from(n);
+        let mut a = Appender::new();
+        a.push_clean(true, nbits / 64);
+        if nbits % 64 != 0 {
+            a.push_word((1u64 << (nbits % 64)) - 1);
+        }
+        a.finish()
+    }
+
     fn from_sorted(ids: &[u32]) -> Self {
         let mut out = Appender::new();
         let mut cur_word_idx = 0u64;
@@ -592,9 +602,7 @@ impl Iterator for SetBits<'_> {
                         Some(Seg::Clean { ones, nwords }) => {
                             SetBitsState::InClean { ones, left: nwords, bit: 0 }
                         }
-                        Some(Seg::Lit(words)) => {
-                            SetBitsState::InLit { words, i: 0, cur: words[0] }
-                        }
+                        Some(Seg::Lit(words)) => SetBitsState::InLit { words, i: 0, cur: words[0] },
                         None => SetBitsState::Done,
                     };
                 }

@@ -38,6 +38,16 @@ pub trait Posting: Sized + Clone {
     /// Implementations may panic if `ids` is not strictly increasing.
     fn from_sorted(ids: &[u32]) -> Self;
 
+    /// The full universe `{0, 1, …, n-1}`.
+    ///
+    /// The default materializes an id vector; compressed representations
+    /// override it with O(1)-ish construction (a run of set words), which
+    /// matters because the cube builder requests the universe for every
+    /// empty-context lookup.
+    fn full(n: u32) -> Self {
+        Self::from_sorted(&(0..n).collect::<Vec<u32>>())
+    }
+
     /// Set intersection.
     #[must_use]
     fn and(&self, other: &Self) -> Self;
@@ -130,5 +140,26 @@ mod tests {
         let a = TidVec::from_sorted(&[7, 9]);
         let r = intersect_all(&[&a]).unwrap();
         assert_eq!(r.to_vec(), vec![7, 9]);
+    }
+
+    #[test]
+    fn full_matches_from_sorted() {
+        fn check<P: Posting>() {
+            for n in [0u32, 1, 63, 64, 65, 128, 1000] {
+                let expected: Vec<u32> = (0..n).collect();
+                let f = P::full(n);
+                assert_eq!(f.to_vec(), expected, "full({n})");
+                assert_eq!(f.cardinality(), u64::from(n), "cardinality of full({n})");
+            }
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+    }
+
+    #[test]
+    fn full_intersects_like_identity() {
+        let a = EwahBitmap::from_sorted(&[3, 64, 1000]);
+        assert_eq!(EwahBitmap::full(2000).and(&a).to_vec(), vec![3, 64, 1000]);
     }
 }

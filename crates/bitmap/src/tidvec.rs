@@ -31,6 +31,10 @@ impl TidVec {
 }
 
 impl Posting for TidVec {
+    fn full(n: u32) -> Self {
+        TidVec { ids: (0..n).collect() }
+    }
+
     fn from_sorted(ids: &[u32]) -> Self {
         for w in ids.windows(2) {
             assert!(w[0] < w[1], "ids must be strictly increasing");

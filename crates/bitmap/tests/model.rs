@@ -49,11 +49,7 @@ fn check_all_ops<P: Posting>(xs: &[u32], ys: &[u32]) {
     // Algebraic laws.
     assert_eq!(px.and(&py).to_vec(), py.and(&px).to_vec(), "and commutes");
     assert_eq!(px.or(&py).to_vec(), py.or(&px).to_vec(), "or commutes");
-    assert_eq!(
-        px.andnot(&py).or(&px.and(&py)).to_vec(),
-        xs,
-        "partition law: (x\\y) ∪ (x∩y) = x"
-    );
+    assert_eq!(px.andnot(&py).or(&px.and(&py)).to_vec(), xs, "partition law: (x\\y) ∪ (x∩y) = x");
 
     // Membership.
     for &id in xs.iter().take(20) {

@@ -147,9 +147,8 @@ mod tests {
 
     #[test]
     fn renders_aligned_columns() {
-        let mut t = TextTable::new()
-            .header(["name", "value"])
-            .aligns(vec![Align::Left, Align::Right]);
+        let mut t =
+            TextTable::new().header(["name", "value"]).aligns(vec![Align::Left, Align::Right]);
         t.row(["alpha", "1.00"]);
         t.row(["b", "10.50"]);
         let s = t.render();

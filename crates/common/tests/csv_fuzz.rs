@@ -6,8 +6,7 @@ use scube_common::csv;
 
 fn field() -> impl Strategy<Value = String> {
     // Mix of benign text and CSV-hostile characters.
-    proptest::string::string_regex("[a-zA-Z0-9 ,;\"'\n\r|=*&-]{0,20}")
-        .expect("valid regex")
+    proptest::string::string_regex("[a-zA-Z0-9 ,;\"'\n\r|=*&-]{0,20}").expect("valid regex")
 }
 
 proptest! {

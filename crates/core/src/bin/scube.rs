@@ -107,9 +107,9 @@ fn parse_units(spec: &str, side: &str) -> Result<UnitStrategy> {
     let method = if spec == "cc" {
         Some(ClusteringMethod::ConnectedComponents)
     } else if let Some(w) = spec.strip_prefix("threshold:") {
-        let w: u32 = w.parse().map_err(|_| {
-            ScubeError::InvalidParameter(format!("bad threshold weight '{w}'"))
-        })?;
+        let w: u32 = w
+            .parse()
+            .map_err(|_| ScubeError::InvalidParameter(format!("bad threshold weight '{w}'")))?;
         Some(ClusteringMethod::WeightThreshold { min_weight: w })
     } else if spec == "labelprop" {
         Some(ClusteringMethod::LabelPropagation(Default::default()))
@@ -174,9 +174,9 @@ fn run(args: &[String]) -> Result<String> {
         Some(list) => list
             .split(',')
             .map(|s| {
-                s.trim().parse().map_err(|_| {
-                    ScubeError::InvalidParameter(format!("bad date '{}'", s.trim()))
-                })
+                s.trim()
+                    .parse()
+                    .map_err(|_| ScubeError::InvalidParameter(format!("bad date '{}'", s.trim())))
             })
             .collect::<Result<_>>()?,
         None => Vec::new(),
@@ -297,9 +297,7 @@ mod tests {
 
     #[test]
     fn flags_lookup() {
-        let flags = Flags {
-            args: vec!["--id".into(), "director".into(), "--closed".into()],
-        };
+        let flags = Flags { args: vec!["--id".into(), "director".into(), "--closed".into()] };
         assert_eq!(flags.get("--id"), Some("director"));
         assert!(flags.has("--closed"));
         assert!(!flags.has("--parallel"));

@@ -151,8 +151,7 @@ impl Dataset {
             None => None,
         };
 
-        let mut bipartite =
-            BipartiteGraph::new(individuals.len() as u32, groups.len() as u32);
+        let mut bipartite = BipartiteGraph::new(individuals.len() as u32, groups.len() as u32);
         for (row_idx, row) in membership.rows().iter().enumerate() {
             let ind = *ind_lookup.get(row[ind_col].as_str()).ok_or_else(|| {
                 ScubeError::Inconsistent(format!(
@@ -213,10 +212,7 @@ fn build_lookup<'a>(
     let mut lookup: FxHashMap<&str, u32> = FxHashMap::default();
     for (i, row) in rel.rows().iter().enumerate() {
         if lookup.insert(row[col].as_str(), i as u32).is_some() {
-            return Err(ScubeError::Inconsistent(format!(
-                "{what}: duplicate id '{}'",
-                row[col]
-            )));
+            return Err(ScubeError::Inconsistent(format!("{what}: duplicate id '{}'", row[col])));
         }
     }
     Ok(lookup)

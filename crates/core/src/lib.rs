@@ -86,8 +86,8 @@ pub mod prelude {
     pub use crate::wizard::Wizard;
     pub use scube_common::{Result, ScubeError};
     pub use scube_cube::{
-        fig1_grid, radial_series, top_contexts, CellCoords, CubeBuilder, CubeExplorer,
-        Materialize, SegregationCube,
+        fig1_grid, radial_series, top_contexts, CellCoords, CubeBuilder, CubeExplorer, Materialize,
+        SegregationCube,
     };
     pub use scube_data::{FinalTableSpec, Relation};
     pub use scube_graph::{LabelPropParams, StocParams};

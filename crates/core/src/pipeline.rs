@@ -100,8 +100,7 @@ pub fn run_final_table(
     let join = join_start.elapsed();
     let cube_start = Instant::now();
     let built = cube.build(&db)?;
-    let timings =
-        StageTimings { join, cube: cube_start.elapsed(), ..Default::default() };
+    let timings = StageTimings { join, cube: cube_start.elapsed(), ..Default::default() };
     let stats = RunStats {
         n_individuals: table.len(),
         n_rows: db.len(),
@@ -155,19 +154,9 @@ mod tests {
         // c3 (agri) separate. Women concentrate in edu boards.
         let individuals = rel(
             &["id", "gender"],
-            &[
-                &["d1", "F"],
-                &["d2", "F"],
-                &["d3", "F"],
-                &["d4", "M"],
-                &["d5", "M"],
-                &["d6", "M"],
-            ],
+            &[&["d1", "F"], &["d2", "F"], &["d3", "F"], &["d4", "M"], &["d5", "M"], &["d6", "M"]],
         );
-        let groups = rel(
-            &["id", "sector"],
-            &[&["c1", "edu"], &["c2", "edu"], &["c3", "agri"]],
-        );
+        let groups = rel(&["id", "sector"], &[&["c1", "edu"], &["c2", "edu"], &["c3", "agri"]]);
         let membership = rel(
             &["dir", "comp", "from", "to"],
             &[
@@ -195,9 +184,8 @@ mod tests {
     #[test]
     fn scenario3_end_to_end() {
         let d = dataset();
-        let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
-            ClusteringMethod::ConnectedComponents,
-        ));
+        let config =
+            ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::ConnectedComponents));
         let result = run(&d, &config).unwrap();
         // Units: {c1,c2} and {c3}. All edu directors are F, all agri are M
         // → complete segregation for gender=F at the * context.
@@ -243,9 +231,8 @@ mod tests {
     #[test]
     fn snapshots_follow_membership_intervals() {
         let d = dataset();
-        let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
-            ClusteringMethod::ConnectedComponents,
-        ));
+        let config =
+            ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::ConnectedComponents));
         let snaps = run_snapshots(&d, &config).unwrap();
         assert_eq!(snaps.len(), 2);
         assert_eq!(snaps[0].0, 2002);
@@ -264,9 +251,8 @@ mod tests {
     #[test]
     fn timings_are_populated() {
         let d = dataset();
-        let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
-            ClusteringMethod::ConnectedComponents,
-        ));
+        let config =
+            ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::ConnectedComponents));
         let result = run(&d, &config).unwrap();
         assert!(result.timings.total() > std::time::Duration::ZERO);
     }

@@ -20,9 +20,7 @@
 use std::time::Instant;
 
 use scube_common::{Result, ScubeError};
-use scube_data::{
-    Attribute, Relation, Schema, TransactionDb, TransactionDbBuilder,
-};
+use scube_data::{Attribute, Relation, Schema, TransactionDb, TransactionDbBuilder};
 use scube_graph::{Clustering, NodeAttributes, Projection};
 
 use crate::inputs::Dataset;
@@ -62,10 +60,7 @@ struct Columns {
     grp_ca: Vec<(usize, bool, String)>,
 }
 
-fn resolve_columns(
-    dataset: &Dataset,
-    exclude_group_attr: Option<&str>,
-) -> Result<Columns> {
+fn resolve_columns(dataset: &Dataset, exclude_group_attr: Option<&str>) -> Result<Columns> {
     let ind = &dataset.individuals;
     let grp = &dataset.groups;
     let col = |rel: &Relation, name: &str, what: &str| -> Result<usize> {
@@ -174,9 +169,7 @@ pub fn build_final_table(
         UnitStrategy::ClusterIndividuals(method) => {
             build_by_individual_clusters(dataset, method, min_shared)
         }
-        UnitStrategy::ClusterGroups(method) => {
-            build_by_group_clusters(dataset, method, min_shared)
-        }
+        UnitStrategy::ClusterGroups(method) => build_by_group_clusters(dataset, method, min_shared),
     }
 }
 
@@ -233,11 +226,8 @@ fn build_by_group_clusters(
     timings.projection = t.elapsed();
 
     let t = Instant::now();
-    let grp_cols: Vec<(usize, bool)> = resolve_columns(dataset, None)?
-        .grp_ca
-        .iter()
-        .map(|&(c, m, _)| (c, m))
-        .collect();
+    let grp_cols: Vec<(usize, bool)> =
+        resolve_columns(dataset, None)?.grp_ca.iter().map(|&(c, m, _)| (c, m)).collect();
     let attrs = node_attributes(&dataset.groups, &grp_cols);
     let clustering = method.cluster(&graph, &attrs);
     timings.clustering = t.elapsed();
@@ -331,8 +321,7 @@ fn row_values(
 /// `;`-joined) plus `unitID`.
 pub fn final_table_relation(db: &TransactionDb) -> Relation {
     let schema = db.schema();
-    let mut columns: Vec<String> =
-        schema.attributes().iter().map(|a| a.name.clone()).collect();
+    let mut columns: Vec<String> = schema.attributes().iter().map(|a| a.name.clone()).collect();
     columns.push("unitID".to_string());
     let mut rel = Relation::new(columns).expect("schema names are unique");
     for t in 0..db.len() {
@@ -375,16 +364,10 @@ mod tests {
         );
         let groups = rel(
             &["id", "sector", "hq"],
-            &[
-                &["c1", "edu", "north"],
-                &["c2", "transport", "north"],
-                &["c3", "edu", "south"],
-            ],
+            &[&["c1", "edu", "north"], &["c2", "transport", "north"], &["c3", "edu", "south"]],
         );
-        let membership = rel(
-            &["dir", "comp"],
-            &[&["d1", "c1"], &["d1", "c2"], &["d2", "c2"], &["d3", "c3"]],
-        );
+        let membership =
+            rel(&["dir", "comp"], &[&["d1", "c1"], &["d1", "c2"], &["d2", "c2"], &["d3", "c3"]]);
         Dataset::new(
             individuals,
             IndividualsSpec::new("id").sa("gender").ca("res"),
@@ -400,8 +383,7 @@ mod tests {
     #[test]
     fn scenario1_group_attribute_units() {
         let d = dataset();
-        let ft = build_final_table(&d, &UnitStrategy::GroupAttribute("sector".into()), 1)
-            .unwrap();
+        let ft = build_final_table(&d, &UnitStrategy::GroupAttribute("sector".into()), 1).unwrap();
         // d1 reaches units edu and transport → 2 rows; d2 → 1; d3 → 1.
         assert_eq!(ft.db.len(), 4);
         assert_eq!(ft.db.num_units(), 2);
@@ -410,8 +392,7 @@ mod tests {
         assert!(ft.db.schema().attr_id("sector").is_none());
         assert!(ft.db.schema().attr_id("hq").is_some());
         // Unit names are the sector values.
-        let names: Vec<&str> =
-            ft.db.unit_names().iter().map(String::as_str).collect();
+        let names: Vec<&str> = ft.db.unit_names().iter().map(String::as_str).collect();
         assert!(names.contains(&"edu") && names.contains(&"transport"));
     }
 
@@ -428,7 +409,7 @@ mod tests {
         let clustering = ft.clustering.as_ref().unwrap();
         assert_eq!(clustering.num_clusters(), 2);
         assert_eq!(ft.isolated, vec![2]); // c3 has no projection edge
-        // Rows: d1 → unit {c1,c2} (1 row), d2 → same unit, d3 → unit {c3}.
+                                          // Rows: d1 → unit {c1,c2} (1 row), d2 → same unit, d3 → unit {c3}.
         assert_eq!(ft.db.len(), 3);
         // d1's row unions sectors of c1 and c2 → multi-valued sector.
         let d1_items: Vec<String> =
@@ -464,14 +445,10 @@ mod tests {
     #[test]
     fn final_table_relation_roundtrip_shape() {
         let d = dataset();
-        let ft = build_final_table(&d, &UnitStrategy::GroupAttribute("sector".into()), 1)
-            .unwrap();
+        let ft = build_final_table(&d, &UnitStrategy::GroupAttribute("sector".into()), 1).unwrap();
         let rel = final_table_relation(&ft.db);
         assert_eq!(rel.len(), ft.db.len());
-        assert_eq!(
-            rel.columns(),
-            &["gender", "res", "hq", "unitID"]
-        );
+        assert_eq!(rel.columns(), &["gender", "res", "hq", "unitID"]);
         // Multi-valued cells are ';'-joined; every row has a unit.
         for row in rel.rows() {
             assert!(!row.last().unwrap().is_empty());
@@ -481,8 +458,8 @@ mod tests {
     #[test]
     fn missing_unit_attribute_rejected() {
         let d = dataset();
-        let err = build_final_table(&d, &UnitStrategy::GroupAttribute("nope".into()), 1)
-            .unwrap_err();
+        let err =
+            build_final_table(&d, &UnitStrategy::GroupAttribute("nope".into()), 1).unwrap_err();
         assert!(err.to_string().contains("unit attribute"));
     }
 

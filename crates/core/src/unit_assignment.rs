@@ -87,14 +87,8 @@ mod tests {
     #[test]
     fn stoc_runs_through_selector() {
         let g = bridge_graph();
-        let attrs = NodeAttributes::from_rows(vec![
-            vec![0],
-            vec![0],
-            vec![0],
-            vec![1],
-            vec![1],
-            vec![1],
-        ]);
+        let attrs =
+            NodeAttributes::from_rows(vec![vec![0], vec![0], vec![0], vec![1], vec![1], vec![1]]);
         let c = ClusteringMethod::Stoc(StocParams::default()).cluster(&g, &attrs);
         assert_eq!(c.num_nodes(), 6);
         assert_eq!(c.sizes().iter().sum::<u32>(), 6);

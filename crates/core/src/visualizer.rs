@@ -172,8 +172,7 @@ mod tests {
             &[&["d1", "F", "young"], &["d2", "M", "old"], &["d3", "F", "old"]],
         );
         let groups = rel(&["id", "sector"], &[&["c1", "edu"], &["c2", "agri"]]);
-        let membership =
-            rel(&["dir", "comp"], &[&["d1", "c1"], &["d2", "c2"], &["d3", "c1"]]);
+        let membership = rel(&["dir", "comp"], &[&["d1", "c1"], &["d2", "c2"], &["d3", "c1"]]);
         let dataset = Dataset::new(
             individuals,
             IndividualsSpec::new("id").sa("gender").sa("age"),

@@ -158,18 +158,16 @@ impl Wizard {
 
     /// Assemble and validate the dataset (steps 1–4).
     pub fn dataset(&self) -> Result<Dataset> {
-        let (ind_src, ind_spec) = self
-            .individuals
-            .as_ref()
-            .ok_or_else(|| ScubeError::InvalidParameter("wizard: individuals input missing".into()))?;
+        let (ind_src, ind_spec) = self.individuals.as_ref().ok_or_else(|| {
+            ScubeError::InvalidParameter("wizard: individuals input missing".into())
+        })?;
         let (grp_src, grp_spec) = self
             .groups
             .as_ref()
             .ok_or_else(|| ScubeError::InvalidParameter("wizard: groups input missing".into()))?;
-        let (mem_src, mem_spec) = self
-            .membership
-            .as_ref()
-            .ok_or_else(|| ScubeError::InvalidParameter("wizard: membership input missing".into()))?;
+        let (mem_src, mem_spec) = self.membership.as_ref().ok_or_else(|| {
+            ScubeError::InvalidParameter("wizard: membership input missing".into())
+        })?;
         Dataset::new(
             ind_src.load("individuals")?,
             ind_spec.clone(),

@@ -3,22 +3,30 @@
 //! The algorithm (from the companion journal paper) in this implementation:
 //!
 //! 1. build the vertical database (item → tidset bitmap);
-//! 2. mine frequent itemsets *with their tidsets* (Eclat-style DFS); under
+//! 2. mine frequent itemsets *with their tidsets* (Eclat-style DFS,
+//!    fanned out over threads when `parallel` is on); under
 //!    [`Materialize::ClosedOnly`], keep only closed ones;
 //! 3. split each itemset `I` into cell coordinates `(A, B)` by attribute
 //!    role; the minority histogram is the per-unit partition of `tidset(I)`
-//!    and the population histogram the per-unit partition of `tidset(B)`
-//!    (computed once per distinct context `B` and cached — many cells share
-//!    a context);
-//! 4. evaluate all six indexes per cell ([`IndexValues`]).
+//!    and the population histogram the per-unit partition of `tidset(B)`.
+//!    Context tidsets are *reused from the miner's output* (a cell's
+//!    context `B` is a subset of its itemset, hence itself frequent and
+//!    already mined), so no posting is ever re-intersected; histograms are
+//!    computed once per distinct context and cached as compact
+//!    `(unit, total)` lists;
+//! 4. evaluate all six indexes per cell ([`IndexValues`]) into per-worker
+//!    reusable [`UnitScratch`] histograms, iterating only the context's
+//!    populated units — O(Σ|tidset| + Σ|touched|) overall instead of
+//!    O(cells × n_units) — chunked over `std::thread::scope` when
+//!    `parallel` is on.
 //!
-//! Histogram evaluation is embarrassingly parallel across cells and is
-//! chunked over `std::thread::scope` when `parallel` is on.
+//! The parallel build is bit-identical to the serial one: the miner merges
+//! per-subtree outputs deterministically and cell evaluation is pure.
 
 use scube_bitmap::{EwahBitmap, Posting};
-use scube_common::{FxHashMap, Result, ScubeError};
-use scube_data::{ItemId, TransactionDb, VerticalDb};
-use scube_fpm::eclat::mine_vertical_with_tidsets;
+use scube_common::{FxHashMap, FxHashSet, Result, ScubeError};
+use scube_data::{ItemId, TransactionDb, UnitScratch, VerticalDb};
+use scube_fpm::eclat::{mine_vertical_with_tidsets, mine_vertical_with_tidsets_parallel};
 use scube_fpm::itemset::FrequentItemset;
 use scube_segindex::{IndexValues, UnitCounts, DEFAULT_ATKINSON_B};
 
@@ -49,8 +57,10 @@ pub struct CubeConfig {
     pub materialize: Materialize,
     /// Atkinson shape parameter.
     pub atkinson_b: f64,
-    /// Evaluate cell histograms on multiple threads.
+    /// Mine and evaluate on multiple threads.
     pub parallel: bool,
+    /// Worker count when `parallel` (`None` = available parallelism).
+    pub threads: Option<usize>,
 }
 
 impl Default for CubeConfig {
@@ -60,9 +70,14 @@ impl Default for CubeConfig {
             materialize: Materialize::default(),
             atkinson_b: DEFAULT_ATKINSON_B,
             parallel: false,
+            threads: None,
         }
     }
 }
+
+/// Compact per-context population histogram: ascending `(unit, total)`
+/// pairs over the context's populated units only.
+type ContextHist = Vec<(u32, u64)>;
 
 /// Builds [`SegregationCube`]s.
 #[derive(Debug, Clone, Copy, Default)]
@@ -94,9 +109,16 @@ impl CubeBuilder {
         self
     }
 
-    /// Toggle parallel histogram evaluation.
+    /// Toggle parallel mining and histogram evaluation.
     pub fn parallel(mut self, on: bool) -> Self {
         self.config.parallel = on;
+        self
+    }
+
+    /// Pin the worker count of a parallel build (benchmarks; the default
+    /// follows [`std::thread::available_parallelism`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.threads = (n > 0).then_some(n);
         self
     }
 
@@ -133,61 +155,151 @@ impl CubeBuilder {
             return Err(ScubeError::Inconsistent("database has rows but no units".into()));
         }
 
-        // 1-2. Mine frequent itemsets with tidsets; optionally keep closed.
-        let mut mined: Vec<(FrequentItemset, P)> =
-            mine_vertical_with_tidsets(vertical, cfg.min_support)?;
-        if cfg.materialize == Materialize::ClosedOnly {
-            let keep = scube_fpm::closed::closed_positions(mined.len(), |i| {
+        let n_threads = if cfg.parallel {
+            cfg.threads.unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+        } else {
+            1
+        };
+
+        // 1-2. Mine frequent itemsets with tidsets (fanning prefix subtrees
+        // out over workers when parallel; both paths are bit-identical).
+        let mut mined: Vec<(FrequentItemset, P)> = if n_threads > 1 {
+            mine_vertical_with_tidsets_parallel(vertical, cfg.min_support, n_threads)?
+        } else {
+            mine_vertical_with_tidsets(vertical, cfg.min_support)?
+        };
+
+        // 3. Split every itemset into (A, B) coordinates by attribute role.
+        let mut splits: Vec<CellCoords> =
+            mined.iter().map(|(set, _)| CellCoords::from_itemset(&set.items, db)).collect();
+
+        // Under ClosedOnly, mark survivors now but filter *after* harvesting
+        // context tidsets: a kept cell's context may itself be non-closed.
+        let keep: Option<Vec<bool>> = (cfg.materialize == Materialize::ClosedOnly).then(|| {
+            let positions = scube_fpm::closed::closed_positions(mined.len(), |i| {
                 (mined[i].0.items.as_slice(), mined[i].0.support)
             });
-            let mut keep_iter = keep.into_iter().peekable();
-            let mut idx = 0usize;
-            mined.retain(|_| {
-                let k = keep_iter.peek() == Some(&idx);
-                if k {
-                    keep_iter.next();
-                }
-                idx += 1;
-                k
-            });
-        }
+            let mut mask = vec![false; mined.len()];
+            for i in positions {
+                mask[i] = true;
+            }
+            mask
+        });
 
-        // 3. Population histogram (context ⋆) and per-context cache.
+        // Population histogram (context ⋆).
         let n_units = vertical.num_units() as usize;
         let mut population = vec![0u64; n_units];
         for &u in vertical.units() {
             population[u as usize] += 1;
         }
 
-        // Distinct context parts.
-        let mut context_hists: FxHashMap<Vec<ItemId>, Vec<u64>> = FxHashMap::default();
-        context_hists.insert(Vec::new(), population.clone());
-        let splits: Vec<CellCoords> =
-            mined.iter().map(|(set, _)| CellCoords::from_itemset(&set.items, db)).collect();
-        for coords in &splits {
-            context_hists
-                .entry(coords.ca.clone())
-                .or_insert_with(|| vertical.unit_histogram(&vertical.tidset(&coords.ca)));
+        // Every context B of a cell (A, B) is a subset of the cell's
+        // itemset, hence frequent and already mined with its tidset: index
+        // the pure-context itemsets instead of re-intersecting postings.
+        let mut context_source: FxHashMap<&[ItemId], &P> = FxHashMap::default();
+        for ((set, tids), coords) in mined.iter().zip(&splits) {
+            if coords.sa.is_empty() && !coords.ca.is_empty() {
+                context_source.insert(set.items.as_slice(), tids);
+            }
         }
 
-        // 4. Evaluate cells.
-        let atkinson_b = cfg.atkinson_b;
-        let eval = |coords: &CellCoords, tids: &P| -> Result<IndexValues> {
-            let minority = vertical.unit_histogram(tids);
-            let total = &context_hists[&coords.ca];
-            let counts = UnitCounts::from_triples(
-                (0..n_units as u32).filter_map(|u| {
-                    let t = total[u as usize];
-                    (t > 0).then(|| (u, minority[u as usize], t))
-                }),
-            )?;
-            Ok(IndexValues::compute_with(&counts, atkinson_b))
+        // Distinct contexts referenced by surviving cells, in first-seen
+        // order (deterministic for the parallel chunking below).
+        let mut distinct_contexts: Vec<&CellCoords> = Vec::new();
+        let mut seen_contexts: FxHashSet<&[ItemId]> = FxHashSet::default();
+        for (i, coords) in splits.iter().enumerate() {
+            if keep.as_ref().is_some_and(|mask| !mask[i]) {
+                continue;
+            }
+            if !coords.ca.is_empty() && seen_contexts.insert(coords.ca.as_slice()) {
+                distinct_contexts.push(coords);
+            }
+        }
+
+        // Per-context histograms as compact ascending (unit, total) lists,
+        // computed in parallel with per-worker scratch buffers.
+        let hist_of = |coords: &CellCoords, scratch: &mut UnitScratch| -> ContextHist {
+            match context_source.get(coords.ca.as_slice()) {
+                Some(tids) => {
+                    vertical.unit_histogram_into(tids, scratch);
+                    scratch.sorted_pairs()
+                }
+                // Unreachable for miner-produced cells; kept as a safety
+                // net for exotic materializations.
+                None => {
+                    vertical.unit_histogram_into(&vertical.tidset(&coords.ca), scratch);
+                    scratch.sorted_pairs()
+                }
+            }
         };
+        let mut context_hists: FxHashMap<Vec<ItemId>, ContextHist> =
+            scube_common::hash::fx_map_with_capacity(distinct_contexts.len() + 1);
+        context_hists.insert(
+            Vec::new(),
+            population
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t > 0)
+                .map(|(u, &t)| (u as u32, t))
+                .collect(),
+        );
+        if n_threads > 1 && distinct_contexts.len() > 64 {
+            let chunk = distinct_contexts.len().div_ceil(n_threads);
+            let results: Vec<Vec<(Vec<ItemId>, ContextHist)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = distinct_contexts
+                    .chunks(chunk)
+                    .map(|ctx_chunk| {
+                        let hist_of = &hist_of;
+                        scope.spawn(move || {
+                            let mut scratch = UnitScratch::new(n_units as u32);
+                            ctx_chunk
+                                .iter()
+                                .map(|coords| (coords.ca.clone(), hist_of(coords, &mut scratch)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+            for r in results {
+                context_hists.extend(r);
+            }
+        } else {
+            let mut scratch = UnitScratch::new(n_units as u32);
+            for coords in &distinct_contexts {
+                context_hists.insert(coords.ca.clone(), hist_of(coords, &mut scratch));
+            }
+        }
+        drop(distinct_contexts);
+        drop(seen_contexts);
+        drop(context_source);
+
+        // Apply the ClosedOnly filter now that contexts are harvested.
+        if let Some(mask) = keep {
+            let mut keep_iter = mask.iter();
+            mined.retain(|_| *keep_iter.next().expect("mask covers mined"));
+            let mut keep_iter = mask.iter();
+            splits.retain(|_| *keep_iter.next().expect("mask covers splits"));
+        }
+
+        // 4. Evaluate cells: per-worker scratch histograms, iterating only
+        // the context's populated units.
+        let atkinson_b = cfg.atkinson_b;
+        let eval =
+            |coords: &CellCoords, tids: &P, scratch: &mut UnitScratch| -> Result<IndexValues> {
+                vertical.unit_histogram_into(tids, scratch);
+                let total = &context_hists[&coords.ca];
+                let counts = UnitCounts::from_triples(
+                    total.iter().map(|&(u, t)| (u, scratch.count_of(u), t)),
+                )?;
+                Ok(IndexValues::compute_with(&counts, atkinson_b))
+            };
 
         let mut cells: FxHashMap<CellCoords, IndexValues> =
             scube_common::hash::fx_map_with_capacity(mined.len() + 1);
-        if cfg.parallel && mined.len() > 256 {
-            let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if n_threads > 1 && mined.len() > 256 {
             let chunk = mined.len().div_ceil(n_threads);
             let results: Vec<Result<Vec<(CellCoords, IndexValues)>>> =
                 std::thread::scope(|scope| {
@@ -197,11 +309,12 @@ impl CubeBuilder {
                         .map(|(mined_chunk, split_chunk)| {
                             let eval = &eval;
                             scope.spawn(move || {
+                                let mut scratch = UnitScratch::new(n_units as u32);
                                 mined_chunk
                                     .iter()
                                     .zip(split_chunk.iter())
                                     .map(|((_, tids), coords)| {
-                                        Ok((coords.clone(), eval(coords, tids)?))
+                                        Ok((coords.clone(), eval(coords, tids, &mut scratch)?))
                                     })
                                     .collect()
                             })
@@ -213,18 +326,15 @@ impl CubeBuilder {
                 cells.extend(r?);
             }
         } else {
+            let mut scratch = UnitScratch::new(n_units as u32);
             for ((_, tids), coords) in mined.iter().zip(splits.iter()) {
-                cells.insert(coords.clone(), eval(coords, tids)?);
+                cells.insert(coords.clone(), eval(coords, tids, &mut scratch)?);
             }
         }
 
         // Apex cell (⋆ | ⋆): whole population vs itself.
         let apex_counts = UnitCounts::from_triples(
-            population
-                .iter()
-                .enumerate()
-                .filter(|&(_, &t)| t > 0)
-                .map(|(u, &t)| (u as u32, t, t)),
+            population.iter().enumerate().filter(|&(_, &t)| t > 0).map(|(u, &t)| (u as u32, t, t)),
         )?;
         cells.insert(CellCoords::apex(), IndexValues::compute_with(&apex_counts, atkinson_b));
 
@@ -245,8 +355,7 @@ mod tests {
     /// 40 individuals across 2 units, engineered so that women concentrate
     /// in unit u0 within the north and are even in the south.
     fn sample_db() -> TransactionDb {
-        let schema =
-            Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")]).unwrap();
+        let schema = Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")]).unwrap();
         let mut b = TransactionDbBuilder::new(schema);
         let mut add = |sex: &str, region: &str, unit: &str, n: usize| {
             for _ in 0..n {
@@ -306,10 +415,7 @@ mod tests {
     #[test]
     fn sa_star_cells_have_full_context_population_as_minority() {
         let db = sample_db();
-        let cube = CubeBuilder::new()
-            .materialize(Materialize::AllFrequent)
-            .build(&db)
-            .unwrap();
+        let cube = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
         let v = cube.get_by_names(&[], &[("region", "north")]).unwrap();
         assert_eq!(v.minority, v.total);
         assert_eq!(v.total, 20);
@@ -340,14 +446,8 @@ mod tests {
     #[test]
     fn closed_cube_is_a_restriction_of_full_cube() {
         let db = sample_db();
-        let full = CubeBuilder::new()
-            .materialize(Materialize::AllFrequent)
-            .build(&db)
-            .unwrap();
-        let closed = CubeBuilder::new()
-            .materialize(Materialize::ClosedOnly)
-            .build(&db)
-            .unwrap();
+        let full = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
+        let closed = CubeBuilder::new().materialize(Materialize::ClosedOnly).build(&db).unwrap();
         assert!(closed.len() <= full.len());
         for (coords, v) in closed.cells() {
             let in_full = full.get(coords).expect("closed cell missing from full cube");
@@ -363,14 +463,17 @@ mod tests {
             .parallel(false)
             .build(&db)
             .unwrap();
-        let parallel = CubeBuilder::new()
-            .materialize(Materialize::AllFrequent)
-            .parallel(true)
-            .build(&db)
-            .unwrap();
-        assert_eq!(serial.len(), parallel.len());
-        for (coords, v) in serial.cells() {
-            assert_eq!(parallel.get(coords), Some(v));
+        for threads in [0, 2, 3, 8] {
+            let parallel = CubeBuilder::new()
+                .materialize(Materialize::AllFrequent)
+                .parallel(true)
+                .threads(threads)
+                .build(&db)
+                .unwrap();
+            assert_eq!(serial.len(), parallel.len(), "threads {threads}");
+            for (coords, v) in serial.cells() {
+                assert_eq!(parallel.get(coords), Some(v), "threads {threads}");
+            }
         }
     }
 
@@ -383,10 +486,7 @@ mod tests {
     #[test]
     fn rollup_navigation() {
         let db = sample_db();
-        let cube = CubeBuilder::new()
-            .materialize(Materialize::AllFrequent)
-            .build(&db)
-            .unwrap();
+        let cube = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
         let coords = cube.coords_by_names(&[("sex", "F")], &[("region", "north")]).unwrap();
         let rolled = cube.rollup(&coords, "region").unwrap();
         let direct = cube.get_by_names(&[("sex", "F")], &[]).unwrap();

@@ -28,11 +28,7 @@ impl CubeLabels {
         let items = (0..dict.len() as ItemId)
             .map(|it| {
                 let attr = dict.attr_of(it);
-                (
-                    schema.attr(attr).name.clone(),
-                    dict.value_of(it).to_string(),
-                    db.is_sa_item(it),
-                )
+                (schema.attr(attr).name.clone(), dict.value_of(it).to_string(), db.is_sa_item(it))
             })
             .collect();
         CubeLabels {
@@ -86,10 +82,7 @@ impl CubeLabels {
 
     /// Look up an item id by attribute name and value.
     pub fn find_item(&self, attr: &str, value: &str) -> Option<ItemId> {
-        self.items
-            .iter()
-            .position(|(a, v, _)| a == attr && v == value)
-            .map(|i| i as ItemId)
+        self.items.iter().position(|(a, v, _)| a == attr && v == value).map(|i| i as ItemId)
     }
 }
 
@@ -144,21 +137,13 @@ impl SegregationCube {
 
     /// Look up by attribute/value names, e.g.
     /// `value_by_names(&[("sex","female")], &[("region","north")])`.
-    pub fn get_by_names(
-        &self,
-        sa: &[(&str, &str)],
-        ca: &[(&str, &str)],
-    ) -> Option<&IndexValues> {
+    pub fn get_by_names(&self, sa: &[(&str, &str)], ca: &[(&str, &str)]) -> Option<&IndexValues> {
         let coords = self.coords_by_names(sa, ca)?;
         self.get(&coords)
     }
 
     /// Resolve attribute/value names into [`CellCoords`].
-    pub fn coords_by_names(
-        &self,
-        sa: &[(&str, &str)],
-        ca: &[(&str, &str)],
-    ) -> Option<CellCoords> {
+    pub fn coords_by_names(&self, sa: &[(&str, &str)], ca: &[(&str, &str)]) -> Option<CellCoords> {
         let mut sa_items = Vec::with_capacity(sa.len());
         for (a, v) in sa {
             sa_items.push(self.labels.find_item(a, v)?);
@@ -223,8 +208,7 @@ mod tests {
     use scube_data::{Attribute, Schema, TransactionDbBuilder};
 
     fn db() -> TransactionDb {
-        let schema =
-            Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")]).unwrap();
+        let schema = Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")]).unwrap();
         let mut b = TransactionDbBuilder::new(schema);
         b.add_row(&[vec!["female"], vec!["north"]], "u0").unwrap();
         b.add_row(&[vec!["male"], vec!["south"]], "u1").unwrap();

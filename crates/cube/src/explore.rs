@@ -45,12 +45,10 @@ impl<P: Posting> CubeExplorer<P> {
         let minority_tids = self.vertical.tidset(&coords.union());
         let minority = self.vertical.unit_histogram(&minority_tids);
         let total = self.vertical.unit_histogram(&self.vertical.tidset(&coords.ca));
-        let counts = UnitCounts::from_triples(
-            (0..self.vertical.num_units()).filter_map(|u| {
-                let t = total[u as usize];
-                (t > 0).then(|| (u, minority[u as usize], t))
-            }),
-        )?;
+        let counts = UnitCounts::from_triples((0..self.vertical.num_units()).filter_map(|u| {
+            let t = total[u as usize];
+            (t > 0).then(|| (u, minority[u as usize], t))
+        }))?;
         Ok(IndexValues::compute_with(&counts, self.atkinson_b))
     }
 
@@ -75,12 +73,9 @@ mod tests {
     use scube_data::{Attribute, Schema, TransactionDbBuilder};
 
     fn db() -> TransactionDb {
-        let schema = Schema::new(vec![
-            Attribute::sa("sex"),
-            Attribute::sa("age"),
-            Attribute::ca("region"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
+                .unwrap();
         let mut b = TransactionDbBuilder::new(schema);
         let rows = [
             ("F", "young", "north", "u0"),
@@ -101,10 +96,7 @@ mod tests {
     #[test]
     fn explorer_matches_materialized_cells() {
         let db = db();
-        let cube = CubeBuilder::new()
-            .materialize(Materialize::AllFrequent)
-            .build(&db)
-            .unwrap();
+        let cube = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
         let explorer: CubeExplorer = CubeExplorer::new(&db);
         for (coords, values) in cube.cells() {
             let recomputed = explorer.values_at(coords).unwrap();
@@ -115,14 +107,8 @@ mod tests {
     #[test]
     fn explorer_resolves_non_materialized_cells() {
         let db = db();
-        let closed = CubeBuilder::new()
-            .materialize(Materialize::ClosedOnly)
-            .build(&db)
-            .unwrap();
-        let full = CubeBuilder::new()
-            .materialize(Materialize::AllFrequent)
-            .build(&db)
-            .unwrap();
+        let closed = CubeBuilder::new().materialize(Materialize::ClosedOnly).build(&db).unwrap();
+        let full = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
         let explorer: CubeExplorer = CubeExplorer::new(&db);
         // Every full-cube cell — materialized in `closed` or not — must be
         // answerable by the explorer with identical values.
@@ -136,10 +122,7 @@ mod tests {
     #[test]
     fn unit_breakdown_sums_match() {
         let db = db();
-        let cube = CubeBuilder::new()
-            .materialize(Materialize::AllFrequent)
-            .build(&db)
-            .unwrap();
+        let cube = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
         let explorer: CubeExplorer = CubeExplorer::new(&db);
         for (coords, values) in cube.cells() {
             let breakdown = explorer.unit_breakdown(coords);

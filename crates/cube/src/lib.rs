@@ -35,4 +35,4 @@ pub use builder::{CubeBuilder, CubeConfig, Materialize};
 pub use coords::CellCoords;
 pub use cube::{CubeLabels, SegregationCube};
 pub use explore::CubeExplorer;
-pub use report::{fig1_grid, radial_series, top_contexts, to_csv};
+pub use report::{fig1_grid, radial_series, to_csv, top_contexts};

@@ -122,10 +122,8 @@ pub fn radial_series(
             let rest = (1u32, total_m - m, total_t - t);
             let counts = UnitCounts::from_triples([(0u32, m, t), rest])
                 .expect("one-vs-rest histogram is consistent by construction");
-            let name = unit_names
-                .get(unit as usize)
-                .cloned()
-                .unwrap_or_else(|| format!("unit{unit}"));
+            let name =
+                unit_names.get(unit as usize).cloned().unwrap_or_else(|| format!("unit{unit}"));
             (name, IndexValues::compute(&counts))
         })
         .collect()
@@ -140,9 +138,7 @@ pub fn to_csv(cube: &SegregationCube) -> String {
     for a in labels.sa_attrs.iter().chain(labels.ca_attrs.iter()) {
         header.push(a.clone());
     }
-    header.extend(
-        ["M", "T", "P", "units", "D", "G", "H", "xPx", "xPy", "A"].map(str::to_string),
-    );
+    header.extend(["M", "T", "P", "units", "D", "G", "H", "xPx", "xPy", "A"].map(str::to_string));
 
     let mut rows: Vec<Vec<String>> = Vec::with_capacity(cube.len());
     let mut cells: Vec<(&CellCoords, &IndexValues)> = cube.cells().collect();
@@ -160,9 +156,7 @@ pub fn to_csv(cube: &SegregationCube) -> String {
         }
         row.push(v.minority.to_string());
         row.push(v.total.to_string());
-        row.push(
-            v.minority_proportion().map(|p| format!("{p:.4}")).unwrap_or_else(|| "-".into()),
-        );
+        row.push(v.minority_proportion().map(|p| format!("{p:.4}")).unwrap_or_else(|| "-".into()));
         row.push(v.num_units.to_string());
         for idx in SegIndex::ALL {
             row.push(fmt_index(v.get(idx)));
@@ -180,12 +174,9 @@ mod tests {
     use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
 
     fn db() -> TransactionDb {
-        let schema = Schema::new(vec![
-            Attribute::sa("sex"),
-            Attribute::sa("age"),
-            Attribute::ca("region"),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
+                .unwrap();
         let mut b = TransactionDbBuilder::new(schema);
         let rows = [
             ("F", "young", "north", "u0"),
@@ -204,10 +195,7 @@ mod tests {
     }
 
     fn cube() -> SegregationCube {
-        CubeBuilder::new()
-            .materialize(Materialize::AllFrequent)
-            .build(&db())
-            .unwrap()
+        CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db()).unwrap()
     }
 
     #[test]

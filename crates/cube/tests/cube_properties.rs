@@ -20,12 +20,9 @@ fn rows() -> impl Strategy<Value = Vec<Row>> {
 }
 
 fn build_db(rows: &[Row]) -> TransactionDb {
-    let schema = Schema::new(vec![
-        Attribute::sa("sex"),
-        Attribute::sa("age"),
-        Attribute::ca("region"),
-    ])
-    .unwrap();
+    let schema =
+        Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
+            .unwrap();
     let mut b = TransactionDbBuilder::new(schema);
     for &(s, a, r, u) in rows {
         b.add_row(
@@ -56,7 +53,9 @@ fn model_cell(db: &TransactionDb, coords: &CellCoords) -> IndexValues {
         }
     }
     let counts = UnitCounts::from_triples(
-        (0..n_units as u32).filter(|&u| total[u as usize] > 0).map(|u| (u, minority[u as usize], total[u as usize])),
+        (0..n_units as u32)
+            .filter(|&u| total[u as usize] > 0)
+            .map(|u| (u, minority[u as usize], total[u as usize])),
     )
     .unwrap();
     IndexValues::compute(&counts)

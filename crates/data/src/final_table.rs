@@ -33,7 +33,11 @@ pub struct FinalTableSpec {
 impl FinalTableSpec {
     /// Start an empty spec with the given unit column.
     pub fn new(unit_column: impl Into<String>) -> Self {
-        FinalTableSpec { sa_columns: Vec::new(), ca_columns: Vec::new(), unit_column: unit_column.into() }
+        FinalTableSpec {
+            sa_columns: Vec::new(),
+            ca_columns: Vec::new(),
+            unit_column: unit_column.into(),
+        }
     }
 
     /// Add a single-valued segregation attribute column.
@@ -98,9 +102,7 @@ impl FinalTableSpec {
                 values[a].clear();
                 if attr.multi_valued {
                     values[a].extend(
-                        cell.split(MULTI_VALUE_SEPARATOR)
-                            .map(str::trim)
-                            .filter(|v| !v.is_empty()),
+                        cell.split(MULTI_VALUE_SEPARATOR).map(str::trim).filter(|v| !v.is_empty()),
                     );
                 } else if !cell.trim().is_empty() {
                     values[a].push(cell);
@@ -141,11 +143,7 @@ mod tests {
     }
 
     fn spec() -> FinalTableSpec {
-        FinalTableSpec::new("unitID")
-            .sa("gender")
-            .sa("age")
-            .ca("residence")
-            .ca_multi("sector")
+        FinalTableSpec::new("unitID").sa("gender").sa("age").ca("residence").ca_multi("sector")
     }
 
     #[test]
@@ -155,8 +153,7 @@ mod tests {
         assert_eq!(db.num_units(), 2);
         // Row 1 has a multi-valued sector: 2 SA items + 1 CA + 2 CA = 5.
         assert_eq!(db.transaction(1).len(), 5);
-        let labels: Vec<String> =
-            db.transaction(1).iter().map(|&i| db.item_label(i)).collect();
+        let labels: Vec<String> = db.transaction(1).iter().map(|&i| db.item_label(i)).collect();
         assert!(labels.contains(&"sector=electricity".to_string()));
         assert!(labels.contains(&"sector=transports".to_string()));
         assert!(labels.contains(&"gender=F".to_string()));
@@ -191,8 +188,7 @@ mod tests {
         r.push_row(vec!["F".into(), " a ; b ;; ".into(), "x".into()]).unwrap();
         let spec = FinalTableSpec::new("u").sa("gender").ca_multi("sector");
         let db = spec.encode(&r).unwrap();
-        let labels: Vec<String> =
-            db.transaction(0).iter().map(|&i| db.item_label(i)).collect();
+        let labels: Vec<String> = db.transaction(0).iter().map(|&i| db.item_label(i)).collect();
         assert!(labels.contains(&"sector=a".to_string()));
         assert!(labels.contains(&"sector=b".to_string()));
         assert_eq!(db.transaction(0).len(), 3);

@@ -27,4 +27,4 @@ pub use final_table::{FinalTableSpec, MULTI_VALUE_SEPARATOR};
 pub use relation::Relation;
 pub use schema::{AttrId, AttrRole, Attribute, Schema};
 pub use transactions::{TransactionDb, TransactionDbBuilder, UnitId};
-pub use vertical::VerticalDb;
+pub use vertical::{UnitScratch, VerticalDb};

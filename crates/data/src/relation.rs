@@ -85,11 +85,7 @@ impl Relation {
             if rec.len() != rel.columns.len() {
                 return Err(ScubeError::Csv {
                     line: reader.line(),
-                    msg: format!(
-                        "expected {} fields, found {}",
-                        rel.columns.len(),
-                        rec.len()
-                    ),
+                    msg: format!("expected {} fields, found {}", rel.columns.len(), rec.len()),
                 });
             }
             rel.rows.push(rec.clone());

@@ -72,7 +72,7 @@ impl<P: Posting> VerticalDb<P> {
     /// universe when the itemset is empty.
     pub fn tidset(&self, itemset: &[ItemId]) -> P {
         match itemset {
-            [] => P::from_sorted(&(0..self.n_transactions).collect::<Vec<u32>>()),
+            [] => P::full(self.n_transactions),
             [first, rest @ ..] => {
                 let mut acc = self.postings[*first as usize].clone();
                 for &it in rest {
@@ -111,6 +111,76 @@ impl<P: Posting> VerticalDb<P> {
         let mut counts = vec![0u64; self.n_units as usize];
         tids.for_each(|tid| counts[self.unit_of[tid as usize] as usize] += 1);
         counts
+    }
+
+    /// As [`unit_histogram`](Self::unit_histogram), but into a reusable
+    /// [`UnitScratch`]: no allocation, and the subsequent reset costs
+    /// O(|touched units|) instead of O(n_units). This is what makes cube
+    /// cell evaluation O(Σ|tidset|) overall rather than
+    /// O(cells × n_units).
+    pub fn unit_histogram_into(&self, tids: &P, scratch: &mut UnitScratch) {
+        assert_eq!(
+            scratch.counts.len(),
+            self.n_units as usize,
+            "scratch sized for a different unit count"
+        );
+        scratch.clear();
+        tids.for_each(|tid| {
+            let u = self.unit_of[tid as usize];
+            let slot = &mut scratch.counts[u as usize];
+            if *slot == 0 {
+                scratch.touched.push(u);
+            }
+            *slot += 1;
+        });
+    }
+}
+
+/// Reusable scratch space for per-unit histograms: a dense count array plus
+/// the list of units actually touched by the last fill.
+///
+/// One scratch per worker thread lets the cube builder evaluate millions of
+/// cells without a single histogram allocation.
+#[derive(Debug, Clone)]
+pub struct UnitScratch {
+    counts: Vec<u64>,
+    touched: Vec<UnitId>,
+}
+
+impl UnitScratch {
+    /// Scratch for databases with `n_units` organizational units.
+    pub fn new(n_units: u32) -> Self {
+        UnitScratch { counts: vec![0; n_units as usize], touched: Vec::new() }
+    }
+
+    /// The dense count array (zero for untouched units).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of one unit.
+    #[inline]
+    pub fn count_of(&self, unit: UnitId) -> u64 {
+        self.counts[unit as usize]
+    }
+
+    /// Units with nonzero counts, in fill order (unsorted).
+    pub fn touched(&self) -> &[UnitId] {
+        &self.touched
+    }
+
+    /// `(unit, count)` pairs of the touched units, ascending by unit.
+    pub fn sorted_pairs(&mut self) -> Vec<(UnitId, u64)> {
+        self.touched.sort_unstable();
+        self.touched.iter().map(|&u| (u, self.counts[u as usize])).collect()
+    }
+
+    /// Zero the touched entries (cheaper than clearing the whole array).
+    pub fn clear(&mut self) {
+        for &u in &self.touched {
+            self.counts[u as usize] = 0;
+        }
+        self.touched.clear();
     }
 }
 
@@ -165,6 +235,33 @@ mod tests {
         let f = item(&db, 0, "F");
         let h = v.unit_histogram(v.posting(f));
         assert_eq!(h, vec![1, 2]); // F in u0 once, in u1 twice
+    }
+
+    #[test]
+    fn scratch_histogram_matches_dense() {
+        let db = small_db();
+        let v: VerticalDb = VerticalDb::build(&db);
+        let f = item(&db, 0, "F");
+        let n = item(&db, 1, "n");
+        let mut scratch = UnitScratch::new(v.num_units());
+        for items in [vec![f], vec![n], vec![f, n], vec![]] {
+            let tids = v.tidset(&items);
+            let dense = v.unit_histogram(&tids);
+            v.unit_histogram_into(&tids, &mut scratch);
+            assert_eq!(scratch.counts(), &dense[..], "{items:?}");
+            let pairs = scratch.sorted_pairs();
+            let expected: Vec<(u32, u64)> = dense
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(u, &c)| (u as u32, c))
+                .collect();
+            assert_eq!(pairs, expected, "{items:?}");
+        }
+        // A second fill after clear() starts from zero.
+        v.unit_histogram_into(&v.tidset(&[f]), &mut scratch);
+        assert_eq!(scratch.counts(), &[1, 2]);
+        assert_eq!(scratch.count_of(1), 2);
     }
 
     #[test]

@@ -103,11 +103,7 @@ impl BoardsConfig {
             regional_affinity: 0.6,
             sector_affinity: 0.6,
             estonian_geography: true,
-            temporal: Some(TemporalConfig {
-                start_year: 1995,
-                end_year: 2014,
-                female_drift: 0.08,
-            }),
+            temporal: Some(TemporalConfig { start_year: 1995, end_year: 2014, female_drift: 0.08 }),
             seed: 0xE570,
         }
     }
@@ -141,11 +137,7 @@ pub struct SyntheticBoards {
 impl SyntheticBoards {
     /// Column roles of the `individuals` relation.
     pub fn individuals_spec(&self) -> IndividualsSpec {
-        IndividualsSpec::new("id")
-            .sa("gender")
-            .sa("age")
-            .sa("birthplace")
-            .ca("residence")
+        IndividualsSpec::new("id").sa("gender").sa("age").sa("birthplace").ca("residence")
     }
 
     /// Column roles of the `groups` relation.
@@ -181,9 +173,7 @@ impl SyntheticBoards {
         match self.config.temporal {
             Some(t) if n >= 2 => {
                 let span = t.end_year - t.start_year;
-                (0..n)
-                    .map(|i| t.start_year + span * i as i64 / (n as i64 - 1))
-                    .collect()
+                (0..n).map(|i| t.start_year + span * i as i64 / (n as i64 - 1)).collect()
             }
             Some(t) => vec![t.end_year],
             None => Vec::new(),
@@ -229,11 +219,8 @@ fn board_size(rng: &mut SmallRng, mean: f64, cap: usize) -> usize {
 pub fn generate(config: BoardsConfig) -> SyntheticBoards {
     let mut rng = SmallRng::seed_from_u64(config.seed);
 
-    let geography: Vec<(&str, &str, f64)> = if config.estonian_geography {
-        names::COUNTIES.to_vec()
-    } else {
-        names::REGIONS.to_vec()
-    };
+    let geography: Vec<(&str, &str, f64)> =
+        if config.estonian_geography { names::COUNTIES.to_vec() } else { names::REGIONS.to_vec() };
     let region_weights: Vec<f64> = geography.iter().map(|&(_, _, w)| w).collect();
     let national_female: f64 = {
         // Weighted national female share implied by the sector propensities.
@@ -247,10 +234,8 @@ pub fn generate(config: BoardsConfig) -> SyntheticBoards {
     };
 
     // Companies.
-    let mut groups = Relation::new(
-        ["id", "sector", "region", "area"].map(str::to_string).to_vec(),
-    )
-    .expect("static columns");
+    let mut groups = Relation::new(["id", "sector", "region", "area"].map(str::to_string).to_vec())
+        .expect("static columns");
     let mut company_sector = Vec::with_capacity(config.n_companies);
     let mut company_region = Vec::with_capacity(config.n_companies);
     for c in 0..config.n_companies {
@@ -287,8 +272,7 @@ pub fn generate(config: BoardsConfig) -> SyntheticBoards {
             let reused: Option<u32> = if reuse_pool {
                 // Prefer a director from the company's own sector (industry
                 // careers), then from its region, then anyone.
-                if rng.random::<f64>() < config.sector_affinity && !by_sector[sector].is_empty()
-                {
+                if rng.random::<f64>() < config.sector_affinity && !by_sector[sector].is_empty() {
                     let pool = &by_sector[sector];
                     Some(pool[rng.random_range(0..pool.len())])
                 } else if rng.random::<f64>() < config.regional_affinity
@@ -318,8 +302,7 @@ pub fn generate(config: BoardsConfig) -> SyntheticBoards {
             } else {
                 // Fresh director with sector/region-conditioned attributes.
                 let base = names::SECTORS[sector].1;
-                let mut p_female =
-                    national_female + config.sector_bias * (base - national_female);
+                let mut p_female = national_female + config.sector_bias * (base - national_female);
                 match geography[region].1 {
                     "south" | "east" => p_female -= config.regional_gap,
                     "north" => p_female += config.regional_gap,
@@ -486,11 +469,8 @@ mod tests {
                     e.0 += 1.0;
                 }
             }
-            let shares: Vec<f64> = counts
-                .values()
-                .filter(|&&(_, t)| t >= 30.0)
-                .map(|&(f, t)| f / t)
-                .collect();
+            let shares: Vec<f64> =
+                counts.values().filter(|&&(_, t)| t >= 30.0).map(|&(f, t)| f / t).collect();
             let mean = shares.iter().sum::<f64>() / shares.len() as f64;
             shares.iter().map(|s| (s - mean).abs()).sum::<f64>() / shares.len() as f64
         };

@@ -32,8 +32,8 @@ pub const SECTORS: [(&str, f64); 20] = [
 
 /// Relative frequency of each sector among companies (unnormalized).
 pub const SECTOR_WEIGHTS: [f64; 20] = [
-    5.0, 0.3, 10.0, 0.8, 0.7, 12.0, 24.0, 4.0, 6.0, 4.5, 3.0, 7.0, 8.0, 3.5, 1.0, 2.0, 1.5,
-    4.0, 0.4, 0.1,
+    5.0, 0.3, 10.0, 0.8, 0.7, 12.0, 24.0, 4.0, 6.0, 4.5, 3.0, 7.0, 8.0, 3.5, 1.0, 2.0, 1.5, 4.0,
+    0.4, 0.1,
 ];
 
 /// Italian regions with macro-area and relative company frequency.

@@ -91,13 +91,7 @@ mod tests {
     #[test]
     fn closed_preserves_maximal_per_tidset() {
         // Via the trait on a richer database.
-        let db = db_from_sets(&[
-            &[0, 1, 2, 3],
-            &[0, 1, 2],
-            &[0, 1],
-            &[2, 3],
-            &[0, 3],
-        ]);
+        let db = db_from_sets(&[&[0, 1, 2, 3], &[0, 1, 2], &[0, 1], &[2, 3], &[0, 3]]);
         let got = crate::FpGrowth.mine_closed(&db, 1).unwrap();
         let expected = naive::mine_closed(&db, 1).unwrap();
         assert_eq!(got, expected);

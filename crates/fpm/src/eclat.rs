@@ -2,8 +2,17 @@
 //!
 //! Generic over the tidset representation so the EWAH/dense/tid-vector
 //! ablation (experiment E11) measures mining end-to-end with each.
+//!
+//! The DFS owns its candidate lists, so a node's tidset is *moved* into the
+//! output once its extensions are computed (no per-node clone), and the
+//! tidset-carrying entry point has a parallel twin that fans the first-level
+//! equivalence classes (one frequent item's prefix subtree each) out over
+//! scoped worker threads. Workers claim subtrees dynamically and the
+//! per-subtree outputs are merged back in root order, so the parallel miner
+//! is bit-identical to the serial one.
 
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use scube_bitmap::{EwahBitmap, Posting};
 use scube_common::Result;
@@ -33,17 +42,7 @@ impl<P: Posting> Miner for Eclat<P> {
     fn mine(&self, db: &TransactionDb, min_support: u64) -> Result<Vec<FrequentItemset>> {
         validate_min_support(min_support)?;
         let vertical: VerticalDb<P> = VerticalDb::build(db);
-
-        // Frequent single items, ascending support (smaller tidsets first
-        // keeps intermediate intersections small).
-        let mut roots: Vec<(ItemId, P)> = (0..vertical.num_items() as ItemId)
-            .filter_map(|it| {
-                let posting = vertical.posting(it);
-                (posting.cardinality() >= min_support).then(|| (it, posting.clone()))
-            })
-            .collect();
-        roots.sort_by_key(|(it, p)| (p.cardinality(), *it));
-
+        let roots = frequent_roots(&vertical, min_support);
         let mut out = Vec::new();
         let mut prefix: Vec<ItemId> = Vec::new();
         dfs(&roots, min_support, &mut prefix, &mut out);
@@ -55,6 +54,41 @@ impl<P: Posting> Miner for Eclat<P> {
     }
 }
 
+/// Frequent single items with their postings, ascending support (smaller
+/// tidsets first keeps intermediate intersections small).
+fn frequent_roots<P: Posting>(vertical: &VerticalDb<P>, min_support: u64) -> Vec<(ItemId, P)> {
+    let mut roots: Vec<(ItemId, P)> = (0..vertical.num_items() as ItemId)
+        .filter_map(|it| {
+            let posting = vertical.posting(it);
+            (posting.cardinality() >= min_support).then(|| (it, posting.clone()))
+        })
+        .collect();
+    roots.sort_by_key(|(it, p)| (p.cardinality(), *it));
+    roots
+}
+
+/// The node body every DFS variant shares: join `tids` against each later
+/// candidate, keeping the frequent results. Reserves the worst case up
+/// front (no regrowth in the hot loop) but gives sparsely-filled vectors
+/// back before they are held across a whole subtree recursion.
+fn join_extensions<P: Posting>(
+    tids: &P,
+    rest: &[(ItemId, P)],
+    min_support: u64,
+) -> Vec<(ItemId, P)> {
+    let mut extensions: Vec<(ItemId, P)> = Vec::with_capacity(rest.len());
+    for (jt, jtids) in rest {
+        let joined = tids.and(jtids);
+        if joined.cardinality() >= min_support {
+            extensions.push((*jt, joined));
+        }
+    }
+    if extensions.len() * 4 <= extensions.capacity() {
+        extensions.shrink_to_fit();
+    }
+    extensions
+}
+
 fn dfs<P: Posting>(
     candidates: &[(ItemId, P)],
     min_support: u64,
@@ -64,13 +98,7 @@ fn dfs<P: Posting>(
     for (i, (item, tids)) in candidates.iter().enumerate() {
         prefix.push(*item);
         out.push(FrequentItemset { items: prefix.clone(), support: tids.cardinality() });
-        let extensions: Vec<(ItemId, P)> = candidates[i + 1..]
-            .iter()
-            .filter_map(|(jt, jtids)| {
-                let joined = tids.and(jtids);
-                (joined.cardinality() >= min_support).then_some((*jt, joined))
-            })
-            .collect();
+        let extensions = join_extensions(tids, &candidates[i + 1..], min_support);
         if !extensions.is_empty() {
             dfs(&extensions, min_support, prefix, out);
         }
@@ -95,44 +123,110 @@ pub fn mine_vertical_with_tidsets<P: Posting>(
     min_support: u64,
 ) -> Result<Vec<(FrequentItemset, P)>> {
     validate_min_support(min_support)?;
-    let mut roots: Vec<(ItemId, P)> = (0..vertical.num_items() as ItemId)
-        .filter_map(|it| {
-            let posting = vertical.posting(it);
-            (posting.cardinality() >= min_support).then(|| (it, posting.clone()))
-        })
-        .collect();
-    roots.sort_by_key(|(it, p)| (p.cardinality(), *it));
+    let roots = frequent_roots(vertical, min_support);
     let mut out = Vec::new();
     let mut prefix = Vec::new();
-    dfs_tids(&roots, min_support, &mut prefix, &mut out);
-    for (set, _) in &mut out {
-        set.items.sort_unstable();
-    }
-    out.sort_by(|a, b| a.0.items.len().cmp(&b.0.items.len()).then_with(|| a.0.items.cmp(&b.0.items)));
+    dfs_tids(roots, min_support, &mut prefix, &mut out);
+    canonicalize_tids(&mut out);
     Ok(out)
 }
 
+/// One worker's claimed subtrees: `(root index, subtree output)` pairs.
+type SubtreeBatch<P> = Vec<(usize, Vec<(FrequentItemset, P)>)>;
+
+/// As [`mine_vertical_with_tidsets`], with the first-level equivalence
+/// classes fanned out over `n_threads` scoped workers.
+///
+/// Workers claim prefix subtrees dynamically (ascending-support root order
+/// gives the small subtrees first, so late claims stay balanced) and the
+/// per-subtree outputs are concatenated in root order before the canonical
+/// sort — the result is bit-identical to the serial miner.
+pub fn mine_vertical_with_tidsets_parallel<P: Posting + Send + Sync>(
+    vertical: &VerticalDb<P>,
+    min_support: u64,
+    n_threads: usize,
+) -> Result<Vec<(FrequentItemset, P)>> {
+    validate_min_support(min_support)?;
+    let roots = frequent_roots(vertical, min_support);
+    let n_threads = n_threads.clamp(1, roots.len().max(1));
+    if n_threads == 1 {
+        return mine_vertical_with_tidsets(vertical, min_support);
+    }
+
+    let next = AtomicUsize::new(0);
+    let roots = &roots;
+    let batches: Vec<SubtreeBatch<P>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= roots.len() {
+                            break;
+                        }
+                        let (item, tids) = &roots[i];
+                        let mut out = Vec::new();
+                        let mut prefix = vec![*item];
+                        out.push((
+                            FrequentItemset { items: prefix.clone(), support: tids.cardinality() },
+                            tids.clone(),
+                        ));
+                        let extensions = join_extensions(tids, &roots[i + 1..], min_support);
+                        if !extensions.is_empty() {
+                            dfs_tids(extensions, min_support, &mut prefix, &mut out);
+                        }
+                        local.push((i, out));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("miner worker panicked")).collect()
+    });
+
+    // Deterministic merge: subtree outputs back in root order.
+    let mut slots: Vec<Vec<(FrequentItemset, P)>> = Vec::new();
+    slots.resize_with(roots.len(), Vec::new);
+    for batch in batches {
+        for (i, out) in batch {
+            slots[i] = out;
+        }
+    }
+    let mut out: Vec<(FrequentItemset, P)> = slots.into_iter().flatten().collect();
+    canonicalize_tids(&mut out);
+    Ok(out)
+}
+
+/// Canonical output form shared by the serial and parallel miners: items
+/// ascending within each set, sets sorted by (length, items).
+fn canonicalize_tids<P: Posting>(out: &mut [(FrequentItemset, P)]) {
+    for (set, _) in out.iter_mut() {
+        set.items.sort_unstable();
+    }
+    out.sort_by(|a, b| {
+        a.0.items.len().cmp(&b.0.items.len()).then_with(|| a.0.items.cmp(&b.0.items))
+    });
+}
+
 fn dfs_tids<P: Posting>(
-    candidates: &[(ItemId, P)],
+    mut candidates: Vec<(ItemId, P)>,
     min_support: u64,
     prefix: &mut Vec<ItemId>,
     out: &mut Vec<(FrequentItemset, P)>,
 ) {
-    for (i, (item, tids)) in candidates.iter().enumerate() {
-        prefix.push(*item);
-        out.push((
-            FrequentItemset { items: prefix.clone(), support: tids.cardinality() },
-            tids.clone(),
-        ));
-        let extensions: Vec<(ItemId, P)> = candidates[i + 1..]
-            .iter()
-            .filter_map(|(jt, jtids)| {
-                let joined = tids.and(jtids);
-                (joined.cardinality() >= min_support).then_some((*jt, joined))
-            })
-            .collect();
+    for i in 0..candidates.len() {
+        let extensions = {
+            let (item, tids) = &candidates[i];
+            prefix.push(*item);
+            join_extensions(tids, &candidates[i + 1..], min_support)
+        };
+        // The node's tidset is done intersecting: move it into the output
+        // instead of cloning it, leaving a cheap empty hole behind.
+        let tids = std::mem::replace(&mut candidates[i].1, P::full(0));
+        out.push((FrequentItemset { items: prefix.clone(), support: tids.cardinality() }, tids));
         if !extensions.is_empty() {
-            dfs_tids(&extensions, min_support, prefix, out);
+            dfs_tids(extensions, min_support, prefix, out);
         }
         prefix.pop();
     }
@@ -186,5 +280,33 @@ mod tests {
         let db = db_from_sets(&[&[0]]);
         assert!(Eclat::<EwahBitmap>::new().mine(&db, 0).is_err());
         assert!(mine_with_tidsets::<EwahBitmap>(&db, 0).is_err());
+        let v: VerticalDb<EwahBitmap> = VerticalDb::build(&db);
+        assert!(mine_vertical_with_tidsets_parallel(&v, 0, 4).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let db = db_from_sets(&[
+            &[0, 1, 2, 3],
+            &[0, 1],
+            &[1, 2],
+            &[0, 3],
+            &[2, 3],
+            &[0, 1, 2],
+            &[3],
+            &[0, 2, 3],
+        ]);
+        let v: VerticalDb<EwahBitmap> = VerticalDb::build(&db);
+        for minsup in 1..=4 {
+            let serial = mine_vertical_with_tidsets(&v, minsup).unwrap();
+            for threads in [1, 2, 3, 8, 64] {
+                let parallel = mine_vertical_with_tidsets_parallel(&v, minsup, threads).unwrap();
+                assert_eq!(serial.len(), parallel.len(), "minsup {minsup} x{threads}");
+                for ((s_set, s_tids), (p_set, p_tids)) in serial.iter().zip(&parallel) {
+                    assert_eq!(s_set, p_set, "minsup {minsup} x{threads}");
+                    assert_eq!(s_tids.to_vec(), p_tids.to_vec(), "minsup {minsup} x{threads}");
+                }
+            }
+        }
     }
 }

@@ -45,12 +45,7 @@ impl Miner for FpGrowth {
         let mut ranks: Vec<u32> = Vec::new();
         for (items, _) in db.iter() {
             ranks.clear();
-            ranks.extend(
-                items
-                    .iter()
-                    .map(|&it| rank_of[it as usize])
-                    .filter(|&r| r != u32::MAX),
-            );
+            ranks.extend(items.iter().map(|&it| rank_of[it as usize]).filter(|&r| r != u32::MAX));
             ranks.sort_unstable();
             tree.insert(&ranks, 1);
         }
@@ -94,7 +89,8 @@ struct FpTree {
 
 impl FpTree {
     fn new(nranks: usize) -> Self {
-        let root = FpNode { rank: u32::MAX, count: 0, parent: NONE, next: NONE, children: Vec::new() };
+        let root =
+            FpNode { rank: u32::MAX, count: 0, parent: NONE, next: NONE, children: Vec::new() };
         FpTree { nodes: vec![root], headers: vec![NONE; nranks] }
     }
 
@@ -173,9 +169,8 @@ fn mine_tree(
         let mut filtered: Vec<u32> = Vec::new();
         for (path, weight) in &paths {
             filtered.clear();
-            filtered.extend(
-                path.iter().copied().filter(|&pr| rank_counts[pr as usize] >= min_support),
-            );
+            filtered
+                .extend(path.iter().copied().filter(|&pr| rank_counts[pr as usize] >= min_support));
             if !filtered.is_empty() {
                 cond.insert(&filtered, *weight);
             }

@@ -61,9 +61,7 @@ pub fn is_sorted_subset(small: &[ItemId], big: &[ItemId]) -> bool {
 /// Sort a result set into the canonical order used for equality checks:
 /// by length, then lexicographically by items.
 pub fn sort_canonical(sets: &mut [FrequentItemset]) {
-    sets.sort_by(|a, b| {
-        a.items.len().cmp(&b.items.len()).then_with(|| a.items.cmp(&b.items))
-    });
+    sets.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then_with(|| a.items.cmp(&b.items)));
 }
 
 #[cfg(test)]

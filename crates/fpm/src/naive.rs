@@ -92,12 +92,7 @@ mod tests {
         // Map values back to readable labels for the assertion.
         let mut found: Vec<(Vec<String>, u64)> = result
             .iter()
-            .map(|s| {
-                (
-                    s.items.iter().map(|&i| db.item_label(i)).collect::<Vec<_>>(),
-                    s.support,
-                )
-            })
+            .map(|s| (s.items.iter().map(|&i| db.item_label(i)).collect::<Vec<_>>(), s.support))
             .collect();
         found.sort();
         let expect = |items: &[&str], support: u64| {

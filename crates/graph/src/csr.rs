@@ -134,8 +134,11 @@ impl GraphBuilder {
         for u in 0..graph_n {
             let lo = g.offsets[u] as usize;
             let hi = g.offsets[u + 1] as usize;
-            let mut pairs: Vec<(u32, u32)> =
-                g.neighbors[lo..hi].iter().copied().zip(g.weights[lo..hi].iter().copied()).collect();
+            let mut pairs: Vec<(u32, u32)> = g.neighbors[lo..hi]
+                .iter()
+                .copied()
+                .zip(g.weights[lo..hi].iter().copied())
+                .collect();
             pairs.sort_unstable();
             for (i, (nb, w)) in pairs.into_iter().enumerate() {
                 g.neighbors[lo + i] = nb;

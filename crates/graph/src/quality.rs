@@ -15,11 +15,7 @@ use crate::csr::Graph;
 /// cluster's nodes and `W` the total edge weight. Returns `None` for a
 /// graph with no edges (modularity is undefined without edges).
 pub fn modularity(graph: &Graph, clustering: &Clustering) -> Option<f64> {
-    assert_eq!(
-        graph.num_nodes(),
-        clustering.num_nodes(),
-        "clustering must cover the graph"
-    );
+    assert_eq!(graph.num_nodes(), clustering.num_nodes(), "clustering must cover the graph");
     let k = clustering.num_clusters() as usize;
     let mut intra = vec![0.0f64; k];
     let mut degree = vec![0.0f64; k];

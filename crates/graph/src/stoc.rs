@@ -157,20 +157,13 @@ mod tests {
             b.add_edge(u, (u + 1) % 6, 1);
         }
         let g = b.build();
-        let attrs = NodeAttributes::from_rows(vec![
-            vec![1],
-            vec![1],
-            vec![1],
-            vec![2],
-            vec![2],
-            vec![2],
-        ]);
+        let attrs =
+            NodeAttributes::from_rows(vec![vec![1], vec![1], vec![1], vec![2], vec![2], vec![2]]);
         let c = stoc(&g, &attrs, StocParams { tau: 0.4, alpha: 0.3, horizon: 4, seed: 3 });
         // Nodes with equal attributes and adjacency must co-cluster pairwise
         // at least within each attribute block reachable from its seed.
         for cluster in 0..c.num_clusters() {
-            let members: Vec<u32> =
-                (0..6u32).filter(|&u| c.of(u) == cluster).collect();
+            let members: Vec<u32> = (0..6u32).filter(|&u| c.of(u) == cluster).collect();
             let first_attr = attrs.of(members[0]);
             for &m in &members {
                 assert_eq!(attrs.of(m), first_attr, "cluster mixes attribute groups");

@@ -49,20 +49,21 @@ impl UnitCounts {
 
     /// Build from `(unit, minority, total)` triples.
     pub fn from_triples(triples: impl IntoIterator<Item = (u32, u64, u64)>) -> Result<Self> {
-        Self::from_cells(
-            triples.into_iter().map(|(unit, minority, total)| UnitCell { unit, minority, total }),
-        )
+        Self::from_cells(triples.into_iter().map(|(unit, minority, total)| UnitCell {
+            unit,
+            minority,
+            total,
+        }))
     }
 
     /// Build from `(minority, total)` pairs with units numbered `0..n`
     /// (convenient in tests and index-only computations).
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64)>) -> Result<Self> {
-        Self::from_cells(
-            pairs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (minority, total))| UnitCell { unit: i as u32, minority, total }),
-        )
+        Self::from_cells(pairs.into_iter().enumerate().map(|(i, (minority, total))| UnitCell {
+            unit: i as u32,
+            minority,
+            total,
+        }))
     }
 
     /// The non-empty units.

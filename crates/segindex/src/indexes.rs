@@ -49,11 +49,8 @@ pub fn gini(c: &UnitCounts) -> Option<f64> {
     let t_total = c.total() as f64;
     let p = c.minority() as f64 / t_total;
 
-    let mut units: Vec<(f64, f64)> = c
-        .cells()
-        .iter()
-        .map(|u| (u.minority as f64 / u.total as f64, u.total as f64))
-        .collect();
+    let mut units: Vec<(f64, f64)> =
+        c.cells().iter().map(|u| (u.minority as f64 / u.total as f64, u.total as f64)).collect();
     units.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     // Σ_{i<j} t_i t_j (p_j − p_i)  with prefix sums over sorted p.
@@ -133,9 +130,7 @@ pub fn interaction(c: &UnitCounts) -> Option<f64> {
     let sum: f64 = c
         .cells()
         .iter()
-        .map(|u| {
-            (u.minority as f64 / m_total) * ((u.total - u.minority) as f64 / u.total as f64)
-        })
+        .map(|u| (u.minority as f64 / m_total) * ((u.total - u.minority) as f64 / u.total as f64))
         .sum();
     Some(clamp01(sum))
 }

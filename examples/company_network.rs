@@ -23,9 +23,9 @@ fn main() -> Result<()> {
 
     // Break the giant component with the weight-threshold method designed
     // in the companion journal paper.
-    let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
-        ClusteringMethod::WeightThreshold { min_weight: 1 },
-    ))
+    let config = ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::WeightThreshold {
+        min_weight: 1,
+    }))
     .min_shared(1)
     .cube(CubeBuilder::new().min_support(25).parallel(true));
     let result = run(&dataset, &config)?;

@@ -53,19 +53,18 @@ fn main() -> Result<()> {
 
     // Per-sector one-vs-rest profiles (Fig. 5 bottom's radial series).
     let explorer: CubeExplorer = CubeExplorer::new(&result.final_table);
-    let women_coords = result
-        .cube
-        .coords_by_names(&[("gender", "F")], &[])
-        .expect("gender=F item exists");
+    let women_coords =
+        result.cube.coords_by_names(&[("gender", "F")], &[]).expect("gender=F item exists");
     let breakdown = explorer.unit_breakdown(&women_coords);
     let mut series = radial_series(&breakdown, result.final_table.unit_names());
     series.sort_by(|a, b| {
-        b.1.dissimilarity
-            .unwrap_or(0.0)
-            .total_cmp(&a.1.dissimilarity.unwrap_or(0.0))
+        b.1.dissimilarity.unwrap_or(0.0).total_cmp(&a.1.dissimilarity.unwrap_or(0.0))
     });
     println!("\nPer-sector one-vs-rest profiles (most male/female-skewed first):");
-    println!("  {:<18} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", "sector", "D", "G", "H", "xPx", "xPy", "A");
+    println!(
+        "  {:<18} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "sector", "D", "G", "H", "xPx", "xPy", "A"
+    );
     for (sector, v) in series.iter().take(8) {
         println!(
             "  {:<18} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",

@@ -5,12 +5,8 @@ use scube::prelude::*;
 
 fn final_table() -> scube_data::TransactionDb {
     let dataset = scube_datagen::italy(800).to_dataset(vec![]).unwrap();
-    let ft = scube::build_final_table(
-        &dataset,
-        &UnitStrategy::GroupAttribute("sector".into()),
-        1,
-    )
-    .unwrap();
+    let ft = scube::build_final_table(&dataset, &UnitStrategy::GroupAttribute("sector".into()), 1)
+        .unwrap();
     ft.db
 }
 
@@ -22,11 +18,8 @@ fn closed_is_restriction_of_full_on_real_data() {
         .materialize(Materialize::AllFrequent)
         .build(&db)
         .unwrap();
-    let closed = CubeBuilder::new()
-        .min_support(15)
-        .materialize(Materialize::ClosedOnly)
-        .build(&db)
-        .unwrap();
+    let closed =
+        CubeBuilder::new().min_support(15).materialize(Materialize::ClosedOnly).build(&db).unwrap();
     assert!(closed.len() <= full.len());
     assert!(closed.len() > 1, "closed cube should not be trivial");
     for (coords, v) in closed.cells() {

@@ -38,18 +38,11 @@ fn build_dataset(genders: &[bool], sectors: &[u8], pairs: &[(u32, u32)]) -> Data
     );
     let groups = relation(
         &["id", "sector"],
-        sectors
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| vec![format!("c{i}"), format!("s{s}")])
-            .collect(),
+        sectors.iter().enumerate().map(|(i, &s)| vec![format!("c{i}"), format!("s{s}")]).collect(),
     );
     let membership = relation(
         &["dir", "comp"],
-        pairs
-            .iter()
-            .map(|&(d, c)| vec![format!("d{d}"), format!("c{c}")])
-            .collect(),
+        pairs.iter().map(|&(d, c)| vec![format!("d{d}"), format!("c{c}")]).collect(),
     );
     Dataset::new(
         individuals,
@@ -64,8 +57,7 @@ fn build_dataset(genders: &[bool], sectors: &[u8], pairs: &[(u32, u32)]) -> Data
 }
 
 fn cubes_equal(a: &SegregationCube, b: &SegregationCube) -> bool {
-    a.len() == b.len()
-        && a.cells().all(|(coords, v)| b.get(coords) == Some(v))
+    a.len() == b.len() && a.cells().all(|(coords, v)| b.get(coords) == Some(v))
 }
 
 proptest! {

@@ -23,18 +23,13 @@ fn scenario1_sector_units_detect_planted_bias() {
     assert!(d_biased > 0.15, "expected planted segregation, D = {d_biased}");
 
     // The same data without the planted bias scores much lower.
-    let flat = scube_datagen::generate(
-        scube_datagen::BoardsConfig::italy(1200).sector_bias(0.0),
-    )
-    .to_dataset(vec![])
-    .unwrap();
+    let flat = scube_datagen::generate(scube_datagen::BoardsConfig::italy(1200).sector_bias(0.0))
+        .to_dataset(vec![])
+        .unwrap();
     let flat_result = scube::run(&flat, &config).unwrap();
     let d_flat =
         flat_result.cube.get_by_names(&[("gender", "F")], &[]).unwrap().dissimilarity.unwrap();
-    assert!(
-        d_biased > 2.0 * d_flat,
-        "biased D {d_biased} should dominate unbiased D {d_flat}"
-    );
+    assert!(d_biased > 2.0 * d_flat, "biased D {d_biased} should dominate unbiased D {d_flat}");
 }
 
 #[test]
@@ -55,10 +50,9 @@ fn scenario1_women_isolation_exceeds_share() {
 #[test]
 fn scenario2_director_communities() {
     let dataset = italy();
-    let config = ScubeConfig::new(UnitStrategy::ClusterIndividuals(
-        ClusteringMethod::ConnectedComponents,
-    ))
-    .cube(CubeBuilder::new().min_support(10));
+    let config =
+        ScubeConfig::new(UnitStrategy::ClusterIndividuals(ClusteringMethod::ConnectedComponents))
+            .cube(CubeBuilder::new().min_support(10));
     let result = scube::run(dataset, &config).unwrap();
     let clustering = result.clustering.as_ref().unwrap();
 
@@ -78,9 +72,9 @@ fn scenario2_director_communities() {
 #[test]
 fn scenario3_company_communities() {
     let dataset = italy();
-    let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
-        ClusteringMethod::WeightThreshold { min_weight: 1 },
-    ))
+    let config = ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::WeightThreshold {
+        min_weight: 1,
+    }))
     .cube(CubeBuilder::new().min_support(10));
     let result = scube::run(dataset, &config).unwrap();
     let clustering = result.clustering.as_ref().unwrap();
@@ -89,16 +83,14 @@ fn scenario3_company_communities() {
     // Isolated companies reported by the projection are singletons.
     for &c in &result.isolated {
         let unit = clustering.of(c);
-        assert_eq!(
-            clustering.sizes()[unit as usize],
-            1,
-            "isolated company {c} not a singleton"
-        );
+        assert_eq!(clustering.sizes()[unit as usize], 1, "isolated company {c} not a singleton");
     }
     // Directors sitting in two communities produce one row per community;
     // rows can exceed directors but never memberships.
     assert!(result.stats.n_rows >= dataset.num_individuals());
-    assert!(result.stats.n_rows <= dataset.bipartite.memberships().len() + dataset.num_individuals());
+    assert!(
+        result.stats.n_rows <= dataset.bipartite.memberships().len() + dataset.num_individuals()
+    );
 }
 
 #[test]
@@ -129,9 +121,13 @@ fn clustering_methods_produce_different_granularity() {
 #[test]
 fn stoc_respects_attributes_end_to_end() {
     let dataset = italy();
-    let config = ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::Stoc(
-        StocParams { tau: 0.4, alpha: 0.3, horizon: 2, seed: 11 },
-    )));
+    let config =
+        ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::Stoc(StocParams {
+            tau: 0.4,
+            alpha: 0.3,
+            horizon: 2,
+            seed: 11,
+        })));
     let result = scube::run(dataset, &config).unwrap();
     let clustering = result.clustering.as_ref().unwrap();
     assert_eq!(clustering.num_nodes(), dataset.num_groups());

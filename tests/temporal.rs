@@ -29,10 +29,9 @@ fn snapshots_are_produced_per_date_in_order() {
 #[test]
 fn snapshot_population_matches_active_memberships() {
     let (_, dataset) = estonia();
-    let config = ScubeConfig::new(UnitStrategy::ClusterGroups(
-        ClusteringMethod::ConnectedComponents,
-    ))
-    .cube(CubeBuilder::new().min_support(5));
+    let config =
+        ScubeConfig::new(UnitStrategy::ClusterGroups(ClusteringMethod::ConnectedComponents))
+            .cube(CubeBuilder::new().min_support(5));
     for &year in &[1997i64, 2005, 2012] {
         let snap = dataset.snapshot(year);
         let result = scube::run(&snap, &config).unwrap();
@@ -62,10 +61,7 @@ fn planted_feminization_drift_is_visible() {
     };
     let first = share(&snaps.first().unwrap().1);
     let last = share(&snaps.last().unwrap().1);
-    assert!(
-        last > first + 0.02,
-        "female share should drift upward: {first:.3} → {last:.3}"
-    );
+    assert!(last > first + 0.02, "female share should drift upward: {first:.3} → {last:.3}");
 }
 
 #[test]

@@ -1,0 +1,201 @@
+#![warn(missing_docs)]
+//! Offline, in-tree substitute for the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendor crate
+//! provides the subset of the criterion API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! adaptive timing loop instead of criterion's statistical machinery.
+//! Results are printed as `group/name: median time/iter` lines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name}");
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+}
+
+/// A named benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Use a bare parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the timing loop is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Run one benchmark with an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Finish the group (no-op; printed incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, adapting the iteration count to the target time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration run.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / first.as_nanos()).clamp(1, 10_000) as u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no measurement");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        println!("{group}/{id}: {} ({} iters)", fmt_time(per_iter), self.iters);
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_without_panicking() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,175 @@
+#![warn(missing_docs)]
+//! Offline, in-tree substitute for the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendor crate
+//! reimplements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   ranges, tuples, and regex-literal `&str` patterns,
+//! * [`collection::vec`] / [`collection::btree_set`],
+//! * [`string::string_regex`] over a practical regex subset,
+//! * [`arbitrary::any`] for primitives.
+//!
+//! No shrinking is performed: a failing case panics with the generating
+//! seed printed, which is reproducible because generation is deterministic
+//! per test name.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` becomes a `#[test]` that
+/// evaluates its strategies once, then runs `body` for `config.cases`
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategies = ( $( $strat, )+ );
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let __case_seed = __rng.state();
+                let ( $( $pat, )+ ) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                // As in upstream proptest, the body may `return Ok(())`
+                // early; a body falling off the end yields `Ok(())` too.
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match __result {
+                    ::std::result::Result::Err(payload) => {
+                        eprintln!(
+                            "proptest case {}/{} failed (rng state {:#x}) in {}",
+                            __case + 1,
+                            __config.cases,
+                            __case_seed,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        panic!("proptest case rejected: {e}");
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                }
+            }
+        }
+    )*};
+}
+
+/// Property assertion (no shrinking; equivalent to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion (equivalent to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion (equivalent to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u32..10, (a, b) in (0u8..3, 5u64..9)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 3);
+            prop_assert!((5..9).contains(&b));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn btree_sets_are_bounded(s in crate::collection::btree_set(0u32..50, 0..10)) {
+            prop_assert!(s.len() < 10);
+            prop_assert!(s.iter().all(|&x| x < 50));
+        }
+
+        #[test]
+        fn mapped(v in crate::collection::vec(1u64..5, 2..4).prop_map(|v| v.len())) {
+            prop_assert!((2..4).contains(&v));
+        }
+
+        #[test]
+        fn regex_literal(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn any_bool_and_u64(b in any::<bool>(), x in any::<u64>()) {
+            let _ = (b, x);
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_test("fixed");
+        let v = crate::collection::vec(0u8..2, 5usize).generate(&mut rng);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u32..1000, 10usize);
+        let a = strat.generate(&mut crate::test_runner::TestRng::for_test("t"));
+        let b = strat.generate(&mut crate::test_runner::TestRng::for_test("t"));
+        assert_eq!(a, b);
+    }
+}

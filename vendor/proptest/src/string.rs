@@ -1,0 +1,284 @@
+//! String generation from a practical regex subset.
+//!
+//! Supported syntax: literal characters, `.` (printable ASCII), character
+//! classes `[a-z0-9,;-]` (ranges, literals, escapes; no negation), and the
+//! quantifiers `*`, `+`, `?`, `{n}`, `{m,n}`. A quantifier directly
+//! following a quantified atom composes multiplicatively (so `.*{0,15}`
+//! behaves like a bounded `(.*){0,15}`), which covers the patterns the
+//! workspace's fuzz tests use.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Error for unsupported or malformed patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Generator for one atom of the pattern.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.`: any printable ASCII character.
+    Any,
+    /// `[...]`: inclusive character ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Any => (b' ' + rng.below(95) as u8) as char,
+            Atom::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+                let mut x = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u64 - lo as u64 + 1;
+                    if x < span {
+                        return char::from_u32(lo as u32 + x as u32).unwrap_or(lo);
+                    }
+                    x -= span;
+                }
+                unreachable!("class sampling is exhaustive")
+            }
+            Atom::Lit(c) => *c,
+        }
+    }
+}
+
+/// One quantified atom.
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// The strategy returned by [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = rng.size_in(piece.min, piece.max);
+            for _ in 0..n {
+                out.push(piece.atom.generate(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Unbounded quantifiers (`*`, `+`) generate at most this many repetitions.
+const UNBOUNDED_MAX: usize = 16;
+
+/// Composed quantifiers are capped at this expansion.
+const COMPOSED_MAX: usize = 256;
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Compile `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, RegexError> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces: Vec<Piece> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                if chars.peek() == Some(&'^') {
+                    return Err(RegexError("negated classes are unsupported".into()));
+                }
+                let mut items: Vec<char> = Vec::new();
+                let mut closed = false;
+                for cc in chars.by_ref() {
+                    if cc == ']' && !items.is_empty() {
+                        closed = true;
+                        break;
+                    }
+                    items.push(cc);
+                }
+                if !closed {
+                    return Err(RegexError("unterminated character class".into()));
+                }
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                let mut i = 0;
+                while i < items.len() {
+                    let lo = if items[i] == '\\' && i + 1 < items.len() {
+                        i += 1;
+                        unescape(items[i])
+                    } else {
+                        items[i]
+                    };
+                    // `a-z` range (a trailing `-` is a literal).
+                    if i + 2 < items.len() && items[i + 1] == '-' {
+                        let hi = if items[i + 2] == '\\' && i + 3 < items.len() {
+                            i += 1;
+                            unescape(items[i + 2])
+                        } else {
+                            items[i + 2]
+                        };
+                        if hi < lo {
+                            return Err(RegexError(format!("invalid range {lo}-{hi}")));
+                        }
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => match chars.next() {
+                Some(esc) => Atom::Lit(unescape(esc)),
+                None => return Err(RegexError("dangling escape".into())),
+            },
+            '(' | ')' | '|' => {
+                return Err(RegexError(format!("unsupported regex construct {c:?}")));
+            }
+            lit => Atom::Lit(lit),
+        };
+        let mut piece = Piece { atom, min: 1, max: 1 };
+        // Consume any run of quantifiers, composing multiplicatively.
+        loop {
+            let (min, max) = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    (0, UNBOUNDED_MAX)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, UNBOUNDED_MAX)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    let mut closed = false;
+                    for cc in chars.by_ref() {
+                        if cc == '}' {
+                            closed = true;
+                            break;
+                        }
+                        spec.push(cc);
+                    }
+                    if !closed {
+                        return Err(RegexError("unterminated {} quantifier".into()));
+                    }
+                    let parse = |s: &str| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| RegexError(format!("bad repeat count {s:?}")))
+                    };
+                    match spec.split_once(',') {
+                        Some((m, n)) => {
+                            let m = parse(m)?;
+                            let n = if n.trim().is_empty() { m + UNBOUNDED_MAX } else { parse(n)? };
+                            if n < m {
+                                return Err(RegexError(format!("bad repeat {{{spec}}}")));
+                            }
+                            (m, n)
+                        }
+                        None => {
+                            let m = parse(&spec)?;
+                            (m, m)
+                        }
+                    }
+                }
+                _ => break,
+            };
+            piece.min = piece.min.saturating_mul(min).min(COMPOSED_MAX);
+            piece.max = piece.max.saturating_mul(max).clamp(piece.min, COMPOSED_MAX);
+        }
+        pieces.push(piece);
+    }
+    Ok(RegexStrategy { pieces })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_one(pattern: &str, seed_name: &str) -> String {
+        let mut rng = TestRng::for_test(seed_name);
+        string_regex(pattern).unwrap().generate(&mut rng)
+    }
+
+    #[test]
+    fn class_with_escapes_and_trailing_dash() {
+        let s = string_regex("[a-zA-Z0-9 ,;\"'\n\r|=*&-]{0,20}").unwrap();
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..200 {
+            let out = s.generate(&mut rng);
+            assert!(out.len() <= 20);
+            for c in out.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || " ,;\"'\n\r|=*&-".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_range_class() {
+        let s = string_regex("[ -~\n\r\"]{0,200}").unwrap();
+        let mut rng = TestRng::for_test("printable");
+        for _ in 0..50 {
+            let out = s.generate(&mut rng);
+            assert!(out.len() <= 200);
+            assert!(out.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\r'));
+        }
+    }
+
+    #[test]
+    fn composed_quantifier() {
+        let s = string_regex(".*{0,15}").unwrap();
+        let mut rng = TestRng::for_test("composed");
+        for _ in 0..50 {
+            let out = s.generate(&mut rng);
+            assert!(out.len() <= COMPOSED_MAX);
+            assert!(out.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_repeat_and_literals() {
+        assert_eq!(gen_one("abc", "lit"), "abc");
+        assert_eq!(gen_one("a{3}", "rep"), "aaa");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(string_regex("[abc").is_err());
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Uniform sampling of typed values and ranges.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Types with a canonical uniform distribution.
+pub trait StandardUniform: Sized {
+    /// Sample one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample<R: RngCore>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, bound)` by widening multiply (Lemire's method,
+/// without the rejection step — the bias is ≤ 2⁻⁶⁴·bound, irrelevant for
+/// test data generation).
+#[inline]
+fn below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, width) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                if width > u128::from(u64::MAX) {
+                    // Full-width integer range: any word is uniform.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + below(rng, width as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}

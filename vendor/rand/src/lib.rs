@@ -1,0 +1,105 @@
+#![warn(missing_docs)]
+//! Offline, in-tree substitute for the `rand` crate.
+//!
+//! The build environment has no network access, so this vendor crate
+//! reimplements the small subset of the rand 0.9 API the workspace uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], [`Rng::random`],
+//! [`Rng::random_range`], and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the same
+//! stream as upstream `SmallRng`, but the workspace only requires
+//! determinism under a fixed seed, which this provides.
+
+pub mod rngs;
+pub mod seq;
+
+mod distr;
+
+pub use distr::{SampleRange, StandardUniform};
+
+/// A random number generator yielding 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Extension methods for producing typed values (the user-facing trait).
+pub trait Rng: RngCore + Sized {
+    /// A uniformly random value of `T` (full range for integers, `[0, 1)`
+    /// for floats).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_in(self)
+    }
+
+    /// A biased coin flip: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(0..10);
+            assert!(x < 10);
+            let y: u64 = rng.random_range(5..=9);
+            assert!((5..=9).contains(&y));
+            let z: i64 = rng.random_range(-3..=3);
+            assert!((-3..=3).contains(&z));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _: u32 = rng.random_range(5..5);
+    }
+}
