@@ -17,6 +17,7 @@
 //! simpson      E12 — the wrong-granularity (Simpson's paradox) warning
 //! significance E13 — permutation tests on discovered contexts (extension)
 //! cube-build   E14 — build-pipeline throughput; writes BENCH_cube_build.json
+//! cube-query   E15 — snapshot load + query serving; writes BENCH_cube_query.json
 //! all              — run everything
 //! ```
 //!
@@ -92,6 +93,10 @@ fn main() {
     }
     if run("cube-build") {
         cube_build_experiment();
+        matched = true;
+    }
+    if run("cube-query") {
+        cube_query_experiment();
         matched = true;
     }
     if !matched {
@@ -203,7 +208,7 @@ fn cube_sheet(scale: usize) {
 fn radial(scale: usize) {
     banner("E5 (Fig. 5 bottom)", "six segregation indexes per company sector");
     let db = italy_final_table(scale);
-    let explorer: CubeExplorer = CubeExplorer::new(&db);
+    let mut explorer: CubeExplorer = CubeExplorer::new(&db);
     let cube = CubeBuilder::new().min_support(1).build(&db).expect("cube builds");
     let coords = cube.coords_by_names(&[("gender", "F")], &[]).expect("gender=F exists");
     let breakdown = explorer.unit_breakdown(&coords);
@@ -667,6 +672,116 @@ fn cube_build_experiment() {
     println!("\nwrote BENCH_cube_build.json ({} workloads)", 3);
 }
 
+/// E15 — cube serving: snapshot cold-load time and point-query throughput
+/// through the three tiers (materialized store / LRU cache / explorer
+/// fallback), written to `BENCH_cube_query.json`.
+fn cube_query_experiment() {
+    banner("E15", "cube serving: snapshot load + query throughput (writes BENCH_cube_query.json)");
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let db = italy_final_table(4000);
+    let rows = db.len();
+    let minsup = (rows as u64 / 200).max(1);
+
+    // Serve from the closed materialization (the compressed store); the
+    // full cube defines the query universe, so a share of the workload
+    // exercises the explorer-fallback path.
+    let closed_builder =
+        CubeBuilder::new().min_support(minsup).materialize(Materialize::ClosedOnly).parallel(true);
+    let snapshot: CubeSnapshot =
+        CubeSnapshot::from_db(&db, &closed_builder).expect("snapshot builds");
+    let full = CubeBuilder::new()
+        .min_support(minsup)
+        .materialize(Materialize::AllFrequent)
+        .parallel(true)
+        .build(&db)
+        .expect("cube builds");
+    let bytes = snapshot.to_bytes();
+
+    let mut cold_load_s = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let loaded: CubeSnapshot = CubeSnapshot::from_bytes(&bytes).expect("snapshot loads");
+        cold_load_s = cold_load_s.min(t0.elapsed().as_secs_f64());
+        drop(loaded);
+    }
+
+    let workload: Vec<CellCoords> = full.cells().map(|(c, _)| c.clone()).collect();
+    let fallback_cells = workload.iter().filter(|c| snapshot.cube().get(c).is_none()).count();
+    let materialized: Vec<CellCoords> = snapshot.cube().cells().map(|(c, _)| c.clone()).collect();
+
+    // Every tier must agree with the in-memory full build, bit for bit,
+    // before any throughput number is recorded.
+    let mut check = CubeQueryEngine::new(snapshot.clone());
+    for (coords, v) in full.cells() {
+        assert_eq!(check.query(coords).expect("query succeeds"), *v, "tier divergence");
+    }
+
+    let qps = |engine: &mut CubeQueryEngine, coords: &[CellCoords]| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for c in coords {
+                std::hint::black_box(engine.query(c).expect("query succeeds"));
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        coords.len() as f64 / best
+    };
+
+    // Materialized-only lookups (pure hash-map tier).
+    let mut engine = CubeQueryEngine::new(snapshot.clone());
+    let materialized_qps = qps(&mut engine, &materialized);
+
+    // Full universe with the cache disabled: every miss recomputes.
+    let mut engine = CubeQueryEngine::with_cache_capacity(snapshot.clone(), 0);
+    let uncached_qps = qps(&mut engine, &workload);
+
+    // Full universe with the cache warm: misses come from the LRU. The hit
+    // rate is differenced over the timed region only, so the cold warm-up
+    // pass does not dilute it.
+    let mut engine = CubeQueryEngine::new(snapshot.clone());
+    for c in &workload {
+        engine.query(c).expect("warm-up succeeds");
+    }
+    let before = engine.stats();
+    let cached_qps = qps(&mut engine, &workload);
+    let after = engine.stats();
+    let warm_hit_rate =
+        1.0 - (after.explored - before.explored) as f64 / (after.total() - before.total()) as f64;
+
+    println!("rows: {rows}, min_support: {minsup}");
+    println!(
+        "store: {} closed cells of {} frequent ({} served by fallback)",
+        materialized.len(),
+        workload.len(),
+        fallback_cells
+    );
+    println!("snapshot: {} bytes, cold load {:.3} ms", bytes.len(), cold_load_s * 1e3);
+    println!("materialized lookups: {materialized_qps:.0}/s");
+    println!("fallback uncached:    {uncached_qps:.0}/s  (cache capacity 0)");
+    println!("fallback cached:      {cached_qps:.0}/s  (warm hit rate {warm_hit_rate:.3})");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"cube_query\",\n  \"generated_by\": \
+         \"cargo run -p scube-bench --release --bin exp -- cube-query\",\n  \
+         \"host_threads\": {host_threads},\n  \"dataset\": \"italy\",\n  \
+         \"companies\": 4000,\n  \"rows\": {rows},\n  \"min_support\": {minsup},\n  \
+         \"materialized_cells\": {mat},\n  \"query_universe\": {uni},\n  \
+         \"fallback_cells\": {fallback_cells},\n  \"snapshot_bytes\": {nbytes},\n  \
+         \"cold_load_s\": {cold_load_s:.6},\n  \"cold_load_cells_per_s\": {clps:.0},\n  \
+         \"materialized_qps\": {materialized_qps:.0},\n  \"uncached_qps\": {uncached_qps:.0},\n  \
+         \"cached_qps\": {cached_qps:.0},\n  \"cache_capacity\": {cap},\n  \
+         \"warm_hit_rate\": {warm_hit_rate:.4}\n}}\n",
+        mat = materialized.len(),
+        uni = workload.len(),
+        nbytes = bytes.len(),
+        clps = materialized.len() as f64 / cold_load_s,
+        cap = scube_cube::DEFAULT_CACHE_CAPACITY,
+    );
+    std::fs::write("BENCH_cube_query.json", &json).expect("write BENCH_cube_query.json");
+    println!("\nwrote BENCH_cube_query.json");
+}
+
 /// E13 (extension) — permutation significance of discovered contexts:
 /// separates real segregation from the small-unit bias of random
 /// allocation before reporting findings.
@@ -674,7 +789,7 @@ fn significance(scale: usize) {
     banner("E13 (extension)", "permutation tests on the top discovered contexts");
     let db = italy_final_table(scale);
     let cube = CubeBuilder::new().min_support(100).parallel(true).build(&db).expect("cube builds");
-    let explorer: CubeExplorer = CubeExplorer::new(&db);
+    let mut explorer: CubeExplorer = CubeExplorer::new(&db);
     let test = scube_segindex::PermutationTest { permutations: 499, seed: 7 };
     let mut table = TextTable::new().header(["context", "D", "null mean", "p-value"]).aligns(vec![
         Align::Left,

@@ -82,6 +82,24 @@ impl DenseBitmap {
 }
 
 impl Posting for DenseBitmap {
+    const SERIAL_TAG: u8 = 2;
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.words.len() as u32).to_le_bytes());
+        for &w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        let n = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+        let end = 4usize.checked_add(n.checked_mul(8)?)?;
+        let body = bytes.get(4..end)?;
+        let words: Vec<u64> =
+            body.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        Some((DenseBitmap { words }, end))
+    }
+
     fn full(n: u32) -> Self {
         let nbits = n as usize;
         let mut words = vec![u64::MAX; nbits / 64];

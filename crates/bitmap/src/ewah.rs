@@ -388,7 +388,55 @@ fn copy_rest(cur: &mut Cursor<'_>, out: &mut Appender) {
     }
 }
 
+/// Walk a compressed stream and return its cardinality, or `None` when the
+/// marker structure is inconsistent with the word count (corrupt input).
+fn validate_stream(words: &[u64]) -> Option<u64> {
+    let mut pos = 0usize;
+    let mut card = 0u64;
+    while pos < words.len() {
+        let (ones, run, lit) = decode_marker(words[pos]);
+        if ones {
+            card = card.checked_add(64u64.checked_mul(run)?)?;
+        }
+        let lit_start = pos + 1;
+        let lit_end = lit_start.checked_add(lit as usize)?;
+        if lit_end > words.len() {
+            return None;
+        }
+        for &w in &words[lit_start..lit_end] {
+            card += u64::from(w.count_ones());
+        }
+        pos = lit_end;
+    }
+    Some(card)
+}
+
 impl Posting for EwahBitmap {
+    const SERIAL_TAG: u8 = 1;
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.card.to_le_bytes());
+        out.extend_from_slice(&(self.words.len() as u32).to_le_bytes());
+        for &w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        let card = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+        let n = u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?) as usize;
+        let end = 12usize.checked_add(n.checked_mul(8)?)?;
+        let body = bytes.get(12..end)?;
+        let words: Vec<u64> =
+            body.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        // Reject streams whose markers overrun the buffer or whose declared
+        // cardinality disagrees with the words (bit flips, truncation).
+        if validate_stream(&words)? != card {
+            return None;
+        }
+        Some((EwahBitmap { words, card }, end))
+    }
+
     fn full(n: u32) -> Self {
         let nbits = u64::from(n);
         let mut a = Appender::new();

@@ -32,11 +32,51 @@ pub use tidvec::TidVec;
 /// Implementations must behave like an *infinite, zero-extended* bit vector:
 /// ids absent from the set read as 0 regardless of representation length.
 pub trait Posting: Sized + Clone {
+    /// One-byte representation tag stored in serialized headers, so a
+    /// reader can verify it decodes postings with the representation that
+    /// wrote them (see [`Posting::write_bytes`]).
+    const SERIAL_TAG: u8;
+
     /// Build from strictly increasing ids.
     ///
     /// # Panics
     /// Implementations may panic if `ids` is not strictly increasing.
     fn from_sorted(ids: &[u32]) -> Self;
+
+    /// Append the canonical little-endian binary encoding of this posting.
+    ///
+    /// The default encodes the sorted id list (`u32` count, then the ids);
+    /// representations with a native word layout override it so a snapshot
+    /// round-trip is a plain memory copy. Every encoding must satisfy
+    /// `read_bytes(write_bytes(p)) == p`, and writing the decoded posting
+    /// again must reproduce the original bytes exactly (stable round-trip).
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        let ids = self.to_vec();
+        out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+
+    /// Decode one posting from the front of `bytes`, returning it together
+    /// with the number of bytes consumed, or `None` on a truncated or
+    /// corrupt prefix.
+    fn read_bytes(bytes: &[u8]) -> Option<(Self, usize)> {
+        let n = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+        let end = 4usize.checked_add(n.checked_mul(4)?)?;
+        let body = bytes.get(4..end)?;
+        let mut ids = Vec::with_capacity(n);
+        let mut prev: Option<u32> = None;
+        for chunk in body.chunks_exact(4) {
+            let id = u32::from_le_bytes(chunk.try_into().ok()?);
+            if prev.is_some_and(|p| id <= p) {
+                return None;
+            }
+            prev = Some(id);
+            ids.push(id);
+        }
+        Some((Self::from_sorted(&ids), end))
+    }
 
     /// The full universe `{0, 1, …, n-1}`.
     ///
@@ -161,5 +201,78 @@ mod tests {
     fn full_intersects_like_identity() {
         let a = EwahBitmap::from_sorted(&[3, 64, 1000]);
         assert_eq!(EwahBitmap::full(2000).and(&a).to_vec(), vec![3, 64, 1000]);
+    }
+
+    #[test]
+    fn serial_tags_distinct() {
+        let tags = [EwahBitmap::SERIAL_TAG, DenseBitmap::SERIAL_TAG, TidVec::SERIAL_TAG];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_all_representations() {
+        fn check<P: Posting + PartialEq + std::fmt::Debug>() {
+            for ids in [
+                vec![],
+                vec![0u32],
+                vec![0, 1, 5, 63, 64, 65, 1000],
+                (0..500).collect::<Vec<u32>>(),
+                vec![7, 1_000_000, 50_000_000],
+            ] {
+                let p = P::from_sorted(&ids);
+                let mut bytes = vec![0xAB]; // leading junk the encoder must append after
+                p.write_bytes(&mut bytes);
+                let (decoded, consumed) = P::read_bytes(&bytes[1..]).expect("decodes");
+                assert_eq!(consumed, bytes.len() - 1, "{ids:?}: trailing bytes");
+                assert_eq!(decoded, p, "{ids:?}");
+                assert_eq!(decoded.to_vec(), ids, "{ids:?}");
+                // Stable round-trip: re-encoding reproduces the same bytes.
+                let mut again = Vec::new();
+                decoded.write_bytes(&mut again);
+                assert_eq!(again, bytes[1..], "{ids:?}: encoding not stable");
+            }
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+    }
+
+    #[test]
+    fn read_bytes_rejects_corrupt_input() {
+        // Truncated count / body.
+        assert!(EwahBitmap::read_bytes(&[1, 2]).is_none());
+        assert!(TidVec::read_bytes(&[5, 0, 0, 0, 1, 0]).is_none());
+        assert!(DenseBitmap::read_bytes(&[9, 0, 0, 0]).is_none());
+        // Non-increasing ids in the default (sorted-id) encoding.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&7u32.to_le_bytes());
+        bad.extend_from_slice(&7u32.to_le_bytes());
+        assert!(TidVec::read_bytes(&bad).is_none());
+        // EWAH: declared cardinality must match the decoded words.
+        let p = EwahBitmap::from_sorted(&[1, 2, 3]);
+        let mut bytes = Vec::new();
+        p.write_bytes(&mut bytes);
+        bytes[0] ^= 1; // flip the cardinality field
+        assert!(EwahBitmap::read_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn read_bytes_consumes_prefix_only() {
+        let a = TidVec::from_sorted(&[1, 9]);
+        let b = TidVec::from_sorted(&[4]);
+        let mut bytes = Vec::new();
+        a.write_bytes(&mut bytes);
+        let split = bytes.len();
+        b.write_bytes(&mut bytes);
+        let (da, na) = TidVec::read_bytes(&bytes).unwrap();
+        assert_eq!(na, split);
+        assert_eq!(da, a);
+        let (db, _) = TidVec::read_bytes(&bytes[na..]).unwrap();
+        assert_eq!(db, b);
     }
 }

@@ -31,6 +31,10 @@ impl TidVec {
 }
 
 impl Posting for TidVec {
+    // The default sorted-id encoding *is* this representation's native
+    // layout, so only the tag is needed.
+    const SERIAL_TAG: u8 = 3;
+
     fn full(n: u32) -> Self {
         TidVec { ids: (0..n).collect() }
     }

@@ -2,13 +2,18 @@
 //! as a CLI.
 //!
 //! ```text
-//! scube --individuals directors.csv --id id --sa gender,age --ca residence \
+//! scube [run] --individuals directors.csv --id id --sa gender,age --ca residence \
 //!       --groups companies.csv --group-id id --group-ca sector,region \
 //!       --membership boards.csv --ind-col director --grp-col company \
 //!       [--interval from,to] [--dates 1995,2000,2005] \
 //!       --units sector | cc | threshold:2 | stoc:0.5,0.5,2 \
 //!       [--side groups|individuals] [--min-shared 1] [--min-support 50] \
 //!       [--closed] [--parallel] --out reports/
+//!
+//! scube save  <same input flags> --snapshot cube.scube
+//! scube query --snapshot cube.scube [--sa gender=F] [--ca region=north]
+//!             [--breakdown] [--top 10 --rank dissimilarity --min-total 100]
+//!             [--slice gender=F,region=north]
 //! ```
 //!
 //! `--units` selects the scenario: a group attribute name (tabular units),
@@ -16,6 +21,11 @@
 //! clustering; `--side` picks which projection). Reports are written by the
 //! Visualizer into `--out`. Multi-valued CSV columns are declared with a
 //! `*` suffix, e.g. `--ca sectors*`.
+//!
+//! `save` runs the pipeline once and persists the cube **and** its vertical
+//! postings as a checksummed binary snapshot; `query` serves point / top-k /
+//! slice queries from such a snapshot without re-mining — non-materialized
+//! ⋆-combinations are recomputed exactly from the stored postings.
 
 use std::process::ExitCode;
 
@@ -23,12 +33,21 @@ use scube::prelude::*;
 use scube_common::ScubeError;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let verb = match args.first().map(String::as_str) {
+        Some("save") | Some("query") | Some("run") => args.remove(0),
+        _ => "run".to_string(),
+    };
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
         print!("{}", USAGE);
         return ExitCode::SUCCESS;
     }
-    match run(&args) {
+    let outcome = match verb.as_str() {
+        "save" => run_save(&args),
+        "query" => run_query(&args),
+        _ => run(&args),
+    };
+    match outcome {
         Ok(summary) => {
             println!("{summary}");
             ExitCode::SUCCESS
@@ -43,7 +62,20 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 scube — segregation discovery from relational and graph data
 
-required:
+verbs:
+  scube [run] ...        run the pipeline and write reports (--out)
+  scube save ...         run the pipeline and persist a cube snapshot
+                         (--snapshot <file>; input flags as for run)
+  scube query ...        serve queries from a saved snapshot:
+    --snapshot <file>    the snapshot to load (required)
+    --sa a=v,...         point query: minority coordinates (omit = *)
+    --ca a=v,...         point query: context coordinates (omit = *)
+    --breakdown          also print the per-unit drill-down of the cell
+    --top <k>            top-k materialized cells by --rank
+    --min-total <n>      top-k population filter [1]
+    --slice a=v,...      materialized cells fixing these coordinates
+
+required (run / save):
   --individuals <csv>    individuals input (one row per person)
   --id <col>             individuals id column
   --sa <c1,c2*,...>      segregation-attribute columns ('*' = multi-valued)
@@ -88,6 +120,16 @@ impl Flags {
 
     fn has(&self, name: &str) -> bool {
         self.args.iter().any(|a| a == name)
+    }
+
+    /// The value of an optional flag, erroring when the flag is present but
+    /// its value is missing — so `--sa` with nothing after it never
+    /// silently degrades to the `⋆` coordinate.
+    fn value_of(&self, name: &str) -> Result<Option<&str>> {
+        match (self.has(name), self.get(name)) {
+            (true, None) => Err(ScubeError::InvalidParameter(format!("flag {name} needs a value"))),
+            (_, v) => Ok(v),
+        }
     }
 }
 
@@ -142,9 +184,25 @@ fn parse_units(spec: &str, side: &str) -> Result<UnitStrategy> {
     })
 }
 
-fn run(args: &[String]) -> Result<String> {
-    let flags = Flags { args: args.to_vec() };
+/// Split a `a=v,b=w` coordinate list into `(attr, value)` pairs.
+fn parse_pairs(list: &str) -> Result<Vec<(String, String)>> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.split_once('=') {
+            Some((a, v)) if !a.is_empty() && !v.is_empty() => {
+                Ok((a.trim().to_string(), v.trim().to_string()))
+            }
+            _ => {
+                Err(ScubeError::InvalidParameter(format!("bad coordinate '{s}' (want attr=value)")))
+            }
+        })
+        .collect()
+}
 
+/// Build the configured wizard plus the snapshot dates from input flags
+/// (shared between `run` and `save`).
+fn wizard_from_flags(flags: &Flags) -> Result<(Wizard, Vec<i64>)> {
     let mut ind_spec = IndividualsSpec::new(flags.require("--id")?);
     for (name, multi) in columns(flags.require("--sa")?) {
         ind_spec.sa_columns.push((name, multi));
@@ -198,16 +256,6 @@ fn run(args: &[String]) -> Result<String> {
         .unwrap_or("1")
         .parse()
         .map_err(|_| ScubeError::InvalidParameter("bad --min-shared".into()))?;
-    let rank = flags
-        .get("--rank")
-        .map(|s| {
-            SegIndex::parse(s)
-                .ok_or_else(|| ScubeError::InvalidParameter(format!("unknown index '{s}'")))
-        })
-        .transpose()?
-        .unwrap_or(SegIndex::Dissimilarity);
-
-    let out_dir = flags.require("--out")?.to_string();
 
     let mut wizard = Wizard::new()
         .individuals_csv(flags.require("--individuals")?, ind_spec)
@@ -220,6 +268,25 @@ fn run(args: &[String]) -> Result<String> {
     if flags.has("--closed") {
         wizard = wizard.materialize(Materialize::ClosedOnly);
     }
+    Ok((wizard, dates))
+}
+
+fn parse_rank(flags: &Flags) -> Result<SegIndex> {
+    flags
+        .get("--rank")
+        .map(|s| {
+            SegIndex::parse(s)
+                .ok_or_else(|| ScubeError::InvalidParameter(format!("unknown index '{s}'")))
+        })
+        .transpose()
+        .map(|r| r.unwrap_or(SegIndex::Dissimilarity))
+}
+
+fn run(args: &[String]) -> Result<String> {
+    let flags = Flags { args: args.to_vec() };
+    let rank = parse_rank(&flags)?;
+    let out_dir = flags.require("--out")?.to_string();
+    let (wizard, dates) = wizard_from_flags(&flags)?;
 
     if dates.is_empty() {
         let result = wizard.run()?;
@@ -244,6 +311,142 @@ fn run(args: &[String]) -> Result<String> {
         }
         Ok(lines.join("\n"))
     }
+}
+
+/// `scube save`: run the pipeline once, persist cube + postings.
+fn run_save(args: &[String]) -> Result<String> {
+    let flags = Flags { args: args.to_vec() };
+    let path = flags.require("--snapshot")?.to_string();
+    let (wizard, dates) = wizard_from_flags(&flags)?;
+    if !dates.is_empty() {
+        return Err(ScubeError::InvalidParameter(
+            "save persists a single cube; drop --dates (snapshot each date separately)".into(),
+        ));
+    }
+    let result = wizard.run()?;
+    let snap = scube::snapshot(&result)?;
+    snap.save(&path)?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "wrote {path}: {} cells over {} units ({} rows, {bytes} bytes, {:?})",
+        result.cube.len(),
+        result.stats.n_units,
+        result.stats.n_rows,
+        result.timings.total()
+    ))
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "-".into())
+}
+
+fn fmt_values(v: &IndexValues) -> String {
+    format!(
+        "M={} T={} units={}  D={} G={} H={} xPx={} xPy={} A={}",
+        v.minority,
+        v.total,
+        v.num_units,
+        fmt_opt(v.dissimilarity),
+        fmt_opt(v.gini),
+        fmt_opt(v.information),
+        fmt_opt(v.isolation),
+        fmt_opt(v.interaction),
+        fmt_opt(v.atkinson),
+    )
+}
+
+/// `scube query`: serve point / top-k / slice queries from a snapshot.
+fn run_query(args: &[String]) -> Result<String> {
+    let flags = Flags { args: args.to_vec() };
+    let path = flags.require("--snapshot")?;
+    let load_start = std::time::Instant::now();
+    let snap: CubeSnapshot = CubeSnapshot::load(path)?;
+    let loaded_in = load_start.elapsed();
+    let mut engine = CubeQueryEngine::new(snap);
+    let mut out: Vec<String> = Vec::new();
+    let mut answered = false;
+
+    if flags.has("--breakdown") && !flags.has("--sa") && !flags.has("--ca") {
+        return Err(ScubeError::InvalidParameter(
+            "--breakdown drills into a point query; give it --sa and/or --ca".into(),
+        ));
+    }
+    if !flags.has("--top") {
+        for dependent in ["--rank", "--min-total"] {
+            if flags.has(dependent) {
+                return Err(ScubeError::InvalidParameter(format!(
+                    "{dependent} only applies to a --top query"
+                )));
+            }
+        }
+    }
+
+    if flags.has("--sa") || flags.has("--ca") {
+        answered = true;
+        let sa = parse_pairs(flags.value_of("--sa")?.unwrap_or(""))?;
+        let ca = parse_pairs(flags.value_of("--ca")?.unwrap_or(""))?;
+        let sa_refs: Vec<(&str, &str)> = sa.iter().map(|(a, v)| (&a[..], &v[..])).collect();
+        let ca_refs: Vec<(&str, &str)> = ca.iter().map(|(a, v)| (&a[..], &v[..])).collect();
+        let coords = engine.resolve(&sa_refs, &ca_refs)?;
+        let values = engine.query(&coords)?;
+        out.push(engine.cube().labels().describe(&coords));
+        out.push(format!("  {}", fmt_values(&values)));
+        if flags.has("--breakdown") {
+            let breakdown = engine.unit_breakdown(&coords);
+            let names = engine.cube().labels().unit_names.clone();
+            for (unit, m, t) in breakdown {
+                let name =
+                    names.get(unit as usize).cloned().unwrap_or_else(|| format!("unit{unit}"));
+                out.push(format!("  {name}: {m}/{t}"));
+            }
+        }
+    }
+
+    if let Some(k) = flags.value_of("--top")? {
+        answered = true;
+        let k: usize = k.parse().map_err(|_| ScubeError::InvalidParameter("bad --top".into()))?;
+        let min_total: u64 = flags
+            .value_of("--min-total")?
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| ScubeError::InvalidParameter("bad --min-total".into()))?;
+        let rank = parse_rank(&flags)?;
+        out.push(format!("top {k} by {rank} (population >= {min_total}):"));
+        for (coords, values, x) in engine.top_k(rank, k, min_total) {
+            out.push(format!(
+                "  {x:.4}  {}  (M={}, T={})",
+                engine.cube().labels().describe(&coords),
+                values.minority,
+                values.total
+            ));
+        }
+    }
+
+    if let Some(list) = flags.value_of("--slice")? {
+        answered = true;
+        let fixed = parse_pairs(list)?;
+        let fixed_refs: Vec<(&str, &str)> = fixed.iter().map(|(a, v)| (&a[..], &v[..])).collect();
+        out.push(format!("slice {list}:"));
+        for (coords, values) in engine.slice(&fixed_refs) {
+            out.push(format!(
+                "  {}  {}",
+                engine.cube().labels().describe(&coords),
+                fmt_values(&values)
+            ));
+        }
+    }
+
+    if !answered {
+        let cube = engine.cube();
+        out.push(format!(
+            "loaded {path} in {loaded_in:?}: {} cells over {} units (min_support {}); \
+             ask with --sa/--ca, --top, or --slice",
+            cube.len(),
+            cube.num_units(),
+            cube.min_support()
+        ));
+    }
+    Ok(out.join("\n"))
 }
 
 // Keep the argument helpers honest.
@@ -293,6 +496,96 @@ mod tests {
         }
         assert!(parse_units("stoc:1,2", "groups").is_err());
         assert!(parse_units("threshold:x", "groups").is_err());
+    }
+
+    #[test]
+    fn pairs_parse() {
+        assert_eq!(
+            parse_pairs("gender=F, region=north").unwrap(),
+            vec![
+                ("gender".to_string(), "F".to_string()),
+                ("region".to_string(), "north".to_string()),
+            ]
+        );
+        assert!(parse_pairs("").unwrap().is_empty());
+        assert!(parse_pairs("gender").is_err());
+        assert!(parse_pairs("=F").is_err());
+        assert!(parse_pairs("gender=").is_err());
+    }
+
+    #[test]
+    fn save_then_query_roundtrip() {
+        let dir = std::env::temp_dir().join("scube_cli_save_query");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).display().to_string();
+        std::fs::write(p("individuals.csv"), "id,gender\nd1,F\nd2,F\nd3,F\nd4,M\nd5,M\nd6,M\n")
+            .unwrap();
+        std::fs::write(p("groups.csv"), "id,sector\nc1,edu\nc2,agri\n").unwrap();
+        std::fs::write(p("membership.csv"), "dir,comp\nd1,c1\nd2,c1\nd3,c1\nd4,c2\nd5,c2\nd6,c2\n")
+            .unwrap();
+        let base = [
+            "--individuals",
+            &p("individuals.csv"),
+            "--id",
+            "id",
+            "--sa",
+            "gender",
+            "--groups",
+            &p("groups.csv"),
+            "--group-id",
+            "id",
+            "--membership",
+            &p("membership.csv"),
+            "--ind-col",
+            "dir",
+            "--grp-col",
+            "comp",
+            "--units",
+            "sector",
+            "--snapshot",
+            &p("cube.scube"),
+        ];
+        let args: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        let summary = run_save(&args).unwrap();
+        assert!(summary.contains("cells"), "{summary}");
+
+        // Point query: women are fully concentrated in the edu sector.
+        let q: Vec<String> = ["--snapshot", &p("cube.scube"), "--sa", "gender=F", "--breakdown"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let answer = run_query(&q).unwrap();
+        assert!(answer.contains("gender=F | *"), "{answer}");
+        assert!(answer.contains("D=1.0000"), "{answer}");
+        assert!(answer.contains("edu: 3/3"), "{answer}");
+
+        // Top-k and slice render without error.
+        let q: Vec<String> =
+            ["--snapshot", &p("cube.scube"), "--top", "3"].iter().map(|s| s.to_string()).collect();
+        assert!(run_query(&q).unwrap().contains("top 3 by dissimilarity"));
+        let q: Vec<String> = ["--snapshot", &p("cube.scube"), "--slice", "gender=F"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run_query(&q).unwrap().contains("gender=F"));
+
+        // A flag whose value went missing must error, not silently answer
+        // the apex cell; --breakdown without a point query must error too.
+        for bad in [
+            vec!["--snapshot", &p("cube.scube"), "--sa"],
+            vec!["--snapshot", &p("cube.scube"), "--top"],
+            vec!["--snapshot", &p("cube.scube"), "--slice"],
+            vec!["--snapshot", &p("cube.scube"), "--breakdown"],
+            vec!["--snapshot", &p("cube.scube"), "--rank", "gini"],
+            vec!["--snapshot", &p("cube.scube"), "--min-total", "5"],
+            // Role confusion: sector is a unit/context-side attribute.
+            vec!["--snapshot", &p("cube.scube"), "--ca", "gender=F"],
+        ] {
+            let q: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(run_query(&q).is_err(), "{q:?} should be rejected");
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

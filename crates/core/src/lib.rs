@@ -70,7 +70,7 @@ pub mod visualizer;
 pub mod wizard;
 
 pub use inputs::{Dataset, GroupsSpec, IndividualsSpec, MembershipSpec};
-pub use pipeline::{run, run_final_table, run_snapshots, ScubeConfig, ScubeResult};
+pub use pipeline::{run, run_final_table, run_snapshots, snapshot, ScubeConfig, ScubeResult};
 pub use table_builder::{build_final_table, final_table_relation, FinalTable, UnitStrategy};
 pub use unit_assignment::ClusteringMethod;
 pub use visualizer::Visualizer;
@@ -79,15 +79,17 @@ pub use wizard::Wizard;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::inputs::{Dataset, GroupsSpec, IndividualsSpec, MembershipSpec};
-    pub use crate::pipeline::{run, run_final_table, run_snapshots, ScubeConfig, ScubeResult};
+    pub use crate::pipeline::{
+        run, run_final_table, run_snapshots, snapshot, ScubeConfig, ScubeResult,
+    };
     pub use crate::table_builder::UnitStrategy;
     pub use crate::unit_assignment::ClusteringMethod;
     pub use crate::visualizer::Visualizer;
     pub use crate::wizard::Wizard;
     pub use scube_common::{Result, ScubeError};
     pub use scube_cube::{
-        fig1_grid, radial_series, top_contexts, CellCoords, CubeBuilder, CubeExplorer, Materialize,
-        SegregationCube,
+        fig1_grid, radial_series, top_contexts, CellCoords, CubeBuilder, CubeExplorer,
+        CubeQueryEngine, CubeSnapshot, Materialize, QueryStats, SegregationCube,
     };
     pub use scube_data::{FinalTableSpec, Relation};
     pub use scube_graph::{LabelPropParams, StocParams};

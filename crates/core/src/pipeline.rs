@@ -7,8 +7,8 @@
 use std::time::Instant;
 
 use scube_common::Result;
-use scube_cube::{CubeBuilder, SegregationCube};
-use scube_data::{FinalTableSpec, Relation, TransactionDb};
+use scube_cube::{CubeBuilder, CubeSnapshot, SegregationCube};
+use scube_data::{FinalTableSpec, Relation, TransactionDb, VerticalDb};
 use scube_graph::Clustering;
 
 use crate::inputs::Dataset;
@@ -52,6 +52,9 @@ pub struct ScubeResult {
     pub cube: SegregationCube,
     /// The encoded final table it was built from.
     pub final_table: TransactionDb,
+    /// The vertical (item → tidset) view the cube was mined from, kept so
+    /// [`snapshot`] and explorers never rebuild it.
+    pub vertical: VerticalDb,
     /// The clustering behind the units (graph scenarios).
     pub clustering: Option<Clustering>,
     /// Isolated projected nodes.
@@ -66,7 +69,8 @@ pub struct ScubeResult {
 pub fn run(dataset: &Dataset, config: &ScubeConfig) -> Result<ScubeResult> {
     let ft = build_final_table(dataset, &config.units, config.min_shared)?;
     let cube_start = Instant::now();
-    let cube = config.cube.build(&ft.db)?;
+    let vertical: VerticalDb = VerticalDb::build(&ft.db);
+    let cube = config.cube.build_from_vertical(&ft.db, &vertical)?;
     let mut timings = ft.timings;
     timings.cube = cube_start.elapsed();
     let stats = RunStats {
@@ -81,6 +85,7 @@ pub fn run(dataset: &Dataset, config: &ScubeConfig) -> Result<ScubeResult> {
     Ok(ScubeResult {
         cube,
         final_table: ft.db,
+        vertical,
         clustering: ft.clustering,
         isolated: ft.isolated,
         timings,
@@ -99,7 +104,8 @@ pub fn run_final_table(
     let db = spec.encode(table)?;
     let join = join_start.elapsed();
     let cube_start = Instant::now();
-    let built = cube.build(&db)?;
+    let vertical: VerticalDb = VerticalDb::build(&db);
+    let built = cube.build_from_vertical(&db, &vertical)?;
     let timings = StageTimings { join, cube: cube_start.elapsed(), ..Default::default() };
     let stats = RunStats {
         n_individuals: table.len(),
@@ -111,11 +117,20 @@ pub fn run_final_table(
     Ok(ScubeResult {
         cube: built,
         final_table: db,
+        vertical,
         clustering: None,
         isolated: Vec::new(),
         timings,
         stats,
     })
+}
+
+/// Package a finished run as a persistable [`CubeSnapshot`]: the cube plus
+/// the vertical postings it was mined from (already built by [`run`] — not
+/// reconstructed), ready for `scube save` /
+/// [`scube_cube::CubeQueryEngine`] serving without re-mining.
+pub fn snapshot(result: &ScubeResult) -> Result<CubeSnapshot> {
+    CubeSnapshot::new(result.cube.clone(), result.vertical.clone())
 }
 
 /// Temporal analysis: run the pipeline once per snapshot date.
@@ -246,6 +261,19 @@ mod tests {
             let v = r.cube.get_by_names(&[("gender", "F")], &[]).unwrap();
             assert_eq!(v.get(SegIndex::Dissimilarity), Some(1.0));
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_bytes() {
+        let d = dataset();
+        let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()));
+        let result = run(&d, &config).unwrap();
+        let snap = snapshot(&result).unwrap();
+        let loaded: CubeSnapshot = CubeSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(loaded.cube(), &result.cube);
+        let mut engine = scube_cube::CubeQueryEngine::new(loaded);
+        let coords = result.cube.coords_by_names(&[("gender", "F")], &[]).unwrap();
+        assert_eq!(engine.query(&coords).unwrap().dissimilarity, Some(1.0));
     }
 
     #[test]

@@ -8,7 +8,11 @@ use scube_data::{ItemId, TransactionDb};
 /// `ca` the context definition (items over context attributes); both are
 /// sorted ascending. An empty side means "all ⋆" (fully rolled up on that
 /// family of dimensions).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+///
+/// The derived `Ord` (lexicographic `sa`, then `ca`) is the **canonical
+/// cell order**: snapshot serialization sorts by it, so byte-identical
+/// snapshots depend on it staying field-ordered `sa` before `ca`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CellCoords {
     /// Sorted SA item ids (the minority subgroup `A`).
     pub sa: Vec<ItemId>,

@@ -8,10 +8,10 @@ use crate::coords::CellCoords;
 
 /// Self-describing label set copied from the source database, so a cube can
 /// be rendered (or serialized) after the database is gone.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CubeLabels {
     /// `item id → (attribute name, value, is_sa)`.
-    items: Vec<(String, String, bool)>,
+    pub(crate) items: Vec<(String, String, bool)>,
     /// Segregation attribute names, in schema order.
     pub sa_attrs: Vec<String>,
     /// Context attribute names, in schema order.
@@ -42,6 +42,16 @@ impl CubeLabels {
     /// Attribute name of an item.
     pub fn attr_of(&self, item: ItemId) -> &str {
         &self.items[item as usize].0
+    }
+
+    /// Whether an item is over a segregation attribute.
+    pub fn is_sa_item(&self, item: ItemId) -> bool {
+        self.items[item as usize].2
+    }
+
+    /// Number of labelled items.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
     }
 
     /// Value of an item.
@@ -87,7 +97,7 @@ impl CubeLabels {
 }
 
 /// A materialized segregation data cube.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegregationCube {
     cells: FxHashMap<CellCoords, IndexValues>,
     labels: CubeLabels,

@@ -11,22 +11,42 @@
 
 use scube_bitmap::{EwahBitmap, Posting};
 use scube_common::Result;
-use scube_data::{TransactionDb, VerticalDb};
+use scube_data::{TransactionDb, UnitScratch, VerticalDb};
 use scube_segindex::{IndexValues, UnitCounts, DEFAULT_ATKINSON_B};
 
 use crate::coords::CellCoords;
 
 /// Evaluates arbitrary cube cells directly from a vertical database.
+///
+/// Queries take `&mut self`: the explorer owns two reusable [`UnitScratch`]
+/// histograms (minority and population), so a query allocates no per-unit
+/// arrays and costs `O(Σ|tidset| + |touched units|)` rather than
+/// `O(n_units)` — the same fast path PR 1 gave the builder.
 #[derive(Debug)]
 pub struct CubeExplorer<P: Posting = EwahBitmap> {
     vertical: VerticalDb<P>,
     atkinson_b: f64,
+    minority_scratch: UnitScratch,
+    total_scratch: UnitScratch,
 }
 
 impl<P: Posting> CubeExplorer<P> {
     /// Build an explorer over a database.
     pub fn new(db: &TransactionDb) -> Self {
-        CubeExplorer { vertical: VerticalDb::build(db), atkinson_b: DEFAULT_ATKINSON_B }
+        Self::from_vertical(VerticalDb::build(db))
+    }
+
+    /// Wrap an existing vertical database (e.g. one loaded from a
+    /// [`crate::snapshot::CubeSnapshot`]) without touching the original
+    /// horizontal data.
+    pub fn from_vertical(vertical: VerticalDb<P>) -> Self {
+        let n_units = vertical.num_units();
+        CubeExplorer {
+            vertical,
+            atkinson_b: DEFAULT_ATKINSON_B,
+            minority_scratch: UnitScratch::new(n_units),
+            total_scratch: UnitScratch::new(n_units),
+        }
     }
 
     /// Override the Atkinson shape parameter.
@@ -40,29 +60,61 @@ impl<P: Posting> CubeExplorer<P> {
         &self.vertical
     }
 
+    /// Tidset of the context side (`Posting::full` when the side is `⋆`).
+    fn total_tidset(&self, coords: &CellCoords) -> P {
+        self.vertical.tidset(&coords.ca)
+    }
+
+    /// Tidset of `A ∪ B`, reusing the already-intersected context tidset
+    /// instead of re-intersecting the `ca` postings from scratch.
+    fn minority_tidset(&self, coords: &CellCoords, total_tids: &P) -> P {
+        if coords.ca.is_empty() {
+            return self.vertical.tidset(&coords.sa);
+        }
+        let mut acc = total_tids.and(self.vertical.posting(coords.sa[0]));
+        for &item in &coords.sa[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            acc = acc.and(self.vertical.posting(item));
+        }
+        acc
+    }
+
+    /// Fill both scratches and return the context's populated units as
+    /// ascending `(unit, total)` pairs; minority counts are read from
+    /// `self.minority_scratch` afterwards (zero when the SA side is `⋆`-free
+    /// of the unit).
+    fn fill_histograms(&mut self, coords: &CellCoords) -> Vec<(u32, u64)> {
+        let total_tids = self.total_tidset(coords);
+        self.vertical.unit_histogram_into(&total_tids, &mut self.total_scratch);
+        if coords.sa.is_empty() {
+            // `A = ⋆` ⇒ minority ≡ population; mirror it into the minority
+            // scratch so callers can read both uniformly.
+            self.vertical.unit_histogram_into(&total_tids, &mut self.minority_scratch);
+        } else {
+            let minority_tids = self.minority_tidset(coords, &total_tids);
+            self.vertical.unit_histogram_into(&minority_tids, &mut self.minority_scratch);
+        }
+        self.total_scratch.sorted_pairs()
+    }
+
     /// Evaluate the cell at `coords`, regardless of materialization.
-    pub fn values_at(&self, coords: &CellCoords) -> Result<IndexValues> {
-        let minority_tids = self.vertical.tidset(&coords.union());
-        let minority = self.vertical.unit_histogram(&minority_tids);
-        let total = self.vertical.unit_histogram(&self.vertical.tidset(&coords.ca));
-        let counts = UnitCounts::from_triples((0..self.vertical.num_units()).filter_map(|u| {
-            let t = total[u as usize];
-            (t > 0).then(|| (u, minority[u as usize], t))
-        }))?;
+    pub fn values_at(&mut self, coords: &CellCoords) -> Result<IndexValues> {
+        let total_pairs = self.fill_histograms(coords);
+        let minority = &self.minority_scratch;
+        let counts = UnitCounts::from_triples(
+            total_pairs.iter().map(|&(u, t)| (u, minority.count_of(u), t)),
+        )?;
         Ok(IndexValues::compute_with(&counts, self.atkinson_b))
     }
 
     /// Per-unit `(unit, minority, total)` drill-down of a cell — what the
     /// paper's pivot-table exploration shows when expanding a cube row.
-    pub fn unit_breakdown(&self, coords: &CellCoords) -> Vec<(u32, u64, u64)> {
-        let minority = self.vertical.unit_histogram(&self.vertical.tidset(&coords.union()));
-        let total = self.vertical.unit_histogram(&self.vertical.tidset(&coords.ca));
-        (0..self.vertical.num_units())
-            .filter_map(|u| {
-                let t = total[u as usize];
-                (t > 0).then(|| (u, minority[u as usize], t))
-            })
-            .collect()
+    pub fn unit_breakdown(&mut self, coords: &CellCoords) -> Vec<(u32, u64, u64)> {
+        let total_pairs = self.fill_histograms(coords);
+        let minority = &self.minority_scratch;
+        total_pairs.iter().map(|&(u, t)| (u, minority.count_of(u), t)).collect()
     }
 }
 
@@ -97,7 +149,7 @@ mod tests {
     fn explorer_matches_materialized_cells() {
         let db = db();
         let cube = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
-        let explorer: CubeExplorer = CubeExplorer::new(&db);
+        let mut explorer: CubeExplorer = CubeExplorer::new(&db);
         for (coords, values) in cube.cells() {
             let recomputed = explorer.values_at(coords).unwrap();
             assert_eq!(&recomputed, values, "cell {}", cube.labels().describe(coords));
@@ -109,7 +161,7 @@ mod tests {
         let db = db();
         let closed = CubeBuilder::new().materialize(Materialize::ClosedOnly).build(&db).unwrap();
         let full = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
-        let explorer: CubeExplorer = CubeExplorer::new(&db);
+        let mut explorer: CubeExplorer = CubeExplorer::new(&db);
         // Every full-cube cell — materialized in `closed` or not — must be
         // answerable by the explorer with identical values.
         for (coords, values) in full.cells() {
@@ -123,7 +175,7 @@ mod tests {
     fn unit_breakdown_sums_match() {
         let db = db();
         let cube = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
-        let explorer: CubeExplorer = CubeExplorer::new(&db);
+        let mut explorer: CubeExplorer = CubeExplorer::new(&db);
         for (coords, values) in cube.cells() {
             let breakdown = explorer.unit_breakdown(coords);
             let m: u64 = breakdown.iter().map(|&(_, m, _)| m).sum();

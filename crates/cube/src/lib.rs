@@ -24,15 +24,25 @@
 //!   the sense that a non-closed cell's minority statistics equal those of
 //!   its closure (the [`explore::CubeExplorer`] resolves any coordinates on
 //!   demand), while storing far fewer cells.
+//!
+//! The cube also *serves*: [`snapshot::CubeSnapshot`] persists a built cube
+//! plus its vertical postings in a versioned, checksummed binary format, and
+//! [`query::CubeQueryEngine`] answers point / top-k / slice / dice queries
+//! from the materialized store with a cached explorer fallback for
+//! non-materialized ⋆-combinations.
 
 pub mod builder;
 pub mod coords;
 pub mod cube;
 pub mod explore;
+pub mod query;
 pub mod report;
+pub mod snapshot;
 
 pub use builder::{CubeBuilder, CubeConfig, Materialize};
 pub use coords::CellCoords;
 pub use cube::{CubeLabels, SegregationCube};
 pub use explore::CubeExplorer;
+pub use query::{CubeQueryEngine, QueryStats, RankedCells, DEFAULT_CACHE_CAPACITY};
 pub use report::{fig1_grid, radial_series, to_csv, top_contexts};
+pub use snapshot::CubeSnapshot;

@@ -1,0 +1,491 @@
+//! The cube serving layer: cached point, top-k, and slice/dice queries.
+//!
+//! A [`CubeQueryEngine`] answers any cell the paper's pivot-table UI can ask
+//! for, in three tiers:
+//!
+//! 1. **materialized** — exact hits in the [`SegregationCube`] store are a
+//!    hash lookup;
+//! 2. **cached** — non-materialized ⋆-combinations already computed this
+//!    session come from a bounded LRU cell cache;
+//! 3. **explored** — everything else is recomputed exactly from the
+//!    [`VerticalDb`] postings by the [`CubeExplorer`] and inserted into the
+//!    cache.
+//!
+//! All three tiers return bit-identical values (tested in
+//! `tests/query_engine_equivalence.rs`); the tiers only change latency.
+//! Engines are built either in memory ([`CubeQueryEngine::from_db`]) or
+//! from a loaded [`CubeSnapshot`], which is the `scube save` / `scube
+//! query` serving path.
+
+use scube_bitmap::{EwahBitmap, Posting};
+use scube_common::{FxHashMap, Result, ScubeError};
+use scube_data::TransactionDb;
+use scube_segindex::{IndexValues, SegIndex};
+
+use crate::builder::CubeBuilder;
+use crate::coords::CellCoords;
+use crate::cube::SegregationCube;
+use crate::explore::CubeExplorer;
+use crate::snapshot::CubeSnapshot;
+
+/// Default cell-cache capacity: generous for interactive sessions, small
+/// next to any real cube.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Cells ranked by one index, descending: `(coords, values, index value)`.
+pub type RankedCells = Vec<(CellCoords, IndexValues, f64)>;
+
+/// Cumulative counters of which tier answered each point query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Answered from the materialized cell store.
+    pub materialized: u64,
+    /// Answered from the LRU cell cache.
+    pub cached: u64,
+    /// Recomputed from postings by the explorer.
+    pub explored: u64,
+}
+
+impl QueryStats {
+    /// Total point queries served.
+    pub fn total(&self) -> u64 {
+        self.materialized + self.cached + self.explored
+    }
+}
+
+/// Serves cube queries from a materialized store with a cached explorer
+/// fallback (see the module docs).
+#[derive(Debug)]
+pub struct CubeQueryEngine<P: Posting = EwahBitmap> {
+    cube: SegregationCube,
+    explorer: CubeExplorer<P>,
+    cache: LruCache<CellCoords, IndexValues>,
+    stats: QueryStats,
+}
+
+impl<P: Posting> CubeQueryEngine<P> {
+    /// Serve from a snapshot (the persistent path) with the default cache.
+    pub fn new(snapshot: CubeSnapshot<P>) -> Self {
+        Self::with_cache_capacity(snapshot, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Serve from a snapshot with an explicit cell-cache capacity
+    /// (`0` disables caching: every fallback recomputes).
+    pub fn with_cache_capacity(snapshot: CubeSnapshot<P>, capacity: usize) -> Self {
+        let (cube, vertical) = snapshot.into_parts();
+        CubeQueryEngine {
+            cube,
+            explorer: CubeExplorer::from_vertical(vertical),
+            cache: LruCache::new(capacity),
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Build cube and engine straight from a transaction database (the
+    /// in-memory path; equivalent to snapshotting and serving immediately).
+    pub fn from_db(db: &TransactionDb, builder: &CubeBuilder) -> Result<Self>
+    where
+        P: Send + Sync,
+    {
+        Ok(Self::new(CubeSnapshot::from_db(db, builder)?))
+    }
+
+    /// The materialized cube.
+    pub fn cube(&self) -> &SegregationCube {
+        &self.cube
+    }
+
+    /// Which tier answered each query so far.
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Point lookup: materialized store, then LRU cache, then exact
+    /// recomputation from postings.
+    pub fn query(&mut self, coords: &CellCoords) -> Result<IndexValues> {
+        if let Some(v) = self.cube.get(coords) {
+            self.stats.materialized += 1;
+            return Ok(*v);
+        }
+        if let Some(v) = self.cache.get(coords) {
+            self.stats.cached += 1;
+            return Ok(*v);
+        }
+        let v = self.explorer.values_at(coords)?;
+        self.stats.explored += 1;
+        self.cache.insert(coords.clone(), v);
+        Ok(v)
+    }
+
+    /// Point lookup by attribute/value names, e.g.
+    /// `query_by_names(&[("sex", "F")], &[("region", "north")])`.
+    pub fn query_by_names(
+        &mut self,
+        sa: &[(&str, &str)],
+        ca: &[(&str, &str)],
+    ) -> Result<IndexValues> {
+        let coords = self.resolve(sa, ca)?;
+        self.query(&coords)
+    }
+
+    /// Resolve attribute/value names against the cube labels, enforcing
+    /// attribute roles: a context attribute on the minority side (or vice
+    /// versa) would silently address a cell outside the cube's coordinate
+    /// space, so it is an error rather than a plausible-looking answer.
+    pub fn resolve(&self, sa: &[(&str, &str)], ca: &[(&str, &str)]) -> Result<CellCoords> {
+        let labels = self.cube.labels();
+        let lookup = |pairs: &[(&str, &str)], want_sa: bool| -> Result<Vec<_>> {
+            pairs
+                .iter()
+                .map(|&(a, v)| {
+                    let item = labels.find_item(a, v).ok_or_else(|| {
+                        ScubeError::InvalidParameter(format!("unknown coordinate {a}={v}"))
+                    })?;
+                    if labels.is_sa_item(item) != want_sa {
+                        let (is, should) = if want_sa {
+                            ("a context attribute", "--ca")
+                        } else {
+                            ("a segregation attribute", "--sa")
+                        };
+                        return Err(ScubeError::InvalidParameter(format!(
+                            "{a} is {is}; move {a}={v} to the {should} side"
+                        )));
+                    }
+                    Ok(item)
+                })
+                .collect()
+        };
+        Ok(CellCoords::new(lookup(sa, true)?, lookup(ca, false)?))
+    }
+
+    /// Per-unit `(unit, minority, total)` drill-down of any cell.
+    pub fn unit_breakdown(&mut self, coords: &CellCoords) -> Vec<(u32, u64, u64)> {
+        self.explorer.unit_breakdown(coords)
+    }
+
+    /// Top-k materialized cells by one index (descending), restricted to
+    /// real minorities (non-⋆ SA side) with population at least `min_total`.
+    /// `k = 0` returns all matches.
+    pub fn top_k(&self, index: SegIndex, k: usize, min_total: u64) -> RankedCells {
+        self.top_k_batch(&[index], k, min_total).remove(0).1
+    }
+
+    /// Batched top-k: one pass over the materialized store ranking every
+    /// requested index at once — what a dashboard refresh issues.
+    pub fn top_k_batch(
+        &self,
+        indexes: &[SegIndex],
+        k: usize,
+        min_total: u64,
+    ) -> Vec<(SegIndex, RankedCells)> {
+        let mut per_index: Vec<(SegIndex, RankedCells)> =
+            indexes.iter().map(|&ix| (ix, Vec::new())).collect();
+        for (coords, v) in self.cube.cells() {
+            if coords.is_sa_star() || v.total < min_total {
+                continue;
+            }
+            for (ix, rows) in &mut per_index {
+                if let Some(x) = v.get(*ix) {
+                    rows.push((coords.clone(), *v, x));
+                }
+            }
+        }
+        for (_, rows) in &mut per_index {
+            rows.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.union().cmp(&b.0.union())));
+            if k > 0 {
+                rows.truncate(k);
+            }
+        }
+        per_index
+    }
+
+    /// Slice: materialized cells fixing all the given `(attr, value)`
+    /// coordinates, in canonical (sa, ca) order.
+    pub fn slice(&self, fixed: &[(&str, &str)]) -> Vec<(CellCoords, IndexValues)> {
+        let mut rows: Vec<(CellCoords, IndexValues)> =
+            self.cube.slice(fixed).map(|(c, v)| (c.clone(), *v)).collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Dice: the materialized sub-cube over the listed attributes only, in
+    /// canonical (sa, ca) order.
+    pub fn dice(&self, attrs: &[&str]) -> Vec<(CellCoords, IndexValues)> {
+        let mut rows: Vec<(CellCoords, IndexValues)> =
+            self.cube.cells_over(attrs).map(|(c, v)| (c.clone(), *v)).collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct LruEntry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded least-recently-used cache over a slab + intrusive list.
+///
+/// `get` and `insert` are O(1); eviction reuses the tail slot, so once warm
+/// the cache never allocates. Capacity 0 disables it entirely.
+#[derive(Debug)]
+struct LruCache<K, V> {
+    map: FxHashMap<K, usize>,
+    entries: Vec<LruEntry<K, V>>,
+    capacity: usize,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            map: scube_common::hash::fx_map_with_capacity(capacity.min(1 << 20)),
+            entries: Vec::new(),
+            capacity,
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Unlink `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.entries[i].prev, self.entries[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.entries[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entries[n].prev = prev,
+        }
+    }
+
+    /// Link `i` at the head (most recent).
+    fn link_front(&mut self, i: usize) {
+        self.entries[i].prev = NIL;
+        self.entries[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.entries[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        self.touch(i);
+        Some(&self.entries[i].value)
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.entries[i].value = value;
+            self.touch(i);
+            return;
+        }
+        let i = if self.entries.len() < self.capacity {
+            self.entries.push(LruEntry { key: key.clone(), value, prev: NIL, next: NIL });
+            self.entries.len() - 1
+        } else {
+            // Evict the least-recently-used entry and reuse its slot.
+            let i = self.tail;
+            self.unlink(i);
+            self.map.remove(&self.entries[i].key);
+            self.entries[i].key = key.clone();
+            self.entries[i].value = value;
+            i
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Materialize;
+    use scube_data::{Attribute, Schema, TransactionDbBuilder};
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // 1 now most recent
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_update_in_place() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_capacity_zero_disabled() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn lru_single_slot() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(&20));
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn lru_eviction_order_under_churn() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for k in 0..10 {
+            c.insert(k, k * 10);
+        }
+        // Only the last three survive.
+        for k in 0..7 {
+            assert_eq!(c.get(&k), None, "{k}");
+        }
+        for k in 7..10 {
+            assert_eq!(c.get(&k), Some(&(k * 10)), "{k}");
+        }
+    }
+
+    fn db() -> TransactionDb {
+        let schema =
+            Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
+                .unwrap();
+        let mut b = TransactionDbBuilder::new(schema);
+        let rows = [
+            ("F", "young", "north", "u0"),
+            ("F", "young", "north", "u0"),
+            ("M", "old", "north", "u0"),
+            ("F", "old", "south", "u1"),
+            ("M", "young", "south", "u1"),
+            ("M", "old", "south", "u1"),
+            ("F", "young", "south", "u0"),
+            ("M", "young", "north", "u1"),
+        ];
+        for (s, a, r, u) in rows {
+            b.add_row(&[vec![s], vec![a], vec![r]], u).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn tiers_agree_and_stats_track() {
+        let db = db();
+        let full = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
+        // Closed-only store: some full-cube cells must fall back.
+        let mut engine: CubeQueryEngine =
+            CubeQueryEngine::from_db(&db, &CubeBuilder::new().materialize(Materialize::ClosedOnly))
+                .unwrap();
+        for (coords, v) in full.cells() {
+            assert_eq!(&engine.query(coords).unwrap(), v, "cold {coords:?}");
+        }
+        let cold = engine.stats();
+        assert!(cold.explored > 0, "closed store must force fallbacks");
+        assert!(cold.materialized > 0);
+        // Second pass: every fallback now comes from the cache, identically.
+        for (coords, v) in full.cells() {
+            assert_eq!(&engine.query(coords).unwrap(), v, "warm {coords:?}");
+        }
+        let warm = engine.stats();
+        assert_eq!(warm.explored, cold.explored, "no recomputation on the warm pass");
+        assert_eq!(warm.cached, cold.explored);
+        assert_eq!(warm.total(), 2 * cold.total());
+    }
+
+    #[test]
+    fn query_by_names_and_errors() {
+        let db = db();
+        let mut engine: CubeQueryEngine =
+            CubeQueryEngine::from_db(&db, &CubeBuilder::new()).unwrap();
+        let v = engine.query_by_names(&[("sex", "F")], &[("region", "north")]).unwrap();
+        assert!(v.total > 0);
+        assert!(engine.query_by_names(&[("sex", "X")], &[]).is_err());
+        assert!(engine.query_by_names(&[], &[("nope", "north")]).is_err());
+        // Role confusion is an error, not a plausible-looking answer.
+        assert!(engine.query_by_names(&[("region", "north")], &[]).is_err());
+        assert!(engine.query_by_names(&[], &[("sex", "F")]).is_err());
+    }
+
+    #[test]
+    fn top_k_matches_report() {
+        let db = db();
+        let engine: CubeQueryEngine = CubeQueryEngine::from_db(
+            &db,
+            &CubeBuilder::new().materialize(Materialize::AllFrequent),
+        )
+        .unwrap();
+        let top = engine.top_k(SegIndex::Dissimilarity, 5, 1);
+        let reference = crate::report::top_contexts(engine.cube(), SegIndex::Dissimilarity, 5, 1);
+        assert_eq!(top.len(), reference.len());
+        for ((c1, v1, x1), (c2, v2, x2)) in top.iter().zip(reference) {
+            assert_eq!(c1, c2);
+            assert_eq!(v1, v2);
+            assert_eq!(x1, &x2);
+        }
+        // Batched form agrees with the single-index form.
+        let batch = engine.top_k_batch(&[SegIndex::Dissimilarity, SegIndex::Gini], 5, 1);
+        assert_eq!(batch[0].1, top);
+        assert_eq!(batch[1].1, engine.top_k(SegIndex::Gini, 5, 1));
+    }
+
+    #[test]
+    fn slice_and_dice_shapes() {
+        let db = db();
+        let engine: CubeQueryEngine = CubeQueryEngine::from_db(
+            &db,
+            &CubeBuilder::new().materialize(Materialize::AllFrequent),
+        )
+        .unwrap();
+        let sliced = engine.slice(&[("region", "north")]);
+        assert!(!sliced.is_empty());
+        for (coords, _) in &sliced {
+            let values = engine.cube().labels().attr_values(coords, "region");
+            assert_eq!(values, vec!["north"]);
+        }
+        let diced = engine.dice(&["sex", "region"]);
+        assert!(!diced.is_empty());
+        for (coords, _) in &diced {
+            assert!(engine.cube().labels().attr_values(coords, "age").is_empty());
+        }
+        // Canonical order: sorted by (sa, ca).
+        for w in diced.windows(2) {
+            assert!((&w[0].0.sa, &w[0].0.ca) < (&w[1].0.sa, &w[1].0.ca));
+        }
+    }
+}

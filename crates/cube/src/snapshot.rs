@@ -1,0 +1,568 @@
+//! Versioned binary snapshots of a built cube (`scube-cube::snapshot`).
+//!
+//! SCube's whole point is *interactive* exploration of a materialized cube,
+//! but a cube used to die with the process: every session re-mined and
+//! re-built. A [`CubeSnapshot`] persists everything a serving session needs
+//! — the [`SegregationCube`] (cells + [`crate::cube::CubeLabels`]) *and* the
+//! [`VerticalDb`] postings behind it — so `load` restores both exact lookups
+//! and the explorer fallback for non-materialized ⋆-combinations without
+//! re-mining anything.
+//!
+//! ## Format (version 1)
+//!
+//! All integers are little-endian; strings are `u32` length + UTF-8 bytes.
+//!
+//! ```text
+//! [0..8)    magic  "SCUBESNP"
+//! [8..12)   format version (u32, currently 1)
+//! [12]      posting representation tag (Posting::SERIAL_TAG)
+//! [13..21)  FxHash checksum (u64) of the payload
+//! [21..]    payload:
+//!   labels     n_items × (attr, value, is_sa), sa_attrs, ca_attrs, unit_names
+//!   cube meta  n_units (u32), min_support (u64)
+//!   cells      n_cells × (sa ids, ca ids, IndexValues)   — sorted by (sa, ca)
+//!   vertical   n_transactions, n_units, tid → unit map, item postings
+//! ```
+//!
+//! Cells are written in sorted coordinate order and postings in item order,
+//! so serialization is *canonical*: saving, loading, and saving again
+//! reproduces identical bytes (property-tested in
+//! `tests/snapshot_roundtrip.rs`). The checksum rejects bit rot and
+//! truncation before any value is trusted; posting payloads are validated
+//! structurally on top of that (see [`Posting::read_bytes`]).
+
+use std::path::Path;
+
+use scube_bitmap::{EwahBitmap, Posting};
+use scube_common::{FxHashMap, Result, ScubeError};
+use scube_data::{ItemId, TransactionDb, VerticalDb};
+use scube_segindex::IndexValues;
+
+use crate::builder::CubeBuilder;
+use crate::coords::CellCoords;
+use crate::cube::{CubeLabels, SegregationCube};
+
+const MAGIC: &[u8; 8] = b"SCUBESNP";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 1 + 8;
+/// Ceiling on length-field-driven preallocations while decoding: the
+/// checksum is not cryptographic, so a crafted file could otherwise declare
+/// a 4-billion-element vector and abort the process on allocation instead
+/// of returning a decode error. Vectors still grow to any genuine size.
+const PREALLOC_CAP: usize = 1 << 16;
+
+/// A persistable pairing of a built cube with the vertical database it was
+/// built from — everything the query engine needs to serve both
+/// materialized and non-materialized cells.
+#[derive(Debug, Clone)]
+pub struct CubeSnapshot<P: Posting = EwahBitmap> {
+    cube: SegregationCube,
+    vertical: VerticalDb<P>,
+}
+
+impl<P: Posting> CubeSnapshot<P> {
+    /// Pair a cube with its vertical database.
+    ///
+    /// Fails when the two disagree on shape (unit count, item count): a
+    /// mismatched pairing would serve materialized lookups from one dataset
+    /// and explorer fallbacks from another.
+    pub fn new(cube: SegregationCube, vertical: VerticalDb<P>) -> Result<Self> {
+        if cube.num_units() != vertical.num_units() {
+            return Err(ScubeError::Inconsistent(format!(
+                "snapshot: cube has {} units but vertical database has {}",
+                cube.num_units(),
+                vertical.num_units()
+            )));
+        }
+        if cube.labels().num_items() != vertical.num_items() {
+            return Err(ScubeError::Inconsistent(format!(
+                "snapshot: cube labels {} items but vertical database has {}",
+                cube.labels().num_items(),
+                vertical.num_items()
+            )));
+        }
+        if cube.labels().unit_names.len() != cube.num_units() as usize {
+            return Err(ScubeError::Inconsistent(format!(
+                "snapshot: {} unit names for {} units",
+                cube.labels().unit_names.len(),
+                cube.num_units()
+            )));
+        }
+        Ok(CubeSnapshot { cube, vertical })
+    }
+
+    /// Build both halves from a transaction database in one pass: the
+    /// vertical database is constructed once and shared with the builder.
+    pub fn from_db(db: &TransactionDb, builder: &CubeBuilder) -> Result<Self>
+    where
+        P: Send + Sync,
+    {
+        let vertical: VerticalDb<P> = VerticalDb::build(db);
+        let cube = builder.build_from_vertical(db, &vertical)?;
+        CubeSnapshot::new(cube, vertical)
+    }
+
+    /// The materialized cube.
+    pub fn cube(&self) -> &SegregationCube {
+        &self.cube
+    }
+
+    /// The vertical database (item postings + tid → unit map).
+    pub fn vertical(&self) -> &VerticalDb<P> {
+        &self.vertical
+    }
+
+    /// Take ownership of both halves.
+    pub fn into_parts(self) -> (SegregationCube, VerticalDb<P>) {
+        (self.cube, self.vertical)
+    }
+
+    /// Serialize into the version-1 binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let labels = self.cube.labels();
+
+        // Labels.
+        put_u32(&mut payload, labels.num_items() as u32);
+        for item in 0..labels.num_items() as ItemId {
+            put_str(&mut payload, labels.attr_of(item));
+            put_str(&mut payload, labels.value_of(item));
+            payload.push(labels.is_sa_item(item) as u8);
+        }
+        put_str_list(&mut payload, &labels.sa_attrs);
+        put_str_list(&mut payload, &labels.ca_attrs);
+        put_str_list(&mut payload, &labels.unit_names);
+
+        // Cube metadata.
+        put_u32(&mut payload, self.cube.num_units());
+        put_u64(&mut payload, self.cube.min_support());
+
+        // Cells in canonical (sa, ca) order.
+        let mut cells: Vec<(&CellCoords, &IndexValues)> = self.cube.cells().collect();
+        cells.sort_by(|a, b| a.0.cmp(b.0));
+        put_u32(&mut payload, cells.len() as u32);
+        for (coords, values) in cells {
+            put_ids(&mut payload, &coords.sa);
+            put_ids(&mut payload, &coords.ca);
+            put_values(&mut payload, values);
+        }
+
+        // Vertical database.
+        put_u32(&mut payload, self.vertical.num_transactions());
+        put_u32(&mut payload, self.vertical.num_units());
+        for &u in self.vertical.units() {
+            put_u32(&mut payload, u);
+        }
+        put_u32(&mut payload, self.vertical.num_items() as u32);
+        for posting in self.vertical.postings() {
+            posting.write_bytes(&mut payload);
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(P::SERIAL_TAG);
+        out.extend_from_slice(&checksum(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserialize a snapshot, verifying magic, version, representation
+    /// tag, and checksum before trusting any field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < HEADER_LEN {
+            return Err(corrupt("shorter than the fixed header"));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(corrupt("bad magic (not a scube snapshot)"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(corrupt(&format!("unsupported format version {version} (want {VERSION})")));
+        }
+        let tag = bytes[12];
+        if tag != P::SERIAL_TAG {
+            return Err(corrupt(&format!(
+                "posting representation tag {tag} does not match the requested \
+                 representation (tag {})",
+                P::SERIAL_TAG
+            )));
+        }
+        let stored_sum = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes"));
+        let payload = &bytes[HEADER_LEN..];
+        if checksum(payload) != stored_sum {
+            return Err(corrupt("checksum mismatch (truncated or corrupted payload)"));
+        }
+
+        let mut r = Reader { bytes: payload, pos: 0 };
+
+        // Labels. Like every length below, the declared count only seeds a
+        // *capped* preallocation: a crafted length cannot force a huge
+        // up-front allocation — the loop hits end-of-data first.
+        let n_items = r.u32()? as usize;
+        let mut items = Vec::with_capacity(n_items.min(PREALLOC_CAP));
+        for _ in 0..n_items {
+            let attr = r.str()?;
+            let value = r.str()?;
+            let is_sa = r.u8()? != 0;
+            items.push((attr, value, is_sa));
+        }
+        let labels = CubeLabels {
+            items,
+            sa_attrs: r.str_list()?,
+            ca_attrs: r.str_list()?,
+            unit_names: r.str_list()?,
+        };
+
+        // Cube metadata.
+        let n_units = r.u32()?;
+        let min_support = r.u64()?;
+
+        // Cells.
+        let n_cells = r.u32()? as usize;
+        let mut cells: FxHashMap<CellCoords, IndexValues> =
+            scube_common::hash::fx_map_with_capacity(n_cells.min(PREALLOC_CAP));
+        for _ in 0..n_cells {
+            let sa = r.ids(n_items)?;
+            let ca = r.ids(n_items)?;
+            let values = r.values()?;
+            if cells.insert(CellCoords { sa, ca }, values).is_some() {
+                return Err(corrupt("duplicate cell coordinates"));
+            }
+        }
+        let cube = SegregationCube::new(cells, labels, n_units, min_support);
+
+        // Vertical database.
+        let n_transactions = r.u32()?;
+        let v_units = r.u32()?;
+        let mut unit_of = Vec::with_capacity((n_transactions as usize).min(PREALLOC_CAP));
+        for _ in 0..n_transactions {
+            unit_of.push(r.u32()?);
+        }
+        let n_postings = r.u32()? as usize;
+        if n_postings != n_items {
+            return Err(corrupt("posting count does not match item count"));
+        }
+        let mut postings = Vec::with_capacity(n_postings.min(PREALLOC_CAP));
+        for _ in 0..n_postings {
+            let (posting, consumed) = P::read_bytes(&r.bytes[r.pos..])
+                .ok_or_else(|| corrupt("malformed posting payload"))?;
+            r.pos += consumed;
+            postings.push(posting);
+        }
+        if r.pos != r.bytes.len() {
+            return Err(corrupt("trailing bytes after the last posting"));
+        }
+        let vertical = VerticalDb::from_parts(postings, n_transactions, unit_of, v_units)
+            .ok_or_else(|| corrupt("inconsistent vertical database parts"))?;
+
+        CubeSnapshot::new(cube, vertical)
+    }
+
+    /// Write the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| ScubeError::io_at(path.display().to_string(), e))
+    }
+
+    /// Load a snapshot from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes =
+            std::fs::read(path).map_err(|e| ScubeError::io_at(path.display().to_string(), e))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// FxHash over the whole payload — fast, deterministic, and plenty for
+/// detecting truncation and bit rot (this is an integrity check, not an
+/// authenticity one).
+fn checksum(payload: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = scube_common::hash::FxHasher::default();
+    h.write(payload);
+    // Fold the length in so a truncated all-zero tail cannot collide.
+    h.write_u64(payload.len() as u64);
+    h.finish()
+}
+
+fn corrupt(msg: &str) -> ScubeError {
+    ScubeError::Inconsistent(format!("snapshot: {msg}"))
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_str_list(out: &mut Vec<u8>, list: &[String]) {
+    put_u32(out, list.len() as u32);
+    for s in list {
+        put_str(out, s);
+    }
+}
+
+fn put_ids(out: &mut Vec<u8>, ids: &[ItemId]) {
+    put_u32(out, ids.len() as u32);
+    for &id in ids {
+        put_u32(out, id);
+    }
+}
+
+fn put_f64_opt(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, v: &IndexValues) {
+    put_f64_opt(out, v.dissimilarity);
+    put_f64_opt(out, v.gini);
+    put_f64_opt(out, v.information);
+    put_f64_opt(out, v.isolation);
+    put_f64_opt(out, v.interaction);
+    put_f64_opt(out, v.atkinson);
+    put_u64(out, v.minority);
+    put_u64(out, v.total);
+    put_u32(out, v.num_units);
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| corrupt("length overflow"))?;
+        let s = self.bytes.get(self.pos..end).ok_or_else(|| corrupt("unexpected end of data"))?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid UTF-8 in string"))
+    }
+
+    fn str_list(&mut self) -> Result<Vec<String>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(PREALLOC_CAP));
+        for _ in 0..n {
+            out.push(self.str()?);
+        }
+        Ok(out)
+    }
+
+    /// A sorted id list whose entries must reference known items.
+    fn ids(&mut self, n_items: usize) -> Result<Vec<ItemId>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(PREALLOC_CAP));
+        let mut prev: Option<ItemId> = None;
+        for _ in 0..n {
+            let id = self.u32()?;
+            if id as usize >= n_items {
+                return Err(corrupt("cell coordinate references an unknown item"));
+            }
+            if prev.is_some_and(|p| id <= p) {
+                return Err(corrupt("cell coordinates not strictly increasing"));
+            }
+            prev = Some(id);
+            out.push(id);
+        }
+        Ok(out)
+    }
+
+    fn f64_opt(&mut self) -> Result<Option<f64>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f64::from_bits(self.u64()?))),
+            _ => Err(corrupt("bad optional-value tag")),
+        }
+    }
+
+    fn values(&mut self) -> Result<IndexValues> {
+        Ok(IndexValues {
+            dissimilarity: self.f64_opt()?,
+            gini: self.f64_opt()?,
+            information: self.f64_opt()?,
+            isolation: self.f64_opt()?,
+            interaction: self.f64_opt()?,
+            atkinson: self.f64_opt()?,
+            minority: self.u64()?,
+            total: self.u64()?,
+            num_units: self.u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Materialize;
+    use scube_bitmap::{DenseBitmap, TidVec};
+    use scube_data::{Attribute, Schema, TransactionDbBuilder};
+
+    fn db() -> TransactionDb {
+        let schema =
+            Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
+                .unwrap();
+        let mut b = TransactionDbBuilder::new(schema);
+        let rows = [
+            ("F", "young", "north", "u0"),
+            ("F", "young", "north", "u0"),
+            ("M", "old", "north", "u0"),
+            ("F", "old", "south", "u1"),
+            ("M", "young", "south", "u1"),
+            ("M", "old", "south", "u1"),
+            ("F", "young", "south", "u0"),
+            ("M", "young", "north", "u1"),
+        ];
+        for (s, a, r, u) in rows {
+            b.add_row(&[vec![s], vec![a], vec![r]], u).unwrap();
+        }
+        b.finish()
+    }
+
+    fn roundtrip<P: Posting + Send + Sync + PartialEq + std::fmt::Debug>() {
+        let db = db();
+        let snap: CubeSnapshot<P> =
+            CubeSnapshot::from_db(&db, &CubeBuilder::new().materialize(Materialize::ClosedOnly))
+                .unwrap();
+        let bytes = snap.to_bytes();
+        let loaded = CubeSnapshot::<P>::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.cube(), snap.cube());
+        assert_eq!(loaded.vertical().units(), snap.vertical().units());
+        assert_eq!(loaded.vertical().postings(), snap.vertical().postings());
+        // Canonical: saving the loaded snapshot reproduces the same bytes.
+        assert_eq!(loaded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn roundtrip_all_representations() {
+        roundtrip::<EwahBitmap>();
+        roundtrip::<DenseBitmap>();
+        roundtrip::<TidVec>();
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = db();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+        let path = std::env::temp_dir().join("scube_snapshot_file_roundtrip.scube");
+        snap.save(&path).unwrap();
+        let loaded: CubeSnapshot = CubeSnapshot::load(&path).unwrap();
+        assert_eq!(loaded.cube(), snap.cube());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic_version_tag() {
+        let db = db();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+        let good = snap.to_bytes();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(CubeSnapshot::<EwahBitmap>::from_bytes(&bad).is_err(), "magic");
+
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(CubeSnapshot::<EwahBitmap>::from_bytes(&bad).is_err(), "version");
+
+        // An EWAH snapshot must not load as TidVec.
+        assert!(CubeSnapshot::<TidVec>::from_bytes(&good).is_err(), "tag");
+    }
+
+    #[test]
+    fn rejects_corruption_and_truncation() {
+        let db = db();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+        let good = snap.to_bytes();
+
+        // Flip one payload byte: the checksum must catch it.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        assert!(CubeSnapshot::<EwahBitmap>::from_bytes(&bad).is_err(), "bit flip");
+
+        // Truncations anywhere must error, never panic.
+        for cut in [0, 5, HEADER_LEN, HEADER_LEN + 3, good.len() / 2, good.len() - 1] {
+            assert!(
+                CubeSnapshot::<EwahBitmap>::from_bytes(&good[..cut]).is_err(),
+                "truncate at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn crafted_huge_lengths_error_instead_of_allocating() {
+        // A syntactically valid header and checksum around a payload whose
+        // length fields promise billions of elements: decoding must return
+        // an error (end of data), not attempt the allocation.
+        for payload in [
+            u32::MAX.to_le_bytes().to_vec(), // n_items = 4 billion
+            {
+                // Empty labels/cells, then n_transactions = 4 billion.
+                let mut p = Vec::new();
+                put_u32(&mut p, 0); // items
+                put_u32(&mut p, 0); // sa_attrs
+                put_u32(&mut p, 0); // ca_attrs
+                put_u32(&mut p, 0); // unit_names
+                put_u32(&mut p, 0); // n_units
+                put_u64(&mut p, 1); // min_support
+                put_u32(&mut p, 0); // cells
+                put_u32(&mut p, u32::MAX); // n_transactions
+                p
+            },
+        ] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&VERSION.to_le_bytes());
+            bytes.push(EwahBitmap::SERIAL_TAG);
+            bytes.extend_from_slice(&checksum(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            assert!(CubeSnapshot::<EwahBitmap>::from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn mismatched_parts_rejected() {
+        let db = db();
+        let vertical: VerticalDb = VerticalDb::build(&db);
+        let cube = CubeBuilder::new().build(&db).unwrap();
+        // A vertical database over different data (one fewer unit).
+        let schema = Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")]).unwrap();
+        let mut b = TransactionDbBuilder::new(schema);
+        b.add_row(&[vec!["F"], vec!["north"]], "solo").unwrap();
+        let other: VerticalDb = VerticalDb::build(&b.finish());
+        assert!(CubeSnapshot::new(cube.clone(), other).is_err());
+        assert!(CubeSnapshot::new(cube, vertical).is_ok());
+    }
+}

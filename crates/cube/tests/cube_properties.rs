@@ -157,7 +157,7 @@ proptest! {
     #[test]
     fn explorer_answers_any_cell(rows in rows()) {
         let db = build_db(&rows);
-        let explorer: CubeExplorer = CubeExplorer::new(&db);
+        let mut explorer: CubeExplorer = CubeExplorer::new(&db);
         // Probe the coordinates of each transaction plus roll-ups.
         for t in 0..db.len().min(10) {
             let items = db.transaction(t).to_vec();

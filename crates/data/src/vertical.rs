@@ -38,9 +38,38 @@ impl<P: Posting> VerticalDb<P> {
         }
     }
 
+    /// Reassemble a vertical database from its parts (snapshot loading).
+    ///
+    /// Returns `None` when the parts are inconsistent: the unit map must
+    /// have one entry per transaction, every unit id must be `< n_units`,
+    /// and no posting may contain a tid `>= n_transactions`.
+    pub fn from_parts(
+        postings: Vec<P>,
+        n_transactions: u32,
+        unit_of: Vec<UnitId>,
+        n_units: u32,
+    ) -> Option<Self> {
+        if unit_of.len() != n_transactions as usize || unit_of.iter().any(|&u| u >= n_units) {
+            return None;
+        }
+        let mut max_tid = None::<u32>;
+        for p in &postings {
+            p.for_each(|tid| max_tid = Some(max_tid.map_or(tid, |m| m.max(tid))));
+        }
+        if max_tid.is_some_and(|m| m >= n_transactions) {
+            return None;
+        }
+        Some(VerticalDb { postings, n_transactions, unit_of, n_units })
+    }
+
     /// Posting of one item.
     pub fn posting(&self, item: ItemId) -> &P {
         &self.postings[item as usize]
+    }
+
+    /// All item postings, indexed by item id.
+    pub fn postings(&self) -> &[P] {
+        &self.postings
     }
 
     /// Number of items with postings.
@@ -262,6 +291,31 @@ mod tests {
         v.unit_histogram_into(&v.tidset(&[f]), &mut scratch);
         assert_eq!(scratch.counts(), &[1, 2]);
         assert_eq!(scratch.count_of(1), 2);
+    }
+
+    #[test]
+    fn from_parts_roundtrip_and_validation() {
+        let db = small_db();
+        let v: VerticalDb = VerticalDb::build(&db);
+        let rebuilt = VerticalDb::from_parts(
+            v.postings().to_vec(),
+            v.num_transactions(),
+            v.units().to_vec(),
+            v.num_units(),
+        )
+        .expect("parts of a built db are consistent");
+        assert_eq!(rebuilt.num_transactions(), v.num_transactions());
+        assert_eq!(rebuilt.units(), v.units());
+        for it in 0..v.num_items() {
+            assert_eq!(rebuilt.posting(it as ItemId).to_vec(), v.posting(it as ItemId).to_vec());
+        }
+        // Unit map length mismatch.
+        assert!(VerticalDb::from_parts(v.postings().to_vec(), 3, v.units().to_vec(), 2).is_none());
+        // Unit id out of range.
+        assert!(VerticalDb::from_parts(v.postings().to_vec(), 4, vec![0, 0, 2, 1], 2).is_none());
+        // Posting tid out of range.
+        let bad = vec![EwahBitmap::from_sorted(&[9])];
+        assert!(VerticalDb::<EwahBitmap>::from_parts(bad, 4, v.units().to_vec(), 2).is_none());
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn main() -> Result<()> {
     }
 
     // Per-sector one-vs-rest profiles (Fig. 5 bottom's radial series).
-    let explorer: CubeExplorer = CubeExplorer::new(&result.final_table);
+    let mut explorer: CubeExplorer = CubeExplorer::new(&result.final_table);
     let women_coords =
         result.cube.coords_by_names(&[("gender", "F")], &[]).expect("gender=F item exists");
     let breakdown = explorer.unit_breakdown(&women_coords);

@@ -35,7 +35,7 @@ fn explorer_resolves_all_full_cells_on_real_data() {
         .materialize(Materialize::AllFrequent)
         .build(&db)
         .unwrap();
-    let explorer: CubeExplorer = CubeExplorer::new(&db);
+    let mut explorer: CubeExplorer = CubeExplorer::new(&db);
     for (coords, v) in full.cells() {
         let recomputed = explorer.values_at(coords).unwrap();
         assert_eq!(recomputed.minority, v.minority);

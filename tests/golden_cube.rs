@@ -1,0 +1,142 @@
+//! Golden-file regression tests: a fixed-seed datagen workload is reduced
+//! to committed, human-readable artefacts — the cube sheet, the top-k
+//! discovery list, and a query-engine transcript over a snapshot
+//! round-trip — compared **verbatim**, so index math, cell enumeration,
+//! snapshot encoding, and query routing can never drift silently.
+//!
+//! To regenerate after an *intentional* change:
+//! `GOLDEN_BLESS=1 cargo test -p scube --test golden_cube` and review the
+//! diff under `tests/golden/` like any other code change.
+
+use scube::prelude::*;
+use scube_data::TransactionDb;
+
+const COMPANIES: usize = 150;
+const MIN_SUPPORT: u64 = 20;
+
+fn final_table() -> TransactionDb {
+    let dataset = scube_datagen::italy(COMPANIES).to_dataset(vec![]).unwrap();
+    scube::build_final_table(&dataset, &UnitStrategy::GroupAttribute("sector".into()), 1)
+        .unwrap()
+        .db
+}
+
+fn full_cube(db: &TransactionDb) -> SegregationCube {
+    CubeBuilder::new()
+        .min_support(MIN_SUPPORT)
+        .materialize(Materialize::AllFrequent)
+        .parallel(false)
+        .build(db)
+        .unwrap()
+}
+
+fn fmt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.6}")).unwrap_or_else(|| "-".into())
+}
+
+fn fmt_values(v: &IndexValues) -> String {
+    format!(
+        "M={} T={} units={} D={} G={} H={} xPx={} xPy={} A={}",
+        v.minority,
+        v.total,
+        v.num_units,
+        fmt(v.dissimilarity),
+        fmt(v.gini),
+        fmt(v.information),
+        fmt(v.isolation),
+        fmt(v.interaction),
+        fmt(v.atkinson),
+    )
+}
+
+/// Compare against a committed golden file, or regenerate it when blessed.
+fn check(name: &str, expected: &str, actual: &str) {
+    let path = format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    assert_eq!(
+        actual, expected,
+        "golden file {name} drifted; if the change is intentional, regenerate with \
+         GOLDEN_BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn cube_sheet_matches_golden() {
+    let db = final_table();
+    let cube = full_cube(&db);
+    check(
+        "italy_cube_sheet.csv",
+        include_str!("golden/italy_cube_sheet.csv"),
+        &scube_cube::to_csv(&cube),
+    );
+}
+
+#[test]
+fn top_contexts_match_golden() {
+    let db = final_table();
+    let cube = full_cube(&db);
+    let mut out = String::new();
+    for index in [SegIndex::Dissimilarity, SegIndex::Information] {
+        out.push_str(&format!("top 10 by {index} (population >= {MIN_SUPPORT}):\n"));
+        for (coords, v, x) in top_contexts(&cube, index, 10, MIN_SUPPORT) {
+            out.push_str(&format!(
+                "  {x:.6}  {}  (M={}, T={})\n",
+                cube.labels().describe(coords),
+                v.minority,
+                v.total
+            ));
+        }
+    }
+    check("italy_top_contexts.txt", include_str!("golden/italy_top_contexts.txt"), &out);
+}
+
+#[test]
+fn query_engine_transcript_matches_golden() {
+    let db = final_table();
+    let full = full_cube(&db);
+    // Serve the closed store through a snapshot byte round-trip — exactly
+    // what `scube save` + `scube query` do.
+    let closed = CubeBuilder::new()
+        .min_support(MIN_SUPPORT)
+        .materialize(Materialize::ClosedOnly)
+        .parallel(false);
+    let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &closed).unwrap();
+    let loaded: CubeSnapshot = CubeSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    let mut engine = CubeQueryEngine::new(loaded);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "store: {} closed cells (full cube: {}), {} units, min_support {}\n",
+        engine.cube().len(),
+        full.len(),
+        engine.cube().num_units(),
+        engine.cube().min_support()
+    ));
+
+    // Every full-cube cell in canonical order, answered through the engine
+    // (mixing materialized hits and explorer fallbacks).
+    let mut coords: Vec<CellCoords> = full.cells().map(|(c, _)| c.clone()).collect();
+    coords.sort();
+    for c in &coords {
+        let v = engine.query(c).unwrap();
+        let tier = if full.get(c).is_some() && engine.cube().get(c).is_some() {
+            "store"
+        } else {
+            "fallback"
+        };
+        out.push_str(&format!(
+            "{tier:<8} {}  {}\n",
+            engine.cube().labels().describe(c),
+            fmt_values(&v)
+        ));
+    }
+    let stats = engine.stats();
+    out.push_str(&format!(
+        "stats: materialized={} cached={} explored={}\n",
+        stats.materialized, stats.cached, stats.explored
+    ));
+    check("italy_query_engine.txt", include_str!("golden/italy_query_engine.txt"), &out);
+}
