@@ -18,6 +18,7 @@
 //! significance E13 — permutation tests on discovered contexts (extension)
 //! cube-build   E14 — build-pipeline throughput; writes BENCH_cube_build.json
 //! cube-query   E15 — snapshot load + query serving; writes BENCH_cube_query.json
+//! cube-serve   E16 — concurrent sharded serving; writes BENCH_cube_serve.json
 //! all              — run everything
 //! ```
 //!
@@ -97,6 +98,10 @@ fn main() {
     }
     if run("cube-query") {
         cube_query_experiment();
+        matched = true;
+    }
+    if run("cube-serve") {
+        cube_serve_experiment();
         matched = true;
     }
     if !matched {
@@ -780,6 +785,156 @@ fn cube_query_experiment() {
     );
     std::fs::write("BENCH_cube_query.json", &json).expect("write BENCH_cube_query.json");
     println!("\nwrote BENCH_cube_query.json");
+}
+
+/// E16 — concurrent sharded serving: one `ConcurrentCubeEngine` shared by
+/// N worker threads answering the full-cube universe (materialized hits +
+/// sharded-cache/explorer fallbacks), swept over thread and shard counts,
+/// written to `BENCH_cube_serve.json`. All timings are gated on
+/// bit-identity with an in-memory full build.
+fn cube_serve_experiment() {
+    banner("E16", "concurrent sharded serving (writes BENCH_cube_serve.json)");
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let db = italy_final_table(4000);
+    let rows = db.len();
+    let minsup = (rows as u64 / 200).max(1);
+
+    let closed_builder =
+        CubeBuilder::new().min_support(minsup).materialize(Materialize::ClosedOnly).parallel(true);
+    let snapshot: CubeSnapshot =
+        CubeSnapshot::from_db(&db, &closed_builder).expect("snapshot builds");
+    let full = CubeBuilder::new()
+        .min_support(minsup)
+        .materialize(Materialize::AllFrequent)
+        .parallel(true)
+        .build(&db)
+        .expect("cube builds");
+
+    let mut workload: Vec<CellCoords> = full.cells().map(|(c, _)| c.clone()).collect();
+    workload.sort();
+    let fallback_cells = workload.iter().filter(|c| snapshot.cube().get(c).is_none()).count();
+
+    // Correctness gate: the shared-reference engine must answer the whole
+    // universe bit-identically to the in-memory full build — across
+    // threads — before any throughput number is recorded.
+    let gate = ConcurrentCubeEngine::new(snapshot.clone());
+    let answers = gate.query_batch(&workload, 4).expect("gate queries succeed");
+    for (c, got) in workload.iter().zip(&answers) {
+        assert_eq!(full.get(c), Some(got), "concurrent engine diverged at a cell");
+    }
+
+    // One long pre-repeated workload per measurement, so worker threads are
+    // spawned once per timing (as a resident serving pool would be) rather
+    // than once per round.
+    const ROUNDS: usize = 50;
+    let mut big: Vec<CellCoords> = Vec::with_capacity(workload.len() * ROUNDS);
+    for _ in 0..ROUNDS {
+        big.extend(workload.iter().cloned());
+    }
+
+    // Warm the engine, then time the big pass; the hit rate is differenced
+    // over the timed region only.
+    let measure = |engine: &ConcurrentCubeEngine, threads: usize| -> (f64, f64) {
+        engine.query_batch(&workload, threads).expect("warm-up succeeds");
+        let mut best = f64::INFINITY;
+        let before = engine.stats();
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            std::hint::black_box(engine.query_batch(&big, threads).expect("queries succeed"));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let after = engine.stats();
+        let hit_rate = 1.0
+            - (after.explored - before.explored) as f64 / (after.total() - before.total()) as f64;
+        (big.len() as f64 / best, hit_rate)
+    };
+
+    println!("rows: {rows}, min_support: {minsup}, host_threads: {host_threads}");
+    println!(
+        "store: {} closed cells of {} frequent ({} served by fallback)",
+        snapshot.cube().len(),
+        workload.len(),
+        fallback_cells
+    );
+
+    let mut table = TextTable::new().header(["threads", "qps", "hit rate"]).aligns(vec![
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    let sweep_threads = [1usize, 2, 4, 8];
+    let mut thread_qps = Vec::new();
+    let mut thread_hit = Vec::new();
+    for &threads in &sweep_threads {
+        let engine = ConcurrentCubeEngine::new(snapshot.clone());
+        let (qps, hit) = measure(&engine, threads);
+        table.row([threads.to_string(), format!("{qps:.0}"), format!("{hit:.4}")]);
+        thread_qps.push(qps);
+        thread_hit.push(hit);
+    }
+    print!("{}", table.render());
+
+    let mut table = TextTable::new()
+        .header(["shards", "qps (8 threads)"])
+        .aligns(vec![Align::Right, Align::Right]);
+    let sweep_shards = [1usize, 2, 4, 8, 16, 32];
+    let mut shard_qps = Vec::new();
+    for &shards in &sweep_shards {
+        let engine = ConcurrentCubeEngine::with_config(
+            snapshot.clone(),
+            shards,
+            scube_cube::DEFAULT_CACHE_CAPACITY,
+        );
+        let (qps, _) = measure(&engine, 8);
+        table.row([shards.to_string(), format!("{qps:.0}")]);
+        shard_qps.push(qps);
+    }
+    print!("{}", table.render());
+
+    let single_thread_qps = thread_qps[0];
+    let (best_i, best_multi) = thread_qps
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, &q)| (i, q))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("sweep has multi-thread entries");
+    println!(
+        "single thread: {single_thread_qps:.0}/s; best multi-thread: {best_multi:.0}/s \
+         at {} threads ({:.2}x)",
+        sweep_threads[best_i],
+        best_multi / single_thread_qps
+    );
+
+    let fmt_list = |xs: &[f64], prec: usize| -> String {
+        xs.iter().map(|x| format!("{x:.prec$}")).collect::<Vec<_>>().join(", ")
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"cube_serve\",\n  \"generated_by\": \
+         \"cargo run -p scube-bench --release --bin exp -- cube-serve\",\n  \
+         \"host_threads\": {host_threads},\n  \"dataset\": \"italy\",\n  \
+         \"companies\": 4000,\n  \"rows\": {rows},\n  \"min_support\": {minsup},\n  \
+         \"materialized_cells\": {mat},\n  \"query_universe\": {uni},\n  \
+         \"fallback_cells\": {fallback_cells},\n  \"rounds_per_pass\": {ROUNDS},\n  \
+         \"cache_capacity\": {cap},\n  \"default_shards\": {shards},\n  \
+         \"thread_sweep\": {{\"threads\": [{ts}], \"qps\": [{tq}], \"hit_rate\": [{th}]}},\n  \
+         \"shard_sweep\": {{\"threads\": 8, \"shards\": [{ss}], \"qps\": [{sq}]}},\n  \
+         \"single_thread_qps\": {single_thread_qps:.0},\n  \
+         \"best_multi_thread_qps\": {best_multi:.0},\n  \
+         \"best_multi_threads\": {bt}\n}}\n",
+        mat = snapshot.cube().len(),
+        uni = workload.len(),
+        cap = scube_cube::DEFAULT_CACHE_CAPACITY,
+        shards = scube_cube::DEFAULT_SHARDS,
+        ts = sweep_threads.map(|t| t.to_string()).join(", "),
+        tq = fmt_list(&thread_qps, 0),
+        th = fmt_list(&thread_hit, 4),
+        ss = sweep_shards.map(|s| s.to_string()).join(", "),
+        sq = fmt_list(&shard_qps, 0),
+        bt = sweep_threads[best_i],
+    );
+    std::fs::write("BENCH_cube_serve.json", &json).expect("write BENCH_cube_serve.json");
+    println!("\nwrote BENCH_cube_serve.json");
 }
 
 /// E13 (extension) — permutation significance of discovered contexts:

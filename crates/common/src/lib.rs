@@ -12,11 +12,15 @@
 //! * [`error`] — the shared [`error::ScubeError`] type and `Result` alias.
 //! * [`table`] — plain-text aligned table rendering used by the Visualizer
 //!   and by the experiment binaries to print paper-shaped reports.
+//! * [`sync`] — a minimal, poison-free [`sync::SpinLock`] guarding the
+//!   sharded caches of the concurrent serving layer.
 
 pub mod csv;
 pub mod error;
 pub mod hash;
+pub mod sync;
 pub mod table;
 
 pub use error::{Result, ScubeError};
 pub use hash::{FxHashMap, FxHashSet};
+pub use sync::SpinLock;

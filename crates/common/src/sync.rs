@@ -1,0 +1,183 @@
+//! A minimal in-tree mutual-exclusion lock.
+//!
+//! The concurrent serving layer shards its cell cache N ways and puts each
+//! shard behind its own lock. The std `Mutex` would work, but it carries
+//! lock poisoning — a panicking holder taints the shard and turns every
+//! later query on it into an error — and its guard type is awkward to store
+//! in the slab-style structures the cache uses. [`SpinLock`] is the subset
+//! we actually need: `lock`/`try_lock` with a RAII guard, **no poisoning**
+//! (a panicking holder simply releases on unwind; the protected value is
+//! plain data that stays consistent between mutations), and adaptive
+//! spinning that yields to the scheduler quickly, so oversubscribed hosts
+//! (more workers than cores) degrade gracefully instead of burning a
+//! timeslice spinning against a de-scheduled holder.
+//!
+//! Critical sections in the serving layer are O(1) cache probes and
+//! insertions — never cell recomputation — which is the regime where a
+//! spinning lock beats a parking one.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Spins this many times with a CPU hint before yielding the timeslice.
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// A small mutual-exclusion lock over `T` (see the module docs).
+#[derive(Debug, Default)]
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock hands out at most one live guard at a time (the CAS on
+// `locked` gates access), so sharing the lock across threads only ever
+// moves `T` accesses between threads — `T: Send` is exactly the bound that
+// makes that sound.
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        SpinLock { locked: AtomicBool::new(false), value: UnsafeCell::new(value) }
+    }
+
+    /// Acquire the lock, spinning (then yielding) until it is free.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(guard) = self.try_lock() {
+                return guard;
+            }
+            // Wait for the flag to look free before retrying the CAS, so
+            // waiters read a shared cache line instead of fighting over it.
+            while self.locked.load(Ordering::Relaxed) {
+                if spins < SPINS_BEFORE_YIELD {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+            Some(SpinGuard { lock: self, _not_auto_sync: PhantomData })
+        } else {
+            None
+        }
+    }
+
+    /// Direct access through an exclusive reference (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+
+    /// Unwrap the protected value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// RAII guard of a [`SpinLock`]; releases on drop (including unwinds — the
+/// lock never poisons).
+#[derive(Debug)]
+pub struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+    /// Suppresses the auto `Send`/`Sync` impls: `&SpinLock<T>` is `Sync`
+    /// for any `T: Send`, which would make `&SpinGuard<Cell<_>>` shareable
+    /// across threads and hand out racing `&Cell` references from safe
+    /// code. The explicit impl below restores `Sync` under the correct
+    /// bound (`T: Sync`, as `std::sync::MutexGuard` does); the guard stays
+    /// `!Send` — it borrows the lock, so there is no reason to move it.
+    _not_auto_sync: PhantomData<*const ()>,
+}
+
+// SAFETY: sharing `&SpinGuard` only exposes `&T` (via `Deref`), which is
+// exactly what `T: Sync` permits. `DerefMut` needs `&mut SpinGuard` and is
+// therefore still confined to one thread at a time.
+unsafe impl<T: Sync> Sync for SpinGuard<'_, T> {}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: holding the guard means the CAS in `try_lock` succeeded
+        // and no other guard exists until drop.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `Deref` — the guard is the unique accessor.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn guards_are_exclusive() {
+        let lock = SpinLock::new(0u32);
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none(), "second guard while one is live");
+        drop(g);
+        assert!(lock.try_lock().is_some(), "free after the guard drops");
+    }
+
+    #[test]
+    fn mutation_through_guard() {
+        let mut lock = SpinLock::new(Vec::new());
+        lock.lock().push(1);
+        lock.lock().push(2);
+        assert_eq!(*lock.get_mut(), vec![1, 2]);
+        assert_eq!(lock.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn counter_under_contention_loses_no_updates() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let lock = SpinLock::new(0u64);
+        let plain = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        *lock.lock() += 1;
+                        plain.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(lock.into_inner(), THREADS as u64 * PER_THREAD);
+        assert_eq!(plain.into_inner(), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn released_on_panic_unwind() {
+        let lock = SpinLock::new(0u32);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = lock.lock();
+            panic!("holder panics");
+        }));
+        assert!(r.is_err());
+        // No poisoning: the lock is usable again immediately.
+        *lock.lock() += 1;
+        assert_eq!(lock.into_inner(), 1);
+    }
+}

@@ -13,7 +13,7 @@
 //! scube save  <same input flags> --snapshot cube.scube
 //! scube query --snapshot cube.scube [--sa gender=F] [--ca region=north]
 //!             [--breakdown] [--top 10 --rank dissimilarity --min-total 100]
-//!             [--slice gender=F,region=north]
+//!             [--slice gender=F,region=north] [--threads 4]
 //! ```
 //!
 //! `--units` selects the scenario: a group attribute name (tabular units),
@@ -25,7 +25,10 @@
 //! `save` runs the pipeline once and persists the cube **and** its vertical
 //! postings as a checksummed binary snapshot; `query` serves point / top-k /
 //! slice queries from such a snapshot without re-mining — non-materialized
-//! ⋆-combinations are recomputed exactly from the stored postings.
+//! ⋆-combinations are recomputed exactly from the stored postings. With
+//! `--threads N` the snapshot is served through the shared-reference
+//! [`ConcurrentCubeEngine`] (sharded cell cache, parallel top-k ranking)
+//! instead of the single-session engine; answers are bit-identical.
 
 use std::process::ExitCode;
 
@@ -74,6 +77,8 @@ verbs:
     --top <k>            top-k materialized cells by --rank
     --min-total <n>      top-k population filter [1]
     --slice a=v,...      materialized cells fixing these coordinates
+    --threads <n>        serve through the concurrent (sharded) engine,
+                         ranking top-k on up to n threads [single-session]
 
 required (run / save):
   --individuals <csv>    individuals input (one row per person)
@@ -355,14 +360,78 @@ fn fmt_values(v: &IndexValues) -> String {
     )
 }
 
+/// How `scube query` serves a loaded snapshot: the single-session engine by
+/// default, or the shared-reference concurrent engine under `--threads N`
+/// (same answers, bit for bit; the concurrent form ranks top-k in parallel).
+enum Serving {
+    Serial(Box<CubeQueryEngine>),
+    Concurrent(Box<ConcurrentCubeEngine>, usize),
+}
+
+impl Serving {
+    fn cube(&self) -> &SegregationCube {
+        match self {
+            Serving::Serial(e) => e.cube(),
+            Serving::Concurrent(e, _) => e.cube(),
+        }
+    }
+
+    fn resolve(&self, sa: &[(&str, &str)], ca: &[(&str, &str)]) -> Result<CellCoords> {
+        match self {
+            Serving::Serial(e) => e.resolve(sa, ca),
+            Serving::Concurrent(e, _) => e.resolve(sa, ca),
+        }
+    }
+
+    fn query(&mut self, coords: &CellCoords) -> Result<IndexValues> {
+        match self {
+            Serving::Serial(e) => e.query(coords),
+            Serving::Concurrent(e, _) => e.query(coords),
+        }
+    }
+
+    fn unit_breakdown(&mut self, coords: &CellCoords) -> Vec<(u32, u64, u64)> {
+        match self {
+            Serving::Serial(e) => e.unit_breakdown(coords),
+            Serving::Concurrent(e, _) => e.unit_breakdown(coords),
+        }
+    }
+
+    fn top_k(&self, index: SegIndex, k: usize, min_total: u64) -> scube_cube::RankedCells {
+        match self {
+            Serving::Serial(e) => e.top_k(index, k, min_total),
+            Serving::Concurrent(e, threads) => {
+                e.top_k_batch(&[index], k, min_total, *threads).remove(0).1
+            }
+        }
+    }
+
+    fn slice(&self, fixed: &[(&str, &str)]) -> Vec<(CellCoords, IndexValues)> {
+        match self {
+            Serving::Serial(e) => e.slice(fixed),
+            Serving::Concurrent(e, _) => e.slice(fixed),
+        }
+    }
+}
+
 /// `scube query`: serve point / top-k / slice queries from a snapshot.
 fn run_query(args: &[String]) -> Result<String> {
     let flags = Flags { args: args.to_vec() };
     let path = flags.require("--snapshot")?;
+    let threads: Option<usize> = flags
+        .value_of("--threads")?
+        .map(|s| match s.parse() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(ScubeError::InvalidParameter(format!("bad --threads '{s}' (want >= 1)"))),
+        })
+        .transpose()?;
     let load_start = std::time::Instant::now();
     let snap: CubeSnapshot = CubeSnapshot::load(path)?;
     let loaded_in = load_start.elapsed();
-    let mut engine = CubeQueryEngine::new(snap);
+    let mut engine = match threads {
+        Some(n) => Serving::Concurrent(Box::new(ConcurrentCubeEngine::new(snap)), n),
+        None => Serving::Serial(Box::new(CubeQueryEngine::new(snap))),
+    };
     let mut out: Vec<String> = Vec::new();
     let mut answered = false;
 
@@ -559,6 +628,20 @@ mod tests {
         assert!(answer.contains("D=1.0000"), "{answer}");
         assert!(answer.contains("edu: 3/3"), "{answer}");
 
+        // The concurrent engine (--threads) serves the same answer,
+        // breakdown included, bit for bit.
+        let q: Vec<String> =
+            ["--snapshot", &p("cube.scube"), "--sa", "gender=F", "--breakdown", "--threads", "4"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert_eq!(run_query(&q).unwrap(), answer);
+        let q: Vec<String> = ["--snapshot", &p("cube.scube"), "--top", "3", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run_query(&q).unwrap().contains("top 3 by dissimilarity"));
+
         // Top-k and slice render without error.
         let q: Vec<String> =
             ["--snapshot", &p("cube.scube"), "--top", "3"].iter().map(|s| s.to_string()).collect();
@@ -578,6 +661,9 @@ mod tests {
             vec!["--snapshot", &p("cube.scube"), "--breakdown"],
             vec!["--snapshot", &p("cube.scube"), "--rank", "gini"],
             vec!["--snapshot", &p("cube.scube"), "--min-total", "5"],
+            vec!["--snapshot", &p("cube.scube"), "--top", "3", "--threads"],
+            vec!["--snapshot", &p("cube.scube"), "--top", "3", "--threads", "0"],
+            vec!["--snapshot", &p("cube.scube"), "--top", "3", "--threads", "x"],
             // Role confusion: sector is a unit/context-side attribute.
             vec!["--snapshot", &p("cube.scube"), "--ca", "gender=F"],
         ] {

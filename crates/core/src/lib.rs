@@ -88,8 +88,8 @@ pub mod prelude {
     pub use crate::wizard::Wizard;
     pub use scube_common::{Result, ScubeError};
     pub use scube_cube::{
-        fig1_grid, radial_series, top_contexts, CellCoords, CubeBuilder, CubeExplorer,
-        CubeQueryEngine, CubeSnapshot, Materialize, QueryStats, SegregationCube,
+        fig1_grid, radial_series, top_contexts, CellCoords, ConcurrentCubeEngine, CubeBuilder,
+        CubeExplorer, CubeQueryEngine, CubeSnapshot, Materialize, QueryStats, SegregationCube,
     };
     pub use scube_data::{FinalTableSpec, Relation};
     pub use scube_graph::{LabelPropParams, StocParams};

@@ -8,6 +8,17 @@
 //! `A ∪ B`, and the population statistics those of the closure of `B`, so
 //! recomputing from tidsets gives the same numbers the full cube would
 //! store — property-tested in `tests/cube_properties.rs`.
+//!
+//! The explorer splits cleanly into an **immutable** half (the vertical
+//! postings and the Atkinson parameter, shared freely across threads) and a
+//! **mutable** half ([`ExplorerScratch`]: two reusable [`UnitScratch`]
+//! histograms). The `&mut self` methods ([`CubeExplorer::values_at`],
+//! [`CubeExplorer::unit_breakdown`]) use the explorer's own scratch — the
+//! convenient single-threaded API — while the `_with` variants take `&self`
+//! plus an external scratch, which is what lets the concurrent serving
+//! layer ([`crate::serve::ConcurrentCubeEngine`]) share one explorer across
+//! worker threads, each with a checked-out scratch, so cold recomputation
+//! never allocates per query.
 
 use scube_bitmap::{EwahBitmap, Posting};
 use scube_common::Result;
@@ -16,18 +27,36 @@ use scube_segindex::{IndexValues, UnitCounts, DEFAULT_ATKINSON_B};
 
 use crate::coords::CellCoords;
 
+/// The mutable half of cell evaluation: two reusable per-unit histograms
+/// (minority and population). One scratch per worker thread lets any number
+/// of threads evaluate cells through a shared [`CubeExplorer`] without a
+/// single histogram allocation.
+#[derive(Debug, Clone)]
+pub struct ExplorerScratch {
+    minority: UnitScratch,
+    total: UnitScratch,
+}
+
+impl ExplorerScratch {
+    /// Scratch for databases with `n_units` organizational units.
+    pub fn new(n_units: u32) -> Self {
+        ExplorerScratch { minority: UnitScratch::new(n_units), total: UnitScratch::new(n_units) }
+    }
+}
+
 /// Evaluates arbitrary cube cells directly from a vertical database.
 ///
-/// Queries take `&mut self`: the explorer owns two reusable [`UnitScratch`]
-/// histograms (minority and population), so a query allocates no per-unit
-/// arrays and costs `O(Σ|tidset| + |touched units|)` rather than
-/// `O(n_units)` — the same fast path PR 1 gave the builder.
+/// Single-threaded queries take `&mut self` and reuse the explorer's own
+/// [`ExplorerScratch`]; concurrent callers use [`Self::values_at_with`] /
+/// [`Self::unit_breakdown_with`] through `&self` with per-worker scratches.
+/// Either way a query allocates no per-unit arrays and costs
+/// `O(Σ|tidset| + |touched units|)` rather than `O(n_units)` — the same
+/// fast path PR 1 gave the builder.
 #[derive(Debug)]
 pub struct CubeExplorer<P: Posting = EwahBitmap> {
     vertical: VerticalDb<P>,
     atkinson_b: f64,
-    minority_scratch: UnitScratch,
-    total_scratch: UnitScratch,
+    scratch: ExplorerScratch,
 }
 
 impl<P: Posting> CubeExplorer<P> {
@@ -44,8 +73,7 @@ impl<P: Posting> CubeExplorer<P> {
         CubeExplorer {
             vertical,
             atkinson_b: DEFAULT_ATKINSON_B,
-            minority_scratch: UnitScratch::new(n_units),
-            total_scratch: UnitScratch::new(n_units),
+            scratch: ExplorerScratch::new(n_units),
         }
     }
 
@@ -60,60 +88,99 @@ impl<P: Posting> CubeExplorer<P> {
         &self.vertical
     }
 
+    /// A fresh scratch sized for this explorer's database (what a worker
+    /// thread checks out before calling the `_with` methods).
+    pub fn new_scratch(&self) -> ExplorerScratch {
+        ExplorerScratch::new(self.vertical.num_units())
+    }
+
     /// Tidset of the context side (`Posting::full` when the side is `⋆`).
-    fn total_tidset(&self, coords: &CellCoords) -> P {
-        self.vertical.tidset(&coords.ca)
+    fn total_tidset(vertical: &VerticalDb<P>, coords: &CellCoords) -> P {
+        vertical.tidset(&coords.ca)
     }
 
     /// Tidset of `A ∪ B`, reusing the already-intersected context tidset
     /// instead of re-intersecting the `ca` postings from scratch.
-    fn minority_tidset(&self, coords: &CellCoords, total_tids: &P) -> P {
+    fn minority_tidset(vertical: &VerticalDb<P>, coords: &CellCoords, total_tids: &P) -> P {
         if coords.ca.is_empty() {
-            return self.vertical.tidset(&coords.sa);
+            return vertical.tidset(&coords.sa);
         }
-        let mut acc = total_tids.and(self.vertical.posting(coords.sa[0]));
+        let mut acc = total_tids.and(vertical.posting(coords.sa[0]));
         for &item in &coords.sa[1..] {
             if acc.is_empty() {
                 break;
             }
-            acc = acc.and(self.vertical.posting(item));
+            acc = acc.and(vertical.posting(item));
         }
         acc
     }
 
-    /// Fill both scratches and return the context's populated units as
-    /// ascending `(unit, total)` pairs; minority counts are read from
-    /// `self.minority_scratch` afterwards (zero when the SA side is `⋆`-free
+    /// Fill both scratch histograms and return the context's populated
+    /// units as ascending `(unit, total)` pairs; minority counts are read
+    /// from `scratch.minority` afterwards (zero when the SA side is `⋆`-free
     /// of the unit).
-    fn fill_histograms(&mut self, coords: &CellCoords) -> Vec<(u32, u64)> {
-        let total_tids = self.total_tidset(coords);
-        self.vertical.unit_histogram_into(&total_tids, &mut self.total_scratch);
+    fn fill_histograms(
+        vertical: &VerticalDb<P>,
+        coords: &CellCoords,
+        scratch: &mut ExplorerScratch,
+    ) -> Vec<(u32, u64)> {
+        let total_tids = Self::total_tidset(vertical, coords);
+        vertical.unit_histogram_into(&total_tids, &mut scratch.total);
         if coords.sa.is_empty() {
             // `A = ⋆` ⇒ minority ≡ population; mirror it into the minority
             // scratch so callers can read both uniformly.
-            self.vertical.unit_histogram_into(&total_tids, &mut self.minority_scratch);
+            vertical.unit_histogram_into(&total_tids, &mut scratch.minority);
         } else {
-            let minority_tids = self.minority_tidset(coords, &total_tids);
-            self.vertical.unit_histogram_into(&minority_tids, &mut self.minority_scratch);
+            let minority_tids = Self::minority_tidset(vertical, coords, &total_tids);
+            vertical.unit_histogram_into(&minority_tids, &mut scratch.minority);
         }
-        self.total_scratch.sorted_pairs()
+        scratch.total.sorted_pairs()
     }
 
-    /// Evaluate the cell at `coords`, regardless of materialization.
-    pub fn values_at(&mut self, coords: &CellCoords) -> Result<IndexValues> {
-        let total_pairs = self.fill_histograms(coords);
-        let minority = &self.minority_scratch;
+    /// Evaluate the cell at `coords` through `&self` with an external
+    /// scratch (the concurrent path).
+    pub fn values_at_with(
+        &self,
+        coords: &CellCoords,
+        scratch: &mut ExplorerScratch,
+    ) -> Result<IndexValues> {
+        let total_pairs = Self::fill_histograms(&self.vertical, coords, scratch);
+        let minority = &scratch.minority;
         let counts = UnitCounts::from_triples(
             total_pairs.iter().map(|&(u, t)| (u, minority.count_of(u), t)),
         )?;
         Ok(IndexValues::compute_with(&counts, self.atkinson_b))
     }
 
+    /// Per-unit `(unit, minority, total)` drill-down through `&self` with
+    /// an external scratch (the concurrent path).
+    pub fn unit_breakdown_with(
+        &self,
+        coords: &CellCoords,
+        scratch: &mut ExplorerScratch,
+    ) -> Vec<(u32, u64, u64)> {
+        let total_pairs = Self::fill_histograms(&self.vertical, coords, scratch);
+        let minority = &scratch.minority;
+        total_pairs.iter().map(|&(u, t)| (u, minority.count_of(u), t)).collect()
+    }
+
+    /// Evaluate the cell at `coords`, regardless of materialization.
+    pub fn values_at(&mut self, coords: &CellCoords) -> Result<IndexValues> {
+        let CubeExplorer { vertical, atkinson_b, scratch } = self;
+        let total_pairs = Self::fill_histograms(vertical, coords, scratch);
+        let minority = &scratch.minority;
+        let counts = UnitCounts::from_triples(
+            total_pairs.iter().map(|&(u, t)| (u, minority.count_of(u), t)),
+        )?;
+        Ok(IndexValues::compute_with(&counts, *atkinson_b))
+    }
+
     /// Per-unit `(unit, minority, total)` drill-down of a cell — what the
     /// paper's pivot-table exploration shows when expanding a cube row.
     pub fn unit_breakdown(&mut self, coords: &CellCoords) -> Vec<(u32, u64, u64)> {
-        let total_pairs = self.fill_histograms(coords);
-        let minority = &self.minority_scratch;
+        let CubeExplorer { vertical, scratch, .. } = self;
+        let total_pairs = Self::fill_histograms(vertical, coords, scratch);
+        let minority = &scratch.minority;
         total_pairs.iter().map(|&(u, t)| (u, minority.count_of(u), t)).collect()
     }
 }
@@ -182,6 +249,22 @@ mod tests {
             let t: u64 = breakdown.iter().map(|&(_, _, t)| t).sum();
             assert_eq!(m, values.minority);
             assert_eq!(t, values.total);
+        }
+    }
+
+    #[test]
+    fn shared_ref_path_matches_owned_scratch_path() {
+        let db = db();
+        let cube = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
+        let mut owned: CubeExplorer = CubeExplorer::new(&db);
+        let shared: CubeExplorer = CubeExplorer::new(&db);
+        let mut scratch = shared.new_scratch();
+        for (coords, values) in cube.cells() {
+            assert_eq!(&shared.values_at_with(coords, &mut scratch).unwrap(), values);
+            assert_eq!(
+                shared.unit_breakdown_with(coords, &mut scratch),
+                owned.unit_breakdown(coords)
+            );
         }
     }
 }

@@ -26,10 +26,12 @@
 //!   demand), while storing far fewer cells.
 //!
 //! The cube also *serves*: [`snapshot::CubeSnapshot`] persists a built cube
-//! plus its vertical postings in a versioned, checksummed binary format, and
+//! plus its vertical postings in a versioned, checksummed binary format,
 //! [`query::CubeQueryEngine`] answers point / top-k / slice / dice queries
 //! from the materialized store with a cached explorer fallback for
-//! non-materialized ⋆-combinations.
+//! non-materialized ⋆-combinations, and [`serve::ConcurrentCubeEngine`] is
+//! the same engine through `&self` — sharded cell cache, pooled explorer
+//! scratches, atomic counters — for multi-threaded serving.
 
 pub mod builder;
 pub mod coords;
@@ -37,12 +39,16 @@ pub mod cube;
 pub mod explore;
 pub mod query;
 pub mod report;
+pub mod serve;
 pub mod snapshot;
 
 pub use builder::{CubeBuilder, CubeConfig, Materialize};
 pub use coords::CellCoords;
 pub use cube::{CubeLabels, SegregationCube};
-pub use explore::CubeExplorer;
-pub use query::{CubeQueryEngine, QueryStats, RankedCells, DEFAULT_CACHE_CAPACITY};
+pub use explore::{CubeExplorer, ExplorerScratch};
+pub use query::{
+    AtomicQueryStats, CubeQueryEngine, QueryStats, RankedCells, DEFAULT_CACHE_CAPACITY,
+};
 pub use report::{fig1_grid, radial_series, to_csv, top_contexts};
+pub use serve::{ConcurrentCubeEngine, DEFAULT_SHARDS};
 pub use snapshot::CubeSnapshot;

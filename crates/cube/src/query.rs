@@ -16,6 +16,13 @@
 //! Engines are built either in memory ([`CubeQueryEngine::from_db`]) or
 //! from a loaded [`CubeSnapshot`], which is the `scube save` / `scube
 //! query` serving path.
+//!
+//! This engine is the single-session (`&mut self`) form; the multi-threaded
+//! serving layer with the same tiering lives in
+//! [`crate::serve::ConcurrentCubeEngine`], and both report through the same
+//! [`QueryStats`] / [`AtomicQueryStats`] counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use scube_bitmap::{EwahBitmap, Posting};
 use scube_common::{FxHashMap, Result, ScubeError};
@@ -24,7 +31,7 @@ use scube_segindex::{IndexValues, SegIndex};
 
 use crate::builder::CubeBuilder;
 use crate::coords::CellCoords;
-use crate::cube::SegregationCube;
+use crate::cube::{CubeLabels, SegregationCube};
 use crate::explore::CubeExplorer;
 use crate::snapshot::CubeSnapshot;
 
@@ -35,7 +42,12 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 /// Cells ranked by one index, descending: `(coords, values, index value)`.
 pub type RankedCells = Vec<(CellCoords, IndexValues, f64)>;
 
-/// Cumulative counters of which tier answered each point query.
+/// Cumulative counters of which tier answered each query.
+///
+/// `materialized + cached + explored` counts point queries;
+/// `breakdown_computed + breakdown_cached` counts unit-breakdown
+/// drill-downs. This is the plain snapshot form; live engines accumulate
+/// into an [`AtomicQueryStats`] so concurrent workers never lose updates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Answered from the materialized cell store.
@@ -44,6 +56,10 @@ pub struct QueryStats {
     pub cached: u64,
     /// Recomputed from postings by the explorer.
     pub explored: u64,
+    /// Unit breakdowns recomputed from postings.
+    pub breakdown_computed: u64,
+    /// Unit breakdowns served from already-stored per-unit data.
+    pub breakdown_cached: u64,
 }
 
 impl QueryStats {
@@ -51,6 +67,179 @@ impl QueryStats {
     pub fn total(&self) -> u64 {
         self.materialized + self.cached + self.explored
     }
+
+    /// Total unit-breakdown drill-downs served.
+    pub fn breakdowns(&self) -> u64 {
+        self.breakdown_computed + self.breakdown_cached
+    }
+}
+
+/// [`QueryStats`] as relaxed atomic counters: shared by reference across
+/// any number of serving threads; [`Self::load`] takes a plain snapshot.
+#[derive(Debug, Default)]
+pub struct AtomicQueryStats {
+    materialized: AtomicU64,
+    cached: AtomicU64,
+    explored: AtomicU64,
+    breakdown_computed: AtomicU64,
+    breakdown_cached: AtomicU64,
+}
+
+impl AtomicQueryStats {
+    /// Count a materialized-store hit.
+    pub fn record_materialized(&self) {
+        self.materialized.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a cell-cache hit.
+    pub fn record_cached(&self) {
+        self.cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an explorer recomputation.
+    pub fn record_explored(&self) {
+        self.explored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a recomputed unit breakdown.
+    pub fn record_breakdown_computed(&self) {
+        self.breakdown_computed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a breakdown served from stored per-unit data.
+    pub fn record_breakdown_cached(&self) {
+        self.breakdown_cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn load(&self) -> QueryStats {
+        QueryStats {
+            materialized: self.materialized.load(Ordering::Relaxed),
+            cached: self.cached.load(Ordering::Relaxed),
+            explored: self.explored.load(Ordering::Relaxed),
+            breakdown_computed: self.breakdown_computed.load(Ordering::Relaxed),
+            breakdown_cached: self.breakdown_cached.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Resolve attribute/value names against cube labels, enforcing attribute
+/// roles: a context attribute on the minority side (or vice versa) would
+/// silently address a cell outside the cube's coordinate space, so it is an
+/// error rather than a plausible-looking answer. Shared by the serial and
+/// concurrent engines.
+pub(crate) fn resolve_coords(
+    labels: &CubeLabels,
+    sa: &[(&str, &str)],
+    ca: &[(&str, &str)],
+) -> Result<CellCoords> {
+    let lookup = |pairs: &[(&str, &str)], want_sa: bool| -> Result<Vec<_>> {
+        pairs
+            .iter()
+            .map(|&(a, v)| {
+                let item = labels.find_item(a, v).ok_or_else(|| {
+                    ScubeError::InvalidParameter(format!("unknown coordinate {a}={v}"))
+                })?;
+                if labels.is_sa_item(item) != want_sa {
+                    let (is, should) = if want_sa {
+                        ("a context attribute", "--ca")
+                    } else {
+                        ("a segregation attribute", "--sa")
+                    };
+                    return Err(ScubeError::InvalidParameter(format!(
+                        "{a} is {is}; move {a}={v} to the {should} side"
+                    )));
+                }
+                Ok(item)
+            })
+            .collect()
+    };
+    Ok(CellCoords::new(lookup(sa, true)?, lookup(ca, false)?))
+}
+
+/// Total per-unit triples the breakdown cache may retain. Breakdown values
+/// are `Vec`s up to `n_units` long — orders of magnitude bigger than the
+/// cell cache's fixed-size [`IndexValues`] — so the cache is budgeted by
+/// retained triples (~24 MiB worst case), not by entry count.
+const BREAKDOWN_TRIPLE_BUDGET: usize = 1 << 20;
+
+/// Entry capacity of a breakdown cache serving `n_units`-unit data next to
+/// a cell cache of `cell_capacity` entries: the triple budget divided by
+/// the worst-case breakdown length, floored at 16 entries so small caches
+/// still help, and never above the cell capacity (0 disables both).
+pub(crate) fn breakdown_capacity(cell_capacity: usize, n_units: u32) -> usize {
+    if cell_capacity == 0 {
+        return 0;
+    }
+    (BREAKDOWN_TRIPLE_BUDGET / n_units.max(1) as usize).max(16).min(cell_capacity)
+}
+
+/// Descending by index value, ties broken by canonical coordinates — a
+/// total order, so any partition of the cells ranks deterministically.
+pub(crate) fn sort_ranked(rows: &mut RankedCells, k: usize) {
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.union().cmp(&b.0.union())));
+    if k > 0 {
+        rows.truncate(k);
+    }
+}
+
+/// One pass over a set of materialized cells ranking every requested index
+/// at once. Shared by the serial engine (whole store) and the concurrent
+/// engine (which chunks the store across worker threads and merges).
+pub(crate) fn rank_cell_list<'a>(
+    cells: impl IntoIterator<Item = (&'a CellCoords, &'a IndexValues)>,
+    indexes: &[SegIndex],
+    k: usize,
+    min_total: u64,
+) -> Vec<(SegIndex, RankedCells)> {
+    let mut per_index: Vec<(SegIndex, RankedCells)> =
+        indexes.iter().map(|&ix| (ix, Vec::new())).collect();
+    for (coords, v) in cells {
+        if coords.is_sa_star() || v.total < min_total {
+            continue;
+        }
+        for (ix, rows) in &mut per_index {
+            if let Some(x) = v.get(*ix) {
+                rows.push((coords.clone(), *v, x));
+            }
+        }
+    }
+    for (_, rows) in &mut per_index {
+        sort_ranked(rows, k);
+    }
+    per_index
+}
+
+/// One pass over the materialized store ranking every requested index.
+pub(crate) fn rank_cells(
+    cube: &SegregationCube,
+    indexes: &[SegIndex],
+    k: usize,
+    min_total: u64,
+) -> Vec<(SegIndex, RankedCells)> {
+    rank_cell_list(cube.cells(), indexes, k, min_total)
+}
+
+/// Materialized cells fixing the given coordinates, in canonical order.
+pub(crate) fn sorted_slice(
+    cube: &SegregationCube,
+    fixed: &[(&str, &str)],
+) -> Vec<(CellCoords, IndexValues)> {
+    let mut rows: Vec<(CellCoords, IndexValues)> =
+        cube.slice(fixed).map(|(c, v)| (c.clone(), *v)).collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// The materialized sub-cube over the listed attributes, in canonical order.
+pub(crate) fn sorted_dice(
+    cube: &SegregationCube,
+    attrs: &[&str],
+) -> Vec<(CellCoords, IndexValues)> {
+    let mut rows: Vec<(CellCoords, IndexValues)> =
+        cube.cells_over(attrs).map(|(c, v)| (c.clone(), *v)).collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
 }
 
 /// Serves cube queries from a materialized store with a cached explorer
@@ -60,7 +249,12 @@ pub struct CubeQueryEngine<P: Posting = EwahBitmap> {
     cube: SegregationCube,
     explorer: CubeExplorer<P>,
     cache: LruCache<CellCoords, IndexValues>,
-    stats: QueryStats,
+    /// Per-unit drill-downs already computed this session: a breakdown of a
+    /// cell — materialized or not — is *not* stored in the cube (cells hold
+    /// only [`IndexValues`]), so without this cache every repeated
+    /// drill-down re-partitioned tidsets from scratch.
+    breakdowns: LruCache<CellCoords, Vec<(u32, u64, u64)>>,
+    stats: AtomicQueryStats,
 }
 
 impl<P: Posting> CubeQueryEngine<P> {
@@ -73,11 +267,13 @@ impl<P: Posting> CubeQueryEngine<P> {
     /// (`0` disables caching: every fallback recomputes).
     pub fn with_cache_capacity(snapshot: CubeSnapshot<P>, capacity: usize) -> Self {
         let (cube, vertical) = snapshot.into_parts();
+        let breakdowns = LruCache::new(breakdown_capacity(capacity, cube.num_units()));
         CubeQueryEngine {
             cube,
             explorer: CubeExplorer::from_vertical(vertical),
             cache: LruCache::new(capacity),
-            stats: QueryStats::default(),
+            breakdowns,
+            stats: AtomicQueryStats::default(),
         }
     }
 
@@ -97,22 +293,22 @@ impl<P: Posting> CubeQueryEngine<P> {
 
     /// Which tier answered each query so far.
     pub fn stats(&self) -> QueryStats {
-        self.stats
+        self.stats.load()
     }
 
     /// Point lookup: materialized store, then LRU cache, then exact
     /// recomputation from postings.
     pub fn query(&mut self, coords: &CellCoords) -> Result<IndexValues> {
         if let Some(v) = self.cube.get(coords) {
-            self.stats.materialized += 1;
+            self.stats.record_materialized();
             return Ok(*v);
         }
         if let Some(v) = self.cache.get(coords) {
-            self.stats.cached += 1;
+            self.stats.record_cached();
             return Ok(*v);
         }
         let v = self.explorer.values_at(coords)?;
-        self.stats.explored += 1;
+        self.stats.record_explored();
         self.cache.insert(coords.clone(), v);
         Ok(v)
     }
@@ -129,38 +325,27 @@ impl<P: Posting> CubeQueryEngine<P> {
     }
 
     /// Resolve attribute/value names against the cube labels, enforcing
-    /// attribute roles: a context attribute on the minority side (or vice
-    /// versa) would silently address a cell outside the cube's coordinate
-    /// space, so it is an error rather than a plausible-looking answer.
+    /// attribute roles (see [`resolve_coords`]).
     pub fn resolve(&self, sa: &[(&str, &str)], ca: &[(&str, &str)]) -> Result<CellCoords> {
-        let labels = self.cube.labels();
-        let lookup = |pairs: &[(&str, &str)], want_sa: bool| -> Result<Vec<_>> {
-            pairs
-                .iter()
-                .map(|&(a, v)| {
-                    let item = labels.find_item(a, v).ok_or_else(|| {
-                        ScubeError::InvalidParameter(format!("unknown coordinate {a}={v}"))
-                    })?;
-                    if labels.is_sa_item(item) != want_sa {
-                        let (is, should) = if want_sa {
-                            ("a context attribute", "--ca")
-                        } else {
-                            ("a segregation attribute", "--sa")
-                        };
-                        return Err(ScubeError::InvalidParameter(format!(
-                            "{a} is {is}; move {a}={v} to the {should} side"
-                        )));
-                    }
-                    Ok(item)
-                })
-                .collect()
-        };
-        Ok(CellCoords::new(lookup(sa, true)?, lookup(ca, false)?))
+        resolve_coords(self.cube.labels(), sa, ca)
     }
 
     /// Per-unit `(unit, minority, total)` drill-down of any cell.
+    ///
+    /// Fast path: a breakdown already computed this session — including for
+    /// materialized cells, whose stored [`IndexValues`] do not carry
+    /// per-unit data — is served from the breakdown cache instead of being
+    /// re-partitioned from postings (regression-tested in
+    /// `tests/query_engine_equivalence.rs`).
     pub fn unit_breakdown(&mut self, coords: &CellCoords) -> Vec<(u32, u64, u64)> {
-        self.explorer.unit_breakdown(coords)
+        if let Some(b) = self.breakdowns.get(coords) {
+            self.stats.record_breakdown_cached();
+            return b.clone();
+        }
+        let b = self.explorer.unit_breakdown(coords);
+        self.stats.record_breakdown_computed();
+        self.breakdowns.insert(coords.clone(), b.clone());
+        b
     }
 
     /// Top-k materialized cells by one index (descending), restricted to
@@ -178,43 +363,19 @@ impl<P: Posting> CubeQueryEngine<P> {
         k: usize,
         min_total: u64,
     ) -> Vec<(SegIndex, RankedCells)> {
-        let mut per_index: Vec<(SegIndex, RankedCells)> =
-            indexes.iter().map(|&ix| (ix, Vec::new())).collect();
-        for (coords, v) in self.cube.cells() {
-            if coords.is_sa_star() || v.total < min_total {
-                continue;
-            }
-            for (ix, rows) in &mut per_index {
-                if let Some(x) = v.get(*ix) {
-                    rows.push((coords.clone(), *v, x));
-                }
-            }
-        }
-        for (_, rows) in &mut per_index {
-            rows.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.union().cmp(&b.0.union())));
-            if k > 0 {
-                rows.truncate(k);
-            }
-        }
-        per_index
+        rank_cells(&self.cube, indexes, k, min_total)
     }
 
     /// Slice: materialized cells fixing all the given `(attr, value)`
     /// coordinates, in canonical (sa, ca) order.
     pub fn slice(&self, fixed: &[(&str, &str)]) -> Vec<(CellCoords, IndexValues)> {
-        let mut rows: Vec<(CellCoords, IndexValues)> =
-            self.cube.slice(fixed).map(|(c, v)| (c.clone(), *v)).collect();
-        rows.sort_by(|a, b| a.0.cmp(&b.0));
-        rows
+        sorted_slice(&self.cube, fixed)
     }
 
     /// Dice: the materialized sub-cube over the listed attributes only, in
     /// canonical (sa, ca) order.
     pub fn dice(&self, attrs: &[&str]) -> Vec<(CellCoords, IndexValues)> {
-        let mut rows: Vec<(CellCoords, IndexValues)> =
-            self.cube.cells_over(attrs).map(|(c, v)| (c.clone(), *v)).collect();
-        rows.sort_by(|a, b| a.0.cmp(&b.0));
-        rows
+        sorted_dice(&self.cube, attrs)
     }
 }
 
@@ -231,9 +392,11 @@ struct LruEntry<K, V> {
 /// A bounded least-recently-used cache over a slab + intrusive list.
 ///
 /// `get` and `insert` are O(1); eviction reuses the tail slot, so once warm
-/// the cache never allocates. Capacity 0 disables it entirely.
+/// the cache never allocates. Capacity 0 disables it entirely. Shared with
+/// [`crate::serve`], where each shard of the concurrent engine owns one
+/// behind its own lock.
 #[derive(Debug)]
-struct LruCache<K, V> {
+pub(crate) struct LruCache<K, V> {
     map: FxHashMap<K, usize>,
     entries: Vec<LruEntry<K, V>>,
     capacity: usize,
@@ -242,7 +405,7 @@ struct LruCache<K, V> {
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         LruCache {
             map: scube_common::hash::fx_map_with_capacity(capacity.min(1 << 20)),
             entries: Vec::new(),
@@ -288,13 +451,13 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
         }
     }
 
-    fn get(&mut self, key: &K) -> Option<&V> {
+    pub(crate) fn get(&mut self, key: &K) -> Option<&V> {
         let i = *self.map.get(key)?;
         self.touch(i);
         Some(&self.entries[i].value)
     }
 
-    fn insert(&mut self, key: K, value: V) {
+    pub(crate) fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
@@ -383,6 +546,44 @@ mod tests {
         }
     }
 
+    #[test]
+    fn breakdown_capacity_is_budgeted() {
+        // Disabled cell cache disables the breakdown cache too.
+        assert_eq!(breakdown_capacity(0, 10), 0);
+        // Small unit counts: entry count is bounded by the cell capacity.
+        assert_eq!(breakdown_capacity(4096, 2), 4096);
+        // Huge unit counts: the triple budget takes over (but ≥ 16).
+        assert_eq!(breakdown_capacity(4096, 10_000), BREAKDOWN_TRIPLE_BUDGET / 10_000);
+        assert_eq!(breakdown_capacity(4096, u32::MAX), 16);
+        // Tiny cell caches stay the binding constraint.
+        assert_eq!(breakdown_capacity(3, u32::MAX), 3);
+        assert_eq!(breakdown_capacity(3, 1), 3);
+    }
+
+    #[test]
+    fn atomic_stats_roundtrip() {
+        let stats = AtomicQueryStats::default();
+        stats.record_materialized();
+        stats.record_materialized();
+        stats.record_cached();
+        stats.record_explored();
+        stats.record_breakdown_computed();
+        stats.record_breakdown_cached();
+        let snap = stats.load();
+        assert_eq!(
+            snap,
+            QueryStats {
+                materialized: 2,
+                cached: 1,
+                explored: 1,
+                breakdown_computed: 1,
+                breakdown_cached: 1,
+            }
+        );
+        assert_eq!(snap.total(), 4);
+        assert_eq!(snap.breakdowns(), 2);
+    }
+
     fn db() -> TransactionDb {
         let schema =
             Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
@@ -426,6 +627,26 @@ mod tests {
         assert_eq!(warm.explored, cold.explored, "no recomputation on the warm pass");
         assert_eq!(warm.cached, cold.explored);
         assert_eq!(warm.total(), 2 * cold.total());
+    }
+
+    #[test]
+    fn breakdown_fast_path_serves_stored_data() {
+        let db = db();
+        let mut engine: CubeQueryEngine =
+            CubeQueryEngine::from_db(&db, &CubeBuilder::new().materialize(Materialize::ClosedOnly))
+                .unwrap();
+        // A materialized cell: its IndexValues are stored, but per-unit
+        // data is not, so the first drill-down must compute...
+        let coords = engine.resolve(&[("sex", "F")], &[]).unwrap();
+        assert!(engine.cube().get(&coords).is_some(), "cell should be materialized");
+        let first = engine.unit_breakdown(&coords);
+        assert_eq!(engine.stats().breakdown_computed, 1);
+        assert_eq!(engine.stats().breakdown_cached, 0);
+        // ...and the second must come from the stored breakdown, verbatim.
+        let second = engine.unit_breakdown(&coords);
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().breakdown_computed, 1, "no recomputation");
+        assert_eq!(engine.stats().breakdown_cached, 1);
     }
 
     #[test]

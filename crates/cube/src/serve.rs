@@ -1,0 +1,540 @@
+//! Concurrent cube serving: the multi-analyst form of the query engine.
+//!
+//! [`crate::query::CubeQueryEngine`] is single-writer — `query(&mut self)`
+//! funnels every caller through one unsharded LRU — which caps an
+//! interactive deployment at one analyst per engine. A
+//! [`ConcurrentCubeEngine`] answers the same three bit-identical tiers
+//! through `&self`, so one engine serves any number of threads:
+//!
+//! * **materialized** — the [`SegregationCube`] store is immutable after
+//!   construction, so store hits are lock-free hash lookups;
+//! * **cached** — the fallback cell cache is split into N shards (shard
+//!   chosen by [`CellCoords`] hash), each an independent slab-LRU behind
+//!   its own [`SpinLock`]: two threads only contend when their cells land
+//!   in the same shard, and critical sections are O(1) probes/inserts —
+//!   never recomputation;
+//! * **explored** — cold cells are recomputed exactly by a shared
+//!   [`CubeExplorer`] through `&self`, with the mutable histogram state
+//!   checked out of a pool of reusable [`ExplorerScratch`]es, so steady-
+//!   state recomputation allocates nothing per query.
+//!
+//! Two threads racing on the same cold cell may both recompute it; cell
+//! evaluation is pure, so both insert the *same* value and the answer stays
+//! bit-identical to the serial engine (property-tested in
+//! `tests/concurrent_equivalence.rs`, stress-tested in
+//! `tests/concurrent_stress.rs`). Counters are [`AtomicQueryStats`], so no
+//! update is lost under contention.
+
+use scube_bitmap::{EwahBitmap, Posting};
+use scube_common::{Result, SpinLock};
+use scube_data::TransactionDb;
+use scube_segindex::{IndexValues, SegIndex};
+
+use crate::builder::CubeBuilder;
+use crate::coords::CellCoords;
+use crate::cube::SegregationCube;
+use crate::explore::{CubeExplorer, ExplorerScratch};
+use crate::query::{
+    breakdown_capacity, rank_cell_list, rank_cells, resolve_coords, sort_ranked, sorted_dice,
+    sorted_slice, AtomicQueryStats, LruCache, QueryStats, RankedCells, DEFAULT_CACHE_CAPACITY,
+};
+use crate::snapshot::CubeSnapshot;
+
+/// Default shard count of the fallback cell cache: enough that a handful of
+/// worker threads rarely collide, small enough to be negligible memory.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One per-unit drill-down: ascending `(unit, minority, total)` triples.
+/// Shared, not owned, inside the cache: cloning an `Arc` is O(1), so cache
+/// probes and inserts stay O(1) *inside the shard lock* — the big value
+/// copy happens outside the critical section.
+type Breakdown = std::sync::Arc<[(u32, u64, u64)]>;
+
+/// One lock-guarded shard of an LRU cache.
+type Shard<V> = SpinLock<LruCache<CellCoords, V>>;
+
+/// Worker threads one batch call will actually spawn: at least the
+/// requested count up to 8× the host's parallelism (floor 8, so concurrency
+/// tests exercise real threads even on a 1-CPU host), never more than one
+/// per item. A runaway request (`--threads 1000000`) must not translate
+/// into thousands of OS threads — `thread::scope` aborts on spawn failure
+/// rather than returning an error.
+fn clamp_threads(requested: usize, items: usize) -> usize {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    requested.max(1).min((8 * host).max(8)).min(items.max(1))
+}
+
+/// A `Sync` serving layer over a cube snapshot: shared-reference point,
+/// batch, top-k, slice, dice, and breakdown queries from any number of
+/// threads (see the module docs).
+#[derive(Debug)]
+pub struct ConcurrentCubeEngine<P: Posting = EwahBitmap> {
+    cube: SegregationCube,
+    explorer: CubeExplorer<P>,
+    shards: Vec<Shard<IndexValues>>,
+    breakdown_shards: Vec<Shard<Breakdown>>,
+    scratches: SpinLock<Vec<ExplorerScratch>>,
+    stats: AtomicQueryStats,
+}
+
+impl<P: Posting> ConcurrentCubeEngine<P> {
+    /// Serve from a snapshot with the default shard count and cache
+    /// capacity.
+    pub fn new(snapshot: CubeSnapshot<P>) -> Self {
+        Self::with_config(snapshot, DEFAULT_SHARDS, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Serve from a snapshot with an explicit shard count and *total*
+    /// fallback-cache capacity, split evenly across shards (rounded up, so
+    /// e.g. 16 shards × capacity 100 hold up to 7 cells each; capacity 0
+    /// disables caching entirely).
+    pub fn with_config(snapshot: CubeSnapshot<P>, shards: usize, capacity: usize) -> Self {
+        let (cube, vertical) = snapshot.into_parts();
+        let n_shards = shards.max(1);
+        let per_shard = if capacity == 0 { 0 } else { capacity.div_ceil(n_shards) };
+        // Breakdown values are per-unit Vecs, so that cache is budgeted by
+        // retained triples (see `breakdown_capacity`), then sharded like
+        // the cell cache.
+        let bd_capacity = breakdown_capacity(capacity, cube.num_units());
+        let bd_per_shard = if bd_capacity == 0 { 0 } else { bd_capacity.div_ceil(n_shards) };
+        let explorer = CubeExplorer::from_vertical(vertical);
+        // Seed the scratch pool for the host's parallelism so even the
+        // first wave of cold queries finds a scratch waiting; the pool
+        // still grows (one allocation, once) if more threads ever query
+        // simultaneously.
+        let seed = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let scratches = (0..seed).map(|_| explorer.new_scratch()).collect();
+        ConcurrentCubeEngine {
+            cube,
+            explorer,
+            shards: (0..n_shards).map(|_| SpinLock::new(LruCache::new(per_shard))).collect(),
+            breakdown_shards: (0..n_shards)
+                .map(|_| SpinLock::new(LruCache::new(bd_per_shard)))
+                .collect(),
+            scratches: SpinLock::new(scratches),
+            stats: AtomicQueryStats::default(),
+        }
+    }
+
+    /// Build cube and engine straight from a transaction database (the
+    /// in-memory path; equivalent to snapshotting and serving immediately).
+    pub fn from_db(db: &TransactionDb, builder: &CubeBuilder) -> Result<Self>
+    where
+        P: Send + Sync,
+    {
+        Ok(Self::new(CubeSnapshot::from_db(db, builder)?))
+    }
+
+    /// The materialized cube.
+    pub fn cube(&self) -> &SegregationCube {
+        &self.cube
+    }
+
+    /// Number of cell-cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which tier answered each query so far, across all threads.
+    pub fn stats(&self) -> QueryStats {
+        self.stats.load()
+    }
+
+    fn shard_index(&self, coords: &CellCoords) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = scube_common::hash::FxHasher::default();
+        coords.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn shard_of(&self, coords: &CellCoords) -> &Shard<IndexValues> {
+        &self.shards[self.shard_index(coords)]
+    }
+
+    fn breakdown_shard_of(&self, coords: &CellCoords) -> &Shard<Breakdown> {
+        &self.breakdown_shards[self.shard_index(coords)]
+    }
+
+    /// Check a scratch out of the pool (allocating a fresh one only if
+    /// every pooled scratch is in use right now).
+    fn checkout(&self) -> ExplorerScratch {
+        self.scratches.lock().pop().unwrap_or_else(|| self.explorer.new_scratch())
+    }
+
+    fn check_in(&self, scratch: ExplorerScratch) {
+        self.scratches.lock().push(scratch);
+    }
+
+    /// The cold tier: recompute from postings, record, insert into the
+    /// cell's shard. Called only after the store and cache tiers missed.
+    fn explore(&self, coords: &CellCoords, scratch: &mut ExplorerScratch) -> Result<IndexValues> {
+        let v = self.explorer.values_at_with(coords, scratch)?;
+        self.stats.record_explored();
+        // Clone the key before taking the lock: critical sections stay O(1).
+        let key = coords.clone();
+        self.shard_of(coords).lock().insert(key, v);
+        Ok(v)
+    }
+
+    /// The two warm tiers shared by single and batch lookups: materialized
+    /// store (lock-free), then the cell's cache shard.
+    fn warm_hit(&self, coords: &CellCoords) -> Option<IndexValues> {
+        if let Some(v) = self.cube.get(coords) {
+            self.stats.record_materialized();
+            return Some(*v);
+        }
+        if let Some(v) = self.shard_of(coords).lock().get(coords).copied() {
+            self.stats.record_cached();
+            return Some(v);
+        }
+        None
+    }
+
+    /// Point lookup with a caller-held scratch: what batch workers use so a
+    /// whole chunk of queries shares one checkout.
+    fn query_with(
+        &self,
+        coords: &CellCoords,
+        scratch: &mut ExplorerScratch,
+    ) -> Result<IndexValues> {
+        match self.warm_hit(coords) {
+            Some(v) => Ok(v),
+            None => self.explore(coords, scratch),
+        }
+    }
+
+    /// Point lookup: materialized store (lock-free), then the cell's cache
+    /// shard, then exact recomputation from postings — all through `&self`.
+    pub fn query(&self, coords: &CellCoords) -> Result<IndexValues> {
+        if let Some(v) = self.warm_hit(coords) {
+            return Ok(v);
+        }
+        // Only the cold path needs histogram state.
+        let mut scratch = self.checkout();
+        let out = self.explore(coords, &mut scratch);
+        self.check_in(scratch);
+        out
+    }
+
+    /// Point lookup by attribute/value names, e.g.
+    /// `query_by_names(&[("sex", "F")], &[("region", "north")])`.
+    pub fn query_by_names(&self, sa: &[(&str, &str)], ca: &[(&str, &str)]) -> Result<IndexValues> {
+        self.query(&self.resolve(sa, ca)?)
+    }
+
+    /// Resolve attribute/value names against the cube labels, enforcing
+    /// attribute roles (shared with the serial engine).
+    pub fn resolve(&self, sa: &[(&str, &str)], ca: &[(&str, &str)]) -> Result<CellCoords> {
+        resolve_coords(self.cube.labels(), sa, ca)
+    }
+
+    /// Per-unit `(unit, minority, total)` drill-down of any cell.
+    ///
+    /// Like the serial engine, repeated drill-downs — including of
+    /// materialized cells, whose stored [`IndexValues`] carry no per-unit
+    /// data — are served from a sharded breakdown cache instead of being
+    /// re-partitioned from postings on every ask.
+    pub fn unit_breakdown(&self, coords: &CellCoords) -> Vec<(u32, u64, u64)> {
+        let shard = self.breakdown_shard_of(coords);
+        // Under the lock only an O(1) `Arc` clone; the value copy for the
+        // caller happens after release.
+        let cached: Option<Breakdown> = shard.lock().get(coords).cloned();
+        if let Some(b) = cached {
+            self.stats.record_breakdown_cached();
+            return b.to_vec();
+        }
+        let mut scratch = self.checkout();
+        let b = self.explorer.unit_breakdown_with(coords, &mut scratch);
+        self.check_in(scratch);
+        self.stats.record_breakdown_computed();
+        let (key, value): (CellCoords, Breakdown) = (coords.clone(), b.as_slice().into());
+        shard.lock().insert(key, value);
+        b
+    }
+
+    /// Answer a batch of point queries, fanning contiguous chunks out over
+    /// `threads` scoped worker threads (each with one checked-out scratch
+    /// for its whole chunk). Results come back in input order and are
+    /// bit-identical to issuing the queries serially; the first error wins.
+    pub fn query_batch(&self, coords: &[CellCoords], threads: usize) -> Result<Vec<IndexValues>>
+    where
+        P: Send + Sync,
+    {
+        let threads = clamp_threads(threads, coords.len());
+        if threads == 1 {
+            let mut scratch = self.checkout();
+            let out: Result<Vec<IndexValues>> =
+                coords.iter().map(|c| self.query_with(c, &mut scratch)).collect();
+            self.check_in(scratch);
+            return out;
+        }
+        let chunk = coords.len().div_ceil(threads);
+        let results: Vec<Result<Vec<IndexValues>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = coords
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut scratch = self.checkout();
+                        let out: Result<Vec<IndexValues>> =
+                            chunk.iter().map(|c| self.query_with(c, &mut scratch)).collect();
+                        self.check_in(scratch);
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(coords.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    /// Top-k materialized cells by one index (descending), as in the serial
+    /// engine.
+    pub fn top_k(&self, index: SegIndex, k: usize, min_total: u64) -> RankedCells {
+        rank_cells(&self.cube, &[index], k, min_total).remove(0).1
+    }
+
+    /// Batched top-k over the materialized store, fanned out over up to
+    /// `threads` scoped worker threads by chunking the *store*: each worker
+    /// ranks its chunk of cells for every requested index (keeping its
+    /// local top-k), and the partial rankings merge under the same total
+    /// order — so even a single-index `--top` query parallelizes, and the
+    /// output is bit-identical to the serial engine's, in `indexes` order.
+    pub fn top_k_batch(
+        &self,
+        indexes: &[SegIndex],
+        k: usize,
+        min_total: u64,
+        threads: usize,
+    ) -> Vec<(SegIndex, RankedCells)>
+    where
+        P: Send + Sync,
+    {
+        let threads = clamp_threads(threads, self.cube.len());
+        if threads == 1 || indexes.is_empty() {
+            return rank_cells(&self.cube, indexes, k, min_total);
+        }
+        let cells: Vec<(&CellCoords, &IndexValues)> = self.cube.cells().collect();
+        let chunk = cells.len().div_ceil(threads);
+        let partials: Vec<Vec<(SegIndex, RankedCells)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = cells
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope
+                        .spawn(move || rank_cell_list(chunk.iter().copied(), indexes, k, min_total))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("ranking worker panicked")).collect()
+        });
+        // Each worker's local top-k contains every global top-k member of
+        // its chunk, so concatenating and re-sorting loses nothing.
+        let mut merged: Vec<(SegIndex, RankedCells)> =
+            indexes.iter().map(|&ix| (ix, Vec::new())).collect();
+        for partial in partials {
+            for ((_, rows), (_, out)) in partial.into_iter().zip(&mut merged) {
+                out.extend(rows);
+            }
+        }
+        for (_, rows) in &mut merged {
+            sort_ranked(rows, k);
+        }
+        merged
+    }
+
+    /// Slice: materialized cells fixing all the given `(attr, value)`
+    /// coordinates, in canonical (sa, ca) order.
+    pub fn slice(&self, fixed: &[(&str, &str)]) -> Vec<(CellCoords, IndexValues)> {
+        sorted_slice(&self.cube, fixed)
+    }
+
+    /// Dice: the materialized sub-cube over the listed attributes only, in
+    /// canonical (sa, ca) order.
+    pub fn dice(&self, attrs: &[&str]) -> Vec<(CellCoords, IndexValues)> {
+        sorted_dice(&self.cube, attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Materialize;
+    use crate::query::CubeQueryEngine;
+    use scube_data::{Attribute, Schema, TransactionDbBuilder};
+
+    fn db() -> TransactionDb {
+        let schema =
+            Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
+                .unwrap();
+        let mut b = TransactionDbBuilder::new(schema);
+        let rows = [
+            ("F", "young", "north", "u0"),
+            ("F", "young", "north", "u0"),
+            ("M", "old", "north", "u0"),
+            ("F", "old", "south", "u1"),
+            ("M", "young", "south", "u1"),
+            ("M", "old", "south", "u1"),
+            ("F", "young", "south", "u0"),
+            ("M", "young", "north", "u1"),
+        ];
+        for (s, a, r, u) in rows {
+            b.add_row(&[vec![s], vec![a], vec![r]], u).unwrap();
+        }
+        b.finish()
+    }
+
+    fn engines() -> (SegregationCube, CubeQueryEngine, ConcurrentCubeEngine) {
+        let db = db();
+        let full = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
+        let closed = CubeBuilder::new().materialize(Materialize::ClosedOnly);
+        let serial = CubeQueryEngine::from_db(&db, &closed).unwrap();
+        let concurrent = ConcurrentCubeEngine::from_db(&db, &closed).unwrap();
+        (full, serial, concurrent)
+    }
+
+    #[test]
+    fn shared_ref_queries_match_serial_engine() {
+        let (full, mut serial, concurrent) = engines();
+        for (coords, v) in full.cells() {
+            assert_eq!(serial.query(coords).unwrap(), *v);
+            assert_eq!(concurrent.query(coords).unwrap(), *v, "cold {coords:?}");
+            assert_eq!(concurrent.query(coords).unwrap(), *v, "warm {coords:?}");
+        }
+        let stats = concurrent.stats();
+        assert_eq!(stats.total(), 2 * full.len() as u64);
+        assert!(stats.explored > 0, "closed store must force fallbacks");
+        assert_eq!(stats.cached, stats.explored, "second pass hits the shards");
+    }
+
+    #[test]
+    fn batch_matches_pointwise_and_preserves_order() {
+        let (full, _, concurrent) = engines();
+        let mut coords: Vec<CellCoords> = full.cells().map(|(c, _)| c.clone()).collect();
+        coords.sort();
+        for threads in [1, 2, 5] {
+            let batch = concurrent.query_batch(&coords, threads).unwrap();
+            assert_eq!(batch.len(), coords.len());
+            for (c, got) in coords.iter().zip(&batch) {
+                assert_eq!(full.get(c), Some(got), "threads {threads}: {c:?}");
+            }
+        }
+        // Empty batch is fine.
+        assert!(concurrent.query_batch(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn threads_share_one_engine() {
+        let (full, _, concurrent) = engines();
+        let coords: Vec<CellCoords> = full.cells().map(|(c, _)| c.clone()).collect();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let coords = &coords;
+                let engine = &concurrent;
+                let full = &full;
+                scope.spawn(move || {
+                    // Interleaved stripes: all threads collide on shards.
+                    for c in coords.iter().skip(t).step_by(4) {
+                        assert_eq!(engine.query(c).unwrap(), *full.get(c).unwrap());
+                    }
+                });
+            }
+        });
+        assert_eq!(concurrent.stats().total(), coords.len() as u64);
+    }
+
+    #[test]
+    fn ranking_and_views_match_serial_engine() {
+        let (_, serial, concurrent) = engines();
+        let indexes =
+            [SegIndex::Dissimilarity, SegIndex::Gini, SegIndex::Isolation, SegIndex::Atkinson];
+        for threads in [1, 3, 8] {
+            let par = concurrent.top_k_batch(&indexes, 4, 1, threads);
+            let ser = serial.top_k_batch(&indexes, 4, 1);
+            assert_eq!(par, ser, "threads {threads}");
+            // A single index must also rank in parallel (the store is
+            // chunked, not the index list) and merge bit-identically —
+            // including k = 0 (return all).
+            for k in [0, 3] {
+                assert_eq!(
+                    concurrent.top_k_batch(&[SegIndex::Gini], k, 1, threads),
+                    serial.top_k_batch(&[SegIndex::Gini], k, 1),
+                    "single index, threads {threads}, k {k}"
+                );
+            }
+        }
+        assert_eq!(
+            concurrent.top_k(SegIndex::Dissimilarity, 3, 1),
+            serial.top_k(SegIndex::Dissimilarity, 3, 1)
+        );
+        assert_eq!(concurrent.slice(&[("region", "north")]), serial.slice(&[("region", "north")]));
+        assert_eq!(concurrent.dice(&["sex", "region"]), serial.dice(&["sex", "region"]));
+    }
+
+    #[test]
+    fn breakdown_and_names_resolve() {
+        let (_, mut serial, concurrent) = engines();
+        let coords = concurrent.resolve(&[("sex", "F")], &[("region", "north")]).unwrap();
+        let first = concurrent.unit_breakdown(&coords);
+        assert_eq!(first, serial.unit_breakdown(&coords));
+        assert_eq!(concurrent.stats().breakdown_computed, 1);
+        // Repeated drill-downs come from the sharded breakdown cache.
+        assert_eq!(concurrent.unit_breakdown(&coords), first);
+        assert_eq!(concurrent.stats().breakdown_computed, 1, "no recomputation");
+        assert_eq!(concurrent.stats().breakdown_cached, 1);
+        assert_eq!(
+            concurrent.query_by_names(&[("sex", "F")], &[]).unwrap(),
+            serial.query_by_names(&[("sex", "F")], &[]).unwrap()
+        );
+        assert!(concurrent.query_by_names(&[("region", "north")], &[]).is_err(), "role confusion");
+    }
+
+    #[test]
+    fn capacity_zero_disables_shard_caching() {
+        let db = db();
+        let closed = CubeBuilder::new().materialize(Materialize::ClosedOnly);
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &closed).unwrap();
+        let full = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
+        let engine = ConcurrentCubeEngine::with_config(snap, 4, 0);
+        for round in 0..2 {
+            for (coords, v) in full.cells() {
+                assert_eq!(engine.query(coords).unwrap(), *v, "round {round}");
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.cached, 0, "no cache to hit");
+        assert!(stats.explored > 0);
+        assert_eq!(stats.total(), 2 * full.len() as u64);
+    }
+
+    #[test]
+    fn runaway_thread_requests_are_clamped() {
+        // Never more workers than items, never a thread explosion from a
+        // user-supplied count, always at least 1 — and at least 8 allowed
+        // even on a 1-CPU host so concurrency tests stay real.
+        assert_eq!(clamp_threads(1_000_000, 3), 3);
+        assert_eq!(clamp_threads(1_000_000, 100_000) % 8, 0, "cap is a multiple of 8×host");
+        assert!(clamp_threads(1_000_000, 100_000) >= 8);
+        assert!(clamp_threads(1_000_000, 100_000) < 100_000);
+        assert_eq!(clamp_threads(0, 10), 1);
+        assert_eq!(clamp_threads(4, 0), 1);
+        assert_eq!(clamp_threads(8, 100), 8);
+
+        // And end-to-end: an absurd request still answers correctly.
+        let (full, _, concurrent) = engines();
+        let coords: Vec<CellCoords> = full.cells().map(|(c, _)| c.clone()).collect();
+        let batch = concurrent.query_batch(&coords, usize::MAX).unwrap();
+        for (c, got) in coords.iter().zip(&batch) {
+            assert_eq!(full.get(c), Some(got));
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_and_reported() {
+        let db = db();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+        let engine = ConcurrentCubeEngine::with_config(snap, 0, 64);
+        assert_eq!(engine.shard_count(), 1, "shards clamp to at least 1");
+    }
+}

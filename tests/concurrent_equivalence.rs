@@ -1,0 +1,110 @@
+//! Property test for the concurrent serving layer: N threads querying the
+//! full cell universe through a shared `ConcurrentCubeEngine` (`&self`)
+//! must produce results bit-identical to the serial `CubeQueryEngine` over
+//! the same snapshot — for every posting representation (EWAH / dense /
+//! tid-vector), on datagen registries of varying planted skew, and under
+//! eviction pressure (shard capacity far below the fallback set, so shards
+//! churn mid-workload).
+
+use proptest::prelude::*;
+use scube::prelude::*;
+use scube_bitmap::{DenseBitmap, EwahBitmap, Posting, TidVec};
+use scube_cube::ConcurrentCubeEngine;
+use scube_data::TransactionDb;
+use scube_datagen::BoardsConfig;
+
+const THREADS: usize = 4;
+
+fn final_table(sector_bias: f64, seed: u64, n_companies: usize) -> TransactionDb {
+    let boards = scube_datagen::generate(
+        BoardsConfig::italy(n_companies).sector_bias(sector_bias).seed(seed),
+    );
+    let dataset = boards.to_dataset(vec![]).expect("generator output is valid");
+    scube::build_final_table(&dataset, &UnitStrategy::GroupAttribute("sector".into()), 1)
+        .expect("pipeline succeeds")
+        .db
+}
+
+/// Serial vs concurrent over one representation: same snapshot, same
+/// universe, bit-identical answers through `query_batch`, interleaved
+/// shared-`&self` stripes, and a shard cache under eviction pressure.
+fn check_representation<P: Posting + Send + Sync>(db: &TransactionDb, minsup: u64, what: &str) {
+    let full = CubeBuilder::new()
+        .min_support(minsup)
+        .materialize(Materialize::AllFrequent)
+        .build_with::<P>(db)
+        .expect("full cube builds");
+    let closed = CubeBuilder::new().min_support(minsup).materialize(Materialize::ClosedOnly);
+    let snap: CubeSnapshot<P> = CubeSnapshot::from_db(db, &closed).expect("snapshot builds");
+
+    let mut universe: Vec<CellCoords> = full.cells().map(|(c, _)| c.clone()).collect();
+    universe.sort();
+    let fallback = universe.iter().filter(|c| snap.cube().get(c).is_none()).count();
+
+    // The serial engine is the reference; gather its answers first.
+    let mut serial = CubeQueryEngine::new(snap.clone());
+    let expected: Vec<IndexValues> =
+        universe.iter().map(|c| serial.query(c).expect("serial query succeeds")).collect();
+
+    // 1. Batched fan-out over scoped threads, default shard config.
+    let engine = ConcurrentCubeEngine::new(snap.clone());
+    let batch = engine.query_batch(&universe, THREADS).expect("batch succeeds");
+    assert_eq!(batch, expected, "{what}: query_batch vs serial");
+    assert_eq!(engine.stats().total(), universe.len() as u64, "{what}: lost stats updates");
+
+    // 2. Raw shared-`&self` access: interleaved stripes so every thread
+    //    touches every shard, cold and warm rounds.
+    let engine = ConcurrentCubeEngine::new(snap.clone());
+    for round in 0..2 {
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (engine, universe, expected) = (&engine, &universe, &expected);
+                scope.spawn(move || {
+                    for (c, v) in universe.iter().zip(expected).skip(t).step_by(THREADS) {
+                        assert_eq!(
+                            engine.query(c).expect("query succeeds"),
+                            *v,
+                            "{what}: round {round}, {c:?}"
+                        );
+                    }
+                });
+            }
+        });
+    }
+    assert_eq!(engine.stats().total(), 2 * universe.len() as u64, "{what}: stats after stripes");
+
+    // 3. Eviction pressure: total capacity a quarter of the fallback set
+    //    (split over 8 shards), so cells are evicted and recomputed
+    //    mid-workload — answers must not change.
+    let tiny = ConcurrentCubeEngine::with_config(snap.clone(), 8, (fallback / 4).max(8));
+    for _ in 0..2 {
+        let batch = tiny.query_batch(&universe, THREADS).expect("tiny-cache batch succeeds");
+        assert_eq!(batch, expected, "{what}: eviction pressure changed answers");
+    }
+
+    // Cross-check against the materialized full cube too (the ground truth
+    // the serial engine was itself validated against).
+    for (c, v) in universe.iter().zip(&expected) {
+        assert_eq!(full.get(c), Some(v), "{what}: serial reference diverged from full cube");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn concurrent_serving_is_bit_identical_across_representations(
+        bias_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        // Planted skew from none (0.0) to the full per-sector propensities
+        // (1.0): changes itemset correlation, the closed-cell compression,
+        // and therefore how much of the universe is served by fallback.
+        let bias = [0.0, 0.5, 1.0][bias_idx];
+        let db = final_table(bias, seed, 250);
+        let minsup = (db.len() as u64 / 50).max(1);
+        check_representation::<EwahBitmap>(&db, minsup, "ewah");
+        check_representation::<DenseBitmap>(&db, minsup, "dense");
+        check_representation::<TidVec>(&db, minsup, "tidvec");
+    }
+}

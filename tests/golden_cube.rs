@@ -9,6 +9,7 @@
 //! diff under `tests/golden/` like any other code change.
 
 use scube::prelude::*;
+use scube_cube::ConcurrentCubeEngine;
 use scube_data::TransactionDb;
 
 const COMPANIES: usize = 150;
@@ -139,4 +140,74 @@ fn query_engine_transcript_matches_golden() {
         stats.materialized, stats.cached, stats.explored
     ));
     check("italy_query_engine.txt", include_str!("golden/italy_query_engine.txt"), &out);
+}
+
+/// The concurrent sharded engine over the same snapshot round-trip: a cold
+/// multi-threaded pass over the canonical universe, a warm pass, ranking,
+/// and the final atomic stats. Everything here is deterministic despite the
+/// 4 worker threads: answers are bit-identical by construction, each cell
+/// is queried exactly once per pass, and the cache is big enough that no
+/// eviction races can shift a query between the cached and explored tiers.
+#[test]
+fn serve_transcript_matches_golden() {
+    const THREADS: usize = 4;
+    const SHARDS: usize = 4;
+    let db = final_table();
+    let full = full_cube(&db);
+    let closed = CubeBuilder::new()
+        .min_support(MIN_SUPPORT)
+        .materialize(Materialize::ClosedOnly)
+        .parallel(false);
+    let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &closed).unwrap();
+    let loaded: CubeSnapshot = CubeSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    let engine =
+        ConcurrentCubeEngine::with_config(loaded, SHARDS, scube_cube::DEFAULT_CACHE_CAPACITY);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "store: {} closed cells (full cube: {}), {} units, min_support {}, {} shards\n",
+        engine.cube().len(),
+        full.len(),
+        engine.cube().num_units(),
+        engine.cube().min_support(),
+        engine.shard_count()
+    ));
+
+    let mut coords: Vec<CellCoords> = full.cells().map(|(c, _)| c.clone()).collect();
+    coords.sort();
+    let cold = engine.query_batch(&coords, THREADS).unwrap();
+    let stats = engine.stats();
+    out.push_str(&format!(
+        "cold pass ({THREADS} threads): materialized={} cached={} explored={}\n",
+        stats.materialized, stats.cached, stats.explored
+    ));
+    let warm = engine.query_batch(&coords, THREADS).unwrap();
+    assert_eq!(cold, warm, "warm pass must be bit-identical to cold");
+    let stats = engine.stats();
+    out.push_str(&format!(
+        "warm pass ({THREADS} threads): materialized={} cached={} explored={}\n",
+        stats.materialized, stats.cached, stats.explored
+    ));
+    for (c, v) in coords.iter().zip(&cold) {
+        let tier = if engine.cube().get(c).is_some() { "store" } else { "fallback" };
+        out.push_str(&format!(
+            "{tier:<8} {}  {}\n",
+            engine.cube().labels().describe(c),
+            fmt_values(v)
+        ));
+    }
+    for (index, ranked) in
+        engine.top_k_batch(&[SegIndex::Dissimilarity, SegIndex::Gini], 3, MIN_SUPPORT, 2)
+    {
+        out.push_str(&format!("top 3 by {index} (population >= {MIN_SUPPORT}):\n"));
+        for (c, v, x) in ranked {
+            out.push_str(&format!(
+                "  {x:.6}  {}  (M={}, T={})\n",
+                engine.cube().labels().describe(&c),
+                v.minority,
+                v.total
+            ));
+        }
+    }
+    check("italy_serve_transcript.txt", include_str!("golden/italy_serve_transcript.txt"), &out);
 }
