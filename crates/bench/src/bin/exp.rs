@@ -19,6 +19,8 @@
 //! cube-build   E14 — build-pipeline throughput; writes BENCH_cube_build.json
 //! cube-query   E15 — snapshot load + query serving; writes BENCH_cube_query.json
 //! cube-serve   E16 — concurrent sharded serving; writes BENCH_cube_serve.json
+//! cube-update  E17 — incremental delta ingest vs full rebuild; writes
+//!                    BENCH_cube_update.json
 //! all              — run everything
 //! ```
 //!
@@ -102,6 +104,10 @@ fn main() {
     }
     if run("cube-serve") {
         cube_serve_experiment();
+        matched = true;
+    }
+    if run("cube-update") {
+        cube_update_experiment();
         matched = true;
     }
     if !matched {
@@ -935,6 +941,129 @@ fn cube_serve_experiment() {
     );
     std::fs::write("BENCH_cube_serve.json", &json).expect("write BENCH_cube_serve.json");
     println!("\nwrote BENCH_cube_serve.json");
+}
+
+/// E17 — incremental cube maintenance: fold a 1% / 5% / 20% delta of
+/// appended rows into a built snapshot versus rebuilding the cube from the
+/// concatenated data, gated on bit-identity of the *entire snapshot bytes*
+/// with the from-scratch build. Writes `BENCH_cube_update.json`.
+fn cube_update_experiment() {
+    banner("E17", "incremental delta ingest vs full rebuild (writes BENCH_cube_update.json)");
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let db = italy_final_table(4000);
+    let rows = db.len();
+    let minsup = (rows as u64 / 200).max(1);
+    let full_rel = scube::final_table_relation(&db);
+
+    // Reconstruct the encoding spec so row slices re-encode identically.
+    let spec = scube_data::FinalTableSpec::from_schema(db.schema(), "unitID");
+
+    // Serial builder on the full (AllFrequent) cube: the update path is
+    // serial too, so the comparison is one thread against one thread.
+    let builder = CubeBuilder::new().min_support(minsup).parallel(false);
+    let full_db = spec.encode(&full_rel).expect("full table re-encodes");
+    let rebuilt: CubeSnapshot = CubeSnapshot::from_db(&full_db, &builder).expect("full build");
+    let rebuilt_bytes = rebuilt.to_bytes();
+    let total_cells = rebuilt.cube().len();
+
+    let mut rebuild_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&full_db, &builder).expect("full build");
+        rebuild_s = rebuild_s.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(snap);
+    }
+    // For transparency, also time the cube alone (the pre-update artifact,
+    // without the maintenance histograms an updatable snapshot carries).
+    let mut cube_only_rebuild_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        std::hint::black_box(builder.build(&full_db).expect("cube builds"));
+        cube_only_rebuild_s = cube_only_rebuild_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    println!("rows: {rows}, min_support: {minsup}, cells: {total_cells}");
+    println!(
+        "full snapshot rebuild (serial): {:.1} ms ({:.1} ms cube only)",
+        rebuild_s * 1e3,
+        cube_only_rebuild_s * 1e3
+    );
+
+    let mut table = TextTable::new()
+        .header(["delta", "rows", "dirty", "promoted", "clean", "update", "speedup"])
+        .aligns(vec![
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    let mut deltas_json = String::new();
+    for delta_pct in [1usize, 5, 20] {
+        let delta_rows = (rows * delta_pct / 100).max(1);
+        let base_rows = rows - delta_rows;
+        let base_db = spec.encode(&full_rel.slice_rows(0..base_rows)).expect("base rows encode");
+        let delta_rel = full_rel.slice_rows(base_rows..rows);
+        let base: CubeSnapshot = CubeSnapshot::from_db(&base_db, &builder).expect("base build");
+        let batch =
+            scube_cube::UpdateBatch::from_relation(&delta_rel, base.cube().labels(), "unitID")
+                .expect("delta rows resolve");
+
+        let mut update_s = f64::INFINITY;
+        let mut stats = scube_cube::UpdateStats::default();
+        let mut updated = base.clone();
+        for _ in 0..3 {
+            let mut snap = base.clone();
+            let t0 = Instant::now();
+            stats = snap.apply_update(&batch).expect("update applies");
+            update_s = update_s.min(t0.elapsed().as_secs_f64());
+            updated = snap;
+        }
+        // Gate every recorded number on whole-snapshot bit-identity with
+        // the from-scratch build of the concatenated data.
+        assert_eq!(
+            updated.to_bytes(),
+            rebuilt_bytes,
+            "update diverged from the full rebuild at {delta_pct}% delta"
+        );
+
+        let speedup = rebuild_s / update_s;
+        table.row([
+            format!("{delta_pct}%"),
+            delta_rows.to_string(),
+            stats.dirty_cells.to_string(),
+            stats.promoted_cells.to_string(),
+            stats.clean_cells.to_string(),
+            format!("{:.2} ms", update_s * 1e3),
+            format!("{speedup:.1}x"),
+        ]);
+        if !deltas_json.is_empty() {
+            deltas_json.push_str(",\n");
+        }
+        deltas_json.push_str(&format!(
+            "    {{\"delta_pct\": {delta_pct}, \"delta_rows\": {delta_rows}, \
+             \"base_rows\": {base_rows}, \"update_s\": {update_s:.6}, \
+             \"rebuild_s\": {rebuild_s:.6}, \"speedup\": {speedup:.2}, \
+             \"dirty_cells\": {}, \"promoted_cells\": {}, \"clean_cells\": {}, \
+             \"bit_identical\": true}}",
+            stats.dirty_cells, stats.promoted_cells, stats.clean_cells,
+        ));
+    }
+    print!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"cube_update\",\n  \"generated_by\": \
+         \"cargo run -p scube-bench --release --bin exp -- cube-update\",\n  \
+         \"host_threads\": {host_threads},\n  \"dataset\": \"italy\",\n  \
+         \"companies\": 4000,\n  \"rows\": {rows},\n  \"min_support\": {minsup},\n  \
+         \"total_cells\": {total_cells},\n  \"rebuild_s\": {rebuild_s:.6},\n  \
+         \"cube_only_rebuild_s\": {cube_only_rebuild_s:.6},\n  \
+         \"deltas\": [\n{deltas_json}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_cube_update.json", &json).expect("write BENCH_cube_update.json");
+    println!("\nwrote BENCH_cube_update.json");
 }
 
 /// E13 (extension) — permutation significance of discovered contexts:

@@ -123,6 +123,16 @@ impl Posting for DenseBitmap {
         d
     }
 
+    fn append_sorted(&mut self, ids: &[u32]) {
+        let mut prev: Option<u32> = None;
+        for &id in ids {
+            assert!(prev.is_none_or(|p| id > p), "ids must be strictly increasing");
+            debug_assert!(!self.contains(id), "appended ids must be new");
+            prev = Some(id);
+            self.insert(id);
+        }
+    }
+
     fn and(&self, other: &Self) -> Self {
         self.op(other, |a, b| a & b)
     }

@@ -471,6 +471,18 @@ impl Posting for EwahBitmap {
         out.finish()
     }
 
+    fn append_sorted(&mut self, ids: &[u32]) {
+        if ids.is_empty() {
+            return;
+        }
+        // Merging the two compressed streams is O(stored words) without
+        // decompressing anything, and the Appender re-compresses greedily,
+        // so the result is the same canonical word stream `from_sorted`
+        // would build from the concatenated id list — byte-identical
+        // snapshots do not depend on the construction path.
+        *self = self.or(&EwahBitmap::from_sorted(ids));
+    }
+
     fn and(&self, other: &Self) -> Self {
         self.binary_op(other, BinOp::And)
     }

@@ -88,6 +88,27 @@ pub trait Posting: Sized + Clone {
         Self::from_sorted(&(0..n).collect::<Vec<u32>>())
     }
 
+    /// Extend the set in place with strictly increasing ids, all larger
+    /// than every id already present — the shape of a delta-ingest append,
+    /// where new transaction ids always follow the existing ones.
+    ///
+    /// The default re-encodes through [`Posting::from_sorted`];
+    /// representations override it with a cheaper tail extension
+    /// ([`TidVec`] pushes, [`DenseBitmap`] grows its word vector,
+    /// [`EwahBitmap`] merges the compressed streams without decompressing).
+    ///
+    /// # Panics
+    /// Implementations may panic if `ids` is not strictly increasing or not
+    /// strictly above the current maximum id.
+    fn append_sorted(&mut self, ids: &[u32]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut all = self.to_vec();
+        all.extend_from_slice(ids);
+        *self = Self::from_sorted(&all);
+    }
+
     /// Set intersection.
     #[must_use]
     fn and(&self, other: &Self) -> Self;
@@ -259,6 +280,36 @@ mod tests {
         p.write_bytes(&mut bytes);
         bytes[0] ^= 1; // flip the cardinality field
         assert!(EwahBitmap::read_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn append_sorted_matches_from_scratch_build() {
+        fn check<P: Posting + PartialEq + std::fmt::Debug>() {
+            for (base, delta) in [
+                (vec![], vec![0u32, 3]),
+                (vec![0u32, 1, 5], vec![]),
+                (vec![0u32, 1, 5], vec![6]),
+                (vec![3u32, 63], vec![64, 65, 200]),
+                (vec![0u32, 64, 1000], vec![1001, 1002, 5000]),
+                ((0..300).collect::<Vec<u32>>(), (300..420).collect::<Vec<u32>>()),
+                (vec![7u32], vec![1_000_000]),
+            ] {
+                let mut appended = P::from_sorted(&base);
+                appended.append_sorted(&delta);
+                let all: Vec<u32> = base.iter().chain(delta.iter()).copied().collect();
+                let scratch = P::from_sorted(&all);
+                assert_eq!(appended, scratch, "{base:?} + {delta:?}");
+                // Canonical encoding must not depend on the build path:
+                // snapshot byte-identity after an update relies on this.
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                appended.write_bytes(&mut a);
+                scratch.write_bytes(&mut b);
+                assert_eq!(a, b, "{base:?} + {delta:?}: encodings diverge");
+            }
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
     }
 
     #[test]

@@ -46,6 +46,16 @@ impl Posting for TidVec {
         TidVec { ids: ids.to_vec() }
     }
 
+    fn append_sorted(&mut self, ids: &[u32]) {
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1], "ids must be strictly increasing");
+        }
+        if let (Some(&last), Some(&first)) = (self.ids.last(), ids.first()) {
+            assert!(first > last, "appended ids must be strictly above the current maximum");
+        }
+        self.ids.extend_from_slice(ids);
+    }
+
     fn and(&self, other: &Self) -> Self {
         let (mut i, mut j) = (0, 0);
         let mut out = Vec::with_capacity(self.ids.len().min(other.ids.len()));

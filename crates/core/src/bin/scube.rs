@@ -38,7 +38,7 @@ use scube_common::ScubeError;
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let verb = match args.first().map(String::as_str) {
-        Some("save") | Some("query") | Some("run") => args.remove(0),
+        Some("save") | Some("query") | Some("run") | Some("update") => args.remove(0),
         _ => "run".to_string(),
     };
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
@@ -48,6 +48,7 @@ fn main() -> ExitCode {
     let outcome = match verb.as_str() {
         "save" => run_save(&args),
         "query" => run_query(&args),
+        "update" => run_update(&args),
         _ => run(&args),
     };
     match outcome {
@@ -69,6 +70,11 @@ verbs:
   scube [run] ...        run the pipeline and write reports (--out)
   scube save ...         run the pipeline and persist a cube snapshot
                          (--snapshot <file>; input flags as for run)
+  scube update ...       fold appended rows into a saved snapshot in place:
+    --snapshot <file>    the snapshot to patch and re-save (required)
+    --add <csv>          appended final-table rows: one column per cube
+                         attribute plus the unit column (required)
+    --unit-col <col>     the unit column of --add [unitID]
   scube query ...        serve queries from a saved snapshot:
     --snapshot <file>    the snapshot to load (required)
     --sa a=v,...         point query: minority coordinates (omit = *)
@@ -338,6 +344,29 @@ fn run_save(args: &[String]) -> Result<String> {
         result.stats.n_units,
         result.stats.n_rows,
         result.timings.total()
+    ))
+}
+
+/// `scube update`: fold appended rows into a saved snapshot, re-save it.
+fn run_update(args: &[String]) -> Result<String> {
+    let flags = Flags { args: args.to_vec() };
+    let path = flags.require("--snapshot")?.to_string();
+    let rows_path = flags.require("--add")?;
+    let unit_col = flags.value_of("--unit-col")?.unwrap_or("unitID");
+    let rows = Relation::read_csv_path(rows_path)?;
+    let start = std::time::Instant::now();
+    let stats = scube::update_snapshot_file(&path, &rows, unit_col)?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "updated {path}: +{} rows (+{} values, +{} units); {} cells re-evaluated, \
+         {} promoted, {} untouched ({bytes} bytes, {:?})",
+        stats.rows_added,
+        stats.new_items,
+        stats.new_units,
+        stats.dirty_cells,
+        stats.promoted_cells,
+        stats.clean_cells,
+        start.elapsed()
     ))
 }
 
@@ -669,6 +698,79 @@ mod tests {
         ] {
             let q: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(run_query(&q).is_err(), "{q:?} should be rejected");
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_update_query_roundtrip() {
+        let dir = std::env::temp_dir().join("scube_cli_update");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).display().to_string();
+        std::fs::write(
+            p("individuals.csv"),
+            "id,gender\nd1,F\nd2,F\nd3,F\nd4,M\nd5,M\nd6,M\nd7,F\nd8,M\n",
+        )
+        .unwrap();
+        std::fs::write(p("groups.csv"), "id,sector\nc1,edu\nc2,agri\n").unwrap();
+        std::fs::write(p("membership.csv"), "dir,comp\nd1,c1\nd2,c1\nd3,c1\nd4,c2\nd5,c2\nd6,c2\n")
+            .unwrap();
+        let base = [
+            "--individuals",
+            &p("individuals.csv"),
+            "--id",
+            "id",
+            "--sa",
+            "gender",
+            "--groups",
+            &p("groups.csv"),
+            "--group-id",
+            "id",
+            "--membership",
+            &p("membership.csv"),
+            "--ind-col",
+            "dir",
+            "--grp-col",
+            "comp",
+            "--units",
+            "sector",
+            "--snapshot",
+            &p("cube.scube"),
+        ];
+        let args: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        run_save(&args).unwrap();
+
+        // Breaking news: a woman joins agri, a man joins edu.
+        std::fs::write(p("delta.csv"), "gender,unitID\nF,agri\nM,edu\n").unwrap();
+        let q: Vec<String> = ["--snapshot", &p("cube.scube"), "--add", &p("delta.csv")]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let summary = run_update(&q).unwrap();
+        assert!(summary.contains("+2 rows"), "{summary}");
+
+        // The patched snapshot answers with the grown population: women
+        // are no longer fully concentrated in edu (D < 1).
+        let q: Vec<String> = ["--snapshot", &p("cube.scube"), "--sa", "gender=F", "--breakdown"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let answer = run_query(&q).unwrap();
+        assert!(answer.contains("M=4 T=8"), "{answer}");
+        assert!(answer.contains("edu: 3/4"), "{answer}");
+        assert!(answer.contains("agri: 1/4"), "{answer}");
+        assert!(!answer.contains("D=1.0000"), "{answer}");
+
+        // Bad invocations error instead of clobbering the snapshot.
+        for bad in [
+            vec!["--snapshot", &p("cube.scube")],
+            vec!["--add", &p("delta.csv")],
+            vec!["--snapshot", &p("cube.scube"), "--add", &p("delta.csv"), "--unit-col"],
+            vec!["--snapshot", &p("cube.scube"), "--add", &p("missing.csv")],
+        ] {
+            let q: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(run_update(&q).is_err(), "{q:?} should be rejected");
         }
 
         std::fs::remove_dir_all(&dir).ok();

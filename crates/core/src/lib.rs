@@ -70,7 +70,10 @@ pub mod visualizer;
 pub mod wizard;
 
 pub use inputs::{Dataset, GroupsSpec, IndividualsSpec, MembershipSpec};
-pub use pipeline::{run, run_final_table, run_snapshots, snapshot, ScubeConfig, ScubeResult};
+pub use pipeline::{
+    run, run_final_table, run_snapshots, snapshot, update, update_snapshot_file, ScubeConfig,
+    ScubeResult,
+};
 pub use table_builder::{build_final_table, final_table_relation, FinalTable, UnitStrategy};
 pub use unit_assignment::ClusteringMethod;
 pub use visualizer::Visualizer;
@@ -80,7 +83,8 @@ pub use wizard::Wizard;
 pub mod prelude {
     pub use crate::inputs::{Dataset, GroupsSpec, IndividualsSpec, MembershipSpec};
     pub use crate::pipeline::{
-        run, run_final_table, run_snapshots, snapshot, ScubeConfig, ScubeResult,
+        run, run_final_table, run_snapshots, snapshot, update, update_snapshot_file, ScubeConfig,
+        ScubeResult,
     };
     pub use crate::table_builder::UnitStrategy;
     pub use crate::unit_assignment::ClusteringMethod;
@@ -90,6 +94,7 @@ pub mod prelude {
     pub use scube_cube::{
         fig1_grid, radial_series, top_contexts, CellCoords, ConcurrentCubeEngine, CubeBuilder,
         CubeExplorer, CubeQueryEngine, CubeSnapshot, Materialize, QueryStats, SegregationCube,
+        UpdateBatch, UpdateStats,
     };
     pub use scube_data::{FinalTableSpec, Relation};
     pub use scube_graph::{LabelPropParams, StocParams};

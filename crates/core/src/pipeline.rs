@@ -4,10 +4,11 @@
 //! SegregationDataCubeBuilder → Visualizer`, with the pre-processing
 //! stages skipped when data already carries a `unitID` (tabular scenario).
 
+use std::path::Path;
 use std::time::Instant;
 
 use scube_common::Result;
-use scube_cube::{CubeBuilder, CubeSnapshot, SegregationCube};
+use scube_cube::{CubeBuilder, CubeSnapshot, SegregationCube, UpdateBatch, UpdateStats};
 use scube_data::{FinalTableSpec, Relation, TransactionDb, VerticalDb};
 use scube_graph::Clustering;
 
@@ -55,6 +56,11 @@ pub struct ScubeResult {
     /// The vertical (item → tidset) view the cube was mined from, kept so
     /// [`snapshot`] and explorers never rebuild it.
     pub vertical: VerticalDb,
+    /// The cube builder the run used, kept so [`snapshot`] records the
+    /// build configuration (materialization, Atkinson parameter) —
+    /// without it, later `scube update`s would maintain the cube under
+    /// the wrong parameters.
+    pub builder: CubeBuilder,
     /// The clustering behind the units (graph scenarios).
     pub clustering: Option<Clustering>,
     /// Isolated projected nodes.
@@ -86,6 +92,7 @@ pub fn run(dataset: &Dataset, config: &ScubeConfig) -> Result<ScubeResult> {
         cube,
         final_table: ft.db,
         vertical,
+        builder: config.cube,
         clustering: ft.clustering,
         isolated: ft.isolated,
         timings,
@@ -118,6 +125,7 @@ pub fn run_final_table(
         cube: built,
         final_table: db,
         vertical,
+        builder: *cube,
         clustering: None,
         isolated: Vec::new(),
         timings,
@@ -128,9 +136,40 @@ pub fn run_final_table(
 /// Package a finished run as a persistable [`CubeSnapshot`]: the cube plus
 /// the vertical postings it was mined from (already built by [`run`] — not
 /// reconstructed), ready for `scube save` /
-/// [`scube_cube::CubeQueryEngine`] serving without re-mining.
+/// [`scube_cube::CubeQueryEngine`] serving without re-mining. The run's
+/// build configuration is recorded in the snapshot, so later updates
+/// maintain the cube under the same materialization and Atkinson
+/// parameter.
 pub fn snapshot(result: &ScubeResult) -> Result<CubeSnapshot> {
-    CubeSnapshot::new(result.cube.clone(), result.vertical.clone())
+    let config = result.builder.config();
+    Ok(CubeSnapshot::new(result.cube.clone(), result.vertical.clone())?
+        .with_build_config(config.materialize, config.atkinson_b))
+}
+
+/// Incremental maintenance: fold a batch of appended rows into a built
+/// snapshot in place — postings extended at their tails, newly-frequent
+/// itemsets promoted, exactly the dirty cells re-evaluated. Bit-identical
+/// to re-running the pipeline on the concatenated data, at a fraction of
+/// the cost (see `scube_cube::update`).
+pub fn update(snapshot: &mut CubeSnapshot, batch: &UpdateBatch) -> Result<UpdateStats> {
+    snapshot.apply_update(batch)
+}
+
+/// The `scube update` verb: load a snapshot file, fold a final-table-shaped
+/// relation of appended rows into it (`unit_column` names the unit id
+/// column), and save the patched snapshot back in format v2. Returns the
+/// update stats; the file is only rewritten when the update succeeds.
+pub fn update_snapshot_file(
+    path: impl AsRef<Path>,
+    rows: &Relation,
+    unit_column: &str,
+) -> Result<UpdateStats> {
+    let path = path.as_ref();
+    let mut snapshot: CubeSnapshot = CubeSnapshot::load(path)?;
+    let batch = UpdateBatch::from_relation(rows, snapshot.cube().labels(), unit_column)?;
+    let stats = snapshot.apply_update(&batch)?;
+    snapshot.save(path)?;
+    Ok(stats)
 }
 
 /// Temporal analysis: run the pipeline once per snapshot date.
@@ -274,6 +313,33 @@ mod tests {
         let mut engine = scube_cube::CubeQueryEngine::new(loaded);
         let coords = result.cube.coords_by_names(&[("gender", "F")], &[]).unwrap();
         assert_eq!(engine.query(&coords).unwrap().dissimilarity, Some(1.0));
+    }
+
+    #[test]
+    fn snapshot_records_the_run_build_config() {
+        use scube_cube::{Materialize, UpdateBatch};
+        let d = dataset();
+        let config = ScubeConfig::new(UnitStrategy::GroupAttribute("sector".into()))
+            .cube(CubeBuilder::new().materialize(Materialize::ClosedOnly).atkinson_b(0.25));
+        let result = run(&d, &config).unwrap();
+        let snap = snapshot(&result).unwrap();
+        // The save path must carry the run's configuration, or later
+        // updates would maintain a closed cube under AllFrequent rules
+        // (and re-evaluate with the wrong Atkinson parameter).
+        assert_eq!(snap.materialize(), Materialize::ClosedOnly);
+        assert_eq!(snap.atkinson_b(), 0.25);
+        // And a snapshot-path update matches re-running the pipeline on
+        // the concatenated final table.
+        let full_rel = crate::table_builder::final_table_relation(&result.final_table);
+        let mut updated = snap;
+        let batch = UpdateBatch::from_relation(
+            &full_rel.slice_rows(0..2),
+            updated.cube().labels(),
+            "unitID",
+        )
+        .unwrap();
+        updated.apply_update(&batch).unwrap();
+        assert!(updated.cube().len() >= result.cube.len());
     }
 
     #[test]

@@ -80,6 +80,28 @@ impl Default for CubeConfig {
 type ContextHist = Vec<(u32, u64)>;
 
 /// Builds [`SegregationCube`]s.
+///
+/// ```
+/// use scube_cube::{CubeBuilder, Materialize};
+/// use scube_data::{Attribute, Schema, TransactionDbBuilder};
+///
+/// // Two units: women fill u0, men fill u1 — complete segregation.
+/// let schema = Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")])?;
+/// let mut b = TransactionDbBuilder::new(schema);
+/// for (sex, unit) in [("F", "u0"), ("F", "u0"), ("M", "u1"), ("M", "u1")] {
+///     b.add_row(&[vec![sex], vec!["north"]], unit)?;
+/// }
+/// let db = b.finish();
+///
+/// let cube = CubeBuilder::new()
+///     .min_support(1)
+///     .materialize(Materialize::AllFrequent)
+///     .build(&db)?;
+/// let women = cube.get_by_names(&[("sex", "F")], &[]).unwrap();
+/// assert_eq!(women.dissimilarity, Some(1.0));
+/// assert_eq!(women.minority, 2);
+/// # Ok::<(), scube_common::ScubeError>(())
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CubeBuilder {
     config: CubeConfig,

@@ -94,6 +94,14 @@ impl CubeLabels {
     pub fn find_item(&self, attr: &str, value: &str) -> Option<ItemId> {
         self.items.iter().position(|(a, v, _)| a == attr && v == value).map(|i| i as ItemId)
     }
+
+    /// Append a new item label, returning its id (delta ingest: values
+    /// first seen in an [`crate::update::UpdateBatch`] extend the
+    /// dictionary at the tail, never renumbering existing items).
+    pub(crate) fn push_item(&mut self, attr: String, value: String, is_sa: bool) -> ItemId {
+        self.items.push((attr, value, is_sa));
+        (self.items.len() - 1) as ItemId
+    }
 }
 
 /// A materialized segregation data cube.
@@ -168,6 +176,14 @@ impl SegregationCube {
     /// Iterate all `(coords, values)` cells (unordered).
     pub fn cells(&self) -> impl Iterator<Item = (&CellCoords, &IndexValues)> {
         self.cells.iter()
+    }
+
+    /// Mutable view of the update path (`crate::update`): labels, cell
+    /// store, and the global unit count, in one borrow.
+    pub(crate) fn update_parts(
+        &mut self,
+    ) -> (&mut CubeLabels, &mut FxHashMap<CellCoords, IndexValues>, &mut u32) {
+        (&mut self.labels, &mut self.cells, &mut self.n_units)
     }
 
     /// Cells whose coordinates only use the listed attributes (the cells of

@@ -88,6 +88,19 @@ impl<P: Posting> CubeExplorer<P> {
         &self.vertical
     }
 
+    /// Mutable access for the update path (`crate::update` extends the
+    /// postings in place). Callers must call [`Self::refresh_scratch`]
+    /// afterwards if the unit count grew.
+    pub(crate) fn vertical_mut(&mut self) -> &mut VerticalDb<P> {
+        &mut self.vertical
+    }
+
+    /// Re-size the explorer's own scratch to the (possibly grown) unit
+    /// count after an update.
+    pub(crate) fn refresh_scratch(&mut self) {
+        self.scratch = ExplorerScratch::new(self.vertical.num_units());
+    }
+
     /// A fresh scratch sized for this explorer's database (what a worker
     /// thread checks out before calling the `_with` methods).
     pub fn new_scratch(&self) -> ExplorerScratch {

@@ -32,6 +32,13 @@
 //! non-materialized ⋆-combinations, and [`serve::ConcurrentCubeEngine`] is
 //! the same engine through `&self` — sharded cell cache, pooled explorer
 //! scratches, atomic counters — for multi-threaded serving.
+//!
+//! And it is *maintained*: an [`update::UpdateBatch`] of appended rows
+//! folds into a snapshot or a running engine in place — postings extended
+//! at their tails, newly-frequent itemsets promoted, only dirty cells
+//! recomputed from incrementally maintained integer histograms —
+//! bit-identical to a full rebuild on the concatenated data at a fraction
+//! of the cost (the streaming-ingest path; see [`update`]).
 
 pub mod builder;
 pub mod coords;
@@ -41,6 +48,7 @@ pub mod query;
 pub mod report;
 pub mod serve;
 pub mod snapshot;
+pub mod update;
 
 pub use builder::{CubeBuilder, CubeConfig, Materialize};
 pub use coords::CellCoords;
@@ -52,3 +60,4 @@ pub use query::{
 pub use report::{fig1_grid, radial_series, to_csv, top_contexts};
 pub use serve::{ConcurrentCubeEngine, DEFAULT_SHARDS};
 pub use snapshot::CubeSnapshot;
+pub use update::{UpdateBatch, UpdateStats};

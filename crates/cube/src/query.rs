@@ -8,8 +8,8 @@
 //! 2. **cached** — non-materialized ⋆-combinations already computed this
 //!    session come from a bounded LRU cell cache;
 //! 3. **explored** — everything else is recomputed exactly from the
-//!    [`VerticalDb`] postings by the [`CubeExplorer`] and inserted into the
-//!    cache.
+//!    [`scube_data::VerticalDb`] postings by the [`CubeExplorer`] and
+//!    inserted into the cache.
 //!
 //! All three tiers return bit-identical values (tested in
 //! `tests/query_engine_equivalence.rs`); the tiers only change latency.
@@ -244,6 +244,32 @@ pub(crate) fn sorted_dice(
 
 /// Serves cube queries from a materialized store with a cached explorer
 /// fallback (see the module docs).
+///
+/// ```
+/// use scube_cube::{CubeBuilder, CubeQueryEngine, Materialize};
+/// use scube_data::{Attribute, Schema, TransactionDbBuilder};
+/// use scube_segindex::SegIndex;
+///
+/// let schema = Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")])?;
+/// let mut b = TransactionDbBuilder::new(schema);
+/// for (sex, region, unit) in
+///     [("F", "north", "u0"), ("F", "north", "u0"), ("M", "north", "u1"), ("M", "south", "u1")]
+/// {
+///     b.add_row(&[vec![sex], vec![region]], unit)?;
+/// }
+/// let db = b.finish();
+///
+/// // Serve a *closed* store: non-materialized ⋆-combinations fall back to
+/// // the cached explorer, with bit-identical answers.
+/// let closed = CubeBuilder::new().materialize(Materialize::ClosedOnly);
+/// let mut engine: CubeQueryEngine = CubeQueryEngine::from_db(&db, &closed)?;
+/// let women = engine.query_by_names(&[("sex", "F")], &[("region", "north")])?;
+/// assert_eq!(women.minority, 2);
+/// let top = engine.top_k(SegIndex::Dissimilarity, 3, 1);
+/// assert!(!top.is_empty());
+/// assert!(engine.stats().total() > 0);
+/// # Ok::<(), scube_common::ScubeError>(())
+/// ```
 #[derive(Debug)]
 pub struct CubeQueryEngine<P: Posting = EwahBitmap> {
     cube: SegregationCube,
@@ -266,11 +292,16 @@ impl<P: Posting> CubeQueryEngine<P> {
     /// Serve from a snapshot with an explicit cell-cache capacity
     /// (`0` disables caching: every fallback recomputes).
     pub fn with_cache_capacity(snapshot: CubeSnapshot<P>, capacity: usize) -> Self {
+        // The explorer recomputes fallback cells with the Atkinson
+        // parameter the cube was built with (recorded since snapshot v2),
+        // so the fallback tier stays bit-identical to the store even for
+        // non-default `b`.
+        let atkinson_b = snapshot.atkinson_b();
         let (cube, vertical) = snapshot.into_parts();
         let breakdowns = LruCache::new(breakdown_capacity(capacity, cube.num_units()));
         CubeQueryEngine {
             cube,
-            explorer: CubeExplorer::from_vertical(vertical),
+            explorer: CubeExplorer::from_vertical(vertical).with_atkinson_b(atkinson_b),
             cache: LruCache::new(capacity),
             breakdowns,
             stats: AtomicQueryStats::default(),
@@ -325,7 +356,8 @@ impl<P: Posting> CubeQueryEngine<P> {
     }
 
     /// Resolve attribute/value names against the cube labels, enforcing
-    /// attribute roles (see [`resolve_coords`]).
+    /// attribute roles: a context attribute on the minority side (or vice
+    /// versa) errors instead of addressing a cell outside the cube.
     pub fn resolve(&self, sa: &[(&str, &str)], ca: &[(&str, &str)]) -> Result<CellCoords> {
         resolve_coords(self.cube.labels(), sa, ca)
     }
@@ -457,6 +489,32 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
         Some(&self.entries[i].value)
     }
 
+    /// Drop every entry the predicate rejects, preserving the recency
+    /// order of the survivors. Used by the update path to invalidate
+    /// exactly the dirty cached cells; O(len), which is negligible next to
+    /// the update itself.
+    pub(crate) fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) {
+        let mut order = Vec::with_capacity(self.entries.len());
+        let mut i = self.head;
+        while i != NIL {
+            order.push(i);
+            i = self.entries[i].next;
+        }
+        let mut slots: Vec<Option<LruEntry<K, V>>> =
+            std::mem::take(&mut self.entries).into_iter().map(Some).collect();
+        self.map.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        // Reinsert survivors least-recent first, so the recency list comes
+        // back in the original order.
+        for &i in order.iter().rev() {
+            let e = slots[i].take().expect("recency list links each slot once");
+            if keep(&e.key, &e.value) {
+                self.insert(e.key, e.value);
+            }
+        }
+    }
+
     pub(crate) fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
@@ -529,6 +587,35 @@ mod tests {
         c.insert(3, 30);
         assert_eq!(c.get(&2), None);
         assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn lru_retain_preserves_recency_order() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for k in 0..4 {
+            c.insert(k, k * 10);
+        }
+        assert_eq!(c.get(&0), Some(&0)); // 0 now most recent
+        c.retain(|&k, _| k != 1 && k != 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.get(&0), Some(&0));
+        assert_eq!(c.get(&2), Some(&20));
+        // Recency survived the rebuild: filling the two free slots then one
+        // more evicts 2 (least recent of the survivors), not 0.
+        c.insert(5, 50);
+        c.insert(6, 60);
+        assert_eq!(c.get(&0), Some(&0));
+        c.insert(7, 70);
+        assert_eq!(c.get(&2), None, "2 was the eviction candidate");
+        assert_eq!(c.get(&0), Some(&0));
+        // Retain-all and retain-none are both fine.
+        c.retain(|_, _| true);
+        assert_eq!(c.len(), 4);
+        c.retain(|_, _| false);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.get(&0), None);
     }
 
     #[test]

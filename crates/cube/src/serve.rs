@@ -30,7 +30,7 @@ use scube_common::{Result, SpinLock};
 use scube_data::TransactionDb;
 use scube_segindex::{IndexValues, SegIndex};
 
-use crate::builder::CubeBuilder;
+use crate::builder::{CubeBuilder, Materialize};
 use crate::coords::CellCoords;
 use crate::cube::SegregationCube;
 use crate::explore::{CubeExplorer, ExplorerScratch};
@@ -39,6 +39,7 @@ use crate::query::{
     sorted_slice, AtomicQueryStats, LruCache, QueryStats, RankedCells, DEFAULT_CACHE_CAPACITY,
 };
 use crate::snapshot::CubeSnapshot;
+use crate::update::{MaintenanceStore, UpdateBatch, UpdateStats};
 
 /// Default shard count of the fallback cell cache: enough that a handful of
 /// worker threads rarely collide, small enough to be negligible memory.
@@ -67,6 +68,32 @@ fn clamp_threads(requested: usize, items: usize) -> usize {
 /// A `Sync` serving layer over a cube snapshot: shared-reference point,
 /// batch, top-k, slice, dice, and breakdown queries from any number of
 /// threads (see the module docs).
+///
+/// ```
+/// use scube_cube::{ConcurrentCubeEngine, CubeBuilder};
+/// use scube_data::{Attribute, Schema, TransactionDbBuilder};
+///
+/// let schema = Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")])?;
+/// let mut b = TransactionDbBuilder::new(schema);
+/// for (sex, unit) in [("F", "u0"), ("F", "u1"), ("M", "u0"), ("M", "u1")] {
+///     b.add_row(&[vec![sex], vec!["north"]], unit)?;
+/// }
+/// let db = b.finish();
+///
+/// let engine: ConcurrentCubeEngine = ConcurrentCubeEngine::from_db(&db, &CubeBuilder::new())?;
+/// // `query` takes `&self`: one engine serves any number of threads.
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         let engine = &engine;
+///         scope.spawn(move || {
+///             let v = engine.query_by_names(&[("sex", "F")], &[]).unwrap();
+///             assert_eq!(v.dissimilarity, Some(0.0)); // perfectly even
+///         });
+///     }
+/// });
+/// assert_eq!(engine.stats().total(), 4);
+/// # Ok::<(), scube_common::ScubeError>(())
+/// ```
 #[derive(Debug)]
 pub struct ConcurrentCubeEngine<P: Posting = EwahBitmap> {
     cube: SegregationCube,
@@ -75,6 +102,12 @@ pub struct ConcurrentCubeEngine<P: Posting = EwahBitmap> {
     breakdown_shards: Vec<Shard<Breakdown>>,
     scratches: SpinLock<Vec<ExplorerScratch>>,
     stats: AtomicQueryStats,
+    /// Build configuration and maintenance store carried over from the
+    /// snapshot, so [`Self::apply_update`] maintains the cube under the
+    /// parameters it was built with, at delta cost.
+    materialize: Materialize,
+    atkinson_b: f64,
+    maintenance: MaintenanceStore,
 }
 
 impl<P: Posting> ConcurrentCubeEngine<P> {
@@ -89,7 +122,7 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
     /// e.g. 16 shards × capacity 100 hold up to 7 cells each; capacity 0
     /// disables caching entirely).
     pub fn with_config(snapshot: CubeSnapshot<P>, shards: usize, capacity: usize) -> Self {
-        let (cube, vertical) = snapshot.into_parts();
+        let (cube, vertical, maintenance, materialize, atkinson_b) = snapshot.into_serving_parts();
         let n_shards = shards.max(1);
         let per_shard = if capacity == 0 { 0 } else { capacity.div_ceil(n_shards) };
         // Breakdown values are per-unit Vecs, so that cache is budgeted by
@@ -97,7 +130,10 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
         // the cell cache.
         let bd_capacity = breakdown_capacity(capacity, cube.num_units());
         let bd_per_shard = if bd_capacity == 0 { 0 } else { bd_capacity.div_ceil(n_shards) };
-        let explorer = CubeExplorer::from_vertical(vertical);
+        // Recompute fallback cells with the Atkinson parameter the cube
+        // was built with (recorded since snapshot v2): the cold tier stays
+        // bit-identical to the store even for non-default `b`.
+        let explorer = CubeExplorer::from_vertical(vertical).with_atkinson_b(atkinson_b);
         // Seed the scratch pool for the host's parallelism so even the
         // first wave of cold queries finds a scratch waiting; the pool
         // still grows (one allocation, once) if more threads ever query
@@ -113,7 +149,49 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
                 .collect(),
             scratches: SpinLock::new(scratches),
             stats: AtomicQueryStats::default(),
+            materialize,
+            atkinson_b,
+            maintenance,
         }
+    }
+
+    /// Fold a batch of appended rows into the serving engine: the cube and
+    /// postings are updated in place (bit-identical to a full rebuild on
+    /// the concatenated data, see [`crate::update`]) and **exactly** the
+    /// dirty cache entries — fallback cells and breakdowns whose context
+    /// gained transactions — are invalidated, shard by shard; clean cached
+    /// values stay resident and stay correct.
+    ///
+    /// Taking `&mut self` is what makes the swap atomic: the borrow
+    /// checker guarantees no in-flight query can observe a half-applied
+    /// update, with no extra locking on the read path. Deployments that
+    /// serve during updates wrap the engine in an `RwLock` (or swap an
+    /// `Arc`) at the layer above.
+    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<UpdateStats> {
+        let outcome = crate::update::apply_update(
+            &mut self.cube,
+            self.explorer.vertical_mut(),
+            &mut self.maintenance,
+            batch,
+            self.materialize,
+            self.atkinson_b,
+        )?;
+        // The unit space may have grown: refresh every pooled scratch (and
+        // the explorer's own) to the new size.
+        self.explorer.refresh_scratch();
+        let pool_size = self.scratches.lock().len();
+        *self.scratches.lock() = (0..pool_size).map(|_| self.explorer.new_scratch()).collect();
+        // Surgical invalidation: a cached value is stale iff its context
+        // gained transactions — the same dirtiness rule the update itself
+        // used for materialized cells.
+        let probe = &outcome.probe;
+        for shard in &self.shards {
+            shard.lock().retain(|coords, _| !probe.is_dirty(coords));
+        }
+        for shard in &self.breakdown_shards {
+            shard.lock().retain(|coords, _| !probe.is_dirty(coords));
+        }
+        Ok(outcome.stats)
     }
 
     /// Build cube and engine straight from a transaction database (the
@@ -528,6 +606,64 @@ mod tests {
         for (c, got) in coords.iter().zip(&batch) {
             assert_eq!(full.get(c), Some(got));
         }
+    }
+
+    #[test]
+    fn apply_update_invalidates_exactly_the_dirty_entries() {
+        let db = db();
+        let closed = CubeBuilder::new().materialize(Materialize::ClosedOnly);
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &closed).unwrap();
+        let base_full =
+            CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
+        let mut engine = ConcurrentCubeEngine::new(snap);
+        // Warm every fallback cell (and one breakdown) before the update.
+        for (coords, _) in base_full.cells() {
+            engine.query(coords).unwrap();
+        }
+        let south = engine.resolve(&[("sex", "F")], &[("region", "south")]).unwrap();
+        engine.unit_breakdown(&south);
+        let warm = engine.stats();
+
+        // Append rows that only touch the north: south contexts stay clean.
+        let mut batch = UpdateBatch::new();
+        batch.add_row(&[("sex", "F"), ("age", "old"), ("region", "north")], "u0");
+        batch.add_row(&[("sex", "M"), ("age", "old"), ("region", "north")], "u2");
+        let stats = engine.apply_update(&batch).unwrap();
+        assert_eq!(stats.rows_added, 2);
+        assert_eq!(stats.new_units, 1);
+        assert!(stats.clean_cells > 0);
+
+        // Every answer now matches a rebuild of the concatenated data.
+        let mut b = TransactionDbBuilder::new(db.schema().clone());
+        for (items, unit) in db.iter() {
+            let labels: Vec<Vec<String>> = {
+                let mut per_attr = vec![Vec::new(); db.schema().len()];
+                for &it in items {
+                    let attr = db.dictionary().attr_of(it);
+                    per_attr[attr as usize].push(db.dictionary().value_of(it).to_string());
+                }
+                per_attr
+            };
+            b.add_row(&labels, db.unit_name(unit)).unwrap();
+        }
+        b.add_row(&[vec!["F"], vec!["old"], vec!["north"]], "u0").unwrap();
+        b.add_row(&[vec!["M"], vec!["old"], vec!["north"]], "u2").unwrap();
+        let grown = b.finish();
+        let after_full =
+            CubeBuilder::new().materialize(Materialize::AllFrequent).build(&grown).unwrap();
+        for (coords, v) in after_full.cells() {
+            assert_eq!(engine.query(coords).unwrap(), *v, "stale {coords:?}");
+        }
+
+        // Exactness of the invalidation: the south breakdown was cached
+        // before the update, its context gained nothing, so it must still
+        // be served from the cache — not recomputed.
+        engine.unit_breakdown(&south);
+        assert_eq!(
+            engine.stats().breakdown_cached,
+            warm.breakdown_cached + 1,
+            "clean breakdown must still be cached"
+        );
     }
 
     #[test]

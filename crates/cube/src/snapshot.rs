@@ -8,21 +8,31 @@
 //! and the explorer fallback for non-materialized ⋆-combinations without
 //! re-mining anything.
 //!
-//! ## Format (version 1)
+//! ## Format (version 2)
 //!
 //! All integers are little-endian; strings are `u32` length + UTF-8 bytes.
 //!
 //! ```text
 //! [0..8)    magic  "SCUBESNP"
-//! [8..12)   format version (u32, currently 1)
+//! [8..12)   format version (u32, currently 2)
 //! [12]      posting representation tag (Posting::SERIAL_TAG)
 //! [13..21)  FxHash checksum (u64) of the payload
 //! [21..]    payload:
+//!   build cfg  materialization tag (u8), Atkinson b (f64)     — v2 only
 //!   labels     n_items × (attr, value, is_sa), sa_attrs, ca_attrs, unit_names
 //!   cube meta  n_units (u32), min_support (u64)
 //!   cells      n_cells × (sa ids, ca ids, IndexValues)   — sorted by (sa, ca)
 //!   vertical   n_transactions, n_units, tid → unit map, item postings
 //! ```
+//!
+//! Version 2 prepends the **build configuration** (materialization strategy
+//! and Atkinson shape parameter) to the payload, which is what lets `scube
+//! update` fold an [`crate::update::UpdateBatch`] into a loaded snapshot
+//! and re-evaluate dirty cells with exactly the parameters the cube was
+//! built with. Version-1 files still load (the writer only emits v2);
+//! their build configuration defaults to `AllFrequent` /
+//! [`DEFAULT_ATKINSON_B`], the builder defaults. Unknown versions error —
+//! never panic (`tests/snapshot_compat.rs`).
 //!
 //! Cells are written in sorted coordinate order and postings in item order,
 //! so serialization is *canonical*: saving, loading, and saving again
@@ -36,14 +46,16 @@ use std::path::Path;
 use scube_bitmap::{EwahBitmap, Posting};
 use scube_common::{FxHashMap, Result, ScubeError};
 use scube_data::{ItemId, TransactionDb, VerticalDb};
-use scube_segindex::IndexValues;
+use scube_segindex::{IndexValues, DEFAULT_ATKINSON_B};
 
-use crate::builder::CubeBuilder;
+use crate::builder::{CubeBuilder, Materialize};
 use crate::coords::CellCoords;
 use crate::cube::{CubeLabels, SegregationCube};
+use crate::update::{MaintenanceStore, UpdateBatch, UpdateOutcome, UpdateStats};
 
 const MAGIC: &[u8; 8] = b"SCUBESNP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const VERSION_1: u32 = 1;
 const HEADER_LEN: usize = 8 + 4 + 1 + 8;
 /// Ceiling on length-field-driven preallocations while decoding: the
 /// checksum is not cryptographic, so a crafted file could otherwise declare
@@ -58,6 +70,16 @@ const PREALLOC_CAP: usize = 1 << 16;
 pub struct CubeSnapshot<P: Posting = EwahBitmap> {
     cube: SegregationCube,
     vertical: VerticalDb<P>,
+    /// Materialization strategy the cube was built with — recorded so an
+    /// [`UpdateBatch`] can decide whether promoted itemsets need a
+    /// closedness check.
+    materialize: Materialize,
+    /// Atkinson shape parameter the cube was built with — recorded so
+    /// re-evaluated dirty cells reproduce the original floats bit for bit.
+    atkinson_b: f64,
+    /// The integer per-unit histograms behind every cell value, kept so
+    /// updates fold deltas in instead of re-deriving from full postings.
+    maintenance: MaintenanceStore,
 }
 
 impl<P: Posting> CubeSnapshot<P> {
@@ -67,6 +89,20 @@ impl<P: Posting> CubeSnapshot<P> {
     /// mismatched pairing would serve materialized lookups from one dataset
     /// and explorer fallbacks from another.
     pub fn new(cube: SegregationCube, vertical: VerticalDb<P>) -> Result<Self> {
+        Self::validate_pairing(&cube, &vertical)?;
+        let maintenance = MaintenanceStore::compute(&cube, &vertical);
+        Ok(CubeSnapshot {
+            cube,
+            vertical,
+            materialize: Materialize::default(),
+            atkinson_b: DEFAULT_ATKINSON_B,
+            maintenance,
+        })
+    }
+
+    /// The shape checks behind [`Self::new`], shared with the
+    /// deserializer (which carries its own, already-validated store).
+    fn validate_pairing(cube: &SegregationCube, vertical: &VerticalDb<P>) -> Result<()> {
         if cube.num_units() != vertical.num_units() {
             return Err(ScubeError::Inconsistent(format!(
                 "snapshot: cube has {} units but vertical database has {}",
@@ -88,18 +124,97 @@ impl<P: Posting> CubeSnapshot<P> {
                 cube.num_units()
             )));
         }
-        Ok(CubeSnapshot { cube, vertical })
+        Ok(())
+    }
+
+    /// Record the build configuration (materialization strategy and
+    /// Atkinson parameter) the cube was built with. [`Self::from_db`] does
+    /// this automatically; use it when pairing a cube and vertical database
+    /// by hand so later [`Self::apply_update`] calls maintain the cube
+    /// under the same parameters.
+    pub fn with_build_config(mut self, materialize: Materialize, atkinson_b: f64) -> Self {
+        self.materialize = materialize;
+        self.atkinson_b = atkinson_b;
+        self
     }
 
     /// Build both halves from a transaction database in one pass: the
-    /// vertical database is constructed once and shared with the builder.
+    /// vertical database is constructed once and shared with the builder,
+    /// and the builder's configuration is recorded for later updates.
     pub fn from_db(db: &TransactionDb, builder: &CubeBuilder) -> Result<Self>
     where
         P: Send + Sync,
     {
         let vertical: VerticalDb<P> = VerticalDb::build(db);
         let cube = builder.build_from_vertical(db, &vertical)?;
-        CubeSnapshot::new(cube, vertical)
+        Ok(CubeSnapshot::new(cube, vertical)?
+            .with_build_config(builder.config().materialize, builder.config().atkinson_b))
+    }
+
+    /// Fold a batch of appended rows into the snapshot in place: postings
+    /// extended at their tails, newly-frequent itemsets promoted, and
+    /// exactly the dirty cells re-evaluated under the recorded build
+    /// configuration — bit-identical to a full rebuild on the concatenated
+    /// data (see [`crate::update`]).
+    ///
+    /// ```
+    /// use scube_cube::{CubeBuilder, CubeSnapshot, UpdateBatch};
+    /// use scube_data::{Attribute, Schema, TransactionDbBuilder};
+    ///
+    /// let schema = Schema::new(vec![Attribute::sa("sex"), Attribute::ca("region")])?;
+    /// let mut b = TransactionDbBuilder::new(schema);
+    /// for (sex, unit) in [("F", "u0"), ("F", "u0"), ("M", "u1")] {
+    ///     b.add_row(&[vec![sex], vec!["north"]], unit)?;
+    /// }
+    /// let mut snap: CubeSnapshot = CubeSnapshot::from_db(&b.finish(), &CubeBuilder::new())?;
+    /// assert_eq!(snap.cube().get_by_names(&[("sex", "F")], &[]).unwrap().total, 3);
+    ///
+    /// // A new individual arrives — in a brand-new unit.
+    /// let mut batch = UpdateBatch::new();
+    /// batch.add_row(&[("sex", "F"), ("region", "north")], "u2");
+    /// let stats = snap.apply_update(&batch)?;
+    /// assert_eq!((stats.rows_added, stats.new_units), (1, 1));
+    /// let women = snap.cube().get_by_names(&[("sex", "F")], &[]).unwrap();
+    /// assert_eq!((women.minority, women.total), (3, 4));
+    /// # Ok::<(), scube_common::ScubeError>(())
+    /// ```
+    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<UpdateStats> {
+        Ok(self.apply_update_outcome(batch)?.stats)
+    }
+
+    /// As [`Self::apply_update`], also returning the dirtiness probe the
+    /// serving layers use to invalidate exactly the affected cache entries.
+    pub(crate) fn apply_update_outcome(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome<P>> {
+        crate::update::apply_update(
+            &mut self.cube,
+            &mut self.vertical,
+            &mut self.maintenance,
+            batch,
+            self.materialize,
+            self.atkinson_b,
+        )
+    }
+
+    /// Serving-layer constructor parts: both halves plus the build
+    /// configuration and maintenance store (the concurrent engine keeps
+    /// the store so [`crate::serve::ConcurrentCubeEngine::apply_update`]
+    /// folds deltas at the same cost as the snapshot path).
+    pub(crate) fn into_serving_parts(
+        self,
+    ) -> (SegregationCube, VerticalDb<P>, MaintenanceStore, Materialize, f64) {
+        (self.cube, self.vertical, self.maintenance, self.materialize, self.atkinson_b)
+    }
+
+    /// The materialization strategy the cube was built with (recorded in
+    /// snapshot format v2; `AllFrequent` for loaded v1 files).
+    pub fn materialize(&self) -> Materialize {
+        self.materialize
+    }
+
+    /// The Atkinson shape parameter the cube was built with (recorded in
+    /// snapshot format v2; the default for loaded v1 files).
+    pub fn atkinson_b(&self) -> f64 {
+        self.atkinson_b
     }
 
     /// The materialized cube.
@@ -117,10 +232,17 @@ impl<P: Posting> CubeSnapshot<P> {
         (self.cube, self.vertical)
     }
 
-    /// Serialize into the version-1 binary format.
+    /// Serialize into the version-2 binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         let labels = self.cube.labels();
+
+        // Build configuration (v2).
+        payload.push(match self.materialize {
+            Materialize::AllFrequent => 0,
+            Materialize::ClosedOnly => 1,
+        });
+        put_u64(&mut payload, self.atkinson_b.to_bits());
 
         // Labels.
         put_u32(&mut payload, labels.num_items() as u32);
@@ -158,6 +280,25 @@ impl<P: Posting> CubeSnapshot<P> {
             posting.write_bytes(&mut payload);
         }
 
+        // Maintenance store (v2): context totals then cell minorities, in
+        // canonical key order so serialization stays path-independent —
+        // an updated snapshot and a rebuilt one produce identical bytes.
+        let mut ctx_keys: Vec<&Vec<ItemId>> = self.maintenance.contexts.keys().collect();
+        ctx_keys.sort();
+        put_u32(&mut payload, ctx_keys.len() as u32);
+        for key in ctx_keys {
+            put_ids(&mut payload, key);
+            put_pairs(&mut payload, &self.maintenance.contexts[key]);
+        }
+        let mut cell_keys: Vec<&CellCoords> = self.maintenance.minorities.keys().collect();
+        cell_keys.sort();
+        put_u32(&mut payload, cell_keys.len() as u32);
+        for coords in cell_keys {
+            put_ids(&mut payload, &coords.sa);
+            put_ids(&mut payload, &coords.ca);
+            put_pairs(&mut payload, &self.maintenance.minorities[coords]);
+        }
+
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
@@ -168,7 +309,9 @@ impl<P: Posting> CubeSnapshot<P> {
     }
 
     /// Deserialize a snapshot, verifying magic, version, representation
-    /// tag, and checksum before trusting any field.
+    /// tag, and checksum before trusting any field. Both the current v2
+    /// format and legacy v1 files (no build-configuration section) load;
+    /// any other version is an error, never a panic.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.len() < HEADER_LEN {
             return Err(corrupt("shorter than the fixed header"));
@@ -177,8 +320,10 @@ impl<P: Posting> CubeSnapshot<P> {
             return Err(corrupt("bad magic (not a scube snapshot)"));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != VERSION {
-            return Err(corrupt(&format!("unsupported format version {version} (want {VERSION})")));
+        if version != VERSION && version != VERSION_1 {
+            return Err(corrupt(&format!(
+                "unsupported format version {version} (want {VERSION_1} or {VERSION})"
+            )));
         }
         let tag = bytes[12];
         if tag != P::SERIAL_TAG {
@@ -195,6 +340,23 @@ impl<P: Posting> CubeSnapshot<P> {
         }
 
         let mut r = Reader { bytes: payload, pos: 0 };
+
+        // Build configuration (v2; v1 predates it and gets the builder
+        // defaults).
+        let (materialize, atkinson_b) = if version == VERSION {
+            let materialize = match r.u8()? {
+                0 => Materialize::AllFrequent,
+                1 => Materialize::ClosedOnly,
+                t => return Err(corrupt(&format!("unknown materialization tag {t}"))),
+            };
+            let b = f64::from_bits(r.u64()?);
+            if !b.is_finite() {
+                return Err(corrupt("non-finite Atkinson parameter"));
+            }
+            (materialize, b)
+        } else {
+            (Materialize::default(), DEFAULT_ATKINSON_B)
+        };
 
         // Labels. Like every length below, the declared count only seeds a
         // *capped* preallocation: a crafted length cannot force a huge
@@ -250,13 +412,48 @@ impl<P: Posting> CubeSnapshot<P> {
             r.pos += consumed;
             postings.push(posting);
         }
+
+        // Maintenance store: stored in v2, reconstructed for v1 files.
+        let maintenance = if version == VERSION {
+            let mut store = MaintenanceStore::default();
+            let n_contexts = r.u32()? as usize;
+            for _ in 0..n_contexts {
+                let key = r.ids(n_items)?;
+                let pairs = r.pairs(v_units)?;
+                if store.contexts.insert(key, pairs).is_some() {
+                    return Err(corrupt("duplicate maintenance context"));
+                }
+            }
+            let n_minorities = r.u32()? as usize;
+            for _ in 0..n_minorities {
+                let sa = r.ids(n_items)?;
+                let ca = r.ids(n_items)?;
+                let pairs = r.pairs(v_units)?;
+                if store.minorities.insert(CellCoords { sa, ca }, pairs).is_some() {
+                    return Err(corrupt("duplicate maintenance cell"));
+                }
+            }
+            Some(store)
+        } else {
+            None
+        };
         if r.pos != r.bytes.len() {
-            return Err(corrupt("trailing bytes after the last posting"));
+            return Err(corrupt("trailing bytes after the payload"));
         }
         let vertical = VerticalDb::from_parts(postings, n_transactions, unit_of, v_units)
             .ok_or_else(|| corrupt("inconsistent vertical database parts"))?;
 
-        CubeSnapshot::new(cube, vertical)
+        Self::validate_pairing(&cube, &vertical)?;
+        let maintenance = match maintenance {
+            Some(store) => {
+                if !store.covers(&cube) {
+                    return Err(corrupt("maintenance store does not cover the cube"));
+                }
+                store
+            }
+            None => MaintenanceStore::compute(&cube, &vertical),
+        };
+        Ok(CubeSnapshot { cube, vertical, materialize, atkinson_b, maintenance })
     }
 
     /// Write the snapshot to a file.
@@ -315,6 +512,14 @@ fn put_ids(out: &mut Vec<u8>, ids: &[ItemId]) {
     put_u32(out, ids.len() as u32);
     for &id in ids {
         put_u32(out, id);
+    }
+}
+
+fn put_pairs(out: &mut Vec<u8>, pairs: &[(u32, u64)]) {
+    put_u32(out, pairs.len() as u32);
+    for &(unit, count) in pairs {
+        put_u32(out, unit);
+        put_u64(out, count);
     }
 }
 
@@ -396,6 +601,29 @@ impl Reader<'_> {
             }
             prev = Some(id);
             out.push(id);
+        }
+        Ok(out)
+    }
+
+    /// Ascending `(unit, count)` pairs over known units, counts nonzero.
+    fn pairs(&mut self, n_units: u32) -> Result<Vec<(u32, u64)>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(PREALLOC_CAP));
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let unit = self.u32()?;
+            let count = self.u64()?;
+            if unit >= n_units {
+                return Err(corrupt("histogram references an unknown unit"));
+            }
+            if prev.is_some_and(|p| unit <= p) {
+                return Err(corrupt("histogram units not strictly increasing"));
+            }
+            if count == 0 {
+                return Err(corrupt("histogram stores a zero count"));
+            }
+            prev = Some(unit);
+            out.push((unit, count));
         }
         Ok(out)
     }

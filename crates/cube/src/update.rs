@@ -1,0 +1,940 @@
+//! Incremental cube maintenance: fold appended rows into a built cube.
+//!
+//! SCube as published is a batch tool — any new data meant re-mining and
+//! rebuilding the whole cube. This module makes a built cube a *maintained*
+//! artifact instead: an [`UpdateBatch`] of appended rows is folded into the
+//! existing [`VerticalDb`] (postings extended in place at their tails via
+//! [`Posting::append_sorted`]) and only the affected cells are recomputed.
+//! The result is **bit-identical** to a full rebuild on the concatenated
+//! data (property-tested in `tests/cube_update_equivalence.rs`) at a small
+//! fraction of the cost, because three structural facts bound the work:
+//!
+//! 1. **Dirtiness is decided by the context alone.** A cell `(A | B)` is
+//!    evaluated from the per-unit histograms of `tidset(B)` (population)
+//!    and `tidset(A ∪ B) ⊆ tidset(B)` (minority). Appends only ever add
+//!    transaction ids, so the histograms change iff `tidset(B)` gains ids
+//!    — iff some appended row contains all of `B` (`B = ⋆` is always
+//!    dirty: the population universe grows). Clean cells keep their exact
+//!    floats, untouched.
+//! 2. **Supports only grow.** Every materialized itemset stays frequent,
+//!    and (under [`Materialize::ClosedOnly`]) every closed itemset stays
+//!    closed: a strict superset with strictly smaller support can never
+//!    catch up, because any appended row containing the superset also
+//!    contains the subset. Cells are therefore never removed by an append.
+//! 3. **Promotions are subsets of single appended rows.** An itemset that
+//!    becomes newly frequent — or newly closed — must have gained ids,
+//!    hence be contained in some *one* appended row. The affected slice of
+//!    the Eclat search space is re-mined from exactly those rows: each
+//!    row's frequent-item projection is enumerated as candidates (the
+//!    degenerate, row-local form of the first-level equivalence classes),
+//!    with [`scube_fpm::eclat::mine_vertical_with_tidsets_scoped`] as the
+//!    class-level fallback for pathologically wide rows. Supports are
+//!    counted over the full updated postings, so promotion is exact.
+//!
+//! Dirty cells are re-evaluated with the same [`UnitScratch`] machinery and
+//! the same compact per-context histograms as
+//! [`crate::builder::CubeBuilder`] — identical integer histograms, hence
+//! identical index values, bit for bit.
+//!
+//! New attribute values and new units extend the label dictionary at the
+//! tail in first-seen order, matching the interning order of a rebuild on
+//! base-then-delta rows (for schemas declaring SA attributes before CA
+//! attributes, which is how every final-table spec in this workspace is
+//! constructed).
+
+use scube_bitmap::Posting;
+use scube_common::{FxHashMap, FxHashSet, Result, ScubeError};
+use scube_data::{ItemId, Relation, UnitId, UnitScratch, VerticalDb, MULTI_VALUE_SEPARATOR};
+use scube_fpm::eclat::mine_vertical_with_tidsets_scoped;
+use scube_segindex::{IndexValues, UnitCounts};
+
+use crate::builder::Materialize;
+use crate::coords::CellCoords;
+use crate::cube::{CubeLabels, SegregationCube};
+
+/// Widest frequent-item row projection whose subsets are enumerated
+/// directly; wider rows fall back to the scoped Eclat re-mine.
+const MAX_SUBSET_WIDTH: usize = 16;
+
+/// A batch of appended individuals, expressed in label space
+/// (`attribute = value` pairs plus a unit name), waiting to be folded into
+/// a built cube.
+///
+/// Rows are applied in insertion order; values and units first seen in the
+/// batch extend the cube's dictionary at the tail.
+///
+/// ```
+/// use scube_cube::UpdateBatch;
+///
+/// let mut batch = UpdateBatch::new();
+/// batch
+///     .add_row(&[("sex", "F"), ("region", "north")], "acme")
+///     .add_row(&[("sex", "M"), ("region", "south")], "globex");
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    /// `(attribute, value)` pairs + unit name, one entry per individual.
+    rows: Vec<(Vec<(String, String)>, String)>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Append one individual: its `(attribute, value)` pairs (repeat the
+    /// attribute for multi-valued ones; omit it for missing values) and the
+    /// name of the organizational unit it belongs to.
+    pub fn add_row<S: AsRef<str>>(&mut self, values: &[(S, S)], unit: &str) -> &mut Self {
+        self.rows.push((
+            values
+                .iter()
+                .map(|(a, v)| (a.as_ref().to_string(), v.as_ref().trim().to_string()))
+                .collect(),
+            unit.to_string(),
+        ));
+        self
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Build a batch from a final-table-shaped [`Relation`]: one column per
+    /// cube attribute (all of the cube's SA and CA attributes must be
+    /// present; multi-valued cells use the `;` separator) plus the unit
+    /// column. This is what `scube update --add rows.csv` parses.
+    pub fn from_relation(rel: &Relation, labels: &CubeLabels, unit_column: &str) -> Result<Self> {
+        let attrs: Vec<&String> = labels.sa_attrs.iter().chain(labels.ca_attrs.iter()).collect();
+        let mut cols = Vec::with_capacity(attrs.len());
+        for attr in &attrs {
+            let idx = rel.column_index(attr).ok_or_else(|| {
+                ScubeError::Schema(format!("update rows miss the cube attribute column '{attr}'"))
+            })?;
+            cols.push(idx);
+        }
+        let unit_col = rel.column_index(unit_column).ok_or_else(|| {
+            ScubeError::Schema(format!("update rows miss the unit column '{unit_column}'"))
+        })?;
+        let mut batch = UpdateBatch::new();
+        for row in rel.rows() {
+            let mut pairs: Vec<(&str, &str)> = Vec::new();
+            for (attr, &col) in attrs.iter().zip(&cols) {
+                for value in row[col].split(MULTI_VALUE_SEPARATOR) {
+                    let value = value.trim();
+                    if !value.is_empty() {
+                        pairs.push((attr, value));
+                    }
+                }
+            }
+            batch.add_row(&pairs, &row[unit_col]);
+        }
+        Ok(batch)
+    }
+}
+
+/// What one [`UpdateBatch`] application did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Transactions appended.
+    pub rows_added: usize,
+    /// Attribute values first seen in the batch (dictionary growth).
+    pub new_items: usize,
+    /// Units first seen in the batch.
+    pub new_units: usize,
+    /// Existing cells whose context gained transactions (re-evaluated).
+    pub dirty_cells: usize,
+    /// Newly materialized cells (itemsets promoted to frequent — or, under
+    /// [`Materialize::ClosedOnly`], to closed).
+    pub promoted_cells: usize,
+    /// Cells left untouched, bit for bit.
+    pub clean_cells: usize,
+}
+
+/// Everything an engine needs to fold an update into its caches: the stats
+/// plus a probe deciding whether *any* coordinates — cached fallback cells
+/// included — may have been revalued.
+#[derive(Debug)]
+pub(crate) struct UpdateOutcome<P: Posting> {
+    pub stats: UpdateStats,
+    pub probe: DirtyProbe<P>,
+}
+
+/// Decides whether a cell's value may have changed under an applied batch:
+/// true iff the cell's context tidset gained appended transactions (the
+/// stored postings cover appended tids only).
+#[derive(Debug)]
+pub(crate) struct DirtyProbe<P: Posting> {
+    delta_postings: Vec<P>,
+    has_rows: bool,
+}
+
+impl<P: Posting> DirtyProbe<P> {
+    /// True when `coords` was (possibly) revalued by the update. `⋆`
+    /// contexts are always dirty under a non-empty batch — the population
+    /// universe grew.
+    pub fn is_dirty(&self, coords: &CellCoords) -> bool {
+        if !self.has_rows {
+            return false;
+        }
+        coords.ca.is_empty() || delta_tidset(&self.delta_postings, &coords.ca).is_some()
+    }
+}
+
+/// Non-empty intersection of the delta postings of `items` (which must be
+/// non-empty), or `None` when no appended row contains them all.
+fn delta_tidset<P: Posting>(postings: &[P], items: &[ItemId]) -> Option<P> {
+    let [first, rest @ ..] = items else { unreachable!("delta_tidset needs items") };
+    let mut acc = postings.get(*first as usize)?.clone();
+    for &it in rest {
+        if acc.is_empty() {
+            return None;
+        }
+        acc = acc.and(postings.get(it as usize)?);
+    }
+    (!acc.is_empty()).then_some(acc)
+}
+
+/// A batch encoded against the cube's labels: dictionary-encoded rows plus
+/// the new labels they introduced, in first-seen (intern) order.
+struct EncodedBatch {
+    rows: Vec<(Vec<ItemId>, UnitId)>,
+    new_items: Vec<(String, String, bool)>,
+    new_units: Vec<String>,
+}
+
+/// Resolve the batch against the current labels, interning new values and
+/// units in first-seen order — per row, SA attributes before CA attributes,
+/// mirroring the schema order of every final-table build.
+fn encode_batch(batch: &UpdateBatch, labels: &CubeLabels) -> Result<EncodedBatch> {
+    let mut item_lookup: FxHashMap<(String, String), ItemId> = FxHashMap::default();
+    for (id, (attr, value, _)) in labels.items.iter().enumerate() {
+        item_lookup.insert((attr.clone(), value.clone()), id as ItemId);
+    }
+    let mut unit_lookup: FxHashMap<String, UnitId> = FxHashMap::default();
+    for (id, name) in labels.unit_names.iter().enumerate() {
+        unit_lookup.insert(name.clone(), id as UnitId);
+    }
+    let is_sa: FxHashMap<&str, bool> = labels
+        .sa_attrs
+        .iter()
+        .map(|a| (a.as_str(), true))
+        .chain(labels.ca_attrs.iter().map(|a| (a.as_str(), false)))
+        .collect();
+
+    let mut out = EncodedBatch { rows: Vec::new(), new_items: Vec::new(), new_units: Vec::new() };
+    let n_base_items = labels.num_items();
+    let n_base_units = labels.unit_names.len();
+    for (pairs, unit) in &batch.rows {
+        for (attr, _) in pairs {
+            if !is_sa.contains_key(attr.as_str()) {
+                return Err(ScubeError::Schema(format!(
+                    "update row references unknown attribute '{attr}'"
+                )));
+            }
+        }
+        let mut items: Vec<ItemId> = Vec::with_capacity(pairs.len());
+        // Intern attribute-major — SA attributes in label order, then CA
+        // attributes, values in row order within an attribute — regardless
+        // of how the caller ordered the pairs. This is the order a
+        // rebuild's TransactionDbBuilder interns in (for the SA-before-CA
+        // schemas every final-table spec produces), which is what keeps
+        // updated snapshots byte-identical to rebuilt ones.
+        for attr in labels.sa_attrs.iter().chain(labels.ca_attrs.iter()) {
+            for (a, value) in pairs {
+                if a != attr || value.is_empty() {
+                    continue;
+                }
+                let sa = is_sa[attr.as_str()];
+                let id = *item_lookup.entry((a.clone(), value.clone())).or_insert_with(|| {
+                    out.new_items.push((a.clone(), value.clone(), sa));
+                    (n_base_items + out.new_items.len() - 1) as ItemId
+                });
+                items.push(id);
+            }
+        }
+        items.sort_unstable();
+        items.dedup();
+        let unit_id = *unit_lookup.entry(unit.clone()).or_insert_with(|| {
+            out.new_units.push(unit.clone());
+            (n_base_units + out.new_units.len() - 1) as UnitId
+        });
+        out.rows.push((items, unit_id));
+    }
+    Ok(out)
+}
+
+/// The cube's *sufficient statistics*: the integer per-unit histograms
+/// every cell value is computed from, kept alongside the cube so updates
+/// never have to re-derive them from the full postings.
+///
+/// Per distinct context `B`, the ascending `(unit, total)` pairs of
+/// `tidset(B)`; per materialized cell with a non-`⋆` minority side, the
+/// ascending `(unit, minority)` pairs of `tidset(A ∪ B)` (`A = ⋆` cells
+/// mirror the context totals and store nothing). Histograms are plain
+/// `u64` counts, so `hist(base ⧺ delta) = hist(base) + hist(delta)`
+/// **exactly** — folding a delta in means histogramming only the appended
+/// transactions and adding, after which the recomputed index values equal
+/// a from-scratch rebuild bit for bit. This is what turns dirty-cell
+/// re-evaluation from `O(Σ |full tidset|)` into `O(Σ |delta tidset| +
+/// dirty cells × populated units)`.
+///
+/// Persisted in snapshot format v2 (canonical order: contexts by item
+/// list, cells by coordinates) so a loaded snapshot is immediately
+/// updatable; v1 files reconstruct it on load.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MaintenanceStore {
+    /// Distinct cell contexts → ascending `(unit, total)` pairs.
+    pub(crate) contexts: FxHashMap<Vec<ItemId>, Vec<(u32, u64)>>,
+    /// Cells with a non-`⋆` SA side → ascending `(unit, minority)` pairs.
+    pub(crate) minorities: FxHashMap<CellCoords, Vec<(u32, u64)>>,
+}
+
+impl MaintenanceStore {
+    /// Derive the store from scratch — what [`crate::snapshot::CubeSnapshot::new`]
+    /// does when pairing a cube with its vertical database, and what v1
+    /// snapshot files (which predate the store) do on load.
+    pub(crate) fn compute<P: Posting>(cube: &SegregationCube, vertical: &VerticalDb<P>) -> Self {
+        let mut scratch = UnitScratch::new(vertical.num_units());
+        let mut contexts: FxHashMap<Vec<ItemId>, Vec<(u32, u64)>> = FxHashMap::default();
+        let mut context_tids: FxHashMap<Vec<ItemId>, P> = FxHashMap::default();
+        for (coords, _) in cube.cells() {
+            if !contexts.contains_key(&coords.ca) {
+                let tids = vertical.tidset(&coords.ca);
+                vertical.unit_histogram_into(&tids, &mut scratch);
+                contexts.insert(coords.ca.clone(), scratch.sorted_pairs());
+                context_tids.insert(coords.ca.clone(), tids);
+            }
+        }
+        let mut minorities: FxHashMap<CellCoords, Vec<(u32, u64)>> = FxHashMap::default();
+        for (coords, _) in cube.cells() {
+            if coords.sa.is_empty() {
+                continue;
+            }
+            let tids = minority_tidset(vertical, &context_tids, coords);
+            vertical.unit_histogram_into(&tids, &mut scratch);
+            minorities.insert(coords.clone(), scratch.sorted_pairs());
+        }
+        MaintenanceStore { contexts, minorities }
+    }
+
+    /// Structural consistency against a cube: every cell's context has
+    /// totals, every non-`⋆`-SA cell has minority counts dominated by its
+    /// context's totals (minority units are populated units with
+    /// `m ≤ t`), and nothing else is stored. Loaded snapshots are
+    /// validated with this before any update trusts the store, so a
+    /// crafted store errors up front instead of failing mid-update.
+    pub(crate) fn covers(&self, cube: &SegregationCube) -> bool {
+        let mut want_min = 0usize;
+        let mut want_ctx: FxHashMap<&[ItemId], ()> = FxHashMap::default();
+        for (coords, _) in cube.cells() {
+            want_ctx.insert(&coords.ca, ());
+            if coords.sa.is_empty() {
+                continue;
+            }
+            let (Some(minority), Some(totals)) =
+                (self.minorities.get(coords), self.contexts.get(&coords.ca))
+            else {
+                return false;
+            };
+            let mut ti = totals.iter().peekable();
+            for &(mu, mc) in minority {
+                while ti.next_if(|&&(tu, _)| tu < mu).is_some() {}
+                match ti.peek() {
+                    Some(&&(tu, tc)) if tu == mu && mc <= tc => {}
+                    _ => return false,
+                }
+            }
+            want_min += 1;
+        }
+        self.minorities.len() == want_min
+            && self.contexts.len() == want_ctx.len()
+            && want_ctx.keys().all(|ca| self.contexts.contains_key(*ca))
+    }
+}
+
+/// Add `delta` into `base`, both ascending by unit (a sorted merge; counts
+/// are exact `u64` sums, which is what keeps updated histograms identical
+/// to recomputed ones).
+fn merge_add(base: &mut Vec<(u32, u64)>, delta: &[(u32, u64)]) {
+    if delta.is_empty() {
+        return;
+    }
+    let mut out = Vec::with_capacity(base.len() + delta.len());
+    let (mut i, mut j) = (0, 0);
+    while i < base.len() && j < delta.len() {
+        match base[i].0.cmp(&delta[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(base[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(delta[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((base[i].0, base[i].1 + delta[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&base[i..]);
+    out.extend_from_slice(&delta[j..]);
+    *base = out;
+}
+
+/// Index values from stored histograms: triples over the context's
+/// populated units in ascending order, minority counts merged in (absent
+/// unit ⇒ 0) — the same integer sequence the builder feeds
+/// [`UnitCounts::from_triples`].
+fn values_from_hists(
+    context: &[(u32, u64)],
+    minority: &[(u32, u64)],
+    atkinson_b: f64,
+) -> Result<IndexValues> {
+    let mut mi = minority.iter().peekable();
+    let counts = UnitCounts::from_triples(context.iter().map(|&(u, t)| {
+        let m = match mi.peek() {
+            Some(&&(mu, mc)) if mu == u => {
+                mi.next();
+                mc
+            }
+            _ => 0,
+        };
+        (u, m, t)
+    }))?;
+    Ok(IndexValues::compute_with(&counts, atkinson_b))
+}
+
+/// Tidset and support of `items` over the full postings, intersecting
+/// smallest-first and aborting as soon as the running intersection drops
+/// below `floor` (supports only shrink under intersection, so an early
+/// sub-floor cardinality is conclusive). `None` = support below floor.
+fn tidset_if_frequent<P: Posting>(
+    vertical: &VerticalDb<P>,
+    items: &[ItemId],
+    floor: u64,
+) -> Option<P> {
+    let mut order: Vec<ItemId> = items.to_vec();
+    order.sort_by_key(|&it| vertical.posting(it).cardinality());
+    let mut acc = vertical.posting(order[0]).clone();
+    if acc.cardinality() < floor {
+        return None;
+    }
+    for &it in &order[1..] {
+        acc = acc.and(vertical.posting(it));
+        if acc.cardinality() < floor {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// Fold `batch` into `(cube, vertical, store)` in place (see the module
+/// docs): extend the postings, promote newly-frequent itemsets, fold delta
+/// histograms into the maintenance store, and recompute exactly the dirty
+/// cells from the updated integer histograms. `materialize` and
+/// `atkinson_b` must be the configuration the cube was built with —
+/// snapshots record them since format v2.
+pub(crate) fn apply_update<P: Posting>(
+    cube: &mut SegregationCube,
+    vertical: &mut VerticalDb<P>,
+    store: &mut MaintenanceStore,
+    batch: &UpdateBatch,
+    materialize: Materialize,
+    atkinson_b: f64,
+) -> Result<UpdateOutcome<P>> {
+    if batch.is_empty() {
+        return Ok(UpdateOutcome {
+            stats: UpdateStats { clean_cells: cube.len(), ..UpdateStats::default() },
+            probe: DirtyProbe { delta_postings: Vec::new(), has_rows: false },
+        });
+    }
+    let min_support = cube.min_support();
+    // All fallible validation happens before anything is mutated, so a
+    // rejected batch (or an inconsistent store) leaves the snapshot
+    // exactly as it was.
+    if !store.covers(cube) {
+        return Err(ScubeError::Inconsistent(
+            "update: maintenance store does not cover the cube".into(),
+        ));
+    }
+    let encoded = encode_batch(batch, cube.labels())?;
+    let old_n = vertical.num_transactions();
+    let n_items_after = cube.labels().num_items() + encoded.new_items.len();
+    let n_units_after = (cube.labels().unit_names.len() + encoded.new_units.len()) as u32;
+
+    // Extend the postings first (append_rows validates before mutating, so
+    // an inconsistent batch cannot leave the vertical half-extended), then
+    // commit the dictionary growth.
+    vertical
+        .append_rows(&encoded.rows, n_items_after, n_units_after)
+        .map_err(|e| ScubeError::Inconsistent(format!("update: {e}")))?;
+    {
+        let (labels, _, n_units) = cube.update_parts();
+        for (attr, value, is_sa) in &encoded.new_items {
+            labels.push_item(attr.clone(), value.clone(), *is_sa);
+        }
+        labels.unit_names.extend(encoded.new_units.iter().cloned());
+        *n_units = n_units_after;
+    }
+
+    // Delta postings: per item, the *appended* tids containing it. They
+    // decide dirtiness — a context is dirty iff its delta tidset is
+    // non-empty — for materialized cells here and for engine caches later.
+    let mut delta_tids: Vec<Vec<u32>> = vec![Vec::new(); n_items_after];
+    for (i, (items, _)) in encoded.rows.iter().enumerate() {
+        for &it in items {
+            delta_tids[it as usize].push(old_n + i as u32);
+        }
+    }
+    let probe = DirtyProbe {
+        delta_postings: delta_tids.iter().map(|t| P::from_sorted(t)).collect(),
+        has_rows: true,
+    };
+
+    // Promotion candidates: newly-frequent (or newly-closed) itemsets are
+    // subsets of single appended rows, so enumerate each row's
+    // frequent-item projection — deduplicated, with one generating row
+    // remembered as the closedness witness. Wide rows fall back to the
+    // scoped Eclat re-mine over their items.
+    let mut candidates: FxHashMap<Vec<ItemId>, usize> = FxHashMap::default();
+    let mut seen_projections: FxHashSet<Vec<ItemId>> = FxHashSet::default();
+    let mut wide_items: Vec<ItemId> = Vec::new();
+    let mut wide_rows: Vec<usize> = Vec::new();
+    for (r, (items, _)) in encoded.rows.iter().enumerate() {
+        let frequent: Vec<ItemId> = items
+            .iter()
+            .copied()
+            .filter(|&it| vertical.posting(it).cardinality() >= min_support)
+            .collect();
+        // Categorical deltas repeat row shapes heavily; one enumeration
+        // per *distinct* frequent-item projection bounds the subset work
+        // by shape count, not batch size.
+        if frequent.is_empty() || !seen_projections.insert(frequent.clone()) {
+            continue;
+        }
+        if frequent.len() > MAX_SUBSET_WIDTH {
+            wide_items.extend_from_slice(&frequent);
+            wide_rows.push(r);
+            continue;
+        }
+        for mask in 1u32..(1 << frequent.len()) {
+            let subset: Vec<ItemId> = frequent
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &it)| it)
+                .collect();
+            candidates.entry(subset).or_insert(r);
+        }
+    }
+    if !wide_items.is_empty() {
+        for (set, _) in mine_vertical_with_tidsets_scoped(vertical, min_support, &wide_items)? {
+            // Attribute each mined itemset to a wide row containing it (it
+            // may be a cross-row combination that gained nothing — those
+            // are filtered below by the delta-gain check).
+            if let Some(&r) =
+                wide_rows.iter().find(|&&r| is_sorted_subset(&set.items, &encoded.rows[r].0))
+            {
+                candidates.entry(set.items).or_insert(r);
+            }
+        }
+    }
+
+    // Phase 1 — fold the delta into the dirty context histograms. A dirty
+    // context's delta tidset (over appended tids only) is histogrammed and
+    // *added* to the stored totals: integer sums, so the result equals a
+    // fresh histogram of the grown tidset exactly. Clean contexts are not
+    // touched. The delta tidsets are kept for the minority intersections
+    // below — every set here is delta-sized, never full-database-sized.
+    let mut scratch = UnitScratch::new(n_units_after);
+    let delta_all: P =
+        P::from_sorted(&(old_n..old_n + encoded.rows.len() as u32).collect::<Vec<u32>>());
+    let mut dirty_ctx_tids: FxHashMap<Vec<ItemId>, P> = FxHashMap::default();
+    for (ca, totals) in store.contexts.iter_mut() {
+        let delta_ctx = if ca.is_empty() {
+            Some(delta_all.clone())
+        } else {
+            delta_tidset(&probe.delta_postings, ca)
+        };
+        let Some(delta_ctx) = delta_ctx else { continue };
+        vertical.unit_histogram_into(&delta_ctx, &mut scratch);
+        merge_add(totals, &scratch.sorted_pairs());
+        dirty_ctx_tids.insert(ca.clone(), delta_ctx);
+    }
+
+    // Phase 2 — dirty cells: every cell whose context gained transactions.
+    // Minority histograms advance by the *delta* minority tidset (the
+    // context's delta intersected with the SA postings — again all
+    // delta-sized), then the cell value is recomputed from the stored
+    // integer histograms.
+    let mut evaluated: Vec<(CellCoords, IndexValues, bool)> = Vec::new();
+    let dirty_cells: Vec<CellCoords> = cube
+        .cells()
+        .filter(|(coords, _)| dirty_ctx_tids.contains_key(&coords.ca))
+        .map(|(coords, _)| coords.clone())
+        .collect();
+    for coords in dirty_cells {
+        let totals = &store.contexts[&coords.ca];
+        let values = if coords.sa.is_empty() {
+            // `A = ⋆` ⇒ minority ≡ population (the builder's apex path).
+            let counts = UnitCounts::from_triples(totals.iter().map(|&(u, t)| (u, t, t)))?;
+            IndexValues::compute_with(&counts, atkinson_b)
+        } else {
+            let mut delta_min = dirty_ctx_tids[&coords.ca].clone();
+            for &item in &coords.sa {
+                if delta_min.is_empty() {
+                    break;
+                }
+                delta_min = delta_min.and(&probe.delta_postings[item as usize]);
+            }
+            let minority = store.minorities.get_mut(&coords).ok_or_else(|| {
+                ScubeError::Inconsistent("update: cell missing from maintenance store".into())
+            })?;
+            if !delta_min.is_empty() {
+                vertical.unit_histogram_into(&delta_min, &mut scratch);
+                merge_add(minority, &scratch.sorted_pairs());
+            }
+            values_from_hists(totals, minority, atkinson_b)?
+        };
+        evaluated.push((coords, values, true));
+    }
+
+    // Phase 3 — promotions: candidates not yet materialized whose support
+    // crossed the threshold (and which are closed, under ClosedOnly).
+    // Candidates are visited smallest-first so an infrequent itemset
+    // prunes its supersets without touching a posting (Apriori
+    // monotonicity); surviving ones intersect smallest-posting-first with
+    // a sub-threshold abort. Promoted cells get fresh store entries from
+    // their full tidsets — new contexts too — exactly as a rebuild would
+    // compute them.
+    let mut ordered: Vec<(&Vec<ItemId>, usize)> =
+        candidates.iter().map(|(items, &row)| (items, row)).collect();
+    ordered.sort_unstable_by_key(|(items, _)| items.len());
+    let mut infrequent: FxHashSet<&[ItemId]> = FxHashSet::default();
+    for (items, row) in ordered {
+        if items.len() > 1 {
+            let mut sub: Vec<ItemId> = items[1..].to_vec();
+            let mut pruned = infrequent.contains(&sub[..]);
+            for i in 0..items.len() - 1 {
+                if pruned {
+                    break;
+                }
+                sub[i] = items[i];
+                // sub now misses items[i + 1] (it holds the other items in
+                // sorted order).
+                pruned = infrequent.contains(&sub[..]);
+            }
+            if pruned {
+                infrequent.insert(items.as_slice());
+                continue;
+            }
+        }
+        let coords = split_by_labels(items, cube.labels());
+        if cube.get(&coords).is_some() {
+            continue;
+        }
+        let Some(tids) = tidset_if_frequent(vertical, items, min_support) else {
+            infrequent.insert(items.as_slice());
+            continue;
+        };
+        if materialize == Materialize::ClosedOnly
+            && !is_closed(vertical, items, &tids, &encoded.rows[row].0)
+        {
+            continue;
+        }
+        if !store.contexts.contains_key(&coords.ca) {
+            let ctx_tids = vertical.tidset(&coords.ca);
+            vertical.unit_histogram_into(&ctx_tids, &mut scratch);
+            let pairs = scratch.sorted_pairs();
+            store.contexts.insert(coords.ca.clone(), pairs);
+        }
+        let totals = &store.contexts[&coords.ca];
+        let values = if coords.sa.is_empty() {
+            let counts = UnitCounts::from_triples(totals.iter().map(|&(u, t)| (u, t, t)))?;
+            IndexValues::compute_with(&counts, atkinson_b)
+        } else {
+            vertical.unit_histogram_into(&tids, &mut scratch);
+            let minority = scratch.sorted_pairs();
+            let values = values_from_hists(totals, &minority, atkinson_b)?;
+            store.minorities.insert(coords.clone(), minority);
+            values
+        };
+        evaluated.push((coords, values, false));
+    }
+
+    let mut stats = UpdateStats {
+        rows_added: encoded.rows.len(),
+        new_items: encoded.new_items.len(),
+        new_units: encoded.new_units.len(),
+        ..UpdateStats::default()
+    };
+    let (_, cells, _) = cube.update_parts();
+    for (coords, values, existing) in evaluated {
+        if existing {
+            stats.dirty_cells += 1;
+        } else {
+            stats.promoted_cells += 1;
+        }
+        cells.insert(coords, values);
+    }
+    stats.clean_cells = cells.len() - stats.dirty_cells - stats.promoted_cells;
+    Ok(UpdateOutcome { stats, probe })
+}
+
+/// Split a sorted itemset into `(A, B)` coordinates by label roles (the
+/// update-path twin of [`CellCoords::from_itemset`], which needs the
+/// original database).
+fn split_by_labels(items: &[ItemId], labels: &CubeLabels) -> CellCoords {
+    let mut sa = Vec::new();
+    let mut ca = Vec::new();
+    for &item in items {
+        if labels.is_sa_item(item) {
+            sa.push(item);
+        } else {
+            ca.push(item);
+        }
+    }
+    CellCoords { sa, ca }
+}
+
+/// `a ⊆ b` over sorted id slices.
+fn is_sorted_subset(a: &[ItemId], b: &[ItemId]) -> bool {
+    let mut it = b.iter();
+    a.iter().all(|x| it.by_ref().any(|y| y == x))
+}
+
+/// Minority tidset of a cell, reusing the cached context tidset (`⋆`
+/// contexts intersect the SA postings directly).
+fn minority_tidset<P: Posting>(
+    vertical: &VerticalDb<P>,
+    context_tids: &FxHashMap<Vec<ItemId>, P>,
+    coords: &CellCoords,
+) -> P {
+    if coords.ca.is_empty() {
+        return vertical.tidset(&coords.sa);
+    }
+    let mut acc = context_tids[&coords.ca].and(vertical.posting(coords.sa[0]));
+    for &item in &coords.sa[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc = acc.and(vertical.posting(item));
+    }
+    acc
+}
+
+/// Exact closedness of a promotion candidate in the grown database, using
+/// its generating appended row to keep the check O(row width): an item
+/// extending the candidate with equal support must occur in *every*
+/// transaction of the candidate's tidset — in particular in the generating
+/// row — so the only possible extenders are that row's other items.
+fn is_closed<P: Posting>(
+    vertical: &VerticalDb<P>,
+    items: &[ItemId],
+    tids: &P,
+    row_items: &[ItemId],
+) -> bool {
+    let support = tids.cardinality();
+    !row_items
+        .iter()
+        .any(|j| !items.contains(j) && vertical.posting(*j).and_cardinality(tids) == support)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CubeBuilder;
+    use crate::snapshot::CubeSnapshot;
+    use scube_bitmap::{DenseBitmap, EwahBitmap, TidVec};
+    use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
+
+    type Row = (&'static str, &'static str, &'static str, &'static str);
+
+    const BASE: &[Row] = &[
+        ("F", "young", "north", "u0"),
+        ("F", "young", "north", "u0"),
+        ("M", "old", "north", "u0"),
+        ("F", "old", "south", "u1"),
+        ("M", "young", "south", "u1"),
+        ("M", "old", "south", "u1"),
+        ("F", "young", "south", "u0"),
+        ("M", "young", "north", "u1"),
+    ];
+
+    /// Delta with an existing shape, a new value ("mid"), and a new unit.
+    const DELTA: &[Row] = &[
+        ("F", "old", "north", "u0"),
+        ("M", "mid", "north", "u2"),
+        ("F", "mid", "south", "u2"),
+        ("F", "old", "north", "u0"),
+    ];
+
+    fn db(rows: &[Row]) -> TransactionDb {
+        let schema =
+            Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
+                .unwrap();
+        let mut b = TransactionDbBuilder::new(schema);
+        for (s, a, r, u) in rows {
+            b.add_row(&[vec![*s], vec![*a], vec![*r]], u).unwrap();
+        }
+        b.finish()
+    }
+
+    fn batch(rows: &[Row]) -> UpdateBatch {
+        let mut batch = UpdateBatch::new();
+        for (s, a, r, u) in rows {
+            batch.add_row(&[("sex", *s), ("age", *a), ("region", *r)], u);
+        }
+        batch
+    }
+
+    fn check_roundtrip<P: Posting + Send + Sync + PartialEq + std::fmt::Debug>(
+        materialize: Materialize,
+        min_support: u64,
+    ) {
+        let builder = CubeBuilder::new().min_support(min_support).materialize(materialize);
+        let mut updated: CubeSnapshot<P> = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let stats = updated.apply_update(&batch(DELTA)).unwrap();
+        let all: Vec<Row> = BASE.iter().chain(DELTA.iter()).copied().collect();
+        let rebuilt: CubeSnapshot<P> = CubeSnapshot::from_db(&db(&all), &builder).unwrap();
+        assert_eq!(updated.cube(), rebuilt.cube(), "{materialize:?} minsup {min_support}");
+        assert_eq!(
+            updated.to_bytes(),
+            rebuilt.to_bytes(),
+            "{materialize:?} minsup {min_support}: snapshot bytes diverge"
+        );
+        assert_eq!(stats.rows_added, DELTA.len());
+        assert_eq!(stats.new_items, 1, "age=mid is the one new value");
+        assert_eq!(stats.new_units, 1, "u2 is the one new unit");
+        assert_eq!(
+            stats.dirty_cells + stats.promoted_cells + stats.clean_cells,
+            updated.cube().len()
+        );
+    }
+
+    #[test]
+    fn update_matches_rebuild_all_representations() {
+        for minsup in [1, 2, 3] {
+            check_roundtrip::<EwahBitmap>(Materialize::AllFrequent, minsup);
+            check_roundtrip::<EwahBitmap>(Materialize::ClosedOnly, minsup);
+            check_roundtrip::<DenseBitmap>(Materialize::AllFrequent, minsup);
+            check_roundtrip::<DenseBitmap>(Materialize::ClosedOnly, minsup);
+            check_roundtrip::<TidVec>(Materialize::AllFrequent, minsup);
+            check_roundtrip::<TidVec>(Materialize::ClosedOnly, minsup);
+        }
+    }
+
+    #[test]
+    fn promotion_crosses_the_support_threshold() {
+        // At min_support 3, (age=old, region=north) has base support 1;
+        // the delta adds two more rows with that pair, promoting it (and
+        // (sex=F, age=old, region=north), support 0 → 2... still below).
+        let builder = CubeBuilder::new().min_support(3);
+        let mut snap: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let before = snap.cube().len();
+        let coords = |snap: &CubeSnapshot, sa: &[(&str, &str)], ca: &[(&str, &str)]| {
+            snap.cube().coords_by_names(sa, ca)
+        };
+        let promoted = coords(&snap, &[("age", "old")], &[("region", "north")]).unwrap();
+        assert!(snap.cube().get(&promoted).is_none(), "below threshold before the update");
+        let stats = snap.apply_update(&batch(DELTA)).unwrap();
+        assert!(stats.promoted_cells > 0);
+        assert!(snap.cube().len() > before);
+        let v = snap.cube().get(&promoted).expect("promoted after the update");
+        assert_eq!(v.minority, 3);
+    }
+
+    #[test]
+    fn clean_cells_are_not_reevaluated() {
+        // A delta touching only the north leaves pure-south contexts clean.
+        let builder = CubeBuilder::new().min_support(1);
+        let mut snap: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let south_delta: &[Row] = &[("F", "young", "north", "u0")];
+        let stats = snap.apply_update(&batch(south_delta)).unwrap();
+        assert!(stats.clean_cells > 0, "south-context cells must stay untouched");
+        assert!(stats.dirty_cells > 0, "north and ⋆ contexts are dirty");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let builder = CubeBuilder::new();
+        let mut snap: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let bytes = snap.to_bytes();
+        let stats = snap.apply_update(&UpdateBatch::new()).unwrap();
+        assert_eq!(stats, UpdateStats { clean_cells: snap.cube().len(), ..Default::default() });
+        assert_eq!(snap.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn unknown_attribute_rejected_before_mutation() {
+        let builder = CubeBuilder::new();
+        let mut snap: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let bytes = snap.to_bytes();
+        let mut bad = UpdateBatch::new();
+        bad.add_row(&[("sex", "F"), ("planet", "mars")], "u0");
+        assert!(snap.apply_update(&bad).is_err());
+        assert_eq!(snap.to_bytes(), bytes, "failed update must not mutate the snapshot");
+    }
+
+    #[test]
+    fn batch_from_relation_matches_hand_built() {
+        let builder = CubeBuilder::new();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let mut rel =
+            Relation::new(vec!["sex".into(), "age".into(), "region".into(), "unitID".into()])
+                .unwrap();
+        for (s, a, r, u) in DELTA {
+            rel.push_row(vec![s.to_string(), a.to_string(), r.to_string(), u.to_string()]).unwrap();
+        }
+        let from_rel = UpdateBatch::from_relation(&rel, snap.cube().labels(), "unitID").unwrap();
+        let mut a = snap.clone();
+        let mut b = snap.clone();
+        a.apply_update(&from_rel).unwrap();
+        b.apply_update(&batch(DELTA)).unwrap();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        // Missing columns are schema errors.
+        let empty = Relation::new(vec!["sex".into(), "unitID".into()]).unwrap();
+        assert!(UpdateBatch::from_relation(&empty, snap.cube().labels(), "unitID").is_err());
+        assert!(UpdateBatch::from_relation(&rel, snap.cube().labels(), "nope").is_err());
+    }
+
+    #[test]
+    fn pair_order_does_not_change_interning() {
+        // Two new values in one row, given in reverse attribute order: the
+        // dictionary must still grow in label (schema) order, keeping the
+        // updated snapshot byte-identical to a rebuild.
+        let builder = CubeBuilder::new();
+        let mut snap: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let mut reversed = UpdateBatch::new();
+        reversed.add_row(&[("region", "west"), ("age", "mid"), ("sex", "F")], "u0");
+        snap.apply_update(&reversed).unwrap();
+        let all: Vec<Row> = BASE.iter().copied().chain([("F", "mid", "west", "u0")]).collect();
+        let rebuilt: CubeSnapshot = CubeSnapshot::from_db(&db(&all), &builder).unwrap();
+        assert_eq!(snap.to_bytes(), rebuilt.to_bytes());
+    }
+
+    #[test]
+    fn repeated_small_updates_match_one_rebuild() {
+        // Stream the delta row by row: four updates ≡ one concatenated
+        // rebuild, bit for bit.
+        let builder = CubeBuilder::new().min_support(2).materialize(Materialize::ClosedOnly);
+        let mut snap: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        for row in DELTA {
+            snap.apply_update(&batch(&[*row])).unwrap();
+        }
+        let all: Vec<Row> = BASE.iter().chain(DELTA.iter()).copied().collect();
+        let rebuilt: CubeSnapshot = CubeSnapshot::from_db(&db(&all), &builder).unwrap();
+        assert_eq!(snap.to_bytes(), rebuilt.to_bytes());
+    }
+}

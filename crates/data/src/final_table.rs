@@ -64,6 +64,24 @@ impl FinalTableSpec {
         self
     }
 
+    /// Reconstruct the spec a schema was encoded under (attribute names,
+    /// roles, multi-valued flags), so sliced relations of an existing
+    /// final table re-encode with identical dictionaries — the base/delta
+    /// splits of update experiments and tests rely on this. Exact for
+    /// schemas that list SA attributes before CA attributes, which is the
+    /// order [`FinalTableSpec::schema`] always produces.
+    pub fn from_schema(schema: &Schema, unit_column: impl Into<String>) -> Self {
+        let mut spec = FinalTableSpec::new(unit_column);
+        for attr in schema.attributes() {
+            let columns = match attr.role {
+                crate::schema::AttrRole::Segregation => &mut spec.sa_columns,
+                crate::schema::AttrRole::Context => &mut spec.ca_columns,
+            };
+            columns.push((attr.name.clone(), attr.multi_valued));
+        }
+        spec
+    }
+
     /// The schema induced by the spec (SA attributes first, then CA).
     pub fn schema(&self) -> Result<Schema> {
         let mut attrs = Vec::new();

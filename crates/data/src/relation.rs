@@ -67,6 +67,12 @@ impl Relation {
         Ok(())
     }
 
+    /// A new relation holding the rows of `range`, same columns — what
+    /// base/delta splits for incremental-update experiments use.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Relation {
+        Relation { columns: self.columns.clone(), rows: self.rows[range].to_vec() }
+    }
+
     /// Value at `(row, column-name)`.
     pub fn get(&self, row: usize, column: &str) -> Option<&str> {
         let c = self.column_index(column)?;

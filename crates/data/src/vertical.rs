@@ -62,6 +62,65 @@ impl<P: Posting> VerticalDb<P> {
         Some(VerticalDb { postings, n_transactions, unit_of, n_units })
     }
 
+    /// Fold a batch of appended transactions into the database in place —
+    /// the delta-ingest primitive behind incremental cube maintenance.
+    ///
+    /// Each row holds sorted, deduplicated item ids and a unit id; rows are
+    /// assigned the next transaction ids in order, so every existing
+    /// posting is extended at its tail ([`Posting::append_sorted`]) rather
+    /// than rebuilt. `n_items_after` / `n_units_after` widen the item and
+    /// unit spaces for ids first seen in the batch (empty postings are
+    /// created for new items that happen not to appear — callers pass the
+    /// post-interning dictionary sizes).
+    ///
+    /// Errors (leaving `self` untouched) when a row references an item
+    /// `>= n_items_after` or a unit `>= n_units_after`, or when either
+    /// space would shrink.
+    pub fn append_rows(
+        &mut self,
+        rows: &[(Vec<ItemId>, UnitId)],
+        n_items_after: usize,
+        n_units_after: u32,
+    ) -> std::result::Result<(), String> {
+        if n_items_after < self.postings.len() {
+            return Err(format!(
+                "item space cannot shrink ({} -> {n_items_after})",
+                self.postings.len()
+            ));
+        }
+        if n_units_after < self.n_units {
+            return Err(format!("unit space cannot shrink ({} -> {n_units_after})", self.n_units));
+        }
+        let mut new_tids: Vec<Vec<u32>> = vec![Vec::new(); n_items_after];
+        for (i, (items, unit)) in rows.iter().enumerate() {
+            if *unit >= n_units_after {
+                return Err(format!("row {i} references unknown unit {unit}"));
+            }
+            let tid = self.n_transactions + i as u32;
+            let mut prev: Option<ItemId> = None;
+            for &item in items {
+                if item as usize >= n_items_after {
+                    return Err(format!("row {i} references unknown item {item}"));
+                }
+                if prev.is_some_and(|p| item <= p) {
+                    return Err(format!("row {i} items are not strictly increasing"));
+                }
+                prev = Some(item);
+                new_tids[item as usize].push(tid);
+            }
+        }
+        self.postings.resize_with(n_items_after, || P::from_sorted(&[]));
+        for (item, tids) in new_tids.iter().enumerate() {
+            if !tids.is_empty() {
+                self.postings[item].append_sorted(tids);
+            }
+        }
+        self.unit_of.extend(rows.iter().map(|&(_, u)| u));
+        self.n_transactions += rows.len() as u32;
+        self.n_units = n_units_after;
+        Ok(())
+    }
+
     /// Posting of one item.
     pub fn posting(&self, item: ItemId) -> &P {
         &self.postings[item as usize]
@@ -316,6 +375,54 @@ mod tests {
         // Posting tid out of range.
         let bad = vec![EwahBitmap::from_sorted(&[9])];
         assert!(VerticalDb::<EwahBitmap>::from_parts(bad, 4, v.units().to_vec(), 2).is_none());
+    }
+
+    #[test]
+    fn append_rows_matches_from_scratch_build() {
+        fn check<P: Posting + PartialEq + std::fmt::Debug>() {
+            let db = small_db();
+            let mut v: VerticalDb<P> = VerticalDb::build(&db);
+            // Two appended rows: one over existing items, one introducing
+            // item 4 ("M","s" exist; pretend a new value got id 4) and
+            // unit 2.
+            let rows = vec![(vec![0, 2], 0u32), (vec![1, 3, 4], 2u32)];
+            v.append_rows(&rows, 5, 3).unwrap();
+            assert_eq!(v.num_transactions(), 6);
+            assert_eq!(v.num_units(), 3);
+            assert_eq!(v.num_items(), 5);
+            assert_eq!(v.units(), &[0, 0, 1, 1, 0, 2]);
+            // Compare against rebuilding the concatenated data directly.
+            let base: VerticalDb<P> = VerticalDb::build(&db);
+            let mut tids: Vec<Vec<u32>> =
+                (0..base.num_items()).map(|it| base.posting(it as ItemId).to_vec()).collect();
+            tids.resize(5, Vec::new());
+            for (i, (items, _)) in rows.iter().enumerate() {
+                for &it in items {
+                    tids[it as usize].push(4 + i as u32);
+                }
+            }
+            for (it, expected) in tids.iter().enumerate() {
+                assert_eq!(&v.posting(it as ItemId).to_vec(), expected, "item {it}");
+            }
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+    }
+
+    #[test]
+    fn append_rows_rejects_bad_batches_untouched() {
+        let db = small_db();
+        let mut v: VerticalDb = VerticalDb::build(&db);
+        let before_units = v.units().to_vec();
+        // Unknown item, unknown unit, unsorted items, shrinking spaces.
+        assert!(v.append_rows(&[(vec![9], 0)], 4, 2).is_err());
+        assert!(v.append_rows(&[(vec![0], 7)], 4, 2).is_err());
+        assert!(v.append_rows(&[(vec![2, 1], 0)], 4, 2).is_err());
+        assert!(v.append_rows(&[], 1, 2).is_err());
+        assert!(v.append_rows(&[], 4, 1).is_err());
+        assert_eq!(v.num_transactions(), 4, "failed appends must not mutate");
+        assert_eq!(v.units(), &before_units[..]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! * [`components`] — connected components by BFS, with the
 //!   weight-threshold variant designed in the companion journal paper
 //!   (remove edges below a threshold, then take components);
-//! * [`stoc`] — the SToC attributed-graph clustering algorithm
+//! * [`mod@stoc`] — the SToC attributed-graph clustering algorithm
 //!   (Baroni, Conte, Patrignani, Ruggieri; ASONAM 2017), reimplemented
 //!   from its published description;
 //! * [`clustering`] — the partition type all clusterers produce, which the

@@ -1,0 +1,166 @@
+//! Property tests for incremental cube maintenance: folding an
+//! `UpdateBatch` of appended rows into a built snapshot must be
+//! **bit-identical** to a full rebuild on the concatenated data — snapshot
+//! bytes and all — for every posting representation (EWAH / dense /
+//! tid-vector) and both materializations, on datagen registries of varying
+//! planted skew and delta sizes. The concurrent serving engine must answer
+//! the post-update universe identically too, which exercises the surgical
+//! cache invalidation: values cached before the update must either survive
+//! (clean contexts) or be dropped (dirty contexts), never served stale.
+
+use proptest::prelude::*;
+use scube::prelude::*;
+use scube_bitmap::{DenseBitmap, EwahBitmap, Posting, TidVec};
+use scube_data::{FinalTableSpec, TransactionDb};
+use scube_datagen::BoardsConfig;
+
+fn final_table(sector_bias: f64, seed: u64, n_companies: usize) -> TransactionDb {
+    let boards = scube_datagen::generate(
+        BoardsConfig::italy(n_companies).sector_bias(sector_bias).seed(seed),
+    );
+    let dataset = boards.to_dataset(vec![]).expect("generator output is valid");
+    scube::build_final_table(&dataset, &UnitStrategy::GroupAttribute("sector".into()), 1)
+        .expect("pipeline succeeds")
+        .db
+}
+
+fn spec_of(db: &TransactionDb) -> FinalTableSpec {
+    FinalTableSpec::from_schema(db.schema(), "unitID")
+}
+
+fn check_update_equals_rebuild<P: Posting + Send + Sync + PartialEq + std::fmt::Debug>(
+    full_rel: &Relation,
+    spec: &FinalTableSpec,
+    base_rows: usize,
+    min_support: u64,
+    materialize: Materialize,
+    what: &str,
+) {
+    let base_rel = full_rel.slice_rows(0..base_rows);
+    let delta_rel = full_rel.slice_rows(base_rows..full_rel.len());
+    let base_db = spec.encode(&base_rel).expect("base rows encode");
+    let full_db = spec.encode(full_rel).expect("all rows encode");
+
+    let builder = CubeBuilder::new().min_support(min_support).materialize(materialize);
+    let mut updated: CubeSnapshot<P> =
+        CubeSnapshot::from_db(&base_db, &builder).expect("base snapshot builds");
+    let batch =
+        scube_cube::UpdateBatch::from_relation(&delta_rel, updated.cube().labels(), "unitID")
+            .expect("delta rows resolve");
+    let stats = updated.apply_update(&batch).expect("update applies");
+    assert_eq!(stats.rows_added, delta_rel.len(), "{what}");
+    assert_eq!(
+        stats.dirty_cells + stats.promoted_cells + stats.clean_cells,
+        updated.cube().len(),
+        "{what}: stats partition the cell store"
+    );
+
+    let rebuilt: CubeSnapshot<P> =
+        CubeSnapshot::from_db(&full_db, &builder).expect("full snapshot builds");
+    assert_eq!(updated.cube(), rebuilt.cube(), "{what}: cube diverged");
+    assert_eq!(updated.to_bytes(), rebuilt.to_bytes(), "{what}: snapshot bytes diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn update_is_bit_identical_to_rebuild(
+        bias_idx in 0usize..3,
+        seed in any::<u64>(),
+        delta_pct in 1usize..=30,
+    ) {
+        let bias = [0.0, 0.5, 1.0][bias_idx];
+        let db = final_table(bias, seed, 200);
+        let full_rel = scube::final_table_relation(&db);
+        let spec = spec_of(&db);
+        let minsup = (db.len() as u64 / 50).max(1);
+        let base_rows = full_rel.len() - (full_rel.len() * delta_pct / 100).max(1);
+        for materialize in [Materialize::AllFrequent, Materialize::ClosedOnly] {
+            check_update_equals_rebuild::<EwahBitmap>(
+                &full_rel, &spec, base_rows, minsup, materialize, "ewah",
+            );
+            check_update_equals_rebuild::<DenseBitmap>(
+                &full_rel, &spec, base_rows, minsup, materialize, "dense",
+            );
+            check_update_equals_rebuild::<TidVec>(
+                &full_rel, &spec, base_rows, minsup, materialize, "tidvec",
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_engine_update_answers_match_rebuild(
+        seed in any::<u64>(),
+        delta_pct in 1usize..=20,
+    ) {
+        let db = final_table(0.7, seed, 150);
+        let full_rel = scube::final_table_relation(&db);
+        let spec = spec_of(&db);
+        let minsup = (db.len() as u64 / 50).max(1);
+        let base_rows = full_rel.len() - (full_rel.len() * delta_pct / 100).max(1);
+        let base_rel = full_rel.slice_rows(0..base_rows);
+        let delta_rel = full_rel.slice_rows(base_rows..full_rel.len());
+        let base_db = spec.encode(&base_rel).expect("base rows encode");
+        let full_db = spec.encode(&full_rel).expect("all rows encode");
+
+        // Serve the closed store (so fallback cells exercise the caches),
+        // reference everything against AllFrequent rebuilds.
+        let closed = CubeBuilder::new().min_support(minsup).materialize(Materialize::ClosedOnly);
+        let base_full = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::AllFrequent)
+            .build(&base_db)
+            .expect("base full cube");
+        let after_full = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::AllFrequent)
+            .build(&full_db)
+            .expect("post-update full cube");
+
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&base_db, &closed).expect("snapshot");
+        let mut engine = ConcurrentCubeEngine::new(snap);
+        // Warm every tier — and a few breakdowns — *before* the update, so
+        // stale entries exist and must be invalidated (or proven clean).
+        for (coords, v) in base_full.cells() {
+            prop_assert_eq!(&engine.query(coords).expect("pre-update query"), v);
+        }
+        for (coords, _) in base_full.cells().take(32) {
+            engine.unit_breakdown(coords);
+        }
+
+        let batch = scube_cube::UpdateBatch::from_relation(
+            &delta_rel,
+            engine.cube().labels(),
+            "unitID",
+        )
+        .expect("delta rows resolve");
+        engine.apply_update(&batch).expect("engine update applies");
+
+        // Every post-update universe cell — cached before or not — must
+        // now answer with the rebuilt values, through shared references.
+        let mut explorer: CubeExplorer = CubeExplorer::new(&full_db);
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let engine = &engine;
+                let after_full = &after_full;
+                scope.spawn(move || {
+                    for (coords, v) in after_full.cells().skip(t) {
+                        assert_eq!(
+                            &engine.query(coords).expect("post-update query"),
+                            v,
+                            "stale answer at {coords:?}"
+                        );
+                    }
+                });
+            }
+        });
+        for (coords, _) in after_full.cells().take(32) {
+            prop_assert_eq!(
+                engine.unit_breakdown(coords),
+                explorer.unit_breakdown(coords),
+                "stale breakdown at {:?}", coords
+            );
+        }
+    }
+}
