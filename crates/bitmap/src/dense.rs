@@ -133,6 +133,21 @@ impl Posting for DenseBitmap {
         }
     }
 
+    fn remove_sorted(&mut self, ids: &[u32]) {
+        let mut prev: Option<u32> = None;
+        for &id in ids {
+            assert!(prev.is_none_or(|p| id > p), "ids must be strictly increasing");
+            assert!(self.contains(id), "removed ids must all be present");
+            prev = Some(id);
+            self.remove(id);
+        }
+        // Word-clears may strand all-zero trailing words; trim them so the
+        // encoding matches a from-scratch build of the surviving ids.
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
     fn and(&self, other: &Self) -> Self {
         self.op(other, |a, b| a & b)
     }

@@ -483,6 +483,24 @@ impl Posting for EwahBitmap {
         *self = self.or(&EwahBitmap::from_sorted(ids));
     }
 
+    fn remove_sorted(&mut self, ids: &[u32]) {
+        if ids.is_empty() {
+            return;
+        }
+        let removal = EwahBitmap::from_sorted(ids);
+        // A real assert (not debug-only): the check is one streaming pass
+        // over the compressed words, and silently dropping an absent id
+        // would desynchronize the caller's histograms from the postings in
+        // release builds — matching Dense/TidVec, which always panic.
+        assert_eq!(self.and_cardinality(&removal), removal.card, "removed ids must all be present");
+        // Stream difference: both compressed streams merge word by word
+        // without decompressing, and the Appender re-compresses greedily,
+        // so the result is the same canonical word stream `from_sorted`
+        // would build from the surviving ids — byte-identical snapshots do
+        // not depend on the construction path.
+        *self = self.binary_op(&removal, BinOp::AndNot);
+    }
+
     fn and(&self, other: &Self) -> Self {
         self.binary_op(other, BinOp::And)
     }

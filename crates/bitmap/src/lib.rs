@@ -109,6 +109,42 @@ pub trait Posting: Sized + Clone {
         *self = Self::from_sorted(&all);
     }
 
+    /// Remove strictly increasing ids from the set, all of which must be
+    /// present — the shape of a delta-retract, where the caller already
+    /// intersected the removal set with this posting.
+    ///
+    /// The default re-encodes through [`Posting::from_sorted`];
+    /// representations override it with cheaper surgery ([`TidVec`] drains
+    /// the matching slots, [`DenseBitmap`] clears words in place,
+    /// [`EwahBitmap`] stream-differences the compressed streams). Every
+    /// override must leave the set in its canonical encoding: removing ids
+    /// and rebuilding from scratch must serialize identically
+    /// (`remove_sorted_matches_from_scratch_build` below), which is what
+    /// keeps retracted snapshots byte-identical to rebuilt ones.
+    ///
+    /// # Panics
+    /// Implementations may panic if `ids` is not strictly increasing or
+    /// contains an id not present in the set.
+    fn remove_sorted(&mut self, ids: &[u32]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut keep = Vec::with_capacity((self.cardinality() as usize).saturating_sub(ids.len()));
+        let mut i = 0;
+        self.for_each(|id| {
+            if i < ids.len() && ids[i] == id {
+                if i > 0 {
+                    assert!(ids[i - 1] < ids[i], "ids must be strictly increasing");
+                }
+                i += 1;
+            } else {
+                keep.push(id);
+            }
+        });
+        assert_eq!(i, ids.len(), "removed ids must all be present");
+        *self = Self::from_sorted(&keep);
+    }
+
     /// Set intersection.
     #[must_use]
     fn and(&self, other: &Self) -> Self;
@@ -306,6 +342,53 @@ mod tests {
                 scratch.write_bytes(&mut b);
                 assert_eq!(a, b, "{base:?} + {delta:?}: encodings diverge");
             }
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+    }
+
+    #[test]
+    fn remove_sorted_matches_from_scratch_build() {
+        fn check<P: Posting + PartialEq + std::fmt::Debug>() {
+            for (base, removed) in [
+                (vec![0u32, 3], vec![0u32, 3]),
+                (vec![0u32, 1, 5], vec![]),
+                (vec![0u32, 1, 5], vec![1]),
+                (vec![3u32, 63, 64, 65, 200], vec![63, 64]),
+                (vec![0u32, 64, 1000, 1001, 5000], vec![1000, 5000]),
+                ((0..420).collect::<Vec<u32>>(), (0..420).step_by(3).collect::<Vec<u32>>()),
+                ((0..300).collect::<Vec<u32>>(), (100..300).collect::<Vec<u32>>()),
+                (vec![7u32, 1_000_000], vec![1_000_000]),
+            ] {
+                let mut shrunk = P::from_sorted(&base);
+                shrunk.remove_sorted(&removed);
+                let survivors: Vec<u32> =
+                    base.iter().copied().filter(|id| !removed.contains(id)).collect();
+                let scratch = P::from_sorted(&survivors);
+                assert_eq!(shrunk, scratch, "{base:?} - {removed:?}");
+                assert_eq!(shrunk.to_vec(), survivors, "{base:?} - {removed:?}");
+                // Canonical encoding must not depend on the build path:
+                // snapshot byte-identity after a retraction relies on this.
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                shrunk.write_bytes(&mut a);
+                scratch.write_bytes(&mut b);
+                assert_eq!(a, b, "{base:?} - {removed:?}: encodings diverge");
+            }
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+    }
+
+    #[test]
+    fn remove_sorted_rejects_absent_ids() {
+        fn check<P: Posting + std::fmt::Debug>() {
+            let result = std::panic::catch_unwind(|| {
+                let mut p = P::from_sorted(&[1, 5, 9]);
+                p.remove_sorted(&[5, 6]);
+            });
+            assert!(result.is_err(), "removing an absent id must panic");
         }
         check::<EwahBitmap>();
         check::<DenseBitmap>();

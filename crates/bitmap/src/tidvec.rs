@@ -56,6 +56,28 @@ impl Posting for TidVec {
         self.ids.extend_from_slice(ids);
     }
 
+    fn remove_sorted(&mut self, ids: &[u32]) {
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1], "ids must be strictly increasing");
+        }
+        if ids.is_empty() {
+            return;
+        }
+        // One in-place drain pass over the sorted vector: survivors shift
+        // left past the removed slots.
+        let mut j = 0;
+        let before = self.ids.len();
+        self.ids.retain(|&id| {
+            if j < ids.len() && ids[j] == id {
+                j += 1;
+                false
+            } else {
+                true
+            }
+        });
+        assert_eq!(before - self.ids.len(), ids.len(), "removed ids must all be present");
+    }
+
     fn and(&self, other: &Self) -> Self {
         let (mut i, mut j) = (0, 0);
         let mut out = Vec::with_capacity(self.ids.len().min(other.ids.len()));

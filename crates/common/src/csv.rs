@@ -23,7 +23,10 @@ use crate::error::{Result, ScubeError};
 pub struct Reader<R> {
     input: R,
     delimiter: u8,
+    /// Physical lines consumed so far.
     line: u64,
+    /// First physical line of the most recently read record.
+    record_start: u64,
     buf: String,
 }
 
@@ -35,12 +38,17 @@ impl<R: BufRead> Reader<R> {
 
     /// Create a reader with a custom single-byte delimiter.
     pub fn with_delimiter(input: R, delimiter: u8) -> Self {
-        Reader { input, delimiter, line: 0, buf: String::new() }
+        Reader { input, delimiter, line: 0, record_start: 0, buf: String::new() }
     }
 
-    /// 1-based line number of the most recently read record.
+    /// 1-based line number where the most recently read record **starts**.
+    /// A record whose quoted fields span several physical lines is
+    /// reported (here and in error messages) by the line it opened on —
+    /// the line a user would go look at — not by whichever continuation
+    /// line the reader happened to stop at.
+    #[allow(clippy::misnamed_getters)] // `line` is the record's start line by contract
     pub fn line(&self) -> u64 {
-        self.line
+        self.record_start
     }
 
     /// Read the next record into `fields` (cleared first).
@@ -58,6 +66,7 @@ impl<R: BufRead> Reader<R> {
                 return Ok(false);
             }
             self.line += 1;
+            self.record_start = self.line;
             // Keep reading physical lines while inside an open quote.
             while field_quote_open(&self.buf, self.delimiter) {
                 let n2 = self
@@ -66,7 +75,7 @@ impl<R: BufRead> Reader<R> {
                     .map_err(|e| ScubeError::Io { path: None, source: e })?;
                 if n2 == 0 {
                     return Err(ScubeError::Csv {
-                        line: self.line,
+                        line: self.record_start,
                         msg: "unterminated quoted field".into(),
                     });
                 }
@@ -76,7 +85,7 @@ impl<R: BufRead> Reader<R> {
             if trimmed.is_empty() {
                 continue; // skip blank lines
             }
-            parse_record(trimmed, self.delimiter, self.line, fields)?;
+            parse_record(trimmed, self.delimiter, self.record_start, fields)?;
             return Ok(true);
         }
     }
@@ -331,6 +340,71 @@ mod tests {
     fn missing_final_newline() {
         let got = parse_str("a,b").unwrap();
         assert_eq!(got, vec![rec(&["a", "b"])]);
+    }
+
+    #[test]
+    fn missing_final_newline_edge_shapes() {
+        // Quoted final field, escaped quote at the very end, trailing
+        // delimiter, and a quoted field closing at EOF — none may lose the
+        // record or mis-parse it.
+        assert_eq!(parse_str("x,\"y\"").unwrap(), vec![rec(&["x", "y"])]);
+        assert_eq!(parse_str("\"a\"\"b\"").unwrap(), vec![rec(&["a\"b"])]);
+        assert_eq!(parse_str("a,").unwrap(), vec![rec(&["a", ""])]);
+        // A multi-line quoted record truncated by EOF (no newline after
+        // the continuation) still parses once the quote closes...
+        assert_eq!(parse_str("\"l1\nl2\",z").unwrap(), vec![rec(&["l1\nl2", "z"])]);
+        // ...and a final \r with no \n is treated as a bare terminator.
+        assert_eq!(parse_str("a,b\r").unwrap(), vec![rec(&["a", "b"])]);
+    }
+
+    #[test]
+    fn crlf_inside_quoted_fields_is_preserved() {
+        // RFC 4180 allows CRLF inside quoted fields; only the *record*
+        // terminator is stripped, the embedded one is data.
+        let got = parse_str("\"line1\r\nline2\",y\r\n").unwrap();
+        assert_eq!(got, vec![rec(&["line1\r\nline2", "y"])]);
+        // And it round-trips through the writer (which must quote it).
+        let encoded = to_string(got.iter().map(|r| r.iter().map(|s| s.as_str())));
+        assert_eq!(parse_str(&encoded).unwrap(), vec![rec(&["line1\r\nline2", "y"])]);
+        // A CRLF-terminated record whose *last* field is quoted loses only
+        // the terminator.
+        assert_eq!(parse_str("a,\"b\"\r\n").unwrap(), vec![rec(&["a", "b"])]);
+    }
+
+    #[test]
+    fn multi_line_records_report_their_start_line() {
+        // Record 2 spans physical lines 2-4; line() must point at 2 (the
+        // line a user would open), not at the continuation the reader
+        // stopped on.
+        let mut r = Reader::new("first\n\"a\nb\nc\",x\nlast\n".as_bytes());
+        let mut f = Vec::new();
+        r.read_record(&mut f).unwrap();
+        assert_eq!(r.line(), 1);
+        r.read_record(&mut f).unwrap();
+        assert_eq!(f, rec(&["a\nb\nc", "x"]));
+        assert_eq!(r.line(), 2, "multi-line record starts at line 2");
+        r.read_record(&mut f).unwrap();
+        assert_eq!(f, rec(&["last"]));
+        assert_eq!(r.line(), 5);
+    }
+
+    #[test]
+    fn errors_in_multi_line_records_cite_the_start_line() {
+        // The malformed record opens at line 2 and spans to line 3, where
+        // garbage follows the closing quote.
+        let mut r = Reader::new("ok\n\"a\nb\"x,y\n".as_bytes());
+        let mut f = Vec::new();
+        r.read_record(&mut f).unwrap();
+        let err = r.read_record(&mut f).unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
+        // An unterminated quote that runs to EOF cites where it opened.
+        let mut r = Reader::new("ok\nalso ok\n\"never closed\nstill open".as_bytes());
+        let mut f = Vec::new();
+        r.read_record(&mut f).unwrap();
+        r.read_record(&mut f).unwrap();
+        let err = r.read_record(&mut f).unwrap_err().to_string();
+        assert!(err.contains("unterminated"), "{err}");
+        assert!(err.contains("line 3"), "{err}");
     }
 
     #[test]

@@ -70,11 +70,15 @@ verbs:
   scube [run] ...        run the pipeline and write reports (--out)
   scube save ...         run the pipeline and persist a cube snapshot
                          (--snapshot <file>; input flags as for run)
-  scube update ...       fold appended rows into a saved snapshot in place:
+  scube update ...       fold appended/retracted rows into a saved snapshot:
     --snapshot <file>    the snapshot to patch and re-save (required)
     --add <csv>          appended final-table rows: one column per cube
-                         attribute plus the unit column (required)
-    --unit-col <col>     the unit column of --add [unitID]
+                         attribute plus the unit column
+    --remove <csv>       retracted rows (same shape), each removed by exact
+                         match; unknown values or unmatched rows are errors
+                         (give --add, --remove, or both)
+    --unit-col <col>     the unit column of --add/--remove [unitID]
+    --threads <n>        re-evaluate dirty cells on up to n threads [1]
   scube query ...        serve queries from a saved snapshot:
     --snapshot <file>    the snapshot to load (required)
     --sa a=v,...         point query: minority coordinates (omit = *)
@@ -111,11 +115,39 @@ optional:
   --rank <index>         ranking index for top_contexts [dissimilarity]
 ";
 
+#[derive(Debug)]
 struct Flags {
     args: Vec<String>,
 }
 
+/// Flags that take no value (everything else consumes the next argument).
+const BOOLEAN_FLAGS: &[&str] = &["--closed", "--parallel", "--breakdown", "--help", "-h"];
+
 impl Flags {
+    /// Wrap an argument list, rejecting duplicate flags up front: `--sa
+    /// gender=F --sa gender=M` would otherwise silently answer with the
+    /// first occurrence only.
+    fn new(args: &[String]) -> Result<Self> {
+        let mut seen: Vec<&str> = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if arg.starts_with("--") || arg == "-h" {
+                if seen.contains(&arg) {
+                    return Err(ScubeError::InvalidParameter(format!(
+                        "flag {arg} given more than once"
+                    )));
+                }
+                seen.push(arg);
+                if !BOOLEAN_FLAGS.contains(&arg) {
+                    i += 1; // skip the flag's value
+                }
+            }
+            i += 1;
+        }
+        Ok(Flags { args: args.to_vec() })
+    }
+
     fn get(&self, name: &str) -> Option<&str> {
         self.args
             .iter()
@@ -294,7 +326,7 @@ fn parse_rank(flags: &Flags) -> Result<SegIndex> {
 }
 
 fn run(args: &[String]) -> Result<String> {
-    let flags = Flags { args: args.to_vec() };
+    let flags = Flags::new(args)?;
     let rank = parse_rank(&flags)?;
     let out_dir = flags.require("--out")?.to_string();
     let (wizard, dates) = wizard_from_flags(&flags)?;
@@ -326,7 +358,7 @@ fn run(args: &[String]) -> Result<String> {
 
 /// `scube save`: run the pipeline once, persist cube + postings.
 fn run_save(args: &[String]) -> Result<String> {
-    let flags = Flags { args: args.to_vec() };
+    let flags = Flags::new(args)?;
     let path = flags.require("--snapshot")?.to_string();
     let (wizard, dates) = wizard_from_flags(&flags)?;
     if !dates.is_empty() {
@@ -347,24 +379,48 @@ fn run_save(args: &[String]) -> Result<String> {
     ))
 }
 
-/// `scube update`: fold appended rows into a saved snapshot, re-save it.
+/// `scube update`: fold appended and/or retracted rows into a saved
+/// snapshot, re-save it.
 fn run_update(args: &[String]) -> Result<String> {
-    let flags = Flags { args: args.to_vec() };
+    let flags = Flags::new(args)?;
     let path = flags.require("--snapshot")?.to_string();
-    let rows_path = flags.require("--add")?;
+    let add_path = flags.value_of("--add")?;
+    let remove_path = flags.value_of("--remove")?;
+    if add_path.is_none() && remove_path.is_none() {
+        return Err(ScubeError::InvalidParameter(
+            "update needs --add <csv>, --remove <csv>, or both".into(),
+        ));
+    }
     let unit_col = flags.value_of("--unit-col")?.unwrap_or("unitID");
-    let rows = Relation::read_csv_path(rows_path)?;
+    let threads: usize = match flags.value_of("--threads")? {
+        None => 1,
+        Some(s) => match s.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Err(ScubeError::InvalidParameter(format!(
+                    "bad --threads '{s}' (want >= 1)"
+                )))
+            }
+        },
+    };
+    let add = add_path.map(Relation::read_csv_path).transpose()?;
+    let remove = remove_path.map(Relation::read_csv_path).transpose()?;
     let start = std::time::Instant::now();
-    let stats = scube::update_snapshot_file(&path, &rows, unit_col)?;
+    let stats =
+        scube::update_snapshot_file(&path, add.as_ref(), remove.as_ref(), unit_col, threads)?;
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     Ok(format!(
-        "updated {path}: +{} rows (+{} values, +{} units); {} cells re-evaluated, \
-         {} promoted, {} untouched ({bytes} bytes, {:?})",
+        "updated {path}: +{} −{} rows (+{} −{} values, +{} −{} units); {} cells re-evaluated, \
+         {} promoted, {} demoted, {} untouched ({bytes} bytes, {:?})",
         stats.rows_added,
+        stats.rows_removed,
         stats.new_items,
+        stats.dropped_items,
         stats.new_units,
+        stats.dropped_units,
         stats.dirty_cells,
         stats.promoted_cells,
+        stats.demoted_cells,
         stats.clean_cells,
         start.elapsed()
     ))
@@ -445,7 +501,7 @@ impl Serving {
 
 /// `scube query`: serve point / top-k / slice queries from a snapshot.
 fn run_query(args: &[String]) -> Result<String> {
-    let flags = Flags { args: args.to_vec() };
+    let flags = Flags::new(args)?;
     let path = flags.require("--snapshot")?;
     let threads: Option<usize> = flags
         .value_of("--threads")?
@@ -748,7 +804,7 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let summary = run_update(&q).unwrap();
-        assert!(summary.contains("+2 rows"), "{summary}");
+        assert!(summary.contains("+2 −0 rows"), "{summary}");
 
         // The patched snapshot answers with the grown population: women
         // are no longer fully concentrated in edu (D < 1).
@@ -762,18 +818,93 @@ mod tests {
         assert!(answer.contains("agri: 1/4"), "{answer}");
         assert!(!answer.contains("D=1.0000"), "{answer}");
 
+        // Retraction: the two breaking-news rows leave again, restoring
+        // the original snapshot bytes.
+        let before = std::fs::read(p("cube.scube")).unwrap();
+        std::fs::write(p("gone.csv"), "gender,unitID\nF,agri\nM,edu\n").unwrap();
+        let q: Vec<String> =
+            ["--snapshot", &p("cube.scube"), "--remove", &p("gone.csv"), "--threads", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let summary = run_update(&q).unwrap();
+        assert!(summary.contains("−2 rows"), "{summary}");
+        let q: Vec<String> = ["--snapshot", &p("cube.scube"), "--sa", "gender=F"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run_query(&q).unwrap().contains("D=1.0000"), "back to full concentration");
+        // Re-apply the addition so the retract-then-re-add cycle is a
+        // byte-level no-op on disk.
+        let q: Vec<String> = ["--snapshot", &p("cube.scube"), "--add", &p("delta.csv")]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run_update(&q).unwrap();
+        assert_eq!(std::fs::read(p("cube.scube")).unwrap(), before);
+
         // Bad invocations error instead of clobbering the snapshot.
+        std::fs::write(p("bad_value.csv"), "gender,unitID\nX,edu\n").unwrap();
+        std::fs::write(p("bad_unit.csv"), "gender,unitID\nF,mining\n").unwrap();
+        std::fs::write(p("no_match.csv"), "gender,unitID\nM,agri\nM,agri\nM,agri\nM,agri\n")
+            .unwrap();
         for bad in [
             vec!["--snapshot", &p("cube.scube")],
             vec!["--add", &p("delta.csv")],
             vec!["--snapshot", &p("cube.scube"), "--add", &p("delta.csv"), "--unit-col"],
             vec!["--snapshot", &p("cube.scube"), "--add", &p("missing.csv")],
+            vec!["--snapshot", &p("cube.scube"), "--remove", &p("missing.csv")],
+            // Retractions referencing values absent from the snapshot's
+            // dictionary — or matching no remaining row — must error,
+            // never silently no-op.
+            vec!["--snapshot", &p("cube.scube"), "--remove", &p("bad_value.csv")],
+            vec!["--snapshot", &p("cube.scube"), "--remove", &p("bad_unit.csv")],
+            vec!["--snapshot", &p("cube.scube"), "--remove", &p("no_match.csv")],
+            vec!["--snapshot", &p("cube.scube"), "--add", &p("delta.csv"), "--threads", "0"],
+            vec!["--snapshot", &p("cube.scube"), "--add", &p("delta.csv"), "--threads", "x"],
+            // Duplicate flags are ambiguous, not first-one-wins.
+            vec![
+                "--snapshot",
+                &p("cube.scube"),
+                "--add",
+                &p("delta.csv"),
+                "--add",
+                &p("delta.csv"),
+            ],
         ] {
             let q: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let snapshot_bytes = std::fs::read(p("cube.scube")).unwrap();
             assert!(run_update(&q).is_err(), "{q:?} should be rejected");
+            assert_eq!(
+                std::fs::read(p("cube.scube")).unwrap(),
+                snapshot_bytes,
+                "{q:?} must not clobber the snapshot"
+            );
         }
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_flags_rejected() {
+        let dup: Vec<String> =
+            ["--sa", "gender=F", "--sa", "gender=M"].iter().map(|s| s.to_string()).collect();
+        let err = Flags::new(&dup).expect_err("duplicate --sa must be rejected");
+        assert!(err.to_string().contains("more than once"), "{err}");
+        // A repeated boolean flag is just as ambiguous.
+        let dup: Vec<String> = ["--closed", "--closed"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::new(&dup).is_err());
+        // Values are not mistaken for flags, even when they repeat.
+        let ok: Vec<String> =
+            ["--sa", "x", "--ca", "x", "--closed"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::new(&ok).is_ok());
+        // And the query path surfaces the rejection end to end.
+        let q: Vec<String> = ["--snapshot", "nope.scube", "--top", "3", "--top", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run_query(&q).expect_err("duplicate --top must be rejected");
+        assert!(err.to_string().contains("more than once"), "{err}");
     }
 
     #[test]

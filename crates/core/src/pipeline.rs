@@ -146,28 +146,48 @@ pub fn snapshot(result: &ScubeResult) -> Result<CubeSnapshot> {
         .with_build_config(config.materialize, config.atkinson_b))
 }
 
-/// Incremental maintenance: fold a batch of appended rows into a built
-/// snapshot in place — postings extended at their tails, newly-frequent
-/// itemsets promoted, exactly the dirty cells re-evaluated. Bit-identical
-/// to re-running the pipeline on the concatenated data, at a fraction of
-/// the cost (see `scube_cube::update`).
+/// Incremental maintenance: fold a batch of appended rows and retractions
+/// into a built snapshot in place — postings extended at their tails (or
+/// shrunk), newly-frequent itemsets promoted, below-threshold cells
+/// demoted, exactly the dirty cells re-evaluated. Bit-identical to
+/// re-running the pipeline on the edited data, at a fraction of the cost
+/// (see `scube_cube::update`).
 pub fn update(snapshot: &mut CubeSnapshot, batch: &UpdateBatch) -> Result<UpdateStats> {
     snapshot.apply_update(batch)
 }
 
-/// The `scube update` verb: load a snapshot file, fold a final-table-shaped
-/// relation of appended rows into it (`unit_column` names the unit id
-/// column), and save the patched snapshot back in format v2. Returns the
-/// update stats; the file is only rewritten when the update succeeds.
+/// As [`update`], fanning dirty-cell re-evaluation over up to `threads`
+/// scoped worker threads — bit-identical to the serial form.
+pub fn update_threads(
+    snapshot: &mut CubeSnapshot,
+    batch: &UpdateBatch,
+    threads: usize,
+) -> Result<UpdateStats> {
+    snapshot.apply_update_threads(batch, threads)
+}
+
+/// The `scube update` verb: load a snapshot file, fold final-table-shaped
+/// relations of appended (`add`) and retracted (`remove`, matched exactly)
+/// rows into it (`unit_column` names the unit id column), and save the
+/// patched snapshot back in format v3. Returns the update stats; the file
+/// is only rewritten when the update succeeds.
 pub fn update_snapshot_file(
     path: impl AsRef<Path>,
-    rows: &Relation,
+    add: Option<&Relation>,
+    remove: Option<&Relation>,
     unit_column: &str,
+    threads: usize,
 ) -> Result<UpdateStats> {
     let path = path.as_ref();
     let mut snapshot: CubeSnapshot = CubeSnapshot::load(path)?;
-    let batch = UpdateBatch::from_relation(rows, snapshot.cube().labels(), unit_column)?;
-    let stats = snapshot.apply_update(&batch)?;
+    let mut batch = match add {
+        Some(rows) => UpdateBatch::from_relation(rows, snapshot.cube().labels(), unit_column)?,
+        None => UpdateBatch::new(),
+    };
+    if let Some(rows) = remove {
+        batch.remove_relation(rows, snapshot.cube().labels(), unit_column)?;
+    }
+    let stats = snapshot.apply_update_threads(&batch, threads)?;
     snapshot.save(path)?;
     Ok(stats)
 }

@@ -157,21 +157,23 @@ pub(crate) fn resolve_coords(
     Ok(CellCoords::new(lookup(sa, true)?, lookup(ca, false)?))
 }
 
-/// Total per-unit triples the breakdown cache may retain. Breakdown values
+/// Total per-unit triples a breakdown cache may retain. Breakdown values
 /// are `Vec`s up to `n_units` long — orders of magnitude bigger than the
 /// cell cache's fixed-size [`IndexValues`] — so the cache is budgeted by
-/// retained triples (~24 MiB worst case), not by entry count.
-const BREAKDOWN_TRIPLE_BUDGET: usize = 1 << 20;
+/// retained triples (~24 MiB worst case), not by entry count. Since the
+/// PR-4 audit the budget is enforced by **exact** per-entry weights (each
+/// entry weighs its own triple count, tracked by [`LruCache`]'s
+/// `used_weight` counter) rather than by dividing the budget by the
+/// worst-case breakdown length — short breakdowns no longer waste
+/// capacity, and the counter is decremented for every eviction,
+/// replacement, and `retain`-dropped entry (budget-exactness regression
+/// tests pin this, including across `apply_update` invalidation).
+pub(crate) const BREAKDOWN_TRIPLE_BUDGET: usize = 1 << 20;
 
-/// Entry capacity of a breakdown cache serving `n_units`-unit data next to
-/// a cell cache of `cell_capacity` entries: the triple budget divided by
-/// the worst-case breakdown length, floored at 16 entries so small caches
-/// still help, and never above the cell capacity (0 disables both).
-pub(crate) fn breakdown_capacity(cell_capacity: usize, n_units: u32) -> usize {
-    if cell_capacity == 0 {
-        return 0;
-    }
-    (BREAKDOWN_TRIPLE_BUDGET / n_units.max(1) as usize).max(16).min(cell_capacity)
+/// The weight of one cached breakdown: its retained triples (floored at 1
+/// so empty breakdowns still occupy a slot's worth of budget).
+pub(crate) fn breakdown_weight(b: &[(u32, u64, u64)]) -> usize {
+    b.len().max(1)
 }
 
 /// Descending by index value, ties broken by canonical coordinates — a
@@ -298,7 +300,9 @@ impl<P: Posting> CubeQueryEngine<P> {
         // non-default `b`.
         let atkinson_b = snapshot.atkinson_b();
         let (cube, vertical) = snapshot.into_parts();
-        let breakdowns = LruCache::new(breakdown_capacity(capacity, cube.num_units()));
+        // Breakdown values are per-unit Vecs, so that cache is bounded by
+        // an exact retained-triple budget on top of the entry capacity.
+        let breakdowns = LruCache::with_budget(capacity, BREAKDOWN_TRIPLE_BUDGET);
         CubeQueryEngine {
             cube,
             explorer: CubeExplorer::from_vertical(vertical).with_atkinson_b(atkinson_b),
@@ -376,7 +380,7 @@ impl<P: Posting> CubeQueryEngine<P> {
         }
         let b = self.explorer.unit_breakdown(coords);
         self.stats.record_breakdown_computed();
-        self.breakdowns.insert(coords.clone(), b.clone());
+        self.breakdowns.insert_weighted(coords.clone(), b.clone(), breakdown_weight(&b));
         b
     }
 
@@ -417,31 +421,52 @@ const NIL: usize = usize::MAX;
 struct LruEntry<K, V> {
     key: K,
     value: V,
+    weight: usize,
     prev: usize,
     next: usize,
 }
 
-/// A bounded least-recently-used cache over a slab + intrusive list.
+/// A bounded least-recently-used cache over a slab + intrusive list,
+/// bounded two ways: by entry count (`capacity`) and by total entry
+/// *weight* (`weight_budget`; unlimited unless configured, weight 1 per
+/// entry unless given). The breakdown caches weigh entries by their
+/// retained triples, so the byte budget is enforced **exactly**: the
+/// running `used_weight` counter is decremented for every evicted entry,
+/// every in-place replacement, and every entry dropped by [`Self::retain`]
+/// — any drift would permanently shrink (or overrun) the effective
+/// capacity, which the budget-exactness tests pin down.
 ///
-/// `get` and `insert` are O(1); eviction reuses the tail slot, so once warm
-/// the cache never allocates. Capacity 0 disables it entirely. Shared with
-/// [`crate::serve`], where each shard of the concurrent engine owns one
-/// behind its own lock.
+/// `get` and `insert` are O(1) amortized; evicted slots recycle through a
+/// free list, so once warm the cache never allocates. Capacity 0 disables
+/// it entirely. Shared with [`crate::serve`], where each shard of the
+/// concurrent engine owns one behind its own lock.
 #[derive(Debug)]
 pub(crate) struct LruCache<K, V> {
     map: FxHashMap<K, usize>,
-    entries: Vec<LruEntry<K, V>>,
+    entries: Vec<Option<LruEntry<K, V>>>,
+    free: Vec<usize>,
     capacity: usize,
+    weight_budget: usize,
+    used_weight: usize,
     head: usize,
     tail: usize,
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
     pub(crate) fn new(capacity: usize) -> Self {
+        Self::with_budget(capacity, usize::MAX)
+    }
+
+    /// A cache bounded by `capacity` entries *and* `weight_budget` total
+    /// weight (whichever bites first).
+    pub(crate) fn with_budget(capacity: usize, weight_budget: usize) -> Self {
         LruCache {
             map: scube_common::hash::fx_map_with_capacity(capacity.min(1 << 20)),
             entries: Vec::new(),
+            free: Vec::new(),
             capacity,
+            weight_budget,
+            used_weight: 0,
             head: NIL,
             tail: NIL,
         }
@@ -449,29 +474,52 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
 
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.entries.len()
+        self.map.len()
+    }
+
+    /// Total weight of the live entries, as tracked incrementally.
+    #[cfg(test)]
+    pub(crate) fn used_weight(&self) -> usize {
+        self.used_weight
+    }
+
+    /// Recompute the live weight from scratch and compare with the
+    /// tracked counter — the budget-exactness invariant.
+    #[cfg(test)]
+    pub(crate) fn weight_invariant_holds(&self) -> bool {
+        let live: usize = self.entries.iter().flatten().map(|e| e.weight).sum();
+        let linked = self.entries.iter().flatten().count();
+        live == self.used_weight && linked == self.map.len()
+    }
+
+    fn entry(&self, i: usize) -> &LruEntry<K, V> {
+        self.entries[i].as_ref().expect("linked slot is occupied")
+    }
+
+    fn entry_mut(&mut self, i: usize) -> &mut LruEntry<K, V> {
+        self.entries[i].as_mut().expect("linked slot is occupied")
     }
 
     /// Unlink `i` from the recency list.
     fn unlink(&mut self, i: usize) {
-        let (prev, next) = (self.entries[i].prev, self.entries[i].next);
+        let (prev, next) = (self.entry(i).prev, self.entry(i).next);
         match prev {
             NIL => self.head = next,
-            p => self.entries[p].next = next,
+            p => self.entry_mut(p).next = next,
         }
         match next {
             NIL => self.tail = prev,
-            n => self.entries[n].prev = prev,
+            n => self.entry_mut(n).prev = prev,
         }
     }
 
     /// Link `i` at the head (most recent).
     fn link_front(&mut self, i: usize) {
-        self.entries[i].prev = NIL;
-        self.entries[i].next = self.head;
+        self.entry_mut(i).prev = NIL;
+        self.entry_mut(i).next = self.head;
         match self.head {
             NIL => self.tail = i,
-            h => self.entries[h].prev = i,
+            h => self.entry_mut(h).prev = i,
         }
         self.head = i;
     }
@@ -483,61 +531,99 @@ impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Evict the least-recently-used entry, returning its slot to the free
+    /// list and its weight to the budget.
+    fn evict_tail(&mut self) {
+        let i = self.tail;
+        debug_assert_ne!(i, NIL, "evict_tail on an empty cache");
+        self.unlink(i);
+        let e = self.entries[i].take().expect("tail slot is occupied");
+        self.map.remove(&e.key);
+        self.used_weight -= e.weight;
+        self.free.push(i);
+    }
+
+    /// Evict from the tail until the weight budget is respected. The entry
+    /// just inserted or refreshed sits at the head, so it goes last — and
+    /// even it is evicted when it alone exceeds the budget.
+    fn enforce_budget(&mut self) {
+        while self.used_weight > self.weight_budget && self.tail != NIL {
+            self.evict_tail();
+        }
+    }
+
     pub(crate) fn get(&mut self, key: &K) -> Option<&V> {
         let i = *self.map.get(key)?;
         self.touch(i);
-        Some(&self.entries[i].value)
+        Some(&self.entry(i).value)
     }
 
     /// Drop every entry the predicate rejects, preserving the recency
-    /// order of the survivors. Used by the update path to invalidate
-    /// exactly the dirty cached cells; O(len), which is negligible next to
-    /// the update itself.
+    /// order (and weights) of the survivors. Used by the update path to
+    /// invalidate exactly the dirty cached cells; O(len), which is
+    /// negligible next to the update itself.
     pub(crate) fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) {
-        let mut order = Vec::with_capacity(self.entries.len());
+        let mut order = Vec::with_capacity(self.map.len());
         let mut i = self.head;
         while i != NIL {
             order.push(i);
-            i = self.entries[i].next;
+            i = self.entry(i).next;
         }
-        let mut slots: Vec<Option<LruEntry<K, V>>> =
-            std::mem::take(&mut self.entries).into_iter().map(Some).collect();
+        let mut slots = std::mem::take(&mut self.entries);
         self.map.clear();
+        self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.used_weight = 0;
         // Reinsert survivors least-recent first, so the recency list comes
-        // back in the original order.
+        // back in the original order; dropped entries return their weight
+        // by never being re-counted.
         for &i in order.iter().rev() {
             let e = slots[i].take().expect("recency list links each slot once");
             if keep(&e.key, &e.value) {
-                self.insert(e.key, e.value);
+                self.insert_weighted(e.key, e.value, e.weight);
             }
         }
     }
 
     pub(crate) fn insert(&mut self, key: K, value: V) {
-        if self.capacity == 0 {
+        self.insert_weighted(key, value, 1);
+    }
+
+    /// Insert `key → value` carrying `weight` units of the budget,
+    /// evicting least-recently-used entries until both bounds hold.
+    pub(crate) fn insert_weighted(&mut self, key: K, value: V, weight: usize) {
+        if self.capacity == 0 || self.weight_budget == 0 {
             return;
         }
         if let Some(&i) = self.map.get(&key) {
-            self.entries[i].value = value;
+            let e = self.entry_mut(i);
+            let old = e.weight;
+            e.value = value;
+            e.weight = weight;
+            self.used_weight = self.used_weight - old + weight;
             self.touch(i);
+            self.enforce_budget();
             return;
         }
-        let i = if self.entries.len() < self.capacity {
-            self.entries.push(LruEntry { key: key.clone(), value, prev: NIL, next: NIL });
-            self.entries.len() - 1
-        } else {
-            // Evict the least-recently-used entry and reuse its slot.
-            let i = self.tail;
-            self.unlink(i);
-            self.map.remove(&self.entries[i].key);
-            self.entries[i].key = key.clone();
-            self.entries[i].value = value;
-            i
+        if self.map.len() == self.capacity {
+            self.evict_tail();
+        }
+        let entry = LruEntry { key: key.clone(), value, weight, prev: NIL, next: NIL };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.entries[i] = Some(entry);
+                i
+            }
+            None => {
+                self.entries.push(Some(entry));
+                self.entries.len() - 1
+            }
         };
         self.map.insert(key, i);
         self.link_front(i);
+        self.used_weight += weight;
+        self.enforce_budget();
     }
 }
 
@@ -634,17 +720,75 @@ mod tests {
     }
 
     #[test]
-    fn breakdown_capacity_is_budgeted() {
-        // Disabled cell cache disables the breakdown cache too.
-        assert_eq!(breakdown_capacity(0, 10), 0);
-        // Small unit counts: entry count is bounded by the cell capacity.
-        assert_eq!(breakdown_capacity(4096, 2), 4096);
-        // Huge unit counts: the triple budget takes over (but ≥ 16).
-        assert_eq!(breakdown_capacity(4096, 10_000), BREAKDOWN_TRIPLE_BUDGET / 10_000);
-        assert_eq!(breakdown_capacity(4096, u32::MAX), 16);
-        // Tiny cell caches stay the binding constraint.
-        assert_eq!(breakdown_capacity(3, u32::MAX), 3);
-        assert_eq!(breakdown_capacity(3, 1), 3);
+    fn weighted_budget_evicts_exactly() {
+        let mut c: LruCache<u32, u32> = LruCache::with_budget(100, 10);
+        c.insert_weighted(1, 10, 4);
+        c.insert_weighted(2, 20, 4);
+        assert_eq!(c.used_weight(), 8);
+        // 4 + 4 + 5 > 10: the least-recent entry (1) must go.
+        c.insert_weighted(3, 30, 5);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.used_weight(), 9);
+        assert!(c.weight_invariant_holds());
+        // Replacing in place swaps the weight, not accumulates it.
+        c.insert_weighted(3, 31, 2);
+        assert_eq!(c.used_weight(), 6);
+        assert_eq!(c.get(&3), Some(&31));
+        assert!(c.weight_invariant_holds());
+        // An entry heavier than the whole budget cannot reside at all.
+        c.insert_weighted(4, 40, 11);
+        assert_eq!(c.get(&4), None);
+        assert!(c.weight_invariant_holds());
+        assert_eq!(c.used_weight(), 0, "oversized insert evicts everything, counts nothing");
+        // Zero budget disables the cache entirely.
+        let mut d: LruCache<u32, u32> = LruCache::with_budget(100, 0);
+        d.insert_weighted(1, 10, 1);
+        assert_eq!(d.get(&1), None);
+    }
+
+    #[test]
+    fn budget_accounting_is_exact_under_churn_and_retain() {
+        // The audit scenario: the tracked used_weight must equal the sum
+        // of live entry weights after arbitrary interleavings of inserts,
+        // replacements, capacity evictions, budget evictions, and retain —
+        // any drift would permanently shrink (or overrun) the effective
+        // cache capacity.
+        let mut c: LruCache<u32, u32> = LruCache::with_budget(8, 64);
+        for round in 0..400u32 {
+            let k = round % 13;
+            c.insert_weighted(k, round, 1 + (round as usize * 7) % 23);
+            assert!(c.weight_invariant_holds(), "round {round}: insert drifted");
+            assert!(c.used_weight() <= 64, "round {round}: budget overrun");
+            if round % 5 == 0 {
+                c.get(&(round % 7));
+            }
+            if round % 11 == 0 {
+                // Invalidate a slice of the keys, as apply_update does.
+                c.retain(|&k, _| k % 3 != 0);
+                assert!(c.weight_invariant_holds(), "round {round}: retain drifted");
+            }
+        }
+        c.retain(|_, _| false);
+        assert_eq!(c.used_weight(), 0, "empty cache must account zero weight");
+        assert!(c.weight_invariant_holds());
+    }
+
+    #[test]
+    fn weighted_retain_preserves_weights_and_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::with_budget(10, 100);
+        c.insert_weighted(1, 10, 30);
+        c.insert_weighted(2, 20, 30);
+        c.insert_weighted(3, 30, 30);
+        assert_eq!(c.used_weight(), 90);
+        c.retain(|&k, _| k != 2);
+        assert_eq!(c.used_weight(), 60, "dropped entry must return its weight");
+        // Survivors keep their weights: 60 + 50 overruns the budget of
+        // 100, so the least-recent survivor (1) is evicted — exactly one.
+        c.insert_weighted(4, 40, 50);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.used_weight(), 80);
+        assert!(c.weight_invariant_holds());
     }
 
     #[test]

@@ -35,8 +35,9 @@ use crate::coords::CellCoords;
 use crate::cube::SegregationCube;
 use crate::explore::{CubeExplorer, ExplorerScratch};
 use crate::query::{
-    breakdown_capacity, rank_cell_list, rank_cells, resolve_coords, sort_ranked, sorted_dice,
-    sorted_slice, AtomicQueryStats, LruCache, QueryStats, RankedCells, DEFAULT_CACHE_CAPACITY,
+    breakdown_weight, rank_cell_list, rank_cells, resolve_coords, sort_ranked, sorted_dice,
+    sorted_slice, AtomicQueryStats, LruCache, QueryStats, RankedCells, BREAKDOWN_TRIPLE_BUDGET,
+    DEFAULT_CACHE_CAPACITY,
 };
 use crate::snapshot::CubeSnapshot;
 use crate::update::{MaintenanceStore, UpdateBatch, UpdateStats};
@@ -125,11 +126,10 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
         let (cube, vertical, maintenance, materialize, atkinson_b) = snapshot.into_serving_parts();
         let n_shards = shards.max(1);
         let per_shard = if capacity == 0 { 0 } else { capacity.div_ceil(n_shards) };
-        // Breakdown values are per-unit Vecs, so that cache is budgeted by
-        // retained triples (see `breakdown_capacity`), then sharded like
-        // the cell cache.
-        let bd_capacity = breakdown_capacity(capacity, cube.num_units());
-        let bd_per_shard = if bd_capacity == 0 { 0 } else { bd_capacity.div_ceil(n_shards) };
+        // Breakdown values are per-unit Vecs, so that cache is bounded by
+        // an exact retained-triple budget (each entry weighs its own
+        // triples), split across shards like the cell cache.
+        let bd_budget = if capacity == 0 { 0 } else { BREAKDOWN_TRIPLE_BUDGET.div_ceil(n_shards) };
         // Recompute fallback cells with the Atkinson parameter the cube
         // was built with (recorded since snapshot v2): the cold tier stays
         // bit-identical to the store even for non-default `b`.
@@ -145,7 +145,7 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
             explorer,
             shards: (0..n_shards).map(|_| SpinLock::new(LruCache::new(per_shard))).collect(),
             breakdown_shards: (0..n_shards)
-                .map(|_| SpinLock::new(LruCache::new(bd_per_shard)))
+                .map(|_| SpinLock::new(LruCache::with_budget(per_shard, bd_budget)))
                 .collect(),
             scratches: SpinLock::new(scratches),
             stats: AtomicQueryStats::default(),
@@ -155,19 +155,44 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
         }
     }
 
-    /// Fold a batch of appended rows into the serving engine: the cube and
-    /// postings are updated in place (bit-identical to a full rebuild on
-    /// the concatenated data, see [`crate::update`]) and **exactly** the
-    /// dirty cache entries — fallback cells and breakdowns whose context
-    /// gained transactions — are invalidated, shard by shard; clean cached
-    /// values stay resident and stay correct.
+    /// Fold a batch of appended rows and retractions into the serving
+    /// engine: the cube and postings are updated in place (bit-identical
+    /// to a full rebuild on the edited data, see [`crate::update`]) and
+    /// **exactly** the dirty cache entries — fallback cells and breakdowns
+    /// whose context gained or lost transactions — are invalidated, shard
+    /// by shard; clean cached values stay resident and stay correct. When
+    /// a retraction relabels the id space (values or units dropped or
+    /// reordered, materialized cells demoted away), every cached entry is
+    /// invalidated: pre-update coordinates are meaningless — and may alias
+    /// different cells — under the new ids.
     ///
     /// Taking `&mut self` is what makes the swap atomic: the borrow
     /// checker guarantees no in-flight query can observe a half-applied
     /// update, with no extra locking on the read path. Deployments that
     /// serve during updates wrap the engine in an `RwLock` (or swap an
     /// `Arc`) at the layer above.
-    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<UpdateStats> {
+    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<UpdateStats>
+    where
+        P: Send + Sync,
+    {
+        // Dirty-cell re-evaluation is CPU-bound: clamp to min(8, host
+        // cores), matching the bench configuration — more workers than
+        // cores only buys scheduling overhead.
+        let threads = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1);
+        self.apply_update_threads(batch, threads)
+    }
+
+    /// As [`Self::apply_update`], with an explicit worker-thread count for
+    /// the dirty-cell re-evaluation phase (answers are bit-identical for
+    /// any count).
+    pub fn apply_update_threads(
+        &mut self,
+        batch: &UpdateBatch,
+        threads: usize,
+    ) -> Result<UpdateStats>
+    where
+        P: Send + Sync,
+    {
         let outcome = crate::update::apply_update(
             &mut self.cube,
             self.explorer.vertical_mut(),
@@ -175,9 +200,10 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
             batch,
             self.materialize,
             self.atkinson_b,
+            threads,
         )?;
-        // The unit space may have grown: refresh every pooled scratch (and
-        // the explorer's own) to the new size.
+        // The unit space may have grown or shrunk: refresh every pooled
+        // scratch (and the explorer's own) to the new size.
         self.explorer.refresh_scratch();
         let pool_size = self.scratches.lock().len();
         *self.scratches.lock() = (0..pool_size).map(|_| self.explorer.new_scratch()).collect();
@@ -326,7 +352,8 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
         self.check_in(scratch);
         self.stats.record_breakdown_computed();
         let (key, value): (CellCoords, Breakdown) = (coords.clone(), b.as_slice().into());
-        shard.lock().insert(key, value);
+        let weight = breakdown_weight(&value);
+        shard.lock().insert_weighted(key, value, weight);
         b
     }
 
@@ -664,6 +691,79 @@ mod tests {
             warm.breakdown_cached + 1,
             "clean breakdown must still be cached"
         );
+    }
+
+    #[test]
+    fn cache_budget_accounting_survives_apply_update() {
+        // The PR-4 audit scenario: warm the sharded cell and breakdown
+        // caches, churn the snapshot (appends + a demoting retraction),
+        // let retain-based invalidation run, then verify every shard's
+        // tracked weight still equals the sum of its live entry weights.
+        // Drift here would silently shrink the effective cache capacity
+        // for the rest of the process lifetime.
+        let db = db();
+        let closed = CubeBuilder::new().materialize(Materialize::ClosedOnly).min_support(2);
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &closed).unwrap();
+        let full = CubeBuilder::new()
+            .min_support(2)
+            .materialize(Materialize::AllFrequent)
+            .build(&db)
+            .unwrap();
+        let mut engine = ConcurrentCubeEngine::with_config(snap, 4, 64);
+        for (coords, _) in full.cells() {
+            engine.query(coords).unwrap();
+            engine.unit_breakdown(coords);
+        }
+        let check = |engine: &ConcurrentCubeEngine, when: &str| {
+            for (i, shard) in engine.shards.iter().enumerate() {
+                assert!(shard.lock().weight_invariant_holds(), "{when}: cell shard {i} drifted");
+            }
+            for (i, shard) in engine.breakdown_shards.iter().enumerate() {
+                assert!(
+                    shard.lock().weight_invariant_holds(),
+                    "{when}: breakdown shard {i} drifted"
+                );
+            }
+        };
+        check(&engine, "after warm-up");
+
+        // Mixed churn: one append, one retraction (row 1 backs a
+        // support-2 cell, so something demotes).
+        let mut batch = UpdateBatch::new();
+        batch.add_row(&[("sex", "F"), ("age", "old"), ("region", "north")], "u0");
+        batch.remove_tid(1);
+        let stats = engine.apply_update(&batch).unwrap();
+        assert_eq!((stats.rows_added, stats.rows_removed), (1, 1));
+        check(&engine, "after apply_update invalidation");
+
+        // And again after re-warming on the post-churn universe.
+        let mut b = TransactionDbBuilder::new(db.schema().clone());
+        for (t, (items, unit)) in db.iter().enumerate() {
+            if t == 1 {
+                continue;
+            }
+            let labels: Vec<Vec<String>> = {
+                let mut per_attr = vec![Vec::new(); db.schema().len()];
+                for &it in items {
+                    let attr = db.dictionary().attr_of(it);
+                    per_attr[attr as usize].push(db.dictionary().value_of(it).to_string());
+                }
+                per_attr
+            };
+            b.add_row(&labels, db.unit_name(unit)).unwrap();
+        }
+        b.add_row(&[vec!["F"], vec!["old"], vec!["north"]], "u0").unwrap();
+        let grown = b.finish();
+        let after_full = CubeBuilder::new()
+            .min_support(2)
+            .materialize(Materialize::AllFrequent)
+            .build(&grown)
+            .unwrap();
+        for (coords, v) in after_full.cells() {
+            assert_eq!(engine.query(coords).unwrap(), *v, "stale {coords:?}");
+            engine.unit_breakdown(coords);
+        }
+        check(&engine, "after re-warming");
     }
 
     #[test]

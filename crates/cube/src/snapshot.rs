@@ -8,29 +8,36 @@
 //! and the explorer fallback for non-materialized ⋆-combinations without
 //! re-mining anything.
 //!
-//! ## Format (version 2)
+//! ## Format (version 3)
 //!
 //! All integers are little-endian; strings are `u32` length + UTF-8 bytes.
 //!
 //! ```text
 //! [0..8)    magic  "SCUBESNP"
-//! [8..12)   format version (u32, currently 2)
+//! [8..12)   format version (u32, currently 3)
 //! [12]      posting representation tag (Posting::SERIAL_TAG)
 //! [13..21)  FxHash checksum (u64) of the payload
 //! [21..]    payload:
-//!   build cfg  materialization tag (u8), Atkinson b (f64)     — v2 only
+//!   build cfg  materialization tag (u8), Atkinson b (f64)     — since v2
 //!   labels     n_items × (attr, value, is_sa), sa_attrs, ca_attrs, unit_names
 //!   cube meta  n_units (u32), min_support (u64)
 //!   cells      n_cells × (sa ids, ca ids, IndexValues)   — sorted by (sa, ca)
 //!   vertical   n_transactions, n_units, tid → unit map, item postings
+//!   store      context totals + cell minorities            — since v2
 //! ```
 //!
-//! Version 2 prepends the **build configuration** (materialization strategy
-//! and Atkinson shape parameter) to the payload, which is what lets `scube
-//! update` fold an [`crate::update::UpdateBatch`] into a loaded snapshot
-//! and re-evaluate dirty cells with exactly the parameters the cube was
-//! built with. Version-1 files still load (the writer only emits v2);
-//! their build configuration defaults to `AllFrequent` /
+//! Version 2 prepended the **build configuration** (materialization
+//! strategy and Atkinson shape parameter) and the maintenance store to the
+//! payload, which is what lets `scube update` fold an
+//! [`crate::update::UpdateBatch`] into a loaded snapshot and re-evaluate
+//! dirty cells with exactly the parameters the cube was built with.
+//! Version 3 keeps the identical layout and marks the retraction-capable
+//! maintenance era: a v3 file may have been produced by demoting updates
+//! (cells evicted, dictionary entries dropped and renumbered), states no
+//! pre-v3 reader was ever exercised against — the bump makes old readers
+//! reject such files up front instead of trusting untested invariants.
+//! Version-1 and version-2 files still load (the writer only emits v3);
+//! v1 build configuration defaults to `AllFrequent` /
 //! [`DEFAULT_ATKINSON_B`], the builder defaults. Unknown versions error —
 //! never panic (`tests/snapshot_compat.rs`).
 //!
@@ -54,7 +61,8 @@ use crate::cube::{CubeLabels, SegregationCube};
 use crate::update::{MaintenanceStore, UpdateBatch, UpdateOutcome, UpdateStats};
 
 const MAGIC: &[u8; 8] = b"SCUBESNP";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+const VERSION_2: u32 = 2;
 const VERSION_1: u32 = 1;
 const HEADER_LEN: usize = 8 + 4 + 1 + 8;
 /// Ceiling on length-field-driven preallocations while decoding: the
@@ -151,11 +159,15 @@ impl<P: Posting> CubeSnapshot<P> {
             .with_build_config(builder.config().materialize, builder.config().atkinson_b))
     }
 
-    /// Fold a batch of appended rows into the snapshot in place: postings
-    /// extended at their tails, newly-frequent itemsets promoted, and
-    /// exactly the dirty cells re-evaluated under the recorded build
-    /// configuration — bit-identical to a full rebuild on the concatenated
-    /// data (see [`crate::update`]).
+    /// Fold a batch of appended rows and retractions into the snapshot in
+    /// place: postings extended at their tails (or shrunk), newly-frequent
+    /// itemsets promoted, below-threshold or no-longer-closed cells
+    /// demoted, and exactly the dirty cells re-evaluated under the
+    /// recorded build configuration — bit-identical to a full rebuild on
+    /// the edited data for single-valued-per-row attributes; see
+    /// [`UpdateBatch`] for the narrow multi-valued dictionary-order caveat
+    /// (cell values are exact in every case) and [`crate::update`] for the
+    /// machinery.
     ///
     /// ```
     /// use scube_cube::{CubeBuilder, CubeSnapshot, UpdateBatch};
@@ -178,13 +190,39 @@ impl<P: Posting> CubeSnapshot<P> {
     /// assert_eq!((women.minority, women.total), (3, 4));
     /// # Ok::<(), scube_common::ScubeError>(())
     /// ```
-    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<UpdateStats> {
-        Ok(self.apply_update_outcome(batch)?.stats)
+    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<UpdateStats>
+    where
+        P: Send + Sync,
+    {
+        self.apply_update_threads(batch, 1)
     }
 
-    /// As [`Self::apply_update`], also returning the dirtiness probe the
-    /// serving layers use to invalidate exactly the affected cache entries.
-    pub(crate) fn apply_update_outcome(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome<P>> {
+    /// As [`Self::apply_update`], fanning dirty-cell re-evaluation over up
+    /// to `threads` scoped worker threads (per-worker scratches,
+    /// deterministic results — the parallel update is bit-identical to the
+    /// serial one, property-tested in `tests/cube_update_equivalence.rs`).
+    pub fn apply_update_threads(
+        &mut self,
+        batch: &UpdateBatch,
+        threads: usize,
+    ) -> Result<UpdateStats>
+    where
+        P: Send + Sync,
+    {
+        Ok(self.apply_update_outcome(batch, threads)?.stats)
+    }
+
+    /// As [`Self::apply_update_threads`], also returning the dirtiness
+    /// probe the serving layers use to invalidate exactly the affected
+    /// cache entries.
+    pub(crate) fn apply_update_outcome(
+        &mut self,
+        batch: &UpdateBatch,
+        threads: usize,
+    ) -> Result<UpdateOutcome<P>>
+    where
+        P: Send + Sync,
+    {
         crate::update::apply_update(
             &mut self.cube,
             &mut self.vertical,
@@ -192,6 +230,7 @@ impl<P: Posting> CubeSnapshot<P> {
             batch,
             self.materialize,
             self.atkinson_b,
+            threads,
         )
     }
 
@@ -320,9 +359,9 @@ impl<P: Posting> CubeSnapshot<P> {
             return Err(corrupt("bad magic (not a scube snapshot)"));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != VERSION && version != VERSION_1 {
+        if version != VERSION && version != VERSION_2 && version != VERSION_1 {
             return Err(corrupt(&format!(
-                "unsupported format version {version} (want {VERSION_1} or {VERSION})"
+                "unsupported format version {version} (want {VERSION_1}..={VERSION})"
             )));
         }
         let tag = bytes[12];
@@ -341,9 +380,9 @@ impl<P: Posting> CubeSnapshot<P> {
 
         let mut r = Reader { bytes: payload, pos: 0 };
 
-        // Build configuration (v2; v1 predates it and gets the builder
-        // defaults).
-        let (materialize, atkinson_b) = if version == VERSION {
+        // Build configuration (since v2; v1 predates it and gets the
+        // builder defaults).
+        let (materialize, atkinson_b) = if version >= VERSION_2 {
             let materialize = match r.u8()? {
                 0 => Materialize::AllFrequent,
                 1 => Materialize::ClosedOnly,
@@ -413,8 +452,8 @@ impl<P: Posting> CubeSnapshot<P> {
             postings.push(posting);
         }
 
-        // Maintenance store: stored in v2, reconstructed for v1 files.
-        let maintenance = if version == VERSION {
+        // Maintenance store: stored since v2, reconstructed for v1 files.
+        let maintenance = if version >= VERSION_2 {
             let mut store = MaintenanceStore::default();
             let n_contexts = r.u32()? as usize;
             for _ in 0..n_contexts {

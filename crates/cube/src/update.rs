@@ -1,46 +1,67 @@
-//! Incremental cube maintenance: fold appended rows into a built cube.
+//! Incremental cube maintenance: fold appended *and retracted* rows into a
+//! built cube.
 //!
 //! SCube as published is a batch tool — any new data meant re-mining and
 //! rebuilding the whole cube. This module makes a built cube a *maintained*
-//! artifact instead: an [`UpdateBatch`] of appended rows is folded into the
-//! existing [`VerticalDb`] (postings extended in place at their tails via
-//! [`Posting::append_sorted`]) and only the affected cells are recomputed.
-//! The result is **bit-identical** to a full rebuild on the concatenated
-//! data (property-tested in `tests/cube_update_equivalence.rs`) at a small
-//! fraction of the cost, because three structural facts bound the work:
+//! artifact instead: an [`UpdateBatch`] of appended rows and retractions
+//! (by tid or by exact row match) is folded into the existing
+//! [`VerticalDb`] — postings extended at their tails via
+//! [`Posting::append_sorted`], shrunk via [`Posting::remove_sorted`] — and
+//! only the affected cells are recomputed. The result is **bit-identical**
+//! to a full rebuild on the edited data (property-tested in
+//! `tests/cube_update_equivalence.rs`) because the maintenance store holds
+//! exact integer sufficient statistics, and integers subtract as exactly as
+//! they add: `hist(edited) = hist(base) + hist(appended Δ) −
+//! hist(retracted Δ)`. The structural facts that bound the work:
 //!
 //! 1. **Dirtiness is decided by the context alone.** A cell `(A | B)` is
 //!    evaluated from the per-unit histograms of `tidset(B)` (population)
-//!    and `tidset(A ∪ B) ⊆ tidset(B)` (minority). Appends only ever add
-//!    transaction ids, so the histograms change iff `tidset(B)` gains ids
-//!    — iff some appended row contains all of `B` (`B = ⋆` is always
-//!    dirty: the population universe grows). Clean cells keep their exact
-//!    floats, untouched.
-//! 2. **Supports only grow.** Every materialized itemset stays frequent,
-//!    and (under [`Materialize::ClosedOnly`]) every closed itemset stays
-//!    closed: a strict superset with strictly smaller support can never
-//!    catch up, because any appended row containing the superset also
-//!    contains the subset. Cells are therefore never removed by an append.
+//!    and `tidset(A ∪ B) ⊆ tidset(B)` (minority). The histograms change
+//!    iff `tidset(B)` gained appended tids or lost retracted ones — iff
+//!    some delta row contains all of `B` (`B = ⋆` is always dirty: the
+//!    population universe changed). Clean cells keep their exact floats,
+//!    untouched.
+//! 2. **Appends only promote; retractions only demote.** Appends never
+//!    evict a cell (supports only grow, and a superset can never catch an
+//!    equal-support subset by gaining rows). Retractions never create one:
+//!    supports only shrink, and two itemsets with equal tidsets lose the
+//!    same transactions, so a non-closed itemset stays non-closed.
+//!    Demotion therefore mirrors promotion exactly: a dirty cell whose
+//!    support falls below `min_support` — or whose itemset loses
+//!    closedness under [`Materialize::ClosedOnly`], checked against an
+//!    O(row-width) witness transaction — is evicted.
 //! 3. **Promotions are subsets of single appended rows.** An itemset that
 //!    becomes newly frequent — or newly closed — must have gained ids,
-//!    hence be contained in some *one* appended row. The affected slice of
-//!    the Eclat search space is re-mined from exactly those rows: each
-//!    row's frequent-item projection is enumerated as candidates (the
-//!    degenerate, row-local form of the first-level equivalence classes),
-//!    with [`scube_fpm::eclat::mine_vertical_with_tidsets_scoped`] as the
+//!    hence be contained in some *one* appended row (this survives mixed
+//!    batches: a net gain requires an appended occurrence). Each row's
+//!    frequent-item projection is enumerated as candidates, with
+//!    [`scube_fpm::eclat::mine_vertical_with_tidsets_scoped`] as the
 //!    class-level fallback for pathologically wide rows. Supports are
 //!    counted over the full updated postings, so promotion is exact.
 //!
-//! Dirty cells are re-evaluated with the same [`UnitScratch`] machinery and
-//! the same compact per-context histograms as
-//! [`crate::builder::CubeBuilder`] — identical integer histograms, hence
-//! identical index values, bit for bit.
+//! All histogram staging — including the dominated subtraction, which hard-
+//! errors on underflow — happens **before** any mutation, so a rejected
+//! batch or an inconsistent store leaves the snapshot untouched, byte for
+//! byte. Dirty cells are re-evaluated with the same [`UnitScratch`]
+//! machinery as [`crate::builder::CubeBuilder`] — identical integer
+//! histograms, hence identical index values — and large dirty sets fan out
+//! over scoped worker threads with per-worker scratches (cell evaluation is
+//! pure, so the parallel update is bit-identical to the serial one).
 //!
-//! New attribute values and new units extend the label dictionary at the
-//! tail in first-seen order, matching the interning order of a rebuild on
-//! base-then-delta rows (for schemas declaring SA attributes before CA
-//! attributes, which is how every final-table spec in this workspace is
-//! constructed).
+//! **Dictionary maintenance.** Appends extend the label dictionary at the
+//! tail in first-seen order, matching a rebuild on base-then-delta rows.
+//! Retractions may *shrink or reorder* it: a rebuild on the edited table
+//! interns values and units by first occurrence, so a retraction that
+//! removes a value's last row (the value leaves the dictionary) or its
+//! first row (its intern position moves) triggers a relabeling pass that
+//! renumbers items, units, cells, postings, and store entries exactly as a
+//! rebuild would assign them. Tail retractions that empty nothing skip the
+//! pass — survivors keep their ids and the postings shrink in place. The
+//! within-row tie-break is attribute-major, then prior id, which matches a
+//! rebuild's interning for single-valued-per-row attributes (the shape of
+//! every final table in this workspace; simultaneously re-first-seen values
+//! of one *multi-valued* attribute in one row may tie-break differently
+//! than their cell order).
 
 use scube_bitmap::Posting;
 use scube_common::{FxHashMap, FxHashSet, Result, ScubeError};
@@ -56,12 +77,25 @@ use crate::cube::{CubeLabels, SegregationCube};
 /// directly; wider rows fall back to the scoped Eclat re-mine.
 const MAX_SUBSET_WIDTH: usize = 16;
 
-/// A batch of appended individuals, expressed in label space
-/// (`attribute = value` pairs plus a unit name), waiting to be folded into
-/// a built cube.
+/// A batch of appended individuals and retractions, expressed in label
+/// space (`attribute = value` pairs plus a unit name), waiting to be folded
+/// into a built cube.
 ///
-/// Rows are applied in insertion order; values and units first seen in the
-/// batch extend the cube's dictionary at the tail.
+/// Appended rows are applied in insertion order; values and units first
+/// seen in the batch extend the cube's dictionary. Retractions (by
+/// pre-update tid, or by exact row match via [`Self::remove_row`]) apply to
+/// the *existing* rows; the edited table a batch produces is
+/// `(base ∖ retracted) ⧺ appended`, and the updated snapshot is
+/// byte-identical to a rebuild on it for final tables whose attributes are
+/// single-valued per row — the shape of every final-table spec in this
+/// workspace. For *multi-valued* attributes there is one narrow exception:
+/// a retraction that makes two values of one attribute first-occur
+/// simultaneously in the same surviving row cannot recover that row's
+/// original cell order (the vertical database stores sets, not sequences),
+/// so the relabeled dictionary may order those two values differently than
+/// a rebuild would intern them. Every cell *value* is still exact — item
+/// ids never enter the index math — only the serialized dictionary order
+/// can differ (pinned by `multi_valued_relabel_caveat_is_value_exact`).
 ///
 /// ```
 /// use scube_cube::UpdateBatch;
@@ -76,6 +110,11 @@ const MAX_SUBSET_WIDTH: usize = 16;
 pub struct UpdateBatch {
     /// `(attribute, value)` pairs + unit name, one entry per individual.
     rows: Vec<(Vec<(String, String)>, String)>,
+    /// Retractions by transaction id (pre-update numbering).
+    remove_tids: Vec<u32>,
+    /// Retractions by exact row match: the `(attribute, value)` pairs and
+    /// unit of a row to remove (first unclaimed match wins).
+    remove_rows: Vec<(Vec<(String, String)>, String)>,
 }
 
 impl UpdateBatch {
@@ -98,14 +137,52 @@ impl UpdateBatch {
         self
     }
 
-    /// Number of rows in the batch.
+    /// Retract one existing individual by transaction id (the id space of
+    /// the snapshot *before* this batch applies; survivors renumber
+    /// downwards exactly as a rebuild on the edited table would).
+    pub fn remove_tid(&mut self, tid: u32) -> &mut Self {
+        self.remove_tids.push(tid);
+        self
+    }
+
+    /// Retract one existing individual by exact row match: the same
+    /// `(attribute, value)` pairs (order-insensitive) and unit name as the
+    /// row to remove. When several identical rows exist, the earliest
+    /// not-yet-claimed one is removed; a removal that matches no remaining
+    /// row is an error at apply time, as is one referencing an attribute
+    /// value or unit absent from the snapshot's dictionary.
+    pub fn remove_row<S: AsRef<str>>(&mut self, values: &[(S, S)], unit: &str) -> &mut Self {
+        self.remove_rows.push((
+            values
+                .iter()
+                .map(|(a, v)| (a.as_ref().to_string(), v.as_ref().trim().to_string()))
+                .collect(),
+            unit.to_string(),
+        ));
+        self
+    }
+
+    /// Total operations in the batch — appended rows plus retractions —
+    /// so `len() == 0` exactly when [`Self::is_empty`] (a retraction-only
+    /// batch is *not* empty). Use [`Self::num_rows`] / [`Self::num_removals`]
+    /// for the per-side counts.
     pub fn len(&self) -> usize {
+        self.num_rows() + self.num_removals()
+    }
+
+    /// Number of appended rows in the batch.
+    pub fn num_rows(&self) -> usize {
         self.rows.len()
     }
 
-    /// True when the batch holds no rows.
+    /// Number of retractions (by tid or by row match) in the batch.
+    pub fn num_removals(&self) -> usize {
+        self.remove_tids.len() + self.remove_rows.len()
+    }
+
+    /// True when the batch holds no appended rows and no retractions.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.rows.is_empty() && self.remove_tids.is_empty() && self.remove_rows.is_empty()
     }
 
     /// Build a batch from a final-table-shaped [`Relation`]: one column per
@@ -139,6 +216,22 @@ impl UpdateBatch {
         }
         Ok(batch)
     }
+
+    /// Add retractions from a final-table-shaped [`Relation`] (same column
+    /// rules as [`Self::from_relation`]): every listed row is removed by
+    /// exact match. This is what `scube update --remove rows.csv` parses.
+    pub fn remove_relation(
+        &mut self,
+        rel: &Relation,
+        labels: &CubeLabels,
+        unit_column: &str,
+    ) -> Result<&mut Self> {
+        let removals = UpdateBatch::from_relation(rel, labels, unit_column)?;
+        for (pairs, unit) in removals.rows {
+            self.remove_rows.push((pairs, unit));
+        }
+        Ok(self)
+    }
 }
 
 /// What one [`UpdateBatch`] application did.
@@ -146,15 +239,27 @@ impl UpdateBatch {
 pub struct UpdateStats {
     /// Transactions appended.
     pub rows_added: usize,
+    /// Transactions retracted.
+    pub rows_removed: usize,
     /// Attribute values first seen in the batch (dictionary growth).
     pub new_items: usize,
     /// Units first seen in the batch.
     pub new_units: usize,
-    /// Existing cells whose context gained transactions (re-evaluated).
+    /// Attribute values that lost their last occurrence and left the
+    /// dictionary (retractions shrink it exactly as a rebuild would).
+    pub dropped_items: usize,
+    /// Units that lost their last transaction and were dropped.
+    pub dropped_units: usize,
+    /// Existing cells whose context gained or lost transactions and
+    /// survived re-evaluation.
     pub dirty_cells: usize,
     /// Newly materialized cells (itemsets promoted to frequent — or, under
     /// [`Materialize::ClosedOnly`], to closed).
     pub promoted_cells: usize,
+    /// Cells evicted because their support fell below `min_support` (or,
+    /// under [`Materialize::ClosedOnly`], because their itemset lost
+    /// closedness) — demotion mirrors promotion.
+    pub demoted_cells: usize,
     /// Cells left untouched, bit for bit.
     pub clean_cells: usize,
 }
@@ -169,23 +274,43 @@ pub(crate) struct UpdateOutcome<P: Posting> {
 }
 
 /// Decides whether a cell's value may have changed under an applied batch:
-/// true iff the cell's context tidset gained appended transactions (the
-/// stored postings cover appended tids only).
+/// true iff the cell's context tidset gained appended transactions or lost
+/// retracted ones (the stored postings cover delta tids only). When the
+/// update relabeled the id space — retractions dropped or reordered items
+/// or units — *every* pre-update coordinate is reported dirty, since cached
+/// keys from the old space are meaningless (and may even alias other cells)
+/// in the new one.
 #[derive(Debug)]
 pub(crate) struct DirtyProbe<P: Posting> {
-    delta_postings: Vec<P>,
-    has_rows: bool,
+    add_postings: Vec<P>,
+    rem_postings: Vec<P>,
+    has_delta: bool,
+    flush_all: bool,
 }
 
 impl<P: Posting> DirtyProbe<P> {
+    fn clean() -> Self {
+        DirtyProbe {
+            add_postings: Vec::new(),
+            rem_postings: Vec::new(),
+            has_delta: false,
+            flush_all: false,
+        }
+    }
+
     /// True when `coords` was (possibly) revalued by the update. `⋆`
     /// contexts are always dirty under a non-empty batch — the population
-    /// universe grew.
+    /// universe changed.
     pub fn is_dirty(&self, coords: &CellCoords) -> bool {
-        if !self.has_rows {
+        if self.flush_all {
+            return true;
+        }
+        if !self.has_delta {
             return false;
         }
-        coords.ca.is_empty() || delta_tidset(&self.delta_postings, &coords.ca).is_some()
+        coords.ca.is_empty()
+            || delta_tidset(&self.add_postings, &coords.ca).is_some()
+            || delta_tidset(&self.rem_postings, &coords.ca).is_some()
     }
 }
 
@@ -287,9 +412,12 @@ fn encode_batch(batch: &UpdateBatch, labels: &CubeLabels) -> Result<EncodedBatch
 /// re-evaluation from `O(Σ |full tidset|)` into `O(Σ |delta tidset| +
 /// dirty cells × populated units)`.
 ///
-/// Persisted in snapshot format v2 (canonical order: contexts by item
+/// Persisted since snapshot format v2 (canonical order: contexts by item
 /// list, cells by coordinates) so a loaded snapshot is immediately
-/// updatable; v1 files reconstruct it on load.
+/// updatable; v1 files reconstruct it on load. Counts are exact integers,
+/// so retractions *subtract* as losslessly as appends add — with a
+/// domination check turning any disagreement between store and delta into
+/// a hard error before mutation.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct MaintenanceStore {
     /// Distinct cell contexts → ascending `(unit, total)` pairs.
@@ -392,6 +520,45 @@ fn merge_add(base: &mut Vec<(u32, u64)>, delta: &[(u32, u64)]) {
     *base = out;
 }
 
+/// Subtract `delta` from `base`, both ascending by unit. Every delta unit
+/// must be dominated by the base (`present with count ≥ delta count`) —
+/// exact integer subtraction is what keeps retracted histograms identical
+/// to recomputed ones. Underflow (or a missing unit) means the maintenance
+/// store and the delta disagree: a hard error, raised **before** anything
+/// is mutated, so the snapshot stays untouched.
+fn merge_sub(base: &mut Vec<(u32, u64)>, delta: &[(u32, u64)]) -> Result<()> {
+    if delta.is_empty() {
+        return Ok(());
+    }
+    let mut out = Vec::with_capacity(base.len());
+    let mut j = 0;
+    for &(u, c) in base.iter() {
+        if j < delta.len() && delta[j].0 == u {
+            let d = delta[j].1;
+            j += 1;
+            match c.checked_sub(d) {
+                Some(0) => {}
+                Some(rest) => out.push((u, rest)),
+                None => {
+                    return Err(ScubeError::Inconsistent(format!(
+                        "update: histogram subtraction underflow at unit {u} ({c} − {d})"
+                    )))
+                }
+            }
+        } else {
+            out.push((u, c));
+        }
+    }
+    if j < delta.len() {
+        return Err(ScubeError::Inconsistent(format!(
+            "update: histogram subtraction references unit {} absent from the base",
+            delta[j].0
+        )));
+    }
+    *base = out;
+    Ok(())
+}
+
 /// Index values from stored histograms: triples over the context's
 /// populated units in ascending order, minority counts merged in (absent
 /// unit ⇒ 0) — the same integer sequence the builder feeds
@@ -439,79 +606,738 @@ fn tidset_if_frequent<P: Posting>(
     Some(acc)
 }
 
+/// Per-dirty-cell staging outcome, decided before any mutation.
+enum CellFate {
+    /// The cell survives: its staged minority histogram (`None` for `⋆`-SA
+    /// cells, which store none) and the re-evaluated values.
+    Keep(Option<Vec<(u32, u64)>>, IndexValues),
+    /// The cell is evicted: its support fell below `min_support`, or its
+    /// itemset lost closedness under [`Materialize::ClosedOnly`].
+    Demote,
+}
+
+/// Resolved retractions plus the reconstructed base rows they were matched
+/// against (the rows are reused for closedness witnesses and relabeling).
+struct Removals {
+    /// Sorted, distinct retracted tids, in pre-update numbering.
+    tids: Vec<u32>,
+    /// Every base row: sorted item ids + unit.
+    base_rows: Vec<(Vec<ItemId>, UnitId)>,
+}
+
+/// Validate and resolve the batch's retractions against the current
+/// snapshot: tids must be in range and distinct, and row-match retractions
+/// must reference only values and units present in the dictionary and must
+/// each claim a distinct matching row — any miss is an error, never a
+/// silent no-op.
+fn resolve_removals<P: Posting>(
+    batch: &UpdateBatch,
+    labels: &CubeLabels,
+    vertical: &VerticalDb<P>,
+) -> Result<Option<Removals>> {
+    if batch.remove_tids.is_empty() && batch.remove_rows.is_empty() {
+        return Ok(None);
+    }
+    let n = vertical.num_transactions();
+    let mut claimed: FxHashSet<u32> = FxHashSet::default();
+    for &t in &batch.remove_tids {
+        if t >= n {
+            return Err(ScubeError::InvalidParameter(format!(
+                "update: retracted tid {t} out of range (snapshot has {n} rows)"
+            )));
+        }
+        if !claimed.insert(t) {
+            return Err(ScubeError::InvalidParameter(format!("update: tid {t} retracted twice")));
+        }
+    }
+    let base_rows = vertical.transactions();
+    if !batch.remove_rows.is_empty() {
+        let mut item_lookup: FxHashMap<(&str, &str), ItemId> = FxHashMap::default();
+        for (id, (attr, value, _)) in labels.items.iter().enumerate() {
+            item_lookup.insert((attr.as_str(), value.as_str()), id as ItemId);
+        }
+        let unit_lookup: FxHashMap<&str, UnitId> = labels
+            .unit_names
+            .iter()
+            .enumerate()
+            .map(|(id, name)| (name.as_str(), id as UnitId))
+            .collect();
+        let mut by_shape: FxHashMap<(&[ItemId], UnitId), Vec<u32>> = FxHashMap::default();
+        for (t, (items, unit)) in base_rows.iter().enumerate() {
+            by_shape.entry((items.as_slice(), *unit)).or_default().push(t as u32);
+        }
+        for (pairs, unit) in &batch.remove_rows {
+            let mut items: Vec<ItemId> = Vec::with_capacity(pairs.len());
+            for (attr, value) in pairs {
+                if value.is_empty() {
+                    continue;
+                }
+                let Some(&id) = item_lookup.get(&(attr.as_str(), value.as_str())) else {
+                    return Err(ScubeError::InvalidParameter(format!(
+                        "update: retraction references {attr}={value}, which is absent from \
+                         the snapshot's dictionary"
+                    )));
+                };
+                items.push(id);
+            }
+            items.sort_unstable();
+            items.dedup();
+            let Some(&uid) = unit_lookup.get(unit.as_str()) else {
+                return Err(ScubeError::InvalidParameter(format!(
+                    "update: retraction references unknown unit '{unit}'"
+                )));
+            };
+            let found = by_shape
+                .get(&(items.as_slice(), uid))
+                .and_then(|tids| tids.iter().find(|t| !claimed.contains(t)))
+                .copied();
+            let Some(t) = found else {
+                return Err(ScubeError::InvalidParameter(format!(
+                    "update: retraction ({pairs:?}, {unit}) matches no remaining row"
+                )));
+            };
+            claimed.insert(t);
+        }
+    }
+    let mut tids: Vec<u32> = claimed.into_iter().collect();
+    tids.sort_unstable();
+    Ok(Some(Removals { tids, base_rows }))
+}
+
+/// Exact closedness of an existing cell's itemset in the *edited* database,
+/// decided before any mutation. An extender `j` must appear in **every**
+/// post-edit transaction of the itemset — in particular in one witness
+/// transaction — so the only candidates are the witness row's other items;
+/// each candidate's post-edit support is counted as `base − retracted +
+/// appended` against the still-unmodified postings.
+#[allow(clippy::too_many_arguments)]
+fn closed_after_edit<P: Posting>(
+    items: &[ItemId],
+    new_support: u64,
+    vertical: &VerticalDb<P>,
+    removed: &[u32],
+    base_rows: &[(Vec<ItemId>, UnitId)],
+    added_rows: &[(Vec<ItemId>, UnitId)],
+    add_postings: &[P],
+    n_base_items: usize,
+) -> bool {
+    debug_assert!(new_support > 0, "demotion by support precedes the closedness check");
+    let tids_base = vertical.tidset(items);
+    let mut surviving: Option<u32> = None;
+    tids_base.for_each(|t| {
+        if surviving.is_none() && removed.binary_search(&t).is_err() {
+            surviving = Some(t);
+        }
+    });
+    let witness: Option<&[ItemId]> = match surviving {
+        Some(t) => Some(&base_rows[t as usize].0),
+        None => added_rows.iter().map(|(r, _)| r.as_slice()).find(|r| is_sorted_subset(items, r)),
+    };
+    let Some(witness) = witness else {
+        // new_support > 0 guarantees a witness; treat the impossible as
+        // closed so the rebuild-identity tests would expose the breach.
+        return true;
+    };
+    let add_union = delta_tidset(add_postings, items);
+    for &j in witness {
+        if items.contains(&j) {
+            continue;
+        }
+        let added = add_union.as_ref().map_or(0, |a| a.and_cardinality(&add_postings[j as usize]));
+        let (base_cnt, removed_in) = if (j as usize) < n_base_items {
+            let a = tids_base.and(vertical.posting(j));
+            let mut rem_in = 0u64;
+            a.for_each(|t| {
+                if removed.binary_search(&t).is_ok() {
+                    rem_in += 1;
+                }
+            });
+            (a.cardinality(), rem_in)
+        } else {
+            (0, 0)
+        };
+        if base_cnt - removed_in + added == new_support {
+            return false;
+        }
+    }
+    true
+}
+
+/// The item/unit renumbering a retraction induces: a rebuild on the edited
+/// table interns dictionary entries in first-occurrence order (attribute-
+/// major within a row), so items and units whose first occurrence moved —
+/// or disappeared — get new ids. Identity for pure appends and for tail
+/// retractions that empty nothing.
+struct Relabel {
+    /// Old item id → new id (`None` = the value left the dictionary).
+    item_map: Vec<Option<ItemId>>,
+    /// Old unit id → new id (`None` = the unit lost its last row).
+    unit_map: Vec<Option<UnitId>>,
+    n_new_items: usize,
+    n_new_units: u32,
+    identity: bool,
+}
+
+/// Derive the relabeling from the edited table's first-occurrence arrays
+/// (old id space; `u32::MAX` = never occurs) and each item's attribute
+/// rank. Ties inside one row order attribute-major (SA attributes in label
+/// order, then CA attributes — the schema order every final-table spec
+/// declares) and by old id within an attribute, which matches a rebuild's
+/// interning for single-valued-per-row attributes (the shape of every
+/// final table in this workspace).
+fn compute_relabel(first_item: &[u32], first_unit: &[u32], item_attr_pos: &[usize]) -> Relabel {
+    let n_items = first_item.len();
+    let n_units = first_unit.len();
+    let mut order: Vec<ItemId> =
+        (0..n_items as ItemId).filter(|&it| first_item[it as usize] != u32::MAX).collect();
+    order.sort_unstable_by_key(|&it| (first_item[it as usize], item_attr_pos[it as usize], it));
+    let mut item_map = vec![None; n_items];
+    for (new, &old) in order.iter().enumerate() {
+        item_map[old as usize] = Some(new as ItemId);
+    }
+    let mut uorder: Vec<UnitId> =
+        (0..n_units as UnitId).filter(|&u| first_unit[u as usize] != u32::MAX).collect();
+    uorder.sort_unstable_by_key(|&u| first_unit[u as usize]);
+    let mut unit_map = vec![None; n_units];
+    for (new, &old) in uorder.iter().enumerate() {
+        unit_map[old as usize] = Some(new as UnitId);
+    }
+    let identity = item_map.iter().enumerate().all(|(i, m)| *m == Some(i as ItemId))
+        && unit_map.iter().enumerate().all(|(u, m)| *m == Some(u as UnitId));
+    Relabel {
+        item_map,
+        unit_map,
+        n_new_items: order.len(),
+        n_new_units: uorder.len() as u32,
+        identity,
+    }
+}
+
+/// Histogram pairs reordered into a post-relabel unit order. Borrowed
+/// through unchanged when no retraction relabels the units (the common
+/// case — appends, and any retraction keeping every unit's first row), so
+/// the hot dirty-cell loop copies nothing then.
+fn reorder_units<'p>(
+    pairs: &'p [(u32, u64)],
+    map: Option<&[Option<UnitId>]>,
+) -> std::borrow::Cow<'p, [(u32, u64)]> {
+    match map {
+        None => std::borrow::Cow::Borrowed(pairs),
+        Some(map) => {
+            let mut out: Vec<(u32, u64)> = pairs
+                .iter()
+                .map(|&(u, c)| (map[u as usize].expect("populated unit survives"), c))
+                .collect();
+            out.sort_unstable_by_key(|&(u, _)| u);
+            std::borrow::Cow::Owned(out)
+        }
+    }
+}
+
+/// Remap cell coordinates through an item permutation (re-sorting each
+/// side: the permutation need not be monotone).
+fn remap_coords(coords: &CellCoords, item_map: &[Option<ItemId>]) -> CellCoords {
+    let map = |ids: &[ItemId]| {
+        let mut out: Vec<ItemId> =
+            ids.iter().map(|&it| item_map[it as usize].expect("cell item survives")).collect();
+        out.sort_unstable();
+        out
+    };
+    CellCoords { sa: map(&coords.sa), ca: map(&coords.ca) }
+}
+
+/// Append the batch's new labels and commit the grown unit count (the
+/// non-relabeling commit path).
+fn commit_labels(cube: &mut SegregationCube, encoded: &EncodedBatch, n_units_after: u32) {
+    let (labels, _, n_units) = cube.update_parts();
+    for (attr, value, is_sa) in &encoded.new_items {
+        labels.push_item(attr.clone(), value.clone(), *is_sa);
+    }
+    labels.unit_names.extend(encoded.new_units.iter().cloned());
+    *n_units = n_units_after;
+}
+
 /// Fold `batch` into `(cube, vertical, store)` in place (see the module
-/// docs): extend the postings, promote newly-frequent itemsets, fold delta
-/// histograms into the maintenance store, and recompute exactly the dirty
-/// cells from the updated integer histograms. `materialize` and
+/// docs): stage exact histogram deltas (addition for appends, dominated
+/// subtraction for retractions) before any mutation, re-evaluate exactly
+/// the dirty cells — fanned over `threads` scoped workers when the dirty
+/// set is large — demote cells that fell below `min_support` or lost
+/// closedness, promote newly-frequent itemsets, and relabel the id space
+/// when retractions shrank or reordered the dictionary. `materialize` and
 /// `atkinson_b` must be the configuration the cube was built with —
 /// snapshots record them since format v2.
-pub(crate) fn apply_update<P: Posting>(
+pub(crate) fn apply_update<P: Posting + Send + Sync>(
     cube: &mut SegregationCube,
     vertical: &mut VerticalDb<P>,
     store: &mut MaintenanceStore,
     batch: &UpdateBatch,
     materialize: Materialize,
     atkinson_b: f64,
+    threads: usize,
 ) -> Result<UpdateOutcome<P>> {
     if batch.is_empty() {
         return Ok(UpdateOutcome {
             stats: UpdateStats { clean_cells: cube.len(), ..UpdateStats::default() },
-            probe: DirtyProbe { delta_postings: Vec::new(), has_rows: false },
+            probe: DirtyProbe::clean(),
         });
     }
     let min_support = cube.min_support();
-    // All fallible validation happens before anything is mutated, so a
-    // rejected batch (or an inconsistent store) leaves the snapshot
-    // exactly as it was.
+    // All fallible validation and histogram staging happens before anything
+    // is mutated, so a rejected batch, an inconsistent store, or a
+    // subtraction underflow leaves the snapshot exactly as it was.
     if !store.covers(cube) {
         return Err(ScubeError::Inconsistent(
             "update: maintenance store does not cover the cube".into(),
         ));
     }
     let encoded = encode_batch(batch, cube.labels())?;
+    let removals = resolve_removals(batch, cube.labels(), vertical)?;
     let old_n = vertical.num_transactions();
-    let n_items_after = cube.labels().num_items() + encoded.new_items.len();
+    let n_base_items = cube.labels().num_items();
+    let n_items_after = n_base_items + encoded.new_items.len();
     let n_units_after = (cube.labels().unit_names.len() + encoded.new_units.len()) as u32;
+    let removed: &[u32] = removals.as_ref().map_or(&[], |r| &r.tids);
+    let base_rows: &[(Vec<ItemId>, UnitId)] = removals.as_ref().map_or(&[], |r| &r.base_rows);
+    let new_base = old_n - removed.len() as u32;
 
-    // Extend the postings first (append_rows validates before mutating, so
-    // an inconsistent batch cannot leave the vertical half-extended), then
-    // commit the dictionary growth.
-    vertical
-        .append_rows(&encoded.rows, n_items_after, n_units_after)
-        .map_err(|e| ScubeError::Inconsistent(format!("update: {e}")))?;
-    {
-        let (labels, _, n_units) = cube.update_parts();
-        for (attr, value, is_sa) in &encoded.new_items {
-            labels.push_item(attr.clone(), value.clone(), *is_sa);
-        }
-        labels.unit_names.extend(encoded.new_units.iter().cloned());
-        *n_units = n_units_after;
-    }
-
-    // Delta postings: per item, the *appended* tids containing it. They
-    // decide dirtiness — a context is dirty iff its delta tidset is
-    // non-empty — for materialized cells here and for engine caches later.
-    let mut delta_tids: Vec<Vec<u32>> = vec![Vec::new(); n_items_after];
+    // Delta postings: per item, the appended tids containing it (in their
+    // *final* numbering — retractions renumber survivors first) and the
+    // retracted tids containing it (pre-update numbering). The two sides
+    // are only ever intersected within themselves, so the mixed numbering
+    // is sound. They decide dirtiness for materialized cells here and for
+    // engine caches later.
+    let mut add_tids: Vec<Vec<u32>> = vec![Vec::new(); n_items_after];
     for (i, (items, _)) in encoded.rows.iter().enumerate() {
         for &it in items {
-            delta_tids[it as usize].push(old_n + i as u32);
+            add_tids[it as usize].push(new_base + i as u32);
         }
     }
-    let probe = DirtyProbe {
-        delta_postings: delta_tids.iter().map(|t| P::from_sorted(t)).collect(),
-        has_rows: true,
+    let add_postings: Vec<P> = add_tids.iter().map(|t| P::from_sorted(t)).collect();
+    let mut rem_tids: Vec<Vec<u32>> = vec![Vec::new(); n_items_after];
+    for &t in removed {
+        for &it in &base_rows[t as usize].0 {
+            rem_tids[it as usize].push(t);
+        }
+    }
+    let rem_postings: Vec<P> = rem_tids.iter().map(|t| P::from_sorted(t)).collect();
+
+    // Relabel plan (pre-mutation, retractions only): the edited table's
+    // intern order decides the final unit ids, and cell values are float
+    // folds over per-unit triples *in unit order* — so re-evaluation must
+    // iterate the post-relabel order to reproduce a rebuild's floats bit
+    // for bit, even though the histograms are permutation-equal. Only the
+    // first-occurrence scan runs here — O(Σ row width), no row or label
+    // clones — so the (common) identity outcome costs no materialization;
+    // the relabeling commit path reconstructs the edited rows when, and
+    // only when, the ids actually change.
+    let plan: Option<Relabel> = removals.as_ref().map(|rem| {
+        let mut first_item = vec![u32::MAX; n_items_after];
+        let mut first_unit = vec![u32::MAX; n_units_after as usize];
+        let mut t = 0u32;
+        let mut r = 0usize;
+        let mut visit = |row: &[ItemId], unit: UnitId, t: u32| {
+            for &it in row {
+                if first_item[it as usize] == u32::MAX {
+                    first_item[it as usize] = t;
+                }
+            }
+            if first_unit[unit as usize] == u32::MAX {
+                first_unit[unit as usize] = t;
+            }
+        };
+        for (old_t, (row, unit)) in rem.base_rows.iter().enumerate() {
+            if r < rem.tids.len() && rem.tids[r] as usize == old_t {
+                r += 1;
+                continue;
+            }
+            visit(row, *unit, t);
+            t += 1;
+        }
+        for (row, unit) in &encoded.rows {
+            visit(row, *unit, t);
+            t += 1;
+        }
+        // Attribute rank of every item — old ones from the labels, batch-
+        // new ones from the encoded batch (no label-table clone).
+        let attr_pos: FxHashMap<&str, usize> = cube
+            .labels()
+            .sa_attrs
+            .iter()
+            .chain(cube.labels().ca_attrs.iter())
+            .enumerate()
+            .map(|(i, a)| (a.as_str(), i))
+            .collect();
+        let item_attr_pos: Vec<usize> = (0..n_items_after)
+            .map(|it| {
+                let attr = if it < n_base_items {
+                    cube.labels().attr_of(it as ItemId)
+                } else {
+                    encoded.new_items[it - n_base_items].0.as_str()
+                };
+                attr_pos[attr]
+            })
+            .collect();
+        compute_relabel(&first_item, &first_unit, &item_attr_pos)
+    });
+    let unit_remap: Option<&[Option<UnitId>]> = plan.as_ref().map(|p| p.unit_map.as_slice());
+
+    // Phase 1 — stage the dirty context histograms: `hist(edited) =
+    // hist(base) + hist(appended Δ) − hist(retracted Δ)`, all exact
+    // integer sums over delta-sized tidsets. Appended tids histogram
+    // through the batch rows' units, retracted tids through the still-
+    // unmodified `tid → unit` map.
+    let add_all: Option<P> = (!encoded.rows.is_empty()).then(|| {
+        P::from_sorted(&(new_base..new_base + encoded.rows.len() as u32).collect::<Vec<u32>>())
+    });
+    let rem_all: Option<P> = removals.as_ref().map(|r| P::from_sorted(&r.tids));
+    struct StagedCtx<P> {
+        totals: Vec<(u32, u64)>,
+        add: Option<P>,
+        rem: Option<P>,
+    }
+    // A retraction that renumbers *units* changes the per-unit iteration
+    // order every cell value is folded in — so even cells whose histograms
+    // are untouched must be re-folded to reproduce a rebuild's floats bit
+    // for bit. Items renumbering alone never affects values.
+    let units_relabeled = plan
+        .as_ref()
+        .is_some_and(|p| p.unit_map.iter().enumerate().any(|(u, m)| *m != Some(u as u32)));
+    let mut scratch = UnitScratch::new(n_units_after);
+    let mut staged_ctx: FxHashMap<Vec<ItemId>, StagedCtx<P>> = FxHashMap::default();
+    for (ca, totals) in store.contexts.iter() {
+        let add = if ca.is_empty() { add_all.clone() } else { delta_tidset(&add_postings, ca) };
+        let rem = if ca.is_empty() { rem_all.clone() } else { delta_tidset(&rem_postings, ca) };
+        if add.is_none() && rem.is_none() && !units_relabeled {
+            continue;
+        }
+        let mut new_totals = totals.clone();
+        if let Some(a) = &add {
+            scratch.clear();
+            a.for_each(|t| scratch.bump(encoded.rows[(t - new_base) as usize].1));
+            merge_add(&mut new_totals, &scratch.sorted_pairs());
+        }
+        if let Some(r) = &rem {
+            scratch.clear();
+            r.for_each(|t| scratch.bump(vertical.unit_of(t)));
+            merge_sub(&mut new_totals, &scratch.sorted_pairs())?;
+        }
+        staged_ctx.insert(ca.clone(), StagedCtx { totals: new_totals, add, rem });
+    }
+
+    // Phase 2 — stage every dirty cell: advance its minority histogram by
+    // the delta tidsets, decide demotion (support floor; closedness under
+    // ClosedOnly when the cell's own tidset shrank), and recompute its
+    // values from the staged integer histograms. Cells are independent, so
+    // large dirty sets fan out over scoped worker threads with per-worker
+    // scratches; results are pure, hence bit-identical to the serial pass.
+    let dirty_cells: Vec<CellCoords> = cube
+        .cells()
+        .filter(|(coords, _)| staged_ctx.contains_key(&coords.ca))
+        .map(|(coords, _)| coords.clone())
+        .collect();
+    let eval_one = |coords: &CellCoords, scratch: &mut UnitScratch| -> Result<CellFate> {
+        let sc = &staged_ctx[&coords.ca];
+        if coords.sa.is_empty() {
+            // `A = ⋆` ⇒ minority ≡ population (the builder's apex path).
+            let support: u64 = sc.totals.iter().map(|&(_, t)| t).sum();
+            if !coords.ca.is_empty() {
+                if support < min_support {
+                    return Ok(CellFate::Demote);
+                }
+                if materialize == Materialize::ClosedOnly
+                    && sc.rem.is_some()
+                    && !closed_after_edit(
+                        &coords.ca,
+                        support,
+                        vertical,
+                        removed,
+                        base_rows,
+                        &encoded.rows,
+                        &add_postings,
+                        n_base_items,
+                    )
+                {
+                    return Ok(CellFate::Demote);
+                }
+            }
+            let totals = reorder_units(&sc.totals, unit_remap);
+            let counts = UnitCounts::from_triples(totals.iter().map(|&(u, t)| (u, t, t)))?;
+            Ok(CellFate::Keep(None, IndexValues::compute_with(&counts, atkinson_b)))
+        } else {
+            let mut minority = store
+                .minorities
+                .get(coords)
+                .ok_or_else(|| {
+                    ScubeError::Inconsistent("update: cell missing from maintenance store".into())
+                })?
+                .clone();
+            if let Some(a) = &sc.add {
+                let mut delta = a.clone();
+                for &item in &coords.sa {
+                    if delta.is_empty() {
+                        break;
+                    }
+                    delta = delta.and(&add_postings[item as usize]);
+                }
+                if !delta.is_empty() {
+                    scratch.clear();
+                    delta.for_each(|t| scratch.bump(encoded.rows[(t - new_base) as usize].1));
+                    merge_add(&mut minority, &scratch.sorted_pairs());
+                }
+            }
+            let mut shrank = false;
+            if let Some(r) = &sc.rem {
+                let mut delta = r.clone();
+                for &item in &coords.sa {
+                    if delta.is_empty() {
+                        break;
+                    }
+                    delta = delta.and(&rem_postings[item as usize]);
+                }
+                if !delta.is_empty() {
+                    shrank = true;
+                    scratch.clear();
+                    delta.for_each(|t| scratch.bump(vertical.unit_of(t)));
+                    merge_sub(&mut minority, &scratch.sorted_pairs())?;
+                }
+            }
+            let support: u64 = minority.iter().map(|&(_, m)| m).sum();
+            if support < min_support {
+                return Ok(CellFate::Demote);
+            }
+            if materialize == Materialize::ClosedOnly && shrank {
+                let union = coords.union();
+                if !closed_after_edit(
+                    &union,
+                    support,
+                    vertical,
+                    removed,
+                    base_rows,
+                    &encoded.rows,
+                    &add_postings,
+                    n_base_items,
+                ) {
+                    return Ok(CellFate::Demote);
+                }
+            }
+            let values = values_from_hists(
+                &reorder_units(&sc.totals, unit_remap),
+                &reorder_units(&minority, unit_remap),
+                atkinson_b,
+            )?;
+            Ok(CellFate::Keep(Some(minority), values))
+        }
+    };
+    let n_workers = threads.max(1).min(dirty_cells.len().max(1));
+    let fates: Vec<(CellCoords, CellFate)> = if n_workers > 1 && dirty_cells.len() >= 64 {
+        let chunk = dirty_cells.len().div_ceil(n_workers);
+        let results: Vec<Result<Vec<(CellCoords, CellFate)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = dirty_cells
+                .chunks(chunk)
+                .map(|cells| {
+                    let eval_one = &eval_one;
+                    scope.spawn(move || {
+                        let mut scratch = UnitScratch::new(n_units_after);
+                        cells.iter().map(|c| Ok((c.clone(), eval_one(c, &mut scratch)?))).collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("update worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(dirty_cells.len());
+        for r in results {
+            out.extend(r?);
+        }
+        out
+    } else {
+        let mut scratch = UnitScratch::new(n_units_after);
+        dirty_cells
+            .iter()
+            .map(|c| Ok((c.clone(), eval_one(c, &mut scratch)?)))
+            .collect::<Result<Vec<_>>>()?
     };
 
-    // Promotion candidates: newly-frequent (or newly-closed) itemsets are
-    // subsets of single appended rows, so enumerate each row's
-    // frequent-item projection — deduplicated, with one generating row
-    // remembered as the closedness witness. Wide rows fall back to the
-    // scoped Eclat re-mine over their items.
+    // ---- Commit. Everything below applies already-validated state. ----
+    let mut stats = UpdateStats {
+        rows_added: encoded.rows.len(),
+        rows_removed: removed.len(),
+        new_items: encoded.new_items.len(),
+        new_units: encoded.new_units.len(),
+        ..UpdateStats::default()
+    };
+    {
+        let (_, cells, _) = cube.update_parts();
+        for (coords, fate) in fates {
+            match fate {
+                CellFate::Demote => {
+                    cells.remove(&coords);
+                    store.minorities.remove(&coords);
+                    stats.demoted_cells += 1;
+                }
+                CellFate::Keep(minority, values) => {
+                    if let Some(m) = minority {
+                        store.minorities.insert(coords.clone(), m);
+                    }
+                    cells.insert(coords, values);
+                    stats.dirty_cells += 1;
+                }
+            }
+        }
+        for (ca, sc) in staged_ctx {
+            store.contexts.insert(ca, sc.totals);
+        }
+        // Contexts no longer referenced by any cell leave the store,
+        // exactly as a rebuild's store (derived from surviving cells)
+        // would have it.
+        let live: FxHashSet<Vec<ItemId>> = cells.keys().map(|c| c.ca.clone()).collect();
+        store.contexts.retain(|ca, _| live.contains(ca));
+    }
+
+    // Mutate the vertical database and labels; relabel when retraction
+    // shrank or reordered the dictionary.
+    let mut relabeled = false;
+    let promo_rows: Vec<(Vec<ItemId>, UnitId)>;
+    match plan {
+        None => {
+            vertical
+                .append_rows(&encoded.rows, n_items_after, n_units_after)
+                .map_err(|e| ScubeError::Inconsistent(format!("update: {e}")))?;
+            commit_labels(cube, &encoded, n_units_after);
+            promo_rows = encoded.rows.clone();
+        }
+        Some(relabel) if relabel.identity => {
+            // Retraction that moves no first occurrence and empties
+            // nothing (any tail retraction, and interior ones with stable
+            // dictionaries): postings shrink in place — `remove_sorted`
+            // for tails, a renumbering rebuild for interiors — and every
+            // surviving id keeps its meaning.
+            let rem = removals.as_ref().expect("plan implies removals");
+            vertical
+                .remove_rows(&rem.tids)
+                .map_err(|e| ScubeError::Inconsistent(format!("update: {e}")))?;
+            vertical
+                .append_rows(&encoded.rows, n_items_after, n_units_after)
+                .map_err(|e| ScubeError::Inconsistent(format!("update: {e}")))?;
+            commit_labels(cube, &encoded, n_units_after);
+            promo_rows = encoded.rows.clone();
+        }
+        Some(relabel) => {
+            // Dictionary-shrinking or -reordering retraction: rebuild the
+            // id space the way a from-scratch build on the edited table
+            // would intern it, then rebuild postings, labels, cells, and
+            // store under the new ids. Only now — when the ids actually
+            // change — are the edited rows and extended label tables
+            // materialized.
+            let rem = removals.as_ref().expect("plan implies removals");
+            let mut final_rows: Vec<(Vec<ItemId>, UnitId)> =
+                Vec::with_capacity(new_base as usize + encoded.rows.len());
+            let mut r = 0usize;
+            for (t, row) in rem.base_rows.iter().enumerate() {
+                if r < rem.tids.len() && rem.tids[r] as usize == t {
+                    r += 1;
+                    continue;
+                }
+                final_rows.push(row.clone());
+            }
+            final_rows.extend(encoded.rows.iter().cloned());
+            let mut ext_items = cube.labels().items.clone();
+            for (a, v, sa) in &encoded.new_items {
+                ext_items.push((a.clone(), v.clone(), *sa));
+            }
+            let mut ext_units = cube.labels().unit_names.clone();
+            ext_units.extend(encoded.new_units.iter().cloned());
+            relabeled = true;
+            stats.dropped_items = n_items_after - relabel.n_new_items;
+            stats.dropped_units = n_units_after as usize - relabel.n_new_units as usize;
+            let map_item =
+                |it: ItemId| relabel.item_map[it as usize].expect("occurring item survives");
+            let mut new_unit_of: Vec<UnitId> = Vec::with_capacity(final_rows.len());
+            let mut tids_new: Vec<Vec<u32>> = vec![Vec::new(); relabel.n_new_items];
+            let mut mapped_rows: Vec<(Vec<ItemId>, UnitId)> = Vec::with_capacity(final_rows.len());
+            for (t, (row, unit)) in final_rows.iter().enumerate() {
+                let mut mapped: Vec<ItemId> = row.iter().map(|&it| map_item(it)).collect();
+                mapped.sort_unstable();
+                for &it in &mapped {
+                    tids_new[it as usize].push(t as u32);
+                }
+                let u = relabel.unit_map[*unit as usize].expect("occurring unit survives");
+                new_unit_of.push(u);
+                mapped_rows.push((mapped, u));
+            }
+            let postings: Vec<P> = tids_new.iter().map(|t| P::from_sorted(t)).collect();
+            *vertical = VerticalDb::from_parts(
+                postings,
+                final_rows.len() as u32,
+                new_unit_of,
+                relabel.n_new_units,
+            )
+            .ok_or_else(|| {
+                ScubeError::Inconsistent("update: rebuilt vertical parts inconsistent".into())
+            })?;
+            {
+                let (labels, cells, n_units) = cube.update_parts();
+                let mut new_items =
+                    vec![(String::new(), String::new(), false); relabel.n_new_items];
+                for (old, entry) in ext_items.into_iter().enumerate() {
+                    if let Some(new) = relabel.item_map[old] {
+                        new_items[new as usize] = entry;
+                    }
+                }
+                labels.items = new_items;
+                let mut new_names = vec![String::new(); relabel.n_new_units as usize];
+                for (old, name) in ext_units.into_iter().enumerate() {
+                    if let Some(new) = relabel.unit_map[old] {
+                        new_names[new as usize] = name;
+                    }
+                }
+                labels.unit_names = new_names;
+                *n_units = relabel.n_new_units;
+                let old_cells = std::mem::take(cells);
+                for (coords, v) in old_cells {
+                    cells.insert(remap_coords(&coords, &relabel.item_map), v);
+                }
+            }
+            let remap_pairs = |pairs: &mut Vec<(u32, u64)>| {
+                for p in pairs.iter_mut() {
+                    p.0 = relabel.unit_map[p.0 as usize].expect("populated unit survives");
+                }
+                pairs.sort_unstable_by_key(|&(u, _)| u);
+            };
+            store.contexts = std::mem::take(&mut store.contexts)
+                .into_iter()
+                .map(|(ca, mut pairs)| {
+                    let mut ca: Vec<ItemId> = ca.iter().map(|&it| map_item(it)).collect();
+                    ca.sort_unstable();
+                    remap_pairs(&mut pairs);
+                    (ca, pairs)
+                })
+                .collect();
+            store.minorities = std::mem::take(&mut store.minorities)
+                .into_iter()
+                .map(|(coords, mut pairs)| {
+                    remap_pairs(&mut pairs);
+                    (remap_coords(&coords, &relabel.item_map), pairs)
+                })
+                .collect();
+            // The appended rows in the new id space seed promotion.
+            promo_rows = mapped_rows.split_off(new_base as usize);
+        }
+    }
+
+    // Phase 3 — promotions over the mutated (and possibly relabeled)
+    // database: newly-frequent (or newly-closed) itemsets are subsets of
+    // single appended rows, so enumerate each row's frequent-item
+    // projection — deduplicated, with one generating row remembered as the
+    // closedness witness. Wide rows fall back to the scoped Eclat re-mine
+    // over their items. Retraction-only batches have no rows here and skip
+    // the phase entirely (supports only shrink, and non-closed itemsets
+    // stay non-closed when both sides of an equal-support pair lose the
+    // same transactions).
     let mut candidates: FxHashMap<Vec<ItemId>, usize> = FxHashMap::default();
     let mut seen_projections: FxHashSet<Vec<ItemId>> = FxHashSet::default();
     let mut wide_items: Vec<ItemId> = Vec::new();
     let mut wide_rows: Vec<usize> = Vec::new();
-    for (r, (items, _)) in encoded.rows.iter().enumerate() {
+    for (r, (items, _)) in promo_rows.iter().enumerate() {
         let frequent: Vec<ItemId> = items
             .iter()
             .copied()
@@ -544,80 +1370,21 @@ pub(crate) fn apply_update<P: Posting>(
             // may be a cross-row combination that gained nothing — those
             // are filtered below by the delta-gain check).
             if let Some(&r) =
-                wide_rows.iter().find(|&&r| is_sorted_subset(&set.items, &encoded.rows[r].0))
+                wide_rows.iter().find(|&&r| is_sorted_subset(&set.items, &promo_rows[r].0))
             {
                 candidates.entry(set.items).or_insert(r);
             }
         }
     }
 
-    // Phase 1 — fold the delta into the dirty context histograms. A dirty
-    // context's delta tidset (over appended tids only) is histogrammed and
-    // *added* to the stored totals: integer sums, so the result equals a
-    // fresh histogram of the grown tidset exactly. Clean contexts are not
-    // touched. The delta tidsets are kept for the minority intersections
-    // below — every set here is delta-sized, never full-database-sized.
-    let mut scratch = UnitScratch::new(n_units_after);
-    let delta_all: P =
-        P::from_sorted(&(old_n..old_n + encoded.rows.len() as u32).collect::<Vec<u32>>());
-    let mut dirty_ctx_tids: FxHashMap<Vec<ItemId>, P> = FxHashMap::default();
-    for (ca, totals) in store.contexts.iter_mut() {
-        let delta_ctx = if ca.is_empty() {
-            Some(delta_all.clone())
-        } else {
-            delta_tidset(&probe.delta_postings, ca)
-        };
-        let Some(delta_ctx) = delta_ctx else { continue };
-        vertical.unit_histogram_into(&delta_ctx, &mut scratch);
-        merge_add(totals, &scratch.sorted_pairs());
-        dirty_ctx_tids.insert(ca.clone(), delta_ctx);
-    }
-
-    // Phase 2 — dirty cells: every cell whose context gained transactions.
-    // Minority histograms advance by the *delta* minority tidset (the
-    // context's delta intersected with the SA postings — again all
-    // delta-sized), then the cell value is recomputed from the stored
-    // integer histograms.
-    let mut evaluated: Vec<(CellCoords, IndexValues, bool)> = Vec::new();
-    let dirty_cells: Vec<CellCoords> = cube
-        .cells()
-        .filter(|(coords, _)| dirty_ctx_tids.contains_key(&coords.ca))
-        .map(|(coords, _)| coords.clone())
-        .collect();
-    for coords in dirty_cells {
-        let totals = &store.contexts[&coords.ca];
-        let values = if coords.sa.is_empty() {
-            // `A = ⋆` ⇒ minority ≡ population (the builder's apex path).
-            let counts = UnitCounts::from_triples(totals.iter().map(|&(u, t)| (u, t, t)))?;
-            IndexValues::compute_with(&counts, atkinson_b)
-        } else {
-            let mut delta_min = dirty_ctx_tids[&coords.ca].clone();
-            for &item in &coords.sa {
-                if delta_min.is_empty() {
-                    break;
-                }
-                delta_min = delta_min.and(&probe.delta_postings[item as usize]);
-            }
-            let minority = store.minorities.get_mut(&coords).ok_or_else(|| {
-                ScubeError::Inconsistent("update: cell missing from maintenance store".into())
-            })?;
-            if !delta_min.is_empty() {
-                vertical.unit_histogram_into(&delta_min, &mut scratch);
-                merge_add(minority, &scratch.sorted_pairs());
-            }
-            values_from_hists(totals, minority, atkinson_b)?
-        };
-        evaluated.push((coords, values, true));
-    }
-
-    // Phase 3 — promotions: candidates not yet materialized whose support
-    // crossed the threshold (and which are closed, under ClosedOnly).
     // Candidates are visited smallest-first so an infrequent itemset
     // prunes its supersets without touching a posting (Apriori
     // monotonicity); surviving ones intersect smallest-posting-first with
     // a sub-threshold abort. Promoted cells get fresh store entries from
     // their full tidsets — new contexts too — exactly as a rebuild would
     // compute them.
+    let mut scratch = UnitScratch::new(vertical.num_units());
+    let mut promoted: Vec<(CellCoords, IndexValues)> = Vec::new();
     let mut ordered: Vec<(&Vec<ItemId>, usize)> =
         candidates.iter().map(|(items, &row)| (items, row)).collect();
     ordered.sort_unstable_by_key(|(items, _)| items.len());
@@ -649,7 +1416,7 @@ pub(crate) fn apply_update<P: Posting>(
             continue;
         };
         if materialize == Materialize::ClosedOnly
-            && !is_closed(vertical, items, &tids, &encoded.rows[row].0)
+            && !is_closed(vertical, items, &tids, &promo_rows[row].0)
         {
             continue;
         }
@@ -670,25 +1437,18 @@ pub(crate) fn apply_update<P: Posting>(
             store.minorities.insert(coords.clone(), minority);
             values
         };
-        evaluated.push((coords, values, false));
+        promoted.push((coords, values));
     }
-
-    let mut stats = UpdateStats {
-        rows_added: encoded.rows.len(),
-        new_items: encoded.new_items.len(),
-        new_units: encoded.new_units.len(),
-        ..UpdateStats::default()
-    };
-    let (_, cells, _) = cube.update_parts();
-    for (coords, values, existing) in evaluated {
-        if existing {
-            stats.dirty_cells += 1;
-        } else {
+    {
+        let (_, cells, _) = cube.update_parts();
+        for (coords, values) in promoted {
+            cells.insert(coords, values);
             stats.promoted_cells += 1;
         }
-        cells.insert(coords, values);
     }
-    stats.clean_cells = cells.len() - stats.dirty_cells - stats.promoted_cells;
+
+    stats.clean_cells = cube.len() - stats.dirty_cells - stats.promoted_cells;
+    let probe = DirtyProbe { add_postings, rem_postings, has_delta: true, flush_all: relabeled };
     Ok(UpdateOutcome { stats, probe })
 }
 
@@ -922,6 +1682,286 @@ mod tests {
         let all: Vec<Row> = BASE.iter().copied().chain([("F", "mid", "west", "u0")]).collect();
         let rebuilt: CubeSnapshot = CubeSnapshot::from_db(&db(&all), &builder).unwrap();
         assert_eq!(snap.to_bytes(), rebuilt.to_bytes());
+    }
+
+    /// Apply `remove` (tids) + `delta` (appends) to a BASE snapshot and
+    /// require byte-identity with a from-scratch snapshot on the edited
+    /// table, for one representation × materialization × threshold.
+    fn check_churn<P: Posting + Send + Sync + PartialEq + std::fmt::Debug>(
+        remove: &[u32],
+        delta: &[Row],
+        materialize: Materialize,
+        min_support: u64,
+    ) {
+        let builder = CubeBuilder::new().min_support(min_support).materialize(materialize);
+        let mut updated: CubeSnapshot<P> = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let mut b = batch(delta);
+        for &t in remove {
+            b.remove_tid(t);
+        }
+        let stats = updated.apply_update(&b).unwrap();
+        assert_eq!(stats.rows_removed, remove.len());
+        assert_eq!(stats.rows_added, delta.len());
+        assert_eq!(
+            stats.dirty_cells + stats.promoted_cells + stats.clean_cells,
+            updated.cube().len(),
+            "stats partition the surviving store"
+        );
+        let edited: Vec<Row> = BASE
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !remove.contains(&(*i as u32)))
+            .map(|(_, r)| *r)
+            .chain(delta.iter().copied())
+            .collect();
+        let rebuilt: CubeSnapshot<P> = CubeSnapshot::from_db(&db(&edited), &builder).unwrap();
+        assert_eq!(
+            updated.to_bytes(),
+            rebuilt.to_bytes(),
+            "{materialize:?} minsup {min_support} remove {remove:?} +{} rows: snapshot bytes \
+             diverge",
+            delta.len()
+        );
+    }
+
+    fn check_churn_all(remove: &[u32], delta: &[Row]) {
+        for minsup in [1, 2, 3] {
+            for materialize in [Materialize::AllFrequent, Materialize::ClosedOnly] {
+                check_churn::<EwahBitmap>(remove, delta, materialize, minsup);
+                check_churn::<DenseBitmap>(remove, delta, materialize, minsup);
+                check_churn::<TidVec>(remove, delta, materialize, minsup);
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_retraction_matches_rebuild() {
+        check_churn_all(&[6, 7], &[]);
+    }
+
+    #[test]
+    fn interior_retraction_matches_rebuild() {
+        check_churn_all(&[2], &[]);
+        check_churn_all(&[0, 4], &[]);
+    }
+
+    #[test]
+    fn retraction_emptying_a_value_matches_rebuild() {
+        // Rows 2, 3, 5 are the only age=old rows: the value must leave the
+        // dictionary and every surviving id renumber, as a rebuild would.
+        check_churn_all(&[2, 3, 5], &[]);
+    }
+
+    #[test]
+    fn retraction_emptying_a_unit_matches_rebuild() {
+        // Rows 3, 4, 5, 7 are all of u1: the unit disappears.
+        check_churn_all(&[3, 4, 5, 7], &[]);
+    }
+
+    #[test]
+    fn remove_everything_from_a_context_matches_rebuild() {
+        // Rows 0, 1, 2, 7 are the whole region=north context: all of its
+        // cells demote, and the context leaves the maintenance store.
+        check_churn_all(&[0, 1, 2, 7], &[]);
+    }
+
+    #[test]
+    fn remove_all_rows_matches_rebuild_on_empty_table() {
+        check_churn_all(&[0, 1, 2, 3, 4, 5, 6, 7], &[]);
+    }
+
+    #[test]
+    fn mixed_churn_matches_rebuild() {
+        check_churn_all(&[1, 6], DELTA);
+        check_churn_all(&[6, 7], DELTA);
+        check_churn_all(&[2, 3, 5], DELTA);
+    }
+
+    #[test]
+    fn remove_then_readd_identical_rows_is_byte_identical_to_base() {
+        for materialize in [Materialize::AllFrequent, Materialize::ClosedOnly] {
+            let builder = CubeBuilder::new().min_support(2).materialize(materialize);
+            let base: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+            let bytes = base.to_bytes();
+            let mut snap = base.clone();
+            let mut b = batch(&BASE[6..]);
+            b.remove_tid(6).remove_tid(7);
+            let stats = snap.apply_update(&b).unwrap();
+            assert_eq!((stats.rows_removed, stats.rows_added), (2, 2));
+            assert_eq!(snap.to_bytes(), bytes, "{materialize:?}: must return to the base bytes");
+        }
+    }
+
+    #[test]
+    fn parallel_update_is_bit_identical_to_serial() {
+        for (remove, delta) in
+            [(vec![2u32, 5], DELTA), (vec![], DELTA), (vec![0, 1, 2, 7], &[] as &[Row])]
+        {
+            let builder = CubeBuilder::new().min_support(1);
+            let mut serial: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+            let mut parallel = serial.clone();
+            let mut b = batch(delta);
+            for &t in &remove {
+                b.remove_tid(t);
+            }
+            let s1 = serial.apply_update_threads(&b, 1).unwrap();
+            let s2 = parallel.apply_update_threads(&b, 8).unwrap();
+            assert_eq!(s1, s2, "stats must agree");
+            assert_eq!(serial.to_bytes(), parallel.to_bytes(), "bytes must agree");
+        }
+    }
+
+    #[test]
+    fn remove_by_row_match_equals_remove_by_tid() {
+        let builder = CubeBuilder::new();
+        let base: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let mut by_tid = base.clone();
+        let mut b1 = UpdateBatch::new();
+        b1.remove_tid(0);
+        by_tid.apply_update(&b1).unwrap();
+        let mut by_row = base.clone();
+        let mut b2 = UpdateBatch::new();
+        // Row 0 is the first (sex=F, age=young, region=north, u0) row; the
+        // matcher must claim the earliest occurrence.
+        b2.remove_row(&[("sex", "F"), ("age", "young"), ("region", "north")], "u0");
+        by_row.apply_update(&b2).unwrap();
+        assert_eq!(by_tid.to_bytes(), by_row.to_bytes());
+
+        // Two identical removals claim two distinct rows (0 and 1)...
+        let mut both = base.clone();
+        let mut b3 = UpdateBatch::new();
+        b3.remove_row(&[("sex", "F"), ("age", "young"), ("region", "north")], "u0")
+            .remove_row(&[("age", "young"), ("sex", "F"), ("region", "north")], "u0");
+        let stats = both.apply_update(&b3).unwrap();
+        assert_eq!(stats.rows_removed, 2);
+        // ...and a third has nothing left to claim.
+        let mut over = base.clone();
+        let mut b4 = b3.clone();
+        b4.remove_row(&[("sex", "F"), ("age", "young"), ("region", "north")], "u0");
+        assert!(over.apply_update(&b4).is_err());
+    }
+
+    #[test]
+    fn bad_retractions_rejected_before_mutation() {
+        let builder = CubeBuilder::new();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let bytes = snap.to_bytes();
+        // Unknown value: absent from the dictionary, can match nothing.
+        let mut b = UpdateBatch::new();
+        b.remove_row(&[("sex", "F"), ("age", "ancient"), ("region", "north")], "u0");
+        let mut s = snap.clone();
+        let err = s.apply_update(&b).unwrap_err().to_string();
+        assert!(err.contains("absent from the snapshot's dictionary"), "{err}");
+        assert_eq!(s.to_bytes(), bytes);
+        // Unknown unit.
+        let mut b = UpdateBatch::new();
+        b.remove_row(&[("sex", "F"), ("age", "young"), ("region", "north")], "u9");
+        let mut s = snap.clone();
+        assert!(s.apply_update(&b).is_err());
+        assert_eq!(s.to_bytes(), bytes);
+        // Known values, but no row has this combination.
+        let mut b = UpdateBatch::new();
+        b.remove_row(&[("sex", "F"), ("age", "old"), ("region", "north")], "u0");
+        let mut s = snap.clone();
+        assert!(s.apply_update(&b).is_err());
+        assert_eq!(s.to_bytes(), bytes);
+        // Out-of-range and duplicate tids.
+        for bad in [vec![8u32], vec![3, 3]] {
+            let mut b = UpdateBatch::new();
+            for &t in &bad {
+                b.remove_tid(t);
+            }
+            let mut s = snap.clone();
+            assert!(s.apply_update(&b).is_err(), "{bad:?}");
+            assert_eq!(s.to_bytes(), bytes, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn demotion_mirrors_promotion() {
+        // At min_support 2, (sex=F, age=young, region=north) has support 2
+        // (rows 0, 1); retracting row 1 drops it below threshold and the
+        // cell must leave the store.
+        let builder = CubeBuilder::new().min_support(2).materialize(Materialize::AllFrequent);
+        let mut snap: CubeSnapshot = CubeSnapshot::from_db(&db(BASE), &builder).unwrap();
+        let coords = snap
+            .cube()
+            .coords_by_names(&[("sex", "F"), ("age", "young")], &[("region", "north")])
+            .unwrap();
+        assert!(snap.cube().get(&coords).is_some(), "materialized before the retraction");
+        let before = snap.cube().len();
+        let mut b = UpdateBatch::new();
+        b.remove_tid(1);
+        let stats = snap.apply_update(&b).unwrap();
+        assert!(stats.demoted_cells > 0, "{stats:?}");
+        assert!(snap.cube().len() < before);
+        assert!(snap.cube().get(&coords).is_none(), "demoted after the retraction");
+    }
+
+    #[test]
+    fn multi_valued_relabel_caveat_is_value_exact() {
+        // The documented edge of the byte-identity contract: a retraction
+        // that makes two values of one *multi-valued* attribute first-occur
+        // in the same surviving row cannot recover that row's original cell
+        // order, so the relabeled dictionary may differ from a rebuild's.
+        // What must still hold — and what this test pins — is that the
+        // updated cube is *value*-exact: same cells by name, same floats,
+        // bit for bit.
+        let schema =
+            Schema::new(vec![Attribute::sa("lang").multi(), Attribute::ca("region")]).unwrap();
+        let mut b = TransactionDbBuilder::new(schema.clone());
+        b.add_row(&[vec!["b"], vec!["north"]], "u0").unwrap(); // b interns first
+        b.add_row(&[vec!["a"], vec!["north"]], "u0").unwrap(); // then a
+        b.add_row(&[vec!["a", "b"], vec!["south"]], "u1").unwrap(); // cell order a;b
+        b.add_row(&[vec!["a"], vec!["south"]], "u1").unwrap();
+        let base_db = b.finish();
+        let builder = CubeBuilder::new().min_support(1);
+        let mut updated: CubeSnapshot = CubeSnapshot::from_db(&base_db, &builder).unwrap();
+        // Retract rows 0 and 1: both `a` and `b` now first-occur in row 2,
+        // whose original cell order ("a" before "b") is unrecoverable from
+        // the postings — old-id order says b before a.
+        let mut batch = UpdateBatch::new();
+        batch.remove_tid(0).remove_tid(1);
+        updated.apply_update(&batch).unwrap();
+
+        let mut rb = TransactionDbBuilder::new(schema);
+        rb.add_row(&[vec!["a", "b"], vec!["south"]], "u1").unwrap();
+        rb.add_row(&[vec!["a"], vec!["south"]], "u1").unwrap();
+        let rebuilt: CubeSnapshot = CubeSnapshot::from_db(&rb.finish(), &builder).unwrap();
+
+        // Value-exactness across the possibly-different dictionaries: every
+        // rebuilt cell resolves by *name* in the updated cube to identical
+        // floats, and the stores are the same size.
+        assert_eq!(updated.cube().len(), rebuilt.cube().len());
+        for (coords, values) in rebuilt.cube().cells() {
+            let labels = rebuilt.cube().labels();
+            let name = |items: &[ItemId]| -> Vec<(String, String)> {
+                items
+                    .iter()
+                    .map(|&it| (labels.attr_of(it).to_string(), labels.value_of(it).to_string()))
+                    .collect()
+            };
+            let (sa, ca) = (name(&coords.sa), name(&coords.ca));
+            let sa_refs: Vec<(&str, &str)> =
+                sa.iter().map(|(a, v)| (a.as_str(), v.as_str())).collect();
+            let ca_refs: Vec<(&str, &str)> =
+                ca.iter().map(|(a, v)| (a.as_str(), v.as_str())).collect();
+            let got = updated
+                .cube()
+                .get_by_names(&sa_refs, &ca_refs)
+                .unwrap_or_else(|| panic!("cell {sa:?} | {ca:?} missing after relabel"));
+            assert_eq!(got, values, "cell {sa:?} | {ca:?} diverged in value");
+        }
+    }
+
+    #[test]
+    fn histogram_subtraction_underflow_is_a_hard_error() {
+        let mut base = vec![(0u32, 2u64), (2, 1)];
+        assert!(merge_sub(&mut base, &[(0, 3)]).is_err(), "underflow");
+        assert!(merge_sub(&mut base, &[(1, 1)]).is_err(), "unit absent from base");
+        assert_eq!(base, vec![(0, 2), (2, 1)], "failed subtraction must not mutate");
+        assert!(merge_sub(&mut base, &[(0, 2)]).is_ok());
+        assert_eq!(base, vec![(2, 1)], "exact-zero pairs are removed");
     }
 
     #[test]

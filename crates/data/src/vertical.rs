@@ -121,6 +121,98 @@ impl<P: Posting> VerticalDb<P> {
         Ok(())
     }
 
+    /// Remove a sorted, deduplicated set of transactions in place — the
+    /// retraction primitive behind incremental cube maintenance.
+    ///
+    /// Surviving transactions are renumbered downwards (`tid' = tid −
+    /// |removed ≤ tid|`), exactly the ids a from-scratch build on the
+    /// edited data would assign, so snapshot byte-identity survives
+    /// retraction. When the removed set is a suffix of the tid space the
+    /// renumbering is the identity and every affected posting shrinks in
+    /// place via [`Posting::remove_sorted`]; otherwise the postings are
+    /// rebuilt from the surviving rows in one pass. Items are never dropped
+    /// here even when their posting empties — dictionary garbage collection
+    /// is the cube layer's relabeling concern.
+    ///
+    /// Errors (leaving `self` untouched) when `tids` is unsorted, contains
+    /// duplicates, or references a transaction `>= n_transactions`.
+    pub fn remove_rows(&mut self, tids: &[u32]) -> std::result::Result<(), String> {
+        for w in tids.windows(2) {
+            if w[0] >= w[1] {
+                return Err("removed tids must be strictly increasing".into());
+            }
+        }
+        if tids.last().is_some_and(|&t| t >= self.n_transactions) {
+            return Err(format!(
+                "removed tid {} out of range (have {} transactions)",
+                tids.last().unwrap(),
+                self.n_transactions
+            ));
+        }
+        if tids.is_empty() {
+            return Ok(());
+        }
+        let is_suffix = tids[0] as usize == self.n_transactions as usize - tids.len();
+        if is_suffix {
+            // Tail retraction: survivors keep their ids; clear the removed
+            // tail bits posting by posting.
+            let mut scratch = Vec::new();
+            for posting in &mut self.postings {
+                scratch.clear();
+                posting.for_each(|tid| {
+                    if tid >= tids[0] {
+                        scratch.push(tid);
+                    }
+                });
+                posting.remove_sorted(&scratch);
+            }
+        } else {
+            // Interior retraction: renumber by rebuilding each posting from
+            // the surviving ids in one merge pass over the removal set.
+            let mut keep = Vec::new();
+            for posting in &mut self.postings {
+                keep.clear();
+                let mut r = 0usize;
+                posting.for_each(|tid| {
+                    while r < tids.len() && tids[r] < tid {
+                        r += 1;
+                    }
+                    if r < tids.len() && tids[r] == tid {
+                        return;
+                    }
+                    keep.push(tid - r as u32);
+                });
+                *posting = P::from_sorted(&keep);
+            }
+        }
+        let mut r = 0usize;
+        let mut write = 0usize;
+        for tid in 0..self.n_transactions as usize {
+            if r < tids.len() && tids[r] as usize == tid {
+                r += 1;
+                continue;
+            }
+            self.unit_of[write] = self.unit_of[tid];
+            write += 1;
+        }
+        self.unit_of.truncate(write);
+        self.n_transactions -= tids.len() as u32;
+        Ok(())
+    }
+
+    /// Reconstruct the horizontal rows: per transaction, its sorted item
+    /// ids plus its unit. One pass over every posting — the retraction
+    /// path uses this to match removal rows, pick closedness witnesses,
+    /// and re-derive dictionary intern order.
+    pub fn transactions(&self) -> Vec<(Vec<ItemId>, UnitId)> {
+        let mut rows: Vec<(Vec<ItemId>, UnitId)> =
+            self.unit_of.iter().map(|&u| (Vec::new(), u)).collect();
+        for (item, posting) in self.postings.iter().enumerate() {
+            posting.for_each(|tid| rows[tid as usize].0.push(item as ItemId));
+        }
+        rows
+    }
+
     /// Posting of one item.
     pub fn posting(&self, item: ItemId) -> &P {
         &self.postings[item as usize]
@@ -255,6 +347,19 @@ impl UnitScratch {
     /// Units with nonzero counts, in fill order (unsorted).
     pub fn touched(&self) -> &[UnitId] {
         &self.touched
+    }
+
+    /// Add one observation of `unit` — the manual fill used for delta
+    /// histograms whose transactions are not (or no longer) in any
+    /// database, e.g. batch rows before they are appended and retracted
+    /// rows after they are resolved.
+    #[inline]
+    pub fn bump(&mut self, unit: UnitId) {
+        let slot = &mut self.counts[unit as usize];
+        if *slot == 0 {
+            self.touched.push(unit);
+        }
+        *slot += 1;
     }
 
     /// `(unit, count)` pairs of the touched units, ascending by unit.
@@ -423,6 +528,60 @@ mod tests {
         assert!(v.append_rows(&[], 4, 1).is_err());
         assert_eq!(v.num_transactions(), 4, "failed appends must not mutate");
         assert_eq!(v.units(), &before_units[..]);
+    }
+
+    #[test]
+    fn remove_rows_matches_from_scratch_build() {
+        fn check<P: Posting + PartialEq + std::fmt::Debug>() {
+            // Remove an interior row (renumbering) and a suffix row (tail
+            // surgery); both must equal a rebuild on the surviving rows.
+            for removed in [vec![1u32], vec![3u32], vec![0u32, 2], vec![2u32, 3], vec![]] {
+                let db = small_db();
+                let mut v: VerticalDb<P> = VerticalDb::build(&db);
+                v.remove_rows(&removed).unwrap();
+                let survivors: Vec<usize> =
+                    (0..4).filter(|&t| !removed.contains(&(t as u32))).collect();
+                assert_eq!(v.num_transactions(), survivors.len() as u32, "{removed:?}");
+                let expected_units: Vec<u32> = survivors.iter().map(|&t| db.units()[t]).collect();
+                assert_eq!(v.units(), &expected_units[..], "{removed:?}");
+                for it in 0..v.num_items() {
+                    let base: VerticalDb<P> = VerticalDb::build(&db);
+                    let expected: Vec<u32> = base
+                        .posting(it as ItemId)
+                        .to_vec()
+                        .into_iter()
+                        .filter_map(|t| survivors.iter().position(|&s| s as u32 == t))
+                        .map(|t| t as u32)
+                        .collect();
+                    assert_eq!(v.posting(it as ItemId).to_vec(), expected, "{removed:?} item {it}");
+                }
+            }
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+    }
+
+    #[test]
+    fn remove_rows_rejects_bad_input_untouched() {
+        let db = small_db();
+        let mut v: VerticalDb = VerticalDb::build(&db);
+        assert!(v.remove_rows(&[4]).is_err(), "out of range");
+        assert!(v.remove_rows(&[1, 1]).is_err(), "duplicate");
+        assert!(v.remove_rows(&[2, 1]).is_err(), "unsorted");
+        assert_eq!(v.num_transactions(), 4, "failed removals must not mutate");
+    }
+
+    #[test]
+    fn transactions_reconstruct_rows() {
+        let db = small_db();
+        let v: VerticalDb = VerticalDb::build(&db);
+        let rows = v.transactions();
+        assert_eq!(rows.len(), 4);
+        for (t, (items, unit)) in rows.iter().enumerate() {
+            assert_eq!(items.as_slice(), db.transaction(t), "row {t}");
+            assert_eq!(*unit, db.units()[t], "row {t}");
+        }
     }
 
     #[test]

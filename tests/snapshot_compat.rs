@@ -1,8 +1,9 @@
-//! Snapshot format compatibility: the v2 reader must load checked-in v1
+//! Snapshot format compatibility: the v3 reader must load checked-in v1
 //! files exactly (the golden under `tests/golden/snapshot_v1.scube` was
-//! written by the PR-2 era v1 writer), must re-save them as canonical v2,
-//! and must reject corrupt or unknown-version headers with an error —
-//! never a panic.
+//! written by the PR-2 era v1 writer) *and* v2 files (the PR-4 era layout,
+//! identical to v3 apart from the version number), must re-save both as
+//! canonical v3, and must reject corrupt or unknown-version headers with
+//! an error — never a panic.
 
 use scube::prelude::*;
 use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
@@ -59,19 +60,39 @@ fn v1_golden_loads_byte_for_byte() {
 }
 
 #[test]
-fn v1_resaves_as_canonical_v2() {
+fn v1_resaves_as_canonical_v3() {
     let loaded: CubeSnapshot = CubeSnapshot::from_bytes(V1_GOLDEN).unwrap();
-    let v2 = loaded.to_bytes();
-    assert_eq!(u32::from_le_bytes(v2[8..12].try_into().unwrap()), 2, "writer emits v2");
+    let v3 = loaded.to_bytes();
+    assert_eq!(u32::from_le_bytes(v3[8..12].try_into().unwrap()), 3, "writer emits v3");
     // Canonical: load → save → load → save is a fixed point.
-    let again: CubeSnapshot = CubeSnapshot::from_bytes(&v2).unwrap();
-    assert_eq!(again.to_bytes(), v2);
+    let again: CubeSnapshot = CubeSnapshot::from_bytes(&v3).unwrap();
+    assert_eq!(again.to_bytes(), v3);
     assert_eq!(again.cube(), loaded.cube());
 }
 
 #[test]
+fn v2_files_still_load() {
+    // v2 and v3 share the payload layout byte for byte (the checksum
+    // covers the payload only), so a v2 file is exactly a v3 image with
+    // the version field rewound — which is what PR-4 era writers produced.
+    let snap: CubeSnapshot = CubeSnapshot::from_db(
+        &golden_db(),
+        &CubeBuilder::new().materialize(Materialize::ClosedOnly),
+    )
+    .unwrap();
+    let v3 = snap.to_bytes();
+    let mut v2 = v3.clone();
+    v2[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let loaded: CubeSnapshot = CubeSnapshot::from_bytes(&v2).expect("v2 must keep loading");
+    assert_eq!(loaded.cube(), snap.cube());
+    assert_eq!(loaded.materialize(), Materialize::ClosedOnly, "v2 carries the build config");
+    // And it re-saves as canonical v3.
+    assert_eq!(loaded.to_bytes(), v3);
+}
+
+#[test]
 fn unknown_version_errors_never_panics() {
-    for version in [0u32, 3, 99, u32::MAX] {
+    for version in [0u32, 4, 99, u32::MAX] {
         let mut bytes = V1_GOLDEN.to_vec();
         bytes[8..12].copy_from_slice(&version.to_le_bytes());
         let err = CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&bytes)
@@ -101,14 +122,14 @@ fn corrupt_headers_and_payloads_error_never_panic() {
     bytes[last] ^= 0xFF;
     assert!(CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&bytes).is_err());
 
-    // A v2 file with a nonsense materialization tag errors too.
+    // A current-format file with a nonsense materialization tag errors too.
     let rebuilt: CubeSnapshot = CubeSnapshot::from_db(&golden_db(), &CubeBuilder::new()).unwrap();
     let good = rebuilt.to_bytes();
     let payload_start = 8 + 4 + 1 + 8;
     let mut bad = good[..payload_start].to_vec();
     let mut payload = good[payload_start..].to_vec();
     payload[0] = 7; // materialization tag ∉ {0, 1}
-                    // Re-checksum so the corruption reaches the version-2 config parser.
+                    // Re-checksum so the corruption reaches the config parser.
     use std::hash::Hasher;
     let mut h = scube_common::hash::FxHasher::default();
     h.write(&payload);
