@@ -4,11 +4,14 @@
 //! AND-cardinality, construction, iteration — on three density regimes:
 //! sparse uniform, dense runs, and clustered (the regime real dictionary-
 //! encoded attributes produce, where EWAH is designed to win on space).
+//! The `bitmap_kernels` group covers the batched-AND path (`intersect_many`
+//! vs the pairwise fold), the buffer-reusing `and_into`, and the galloping
+//! skewed tidvec intersection.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use scube_bitmap::{DenseBitmap, EwahBitmap, Posting, TidVec};
+use scube_bitmap::{AdaptivePosting, DenseBitmap, EwahBitmap, Posting, TidVec};
 use std::hint::black_box;
 
 const UNIVERSE: u32 = 1_000_000;
@@ -98,5 +101,57 @@ fn bench_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ops);
+/// The kernel paths this PR's consumers run on: batched k-way AND vs the
+/// old pairwise fold, allocation-free `and_into`, and galloping skewed
+/// intersections, per representation.
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(21);
+    // Eight overlapping clustered postings (the Eclat/minority workload).
+    let lists: Vec<Vec<u32>> = (0..8).map(|_| clustered_ids(&mut rng, 60, 4000)).collect();
+
+    fn kway<P: Posting>(group: &mut criterion::BenchmarkGroup<'_>, name: &str, lists: &[Vec<u32>]) {
+        let postings: Vec<P> = lists.iter().map(|ids| P::from_sorted(ids)).collect();
+        let refs: Vec<&P> = postings.iter().collect();
+        group.bench_with_input(BenchmarkId::new("batched", name), &(), |bench, ()| {
+            bench.iter(|| black_box(P::intersect_many(&refs).unwrap().cardinality()))
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise_fold", name), &(), |bench, ()| {
+            bench.iter(|| {
+                let mut acc = postings[0].clone();
+                for p in &postings[1..] {
+                    acc = acc.and(p);
+                }
+                black_box(acc.cardinality())
+            })
+        });
+        let (a, b) = (&postings[0], &postings[1]);
+        let mut out = P::from_sorted(&[]);
+        group.bench_with_input(BenchmarkId::new("and_into", name), &(), |bench, ()| {
+            bench.iter(|| {
+                a.and_into(b, &mut out);
+                black_box(out.cardinality())
+            })
+        });
+    }
+
+    let mut group = c.benchmark_group("bitmap_kernels");
+    group.sample_size(20);
+    kway::<EwahBitmap>(&mut group, "ewah", &lists);
+    kway::<DenseBitmap>(&mut group, "dense", &lists);
+    kway::<TidVec>(&mut group, "tidvec", &lists);
+    kway::<AdaptivePosting>(&mut group, "adaptive", &lists);
+
+    // Skewed pair: 100 ids probing 100_000 — the galloping case.
+    let small = sparse_ids(&mut rng, 100);
+    let large = sparse_ids(&mut rng, 100_000);
+    let ts = TidVec::from_sorted(&small);
+    let tl = TidVec::from_sorted(&large);
+    group.bench_function("tidvec_gallop_and", |b| b.iter(|| black_box(ts.and(&tl).cardinality())));
+    group.bench_function("tidvec_gallop_and_card", |b| {
+        b.iter(|| black_box(ts.and_cardinality(&tl)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_kernels);
 criterion_main!(benches);

@@ -29,9 +29,34 @@ pub fn fmt(v: Option<f64>) -> String {
     v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
 }
 
+/// Best-effort host fingerprint as `(cpu_model, arch-os)` — e.g.
+/// `("AMD EPYC 7B13", "x86_64-linux")`. The CPU model comes from
+/// `/proc/cpuinfo` on Linux and degrades to `"unknown"` elsewhere.
+/// Recorded in every `BENCH_*.json` so perf trajectories accumulated
+/// across PRs can be grouped by the machine that produced them.
+pub fn host_fingerprint() -> (String, String) {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name") || l.starts_with("Hardware"))
+                .and_then(|l| l.split(':').nth(1).map(|v| v.trim().to_string()))
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    (cpu, format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_fingerprint_is_populated() {
+        let (cpu, arch) = host_fingerprint();
+        assert!(!cpu.is_empty());
+        assert!(arch.contains('-'), "arch-os pair: {arch}");
+    }
 
     #[test]
     fn fixtures_build() {

@@ -3,8 +3,12 @@
 //! Used for small, dense universes — per-unit membership masks in the cube
 //! builder and the visited sets of graph traversals — and as the dense
 //! contender in the tidset-representation ablation (experiment E11).
+//! All boolean algebra runs through the unrolled word loops in
+//! [`crate::kernels`], including true in-place `and_assign` (the
+//! intersection never outgrows `self`'s words) and a non-materializing
+//! `and_cardinality`.
 
-use crate::{EwahBitmap, Posting};
+use crate::{kernels, EwahBitmap, Posting};
 
 /// A plain, zero-extended bitset.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -50,34 +54,37 @@ impl DenseBitmap {
         self.words.capacity() * 8
     }
 
-    /// Convert to the compressed representation.
+    /// Convert to the compressed representation (bulk block classification,
+    /// same canonical stream the word-at-a-time loop produced).
     pub fn to_ewah(&self) -> EwahBitmap {
         let mut a = crate::ewah::Appender::new();
-        for &w in &self.words {
-            a.push_word(w);
-        }
+        a.push_words(&self.words);
         a.finish()
     }
 
-    /// Build from a compressed bitmap.
+    /// Build from a compressed bitmap (bulk word decompression, not
+    /// per-bit inserts).
     pub fn from_ewah(e: &EwahBitmap) -> Self {
-        let mut d = DenseBitmap::new();
-        e.for_each(|id| d.insert(id));
-        d
+        DenseBitmap { words: e.to_dense_words() }
     }
 
-    fn op(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
-        let n = self.words.len().max(other.words.len());
-        let mut words = Vec::with_capacity(n);
-        for i in 0..n {
-            let a = self.words.get(i).copied().unwrap_or(0);
-            let b = other.words.get(i).copied().unwrap_or(0);
-            words.push(f(a, b));
-        }
+    /// Wrap raw words, trimming trailing zeros to the canonical form.
+    pub(crate) fn from_words(mut words: Vec<u64>) -> Self {
         while words.last() == Some(&0) {
             words.pop();
         }
         DenseBitmap { words }
+    }
+
+    /// The raw zero-extended words.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
     }
 }
 
@@ -149,19 +156,73 @@ impl Posting for DenseBitmap {
     }
 
     fn and(&self, other: &Self) -> Self {
-        self.op(other, |a, b| a & b)
+        let mut out = DenseBitmap::new();
+        self.and_into(other, &mut out);
+        out
     }
 
     fn or(&self, other: &Self) -> Self {
-        self.op(other, |a, b| a | b)
+        // No trailing-zero trim needed beyond the inputs': the longer
+        // input's tail is copied verbatim, but inputs may carry stranded
+        // zero words (via `remove`), so trim like `op` always did.
+        let n = self.words.len().max(other.words.len());
+        let mut words = vec![0u64; n];
+        kernels::map2_into(&self.words, &other.words, &mut words, |a, b| a | b);
+        let shared = self.words.len().min(other.words.len());
+        let tail = if self.words.len() > shared { &self.words } else { &other.words };
+        words[shared..].copy_from_slice(&tail[shared..]);
+        DenseBitmap::from_words(words)
     }
 
     fn andnot(&self, other: &Self) -> Self {
-        self.op(other, |a, b| a & !b)
+        let mut words = vec![0u64; self.words.len()];
+        kernels::map2_into(&self.words, &other.words, &mut words, |a, b| a & !b);
+        let shared = self.words.len().min(other.words.len());
+        words[shared..].copy_from_slice(&self.words[shared..]);
+        DenseBitmap::from_words(words)
+    }
+
+    fn and_into(&self, other: &Self, out: &mut Self) {
+        let n = self.words.len().min(other.words.len());
+        out.words.clear();
+        out.words.resize(n, 0);
+        kernels::map2_into(&self.words, &other.words, &mut out.words, |a, b| a & b);
+        out.trim();
+    }
+
+    fn and_assign(&mut self, other: &Self) {
+        self.words.truncate(other.words.len());
+        kernels::map2_in_place(&mut self.words, &other.words, |a, b| a & b);
+        self.trim();
+    }
+
+    fn intersect_many(postings: &[&Self]) -> Option<Self> {
+        match postings {
+            [] => None,
+            [one] => Some((*one).clone()),
+            _ => {
+                // A dense AND costs min(word spans) regardless of how many
+                // bits are set, so order by span — computing cardinalities
+                // (full popcounts) just to sort would cost as much as the
+                // intersections themselves.
+                let mut order: Vec<usize> = (0..postings.len()).collect();
+                order.sort_by_key(|&i| postings[i].words.len());
+                let mut acc = postings[order[0]].clone();
+                let mut spare = DenseBitmap::new();
+                for &i in &order[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc.and_into(postings[i], &mut spare);
+                    std::mem::swap(&mut acc, &mut spare);
+                }
+                Some(acc)
+            }
+        }
     }
 
     fn cardinality(&self) -> u64 {
-        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+        kernels::popcount_words(&self.words)
     }
 
     fn for_each(&self, mut f: impl FnMut(u32)) {
@@ -176,8 +237,7 @@ impl Posting for DenseBitmap {
     }
 
     fn and_cardinality(&self, other: &Self) -> u64 {
-        let n = self.words.len().min(other.words.len());
-        (0..n).map(|i| u64::from((self.words[i] & other.words[i]).count_ones())).sum()
+        kernels::and_popcount_words(&self.words, &other.words)
     }
 
     fn contains(&self, id: u32) -> bool {

@@ -162,6 +162,32 @@ impl<'a> Cursor<'a> {
             _ => unreachable!("consume_clean on non-clean cursor"),
         }
     }
+
+    /// If positioned on a literal segment, borrow its remaining words.
+    ///
+    /// The slice borrows the *bitmap* (lifetime `'a`), not the cursor, so
+    /// callers can keep it across a later [`Cursor::consume_lit`] — that is
+    /// what lets the merge hand whole literal blocks to the word kernels.
+    fn peek_lit(&self) -> Option<&'a [u64]> {
+        match self.cur {
+            Cur::Lit { words, i } => Some(&words[i..]),
+            _ => None,
+        }
+    }
+
+    /// Consume `n` words from the current literal segment (`n` ≤ remaining).
+    fn consume_lit(&mut self, n: usize) {
+        match &mut self.cur {
+            Cur::Lit { words, i } => {
+                debug_assert!(*i + n <= words.len());
+                *i += n;
+                if *i == words.len() {
+                    self.bump();
+                }
+            }
+            _ => unreachable!("consume_lit on non-literal cursor"),
+        }
+    }
 }
 
 /// Builds an EWAH stream from a sequence of words, run-compressing on the fly.
@@ -184,7 +210,17 @@ impl Default for Appender {
 impl Appender {
     /// Start an empty stream.
     pub fn new() -> Self {
-        Appender { words: vec![0], marker_pos: 0, run_bit: false, run_len: 0, lit_cnt: 0, card: 0 }
+        Self::with_buffer(Vec::new())
+    }
+
+    /// Start an empty stream that reuses `buf`'s allocation (cleared
+    /// first). This is what makes the batched k-way AND allocation-free:
+    /// the ping-pong accumulators hand their buffers back and forth
+    /// instead of allocating a fresh word vector per step.
+    pub fn with_buffer(mut buf: Vec<u64>) -> Self {
+        buf.clear();
+        buf.push(0);
+        Appender { words: buf, marker_pos: 0, run_bit: false, run_len: 0, lit_cnt: 0, card: 0 }
     }
 
     fn seal_marker(&mut self) {
@@ -234,6 +270,50 @@ impl Appender {
             }
             self.lit_cnt += 1;
             self.words.push(w);
+        }
+    }
+
+    /// Append a block of words, classifying clean runs and literal
+    /// stretches in bulk. Produces the exact marker/word stream a
+    /// word-at-a-time [`Appender::push_word`] loop would — the canonical
+    /// encoding is a pure function of the pushed bits, which is what keeps
+    /// block-built bitmaps byte-identical to scalar-built ones — but feeds
+    /// literal stretches through `extend_from_slice` plus one unrolled
+    /// popcount instead of a branch per word.
+    pub fn push_words(&mut self, words: &[u64]) {
+        let mut i = 0;
+        while i < words.len() {
+            let w = words[i];
+            if w == 0 || w == u64::MAX {
+                let mut j = i + 1;
+                while j < words.len() && words[j] == w {
+                    j += 1;
+                }
+                self.push_clean(w == u64::MAX, (j - i) as u64);
+                i = j;
+            } else {
+                let mut j = i + 1;
+                while j < words.len() && words[j] != 0 && words[j] != u64::MAX {
+                    j += 1;
+                }
+                self.push_literals(&words[i..j]);
+                i = j;
+            }
+        }
+    }
+
+    /// Append literal (dirty) words; none may be all-zero or all-one.
+    fn push_literals(&mut self, mut lits: &[u64]) {
+        debug_assert!(lits.iter().all(|&w| w != 0 && w != u64::MAX));
+        while !lits.is_empty() {
+            if self.lit_cnt == LIT_MAX {
+                self.new_marker();
+            }
+            let take = ((LIT_MAX - self.lit_cnt) as usize).min(lits.len());
+            self.lit_cnt += take as u64;
+            self.words.extend_from_slice(&lits[..take]);
+            self.card += crate::kernels::popcount_words(&lits[..take]);
+            lits = &lits[take..];
         }
     }
 
@@ -304,9 +384,24 @@ impl EwahBitmap {
     }
 
     fn binary_op(&self, other: &EwahBitmap, op: BinOp) -> EwahBitmap {
+        self.binary_op_with_buffer(other, op, Vec::new())
+    }
+
+    /// The compressed-stream merge, writing into a reused word buffer.
+    ///
+    /// Unlike the classic word-at-a-time merge, segments are consumed in
+    /// *blocks*: clean×clean runs emit one clean run (as before), a clean
+    /// run meeting a literal block resolves the whole overlap at once
+    /// (copy / zero-run / unrolled NOT, depending on the op), and two
+    /// literal blocks run through the unrolled word kernels in
+    /// [`crate::kernels`] via a stack chunk. The [`Appender`] re-compresses
+    /// greedily either way, so the output stream is bit-identical to the
+    /// scalar merge's.
+    fn binary_op_with_buffer(&self, other: &EwahBitmap, op: BinOp, buf: Vec<u64>) -> EwahBitmap {
         let mut a = Cursor::new(self);
         let mut b = Cursor::new(other);
-        let mut out = Appender::new();
+        let mut out = Appender::with_buffer(buf);
+        let mut block = [0u64; OP_BLOCK];
         loop {
             if a.is_end() && b.is_end() {
                 break;
@@ -342,16 +437,63 @@ impl EwahBitmap {
                     a.consume_clean(n);
                     b.consume_clean(n);
                 }
-                _ => {
-                    let wa = a.next_word().expect("checked not end");
-                    let wb = b.next_word().expect("checked not end");
-                    let w = match op {
-                        BinOp::And => wa & wb,
-                        BinOp::Or => wa | wb,
-                        BinOp::AndNot => wa & !wb,
-                        BinOp::Xor => wa ^ wb,
-                    };
-                    out.push_word(w);
+                (Some((oa, la)), None) => {
+                    let lit = b.peek_lit().expect("not end, not clean");
+                    let n = la.min(lit.len() as u64) as usize;
+                    let lit = &lit[..n];
+                    match (op, oa) {
+                        (BinOp::And, true) | (BinOp::Or, false) | (BinOp::Xor, false) => {
+                            out.push_words(lit)
+                        }
+                        (BinOp::And, false) | (BinOp::AndNot, false) => {
+                            out.push_clean(false, n as u64)
+                        }
+                        (BinOp::Or, true) => out.push_clean(true, n as u64),
+                        (BinOp::AndNot, true) | (BinOp::Xor, true) => {
+                            push_not_words(&mut out, lit, &mut block)
+                        }
+                    }
+                    a.consume_clean(n as u64);
+                    b.consume_lit(n);
+                }
+                (None, Some((ob, lb))) => {
+                    let lit = a.peek_lit().expect("not end, not clean");
+                    let n = lb.min(lit.len() as u64) as usize;
+                    let lit = &lit[..n];
+                    match (op, ob) {
+                        (BinOp::And, true)
+                        | (BinOp::Or, false)
+                        | (BinOp::AndNot, false)
+                        | (BinOp::Xor, false) => out.push_words(lit),
+                        (BinOp::And, false) | (BinOp::AndNot, true) => {
+                            out.push_clean(false, n as u64)
+                        }
+                        (BinOp::Or, true) => out.push_clean(true, n as u64),
+                        (BinOp::Xor, true) => push_not_words(&mut out, lit, &mut block),
+                    }
+                    a.consume_lit(n);
+                    b.consume_clean(n as u64);
+                }
+                (None, None) => {
+                    let wa = a.peek_lit().expect("not end, not clean");
+                    let wb = b.peek_lit().expect("not end, not clean");
+                    let n = wa.len().min(wb.len());
+                    let mut i = 0;
+                    while i < n {
+                        let k = OP_BLOCK.min(n - i);
+                        let dst = &mut block[..k];
+                        let (xa, xb) = (&wa[i..i + k], &wb[i..i + k]);
+                        match op {
+                            BinOp::And => crate::kernels::map2_into(xa, xb, dst, |x, y| x & y),
+                            BinOp::Or => crate::kernels::map2_into(xa, xb, dst, |x, y| x | y),
+                            BinOp::AndNot => crate::kernels::map2_into(xa, xb, dst, |x, y| x & !y),
+                            BinOp::Xor => crate::kernels::map2_into(xa, xb, dst, |x, y| x ^ y),
+                        }
+                        out.push_words(dst);
+                        i += k;
+                    }
+                    a.consume_lit(n);
+                    b.consume_lit(n);
                 }
             }
         }
@@ -363,6 +505,131 @@ impl EwahBitmap {
     pub fn xor(&self, other: &EwahBitmap) -> EwahBitmap {
         self.binary_op(other, BinOp::Xor)
     }
+
+    /// Decompress into plain zero-extended words (no trailing zero words):
+    /// bulk `copy_from_slice` / fill per segment, not a per-bit walk.
+    pub(crate) fn to_dense_words(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for seg in RawSegs::new(&self.words) {
+            match seg {
+                Seg::Clean { ones, nwords } => {
+                    let v = if ones { u64::MAX } else { 0 };
+                    out.resize(out.len() + nwords as usize, v);
+                }
+                Seg::Lit(words) => out.extend_from_slice(words),
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Largest id in the set, or `None` when empty. One pass over the
+    /// compressed segments (no decompression).
+    pub(crate) fn max_id(&self) -> Option<u32> {
+        let mut word_index = 0u64;
+        let mut max: Option<u64> = None;
+        for seg in RawSegs::new(&self.words) {
+            match seg {
+                Seg::Clean { ones, nwords } => {
+                    if ones {
+                        max = Some((word_index + nwords) * 64 - 1);
+                    }
+                    word_index += nwords;
+                }
+                Seg::Lit(words) => {
+                    for (i, &w) in words.iter().enumerate() {
+                        if w != 0 {
+                            let wi = word_index + i as u64;
+                            max = Some(wi * 64 + 63 - u64::from(w.leading_zeros()));
+                        }
+                    }
+                    word_index += words.len() as u64;
+                }
+            }
+        }
+        max.map(|m| m as u32)
+    }
+
+    /// Intersection cardinality against a plain zero-extended word array,
+    /// streaming over the compressed segments (the mixed EWAH×dense kernel
+    /// of [`crate::AdaptivePosting`]).
+    pub(crate) fn and_cardinality_words(&self, words: &[u64]) -> u64 {
+        let mut wi = 0usize;
+        let mut count = 0u64;
+        for seg in RawSegs::new(&self.words) {
+            if wi >= words.len() {
+                break;
+            }
+            match seg {
+                Seg::Clean { ones, nwords } => {
+                    if ones {
+                        let n = (nwords as usize).min(words.len() - wi);
+                        count += crate::kernels::popcount_words(&words[wi..wi + n]);
+                    }
+                    wi += nwords as usize;
+                }
+                Seg::Lit(lw) => {
+                    let n = lw.len().min(words.len() - wi);
+                    count += crate::kernels::and_popcount_words(&lw[..n], &words[wi..wi + n]);
+                    wi += lw.len();
+                }
+            }
+        }
+        count
+    }
+
+    /// Filter a strictly increasing id slice by membership in this bitmap:
+    /// ids for which `contains` is `keep` survive, in one streaming pass
+    /// over the compressed segments (the mixed tidvec×EWAH kernel of
+    /// [`crate::AdaptivePosting`]).
+    pub(crate) fn filter_sorted_ids(&self, ids: &[u32], keep: bool) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        let mut word_index = 0u64;
+        for seg in RawSegs::new(&self.words) {
+            if i == ids.len() {
+                break;
+            }
+            let nwords = match seg {
+                Seg::Clean { nwords, .. } => nwords,
+                Seg::Lit(words) => words.len() as u64,
+            };
+            let end_bit = (word_index + nwords) * 64;
+            match seg {
+                Seg::Clean { ones, .. } => {
+                    if ones == keep {
+                        while i < ids.len() && u64::from(ids[i]) < end_bit {
+                            out.push(ids[i]);
+                            i += 1;
+                        }
+                    } else {
+                        while i < ids.len() && u64::from(ids[i]) < end_bit {
+                            i += 1;
+                        }
+                    }
+                }
+                Seg::Lit(words) => {
+                    while i < ids.len() && u64::from(ids[i]) < end_bit {
+                        let id = u64::from(ids[i]);
+                        let w = words[((id / 64) - word_index) as usize];
+                        if (w >> (id % 64)) & 1 == u64::from(keep) {
+                            out.push(ids[i]);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            word_index += nwords;
+        }
+        // Ids past the stored end read as 0, so they survive iff filtering
+        // for absence.
+        if !keep {
+            out.extend_from_slice(&ids[i..]);
+        }
+        out
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -373,6 +640,10 @@ enum BinOp {
     Xor,
 }
 
+/// Stack chunk (in words) for literal-block op results: 1 KiB, enough to
+/// amortize loop overhead while staying cache- and stack-friendly.
+const OP_BLOCK: usize = 128;
+
 fn copy_rest(cur: &mut Cursor<'_>, out: &mut Appender) {
     loop {
         match cur.peek_clean() {
@@ -380,11 +651,27 @@ fn copy_rest(cur: &mut Cursor<'_>, out: &mut Appender) {
                 out.push_clean(ones, left);
                 cur.consume_clean(left);
             }
-            None => match cur.next_word() {
-                Some(w) => out.push_word(w),
+            None => match cur.peek_lit() {
+                Some(lit) => {
+                    let n = lit.len();
+                    out.push_words(lit);
+                    cur.consume_lit(n);
+                }
                 None => break,
             },
         }
+    }
+}
+
+/// Push `!lit` through a stack chunk (ones-run meeting a literal block
+/// under AND-NOT / XOR).
+fn push_not_words(out: &mut Appender, lit: &[u64], block: &mut [u64; OP_BLOCK]) {
+    let mut i = 0;
+    while i < lit.len() {
+        let k = OP_BLOCK.min(lit.len() - i);
+        crate::kernels::not_words_into(&lit[i..i + k], &mut block[..k]);
+        out.push_words(&block[..k]);
+        i += k;
     }
 }
 
@@ -523,8 +810,21 @@ impl Posting for EwahBitmap {
         }
     }
 
+    fn and_into(&self, other: &Self, out: &mut Self) {
+        // Reuse `out`'s word buffer for the merge output; this plus the
+        // trait's ping-pong `intersect_many` default is the allocation-free
+        // k-way path for EWAH (the intersection of compressed streams can
+        // outgrow either input's storage, so true in-place is not possible,
+        // but buffer recycling gets the same steady-state behavior).
+        let buf = std::mem::take(&mut out.words);
+        *out = self.binary_op_with_buffer(other, BinOp::And, buf);
+    }
+
     fn and_cardinality(&self, other: &Self) -> u64 {
         // Streaming count: like binary_op(And) but without building output.
+        // Clean runs annihilate (zeros) or popcount the other side's
+        // literal block wholesale (ones); literal×literal blocks run
+        // through the unrolled fused AND-popcount kernel.
         let mut a = Cursor::new(self);
         let mut b = Cursor::new(other);
         let mut count = 0u64;
@@ -541,45 +841,31 @@ impl Posting for EwahBitmap {
                     a.consume_clean(n);
                     b.consume_clean(n);
                 }
-                (Some((false, la)), None) => {
-                    // Zero run in a: skip the same number of words in b.
-                    let mut n = la;
-                    while n > 0 && !b.is_end() {
-                        if let Some((_, lb)) = b.peek_clean() {
-                            let k = lb.min(n);
-                            b.consume_clean(k);
-                            n -= k;
-                        } else {
-                            b.next_word();
-                            n -= 1;
-                        }
+                (Some((oa, la)), None) => {
+                    let lit = b.peek_lit().expect("not end, not clean");
+                    let n = la.min(lit.len() as u64) as usize;
+                    if oa {
+                        count += crate::kernels::popcount_words(&lit[..n]);
                     }
-                    a.consume_clean(la - n);
-                    if n > 0 {
-                        break;
-                    }
+                    a.consume_clean(n as u64);
+                    b.consume_lit(n);
                 }
-                (None, Some((false, lb))) => {
-                    let mut n = lb;
-                    while n > 0 && !a.is_end() {
-                        if let Some((_, la)) = a.peek_clean() {
-                            let k = la.min(n);
-                            a.consume_clean(k);
-                            n -= k;
-                        } else {
-                            a.next_word();
-                            n -= 1;
-                        }
+                (None, Some((ob, lb))) => {
+                    let lit = a.peek_lit().expect("not end, not clean");
+                    let n = lb.min(lit.len() as u64) as usize;
+                    if ob {
+                        count += crate::kernels::popcount_words(&lit[..n]);
                     }
-                    b.consume_clean(lb - n);
-                    if n > 0 {
-                        break;
-                    }
+                    a.consume_lit(n);
+                    b.consume_clean(n as u64);
                 }
-                _ => {
-                    let wa = a.next_word().expect("not end");
-                    let wb = b.next_word().expect("not end");
-                    count += u64::from((wa & wb).count_ones());
+                (None, None) => {
+                    let wa = a.peek_lit().expect("not end, not clean");
+                    let wb = b.peek_lit().expect("not end, not clean");
+                    let n = wa.len().min(wb.len());
+                    count += crate::kernels::and_popcount_words(&wa[..n], &wb[..n]);
+                    a.consume_lit(n);
+                    b.consume_lit(n);
                 }
             }
         }

@@ -18,13 +18,57 @@
 //! can be written once and benchmarked against each representation
 //! (experiment E11 of `DESIGN.md`).
 
+pub mod adaptive;
 pub mod dense;
 pub mod ewah;
+pub mod kernels;
+pub mod reference;
 pub mod tidvec;
 
+pub use adaptive::AdaptivePosting;
 pub use dense::DenseBitmap;
 pub use ewah::EwahBitmap;
 pub use tidvec::TidVec;
+
+/// Runtime-selectable posting representation, for ablation entry points and
+/// benchmark grids that enumerate representations by value.
+///
+/// The pipeline itself is generic over [`Posting`] at compile time; this
+/// enum names the available choices. The first three map to the fixed
+/// representations; [`Representation::Adaptive`] maps to
+/// [`AdaptivePosting`], which re-picks the cheapest of the three per
+/// posting from its density and cardinality at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Representation {
+    /// [`EwahBitmap`] — compressed, the pipeline default.
+    Ewah,
+    /// [`DenseBitmap`] — uncompressed `u64` words.
+    Dense,
+    /// [`TidVec`] — sorted id vector.
+    TidVec,
+    /// [`AdaptivePosting`] — per-posting choice among the other three.
+    Adaptive,
+}
+
+impl Representation {
+    /// All representations, in benchmark-grid order.
+    pub const ALL: [Representation; 4] = [
+        Representation::Ewah,
+        Representation::Dense,
+        Representation::TidVec,
+        Representation::Adaptive,
+    ];
+
+    /// Stable lowercase name (used in benchmark JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Representation::Ewah => "ewah",
+            Representation::Dense => "dense",
+            Representation::TidVec => "tidvec",
+            Representation::Adaptive => "adaptive",
+        }
+    }
+}
 
 /// A set of `u32` ids (transaction ids / node ids) supporting the boolean
 /// algebra the SCube pipeline needs.
@@ -172,6 +216,61 @@ pub trait Posting: Sized + Clone {
         self.and(other).cardinality()
     }
 
+    /// Intersection into a caller-owned accumulator, reusing its storage.
+    ///
+    /// This is the allocation-free building block of the batched k-way AND:
+    /// a loop that ping-pongs two accumulators through `and_into` performs
+    /// any number of intersection steps with at most the first step's
+    /// allocation. The default assigns a fresh intersection (correct for
+    /// any implementation); every built-in representation overrides it to
+    /// write into `out`'s existing buffer.
+    fn and_into(&self, other: &Self, out: &mut Self) {
+        *out = self.and(other);
+    }
+
+    /// In-place intersection (`*self &= other`).
+    ///
+    /// The default materializes; [`TidVec`] and [`DenseBitmap`] override
+    /// with true in-place kernels (the intersection is a subsequence of
+    /// `self`, so it can be written over `self`'s own storage).
+    fn and_assign(&mut self, other: &Self) {
+        *self = self.and(other);
+    }
+
+    /// Batched k-way intersection: smallest-cardinality first, empty
+    /// short-circuit, and **no per-step posting allocation** — the default
+    /// ping-pongs two accumulators through [`Posting::and_into`], so k
+    /// steps cost at most two buffers regardless of k.
+    ///
+    /// [`TidVec`] overrides this with a single-pass galloping k-way merge
+    /// that writes the result once. `None` when `postings` is empty
+    /// (an empty *intersection* of zero sets would be the full universe,
+    /// which a posting cannot represent without knowing `n`).
+    fn intersect_many(postings: &[&Self]) -> Option<Self> {
+        match postings {
+            [] => None,
+            [one] => Some((*one).clone()),
+            _ => {
+                // Cache the cardinalities: `sort_by_key` re-evaluates its
+                // key per comparison, and `cardinality` is a full popcount
+                // for the word-based representations.
+                let cards: Vec<u64> = postings.iter().map(|p| p.cardinality()).collect();
+                let mut order: Vec<usize> = (0..postings.len()).collect();
+                order.sort_by_key(|&i| cards[i]);
+                let mut acc = postings[order[0]].clone();
+                let mut spare = Self::from_sorted(&[]);
+                for &i in &order[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc.and_into(postings[i], &mut spare);
+                    std::mem::swap(&mut acc, &mut spare);
+                }
+                Some(acc)
+            }
+        }
+    }
+
     /// Collect the ids into a vector (ascending).
     fn to_vec(&self) -> Vec<u32> {
         let mut v = Vec::with_capacity(self.cardinality() as usize);
@@ -198,20 +297,11 @@ pub trait Posting: Sized + Clone {
 
 /// Intersect many postings, smallest-cardinality first (standard Eclat
 /// optimization: the running intersection can only shrink).
+///
+/// Delegates to [`Posting::intersect_many`], the batched one-pass kernel:
+/// no per-step posting allocation, representation-specific fast paths.
 pub fn intersect_all<P: Posting>(postings: &[&P]) -> Option<P> {
-    if postings.is_empty() {
-        return None;
-    }
-    let mut order: Vec<usize> = (0..postings.len()).collect();
-    order.sort_by_key(|&i| postings[i].cardinality());
-    let mut acc = postings[order[0]].clone();
-    for &i in &order[1..] {
-        if acc.is_empty() {
-            break;
-        }
-        acc = acc.and(postings[i]);
-    }
-    Some(acc)
+    P::intersect_many(postings)
 }
 
 #[cfg(test)]
@@ -252,6 +342,7 @@ mod tests {
         check::<EwahBitmap>();
         check::<DenseBitmap>();
         check::<TidVec>();
+        check::<AdaptivePosting>();
     }
 
     #[test]
@@ -261,8 +352,52 @@ mod tests {
     }
 
     #[test]
+    fn intersect_all_matches_pairwise_fold() {
+        fn check<P: Posting + PartialEq + std::fmt::Debug>() {
+            let a = P::from_sorted(&(0..400).step_by(2).collect::<Vec<u32>>());
+            let b = P::from_sorted(&(0..400).step_by(3).collect::<Vec<u32>>());
+            let c = P::from_sorted(&(0..400).step_by(5).collect::<Vec<u32>>());
+            let batched = intersect_all(&[&a, &b, &c]).unwrap();
+            let folded = a.and(&b).and(&c);
+            assert_eq!(batched, folded);
+            assert_eq!(batched.to_vec(), (0..400).step_by(30).collect::<Vec<u32>>());
+            // Disjoint input short-circuits to empty.
+            let d = P::from_sorted(&[401]);
+            assert!(intersect_all(&[&a, &d, &b]).unwrap().is_empty());
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+        check::<AdaptivePosting>();
+    }
+
+    #[test]
+    fn and_into_and_assign_match_and() {
+        fn check<P: Posting + PartialEq + std::fmt::Debug>() {
+            let a = P::from_sorted(&[1, 3, 5, 64, 65, 900]);
+            let b = P::from_sorted(&[3, 64, 900, 1000]);
+            let expect = a.and(&b);
+            let mut out = P::from_sorted(&[7, 8]); // stale contents must be overwritten
+            a.and_into(&b, &mut out);
+            assert_eq!(out, expect);
+            let mut c = a.clone();
+            c.and_assign(&b);
+            assert_eq!(c, expect);
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+        check::<AdaptivePosting>();
+    }
+
+    #[test]
     fn serial_tags_distinct() {
-        let tags = [EwahBitmap::SERIAL_TAG, DenseBitmap::SERIAL_TAG, TidVec::SERIAL_TAG];
+        let tags = [
+            EwahBitmap::SERIAL_TAG,
+            DenseBitmap::SERIAL_TAG,
+            TidVec::SERIAL_TAG,
+            AdaptivePosting::SERIAL_TAG,
+        ];
         for (i, a) in tags.iter().enumerate() {
             for b in &tags[i + 1..] {
                 assert_ne!(a, b);
@@ -296,6 +431,7 @@ mod tests {
         check::<EwahBitmap>();
         check::<DenseBitmap>();
         check::<TidVec>();
+        check::<AdaptivePosting>();
     }
 
     #[test]
@@ -346,6 +482,7 @@ mod tests {
         check::<EwahBitmap>();
         check::<DenseBitmap>();
         check::<TidVec>();
+        check::<AdaptivePosting>();
     }
 
     #[test]
@@ -379,6 +516,7 @@ mod tests {
         check::<EwahBitmap>();
         check::<DenseBitmap>();
         check::<TidVec>();
+        check::<AdaptivePosting>();
     }
 
     #[test]
@@ -393,6 +531,7 @@ mod tests {
         check::<EwahBitmap>();
         check::<DenseBitmap>();
         check::<TidVec>();
+        check::<AdaptivePosting>();
     }
 
     #[test]

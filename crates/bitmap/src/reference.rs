@@ -1,0 +1,76 @@
+//! Scalar reference implementations over sorted id vectors.
+//!
+//! Every optimized kernel in this crate — the unrolled word loops, the
+//! galloping merges, the compressed-stream block paths, the batched k-way
+//! AND — is pinned against these deliberately boring linear merges, both by
+//! the differential property tests (`tests/kernel_equivalence.rs`) and by
+//! the `exp bitmap-kernels` experiment, whose every grid cell is gated on
+//! exact equality with this module before a timing is recorded. The
+//! reference is also the *old* side of the experiment's old-vs-new ratios:
+//! it is precisely the scalar, one-element-at-a-time scan the
+//! representations used before the kernel work.
+
+/// Linear-merge intersection of two strictly increasing id slices.
+pub fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Cardinality of the intersection, scalar two-pointer scan.
+pub fn intersect_cardinality_sorted(a: &[u32], b: &[u32]) -> u64 {
+    let (mut i, mut j) = (0, 0);
+    let mut n = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Pairwise-fold k-way intersection: each step materializes a fresh vector,
+/// exactly like the pre-kernel `intersect_all`.
+pub fn intersect_all_sorted(lists: &[&[u32]]) -> Option<Vec<u32>> {
+    let (first, rest) = lists.split_first()?;
+    let mut acc = first.to_vec();
+    for l in rest {
+        if acc.is_empty() {
+            break;
+        }
+        acc = intersect_sorted(&acc, l);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_ops() {
+        let a = [1u32, 3, 5, 7, 9];
+        let b = [3u32, 4, 5, 9, 10];
+        assert_eq!(intersect_sorted(&a, &b), vec![3, 5, 9]);
+        assert_eq!(intersect_cardinality_sorted(&a, &b), 3);
+        assert_eq!(intersect_all_sorted(&[&a, &b, &[5u32, 9]]).unwrap(), vec![5, 9]);
+        assert!(intersect_all_sorted(&[]).is_none());
+    }
+}

@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
-use scube_bitmap::{DenseBitmap, EwahBitmap, Posting, TidVec};
+use scube_bitmap::{AdaptivePosting, DenseBitmap, EwahBitmap, Posting, TidVec};
 
 fn sorted_ids(max: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::btree_set(0..max, 0..max_len)
@@ -51,6 +51,16 @@ fn check_all_ops<P: Posting>(xs: &[u32], ys: &[u32]) {
     assert_eq!(px.or(&py).to_vec(), py.or(&px).to_vec(), "or commutes");
     assert_eq!(px.andnot(&py).or(&px.and(&py)).to_vec(), xs, "partition law: (x\\y) ∪ (x∩y) = x");
 
+    // Kernel entry points must agree with the materializing `and`.
+    let mut out = P::from_sorted(&[]);
+    px.and_into(&py, &mut out);
+    assert_eq!(out.to_vec(), and, "and_into");
+    let mut assigned = px.clone();
+    assigned.and_assign(&py);
+    assert_eq!(assigned.to_vec(), and, "and_assign");
+    let kway = P::intersect_many(&[&px, &py, &px]).expect("non-empty input");
+    assert_eq!(kway.to_vec(), and, "intersect_many");
+
     // Membership.
     for &id in xs.iter().take(20) {
         assert!(px.contains(id), "contains({id})");
@@ -84,12 +94,31 @@ proptest! {
     }
 
     #[test]
+    fn tidvec_matches_model_skewed(xs in sorted_ids(200_000, 12), ys in sorted_ids(200_000, 3_000)) {
+        // Heavy cardinality skew drives the galloping intersection paths.
+        check_all_ops::<TidVec>(&xs, &ys);
+        check_all_ops::<TidVec>(&ys, &xs);
+    }
+
+    #[test]
+    fn adaptive_matches_model(xs in sorted_ids(5_000, 400), ys in sorted_ids(5_000, 400)) {
+        check_all_ops::<AdaptivePosting>(&xs, &ys);
+    }
+
+    #[test]
+    fn adaptive_matches_model_clustered(xs in clustered_ids(), ys in clustered_ids()) {
+        check_all_ops::<AdaptivePosting>(&xs, &ys);
+    }
+
+    #[test]
     fn representations_agree(xs in clustered_ids(), ys in clustered_ids()) {
         let e = EwahBitmap::from_sorted(&xs).and(&EwahBitmap::from_sorted(&ys));
         let d = DenseBitmap::from_sorted(&xs).and(&DenseBitmap::from_sorted(&ys));
         let t = TidVec::from_sorted(&xs).and(&TidVec::from_sorted(&ys));
+        let a = AdaptivePosting::from_sorted(&xs).and(&AdaptivePosting::from_sorted(&ys));
         prop_assert_eq!(e.to_vec(), d.to_vec());
         prop_assert_eq!(d.to_vec(), t.to_vec());
+        prop_assert_eq!(t.to_vec(), a.to_vec());
     }
 
     #[test]

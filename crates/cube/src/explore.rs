@@ -113,19 +113,17 @@ impl<P: Posting> CubeExplorer<P> {
     }
 
     /// Tidset of `A ∪ B`, reusing the already-intersected context tidset
-    /// instead of re-intersecting the `ca` postings from scratch.
+    /// instead of re-intersecting the `ca` postings from scratch. The whole
+    /// recomputation is one batched k-way AND — smallest posting first, no
+    /// per-step allocation.
     fn minority_tidset(vertical: &VerticalDb<P>, coords: &CellCoords, total_tids: &P) -> P {
         if coords.ca.is_empty() {
             return vertical.tidset(&coords.sa);
         }
-        let mut acc = total_tids.and(vertical.posting(coords.sa[0]));
-        for &item in &coords.sa[1..] {
-            if acc.is_empty() {
-                break;
-            }
-            acc = acc.and(vertical.posting(item));
-        }
-        acc
+        let mut refs: Vec<&P> = Vec::with_capacity(1 + coords.sa.len());
+        refs.push(total_tids);
+        refs.extend(coords.sa.iter().map(|&item| vertical.posting(item)));
+        P::intersect_many(&refs).expect("context plus non-empty SA side")
     }
 
     /// Fill both scratch histograms and return the context's populated

@@ -315,16 +315,16 @@ impl<P: Posting> DirtyProbe<P> {
 }
 
 /// Non-empty intersection of the delta postings of `items` (which must be
-/// non-empty), or `None` when no appended row contains them all.
+/// non-empty), or `None` when no appended row contains them all. One
+/// batched k-way AND: items past the delta's item range short-circuit to
+/// `None` before any intersection runs.
 fn delta_tidset<P: Posting>(postings: &[P], items: &[ItemId]) -> Option<P> {
-    let [first, rest @ ..] = items else { unreachable!("delta_tidset needs items") };
-    let mut acc = postings.get(*first as usize)?.clone();
-    for &it in rest {
-        if acc.is_empty() {
-            return None;
-        }
-        acc = acc.and(postings.get(it as usize)?);
+    assert!(!items.is_empty(), "delta_tidset needs items");
+    let mut refs: Vec<&P> = Vec::with_capacity(items.len());
+    for &it in items {
+        refs.push(postings.get(it as usize)?);
     }
+    let acc = P::intersect_many(&refs).expect("non-empty items");
     (!acc.is_empty()).then_some(acc)
 }
 
@@ -592,13 +592,19 @@ fn tidset_if_frequent<P: Posting>(
     floor: u64,
 ) -> Option<P> {
     let mut order: Vec<ItemId> = items.to_vec();
-    order.sort_by_key(|&it| vertical.posting(it).cardinality());
+    order.sort_by_cached_key(|&it| vertical.posting(it).cardinality());
     let mut acc = vertical.posting(order[0]).clone();
     if acc.cardinality() < floor {
         return None;
     }
+    // Ping-pong two accumulators through the buffer-reusing `and_into`
+    // kernel: the floor check needs the intermediate cardinalities, so the
+    // opaque `intersect_many` doesn't apply, but the allocation profile is
+    // the same (two buffers total, not one fresh posting per step).
+    let mut spare = P::from_sorted(&[]);
     for &it in &order[1..] {
-        acc = acc.and(vertical.posting(it));
+        acc.and_into(vertical.posting(it), &mut spare);
+        std::mem::swap(&mut acc, &mut spare);
         if acc.cardinality() < floor {
             return None;
         }
@@ -1484,14 +1490,10 @@ fn minority_tidset<P: Posting>(
     if coords.ca.is_empty() {
         return vertical.tidset(&coords.sa);
     }
-    let mut acc = context_tids[&coords.ca].and(vertical.posting(coords.sa[0]));
-    for &item in &coords.sa[1..] {
-        if acc.is_empty() {
-            break;
-        }
-        acc = acc.and(vertical.posting(item));
-    }
-    acc
+    let mut refs: Vec<&P> = Vec::with_capacity(1 + coords.sa.len());
+    refs.push(&context_tids[&coords.ca]);
+    refs.extend(coords.sa.iter().map(|&item| vertical.posting(item)));
+    P::intersect_many(&refs).expect("context plus non-empty SA side")
 }
 
 /// Exact closedness of a promotion candidate in the grown database, using

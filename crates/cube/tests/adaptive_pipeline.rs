@@ -1,0 +1,113 @@
+//! Whole-pipeline check for the adaptive posting representation: a cube
+//! built, queried, updated, and serialized with `AdaptivePosting` must
+//! answer *byte*-identically (exact `f64` bits, not approximate equality)
+//! to the same pipeline run with each fixed representation.
+
+use scube_bitmap::{AdaptivePosting, DenseBitmap, EwahBitmap, Posting, TidVec};
+use scube_cube::{CellCoords, CubeBuilder, CubeExplorer, CubeSnapshot, Materialize, UpdateBatch};
+use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
+use scube_segindex::IndexValues;
+
+/// A small but non-trivial population: three attributes, skewed value
+/// frequencies (so the adaptive heuristic actually picks different
+/// variants across postings), 60 rows over 4 units.
+fn build_db() -> TransactionDb {
+    let schema =
+        Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
+            .unwrap();
+    let mut b = TransactionDbBuilder::new(schema);
+    for i in 0..60u32 {
+        let sex = if i % 7 == 0 { "F" } else { "M" }; // skewed: F sparse, M dense
+        let age = format!("a{}", i % 3);
+        let region = if i < 45 { "north" } else { "south" };
+        let unit = format!("u{}", (i / 5) % 4);
+        b.add_row(&[vec![sex.to_string()], vec![age], vec![region.to_string()]], &unit).unwrap();
+    }
+    b.finish()
+}
+
+/// Exact bit pattern of every field of an `IndexValues` — byte identity,
+/// not epsilon closeness.
+fn value_bits(v: &IndexValues) -> Vec<Option<u64>> {
+    let f = |x: Option<f64>| x.map(f64::to_bits);
+    vec![
+        Some(v.minority),
+        Some(v.total),
+        Some(u64::from(v.num_units)),
+        f(v.dissimilarity),
+        f(v.gini),
+        f(v.information),
+        f(v.isolation),
+        f(v.interaction),
+        f(v.atkinson),
+    ]
+}
+
+/// Full cell inventory of a snapshot's cube with exact value bits, sorted
+/// by coordinates (cell iteration order is not part of the contract).
+fn cube_answers<P: Posting>(snap: &CubeSnapshot<P>) -> Vec<(CellCoords, Vec<Option<u64>>)> {
+    let mut cells: Vec<_> = snap.cube().cells().map(|(c, v)| (c.clone(), value_bits(v))).collect();
+    cells.sort_by(|a, b| (&a.0.sa, &a.0.ca).cmp(&(&b.0.sa, &b.0.ca)));
+    cells
+}
+
+fn batch() -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for i in 0..10 {
+        let sex = if i % 2 == 0 { "F" } else { "X" }; // "X" is a brand-new label
+        batch.add_row(&[("sex", sex), ("age", "a0"), ("region", "south")], "u9");
+    }
+    batch.remove_tid(0);
+    batch.remove_tid(44);
+    batch
+}
+
+fn pipeline_matches<Fixed: Posting + Send + Sync>(materialize: Materialize) {
+    let db = build_db();
+    let builder = CubeBuilder::new().min_support(2).materialize(materialize);
+
+    let mut adaptive: CubeSnapshot<AdaptivePosting> = CubeSnapshot::from_db(&db, &builder).unwrap();
+    let mut fixed: CubeSnapshot<Fixed> = CubeSnapshot::from_db(&db, &builder).unwrap();
+    assert_eq!(cube_answers(&adaptive), cube_answers(&fixed), "fresh build");
+
+    // Explorer fallbacks (non-materialized coordinates) must agree too.
+    let mut ea: CubeExplorer<AdaptivePosting> = CubeExplorer::new(&db);
+    let mut ef: CubeExplorer<Fixed> = CubeExplorer::new(&db);
+    for coords in [
+        CellCoords::apex(),
+        CellCoords::new(vec![0], vec![]),
+        CellCoords::new(vec![0, 2], vec![5]),
+        CellCoords::new(vec![], vec![5]),
+    ] {
+        let a = ea.values_at(&coords).unwrap();
+        let f = ef.values_at(&coords).unwrap();
+        assert_eq!(value_bits(&a), value_bits(&f), "explorer at {coords:?}");
+    }
+
+    // Incremental maintenance: same batch, same resulting cube.
+    adaptive.apply_update(&batch()).unwrap();
+    fixed.apply_update(&batch()).unwrap();
+    assert_eq!(cube_answers(&adaptive), cube_answers(&fixed), "after update");
+
+    // Adaptive snapshots roundtrip byte-stably through serialization.
+    let bytes = adaptive.to_bytes();
+    let loaded = CubeSnapshot::<AdaptivePosting>::from_bytes(&bytes).unwrap();
+    assert_eq!(loaded.to_bytes(), bytes, "adaptive snapshot roundtrip");
+    assert_eq!(cube_answers(&loaded), cube_answers(&fixed), "after roundtrip");
+}
+
+#[test]
+fn adaptive_matches_ewah_pipeline() {
+    pipeline_matches::<EwahBitmap>(Materialize::AllFrequent);
+    pipeline_matches::<EwahBitmap>(Materialize::ClosedOnly);
+}
+
+#[test]
+fn adaptive_matches_dense_pipeline() {
+    pipeline_matches::<DenseBitmap>(Materialize::AllFrequent);
+}
+
+#[test]
+fn adaptive_matches_tidvec_pipeline() {
+    pipeline_matches::<TidVec>(Materialize::ClosedOnly);
+}

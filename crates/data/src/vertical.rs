@@ -250,36 +250,38 @@ impl<P: Posting> VerticalDb<P> {
 
     /// Tidset of an itemset (intersection of item postings), or the
     /// universe when the itemset is empty.
+    ///
+    /// Routed through the batched k-way AND ([`Posting::intersect_many`]):
+    /// smallest posting first, empty short-circuit, and no per-step posting
+    /// allocation however many items the set has.
     pub fn tidset(&self, itemset: &[ItemId]) -> P {
         match itemset {
             [] => P::full(self.n_transactions),
-            [first, rest @ ..] => {
-                let mut acc = self.postings[*first as usize].clone();
-                for &it in rest {
-                    if acc.is_empty() {
-                        break;
-                    }
-                    acc = acc.and(&self.postings[it as usize]);
-                }
-                acc
+            [single] => self.postings[*single as usize].clone(),
+            _ => {
+                let refs: Vec<&P> = itemset.iter().map(|&it| &self.postings[it as usize]).collect();
+                P::intersect_many(&refs).expect("non-empty itemset")
             }
         }
     }
 
-    /// Support of an itemset.
+    /// Support of an itemset: the batched AND over all but the largest
+    /// posting, then one streaming `and_cardinality` — the final (and
+    /// biggest) intersection is never materialized.
     pub fn support(&self, itemset: &[ItemId]) -> u64 {
         match itemset {
             [] => u64::from(self.n_transactions),
             [single] => self.postings[*single as usize].cardinality(),
-            [first, rest @ .., last] => {
-                let mut acc = self.postings[*first as usize].clone();
-                for &it in rest {
-                    if acc.is_empty() {
-                        return 0;
-                    }
-                    acc = acc.and(&self.postings[it as usize]);
+            [a, b] => self.postings[*a as usize].and_cardinality(&self.postings[*b as usize]),
+            _ => {
+                let mut refs: Vec<&P> =
+                    itemset.iter().map(|&it| &self.postings[it as usize]).collect();
+                refs.sort_by_cached_key(|p| p.cardinality());
+                let (largest, init) = refs.split_last().expect("len >= 3");
+                match P::intersect_many(init) {
+                    Some(acc) if !acc.is_empty() => acc.and_cardinality(largest),
+                    _ => 0,
                 }
-                acc.and_cardinality(&self.postings[*last as usize])
             }
         }
     }

@@ -45,7 +45,8 @@ impl<P: Posting> Miner for Eclat<P> {
         let roots = frequent_roots(&vertical, min_support);
         let mut out = Vec::new();
         let mut prefix: Vec<ItemId> = Vec::new();
-        dfs(&roots, min_support, &mut prefix, &mut out);
+        let mut scratch = P::from_sorted(&[]);
+        dfs(&roots, min_support, &mut prefix, &mut out, &mut scratch);
         for set in &mut out {
             set.items.sort_unstable();
         }
@@ -68,19 +69,23 @@ fn frequent_roots<P: Posting>(vertical: &VerticalDb<P>, min_support: u64) -> Vec
 }
 
 /// The node body every DFS variant shares: join `tids` against each later
-/// candidate, keeping the frequent results. Reserves the worst case up
-/// front (no regrowth in the hot loop) but gives sparsely-filled vectors
-/// back before they are held across a whole subtree recursion.
+/// candidate, keeping the frequent results. Every intersection lands in the
+/// caller-owned `scratch` buffer via the `and_into` kernel, so infrequent
+/// candidates — the overwhelming majority deep in the search — cost no
+/// allocation at all; only survivors are cloned out. Reserves the worst
+/// case up front (no regrowth in the hot loop) but gives sparsely-filled
+/// vectors back before they are held across a whole subtree recursion.
 fn join_extensions<P: Posting>(
     tids: &P,
     rest: &[(ItemId, P)],
     min_support: u64,
+    scratch: &mut P,
 ) -> Vec<(ItemId, P)> {
     let mut extensions: Vec<(ItemId, P)> = Vec::with_capacity(rest.len());
     for (jt, jtids) in rest {
-        let joined = tids.and(jtids);
-        if joined.cardinality() >= min_support {
-            extensions.push((*jt, joined));
+        tids.and_into(jtids, scratch);
+        if scratch.cardinality() >= min_support {
+            extensions.push((*jt, scratch.clone()));
         }
     }
     if extensions.len() * 4 <= extensions.capacity() {
@@ -94,13 +99,14 @@ fn dfs<P: Posting>(
     min_support: u64,
     prefix: &mut Vec<ItemId>,
     out: &mut Vec<FrequentItemset>,
+    scratch: &mut P,
 ) {
     for (i, (item, tids)) in candidates.iter().enumerate() {
         prefix.push(*item);
         out.push(FrequentItemset { items: prefix.clone(), support: tids.cardinality() });
-        let extensions = join_extensions(tids, &candidates[i + 1..], min_support);
+        let extensions = join_extensions(tids, &candidates[i + 1..], min_support, scratch);
         if !extensions.is_empty() {
-            dfs(&extensions, min_support, prefix, out);
+            dfs(&extensions, min_support, prefix, out, scratch);
         }
         prefix.pop();
     }
@@ -126,7 +132,8 @@ pub fn mine_vertical_with_tidsets<P: Posting>(
     let roots = frequent_roots(vertical, min_support);
     let mut out = Vec::new();
     let mut prefix = Vec::new();
-    dfs_tids(roots, min_support, &mut prefix, &mut out);
+    let mut scratch = P::from_sorted(&[]);
+    dfs_tids(roots, min_support, &mut prefix, &mut out, &mut scratch);
     canonicalize_tids(&mut out);
     Ok(out)
 }
@@ -160,7 +167,8 @@ pub fn mine_vertical_with_tidsets_scoped<P: Posting>(
     roots.sort_by_key(|(it, p)| (p.cardinality(), *it));
     let mut out = Vec::new();
     let mut prefix = Vec::new();
-    dfs_tids(roots, min_support, &mut prefix, &mut out);
+    let mut scratch = P::from_sorted(&[]);
+    dfs_tids(roots, min_support, &mut prefix, &mut out, &mut scratch);
     canonicalize_tids(&mut out);
     Ok(out)
 }
@@ -194,6 +202,9 @@ pub fn mine_vertical_with_tidsets_parallel<P: Posting + Send + Sync>(
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
+                    // One join buffer per worker, reused across all its
+                    // claimed subtrees.
+                    let mut scratch = P::from_sorted(&[]);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= roots.len() {
@@ -206,9 +217,10 @@ pub fn mine_vertical_with_tidsets_parallel<P: Posting + Send + Sync>(
                             FrequentItemset { items: prefix.clone(), support: tids.cardinality() },
                             tids.clone(),
                         ));
-                        let extensions = join_extensions(tids, &roots[i + 1..], min_support);
+                        let extensions =
+                            join_extensions(tids, &roots[i + 1..], min_support, &mut scratch);
                         if !extensions.is_empty() {
-                            dfs_tids(extensions, min_support, &mut prefix, &mut out);
+                            dfs_tids(extensions, min_support, &mut prefix, &mut out, &mut scratch);
                         }
                         local.push((i, out));
                     }
@@ -248,19 +260,20 @@ fn dfs_tids<P: Posting>(
     min_support: u64,
     prefix: &mut Vec<ItemId>,
     out: &mut Vec<(FrequentItemset, P)>,
+    scratch: &mut P,
 ) {
     for i in 0..candidates.len() {
         let extensions = {
             let (item, tids) = &candidates[i];
             prefix.push(*item);
-            join_extensions(tids, &candidates[i + 1..], min_support)
+            join_extensions(tids, &candidates[i + 1..], min_support, scratch)
         };
         // The node's tidset is done intersecting: move it into the output
         // instead of cloning it, leaving a cheap empty hole behind.
         let tids = std::mem::replace(&mut candidates[i].1, P::full(0));
         out.push((FrequentItemset { items: prefix.clone(), support: tids.cardinality() }, tids));
         if !extensions.is_empty() {
-            dfs_tids(extensions, min_support, prefix, out);
+            dfs_tids(extensions, min_support, prefix, out, scratch);
         }
         prefix.pop();
     }
