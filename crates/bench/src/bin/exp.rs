@@ -25,6 +25,11 @@
 //!                    kernel × representation × density grid; writes
 //!                    BENCH_bitmap_kernels.json (pass --smoke for a quick
 //!                    correctness-gated pass that skips the file write)
+//! cube-daemon  E19 — scubed loopback serving: closed-loop client sweep
+//!                    against a live daemon, gated on bit-identity with the
+//!                    in-process engine; writes BENCH_cube_serve_daemon.json
+//!                    (pass --smoke for a quick gate-only pass that skips
+//!                    the file write)
 //! all              — run everything
 //! ```
 //!
@@ -116,6 +121,10 @@ fn main() {
     }
     if run("bitmap-kernels") {
         bitmap_kernels_experiment(args.iter().any(|a| a == "--smoke"));
+        matched = true;
+    }
+    if run("cube-daemon") {
+        cube_daemon_experiment(args.iter().any(|a| a == "--smoke"));
         matched = true;
     }
     if !matched {
@@ -960,6 +969,172 @@ fn cube_serve_experiment() {
     );
     std::fs::write("BENCH_cube_serve.json", &json).expect("write BENCH_cube_serve.json");
     println!("\nwrote BENCH_cube_serve.json");
+}
+
+/// E19 — the `scubed` serving daemon over loopback: a closed-loop client
+/// sweep against a live [`scube::daemon::Daemon`], measuring end-to-end
+/// request throughput and latency percentiles (parse + route + engine +
+/// serialize + TCP round trip). Every timed request is compared
+/// byte-for-byte against a body pre-rendered from an in-process engine
+/// with the daemon's own serializers, so a throughput number can never be
+/// bought with a wrong answer. `--smoke` runs the bit-identity gate and a
+/// reduced sweep, and skips the file write.
+fn cube_daemon_experiment(smoke: bool) {
+    use minihttp::{percent_encode, HttpClient};
+    use scube::daemon::{self, Daemon, DaemonConfig};
+
+    banner("E19", "scubed loopback serving daemon (writes BENCH_cube_serve_daemon.json)");
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let companies = if smoke { 400 } else { 4000 };
+    let db = italy_final_table(companies);
+    let rows = db.len();
+    let minsup = (rows as u64 / 200).max(1);
+    let builder =
+        CubeBuilder::new().min_support(minsup).materialize(Materialize::ClosedOnly).parallel(true);
+    let snapshot: CubeSnapshot = CubeSnapshot::from_db(&db, &builder).expect("snapshot builds");
+
+    // Expected wire bodies, pre-rendered from an in-process engine with the
+    // daemon's own serializers: the loopback answers must match them
+    // byte-for-byte, both in the gate and inside every timed request.
+    let reference = ConcurrentCubeEngine::new(snapshot.clone());
+    let labels = reference.cube().labels().clone();
+    let mut cells: Vec<CellCoords> = snapshot.cube().cells().map(|(c, _)| c.clone()).collect();
+    cells.sort();
+    let workload: Vec<(String, String)> = cells
+        .iter()
+        .map(|coords| {
+            let name = |items: &[u32]| {
+                let pairs: Vec<String> = items
+                    .iter()
+                    .map(|&i| format!("{}={}", labels.attr_of(i), labels.value_of(i)))
+                    .collect();
+                percent_encode(&pairs.join(","))
+            };
+            let path = format!("/cubes/main/query?sa={}&ca={}", name(&coords.sa), name(&coords.ca));
+            let body = daemon::cell_json(&labels, coords, &reference.query(coords).unwrap());
+            (path, body)
+        })
+        .collect();
+
+    let client_sweep: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] };
+    // The daemon is thread-per-connection: give it one worker per client in
+    // the largest sweep point, plus slack for the gate connection.
+    let config = DaemonConfig {
+        workers: client_sweep.iter().max().copied().unwrap_or(1) + 2,
+        ..DaemonConfig::default()
+    };
+    let workers = config.workers;
+    let daemon = Daemon::bind("127.0.0.1:0", vec![("main".to_string(), snapshot.clone())], config)
+        .expect("daemon binds on loopback");
+    let addr = daemon.local_addr().expect("daemon addr").to_string();
+    let server = std::thread::spawn(move || daemon.run());
+
+    // Correctness gate: one pass over the whole workload before any timing.
+    let mut gate = HttpClient::connect(&addr).expect("gate connects");
+    for (path, expected) in &workload {
+        let resp = gate.get(path).expect("gate request");
+        assert_eq!(resp.status, 200, "gate request failed: {path}");
+        assert_eq!(resp.text().unwrap(), expected, "daemon diverged from in-process engine");
+    }
+    println!(
+        "rows: {rows}, min_support: {minsup}, workload: {} materialized cells \
+         (gate: all bit-identical over loopback)",
+        workload.len()
+    );
+
+    let per_client = if smoke { 200 } else { 5_000 };
+    let pct = |sorted: &[u64], q: f64| -> u64 {
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    };
+
+    let mut table = TextTable::new()
+        .header(["clients", "qps", "p50 us", "p95 us", "p99 us"])
+        .aligns(vec![Align::Right; 5]);
+    let (mut qps_col, mut p50_col, mut p95_col, mut p99_col) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for &clients in &client_sweep {
+        let t0 = Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|offset| {
+                    let (addr, workload) = (&addr, &workload);
+                    scope.spawn(move || {
+                        // Closed loop: each client owns one keep-alive
+                        // connection and drives it as fast as the daemon
+                        // answers, round-robin over the workload.
+                        let mut client = HttpClient::connect(addr).expect("client connects");
+                        let mut lats = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            let (path, expected) = &workload[(offset + i) % workload.len()];
+                            let t = Instant::now();
+                            let resp = client.get(path).expect("timed request");
+                            lats.push(t.elapsed().as_micros() as u64);
+                            assert_eq!(resp.text().unwrap(), expected, "timed request diverged");
+                        }
+                        lats
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+        let qps = latencies.len() as f64 / wall;
+        let (p50, p95, p99) = (pct(&latencies, 0.50), pct(&latencies, 0.95), pct(&latencies, 0.99));
+        table.row([
+            clients.to_string(),
+            format!("{qps:.0}"),
+            p50.to_string(),
+            p95.to_string(),
+            p99.to_string(),
+        ]);
+        qps_col.push(qps);
+        p50_col.push(p50);
+        p95_col.push(p95);
+        p99_col.push(p99);
+    }
+    print!("{}", table.render());
+
+    let mut admin = HttpClient::connect(&addr).expect("admin connects");
+    assert_eq!(admin.post("/shutdown", b"").expect("shutdown").status, 200);
+    server.join().expect("daemon thread").expect("daemon exits cleanly");
+
+    if smoke {
+        println!("smoke mode: bit-identity gate passed; skipping BENCH_cube_serve_daemon.json");
+        return;
+    }
+
+    let (best_i, best_qps) = qps_col
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| (i, q))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("sweep is non-empty");
+    println!("best: {best_qps:.0} req/s at {} clients", client_sweep[best_i]);
+
+    let ints = |xs: &[u64]| xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+    let host = host_json();
+    let json = format!(
+        "{{\n  \"experiment\": \"cube_serve_daemon\",\n  \"generated_by\": \
+         \"cargo run -p scube-bench --release --bin exp -- cube-daemon\",\n  \
+         \"host_threads\": {host_threads},\n  {host},\n  \"dataset\": \"italy\",\n  \
+         \"companies\": {companies},\n  \"rows\": {rows},\n  \"min_support\": {minsup},\n  \
+         \"workload_requests\": {uni},\n  \"daemon_workers\": {workers},\n  \
+         \"requests_per_client\": {per_client},\n  \"bit_identity_gate\": \"passed\",\n  \
+         \"client_sweep\": {{\"clients\": [{cs}], \"qps\": [{qs}], \"p50_us\": [{p50}], \
+         \"p95_us\": [{p95}], \"p99_us\": [{p99}]}},\n  \
+         \"best_qps\": {best_qps:.0},\n  \"best_clients\": {bc}\n}}\n",
+        uni = workload.len(),
+        cs = client_sweep.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
+        qs = qps_col.iter().map(|q| format!("{q:.0}")).collect::<Vec<_>>().join(", "),
+        p50 = ints(&p50_col),
+        p95 = ints(&p95_col),
+        p99 = ints(&p99_col),
+        bc = client_sweep[best_i],
+    );
+    std::fs::write("BENCH_cube_serve_daemon.json", &json)
+        .expect("write BENCH_cube_serve_daemon.json");
+    println!("\nwrote BENCH_cube_serve_daemon.json");
 }
 
 /// E17 — incremental cube maintenance under churn: fold append-only,

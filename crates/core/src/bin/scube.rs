@@ -482,11 +482,11 @@ impl Serving {
         }
     }
 
-    fn top_k(&self, index: SegIndex, k: usize, min_total: u64) -> scube_cube::RankedCells {
+    fn top_k(&self, index: SegIndex, k: usize, min_total: u64) -> Result<scube_cube::RankedCells> {
         match self {
-            Serving::Serial(e) => e.top_k(index, k, min_total),
+            Serving::Serial(e) => Ok(e.top_k(index, k, min_total)),
             Serving::Concurrent(e, threads) => {
-                e.top_k_batch(&[index], k, min_total, *threads).remove(0).1
+                Ok(e.top_k_batch(&[index], k, min_total, *threads)?.remove(0).1)
             }
         }
     }
@@ -566,7 +566,7 @@ fn run_query(args: &[String]) -> Result<String> {
             .map_err(|_| ScubeError::InvalidParameter("bad --min-total".into()))?;
         let rank = parse_rank(&flags)?;
         out.push(format!("top {k} by {rank} (population >= {min_total}):"));
-        for (coords, values, x) in engine.top_k(rank, k, min_total) {
+        for (coords, values, x) in engine.top_k(rank, k, min_total)? {
             out.push(format!(
                 "  {x:.4}  {}  (M={}, T={})",
                 engine.cube().labels().describe(&coords),

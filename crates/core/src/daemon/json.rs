@@ -1,0 +1,390 @@
+//! Hardened JSON for the serving daemon: a depth-capped, allocation-capped
+//! parser for untrusted request bodies, and escape/number helpers for
+//! building responses.
+//!
+//! The parser follows the wire-hardening discipline of the snapshot loader
+//! and `minihttp`: input size is already bounded by the HTTP body cap,
+//! nesting depth is bounded here, no buffer is preallocated from claimed
+//! sizes, and every malformed input yields an `Err(String)` — never a
+//! panic. Numbers keep their raw text so a value can round-trip bit-
+//! identically: Rust's `{}` formatting of `f64` is shortest-round-trip, so
+//! `format!("{x}").parse::<f64>()` recovers exactly `x`'s bits.
+
+/// Maximum nesting depth accepted from a request body.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw text (see module docs).
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order (duplicate keys are kept verbatim).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document from `text`.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member `key` of an object (first occurrence), if any.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (bit-identical to the producer's value when the
+    /// producer used shortest-round-trip formatting), if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".into());
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match bytes.get(*pos) {
+                    Some(b'"') => parse_string(bytes, pos)?,
+                    _ => return Err(format!("expected object key at offset {pos}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    // Validate the shape by parsing; the raw text is what we keep.
+    if raw.is_empty() || raw.parse::<f64>().is_err() {
+        return Err(format!("invalid number at offset {start}"));
+    }
+    Ok(Json::Num(raw.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = parse_hex4(bytes, *pos + 1)?;
+                        if (0xd800..0xdc00).contains(&cp) {
+                            // High surrogate: require a \uXXXX low surrogate.
+                            if bytes.get(*pos + 5) != Some(&b'\\')
+                                || bytes.get(*pos + 6) != Some(&b'u')
+                            {
+                                return Err("lone high surrogate".into());
+                            }
+                            let lo = parse_hex4(bytes, *pos + 7)?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return Err("invalid low surrogate".into());
+                            }
+                            let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                            out.push(char::from_u32(c).ok_or("invalid surrogate pair")?);
+                            *pos += 10;
+                        } else {
+                            out.push(char::from_u32(cp).ok_or("lone low surrogate")?);
+                            *pos += 4;
+                        }
+                    }
+                    _ => return Err("invalid escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => return Err("control byte in string".into()),
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid; find the char at this byte offset).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8".to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let mut v = 0u32;
+    for i in 0..4 {
+        let d = bytes
+            .get(at + i)
+            .and_then(|&b| (b as char).to_digit(16))
+            .ok_or("invalid \\u escape")?;
+        v = (v << 4) | d;
+    }
+    Ok(v)
+}
+
+/// Escape `s` as the contents of a JSON string (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` for a response: shortest-round-trip text for finite
+/// values (so the bits survive a JSON round trip), `null` otherwise.
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Format an optional `f64` (`None` → `null`).
+pub fn opt_num(x: Option<f64>) -> String {
+    match x {
+        Some(v) => num(v),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_update_shape() {
+        let j = Json::parse(
+            r#"{"add":[{"unit":"u0","values":[["sex","F"],["region","north"]]}],
+                "remove_tids":[1,2],"threads":4}"#,
+        )
+        .unwrap();
+        let add = j.get("add").unwrap().as_arr().unwrap();
+        assert_eq!(add.len(), 1);
+        assert_eq!(add[0].get("unit").unwrap().as_str(), Some("u0"));
+        let values = add[0].get("values").unwrap().as_arr().unwrap();
+        assert_eq!(values[1].as_arr().unwrap()[1].as_str(), Some("north"));
+        let tids: Vec<u64> = j
+            .get("remove_tids")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect();
+        assert_eq!(tids, vec![1, 2]);
+        assert_eq!(j.get("threads").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn numbers_round_trip_bit_identically() {
+        for x in [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -0.0, 123456.789e-12] {
+            let text = num(x);
+            let j = Json::parse(&text).unwrap();
+            assert_eq!(j.as_f64().unwrap().to_bits(), x.to_bits(), "{text}");
+        }
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        for s in ["plain", "with \"quotes\"", "tab\tnl\nbs\\", "unicode é 漢", "ctl\u{1}"] {
+            let doc = format!("\"{}\"", escape(s));
+            assert_eq!(Json::parse(&doc).unwrap().as_str(), Some(s), "{doc:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(Json::parse(r#""\u0041\u00e9""#).unwrap().as_str(), Some("Aé"));
+        // Surrogate pair for 😀 (U+1F600).
+        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap().as_str(), Some("😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(Json::parse(r#""\ude00x""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn depth_is_capped() {
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&deep).unwrap_err().contains("deep"));
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_documents_error_not_panic() {
+        for doc in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "+",
+            "-",
+            "1..2",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\u{0}",
+            "[1] trailing",
+            "{\"a\":1,}",
+            "\"\\u12\"",
+            "NaN",
+            "Infinity",
+        ] {
+            assert!(Json::parse(doc).is_err(), "{doc:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,932 @@
+//! `scubed`: the long-running serving daemon over [`ConcurrentCubeEngine`].
+//!
+//! A [`Daemon`] owns a registry of named cubes, each a [`CubeHandle`]
+//! pairing a *master* [`CubeSnapshot`] (the mutable owner that absorbs
+//! [`UpdateBatch`]es through the incremental `apply_update` maintenance
+//! path) with a *serving* engine behind an atomically swappable `Arc`.
+//! Readers clone the `Arc` (O(1), wait-free after the spinlock) and answer
+//! from an engine that never mutates, so a concurrent `POST /update` can
+//! never produce a torn answer: every response is bit-identical to either
+//! the complete pre-update or the complete post-update engine.
+//!
+//! # Endpoints
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | GET | `/healthz` | liveness probe |
+//! | GET | `/cubes` | registry listing |
+//! | GET | `/cubes/<name>/query?sa=a=v,..&ca=a=v,..` | one cell's indexes |
+//! | GET | `/cubes/<name>/topk?index=gini&k=10&min_total=1` | top-k ranking |
+//! | GET | `/cubes/<name>/slice?fixed=a=v,..` | slice view |
+//! | GET | `/cubes/<name>/dice?attrs=a,b` | dice view |
+//! | GET | `/cubes/<name>/breakdown?sa=a=v,..&ca=a=v,..` | per-unit drill-down |
+//! | GET | `/stats` | tier counters + per-endpoint request/latency counters |
+//! | POST | `/cubes/<name>/update` | apply an [`UpdateBatch`], hot-swap |
+//! | POST | `/shutdown` | graceful shutdown (drains in-flight requests) |
+//!
+//! With exactly one cube registered, `/query`, `/topk`, `/slice`, `/dice`,
+//! `/breakdown`, and `/update` are aliases for that cube's endpoints.
+//!
+//! # Robustness
+//!
+//! The HTTP layer (`minihttp`) never panics on wire bytes — malformed
+//! requests get structured 4xx responses. Request handlers additionally run
+//! under `catch_unwind`, so even a panicking handler costs one 500, never
+//! the process. Engine worker panics are already converted to errors inside
+//! `query_batch`/`top_k_batch`.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use minihttp::{percent_decode, HttpRequest, HttpResponse, HttpServer, RequestOutcome};
+use scube_common::{Result, ScubeError, SpinLock};
+use scube_cube::{
+    CellCoords, ConcurrentCubeEngine, CubeLabels, CubeSnapshot, QueryStats, UpdateBatch,
+    UpdateStats, DEFAULT_CACHE_CAPACITY, DEFAULT_SHARDS,
+};
+use scube_segindex::{IndexValues, SegIndex};
+
+pub mod json;
+
+use json::Json;
+
+/// Tuning knobs for a [`Daemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Accept/serve worker threads.
+    pub workers: usize,
+    /// Cache shards per engine (see [`ConcurrentCubeEngine::with_config`]).
+    pub shards: usize,
+    /// Per-engine fallback-cache weight budget.
+    pub cache_capacity: usize,
+    /// Worker threads for the dirty-cell re-evaluation phase of an update.
+    pub update_threads: usize,
+    /// Worker threads for ranking in `/topk` (clamped per request).
+    pub query_threads: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        DaemonConfig {
+            workers: host.clamp(2, 8),
+            shards: DEFAULT_SHARDS,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            update_threads: host.min(8),
+            query_threads: host.min(8),
+        }
+    }
+}
+
+/// One resident cube: master snapshot + hot-swappable serving engine.
+pub struct CubeHandle {
+    /// The mutable owner; `POST /update` applies batches here through the
+    /// incremental maintenance path, then publishes a fresh engine.
+    master: Mutex<CubeSnapshot>,
+    /// The engine readers answer from. Swapped atomically (under a brief
+    /// spinlock; readers only clone the `Arc`).
+    serving: SpinLock<Arc<ConcurrentCubeEngine>>,
+    /// Query-tier counters accumulated from engines retired by hot-swaps,
+    /// so `/stats` stays exact across swaps.
+    retired: Mutex<QueryStats>,
+    /// Number of successful hot-swaps.
+    swaps: AtomicU64,
+    shards: usize,
+    cache_capacity: usize,
+}
+
+impl CubeHandle {
+    fn new(snapshot: CubeSnapshot, config: &DaemonConfig) -> CubeHandle {
+        let engine = ConcurrentCubeEngine::with_config(
+            snapshot.clone(),
+            config.shards,
+            config.cache_capacity,
+        );
+        CubeHandle {
+            master: Mutex::new(snapshot),
+            serving: SpinLock::new(Arc::new(engine)),
+            retired: Mutex::new(QueryStats::default()),
+            swaps: AtomicU64::new(0),
+            shards: config.shards,
+            cache_capacity: config.cache_capacity,
+        }
+    }
+
+    /// The current serving engine (an O(1) `Arc` clone; the returned engine
+    /// keeps answering consistently even across a concurrent hot-swap).
+    pub fn engine(&self) -> Arc<ConcurrentCubeEngine> {
+        Arc::clone(&self.serving.lock())
+    }
+
+    /// Apply `batch` to the master snapshot and atomically publish a fresh
+    /// engine. Readers holding the old engine finish their in-flight
+    /// queries against it; new requests see the new engine.
+    pub fn update(&self, batch: &UpdateBatch, threads: usize) -> Result<UpdateStats> {
+        // A panic inside a previous update (after catch_unwind) poisons the
+        // mutex; keep serving rather than turning every later update into
+        // a 500 — apply_update validates inputs before mutating.
+        let mut master = self.master.lock().unwrap_or_else(|p| p.into_inner());
+        let stats = master.apply_update_threads(batch, threads)?;
+        let fresh =
+            ConcurrentCubeEngine::with_config(master.clone(), self.shards, self.cache_capacity);
+        let old = {
+            let mut serving = self.serving.lock();
+            std::mem::replace(&mut *serving, Arc::new(fresh))
+        };
+        self.accumulate_retired(&old.stats());
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    fn accumulate_retired(&self, s: &QueryStats) {
+        let mut retired = self.retired.lock().unwrap_or_else(|p| p.into_inner());
+        retired.materialized += s.materialized;
+        retired.cached += s.cached;
+        retired.explored += s.explored;
+        retired.breakdown_computed += s.breakdown_computed;
+        retired.breakdown_cached += s.breakdown_cached;
+    }
+
+    /// Exact lifetime query-tier counters: current engine + all retired.
+    pub fn lifetime_stats(&self) -> QueryStats {
+        let current = self.engine().stats();
+        let retired = self.retired.lock().unwrap_or_else(|p| p.into_inner());
+        QueryStats {
+            materialized: retired.materialized + current.materialized,
+            cached: retired.cached + current.cached,
+            explored: retired.explored + current.explored,
+            breakdown_computed: retired.breakdown_computed + current.breakdown_computed,
+            breakdown_cached: retired.breakdown_cached + current.breakdown_cached,
+        }
+    }
+
+    /// Hot-swaps performed so far.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+/// Endpoint identifiers for per-endpoint counters, in `/stats` order.
+const ENDPOINTS: [&str; 9] =
+    ["query", "topk", "slice", "dice", "breakdown", "stats", "update", "admin", "other"];
+
+const EP_QUERY: usize = 0;
+const EP_TOPK: usize = 1;
+const EP_SLICE: usize = 2;
+const EP_DICE: usize = 3;
+const EP_BREAKDOWN: usize = 4;
+const EP_STATS: usize = 5;
+const EP_UPDATE: usize = 6;
+const EP_ADMIN: usize = 7;
+const EP_OTHER: usize = 8;
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    micros: AtomicU64,
+}
+
+struct State {
+    cubes: Vec<(String, CubeHandle)>,
+    endpoints: [EndpointStats; 9],
+    config: DaemonConfig,
+    started: Instant,
+}
+
+impl State {
+    fn cube(&self, name: &str) -> Option<&CubeHandle> {
+        self.cubes.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The implicit cube for single-cube alias routes.
+    fn only_cube(&self) -> Option<&CubeHandle> {
+        match self.cubes.as_slice() {
+            [(_, handle)] => Some(handle),
+            _ => None,
+        }
+    }
+}
+
+/// The serving daemon. Bind, then either [`Daemon::run`] (blocks until a
+/// `POST /shutdown`) or drive it from tests via its bound address.
+pub struct Daemon {
+    server: Arc<HttpServer>,
+    state: Arc<State>,
+}
+
+impl Daemon {
+    /// Bind `addr` and build one serving engine per named snapshot.
+    ///
+    /// Names must be non-empty, unique, and URL-safe (`[A-Za-z0-9_-]`).
+    pub fn bind(
+        addr: &str,
+        cubes: Vec<(String, CubeSnapshot)>,
+        config: DaemonConfig,
+    ) -> Result<Daemon> {
+        if cubes.is_empty() {
+            return Err(ScubeError::InvalidParameter("no cubes to serve".into()));
+        }
+        let mut handles: Vec<(String, CubeHandle)> = Vec::with_capacity(cubes.len());
+        for (name, snapshot) in cubes {
+            if name.is_empty()
+                || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            {
+                return Err(ScubeError::InvalidParameter(format!(
+                    "cube name {name:?} is not URL-safe"
+                )));
+            }
+            if handles.iter().any(|(n, _)| *n == name) {
+                return Err(ScubeError::InvalidParameter(format!("duplicate cube {name:?}")));
+            }
+            handles.push((name, CubeHandle::new(snapshot, &config)));
+        }
+        let server = HttpServer::bind(addr)
+            .map_err(|e| ScubeError::Io { path: Some(addr.to_string()), source: e })?;
+        Ok(Daemon {
+            server: Arc::new(server),
+            state: Arc::new(State {
+                cubes: handles,
+                endpoints: Default::default(),
+                config,
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (useful with `--listen 127.0.0.1:0`).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.server
+            .local_addr()
+            .map_err(|e| ScubeError::Io { path: Some("listener".into()), source: e })
+    }
+
+    /// A handle that can stop the daemon from another thread.
+    pub fn stopper(&self) -> DaemonStopper {
+        DaemonStopper { server: Arc::clone(&self.server) }
+    }
+
+    /// Serve until shutdown. Spawns the configured worker threads and
+    /// joins them; each worker drains its in-flight connection before
+    /// exiting, so responses already being computed are always delivered.
+    pub fn run(self) -> Result<()> {
+        let workers = self.state.config.workers.max(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let server = &self.server;
+                    let state = &self.state;
+                    scope.spawn(move || worker_loop(server, state))
+                })
+                .collect();
+            for h in handles {
+                // A worker that somehow panicked outside catch_unwind must
+                // not abort shutdown of the rest.
+                let _ = h.join();
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Stops a [`Daemon`] from outside its serving threads.
+pub struct DaemonStopper {
+    server: Arc<HttpServer>,
+}
+
+impl DaemonStopper {
+    /// Begin graceful shutdown: acceptors stop, in-flight requests drain.
+    pub fn shutdown(&self) {
+        self.server.shutdown();
+    }
+}
+
+fn worker_loop(server: &HttpServer, state: &State) {
+    while let Ok(Some(mut conn)) = server.accept() {
+        loop {
+            match conn.next_request() {
+                Ok(RequestOutcome::Request(req)) => {
+                    let keep = req.keep_alive;
+                    let t0 = Instant::now();
+                    let (ep, resp) = dispatch_guarded(server, state, &req);
+                    let stats = &state.endpoints[ep];
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    if resp.status >= 400 {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    stats.micros.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    if conn.respond(&resp).is_err() {
+                        break;
+                    }
+                    if resp.close || !keep || server.is_shutting_down() {
+                        break;
+                    }
+                }
+                Ok(RequestOutcome::Idle) => {
+                    if server.is_shutting_down() {
+                        break;
+                    }
+                }
+                Ok(RequestOutcome::Closed) => break,
+                Ok(RequestOutcome::Malformed(e)) => {
+                    let stats = &state.endpoints[EP_OTHER];
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = conn.respond(&HttpResponse::from_error(&e));
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Route one request, converting handler panics into a 500 — a poisoned
+/// query must cost one response, never the process.
+fn dispatch_guarded(
+    server: &HttpServer,
+    state: &State,
+    req: &HttpRequest,
+) -> (usize, HttpResponse) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(server, state, req))) {
+        Ok(done) => done,
+        Err(_) => {
+            (EP_OTHER, HttpResponse::json(500, "{\"error\":\"handler panicked; request dropped\"}"))
+        }
+    }
+}
+
+fn dispatch(server: &HttpServer, state: &State, req: &HttpRequest) -> (usize, HttpResponse) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (cube, verb): (Option<&CubeHandle>, &str) = match segments.as_slice() {
+        ["cubes", name, verb] => match state.cube(name) {
+            Some(h) => (Some(h), *verb),
+            None => {
+                return (
+                    EP_OTHER,
+                    HttpResponse::json(
+                        404,
+                        format!("{{\"error\":\"no cube {}\"}}", json::escape(name)),
+                    ),
+                )
+            }
+        },
+        ["cubes"] => {
+            return match req.method.as_str() {
+                "GET" => (EP_ADMIN, list_cubes(state)),
+                _ => (EP_ADMIN, method_not_allowed()),
+            }
+        }
+        [verb] => (state.only_cube(), *verb),
+        _ => return (EP_OTHER, not_found()),
+    };
+    let endpoint = match verb {
+        "query" => EP_QUERY,
+        "topk" => EP_TOPK,
+        "slice" => EP_SLICE,
+        "dice" => EP_DICE,
+        "breakdown" => EP_BREAKDOWN,
+        "stats" => EP_STATS,
+        "update" => EP_UPDATE,
+        "healthz" | "shutdown" => EP_ADMIN,
+        _ => return (EP_OTHER, not_found()),
+    };
+    // Admin verbs that need no cube.
+    match (req.method.as_str(), verb) {
+        ("GET", "healthz") => return (endpoint, HttpResponse::text(200, "ok\n")),
+        ("POST", "shutdown") => {
+            server.shutdown();
+            return (endpoint, HttpResponse::text(200, "shutting down\n"));
+        }
+        ("GET", "stats") if segments.len() == 1 => return (endpoint, stats_response(state)),
+        _ => {}
+    }
+    let Some(handle) = cube else {
+        let msg = if state.cubes.len() > 1 {
+            "{\"error\":\"multiple cubes are loaded; use /cubes/<name>/...\"}"
+        } else {
+            "{\"error\":\"unknown path\"}"
+        };
+        return (endpoint, HttpResponse::json(404, msg));
+    };
+    let resp = match (req.method.as_str(), verb) {
+        ("GET", "query") => cell_query(handle, &req.query, false),
+        ("GET", "breakdown") => cell_query(handle, &req.query, true),
+        ("GET", "topk") => top_k(state, handle, &req.query),
+        ("GET", "slice") => slice(handle, &req.query),
+        ("GET", "dice") => dice(handle, &req.query),
+        ("GET", "stats") => cube_stats(handle),
+        ("POST", "update") => update(state, handle, &req.body),
+        _ => method_not_allowed(),
+    };
+    (endpoint, resp)
+}
+
+fn not_found() -> HttpResponse {
+    HttpResponse::json(404, "{\"error\":\"unknown path\"}")
+}
+
+fn method_not_allowed() -> HttpResponse {
+    HttpResponse::json(405, "{\"error\":\"method not allowed\"}")
+}
+
+fn bad_request(msg: &str) -> HttpResponse {
+    HttpResponse::json(400, format!("{{\"error\":\"{}\"}}", json::escape(msg)))
+}
+
+/// Map an engine error onto a status: caller mistakes are 4xx, everything
+/// else (I/O, inconsistent data, worker panics) is a 500.
+fn error_response(err: &ScubeError) -> HttpResponse {
+    let status = match err {
+        ScubeError::InvalidParameter(_) | ScubeError::Schema(_) | ScubeError::Csv { .. } => 400,
+        _ => 500,
+    };
+    HttpResponse::json(status, format!("{{\"error\":\"{}\"}}", json::escape(&err.to_string())))
+}
+
+// ---------------------------------------------------------------------------
+// Query-string handling
+// ---------------------------------------------------------------------------
+
+/// Decode `k=v&k2=v2` with percent-encoding; duplicates are rejected so a
+/// request can't smuggle two conflicting values for one parameter.
+fn query_params(raw: &str) -> std::result::Result<Vec<(String, String)>, String> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for piece in raw.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = piece.split_once('=').unwrap_or((piece, ""));
+        let k = percent_decode(k).ok_or_else(|| format!("bad percent-encoding in {piece:?}"))?;
+        let v = percent_decode(v).ok_or_else(|| format!("bad percent-encoding in {piece:?}"))?;
+        if out.iter().any(|(existing, _)| *existing == k) {
+            return Err(format!("duplicate parameter {k:?}"));
+        }
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+fn param<'a>(params: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Parse the CLI's `attr=value,attr=value` pair list (empty → empty list).
+fn pair_list(raw: &str) -> std::result::Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for piece in raw.split(',').filter(|p| !p.is_empty()) {
+        match piece.split_once('=') {
+            Some((a, v)) if !a.is_empty() && !v.is_empty() => {
+                out.push((a.to_string(), v.to_string()))
+            }
+            _ => return Err(format!("expected attr=value, got {piece:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn usize_param(
+    params: &[(String, String)],
+    key: &str,
+    default: usize,
+) -> std::result::Result<usize, String> {
+    match param(params, key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad {key}: {raw:?}")),
+    }
+}
+
+fn u64_param(
+    params: &[(String, String)],
+    key: &str,
+    default: u64,
+) -> std::result::Result<u64, String> {
+    match param(params, key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad {key}: {raw:?}")),
+    }
+}
+
+fn as_refs(pairs: &[(String, String)]) -> Vec<(&str, &str)> {
+    pairs.iter().map(|(a, v)| (a.as_str(), v.as_str())).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering (public so tests and the load generator can build the
+// expected bytes from an in-process engine and compare bit-for-bit)
+// ---------------------------------------------------------------------------
+
+/// Render one [`IndexValues`] as a JSON object. Floats use shortest-round-
+/// trip formatting, so parsing them back recovers identical bits.
+pub fn values_json(v: &IndexValues) -> String {
+    format!(
+        "{{\"dissimilarity\":{},\"gini\":{},\"information\":{},\"isolation\":{},\"interaction\":{},\"atkinson\":{},\"minority\":{},\"total\":{},\"num_units\":{}}}",
+        json::opt_num(v.dissimilarity),
+        json::opt_num(v.gini),
+        json::opt_num(v.information),
+        json::opt_num(v.isolation),
+        json::opt_num(v.interaction),
+        json::opt_num(v.atkinson),
+        v.minority,
+        v.total,
+        v.num_units,
+    )
+}
+
+/// Render cell coordinates as `{"sa":[["attr","value"],..],"ca":[..]}`
+/// (sorted item order, as stored).
+pub fn coords_json(labels: &CubeLabels, coords: &CellCoords) -> String {
+    let side = |items: &[u32]| {
+        let pairs: Vec<String> = items
+            .iter()
+            .map(|&item| {
+                format!(
+                    "[\"{}\",\"{}\"]",
+                    json::escape(labels.attr_of(item)),
+                    json::escape(labels.value_of(item))
+                )
+            })
+            .collect();
+        format!("[{}]", pairs.join(","))
+    };
+    format!("{{\"sa\":{},\"ca\":{}}}", side(&coords.sa), side(&coords.ca))
+}
+
+/// Render the body of a `/query` (or `/breakdown`) response.
+pub fn cell_json(labels: &CubeLabels, coords: &CellCoords, values: &IndexValues) -> String {
+    format!(
+        "{{\"cell\":{},\"describe\":\"{}\",\"values\":{}}}",
+        coords_json(labels, coords),
+        json::escape(&labels.describe(coords)),
+        values_json(values),
+    )
+}
+
+/// Render a `/breakdown` response: the cell plus per-unit counts.
+pub fn breakdown_json(
+    labels: &CubeLabels,
+    coords: &CellCoords,
+    rows: &[(u32, u64, u64)],
+) -> String {
+    let units: Vec<String> = rows
+        .iter()
+        .map(|&(unit, minority, total)| {
+            let name = labels.unit_names.get(unit as usize).map(|s| s.as_str()).unwrap_or("?");
+            format!("[\"{}\",{},{}]", json::escape(name), minority, total)
+        })
+        .collect();
+    format!("{{\"cell\":{},\"units\":[{}]}}", coords_json(labels, coords), units.join(","),)
+}
+
+/// Render a `/topk` response body for one index.
+pub fn topk_json(
+    labels: &CubeLabels,
+    index: SegIndex,
+    rows: &[(CellCoords, IndexValues, f64)],
+) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|(coords, values, score)| {
+            format!(
+                "{{\"cell\":{},\"score\":{},\"values\":{}}}",
+                coords_json(labels, coords),
+                json::num(*score),
+                values_json(values),
+            )
+        })
+        .collect();
+    format!("{{\"index\":\"{}\",\"rows\":[{}]}}", index.name(), rendered.join(","))
+}
+
+/// Render a `/slice` / `/dice` response body.
+pub fn cells_json(labels: &CubeLabels, cells: &[(CellCoords, IndexValues)]) -> String {
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|(coords, values)| {
+            format!(
+                "{{\"cell\":{},\"values\":{}}}",
+                coords_json(labels, coords),
+                values_json(values),
+            )
+        })
+        .collect();
+    format!("{{\"rows\":[{}]}}", rendered.join(","))
+}
+
+/// Render an [`UpdateStats`] as a JSON object.
+pub fn update_stats_json(s: &UpdateStats, swaps: u64) -> String {
+    format!(
+        "{{\"rows_added\":{},\"rows_removed\":{},\"new_items\":{},\"new_units\":{},\"dropped_items\":{},\"dropped_units\":{},\"dirty_cells\":{},\"promoted_cells\":{},\"demoted_cells\":{},\"clean_cells\":{},\"swaps\":{}}}",
+        s.rows_added,
+        s.rows_removed,
+        s.new_items,
+        s.new_units,
+        s.dropped_items,
+        s.dropped_units,
+        s.dirty_cells,
+        s.promoted_cells,
+        s.demoted_cells,
+        s.clean_cells,
+        swaps,
+    )
+}
+
+/// Render the query-tier counters of one cube.
+pub fn query_stats_json(s: &QueryStats) -> String {
+    format!(
+        "{{\"materialized\":{},\"cached\":{},\"explored\":{},\"breakdown_computed\":{},\"breakdown_cached\":{},\"total\":{}}}",
+        s.materialized, s.cached, s.explored, s.breakdown_computed, s.breakdown_cached, s.total(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+fn cell_query(handle: &CubeHandle, raw_query: &str, breakdown: bool) -> HttpResponse {
+    let params = match query_params(raw_query) {
+        Ok(p) => p,
+        Err(e) => return bad_request(&e),
+    };
+    let (sa, ca) = match (
+        pair_list(param(&params, "sa").unwrap_or("")),
+        pair_list(param(&params, "ca").unwrap_or("")),
+    ) {
+        (Ok(sa), Ok(ca)) => (sa, ca),
+        (Err(e), _) | (_, Err(e)) => return bad_request(&e),
+    };
+    let engine = handle.engine();
+    let coords = match engine.resolve(&as_refs(&sa), &as_refs(&ca)) {
+        Ok(c) => c,
+        Err(e) => return error_response(&e),
+    };
+    if breakdown {
+        let rows = engine.unit_breakdown(&coords);
+        HttpResponse::json(200, breakdown_json(engine.cube().labels(), &coords, &rows))
+    } else {
+        match engine.query(&coords) {
+            Ok(values) => {
+                HttpResponse::json(200, cell_json(engine.cube().labels(), &coords, &values))
+            }
+            Err(e) => error_response(&e),
+        }
+    }
+}
+
+fn top_k(state: &State, handle: &CubeHandle, raw_query: &str) -> HttpResponse {
+    let params = match query_params(raw_query) {
+        Ok(p) => p,
+        Err(e) => return bad_request(&e),
+    };
+    let raw_index = param(&params, "index").unwrap_or("dissimilarity");
+    let index = match SegIndex::parse(raw_index) {
+        Some(ix) => ix,
+        None => return bad_request(&format!("unknown index {raw_index:?}")),
+    };
+    let (k, min_total, threads) = match (
+        usize_param(&params, "k", 10),
+        u64_param(&params, "min_total", 1),
+        usize_param(&params, "threads", state.config.query_threads),
+    ) {
+        (Ok(k), Ok(m), Ok(t)) => (k, m, t),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return bad_request(&e),
+    };
+    let engine = handle.engine();
+    match engine.top_k_batch(&[index], k, min_total, threads) {
+        Ok(mut ranked) => {
+            let (index, rows) = ranked.remove(0);
+            HttpResponse::json(200, topk_json(engine.cube().labels(), index, &rows))
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+fn slice(handle: &CubeHandle, raw_query: &str) -> HttpResponse {
+    let params = match query_params(raw_query) {
+        Ok(p) => p,
+        Err(e) => return bad_request(&e),
+    };
+    let fixed = match pair_list(param(&params, "fixed").unwrap_or("")) {
+        Ok(f) => f,
+        Err(e) => return bad_request(&e),
+    };
+    let engine = handle.engine();
+    let cells = engine.slice(&as_refs(&fixed));
+    HttpResponse::json(200, cells_json(engine.cube().labels(), &cells))
+}
+
+fn dice(handle: &CubeHandle, raw_query: &str) -> HttpResponse {
+    let params = match query_params(raw_query) {
+        Ok(p) => p,
+        Err(e) => return bad_request(&e),
+    };
+    let attrs: Vec<&str> =
+        param(&params, "attrs").unwrap_or("").split(',').filter(|a| !a.is_empty()).collect();
+    let engine = handle.engine();
+    let cells = engine.dice(&attrs);
+    HttpResponse::json(200, cells_json(engine.cube().labels(), &cells))
+}
+
+fn cube_stats(handle: &CubeHandle) -> HttpResponse {
+    let engine = handle.engine();
+    HttpResponse::json(
+        200,
+        format!(
+            "{{\"cells\":{},\"units\":{},\"swaps\":{},\"tiers\":{}}}",
+            engine.cube().len(),
+            engine.cube().num_units(),
+            handle.swap_count(),
+            query_stats_json(&handle.lifetime_stats()),
+        ),
+    )
+}
+
+fn list_cubes(state: &State) -> HttpResponse {
+    let entries: Vec<String> = state
+        .cubes
+        .iter()
+        .map(|(name, handle)| {
+            let engine = handle.engine();
+            format!(
+                "{{\"name\":\"{}\",\"cells\":{},\"units\":{},\"swaps\":{}}}",
+                json::escape(name),
+                engine.cube().len(),
+                engine.cube().num_units(),
+                handle.swap_count(),
+            )
+        })
+        .collect();
+    HttpResponse::json(200, format!("{{\"cubes\":[{}]}}", entries.join(",")))
+}
+
+fn stats_response(state: &State) -> HttpResponse {
+    let endpoints: Vec<String> = ENDPOINTS
+        .iter()
+        .zip(&state.endpoints)
+        .map(|(name, s)| {
+            format!(
+                "\"{}\":{{\"requests\":{},\"errors\":{},\"micros\":{}}}",
+                name,
+                s.requests.load(Ordering::Relaxed),
+                s.errors.load(Ordering::Relaxed),
+                s.micros.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    let cubes: Vec<String> = state
+        .cubes
+        .iter()
+        .map(|(name, handle)| {
+            format!(
+                "\"{}\":{{\"swaps\":{},\"tiers\":{}}}",
+                json::escape(name),
+                handle.swap_count(),
+                query_stats_json(&handle.lifetime_stats()),
+            )
+        })
+        .collect();
+    HttpResponse::json(
+        200,
+        format!(
+            "{{\"uptime_us\":{},\"endpoints\":{{{}}},\"cubes\":{{{}}}}}",
+            state.started.elapsed().as_micros(),
+            endpoints.join(","),
+            cubes.join(","),
+        ),
+    )
+}
+
+/// Decode the `POST /update` body:
+/// `{"add":[{"unit":"u0","values":[["sex","F"],..]},..],
+///   "remove":[..same shape..],"remove_tids":[3,7],"threads":4}`.
+fn batch_from_json(doc: &Json) -> std::result::Result<(UpdateBatch, Option<usize>), String> {
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("body must be a JSON object".into());
+    }
+    if let Json::Obj(members) = doc {
+        for (key, _) in members {
+            if !matches!(key.as_str(), "add" | "remove" | "remove_tids" | "threads") {
+                return Err(format!("unknown field {key:?}"));
+            }
+        }
+    }
+    let mut batch = UpdateBatch::new();
+    for (field, removing) in [("add", false), ("remove", true)] {
+        let Some(rows) = doc.get(field) else { continue };
+        let rows = rows.as_arr().ok_or_else(|| format!("{field:?} must be an array"))?;
+        for row in rows {
+            let unit = row
+                .get("unit")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{field:?} row missing string \"unit\""))?;
+            let values = row
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("{field:?} row missing array \"values\""))?;
+            let mut pairs: Vec<(String, String)> = Vec::with_capacity(values.len());
+            for pair in values {
+                match pair.as_arr() {
+                    Some([a, v]) => match (a.as_str(), v.as_str()) {
+                        (Some(a), Some(v)) => pairs.push((a.to_string(), v.to_string())),
+                        _ => return Err("values entries must be [\"attr\",\"value\"]".into()),
+                    },
+                    _ => return Err("values entries must be [\"attr\",\"value\"]".into()),
+                }
+            }
+            if removing {
+                batch.remove_row(&pairs, unit);
+            } else {
+                batch.add_row(&pairs, unit);
+            }
+        }
+    }
+    if let Some(tids) = doc.get("remove_tids") {
+        let tids = tids.as_arr().ok_or("\"remove_tids\" must be an array")?;
+        for tid in tids {
+            let tid = tid
+                .as_u64()
+                .and_then(|t| u32::try_from(t).ok())
+                .ok_or("\"remove_tids\" entries must be u32")?;
+            batch.remove_tid(tid);
+        }
+    }
+    let threads = match doc.get("threads") {
+        None => None,
+        Some(t) => Some(
+            t.as_u64()
+                .and_then(|t| usize::try_from(t).ok())
+                .filter(|&t| t >= 1)
+                .ok_or("\"threads\" must be a positive integer")?,
+        ),
+    };
+    Ok((batch, threads))
+}
+
+fn update(state: &State, handle: &CubeHandle, body: &[u8]) -> HttpResponse {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return bad_request("body is not valid UTF-8"),
+    };
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return bad_request(&format!("bad JSON: {e}")),
+    };
+    let (batch, threads) = match batch_from_json(&doc) {
+        Ok(b) => b,
+        Err(e) => return bad_request(&e),
+    };
+    match handle.update(&batch, threads.unwrap_or(state.config.update_threads)) {
+        Ok(stats) => HttpResponse::json(200, update_stats_json(&stats, handle.swap_count())),
+        Err(e) => error_response(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_string_decoding() {
+        let params = query_params("sa=sex%3DF&ca=region%3Dnorth,ages%3Dold&k=5").unwrap();
+        assert_eq!(param(&params, "sa"), Some("sex=F"));
+        assert_eq!(
+            pair_list(param(&params, "ca").unwrap()).unwrap(),
+            vec![("region".into(), "north".into()), ("ages".into(), "old".into())]
+        );
+        assert_eq!(usize_param(&params, "k", 10).unwrap(), 5);
+        assert_eq!(usize_param(&params, "missing", 10).unwrap(), 10);
+
+        assert!(query_params("a=1&a=2").is_err(), "duplicates rejected");
+        assert!(query_params("bad=%zz").is_err(), "bad escapes rejected");
+        assert!(pair_list("novalue").is_err());
+        assert!(pair_list("=v").is_err());
+        assert!(usize_param(&[("k".into(), "x".into())], "k", 1).is_err());
+    }
+
+    #[test]
+    fn update_body_decoding() {
+        let doc = Json::parse(
+            r#"{"add":[{"unit":"u9","values":[["sex","F"]]}],
+                "remove":[{"unit":"u0","values":[["sex","M"]]}],
+                "remove_tids":[7],"threads":2}"#,
+        )
+        .unwrap();
+        let (batch, threads) = batch_from_json(&doc).unwrap();
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.num_removals(), 2);
+        assert_eq!(threads, Some(2));
+
+        for bad in [
+            r#"[]"#,
+            r#"{"unknown":1}"#,
+            r#"{"add":{}}"#,
+            r#"{"add":[{"values":[]}]}"#,
+            r#"{"add":[{"unit":"u","values":[["only-one"]]}]}"#,
+            r#"{"remove_tids":[-1]}"#,
+            r#"{"remove_tids":[4294967296]}"#,
+            r#"{"threads":0}"#,
+        ] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(batch_from_json(&doc).is_err(), "{bad} should fail");
+        }
+    }
+}

@@ -61,6 +61,7 @@
 //! assert_eq!(cell.dissimilarity, Some(1.0));
 //! ```
 
+pub mod daemon;
 pub mod inputs;
 pub mod pipeline;
 pub mod stats;
@@ -69,6 +70,7 @@ pub mod unit_assignment;
 pub mod visualizer;
 pub mod wizard;
 
+pub use daemon::{Daemon, DaemonConfig};
 pub use inputs::{Dataset, GroupsSpec, IndividualsSpec, MembershipSpec};
 pub use pipeline::{
     run, run_final_table, run_snapshots, snapshot, update, update_snapshot_file, update_threads,

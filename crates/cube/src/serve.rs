@@ -26,7 +26,7 @@
 //! update is lost under contention.
 
 use scube_bitmap::{EwahBitmap, Posting};
-use scube_common::{Result, SpinLock};
+use scube_common::{Result, ScubeError, SpinLock};
 use scube_data::TransactionDb;
 use scube_segindex::{IndexValues, SegIndex};
 
@@ -64,6 +64,25 @@ type Shard<V> = SpinLock<LruCache<CellCoords, V>>;
 fn clamp_threads(requested: usize, items: usize) -> usize {
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     requested.max(1).min((8 * host).max(8)).min(items.max(1))
+}
+
+/// Convert a worker-thread join result into an error instead of
+/// re-panicking. A long-running serving process must survive one poisoned
+/// query: the batch that hit the panic fails with
+/// [`ScubeError::Inconsistent`] (carrying the panic message), the engine
+/// stays healthy, and the panicked worker's scratch is simply not returned
+/// to the pool (the pool regrows on demand).
+fn join_worker<T>(joined: std::thread::Result<T>, what: &str) -> Result<T> {
+    joined.map_err(|payload| {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.as_str()
+        } else {
+            "non-string panic payload"
+        };
+        ScubeError::Inconsistent(format!("{what} worker panicked: {msg}"))
+    })
 }
 
 /// A `Sync` serving layer over a cube snapshot: shared-reference point,
@@ -387,7 +406,9 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+            // Every handle must be joined — an unjoined panicked scoped
+            // thread re-panics at scope exit, which would abort a daemon.
+            handles.into_iter().map(|h| join_worker(h.join(), "query").and_then(|r| r)).collect()
         });
         let mut out = Vec::with_capacity(coords.len());
         for r in results {
@@ -408,23 +429,27 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
     /// local top-k), and the partial rankings merge under the same total
     /// order — so even a single-index `--top` query parallelizes, and the
     /// output is bit-identical to the serial engine's, in `indexes` order.
+    ///
+    /// A panicking worker fails only this call with
+    /// [`ScubeError::Inconsistent`]; the engine stays healthy for later
+    /// queries.
     pub fn top_k_batch(
         &self,
         indexes: &[SegIndex],
         k: usize,
         min_total: u64,
         threads: usize,
-    ) -> Vec<(SegIndex, RankedCells)>
+    ) -> Result<Vec<(SegIndex, RankedCells)>>
     where
         P: Send + Sync,
     {
         let threads = clamp_threads(threads, self.cube.len());
         if threads == 1 || indexes.is_empty() {
-            return rank_cells(&self.cube, indexes, k, min_total);
+            return Ok(rank_cells(&self.cube, indexes, k, min_total));
         }
         let cells: Vec<(&CellCoords, &IndexValues)> = self.cube.cells().collect();
         let chunk = cells.len().div_ceil(threads);
-        let partials: Vec<Vec<(SegIndex, RankedCells)>> = std::thread::scope(|scope| {
+        let partials: Vec<Result<Vec<(SegIndex, RankedCells)>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = cells
                 .chunks(chunk)
                 .map(|chunk| {
@@ -432,21 +457,23 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
                         .spawn(move || rank_cell_list(chunk.iter().copied(), indexes, k, min_total))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("ranking worker panicked")).collect()
+            // Join every handle (see `query_batch`) so a panicking ranking
+            // worker becomes an error instead of aborting the process.
+            handles.into_iter().map(|h| join_worker(h.join(), "ranking")).collect()
         });
         // Each worker's local top-k contains every global top-k member of
         // its chunk, so concatenating and re-sorting loses nothing.
         let mut merged: Vec<(SegIndex, RankedCells)> =
             indexes.iter().map(|&ix| (ix, Vec::new())).collect();
         for partial in partials {
-            for ((_, rows), (_, out)) in partial.into_iter().zip(&mut merged) {
+            for ((_, rows), (_, out)) in partial?.into_iter().zip(&mut merged) {
                 out.extend(rows);
             }
         }
         for (_, rows) in &mut merged {
             sort_ranked(rows, k);
         }
-        merged
+        Ok(merged)
     }
 
     /// Slice: materialized cells fixing all the given `(attr, value)`
@@ -555,7 +582,7 @@ mod tests {
         let indexes =
             [SegIndex::Dissimilarity, SegIndex::Gini, SegIndex::Isolation, SegIndex::Atkinson];
         for threads in [1, 3, 8] {
-            let par = concurrent.top_k_batch(&indexes, 4, 1, threads);
+            let par = concurrent.top_k_batch(&indexes, 4, 1, threads).unwrap();
             let ser = serial.top_k_batch(&indexes, 4, 1);
             assert_eq!(par, ser, "threads {threads}");
             // A single index must also rank in parallel (the store is
@@ -563,7 +590,7 @@ mod tests {
             // including k = 0 (return all).
             for k in [0, 3] {
                 assert_eq!(
-                    concurrent.top_k_batch(&[SegIndex::Gini], k, 1, threads),
+                    concurrent.top_k_batch(&[SegIndex::Gini], k, 1, threads).unwrap(),
                     serial.top_k_batch(&[SegIndex::Gini], k, 1),
                     "single index, threads {threads}, k {k}"
                 );
@@ -633,6 +660,44 @@ mod tests {
         for (c, got) in coords.iter().zip(&batch) {
             assert_eq!(full.get(c), Some(got));
         }
+    }
+
+    /// Regression: a worker panic (here injected via a poisoned query whose
+    /// `ItemId` is out of range for the postings store) used to abort the
+    /// whole process through `.expect("query worker panicked")`. It must
+    /// instead fail only that batch with a proper error and leave the
+    /// engine healthy for subsequent queries.
+    #[test]
+    fn worker_panic_fails_batch_not_process() {
+        let (full, _, concurrent) = engines();
+        let good: Vec<CellCoords> = full.cells().map(|(c, _)| c.clone()).collect();
+        let poisoned = CellCoords::new(vec![u32::MAX - 1], vec![]);
+        assert!(full.get(&poisoned).is_none(), "poison must miss the store");
+
+        // Seed a batch with the poisoned query somewhere in the middle so a
+        // mid-stream worker panics while others succeed.
+        let mut batch: Vec<CellCoords> = good.clone();
+        batch.insert(good.len() / 2, poisoned.clone());
+        for threads in [2, 4, 8] {
+            let err = concurrent.query_batch(&batch, threads).unwrap_err();
+            assert!(
+                err.to_string().contains("worker panicked"),
+                "error should carry the panic: {err}"
+            );
+        }
+
+        // The engine is still healthy: every valid query answers, results
+        // stay bit-identical to the store, and ranking still works.
+        let after = concurrent.query_batch(&good, 4).unwrap();
+        for (c, got) in good.iter().zip(&after) {
+            assert_eq!(full.get(c), Some(got));
+        }
+        assert!(!concurrent.top_k_batch(&[SegIndex::Gini], 3, 1, 4).unwrap().is_empty());
+
+        // Single-threaded batches take the non-spawning path, where the
+        // same poison is a plain (catchable) panic in the calling thread —
+        // the daemon layer guards that with `catch_unwind`; here we only
+        // pin down that multi-threaded batches never re-panic.
     }
 
     #[test]

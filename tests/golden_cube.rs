@@ -197,7 +197,7 @@ fn serve_transcript_matches_golden() {
         ));
     }
     for (index, ranked) in
-        engine.top_k_batch(&[SegIndex::Dissimilarity, SegIndex::Gini], 3, MIN_SUPPORT, 2)
+        engine.top_k_batch(&[SegIndex::Dissimilarity, SegIndex::Gini], 3, MIN_SUPPORT, 2).unwrap()
     {
         out.push_str(&format!("top 3 by {index} (population >= {MIN_SUPPORT}):\n"));
         for (c, v, x) in ranked {

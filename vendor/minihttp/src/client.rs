@@ -1,0 +1,203 @@
+//! Blocking HTTP/1.1 client for loopback testing and load generation.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::parse::{parse_head, read_head, read_until, HeadRead, Limits};
+
+/// How long [`HttpClient::request`] waits for a complete response before
+/// giving up with `TimedOut`.
+const RESPONSE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Socket read timeout; bounds each poll of a pending response.
+const READ_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// A parsed response as seen by the client.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Lowercased header `(name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8, or `None` if it is not valid UTF-8.
+    pub fn text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    limits: Limits,
+}
+
+impl HttpClient {
+    /// Connect to `addr` (e.g. `"127.0.0.1:8080"`).
+    pub fn connect(addr: &str) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(HttpClient { stream, buf: Vec::new(), limits: Limits::default() })
+    }
+
+    /// Issue a `GET` and wait for the response.
+    pub fn get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", target, None)
+    }
+
+    /// Issue a `POST` with a body and wait for the response.
+    pub fn post(&mut self, target: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+        self.request("POST", target, Some(body))
+    }
+
+    /// Issue a request and block until the full response arrives (bounded by
+    /// an internal deadline). Malformed responses surface as
+    /// `InvalidData` I/O errors — the client never panics on wire bytes.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or(&[]);
+        let mut msg = format!(
+            "{method} {target} HTTP/1.1\r\nHost: scubed\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        msg.extend_from_slice(body);
+        self.stream.write_all(&msg)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let started = Instant::now();
+        let head_len = loop {
+            match read_head(&mut self.stream, &mut self.buf, &self.limits)? {
+                HeadRead::Head(n) => break n,
+                HeadRead::Idle => {
+                    if started.elapsed() > RESPONSE_DEADLINE {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "no response before deadline",
+                        ));
+                    }
+                }
+                HeadRead::Closed => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed connection before responding",
+                    ));
+                }
+                HeadRead::Failed(e) => return Err(invalid(&format!("bad response head: {e}"))),
+            }
+        };
+        let head = parse_head(&self.buf[..head_len], &self.limits)
+            .map_err(|e| invalid(&format!("bad response head: {e}")))?;
+        let status = parse_status_line(&head.start_line)
+            .ok_or_else(|| invalid(&format!("bad status line {:?}", head.start_line)))?;
+        let content_length: usize = match head.header("content-length") {
+            Some(v) => {
+                let n: u64 =
+                    v.parse().map_err(|_| invalid(&format!("bad Content-Length {v:?}")))?;
+                if n > self.limits.max_body as u64 {
+                    return Err(invalid("response body too large"));
+                }
+                n as usize
+            }
+            None => return Err(invalid("response missing Content-Length")),
+        };
+        let total = head_len + content_length;
+        read_until(&mut self.stream, &mut self.buf, total, &self.limits)?
+            .map_err(|e| invalid(&format!("truncated response body: {e}")))?;
+        let body = self.buf[head_len..total].to_vec();
+        self.buf.drain(..total);
+        Ok(ClientResponse { status, headers: head.headers, body })
+    }
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Parse `HTTP/1.x NNN reason` into the status code.
+fn parse_status_line(line: &str) -> Option<u16> {
+    let rest = line.strip_prefix("HTTP/1.")?;
+    let rest = rest.split_once(' ')?.1;
+    let code = rest.split(' ').next()?;
+    if code.len() != 3 {
+        return None;
+    }
+    code.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{HttpResponse, HttpServer, RequestOutcome};
+
+    #[test]
+    fn status_line_parsing() {
+        assert_eq!(parse_status_line("HTTP/1.1 200 OK"), Some(200));
+        assert_eq!(parse_status_line("HTTP/1.0 404 Not Found"), Some(404));
+        assert_eq!(parse_status_line("HTTP/1.1 200"), Some(200));
+        assert_eq!(parse_status_line("SMTP 200 OK"), None);
+        assert_eq!(parse_status_line("HTTP/1.1 2000 OK"), None);
+    }
+
+    #[test]
+    fn keep_alive_round_trips_and_shutdown() {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let server = std::sync::Arc::new(server);
+        let srv = std::sync::Arc::clone(&server);
+        let handle = std::thread::spawn(move || {
+            let mut served = 0u32;
+            while let Ok(Some(mut conn)) = srv.accept() {
+                loop {
+                    match conn.next_request() {
+                        Ok(RequestOutcome::Request(req)) => {
+                            served += 1;
+                            let body = format!("echo:{}?{}", req.path, req.query);
+                            conn.respond(&HttpResponse::text(200, body)).unwrap();
+                            if !req.keep_alive {
+                                break;
+                            }
+                        }
+                        Ok(RequestOutcome::Idle) => {
+                            if srv.is_shutting_down() {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            served
+        });
+        let mut client = HttpClient::connect(&addr).unwrap();
+        for i in 0..5 {
+            let resp = client.get(&format!("/p{i}?n={i}")).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.text().unwrap(), format!("echo:/p{i}?n={i}"));
+        }
+        let resp = client.post("/body", b"12345").unwrap();
+        assert_eq!(resp.status, 200);
+        server.shutdown();
+        drop(client);
+        assert_eq!(handle.join().unwrap(), 6);
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline in-tree substitute for an HTTP crate: a minimal, dependency-free
+//! HTTP/1.1 layer for loopback serving.
+//!
+//! The build environment has no network access, so — like `vendor/rand` and
+//! `vendor/proptest` — this crate vendors just enough of the protocol for the
+//! `scubed` daemon and its tests: a blocking threaded server, a blocking
+//! client, and a hardened request parser. It is deliberately *not* a general
+//! HTTP implementation: no TLS, no chunked transfer encoding (rejected with
+//! `501`), no HTTP/2.
+//!
+//! # Hardening discipline
+//!
+//! Every byte that arrives over the wire is untrusted. The parser follows the
+//! same discipline as the snapshot loader's `PREALLOC_CAP`: declared lengths
+//! are *claims*, so preallocation from them is capped, every limit violation
+//! becomes a structured [`RequestError`] (mapped to a 4xx/5xx response by the
+//! caller), and no input — truncated, oversized, or corrupt — may panic or
+//! over-allocate. See [`Limits`] for the caps.
+//!
+//! # Example (loopback round trip)
+//!
+//! ```
+//! use minihttp::{HttpClient, HttpResponse, HttpServer, RequestOutcome};
+//!
+//! let server = HttpServer::bind("127.0.0.1:0").unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = std::thread::spawn(move || {
+//!     if let Ok(Some(mut conn)) = server.accept() {
+//!         if let Ok(RequestOutcome::Request(req)) = conn.next_request() {
+//!             assert_eq!(req.path, "/ping");
+//!             conn.respond(&HttpResponse::text(200, "pong")).unwrap();
+//!         }
+//!     }
+//! });
+//! let mut client = HttpClient::connect(&addr.to_string()).unwrap();
+//! let resp = client.get("/ping").unwrap();
+//! assert_eq!(resp.status, 200);
+//! assert_eq!(resp.body, b"pong");
+//! drop(client);
+//! handle.join().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod client;
+mod parse;
+mod server;
+
+pub use client::{ClientResponse, HttpClient};
+pub use parse::{Limits, RequestError};
+pub use server::{HttpConn, HttpRequest, HttpResponse, HttpServer, RequestOutcome};
+
+/// Percent-encode a string for use inside a URL query component.
+///
+/// Unreserved characters (`A-Z a-z 0-9 - _ . ~`) pass through; everything
+/// else (including `+`, `=`, `&`, and spaces) is emitted as `%XX`.
+///
+/// ```
+/// assert_eq!(minihttp::percent_encode("a b&c=1"), "a%20b%26c%3D1");
+/// ```
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
+                out.push(char::from_digit((b & 0xf) as u32, 16).unwrap().to_ascii_uppercase());
+            }
+        }
+    }
+    out
+}
+
+/// Percent-decode a URL query component. `+` decodes to a space.
+///
+/// Returns `None` on malformed escapes (`%` not followed by two hex digits)
+/// or when the decoded bytes are not valid UTF-8 — callers must treat that
+/// as a client error, never a panic.
+///
+/// ```
+/// assert_eq!(minihttp::percent_decode("a%20b%26c"), Some("a b&c".to_string()));
+/// assert_eq!(minihttp::percent_decode("bad%2"), None);
+/// ```
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = (bytes.get(i + 1).copied()? as char).to_digit(16)?;
+                let lo = (bytes.get(i + 2).copied()? as char).to_digit(16)?;
+                out.push(((hi << 4) | lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_ascii() {
+        for s in ["", "plain", "a b", "x=y&z", "100%", "~._-"] {
+            assert_eq!(percent_decode(&percent_encode(s)).as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated_escape() {
+        assert_eq!(percent_decode("%"), None);
+        assert_eq!(percent_decode("%4"), None);
+        assert_eq!(percent_decode("%zz"), None);
+        assert_eq!(percent_decode("ok%"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(s in ".{0,64}") {
+            prop_assert_eq!(percent_decode(&percent_encode(&s)), Some(s));
+        }
+
+        #[test]
+        fn decode_never_panics(s in ".{0,64}") {
+            let _ = percent_decode(&s);
+        }
+    }
+}

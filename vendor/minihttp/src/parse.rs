@@ -1,0 +1,401 @@
+//! Hardened byte-level reading and parsing of HTTP/1.1 message heads.
+//!
+//! Everything here treats the peer as untrusted: declared lengths are claims,
+//! preallocation from them is capped at [`PREALLOC_FLOOR`], all caps are
+//! enforced before allocation, and every violation is a [`RequestError`]
+//! carrying the status code the peer should see — never a panic.
+
+use std::io::{ErrorKind, Read};
+use std::time::{Duration, Instant};
+
+/// Preallocation cap for length-driven buffers, mirroring the snapshot
+/// loader's `PREALLOC_CAP`: a peer may *claim* any Content-Length up to
+/// [`Limits::max_body`], but we only pre-reserve up to this many bytes and
+/// let the buffer grow as real bytes actually arrive.
+pub(crate) const PREALLOC_FLOOR: usize = 1 << 16;
+
+/// Size of the fixed stack chunk used for socket reads.
+const READ_CHUNK: usize = 4096;
+
+/// Caps applied to every inbound HTTP message.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers, terminator included.
+    pub max_head: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum accepted body length in bytes.
+    pub max_body: usize,
+    /// Wall-clock budget for receiving one complete message once its first
+    /// byte has arrived. Idle keep-alive waiting is not counted.
+    pub message_deadline: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: 16 * 1024,
+            max_headers: 64,
+            max_body: 16 * 1024 * 1024,
+            message_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A malformed or over-limit message, with the HTTP status the peer should
+/// see and a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Suggested response status (400, 408, 413, 431, 501, or 505).
+    pub status: u16,
+    /// What was wrong with the message.
+    pub reason: String,
+}
+
+impl RequestError {
+    pub(crate) fn new(status: u16, reason: impl Into<String>) -> Self {
+        RequestError { status, reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.reason)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Result of trying to read one complete message head from a connection.
+pub(crate) enum HeadRead {
+    /// A full head terminated by `\r\n\r\n`; the value is the byte length of
+    /// the head *including* the terminator (the head occupies `buf[..len]`).
+    Head(usize),
+    /// The peer closed the connection cleanly before sending anything.
+    Closed,
+    /// No bytes arrived within one read-timeout window and none are pending;
+    /// the caller decides whether to keep waiting or give up.
+    Idle,
+    /// The bytes received so far cannot be a valid message head.
+    Failed(RequestError),
+}
+
+fn is_timeout(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Read from `stream` into `buf` until `buf` contains a full `\r\n\r\n`
+/// terminated head, honouring [`Limits::max_head`] and the message deadline.
+///
+/// `buf` may already hold bytes from a previous read (keep-alive
+/// pipelining); those count toward the head. The deadline starts at the
+/// first byte of *this* message, so an idle keep-alive connection is
+/// reported as [`HeadRead::Idle`], not an error.
+pub(crate) fn read_head<S: Read>(
+    stream: &mut S,
+    buf: &mut Vec<u8>,
+    limits: &Limits,
+) -> std::io::Result<HeadRead> {
+    let mut started: Option<Instant> = if buf.is_empty() { None } else { Some(Instant::now()) };
+    let mut scanned = 0usize;
+    loop {
+        if let Some(end) = find_terminator(&buf[..], &mut scanned) {
+            return Ok(HeadRead::Head(end));
+        }
+        if buf.len() > limits.max_head {
+            return Ok(HeadRead::Failed(RequestError::new(431, "request head too large")));
+        }
+        if let Some(t0) = started {
+            if t0.elapsed() > limits.message_deadline {
+                return Ok(HeadRead::Failed(RequestError::new(408, "request head timed out")));
+            }
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Ok(if buf.is_empty() {
+                    HeadRead::Closed
+                } else {
+                    HeadRead::Failed(RequestError::new(400, "connection closed mid-head"))
+                });
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                started.get_or_insert_with(Instant::now);
+            }
+            Err(e) if is_timeout(e.kind()) => {
+                if started.is_none() {
+                    return Ok(HeadRead::Idle);
+                }
+                // Partial head pending: keep polling until the deadline.
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Incrementally scan for `\r\n\r\n`, resuming from `*scanned` so repeated
+/// calls over a growing buffer stay linear overall.
+fn find_terminator(buf: &[u8], scanned: &mut usize) -> Option<usize> {
+    let start = scanned.saturating_sub(3);
+    for i in start..buf.len().saturating_sub(3) {
+        if &buf[i..i + 4] == b"\r\n\r\n" {
+            return Some(i + 4);
+        }
+    }
+    *scanned = buf.len();
+    None
+}
+
+/// Read from `stream` until `buf` holds at least `want` bytes.
+///
+/// `want` has already been validated against [`Limits::max_body`]; this only
+/// enforces the message deadline and detects truncation. Preallocation is
+/// capped at [`PREALLOC_FLOOR`] — the buffer grows with real bytes, so a
+/// crafted huge Content-Length cannot balloon memory before data arrives.
+pub(crate) fn read_until(
+    stream: &mut impl Read,
+    buf: &mut Vec<u8>,
+    want: usize,
+    limits: &Limits,
+) -> std::io::Result<Result<(), RequestError>> {
+    let started = Instant::now();
+    if want > buf.len() {
+        buf.reserve((want - buf.len()).min(PREALLOC_FLOOR));
+    }
+    while buf.len() < want {
+        if started.elapsed() > limits.message_deadline {
+            return Ok(Err(RequestError::new(408, "request body timed out")));
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Ok(Err(RequestError::new(400, "connection closed mid-body")));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(e.kind()) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// A parsed message head: the start line plus lowercased header pairs.
+pub(crate) struct Head {
+    pub start_line: String,
+    /// Header `(name, value)` pairs; names are lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Head {
+    /// First value of header `name` (already lowercase), if present.
+    pub(crate) fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse the bytes of a head (terminator included) into start line + headers.
+pub(crate) fn parse_head(bytes: &[u8], limits: &Limits) -> Result<Head, RequestError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| RequestError::new(400, "head is not valid UTF-8"))?;
+    let text = text
+        .strip_suffix("\r\n\r\n")
+        .ok_or_else(|| RequestError::new(400, "head missing CRLF terminator"))?;
+    let mut lines = text.split("\r\n");
+    let start_line = lines.next().unwrap_or("").to_string();
+    if start_line.is_empty() {
+        return Err(RequestError::new(400, "empty start line"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= limits.max_headers {
+            return Err(RequestError::new(431, "too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::new(400, "header line missing colon"))?;
+        if name.is_empty()
+            || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(RequestError::new(400, "invalid header name"));
+        }
+        let value = value.trim();
+        if value.bytes().any(|b| b < 0x20 && b != b'\t') {
+            return Err(RequestError::new(400, "control byte in header value"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
+    }
+    Ok(Head { start_line: start_line.to_string(), headers })
+}
+
+/// The validated pieces of a request head the server acts on.
+#[derive(Debug)]
+pub(crate) struct RequestHead {
+    pub method: String,
+    pub target: String,
+    pub keep_alive: bool,
+    pub content_length: usize,
+}
+
+/// Validate a request start line + headers against the limits.
+pub(crate) fn parse_request_head(
+    head: &Head,
+    limits: &Limits,
+) -> Result<RequestHead, RequestError> {
+    let mut parts = head.start_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(RequestError::new(400, "malformed request line")),
+    };
+    if method.is_empty() || method.len() > 16 || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(RequestError::new(400, "invalid method"));
+    }
+    if !target.starts_with('/') || !target.bytes().all(|b| (0x21..=0x7e).contains(&b)) {
+        return Err(RequestError::new(400, "invalid request target"));
+    }
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(RequestError::new(505, "unsupported HTTP version")),
+    };
+    if head.header("transfer-encoding").is_some() {
+        return Err(RequestError::new(501, "transfer encoding not supported"));
+    }
+    if head.headers.iter().filter(|(n, _)| n == "content-length").count() > 1 {
+        return Err(RequestError::new(400, "duplicate Content-Length"));
+    }
+    let content_length = match head.header("content-length") {
+        None => 0,
+        Some(v) => {
+            let n: u64 = v.parse().map_err(|_| RequestError::new(400, "invalid Content-Length"))?;
+            if n > limits.max_body as u64 {
+                return Err(RequestError::new(413, "body too large"));
+            }
+            n as usize
+        }
+    };
+    let keep_alive = match head.header("connection").map(|v| v.to_ascii_lowercase()) {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => keep_alive_default,
+    };
+    Ok(RequestHead {
+        method: method.to_string(),
+        target: target.to_string(),
+        keep_alive,
+        content_length,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lim() -> Limits {
+        Limits::default()
+    }
+
+    fn head_of(raw: &str) -> Result<RequestHead, RequestError> {
+        let h = parse_head(raw.as_bytes(), &lim())?;
+        parse_request_head(&h, &lim())
+    }
+
+    #[test]
+    fn parses_minimal_get() {
+        let h = head_of("GET /x?a=1 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(h.method, "GET");
+        assert_eq!(h.target, "/x?a=1");
+        assert!(h.keep_alive);
+        assert_eq!(h.content_length, 0);
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        assert!(!head_of("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(head_of("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().keep_alive);
+        assert!(!head_of("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().keep_alive);
+    }
+
+    #[test]
+    fn rejects_bad_request_lines() {
+        for (raw, status) in [
+            ("GET /\r\n\r\n", 400),
+            ("GET / HTTP/1.1 extra\r\n\r\n", 400),
+            ("get / HTTP/1.1\r\n\r\n", 400),
+            ("GET x HTTP/1.1\r\n\r\n", 400),
+            ("GET /a b HTTP/1.1\r\n\r\n", 400),
+            ("GET / HTTP/2.0\r\n\r\n", 505),
+            ("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            ("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400),
+            ("GET / HTTP/1.1\r\n: novalue\r\n\r\n", 400),
+        ] {
+            assert_eq!(head_of(raw).unwrap_err().status, status, "input {raw:?}");
+        }
+    }
+
+    #[test]
+    fn content_length_is_validated() {
+        assert_eq!(
+            head_of("POST / HTTP/1.1\r\nContent-Length: 12\r\n\r\n").unwrap().content_length,
+            12
+        );
+        for raw in [
+            "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: twelve\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+        ] {
+            assert_eq!(head_of(raw).unwrap_err().status, 400, "input {raw:?}");
+        }
+        assert_eq!(
+            head_of("POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n").unwrap_err().status,
+            413
+        );
+    }
+
+    #[test]
+    fn header_count_is_capped() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            raw.push_str(&format!("H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(head_of(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn read_head_detects_truncation_and_oversize() {
+        let mut buf = Vec::new();
+        // Closed mid-head (reader yields some bytes then EOF).
+        let mut stream: &[u8] = b"GET / HT";
+        match read_head(&mut stream, &mut buf, &lim()).unwrap() {
+            HeadRead::Failed(e) => assert_eq!(e.status, 400),
+            _ => panic!("expected failure"),
+        }
+        // Clean close before any bytes.
+        let mut empty: &[u8] = b"";
+        buf.clear();
+        match read_head(&mut empty, &mut buf, &lim()).unwrap() {
+            HeadRead::Closed => {}
+            _ => panic!("expected Closed"),
+        }
+        // Head larger than the cap.
+        let big = vec![b'a'; 20 * 1024];
+        let mut stream: &[u8] = &big;
+        buf.clear();
+        match read_head(&mut stream, &mut buf, &lim()).unwrap() {
+            HeadRead::Failed(e) => assert_eq!(e.status, 431),
+            _ => panic!("expected failure"),
+        }
+    }
+
+    #[test]
+    fn read_until_reports_truncated_body() {
+        let mut stream: &[u8] = b"abc";
+        let mut buf = Vec::new();
+        let err = read_until(&mut stream, &mut buf, 10, &lim()).unwrap().unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+}

@@ -1,0 +1,415 @@
+//! Blocking HTTP/1.1 server side: listener with graceful shutdown, and a
+//! per-connection request/response loop over any `Read + Write` transport.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::parse::{
+    parse_head, parse_request_head, read_head, read_until, HeadRead, Limits, RequestError,
+};
+
+/// How long a blocked `accept` or socket read sleeps before re-checking the
+/// shutdown flag. Short enough that shutdown feels instant, long enough to
+/// stay off the profiler.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// A listening socket with cooperative shutdown.
+///
+/// `accept` never blocks indefinitely: the listener runs in non-blocking
+/// mode and polls a shutdown flag, so any thread can call [`HttpServer::shutdown`]
+/// and every acceptor unblocks within one poll interval.
+pub struct HttpServer {
+    listener: TcpListener,
+    closing: AtomicBool,
+    limits: Limits,
+}
+
+impl HttpServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port).
+    pub fn bind(addr: &str) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(HttpServer { listener, closing: AtomicBool::new(false), limits: Limits::default() })
+    }
+
+    /// Replace the default parser [`Limits`].
+    pub fn with_limits(mut self, limits: Limits) -> HttpServer {
+        self.limits = limits;
+        self
+    }
+
+    /// The bound socket address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept the next connection, or `None` once [`HttpServer::shutdown`]
+    /// has been called. Safe to call from many worker threads at once.
+    pub fn accept(&self) -> std::io::Result<Option<HttpConn<TcpStream>>> {
+        loop {
+            if self.closing.load(Ordering::Acquire) {
+                return Ok(None);
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+                    return Ok(Some(HttpConn::new(stream, self.limits.clone())));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Ask every acceptor to stop. In-flight connections are unaffected;
+    /// each worker drains its current connection before exiting.
+    pub fn shutdown(&self) {
+        self.closing.store(true, Ordering::Release);
+    }
+
+    /// Whether [`HttpServer::shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.closing.load(Ordering::Acquire)
+    }
+}
+
+/// One parsed inbound request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, before any `?`.
+    pub path: String,
+    /// Raw query string after `?` (empty when absent); still percent-encoded.
+    pub query: String,
+    /// Lowercased header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless Content-Length was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// What [`HttpConn::next_request`] produced.
+pub enum RequestOutcome {
+    /// A complete, well-formed request.
+    Request(HttpRequest),
+    /// Peer closed the connection cleanly between requests.
+    Closed,
+    /// Nothing arrived within one poll interval; the caller decides whether
+    /// to keep waiting (and can check its shutdown flag in between).
+    Idle,
+    /// The peer sent bytes that cannot be a valid request. The caller should
+    /// send an error response ([`HttpResponse::from_error`]) and drop the
+    /// connection.
+    Malformed(RequestError),
+}
+
+/// An accepted connection. Generic over the transport so parser behaviour is
+/// testable against in-memory streams; production use is `TcpStream`.
+pub struct HttpConn<S> {
+    stream: S,
+    buf: Vec<u8>,
+    limits: Limits,
+}
+
+impl<S: std::io::Read + Write> HttpConn<S> {
+    /// Wrap a transport. For `TcpStream` prefer [`HttpServer::accept`],
+    /// which also configures the read timeout that drives `Idle`.
+    pub fn new(stream: S, limits: Limits) -> HttpConn<S> {
+        HttpConn { stream, buf: Vec::new(), limits }
+    }
+
+    /// Read the next request off the connection.
+    ///
+    /// Handles keep-alive and pipelining: bytes beyond the current message
+    /// are kept for the next call. All parse failures are returned as
+    /// [`RequestOutcome::Malformed`] — this never panics on wire input.
+    pub fn next_request(&mut self) -> std::io::Result<RequestOutcome> {
+        let head_len = match read_head(&mut self.stream, &mut self.buf, &self.limits)? {
+            HeadRead::Head(n) => n,
+            HeadRead::Closed => return Ok(RequestOutcome::Closed),
+            HeadRead::Idle => return Ok(RequestOutcome::Idle),
+            HeadRead::Failed(e) => return Ok(RequestOutcome::Malformed(e)),
+        };
+        let parsed = parse_head(&self.buf[..head_len], &self.limits)
+            .and_then(|h| parse_request_head(&h, &self.limits).map(|r| (h, r)));
+        let (head, req) = match parsed {
+            Ok(p) => p,
+            Err(e) => return Ok(RequestOutcome::Malformed(e)),
+        };
+        let total = head_len + req.content_length;
+        if req.content_length > 0 {
+            match read_until(&mut self.stream, &mut self.buf, total, &self.limits)? {
+                Ok(()) => {}
+                Err(e) => return Ok(RequestOutcome::Malformed(e)),
+            }
+        }
+        let body = self.buf[head_len..total].to_vec();
+        self.buf.drain(..total);
+        let (path, query) = match req.target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (req.target.clone(), String::new()),
+        };
+        Ok(RequestOutcome::Request(HttpRequest {
+            method: req.method,
+            path,
+            query,
+            headers: head.headers,
+            body,
+            keep_alive: req.keep_alive,
+        }))
+    }
+
+    /// Write a response. Errors are plain I/O errors (peer went away).
+    pub fn respond(&mut self, resp: &HttpResponse) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            resp.status,
+            reason_phrase(resp.status),
+            resp.content_type,
+            resp.body.len(),
+            if resp.close { "close" } else { "keep-alive" },
+        )
+        .into_bytes();
+        head.extend_from_slice(&resp.body);
+        self.stream.write_all(&head)?;
+        self.stream.flush()
+    }
+}
+
+/// An outbound response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Value for the `Content-Type` header.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Send `Connection: close` and let the caller drop the connection.
+    pub close: bool,
+}
+
+impl HttpResponse {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain",
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// The error response for a malformed request; marks the connection for
+    /// closing since framing can no longer be trusted.
+    pub fn from_error(err: &RequestError) -> HttpResponse {
+        let mut r = HttpResponse::text(err.status, format!("{}\n", err.reason));
+        r.close = true;
+        r
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Status",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// In-memory transport: reads from a canned script, discards writes.
+    struct Script {
+        input: std::io::Cursor<Vec<u8>>,
+        out: Vec<u8>,
+    }
+
+    impl Script {
+        fn new(input: &[u8]) -> Script {
+            Script { input: std::io::Cursor::new(input.to_vec()), out: Vec::new() }
+        }
+    }
+
+    impl std::io::Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Script {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.out.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn conn(input: &[u8]) -> HttpConn<Script> {
+        HttpConn::new(Script::new(input), Limits::default())
+    }
+
+    #[test]
+    fn parses_pipelined_requests() {
+        let mut c = conn(
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyzGET /c?k=v HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        match c.next_request().unwrap() {
+            RequestOutcome::Request(r) => {
+                assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/a"));
+                assert!(r.keep_alive);
+            }
+            _ => panic!("want request"),
+        }
+        match c.next_request().unwrap() {
+            RequestOutcome::Request(r) => {
+                assert_eq!((r.method.as_str(), r.path.as_str()), ("POST", "/b"));
+                assert_eq!(r.body, b"xyz");
+            }
+            _ => panic!("want request"),
+        }
+        match c.next_request().unwrap() {
+            RequestOutcome::Request(r) => {
+                assert_eq!(r.query, "k=v");
+                assert!(!r.keep_alive);
+            }
+            _ => panic!("want request"),
+        }
+        match c.next_request().unwrap() {
+            RequestOutcome::Closed => {}
+            _ => panic!("want closed"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_malformed_not_panic() {
+        let mut c = conn(b"POST /u HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort");
+        match c.next_request().unwrap() {
+            RequestOutcome::Malformed(e) => assert_eq!(e.status, 400),
+            _ => panic!("want malformed"),
+        }
+    }
+
+    #[test]
+    fn huge_content_length_is_rejected_without_allocating() {
+        // Larger than u64: unparseable, 400.
+        let mut c = conn(b"POST /u HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n");
+        match c.next_request().unwrap() {
+            RequestOutcome::Malformed(e) => assert_eq!(e.status, 400),
+            _ => panic!("want malformed"),
+        }
+        // Fits in u64 but over the body cap: 413, with no allocation made.
+        let mut c = conn(b"POST /u HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\n");
+        match c.next_request().unwrap() {
+            RequestOutcome::Malformed(e) => assert_eq!(e.status, 413),
+            _ => panic!("want malformed"),
+        }
+        let mut c = conn(b"POST /u HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+        match c.next_request().unwrap() {
+            RequestOutcome::Malformed(e) => assert_eq!(e.status, 413),
+            _ => panic!("want malformed"),
+        }
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let mut c = conn(b"GET / HTTP/1.1\r\n\r\n");
+        let _ = c.next_request().unwrap();
+        c.respond(&HttpResponse::json(200, "{\"ok\":true}")).unwrap();
+        let out = String::from_utf8(c.stream.out.clone()).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.contains("Content-Length: 11\r\n"), "{out}");
+        assert!(out.ends_with("\r\n\r\n{\"ok\":true}"), "{out}");
+    }
+
+    /// A canonical valid request to mutate.
+    const SEED: &[u8] = b"POST /cubes/main/update HTTP/1.1\r\nHost: x\r\nContent-Length: 14\r\n\r\n{\"remove\":[]}\n";
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Satellite-2 property: any byte-level corruption of a valid
+        /// request either still parses (harmless mutation), reads as
+        /// closed/idle, or yields a structured Malformed with a 4xx/5xx
+        /// status — never a panic, never an over-read.
+        #[test]
+        fn mutated_requests_never_panic(
+            muts in proptest::collection::vec((0usize..SEED.len(), any::<u8>()), 1..8),
+            cut in 0usize..SEED.len(),
+        ) {
+            let mut bytes = SEED.to_vec();
+            for (pos, val) in muts {
+                bytes[pos] = val;
+            }
+            bytes.truncate(SEED.len() - cut);
+            let mut c = conn(&bytes);
+            // Drain every outcome the connection can produce; success is
+            // simply "no panic and termination".
+            for _ in 0..4 {
+                match c.next_request() {
+                    Ok(RequestOutcome::Request(_)) => continue,
+                    Ok(RequestOutcome::Closed) | Ok(RequestOutcome::Idle) => break,
+                    Ok(RequestOutcome::Malformed(e)) => {
+                        prop_assert!((400..600).contains(&e.status));
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+
+        /// Random garbage (not derived from a valid request) must likewise
+        /// produce only structured outcomes.
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut c = conn(&bytes);
+            for _ in 0..4 {
+                match c.next_request() {
+                    Ok(RequestOutcome::Request(_)) => continue,
+                    _ => break,
+                }
+            }
+        }
+    }
+}
