@@ -30,6 +30,13 @@
 //!                    in-process engine; writes BENCH_cube_serve_daemon.json
 //!                    (pass --smoke for a quick gate-only pass that skips
 //!                    the file write)
+//! cube-scale   E20 — the data-scale axis: datagen streams up to 10⁶
+//!                    final-table rows to CSV, the bounded-memory ingest
+//!                    encodes them, and the saved v4 snapshot is served
+//!                    heap-loaded vs mmap-opened — every number gated on
+//!                    bit-identity between the two paths; writes
+//!                    BENCH_cube_scale.json (pass --smoke for a quick
+//!                    gate-only pass that skips the file write)
 //! all              — run everything
 //! ```
 //!
@@ -125,6 +132,10 @@ fn main() {
     }
     if run("cube-daemon") {
         cube_daemon_experiment(args.iter().any(|a| a == "--smoke"));
+        matched = true;
+    }
+    if run("cube-scale") {
+        cube_scale_experiment(args.iter().any(|a| a == "--smoke"));
         matched = true;
     }
     if !matched {
@@ -818,6 +829,199 @@ fn cube_query_experiment() {
     );
     std::fs::write("BENCH_cube_query.json", &json).expect("write BENCH_cube_query.json");
     println!("\nwrote BENCH_cube_query.json");
+}
+
+/// E20 — the data-scale axis, end to end: `scube_datagen` streams a
+/// final table (up to 10⁶ rows, one per board seat, one unit per company)
+/// straight to CSV, `FinalTableSpec::load_csv` ingests it with bounded
+/// memory, the closed cube builds and saves a v4 snapshot, and serving is
+/// compared heap-loaded vs mmap-opened. Every recorded number is gated on
+/// bit-identity between the two paths: re-encoded bytes, every
+/// materialized cell value, and the answers to a mixed
+/// materialized + fallback workload (the fallback tier recomputes from
+/// the snapshot's postings, so the mapped run exercises the zero-copy
+/// views). Written to `BENCH_cube_scale.json`.
+fn cube_scale_experiment(smoke: bool) {
+    banner("E20", "cube scale: streamed ingest + mmap serving (writes BENCH_cube_scale.json)");
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let query_threads = 4usize.min(host_threads);
+    // Company counts; at mean board size 2.8 the largest is ~10⁶ rows.
+    let scales: &[usize] = if smoke { &[2_000] } else { &[45_000, 180_000, 360_000] };
+    let dir = std::env::temp_dir().join(format!("scube_e20_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let best_of = |reps: usize, f: &mut dyn FnMut()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let mut table = TextTable::new()
+        .header(["rows", "snapshot", "build", "heap load", "mmap open", "heap q/s", "mmap q/s"])
+        .aligns(vec![
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    let mut records = String::new();
+    for &n in scales {
+        let csv = dir.join(format!("scale_{n}.csv"));
+        let snap_path = dir.join(format!("scale_{n}.snap"));
+
+        let t0 = Instant::now();
+        let stats =
+            scube_datagen::write_final_table_csv(scube_datagen::BoardsConfig::italy(n), &csv)
+                .expect("datagen streams");
+        let datagen_s = t0.elapsed().as_secs_f64();
+        let csv_bytes = std::fs::metadata(&csv).expect("csv written").len();
+
+        let spec = scube_datagen::final_table_spec();
+        let t0 = Instant::now();
+        let db = spec.load_csv(&csv).expect("streaming ingest");
+        let ingest_s = t0.elapsed().as_secs_f64();
+        let rows = db.len();
+        assert_eq!(rows, stats.n_rows, "ingest must see every emitted row");
+
+        let minsup = (rows as u64 / 200).max(1);
+        let builder = CubeBuilder::new()
+            .min_support(minsup)
+            .materialize(Materialize::ClosedOnly)
+            .parallel(true);
+        let t0 = Instant::now();
+        let snapshot: CubeSnapshot = CubeSnapshot::from_db(&db, &builder).expect("snapshot builds");
+        let build_s = t0.elapsed().as_secs_f64();
+        let cells = snapshot.cube().len();
+
+        let t0 = Instant::now();
+        snapshot.save(&snap_path).expect("snapshot saves");
+        let save_s = t0.elapsed().as_secs_f64();
+        let snapshot_bytes = std::fs::metadata(&snap_path).expect("snapshot written").len();
+        drop(snapshot);
+        drop(db);
+
+        let heap_load_s = best_of(3, &mut || {
+            let snap: CubeSnapshot = CubeSnapshot::load(&snap_path).expect("heap load");
+            drop(snap);
+        });
+        let mmap_open_s = best_of(3, &mut || {
+            let snap: CubeSnapshot = CubeSnapshot::open_mmap(&snap_path).expect("mmap open");
+            drop(snap);
+        });
+
+        // --- Bit-identity gates: nothing below is recorded unless the
+        // mapped path is indistinguishable from the heap path. ---
+        let heap: CubeSnapshot = CubeSnapshot::load(&snap_path).expect("heap load");
+        let mapped: CubeSnapshot = CubeSnapshot::open_mmap(&snap_path).expect("mmap open");
+        assert_eq!(
+            heap.to_bytes(),
+            mapped.to_bytes(),
+            "mapped snapshot must re-encode bit-identically"
+        );
+        for (coords, v) in heap.cube().cells() {
+            assert_eq!(mapped.cube().get(coords), Some(v), "mapped cube diverged at a cell");
+        }
+
+        // Workload: every materialized cell plus its CA-parent projections
+        // (frequent by anti-monotonicity, usually not closed, so they are
+        // served by posting recomputation — the tier the mapping must feed).
+        let mut workload: Vec<CellCoords> = heap.cube().cells().map(|(c, _)| c.clone()).collect();
+        let mut seen: std::collections::HashSet<CellCoords> = workload.iter().cloned().collect();
+        let mut fallback_cells = 0usize;
+        for (c, _) in heap.cube().cells() {
+            if c.ca.is_empty() {
+                continue;
+            }
+            let mut parent = c.clone();
+            parent.ca.pop();
+            if heap.cube().get(&parent).is_none() && seen.insert(parent.clone()) {
+                fallback_cells += 1;
+                workload.push(parent);
+            }
+        }
+        workload.sort();
+
+        let heap_engine = ConcurrentCubeEngine::new(heap);
+        let mapped_engine = ConcurrentCubeEngine::new(mapped);
+        let heap_answers =
+            heap_engine.query_batch(&workload, query_threads).expect("heap queries succeed");
+        let mapped_answers =
+            mapped_engine.query_batch(&workload, query_threads).expect("mapped queries succeed");
+        assert_eq!(heap_answers, mapped_answers, "mapped serving diverged from heap serving");
+
+        let qps = |engine: &ConcurrentCubeEngine| -> f64 {
+            let secs = best_of(3, &mut || {
+                std::hint::black_box(
+                    engine.query_batch(&workload, query_threads).expect("queries succeed"),
+                );
+            });
+            workload.len() as f64 / secs
+        };
+        let heap_qps = qps(&heap_engine);
+        let mapped_qps = qps(&mapped_engine);
+
+        table.row([
+            rows.to_string(),
+            format!("{:.1} MB", snapshot_bytes as f64 / 1e6),
+            format!("{build_s:.2} s"),
+            format!("{:.1} ms", heap_load_s * 1e3),
+            format!("{:.2} ms", mmap_open_s * 1e3),
+            format!("{heap_qps:.0}"),
+            format!("{mapped_qps:.0}"),
+        ]);
+        println!(
+            "  {n} companies: {rows} rows ({} directors), csv {:.1} MB in {datagen_s:.2} s, \
+             ingest {ingest_s:.2} s, {cells} cells, workload {} ({fallback_cells} fallback)",
+            stats.n_directors,
+            csv_bytes as f64 / 1e6,
+            workload.len(),
+        );
+
+        if !records.is_empty() {
+            records.push_str(",\n");
+        }
+        records.push_str(&format!(
+            "    {{\"dataset\": \"italy_final_table\", \"companies\": {n}, \"rows\": {rows}, \
+             \"directors\": {dirs}, \"units\": {n}, \"csv_bytes\": {csv_bytes}, \
+             \"datagen_s\": {datagen_s:.6}, \"datagen_rows_per_s\": {dgr:.0}, \
+             \"ingest_s\": {ingest_s:.6}, \"ingest_rows_per_s\": {igr:.0}, \
+             \"min_support\": {minsup}, \"build_s\": {build_s:.6}, \"cells\": {cells}, \
+             \"save_s\": {save_s:.6}, \"snapshot_bytes\": {snapshot_bytes}, \
+             \"heap_load_s\": {heap_load_s:.6}, \"mmap_open_s\": {mmap_open_s:.6}, \
+             \"open_speedup\": {ospd:.1}, \"workload_cells\": {wl}, \
+             \"fallback_cells\": {fallback_cells}, \"query_threads\": {query_threads}, \
+             \"heap_qps\": {heap_qps:.0}, \"mmap_qps\": {mapped_qps:.0}, \
+             \"bit_identical\": true}}",
+            dirs = stats.n_directors,
+            dgr = rows as f64 / datagen_s,
+            igr = rows as f64 / ingest_s,
+            ospd = heap_load_s / mmap_open_s,
+            wl = workload.len(),
+        ));
+    }
+    print!("{}", table.render());
+    std::fs::remove_dir_all(&dir).ok();
+
+    if smoke {
+        println!("smoke mode: bit-identity gates passed; skipping BENCH_cube_scale.json");
+        return;
+    }
+
+    let host = host_json();
+    let json = format!(
+        "{{\n  \"experiment\": \"cube_scale\",\n  \"generated_by\": \
+         \"cargo run -p scube-bench --release --bin exp -- cube-scale\",\n  \
+         \"host_threads\": {host_threads},\n  {host},\n  \"scales\": [\n{records}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_cube_scale.json", &json).expect("write BENCH_cube_scale.json");
+    println!("\nwrote BENCH_cube_scale.json ({} scales)", scales.len());
 }
 
 /// E16 — concurrent sharded serving: one `ConcurrentCubeEngine` shared by

@@ -25,6 +25,7 @@
 //! `crates/cube/tests/adaptive_pipeline.rs`).
 
 use crate::{kernels, DenseBitmap, EwahBitmap, Posting, TidVec};
+use scube_common::mmap::ByteRegion;
 
 /// Sets at or below this cardinality always stay id vectors: at ≤ 64 ids a
 /// linear scan beats any decompression setup cost.
@@ -196,6 +197,55 @@ impl Posting for AdaptivePosting {
             return None;
         };
         Some((posting, used + 1))
+    }
+
+    fn write_slot(&self, out: &mut Vec<u8>) {
+        // v4 slots are 8-aligned, so the inner representation's tag rides
+        // in a full little-endian u64 header word (low byte = the inner
+        // SERIAL_TAG), keeping the inner word table aligned too.
+        match self {
+            A::Ewah(e) => {
+                out.extend_from_slice(&u64::from(EwahBitmap::SERIAL_TAG).to_le_bytes());
+                e.write_slot(out);
+            }
+            A::Dense(d) => {
+                out.extend_from_slice(&u64::from(DenseBitmap::SERIAL_TAG).to_le_bytes());
+                d.write_slot(out);
+            }
+            A::Tids(t) => {
+                out.extend_from_slice(&u64::from(TidVec::SERIAL_TAG).to_le_bytes());
+                t.write_slot(out);
+            }
+        }
+    }
+
+    fn read_slot(bytes: &[u8], card: u64) -> Option<Self> {
+        let tag = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+        let rest = &bytes[8..];
+        match u8::try_from(tag).ok()? {
+            t if t == EwahBitmap::SERIAL_TAG => Some(A::Ewah(EwahBitmap::read_slot(rest, card)?)),
+            t if t == DenseBitmap::SERIAL_TAG => {
+                Some(A::Dense(DenseBitmap::read_slot(rest, card)?))
+            }
+            t if t == TidVec::SERIAL_TAG => Some(A::Tids(TidVec::read_slot(rest, card)?)),
+            _ => None,
+        }
+    }
+
+    fn map_slot(region: ByteRegion, card: u64, universe: u32) -> Option<Self> {
+        let header = region.slice(0, 8)?;
+        let tag = u64::from_le_bytes(header.as_slice().try_into().ok()?);
+        let inner = region.slice(8, region.len() - 8)?;
+        match u8::try_from(tag).ok()? {
+            t if t == EwahBitmap::SERIAL_TAG => {
+                Some(A::Ewah(EwahBitmap::map_slot(inner, card, universe)?))
+            }
+            t if t == DenseBitmap::SERIAL_TAG => {
+                Some(A::Dense(DenseBitmap::map_slot(inner, card, universe)?))
+            }
+            t if t == TidVec::SERIAL_TAG => Some(A::Tids(TidVec::map_slot(inner, card, universe)?)),
+            _ => None,
+        }
     }
 
     fn full(n: u32) -> Self {

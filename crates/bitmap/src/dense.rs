@@ -9,11 +9,16 @@
 //! `and_cardinality`.
 
 use crate::{kernels, EwahBitmap, Posting};
+use scube_common::mmap::{ByteRegion, MappedSlice, Store};
 
 /// A plain, zero-extended bitset.
+///
+/// The word table lives in a [`Store`]: heap-owned normally, borrowed from
+/// a mapped snapshot on the [`Posting::map_slot`] path; mutators copy a
+/// mapped table onto the heap first.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DenseBitmap {
-    words: Vec<u64>,
+    words: Store<u64>,
 }
 
 impl DenseBitmap {
@@ -24,34 +29,36 @@ impl DenseBitmap {
 
     /// Empty bitset with room for ids `< nbits` without reallocating.
     pub fn with_capacity(nbits: usize) -> Self {
-        DenseBitmap { words: Vec::with_capacity(nbits.div_ceil(64)) }
+        DenseBitmap { words: Vec::with_capacity(nbits.div_ceil(64)).into() }
     }
 
     /// Set bit `id` (grows as needed).
     pub fn insert(&mut self, id: u32) {
         let w = id as usize / 64;
-        if w >= self.words.len() {
-            self.words.resize(w + 1, 0);
+        let words = self.words.vec_mut();
+        if w >= words.len() {
+            words.resize(w + 1, 0);
         }
-        self.words[w] |= 1 << (id % 64);
+        words[w] |= 1 << (id % 64);
     }
 
     /// Clear bit `id` (no-op when out of range).
     pub fn remove(&mut self, id: u32) {
         let w = id as usize / 64;
         if w < self.words.len() {
-            self.words[w] &= !(1 << (id % 64));
+            self.words.vec_mut()[w] &= !(1 << (id % 64));
         }
     }
 
     /// Reset all bits, keeping capacity (workhorse-collection pattern).
     pub fn clear(&mut self) {
-        self.words.clear();
+        self.words.vec_mut().clear();
     }
 
-    /// Heap bytes used.
+    /// Heap bytes used (0 when the words are served from a mapped
+    /// snapshot).
     pub fn heap_bytes(&self) -> usize {
-        self.words.capacity() * 8
+        self.words.heap_capacity() * 8
     }
 
     /// Convert to the compressed representation (bulk block classification,
@@ -65,7 +72,7 @@ impl DenseBitmap {
     /// Build from a compressed bitmap (bulk word decompression, not
     /// per-bit inserts).
     pub fn from_ewah(e: &EwahBitmap) -> Self {
-        DenseBitmap { words: e.to_dense_words() }
+        DenseBitmap { words: e.to_dense_words().into() }
     }
 
     /// Wrap raw words, trimming trailing zeros to the canonical form.
@@ -73,7 +80,7 @@ impl DenseBitmap {
         while words.last() == Some(&0) {
             words.pop();
         }
-        DenseBitmap { words }
+        DenseBitmap { words: words.into() }
     }
 
     /// The raw zero-extended words.
@@ -82,8 +89,11 @@ impl DenseBitmap {
     }
 
     fn trim(&mut self) {
-        while self.words.last() == Some(&0) {
-            self.words.pop();
+        if self.words.last() == Some(&0) {
+            let words = self.words.vec_mut();
+            while words.last() == Some(&0) {
+                words.pop();
+            }
         }
     }
 }
@@ -93,7 +103,7 @@ impl Posting for DenseBitmap {
 
     fn write_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.words.len() as u32).to_le_bytes());
-        for &w in &self.words {
+        for &w in self.words.iter() {
             out.extend_from_slice(&w.to_le_bytes());
         }
     }
@@ -104,7 +114,45 @@ impl Posting for DenseBitmap {
         let body = bytes.get(4..end)?;
         let words: Vec<u64> =
             body.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
-        Some((DenseBitmap { words }, end))
+        Some((DenseBitmap { words: words.into() }, end))
+    }
+
+    fn write_slot(&self, out: &mut Vec<u8>) {
+        // The v4 slot is the bare zero-extended word table.
+        for &w in self.words.iter() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn read_slot(bytes: &[u8], card: u64) -> Option<Self> {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        let words: Vec<u64> =
+            bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        // Canonical form stores no trailing zero words, and the directory
+        // cardinality must match the set bits.
+        if words.last() == Some(&0) || kernels::popcount_words(&words) != card {
+            return None;
+        }
+        Some(DenseBitmap { words: words.into() })
+    }
+
+    fn map_slot(region: ByteRegion, _card: u64, universe: u32) -> Option<Self> {
+        let words = MappedSlice::<u64>::new(region)?;
+        let max_words = u64::from(universe).div_ceil(64);
+        if words.len() as u64 > max_words || words.last() == Some(&0) {
+            return None;
+        }
+        // Only the final word can carry bits at or above the bound.
+        let tail_bits = u64::from(universe) % 64;
+        if tail_bits != 0
+            && words.len() as u64 == max_words
+            && words.last().is_some_and(|&w| w >> tail_bits != 0)
+        {
+            return None;
+        }
+        Some(DenseBitmap { words: words.into() })
     }
 
     fn full(n: u32) -> Self {
@@ -113,7 +161,7 @@ impl Posting for DenseBitmap {
         if !nbits.is_multiple_of(64) {
             words.push((1u64 << (nbits % 64)) - 1);
         }
-        DenseBitmap { words }
+        DenseBitmap { words: words.into() }
     }
 
     fn from_sorted(ids: &[u32]) -> Self {
@@ -150,9 +198,7 @@ impl Posting for DenseBitmap {
         }
         // Word-clears may strand all-zero trailing words; trim them so the
         // encoding matches a from-scratch build of the surviving ids.
-        while self.words.last() == Some(&0) {
-            self.words.pop();
-        }
+        self.trim();
     }
 
     fn and(&self, other: &Self) -> Self {
@@ -184,15 +230,17 @@ impl Posting for DenseBitmap {
 
     fn and_into(&self, other: &Self, out: &mut Self) {
         let n = self.words.len().min(other.words.len());
-        out.words.clear();
-        out.words.resize(n, 0);
-        kernels::map2_into(&self.words, &other.words, &mut out.words, |a, b| a & b);
+        let dst = out.words.vec_mut();
+        dst.clear();
+        dst.resize(n, 0);
+        kernels::map2_into(&self.words, &other.words, dst, |a, b| a & b);
         out.trim();
     }
 
     fn and_assign(&mut self, other: &Self) {
-        self.words.truncate(other.words.len());
-        kernels::map2_in_place(&mut self.words, &other.words, |a, b| a & b);
+        let words = self.words.vec_mut();
+        words.truncate(other.words.len());
+        kernels::map2_in_place(words, &other.words, |a, b| a & b);
         self.trim();
     }
 

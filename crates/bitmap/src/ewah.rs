@@ -15,6 +15,7 @@
 //! `O(stored words)` without decompressing to a dense form.
 
 use crate::Posting;
+use scube_common::mmap::{ByteRegion, MappedSlice, Store};
 
 const RUN_MAX: u64 = (1 << 32) - 1;
 const LIT_MAX: u64 = (1 << 31) - 1;
@@ -31,9 +32,14 @@ fn decode_marker(m: u64) -> (bool, u64, u64) {
 }
 
 /// An EWAH-compressed bitmap over `u32` ids.
+///
+/// The word stream lives in a [`Store`]: heap-owned on the build and
+/// update paths, borrowed straight from a mapped snapshot on the
+/// [`Posting::map_slot`] path. All kernels read through `&[u64]`, so they
+/// cannot tell the difference.
 #[derive(Debug, Clone, Default)]
 pub struct EwahBitmap {
-    words: Vec<u64>,
+    words: Store<u64>,
     card: u64,
 }
 
@@ -327,7 +333,7 @@ impl Appender {
         if self.marker_pos > 0 && self.words[self.marker_pos] == 0 {
             self.words.pop();
         }
-        EwahBitmap { words: self.words, card: self.card }
+        EwahBitmap { words: self.words.into(), card: self.card }
     }
 }
 
@@ -342,9 +348,10 @@ impl EwahBitmap {
         self.words.len()
     }
 
-    /// Heap bytes used by the compressed representation.
+    /// Heap bytes used by the compressed representation (0 when the words
+    /// are served from a mapped snapshot).
     pub fn heap_bytes(&self) -> usize {
-        self.words.capacity() * 8
+        self.words.heap_capacity() * 8
     }
 
     /// Iterate set-bit positions in increasing order.
@@ -698,13 +705,67 @@ fn validate_stream(words: &[u64]) -> Option<u64> {
     Some(card)
 }
 
+/// Which kind of segment covers the last represented word of a stream —
+/// the only word that may carry bits at or above the universe bound.
+enum LastSeg {
+    Clean(bool),
+    /// Index of the final literal word in the stream.
+    Lit(usize),
+}
+
+/// Structure-only walk for the mapped path: verify the marker chain tiles
+/// the buffer exactly and that no represented bit can be `>= universe`,
+/// without reading any literal word except (possibly) the final one — the
+/// cost is proportional to the number of markers, not the data, which is
+/// what keeps `open_mmap` O(ms) on multi-GB snapshots.
+fn validate_stream_structure(words: &[u64], universe: u32) -> bool {
+    let max_words = u64::from(universe).div_ceil(64);
+    let mut pos = 0usize;
+    let mut span = 0u64; // words represented so far
+    let mut last: Option<LastSeg> = None;
+    while pos < words.len() {
+        let (ones, run, lit) = decode_marker(words[pos]);
+        let lit_start = pos + 1;
+        let Some(lit_end) = lit_start.checked_add(lit as usize) else { return false };
+        if lit_end > words.len() {
+            return false;
+        }
+        let Some(s) = span.checked_add(run).and_then(|s| s.checked_add(lit)) else {
+            return false;
+        };
+        span = s;
+        if run > 0 {
+            last = Some(LastSeg::Clean(ones));
+        }
+        if lit > 0 {
+            last = Some(LastSeg::Lit(lit_end - 1));
+        }
+        pos = lit_end;
+    }
+    if span > max_words {
+        return false;
+    }
+    // Words before the last one only hold bits < 64·(max_words - 1) ≤
+    // universe, so a single check of the segment covering the final word
+    // bounds every id the stream can produce.
+    let tail_bits = u64::from(universe) % 64;
+    if span == max_words && tail_bits != 0 {
+        match last {
+            Some(LastSeg::Clean(true)) => return false, // ones at/above the bound
+            Some(LastSeg::Lit(i)) if words[i] >> tail_bits != 0 => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
 impl Posting for EwahBitmap {
     const SERIAL_TAG: u8 = 1;
 
     fn write_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.card.to_le_bytes());
         out.extend_from_slice(&(self.words.len() as u32).to_le_bytes());
-        for &w in &self.words {
+        for &w in self.words.iter() {
             out.extend_from_slice(&w.to_le_bytes());
         }
     }
@@ -721,7 +782,35 @@ impl Posting for EwahBitmap {
         if validate_stream(&words)? != card {
             return None;
         }
-        Some((EwahBitmap { words, card }, end))
+        Some((EwahBitmap { words: words.into(), card }, end))
+    }
+
+    fn write_slot(&self, out: &mut Vec<u8>) {
+        // The v4 slot is the bare word stream: cardinality and length live
+        // in the snapshot's checksummed posting directory.
+        for &w in self.words.iter() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn read_slot(bytes: &[u8], card: u64) -> Option<Self> {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        let words: Vec<u64> =
+            bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        if validate_stream(&words)? != card {
+            return None;
+        }
+        Some(EwahBitmap { words: words.into(), card })
+    }
+
+    fn map_slot(region: ByteRegion, card: u64, universe: u32) -> Option<Self> {
+        let words = MappedSlice::<u64>::new(region)?;
+        if !validate_stream_structure(&words, universe) {
+            return None;
+        }
+        Some(EwahBitmap { words: words.into(), card })
     }
 
     fn full(n: u32) -> Self {
@@ -816,7 +905,7 @@ impl Posting for EwahBitmap {
         // k-way path for EWAH (the intersection of compressed streams can
         // outgrow either input's storage, so true in-place is not possible,
         // but buffer recycling gets the same steady-state behavior).
-        let buf = std::mem::take(&mut out.words);
+        let buf = out.words.take_vec();
         *out = self.binary_op_with_buffer(other, BinOp::And, buf);
     }
 

@@ -18,6 +18,8 @@
 //! can be written once and benchmarked against each representation
 //! (experiment E11 of `DESIGN.md`).
 
+use scube_common::mmap::ByteRegion;
+
 pub mod adaptive;
 pub mod dense;
 pub mod ewah;
@@ -120,6 +122,62 @@ pub trait Posting: Sized + Clone {
             ids.push(id);
         }
         Some((Self::from_sorted(&ids), end))
+    }
+
+    /// Append this posting's snapshot-v4 *slot* encoding: the raw
+    /// fixed-width little-endian table a memory-mapped reader can serve in
+    /// place. Unlike [`Posting::write_bytes`], a slot carries no counts or
+    /// tags of its own — the cardinality lives in the snapshot's
+    /// checksummed posting directory and comes back through `card` on the
+    /// read side.
+    ///
+    /// The default writes the sorted ids as little-endian `u32`s (the
+    /// native [`TidVec`] layout); word-based representations override with
+    /// their word tables. `read_slot(write_slot(p), p.cardinality())` must
+    /// reproduce `p` exactly, and re-writing the decoded posting must
+    /// reproduce the original bytes (stable round-trip).
+    fn write_slot(&self, out: &mut Vec<u8>) {
+        self.for_each(|id| out.extend_from_slice(&id.to_le_bytes()));
+    }
+
+    /// Decode an owned posting from a v4 slot (the heap-load path). Fully
+    /// validating: `None` on any structural defect or when the slot does
+    /// not hold exactly `card` ids.
+    fn read_slot(bytes: &[u8], card: u64) -> Option<Self> {
+        if !bytes.len().is_multiple_of(4) || (bytes.len() / 4) as u64 != card {
+            return None;
+        }
+        let mut ids = Vec::with_capacity(bytes.len() / 4);
+        let mut prev: Option<u32> = None;
+        for chunk in bytes.chunks_exact(4) {
+            let id = u32::from_le_bytes(chunk.try_into().ok()?);
+            if prev.is_some_and(|p| id <= p) {
+                return None;
+            }
+            prev = Some(id);
+            ids.push(id);
+        }
+        Some(Self::from_sorted(&ids))
+    }
+
+    /// Borrow a posting from a mapped v4 slot (the `open_mmap` path),
+    /// validating *structure* only — enough to guarantee that every later
+    /// operation is panic-free and that every id the posting can produce
+    /// is `< universe`, in time proportional to the slot's metadata rather
+    /// than its data (exception: [`TidVec`] must scan its ids, since the
+    /// ids *are* the structure). `card` comes from the checksummed posting
+    /// directory and is trusted; a slot whose actual contents disagree may
+    /// answer queries wrong, but never crashes.
+    ///
+    /// The default copies through the fully-validating
+    /// [`Posting::read_slot`]; representations with a borrowable layout
+    /// override it to adopt the region zero-copy. Callers must have
+    /// checked the host is little-endian first.
+    fn map_slot(region: ByteRegion, card: u64, universe: u32) -> Option<Self> {
+        let p = Self::read_slot(region.as_slice(), card)?;
+        let mut ok = true;
+        p.for_each(|id| ok &= id < universe);
+        ok.then_some(p)
     }
 
     /// The full universe `{0, 1, …, n-1}`.
@@ -532,6 +590,81 @@ mod tests {
         check::<DenseBitmap>();
         check::<TidVec>();
         check::<AdaptivePosting>();
+    }
+
+    const SLOT_CASES: [&[u32]; 6] = [
+        &[],
+        &[0],
+        &[0, 1, 5, 63, 64, 65, 1000],
+        &[3, 64, 1000, 1001, 5000],
+        &[7, 1_000_000, 50_000_000],
+        &[63],
+    ];
+
+    #[test]
+    fn slot_roundtrip_all_representations() {
+        fn check<P: Posting + PartialEq + std::fmt::Debug>() {
+            for ids in SLOT_CASES {
+                let mut all: Vec<Vec<u32>> = vec![ids.to_vec()];
+                all.push((0..500).collect()); // dense-ish shape too
+                for ids in all {
+                    let p = P::from_sorted(&ids);
+                    let mut slot = Vec::new();
+                    p.write_slot(&mut slot);
+                    let q = P::read_slot(&slot, p.cardinality()).expect("slot decodes");
+                    assert_eq!(q, p, "{ids:?}");
+                    // Stable round-trip: re-encoding reproduces the bytes.
+                    let mut again = Vec::new();
+                    q.write_slot(&mut again);
+                    assert_eq!(again, slot, "{ids:?}: slot encoding not stable");
+                    // A cardinality that disagrees with the slot is rejected.
+                    assert!(P::read_slot(&slot, p.cardinality() + 1).is_none(), "{ids:?}");
+                }
+            }
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+        check::<AdaptivePosting>();
+    }
+
+    #[test]
+    fn map_slot_matches_heap_decode() {
+        if cfg!(target_endian = "big") {
+            return; // mapped views are little-endian-host only
+        }
+        use scube_common::mmap::MmapFile;
+        use std::sync::Arc;
+        fn check<P: Posting + PartialEq + std::fmt::Debug>(name: &str) {
+            for (case, ids) in SLOT_CASES.iter().enumerate() {
+                let p = P::from_sorted(ids);
+                let mut slot = Vec::new();
+                p.write_slot(&mut slot);
+                let path = std::env::temp_dir().join(format!("scube_slot_{name}_{case}.bin"));
+                std::fs::write(&path, &slot).unwrap();
+                let file = Arc::new(MmapFile::open(&path).unwrap());
+                let universe = ids.last().map_or(0, |&m| m + 1);
+                let q =
+                    P::map_slot(ByteRegion::whole(Arc::clone(&file)), p.cardinality(), universe)
+                        .expect("mapped slot decodes");
+                assert_eq!(q.to_vec(), *ids, "{name} case {case}");
+                // A universe bound at or below the max id must be rejected:
+                // that is the check that keeps `unit_of[tid]` lookups in
+                // bounds when serving a mapped snapshot.
+                if let Some(&max) = ids.last() {
+                    assert!(
+                        P::map_slot(ByteRegion::whole(Arc::clone(&file)), p.cardinality(), max)
+                            .is_none(),
+                        "{name} case {case}: universe bound not enforced"
+                    );
+                }
+                std::fs::remove_file(&path).ok();
+            }
+        }
+        check::<EwahBitmap>("ewah");
+        check::<DenseBitmap>("dense");
+        check::<TidVec>("tidvec");
+        check::<AdaptivePosting>("adaptive");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! show the crossover.
 
 use crate::Posting;
+use scube_common::mmap::{ByteRegion, MappedSlice, Store};
 
 /// Length ratio above which intersection gallops instead of merging
 /// linearly. Galloping costs ~2·log₂(gap) probes per small-side id, so it
@@ -77,9 +78,13 @@ fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
 }
 
 /// Sorted vector of ids.
+///
+/// The ids live in a [`Store`]: heap-owned normally, borrowed from a
+/// mapped snapshot on the [`Posting::map_slot`] path; mutators copy a
+/// mapped store onto the heap first.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TidVec {
-    ids: Vec<u32>,
+    ids: Store<u32>,
 }
 
 impl TidVec {
@@ -93,9 +98,9 @@ impl TidVec {
         &self.ids
     }
 
-    /// Heap bytes used.
+    /// Heap bytes used (0 when the ids are served from a mapped snapshot).
     pub fn heap_bytes(&self) -> usize {
-        self.ids.capacity() * 4
+        self.ids.heap_capacity() * 4
     }
 }
 
@@ -105,14 +110,31 @@ impl Posting for TidVec {
     const SERIAL_TAG: u8 = 3;
 
     fn full(n: u32) -> Self {
-        TidVec { ids: (0..n).collect() }
+        TidVec { ids: (0..n).collect::<Vec<u32>>().into() }
     }
 
     fn from_sorted(ids: &[u32]) -> Self {
         for w in ids.windows(2) {
             assert!(w[0] < w[1], "ids must be strictly increasing");
         }
-        TidVec { ids: ids.to_vec() }
+        TidVec { ids: ids.to_vec().into() }
+    }
+
+    // The default sorted-id slot encoding is also this representation's
+    // native layout, so `write_slot`/`read_slot` need no override; only
+    // `map_slot` does (to adopt the mapped ids zero-copy).
+    fn map_slot(region: ByteRegion, card: u64, universe: u32) -> Option<Self> {
+        let ids = MappedSlice::<u32>::new(region)?;
+        if ids.len() as u64 != card {
+            return None;
+        }
+        // The ids *are* the structure: one pass proves strict monotonicity
+        // and the universe bound, which keeps every later lookup (binary
+        // search, unit histogramming) panic-free.
+        if ids.windows(2).any(|w| w[0] >= w[1]) || ids.last().is_some_and(|&m| m >= universe) {
+            return None;
+        }
+        Some(TidVec { ids: ids.into() })
     }
 
     fn append_sorted(&mut self, ids: &[u32]) {
@@ -122,7 +144,7 @@ impl Posting for TidVec {
         if let (Some(&last), Some(&first)) = (self.ids.last(), ids.first()) {
             assert!(first > last, "appended ids must be strictly above the current maximum");
         }
-        self.ids.extend_from_slice(ids);
+        self.ids.vec_mut().extend_from_slice(ids);
     }
 
     fn remove_sorted(&mut self, ids: &[u32]) {
@@ -135,8 +157,9 @@ impl Posting for TidVec {
         // One in-place drain pass over the sorted vector: survivors shift
         // left past the removed slots.
         let mut j = 0;
-        let before = self.ids.len();
-        self.ids.retain(|&id| {
+        let own = self.ids.vec_mut();
+        let before = own.len();
+        own.retain(|&id| {
             if j < ids.len() && ids[j] == id {
                 j += 1;
                 false
@@ -144,46 +167,47 @@ impl Posting for TidVec {
                 true
             }
         });
-        assert_eq!(before - self.ids.len(), ids.len(), "removed ids must all be present");
+        assert_eq!(before - own.len(), ids.len(), "removed ids must all be present");
     }
 
     fn and(&self, other: &Self) -> Self {
         let mut out = Vec::new();
         intersect_into(&self.ids, &other.ids, &mut out);
-        TidVec { ids: out }
+        TidVec { ids: out.into() }
     }
 
     fn and_into(&self, other: &Self, out: &mut Self) {
-        intersect_into(&self.ids, &other.ids, &mut out.ids);
+        intersect_into(&self.ids, &other.ids, out.ids.vec_mut());
     }
 
     fn and_assign(&mut self, other: &Self) {
         // The intersection is a subsequence of `self`, so the write cursor
         // never overtakes the read cursor: safe to compact in place.
-        if other.ids.len().saturating_mul(GALLOP_RATIO) < self.ids.len() {
+        let ids = self.ids.vec_mut();
+        if other.ids.len().saturating_mul(GALLOP_RATIO) < ids.len() {
             // `self` is the large side: probe it for each id of `other` and
             // compact the hits to the front.
             let mut w = 0;
             let mut j = 0;
             for k in 0..other.ids.len() {
                 let x = other.ids[k];
-                j = gallop_to(&self.ids, j, x);
-                if j == self.ids.len() {
+                j = gallop_to(ids, j, x);
+                if j == ids.len() {
                     break;
                 }
-                if self.ids[j] == x {
-                    self.ids[w] = x;
+                if ids[j] == x {
+                    ids[w] = x;
                     w += 1;
                     j += 1;
                 }
             }
-            self.ids.truncate(w);
+            ids.truncate(w);
         } else {
             let mut w = 0;
             let mut j = 0;
-            let gallop = self.ids.len().saturating_mul(GALLOP_RATIO) < other.ids.len();
-            for i in 0..self.ids.len() {
-                let x = self.ids[i];
+            let gallop = ids.len().saturating_mul(GALLOP_RATIO) < other.ids.len();
+            for i in 0..ids.len() {
+                let x = ids[i];
                 if gallop {
                     j = gallop_to(&other.ids, j, x);
                 } else {
@@ -195,12 +219,12 @@ impl Posting for TidVec {
                     break;
                 }
                 if other.ids[j] == x {
-                    self.ids[w] = x;
+                    ids[w] = x;
                     w += 1;
                     j += 1;
                 }
             }
-            self.ids.truncate(w);
+            ids.truncate(w);
         }
     }
 
@@ -217,7 +241,7 @@ impl Posting for TidVec {
                 let (smallest, rest) = order.split_first().expect("len >= 2");
                 let mut out = Vec::with_capacity(smallest.ids.len());
                 let mut cursors = vec![0usize; rest.len()];
-                'outer: for &x in &smallest.ids {
+                'outer: for &x in smallest.ids.iter() {
                     for (cur, list) in cursors.iter_mut().zip(rest) {
                         *cur = gallop_to(&list.ids, *cur, x);
                         if *cur == list.ids.len() {
@@ -231,7 +255,7 @@ impl Posting for TidVec {
                     }
                     out.push(x);
                 }
-                Some(TidVec { ids: out })
+                Some(TidVec { ids: out.into() })
             }
         }
     }
@@ -258,7 +282,7 @@ impl Posting for TidVec {
         }
         out.extend_from_slice(&self.ids[i..]);
         out.extend_from_slice(&other.ids[j..]);
-        TidVec { ids: out }
+        TidVec { ids: out.into() }
     }
 
     fn andnot(&self, other: &Self) -> Self {
@@ -278,7 +302,7 @@ impl Posting for TidVec {
             }
         }
         out.extend_from_slice(&self.ids[i..]);
-        TidVec { ids: out }
+        TidVec { ids: out.into() }
     }
 
     fn cardinality(&self) -> u64 {
@@ -286,7 +310,7 @@ impl Posting for TidVec {
     }
 
     fn for_each(&self, mut f: impl FnMut(u32)) {
-        for &id in &self.ids {
+        for &id in self.ids.iter() {
             f(id);
         }
     }
@@ -329,7 +353,7 @@ impl Posting for TidVec {
     }
 
     fn to_vec(&self) -> Vec<u32> {
-        self.ids.clone()
+        self.ids.as_slice().to_vec()
     }
 
     fn contains(&self, id: u32) -> bool {

@@ -14,10 +14,13 @@
 //!   and by the experiment binaries to print paper-shaped reports.
 //! * [`sync`] — a minimal, poison-free [`sync::SpinLock`] guarding the
 //!   sharded caches of the concurrent serving layer.
+//! * [`mmap`] — read-only memory-mapped files and the owned-or-mapped
+//!   [`mmap::Store`] backing zero-copy snapshot serving.
 
 pub mod csv;
 pub mod error;
 pub mod hash;
+pub mod mmap;
 pub mod sync;
 pub mod table;
 

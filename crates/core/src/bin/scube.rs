@@ -10,8 +10,11 @@
 //!       [--side groups|individuals] [--min-shared 1] [--min-support 50] \
 //!       [--closed] [--parallel] --out reports/
 //!
+//! scube [run|save] --final-table rows.csv --sa gender,age --ca sector* \
+//!       [--unit-col unitID] [--min-support 50] [--closed] ...
+//!
 //! scube save  <same input flags> --snapshot cube.scube
-//! scube query --snapshot cube.scube [--sa gender=F] [--ca region=north]
+//! scube query --snapshot cube.scube [--mmap] [--sa gender=F] [--ca region=north]
 //!             [--breakdown] [--top 10 --rank dissimilarity --min-total 100]
 //!             [--slice gender=F,region=north] [--threads 4]
 //! ```
@@ -22,13 +25,20 @@
 //! Visualizer into `--out`. Multi-valued CSV columns are declared with a
 //! `*` suffix, e.g. `--ca sectors*`.
 //!
+//! `--final-table` takes the tabular shortcut: the CSV already carries a
+//! unit column, so the pre-processing stages are skipped and the rows
+//! stream one record at a time through the dictionary encoder — staging
+//! memory stays bounded no matter how many rows the file holds.
+//!
 //! `save` runs the pipeline once and persists the cube **and** its vertical
 //! postings as a checksummed binary snapshot; `query` serves point / top-k /
 //! slice queries from such a snapshot without re-mining — non-materialized
 //! ⋆-combinations are recomputed exactly from the stored postings. With
 //! `--threads N` the snapshot is served through the shared-reference
 //! [`ConcurrentCubeEngine`] (sharded cell cache, parallel top-k ranking)
-//! instead of the single-session engine; answers are bit-identical.
+//! instead of the single-session engine; answers are bit-identical. With
+//! `--mmap`, a format-v4 snapshot is memory-mapped instead of read onto the
+//! heap: opening costs O(metadata) however large the file is.
 
 use std::process::ExitCode;
 
@@ -81,6 +91,8 @@ verbs:
     --threads <n>        re-evaluate dirty cells on up to n threads [1]
   scube query ...        serve queries from a saved snapshot:
     --snapshot <file>    the snapshot to load (required)
+    --mmap               memory-map the snapshot (format v4) instead of
+                         loading it onto the heap — O(ms) open at any size
     --sa a=v,...         point query: minority coordinates (omit = *)
     --ca a=v,...         point query: context coordinates (omit = *)
     --breakdown          also print the per-unit drill-down of the cell
@@ -91,6 +103,11 @@ verbs:
                          ranking top-k on up to n threads [single-session]
 
 required (run / save):
+  --final-table <csv>    tabular shortcut: rows already carry a unit column
+                         (--sa/--ca name its columns; streams record by
+                         record, so million-row files ingest in bounded
+                         memory); replaces the four inputs below
+    --unit-col <col>     the unit column of --final-table [unitID]
   --individuals <csv>    individuals input (one row per person)
   --id <col>             individuals id column
   --sa <c1,c2*,...>      segregation-attribute columns ('*' = multi-valued)
@@ -121,7 +138,7 @@ struct Flags {
 }
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOLEAN_FLAGS: &[&str] = &["--closed", "--parallel", "--breakdown", "--help", "-h"];
+const BOOLEAN_FLAGS: &[&str] = &["--closed", "--parallel", "--breakdown", "--mmap", "--help", "-h"];
 
 impl Flags {
     /// Wrap an argument list, rejecting duplicate flags up front: `--sa
@@ -314,6 +331,34 @@ fn wizard_from_flags(flags: &Flags) -> Result<(Wizard, Vec<i64>)> {
     Ok((wizard, dates))
 }
 
+/// The `--final-table` tabular shortcut: stream the CSV straight through
+/// the dictionary encoder (bounded staging memory) and build the cube.
+fn run_final_table_flags(flags: &Flags) -> Result<ScubeResult> {
+    let path = flags.require("--final-table")?;
+    if flags.has("--dates") {
+        return Err(ScubeError::InvalidParameter(
+            "--final-table has no membership intervals; drop --dates".into(),
+        ));
+    }
+    let mut spec = FinalTableSpec::new(flags.value_of("--unit-col")?.unwrap_or("unitID"));
+    for (name, multi) in columns(flags.require("--sa")?) {
+        spec.sa_columns.push((name, multi));
+    }
+    for (name, multi) in columns(flags.get("--ca").unwrap_or("")) {
+        spec.ca_columns.push((name, multi));
+    }
+    let min_support: u64 = flags
+        .get("--min-support")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| ScubeError::InvalidParameter("bad --min-support".into()))?;
+    let mut cube = CubeBuilder::new().min_support(min_support).parallel(flags.has("--parallel"));
+    if flags.has("--closed") {
+        cube = cube.materialize(Materialize::ClosedOnly);
+    }
+    scube::run_final_table_csv(path, &spec, &cube)
+}
+
 fn parse_rank(flags: &Flags) -> Result<SegIndex> {
     flags
         .get("--rank")
@@ -329,6 +374,18 @@ fn run(args: &[String]) -> Result<String> {
     let flags = Flags::new(args)?;
     let rank = parse_rank(&flags)?;
     let out_dir = flags.require("--out")?.to_string();
+
+    if flags.has("--final-table") {
+        let result = run_final_table_flags(&flags)?;
+        Visualizer::new(&out_dir).rank_by(rank).write_all(&result)?;
+        return Ok(format!(
+            "wrote {out_dir}: {} rows, {} units, {} cells ({:?})",
+            result.stats.n_rows,
+            result.stats.n_units,
+            result.stats.n_cells,
+            result.timings.total()
+        ));
+    }
     let (wizard, dates) = wizard_from_flags(&flags)?;
 
     if dates.is_empty() {
@@ -360,13 +417,17 @@ fn run(args: &[String]) -> Result<String> {
 fn run_save(args: &[String]) -> Result<String> {
     let flags = Flags::new(args)?;
     let path = flags.require("--snapshot")?.to_string();
-    let (wizard, dates) = wizard_from_flags(&flags)?;
-    if !dates.is_empty() {
-        return Err(ScubeError::InvalidParameter(
-            "save persists a single cube; drop --dates (snapshot each date separately)".into(),
-        ));
-    }
-    let result = wizard.run()?;
+    let result = if flags.has("--final-table") {
+        run_final_table_flags(&flags)?
+    } else {
+        let (wizard, dates) = wizard_from_flags(&flags)?;
+        if !dates.is_empty() {
+            return Err(ScubeError::InvalidParameter(
+                "save persists a single cube; drop --dates (snapshot each date separately)".into(),
+            ));
+        }
+        wizard.run()?
+    };
     let snap = scube::snapshot(&result)?;
     snap.save(&path)?;
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
@@ -511,7 +572,11 @@ fn run_query(args: &[String]) -> Result<String> {
         })
         .transpose()?;
     let load_start = std::time::Instant::now();
-    let snap: CubeSnapshot = CubeSnapshot::load(path)?;
+    let snap: CubeSnapshot = if flags.has("--mmap") {
+        CubeSnapshot::open_mmap(path)?
+    } else {
+        CubeSnapshot::load(path)?
+    };
     let loaded_in = load_start.elapsed();
     let mut engine = match threads {
         Some(n) => Serving::Concurrent(Box::new(ConcurrentCubeEngine::new(snap)), n),
@@ -754,6 +819,69 @@ mod tests {
         ] {
             let q: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(run_query(&q).is_err(), "{q:?} should be rejected");
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn final_table_ingest_and_mmap_query_roundtrip() {
+        let dir = std::env::temp_dir().join("scube_cli_final_table");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).display().to_string();
+        std::fs::write(
+            p("rows.csv"),
+            "gender,unitID\nF,edu\nF,edu\nF,edu\nM,agri\nM,agri\nM,agri\n",
+        )
+        .unwrap();
+
+        // The tabular shortcut streams the CSV through the record visitor.
+        let args: Vec<String> =
+            ["--final-table", &p("rows.csv"), "--sa", "gender", "--snapshot", &p("cube.scube")]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let summary = run_save(&args).unwrap();
+        assert!(summary.contains("cells"), "{summary}");
+
+        // Heap and mapped serving answer identically.
+        let q: Vec<String> = ["--snapshot", &p("cube.scube"), "--sa", "gender=F"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let heap_answer = run_query(&q).unwrap();
+        assert!(heap_answer.contains("D=1.0000"), "{heap_answer}");
+        let q: Vec<String> = ["--snapshot", &p("cube.scube"), "--mmap", "--sa", "gender=F"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run_query(&q).unwrap(), heap_answer, "mapped serving must match");
+
+        // The run verb takes the same shortcut and writes reports.
+        let args: Vec<String> =
+            ["--final-table", &p("rows.csv"), "--sa", "gender", "--out", &p("out")]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert!(run(&args).unwrap().contains("2 units"));
+        assert!(dir.join("out").join("cube.csv").exists());
+
+        // Bad shortcut invocations error.
+        for bad in [
+            vec!["--final-table", &p("rows.csv"), "--snapshot", &p("x.scube")], // no --sa
+            vec![
+                "--final-table",
+                &p("rows.csv"),
+                "--sa",
+                "gender",
+                "--dates",
+                "2000",
+                "--snapshot",
+                &p("x.scube"),
+            ],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(run_save(&args).is_err(), "{args:?} should be rejected");
         }
 
         std::fs::remove_dir_all(&dir).ok();

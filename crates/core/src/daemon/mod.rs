@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use minihttp::{percent_decode, HttpRequest, HttpResponse, HttpServer, RequestOutcome};
+use minihttp::{percent_decode, HttpRequest, HttpResponse, HttpServer, Limits, RequestOutcome};
 use scube_common::{Result, ScubeError, SpinLock};
 use scube_cube::{
     CellCoords, ConcurrentCubeEngine, CubeLabels, CubeSnapshot, QueryStats, UpdateBatch,
@@ -65,6 +65,9 @@ pub struct DaemonConfig {
     pub update_threads: usize,
     /// Worker threads for ranking in `/topk` (clamped per request).
     pub query_threads: usize,
+    /// Maximum accepted request-body length in bytes (`POST /update`
+    /// payloads); oversized bodies are refused with a 413 naming this cap.
+    pub max_body: usize,
 }
 
 impl Default for DaemonConfig {
@@ -76,6 +79,7 @@ impl Default for DaemonConfig {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             update_threads: host.min(8),
             query_threads: host.min(8),
+            max_body: Limits::default().max_body,
         }
     }
 }
@@ -244,7 +248,8 @@ impl Daemon {
             handles.push((name, CubeHandle::new(snapshot, &config)));
         }
         let server = HttpServer::bind(addr)
-            .map_err(|e| ScubeError::Io { path: Some(addr.to_string()), source: e })?;
+            .map_err(|e| ScubeError::Io { path: Some(addr.to_string()), source: e })?
+            .with_limits(Limits { max_body: config.max_body, ..Limits::default() });
         Ok(Daemon {
             server: Arc::new(server),
             state: Arc::new(State {

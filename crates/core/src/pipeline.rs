@@ -133,6 +133,42 @@ pub fn run_final_table(
     })
 }
 
+/// As [`run_final_table`], streaming the table straight off a CSV file:
+/// records pass one at a time through [`scube_data::CsvRows`] into the
+/// dictionary encoder, so peak staging memory is one record — the string
+/// table is never resident as a whole. This is the ingest path for final
+/// tables of millions of rows (`scube save --final-table big.csv`).
+pub fn run_final_table_csv(
+    path: impl AsRef<Path>,
+    spec: &FinalTableSpec,
+    cube: &CubeBuilder,
+) -> Result<ScubeResult> {
+    let join_start = Instant::now();
+    let db = spec.load_csv(path)?;
+    let join = join_start.elapsed();
+    let cube_start = Instant::now();
+    let vertical: VerticalDb = VerticalDb::build(&db);
+    let built = cube.build_from_vertical(&db, &vertical)?;
+    let timings = StageTimings { join, cube: cube_start.elapsed(), ..Default::default() };
+    let stats = RunStats {
+        n_individuals: db.len(),
+        n_rows: db.len(),
+        n_units: db.num_units(),
+        n_cells: built.len(),
+        ..Default::default()
+    };
+    Ok(ScubeResult {
+        cube: built,
+        final_table: db,
+        vertical,
+        builder: *cube,
+        clustering: None,
+        isolated: Vec::new(),
+        timings,
+        stats,
+    })
+}
+
 /// Package a finished run as a persistable [`CubeSnapshot`]: the cube plus
 /// the vertical postings it was mined from (already built by [`run`] — not
 /// reconstructed), ready for `scube save` /
@@ -169,8 +205,9 @@ pub fn update_threads(
 /// The `scube update` verb: load a snapshot file, fold final-table-shaped
 /// relations of appended (`add`) and retracted (`remove`, matched exactly)
 /// rows into it (`unit_column` names the unit id column), and save the
-/// patched snapshot back in format v3. Returns the update stats; the file
-/// is only rewritten when the update succeeds.
+/// patched snapshot back in the current format (v4). Returns the update
+/// stats; the save is atomic (temp file + rename), so the file holds the
+/// previous snapshot until the update fully succeeds.
 pub fn update_snapshot_file(
     path: impl AsRef<Path>,
     add: Option<&Relation>,

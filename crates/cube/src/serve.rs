@@ -39,8 +39,8 @@ use crate::query::{
     sorted_slice, AtomicQueryStats, LruCache, QueryStats, RankedCells, BREAKDOWN_TRIPLE_BUDGET,
     DEFAULT_CACHE_CAPACITY,
 };
-use crate::snapshot::CubeSnapshot;
-use crate::update::{MaintenanceStore, UpdateBatch, UpdateStats};
+use crate::snapshot::{CubeSnapshot, MaintSource};
+use crate::update::{UpdateBatch, UpdateStats};
 
 /// Default shard count of the fallback cell cache: enough that a handful of
 /// worker threads rarely collide, small enough to be negligible memory.
@@ -124,10 +124,11 @@ pub struct ConcurrentCubeEngine<P: Posting = EwahBitmap> {
     stats: AtomicQueryStats,
     /// Build configuration and maintenance store carried over from the
     /// snapshot, so [`Self::apply_update`] maintains the cube under the
-    /// parameters it was built with, at delta cost.
+    /// parameters it was built with, at delta cost. A mapped snapshot
+    /// hands the store over undecoded; the first update materializes it.
     materialize: Materialize,
     atkinson_b: f64,
-    maintenance: MaintenanceStore,
+    maintenance: MaintSource,
 }
 
 impl<P: Posting> ConcurrentCubeEngine<P> {
@@ -212,10 +213,11 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
     where
         P: Send + Sync,
     {
+        let maintenance = self.maintenance.ready_mut(&self.cube)?;
         let outcome = crate::update::apply_update(
             &mut self.cube,
             self.explorer.vertical_mut(),
-            &mut self.maintenance,
+            maintenance,
             batch,
             self.materialize,
             self.atkinson_b,

@@ -8,49 +8,69 @@
 //! and the explorer fallback for non-materialized ⋆-combinations without
 //! re-mining anything.
 //!
-//! ## Format (version 3)
+//! ## Format (version 4)
 //!
 //! All integers are little-endian; strings are `u32` length + UTF-8 bytes.
+//! The data region is laid out as fixed-width tables behind an offset
+//! directory, so a reader can either *decode* the file onto the heap
+//! ([`CubeSnapshot::load`], any host) or *map* it and serve postings
+//! straight out of the page cache ([`CubeSnapshot::open_mmap`],
+//! little-endian hosts — N daemons then share one physical copy):
 //!
 //! ```text
 //! [0..8)    magic  "SCUBESNP"
-//! [8..12)   format version (u32, currently 3)
+//! [8..12)   format version (u32, currently 4)
 //! [12]      posting representation tag (Posting::SERIAL_TAG)
-//! [13..21)  FxHash checksum (u64) of the payload
-//! [21..]    payload:
-//!   build cfg  materialization tag (u8), Atkinson b (f64)     — since v2
-//!   labels     n_items × (attr, value, is_sa), sa_attrs, ca_attrs, unit_names
-//!   cube meta  n_units (u32), min_support (u64)
-//!   cells      n_cells × (sa ids, ca ids, IndexValues)   — sorted by (sa, ca)
-//!   vertical   n_transactions, n_units, tid → unit map, item postings
-//!   store      context totals + cell minorities            — since v2
+//! [13..21)  FxHash checksum (u64) of bytes [24..)   — the full checksum
+//! [21..24)  zero padding
+//! [24..96)  offset directory: nine u64s
+//!             meta_off, meta_len, postdir_off, n_postings,
+//!             slots_off, slots_len, store_off, store_len, meta_sum
+//! meta      build cfg (materialization tag u8, Atkinson b f64), labels,
+//!           n_units (u32), min_support (u64), cells (sorted by (sa, ca)),
+//!           n_transactions (u32), v_units (u32), tid → unit map (u32 each)
+//! postdir   n_postings × (slot offset u64, slot length u64, cardinality u64)
+//! slots     posting slots (Posting::write_slot), each at an 8-aligned
+//!           file offset, zero padding between slots
+//! store     maintenance store: context totals + cell minorities, in the
+//!           same encoding as the v3 payload tail
 //! ```
 //!
-//! Version 2 prepended the **build configuration** (materialization
-//! strategy and Atkinson shape parameter) and the maintenance store to the
-//! payload, which is what lets `scube update` fold an
-//! [`crate::update::UpdateBatch`] into a loaded snapshot and re-evaluate
-//! dirty cells with exactly the parameters the cube was built with.
-//! Version 3 keeps the identical layout and marks the retraction-capable
-//! maintenance era: a v3 file may have been produced by demoting updates
-//! (cells evicted, dictionary entries dropped and renumbered), states no
-//! pre-v3 reader was ever exercised against — the bump makes old readers
-//! reject such files up front instead of trusting untested invariants.
-//! Version-1 and version-2 files still load (the writer only emits v3);
-//! v1 build configuration defaults to `AllFrequent` /
-//! [`DEFAULT_ATKINSON_B`], the builder defaults. Unknown versions error —
-//! never panic (`tests/snapshot_compat.rs`).
+//! `meta_sum` is an FxHash over the directory (sans itself), the meta
+//! region, and the posting directory — everything `open_mmap` must trust
+//! *eagerly*. Verifying it costs O(metadata), not O(file): posting slots
+//! are validated structurally per slot ([`Posting::map_slot`], enough to
+//! rule out panics and out-of-universe tids, in time proportional to slot
+//! metadata), and the maintenance-store region is decoded — and fully
+//! validated — only when an update first needs it. That keeps a cold
+//! `open_mmap` at milliseconds even for multi-gigabyte snapshots. The
+//! full checksum at [13..21) covers every byte after the header and is
+//! what the heap loader checks; [`CubeSnapshot::open_mmap_verified`]
+//! checks it too for paranoid opens.
 //!
-//! Cells are written in sorted coordinate order and postings in item order,
-//! so serialization is *canonical*: saving, loading, and saving again
-//! reproduces identical bytes (property-tested in
-//! `tests/snapshot_roundtrip.rs`). The checksum rejects bit rot and
-//! truncation before any value is trusted; posting payloads are validated
-//! structurally on top of that (see [`Posting::read_bytes`]).
+//! Versions 1–3 (a single length-prefixed payload, no directory) still
+//! load via [`CubeSnapshot::load`]; the writer only emits v4. v1 predates
+//! the build-configuration section and the maintenance store (the builder
+//! defaults `AllFrequent` / [`DEFAULT_ATKINSON_B`] apply and the store is
+//! recomputed); v2 added both; v3 marked the retraction-capable
+//! maintenance era. Unknown versions error — never panic
+//! (`tests/snapshot_compat.rs`, which also pins v1 and v3 golden bytes).
+//!
+//! Cells are written in sorted coordinate order, postings in item order,
+//! and store entries in canonical key order, so serialization is
+//! *canonical*: saving, loading, and saving again reproduces identical
+//! bytes — and a mapped snapshot re-saves to exactly the bytes it was
+//! opened from (property-tested in `tests/snapshot_roundtrip.rs` and
+//! `tests/mmap_differential.rs`). [`CubeSnapshot::save`] writes through a
+//! same-directory temp file, fsyncs, and renames over the target, so a
+//! crash mid-save leaves the previous snapshot bytes intact instead of a
+//! torn file.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use scube_bitmap::{EwahBitmap, Posting};
+use scube_common::mmap::{ByteRegion, MmapFile};
 use scube_common::{FxHashMap, Result, ScubeError};
 use scube_data::{ItemId, TransactionDb, VerticalDb};
 use scube_segindex::{IndexValues, DEFAULT_ATKINSON_B};
@@ -61,10 +81,18 @@ use crate::cube::{CubeLabels, SegregationCube};
 use crate::update::{MaintenanceStore, UpdateBatch, UpdateOutcome, UpdateStats};
 
 const MAGIC: &[u8; 8] = b"SCUBESNP";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
+const VERSION_3: u32 = 3;
 const VERSION_2: u32 = 2;
 const VERSION_1: u32 = 1;
 const HEADER_LEN: usize = 8 + 4 + 1 + 8;
+/// v4 offset directory: starts 8-aligned after the header + 3 pad bytes.
+const DIR_OFF: usize = HEADER_LEN + 3;
+const DIR_WORDS: usize = 9;
+/// v4 meta region: starts right after the directory.
+const META_OFF: usize = DIR_OFF + DIR_WORDS * 8;
+/// One v4 posting-directory entry: slot offset, slot length, cardinality.
+const POSTDIR_ENTRY: usize = 24;
 /// Ceiling on length-field-driven preallocations while decoding: the
 /// checksum is not cryptographic, so a crafted file could otherwise declare
 /// a 4-billion-element vector and abort the process on allocation instead
@@ -87,7 +115,61 @@ pub struct CubeSnapshot<P: Posting = EwahBitmap> {
     atkinson_b: f64,
     /// The integer per-unit histograms behind every cell value, kept so
     /// updates fold deltas in instead of re-deriving from full postings.
-    maintenance: MaintenanceStore,
+    /// Mapped snapshots defer decoding it until an update needs it.
+    maintenance: MaintSource,
+}
+
+/// The maintenance store, either decoded ([`MaintenanceStore`]) or still
+/// sitting in a mapped snapshot's store region. `open_mmap` leaves it
+/// deferred — queries never touch it — and the first update materializes
+/// (and fully validates) it; `to_bytes` splices a deferred region back
+/// verbatim, which is canonical because the region came from the canonical
+/// writer.
+#[derive(Debug, Clone)]
+pub(crate) enum MaintSource {
+    Ready(MaintenanceStore),
+    Deferred(DeferredStore),
+}
+
+/// An undecoded maintenance-store region of a mapped snapshot, plus the
+/// bounds its histograms must respect once decoded.
+#[derive(Debug, Clone)]
+pub(crate) struct DeferredStore {
+    region: ByteRegion,
+    n_items: usize,
+    n_units: u32,
+}
+
+impl MaintSource {
+    /// The decoded store, materializing (decode + [`MaintenanceStore::covers`]
+    /// check) a deferred region first. Errors on a corrupt or non-covering
+    /// region — the same rejections the heap loader applies eagerly.
+    pub(crate) fn ready_mut(&mut self, cube: &SegregationCube) -> Result<&mut MaintenanceStore> {
+        if let MaintSource::Deferred(d) = self {
+            let mut r = Reader { bytes: d.region.as_slice(), pos: 0 };
+            let store = decode_store(&mut r, d.n_items, d.n_units)?;
+            if r.pos != r.bytes.len() {
+                return Err(corrupt("trailing bytes after the maintenance store"));
+            }
+            if !store.covers(cube) {
+                return Err(corrupt("maintenance store does not cover the cube"));
+            }
+            *self = MaintSource::Ready(store);
+        }
+        match self {
+            MaintSource::Ready(store) => Ok(store),
+            MaintSource::Deferred(_) => unreachable!("materialized above"),
+        }
+    }
+
+    /// Append the store region bytes: canonical re-encode when decoded, a
+    /// verbatim splice when still deferred.
+    fn write_into(&self, out: &mut Vec<u8>) {
+        match self {
+            MaintSource::Ready(store) => encode_store(store, out),
+            MaintSource::Deferred(d) => out.extend_from_slice(d.region.as_slice()),
+        }
+    }
 }
 
 impl<P: Posting> CubeSnapshot<P> {
@@ -98,7 +180,7 @@ impl<P: Posting> CubeSnapshot<P> {
     /// and explorer fallbacks from another.
     pub fn new(cube: SegregationCube, vertical: VerticalDb<P>) -> Result<Self> {
         Self::validate_pairing(&cube, &vertical)?;
-        let maintenance = MaintenanceStore::compute(&cube, &vertical);
+        let maintenance = MaintSource::Ready(MaintenanceStore::compute(&cube, &vertical));
         Ok(CubeSnapshot {
             cube,
             vertical,
@@ -223,10 +305,11 @@ impl<P: Posting> CubeSnapshot<P> {
     where
         P: Send + Sync,
     {
+        let maintenance = self.maintenance.ready_mut(&self.cube)?;
         crate::update::apply_update(
             &mut self.cube,
             &mut self.vertical,
-            &mut self.maintenance,
+            maintenance,
             batch,
             self.materialize,
             self.atkinson_b,
@@ -240,7 +323,7 @@ impl<P: Posting> CubeSnapshot<P> {
     /// folds deltas at the same cost as the snapshot path).
     pub(crate) fn into_serving_parts(
         self,
-    ) -> (SegregationCube, VerticalDb<P>, MaintenanceStore, Materialize, f64) {
+    ) -> (SegregationCube, VerticalDb<P>, MaintSource, Materialize, f64) {
         (self.cube, self.vertical, self.maintenance, self.materialize, self.atkinson_b)
     }
 
@@ -271,86 +354,114 @@ impl<P: Posting> CubeSnapshot<P> {
         (self.cube, self.vertical)
     }
 
-    /// Serialize into the version-2 binary format.
+    /// Serialize into the version-4 binary format (module docs): offset
+    /// directory, meta region, posting directory, 8-aligned posting slots,
+    /// maintenance-store region. Canonical — identical snapshots produce
+    /// identical bytes, whatever path (build, load, update, mmap) produced
+    /// the value.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut payload = Vec::new();
+        let meta = self.encode_meta();
+
+        // Posting slots (8-aligned, zero padding between) + directory.
+        let n_postings = self.vertical.num_items();
+        let postdir_off = META_OFF + meta.len();
+        let slots_off = (postdir_off + n_postings * POSTDIR_ENTRY).next_multiple_of(8);
+        let mut postdir = Vec::with_capacity(n_postings * POSTDIR_ENTRY);
+        let mut slots = Vec::new();
+        for posting in self.vertical.postings() {
+            slots.resize(slots.len().next_multiple_of(8), 0);
+            let start = slots.len();
+            posting.write_slot(&mut slots);
+            put_u64(&mut postdir, (slots_off + start) as u64);
+            put_u64(&mut postdir, (slots.len() - start) as u64);
+            put_u64(&mut postdir, posting.cardinality());
+        }
+        let store_off = slots_off + slots.len();
+
+        let mut out = Vec::with_capacity(store_off + 1024);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(P::SERIAL_TAG);
+        out.extend_from_slice(&[0u8; 8]); // full checksum, patched below
+        out.extend_from_slice(&[0u8; 3]); // padding to an 8-aligned directory
+        for word in [
+            META_OFF as u64,
+            meta.len() as u64,
+            postdir_off as u64,
+            n_postings as u64,
+            slots_off as u64,
+            slots.len() as u64,
+            store_off as u64,
+            0, // store length, patched below
+            0, // meta checksum, patched below
+        ] {
+            put_u64(&mut out, word);
+        }
+        out.extend_from_slice(&meta);
+        out.extend_from_slice(&postdir);
+        out.resize(slots_off, 0); // alignment padding before the first slot
+        out.extend_from_slice(&slots);
+        self.maintenance.write_into(&mut out);
+        let store_len = (out.len() - store_off) as u64;
+        out[DIR_OFF + 7 * 8..DIR_OFF + 8 * 8].copy_from_slice(&store_len.to_le_bytes());
+        let meta_sum = checksum2(&out[DIR_OFF..DIR_OFF + 8 * 8], &out[META_OFF..slots_off]);
+        out[DIR_OFF + 8 * 8..META_OFF].copy_from_slice(&meta_sum.to_le_bytes());
+        let full_sum = checksum(&out[DIR_OFF..]);
+        out[13..21].copy_from_slice(&full_sum.to_le_bytes());
+        out
+    }
+
+    /// The v4 meta region: build configuration, labels, cube metadata,
+    /// cells in canonical (sa, ca) order, and the tid → unit map.
+    fn encode_meta(&self) -> Vec<u8> {
+        let mut meta = Vec::new();
         let labels = self.cube.labels();
 
-        // Build configuration (v2).
-        payload.push(match self.materialize {
+        // Build configuration.
+        meta.push(match self.materialize {
             Materialize::AllFrequent => 0,
             Materialize::ClosedOnly => 1,
         });
-        put_u64(&mut payload, self.atkinson_b.to_bits());
+        put_u64(&mut meta, self.atkinson_b.to_bits());
 
         // Labels.
-        put_u32(&mut payload, labels.num_items() as u32);
+        put_u32(&mut meta, labels.num_items() as u32);
         for item in 0..labels.num_items() as ItemId {
-            put_str(&mut payload, labels.attr_of(item));
-            put_str(&mut payload, labels.value_of(item));
-            payload.push(labels.is_sa_item(item) as u8);
+            put_str(&mut meta, labels.attr_of(item));
+            put_str(&mut meta, labels.value_of(item));
+            meta.push(labels.is_sa_item(item) as u8);
         }
-        put_str_list(&mut payload, &labels.sa_attrs);
-        put_str_list(&mut payload, &labels.ca_attrs);
-        put_str_list(&mut payload, &labels.unit_names);
+        put_str_list(&mut meta, &labels.sa_attrs);
+        put_str_list(&mut meta, &labels.ca_attrs);
+        put_str_list(&mut meta, &labels.unit_names);
 
         // Cube metadata.
-        put_u32(&mut payload, self.cube.num_units());
-        put_u64(&mut payload, self.cube.min_support());
+        put_u32(&mut meta, self.cube.num_units());
+        put_u64(&mut meta, self.cube.min_support());
 
         // Cells in canonical (sa, ca) order.
         let mut cells: Vec<(&CellCoords, &IndexValues)> = self.cube.cells().collect();
         cells.sort_by(|a, b| a.0.cmp(b.0));
-        put_u32(&mut payload, cells.len() as u32);
+        put_u32(&mut meta, cells.len() as u32);
         for (coords, values) in cells {
-            put_ids(&mut payload, &coords.sa);
-            put_ids(&mut payload, &coords.ca);
-            put_values(&mut payload, values);
+            put_ids(&mut meta, &coords.sa);
+            put_ids(&mut meta, &coords.ca);
+            put_values(&mut meta, values);
         }
 
-        // Vertical database.
-        put_u32(&mut payload, self.vertical.num_transactions());
-        put_u32(&mut payload, self.vertical.num_units());
+        // Transaction space and tid → unit map.
+        put_u32(&mut meta, self.vertical.num_transactions());
+        put_u32(&mut meta, self.vertical.num_units());
         for &u in self.vertical.units() {
-            put_u32(&mut payload, u);
+            put_u32(&mut meta, u);
         }
-        put_u32(&mut payload, self.vertical.num_items() as u32);
-        for posting in self.vertical.postings() {
-            posting.write_bytes(&mut payload);
-        }
-
-        // Maintenance store (v2): context totals then cell minorities, in
-        // canonical key order so serialization stays path-independent —
-        // an updated snapshot and a rebuilt one produce identical bytes.
-        let mut ctx_keys: Vec<&Vec<ItemId>> = self.maintenance.contexts.keys().collect();
-        ctx_keys.sort();
-        put_u32(&mut payload, ctx_keys.len() as u32);
-        for key in ctx_keys {
-            put_ids(&mut payload, key);
-            put_pairs(&mut payload, &self.maintenance.contexts[key]);
-        }
-        let mut cell_keys: Vec<&CellCoords> = self.maintenance.minorities.keys().collect();
-        cell_keys.sort();
-        put_u32(&mut payload, cell_keys.len() as u32);
-        for coords in cell_keys {
-            put_ids(&mut payload, &coords.sa);
-            put_ids(&mut payload, &coords.ca);
-            put_pairs(&mut payload, &self.maintenance.minorities[coords]);
-        }
-
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
-        out.push(P::SERIAL_TAG);
-        out.extend_from_slice(&checksum(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        meta
     }
 
     /// Deserialize a snapshot, verifying magic, version, representation
-    /// tag, and checksum before trusting any field. Both the current v2
-    /// format and legacy v1 files (no build-configuration section) load;
-    /// any other version is an error, never a panic.
+    /// tag, and checksum before trusting any field. The current v4 format
+    /// and legacy v1–v3 files all load; any other version is an error,
+    /// never a panic.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.len() < HEADER_LEN {
             return Err(corrupt("shorter than the fixed header"));
@@ -359,11 +470,17 @@ impl<P: Posting> CubeSnapshot<P> {
             return Err(corrupt("bad magic (not a scube snapshot)"));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != VERSION && version != VERSION_2 && version != VERSION_1 {
-            return Err(corrupt(&format!(
+        match version {
+            VERSION => Self::from_bytes_v4(bytes),
+            VERSION_1 | VERSION_2 | VERSION_3 => Self::from_bytes_legacy(bytes, version),
+            _ => Err(corrupt(&format!(
                 "unsupported format version {version} (want {VERSION_1}..={VERSION})"
-            )));
+            ))),
         }
+    }
+
+    /// Check the representation-tag byte at offset 12 (all versions).
+    fn check_tag(bytes: &[u8]) -> Result<()> {
         let tag = bytes[12];
         if tag != P::SERIAL_TAG {
             return Err(corrupt(&format!(
@@ -372,6 +489,13 @@ impl<P: Posting> CubeSnapshot<P> {
                 P::SERIAL_TAG
             )));
         }
+        Ok(())
+    }
+
+    /// The v1–v3 single-payload decoder (fully validating; the only read
+    /// path these versions have).
+    fn from_bytes_legacy(bytes: &[u8], version: u32) -> Result<Self> {
+        Self::check_tag(bytes)?;
         let stored_sum = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes"));
         let payload = &bytes[HEADER_LEN..];
         if checksum(payload) != stored_sum {
@@ -453,29 +577,8 @@ impl<P: Posting> CubeSnapshot<P> {
         }
 
         // Maintenance store: stored since v2, reconstructed for v1 files.
-        let maintenance = if version >= VERSION_2 {
-            let mut store = MaintenanceStore::default();
-            let n_contexts = r.u32()? as usize;
-            for _ in 0..n_contexts {
-                let key = r.ids(n_items)?;
-                let pairs = r.pairs(v_units)?;
-                if store.contexts.insert(key, pairs).is_some() {
-                    return Err(corrupt("duplicate maintenance context"));
-                }
-            }
-            let n_minorities = r.u32()? as usize;
-            for _ in 0..n_minorities {
-                let sa = r.ids(n_items)?;
-                let ca = r.ids(n_items)?;
-                let pairs = r.pairs(v_units)?;
-                if store.minorities.insert(CellCoords { sa, ca }, pairs).is_some() {
-                    return Err(corrupt("duplicate maintenance cell"));
-                }
-            }
-            Some(store)
-        } else {
-            None
-        };
+        let maintenance =
+            if version >= VERSION_2 { Some(decode_store(&mut r, n_items, v_units)?) } else { None };
         if r.pos != r.bytes.len() {
             return Err(corrupt("trailing bytes after the payload"));
         }
@@ -492,14 +595,192 @@ impl<P: Posting> CubeSnapshot<P> {
             }
             None => MaintenanceStore::compute(&cube, &vertical),
         };
-        Ok(CubeSnapshot { cube, vertical, materialize, atkinson_b, maintenance })
+        Ok(CubeSnapshot {
+            cube,
+            vertical,
+            materialize,
+            atkinson_b,
+            maintenance: MaintSource::Ready(maintenance),
+        })
     }
 
-    /// Write the snapshot to a file.
+    /// The v4 heap decoder: verify the full checksum, walk the directory,
+    /// decode every region, and validate exactly as strictly as the legacy
+    /// path (owned postings via [`Posting::read_slot`], full
+    /// [`VerticalDb::from_parts`] and store-coverage checks).
+    fn from_bytes_v4(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < META_OFF {
+            return Err(corrupt("shorter than the fixed v4 header"));
+        }
+        Self::check_tag(bytes)?;
+        let stored_sum = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes"));
+        if checksum(&bytes[DIR_OFF..]) != stored_sum {
+            return Err(corrupt("checksum mismatch (truncated or corrupted payload)"));
+        }
+        if bytes[HEADER_LEN..DIR_OFF] != [0u8; 3] {
+            return Err(corrupt("nonzero header padding"));
+        }
+        let d = Directory::parse(bytes)?;
+        let meta = decode_meta(&bytes[META_OFF..d.postdir_off])?;
+        if d.n_postings != meta.n_items {
+            return Err(corrupt("posting count does not match item count"));
+        }
+        let mut postings = Vec::with_capacity(d.n_postings.min(PREALLOC_CAP));
+        for i in 0..d.n_postings {
+            let (off, len, card) = d.postdir_entry(bytes, i)?;
+            let posting = P::read_slot(&bytes[off..off + len], card)
+                .ok_or_else(|| corrupt("malformed posting slot"))?;
+            postings.push(posting);
+        }
+        let store = {
+            let mut r = Reader { bytes: &bytes[d.store_off..d.store_off + d.store_len], pos: 0 };
+            let store = decode_store(&mut r, meta.n_items, meta.v_units)?;
+            if r.pos != r.bytes.len() {
+                return Err(corrupt("trailing bytes after the maintenance store"));
+            }
+            store
+        };
+        let vertical =
+            VerticalDb::from_parts(postings, meta.n_transactions, meta.unit_of, meta.v_units)
+                .ok_or_else(|| corrupt("inconsistent vertical database parts"))?;
+        Self::validate_pairing(&meta.cube, &vertical)?;
+        if !store.covers(&meta.cube) {
+            return Err(corrupt("maintenance store does not cover the cube"));
+        }
+        Ok(CubeSnapshot {
+            cube: meta.cube,
+            vertical,
+            materialize: meta.materialize,
+            atkinson_b: meta.atkinson_b,
+            maintenance: MaintSource::Ready(store),
+        })
+    }
+
+    /// Map a v4 snapshot file and serve its postings zero-copy out of the
+    /// page cache — every daemon that opens the same file shares one
+    /// physical copy.
+    ///
+    /// Validation is O(metadata), which is what keeps a cold open at
+    /// milliseconds regardless of file size: the header, the offset
+    /// directory, the meta region, and the posting directory are verified
+    /// against `meta_sum`; each posting slot is checked *structurally*
+    /// ([`Posting::map_slot`] — panic-freedom and tid range, not content),
+    /// and the maintenance-store region is decoded and fully validated
+    /// only when an update first needs it. Bit rot inside a slot that
+    /// happens to keep a valid structure is the one corruption class this
+    /// cannot catch — [`Self::open_mmap_verified`] reads the whole file
+    /// and checks the full checksum for that.
+    ///
+    /// Errors (never panics, never UB) on truncated or corrupted files, on
+    /// v1–v3 files (load and re-save to convert them to v4), and on
+    /// big-endian hosts, where the fixed-width tables cannot be
+    /// reinterpreted in place — [`Self::load`] works everywhere.
+    ///
+    /// The returned snapshot behaves exactly like a loaded one: queries
+    /// are answered bit-identically (`tests/mmap_differential.rs`), and
+    /// mutation (`apply_update`) transparently copies the touched postings
+    /// onto the heap.
+    pub fn open_mmap(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_mmap_inner(path.as_ref(), false)
+    }
+
+    /// As [`Self::open_mmap`], additionally verifying the full-payload
+    /// checksum — an O(file) read that rules out bit rot everywhere, for
+    /// callers that prefer eager certainty over a milliseconds open.
+    pub fn open_mmap_verified(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_mmap_inner(path.as_ref(), true)
+    }
+
+    fn open_mmap_inner(path: &Path, verify_full: bool) -> Result<Self> {
+        if cfg!(target_endian = "big") {
+            return Err(ScubeError::Inconsistent(
+                "snapshot: open_mmap requires a little-endian host (use load)".into(),
+            ));
+        }
+        let file = Arc::new(MmapFile::open(path)?);
+        let whole = ByteRegion::whole(Arc::clone(&file));
+        let bytes = file.as_bytes();
+        if bytes.len() < META_OFF {
+            return Err(corrupt("shorter than the fixed v4 header"));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(corrupt("bad magic (not a scube snapshot)"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if (VERSION_1..=VERSION_3).contains(&version) {
+            return Err(corrupt(&format!(
+                "format v{version} predates mapped serving — load and re-save to convert to v4"
+            )));
+        }
+        if version != VERSION {
+            return Err(corrupt(&format!(
+                "unsupported format version {version} (want {VERSION_1}..={VERSION})"
+            )));
+        }
+        Self::check_tag(bytes)?;
+        if bytes[HEADER_LEN..DIR_OFF] != [0u8; 3] {
+            return Err(corrupt("nonzero header padding"));
+        }
+        if verify_full {
+            let stored_sum = u64::from_le_bytes(bytes[13..21].try_into().expect("8 bytes"));
+            if checksum(&bytes[DIR_OFF..]) != stored_sum {
+                return Err(corrupt("checksum mismatch (truncated or corrupted payload)"));
+            }
+        }
+        let d = Directory::parse(bytes)?;
+        if checksum2(&bytes[DIR_OFF..DIR_OFF + 8 * 8], &bytes[META_OFF..d.slots_off]) != d.meta_sum
+        {
+            return Err(corrupt("meta checksum mismatch (corrupted directory or meta region)"));
+        }
+        let meta = decode_meta(&bytes[META_OFF..d.postdir_off])?;
+        if d.n_postings != meta.n_items {
+            return Err(corrupt("posting count does not match item count"));
+        }
+        let mut postings = Vec::with_capacity(d.n_postings.min(PREALLOC_CAP));
+        for i in 0..d.n_postings {
+            let (off, len, card) = d.postdir_entry(bytes, i)?;
+            let region =
+                whole.slice(off, len).ok_or_else(|| corrupt("posting slot out of bounds"))?;
+            let posting = P::map_slot(region, card, meta.n_transactions)
+                .ok_or_else(|| corrupt("malformed posting slot"))?;
+            postings.push(posting);
+        }
+        // `map_slot` guaranteed every posting stays below `n_transactions`,
+        // so the O(data) posting re-scan of `from_parts` is unnecessary —
+        // that scan is precisely what would make a cold open O(file).
+        let vertical = VerticalDb::from_validated_parts(
+            postings,
+            meta.n_transactions,
+            meta.unit_of,
+            meta.v_units,
+        )
+        .ok_or_else(|| corrupt("inconsistent vertical database parts"))?;
+        Self::validate_pairing(&meta.cube, &vertical)?;
+        let store_region =
+            whole.slice(d.store_off, d.store_len).ok_or_else(|| corrupt("store out of bounds"))?;
+        Ok(CubeSnapshot {
+            cube: meta.cube,
+            vertical,
+            materialize: meta.materialize,
+            atkinson_b: meta.atkinson_b,
+            maintenance: MaintSource::Deferred(DeferredStore {
+                region: store_region,
+                n_items: meta.n_items,
+                n_units: meta.v_units,
+            }),
+        })
+    }
+
+    /// Write the snapshot to a file, atomically: the bytes go to a
+    /// same-directory temp file, are fsynced, and are renamed over the
+    /// target. A crash, kill, or full disk mid-save therefore never
+    /// replaces an existing snapshot with a torn one — the target path
+    /// holds either the previous bytes or the complete new ones
+    /// (`tests/snapshot_atomic_save.rs` kills a writer mid-save to prove
+    /// it). On error the temp file is removed best-effort.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         let path = path.as_ref();
-        std::fs::write(path, self.to_bytes())
-            .map_err(|e| ScubeError::io_at(path.display().to_string(), e))
+        write_atomic(path, &self.to_bytes())
     }
 
     /// Load a snapshot from a file.
@@ -521,6 +802,237 @@ fn checksum(payload: &[u8]) -> u64 {
     // Fold the length in so a truncated all-zero tail cannot collide.
     h.write_u64(payload.len() as u64);
     h.finish()
+}
+
+/// FxHash over two concatenated slices (the v4 `meta_sum`, whose coverage
+/// skips the `meta_sum` word itself). Length-folded like [`checksum`].
+fn checksum2(a: &[u8], b: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = scube_common::hash::FxHasher::default();
+    h.write(a);
+    h.write(b);
+    h.write_u64((a.len() + b.len()) as u64);
+    h.finish()
+}
+
+/// Atomic, durable file replacement: write to a unique same-directory temp
+/// file, fsync, rename over `path`. The rename is what makes an
+/// interrupted save harmless — POSIX guarantees the target names either
+/// the old or the new bytes, never a mixture.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let io = |e: std::io::Error| ScubeError::io_at(path.display().to_string(), e);
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let base = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".into());
+    let tmp = dir.join(format!(
+        ".{base}.{}.{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(io)
+}
+
+/// The v4 offset directory, parsed and cross-validated: every region must
+/// tile the file exactly (header, directory, meta, posting directory,
+/// alignment padding, slots, store — in that order, no gaps, no overlap),
+/// so a reader can trust offsets before trusting contents.
+struct Directory {
+    postdir_off: usize,
+    n_postings: usize,
+    slots_off: usize,
+    store_off: usize,
+    store_len: usize,
+    meta_sum: u64,
+}
+
+impl Directory {
+    fn parse(bytes: &[u8]) -> Result<Directory> {
+        let mut w = [0u64; DIR_WORDS];
+        for (i, word) in w.iter_mut().enumerate() {
+            let at = DIR_OFF + 8 * i;
+            *word = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        }
+        let [meta_off, meta_len, postdir_off, n_postings, slots_off, slots_len, store_off, store_len, meta_sum] =
+            w;
+        let bad = |msg: &str| corrupt(&format!("directory: {msg}"));
+        if meta_off != META_OFF as u64 {
+            return Err(bad("bad meta offset"));
+        }
+        if meta_off.checked_add(meta_len) != Some(postdir_off) {
+            return Err(bad("meta region and posting directory disagree"));
+        }
+        let postdir_end = n_postings
+            .checked_mul(POSTDIR_ENTRY as u64)
+            .and_then(|l| postdir_off.checked_add(l))
+            .ok_or_else(|| bad("posting directory length overflow"))?;
+        if postdir_end.checked_next_multiple_of(8) != Some(slots_off) {
+            return Err(bad("posting directory and slots disagree"));
+        }
+        if slots_off.checked_add(slots_len) != Some(store_off) {
+            return Err(bad("slots and store disagree"));
+        }
+        if store_off.checked_add(store_len) != Some(bytes.len() as u64) {
+            return Err(bad("regions do not span the file"));
+        }
+        Ok(Directory {
+            postdir_off: postdir_off as usize,
+            n_postings: n_postings as usize,
+            slots_off: slots_off as usize,
+            store_off: store_off as usize,
+            store_len: store_len as usize,
+            meta_sum,
+        })
+    }
+
+    /// Entry `i` of the posting directory: absolute slot offset, slot
+    /// length, cardinality — with the slot range checked to lie inside the
+    /// slots region.
+    fn postdir_entry(&self, bytes: &[u8], i: usize) -> Result<(usize, usize, u64)> {
+        let at = self.postdir_off + i * POSTDIR_ENTRY;
+        let word =
+            |k: usize| u64::from_le_bytes(bytes[at + 8 * k..at + 8 * k + 8].try_into().expect("8"));
+        let (off, len, card) = (word(0), word(1), word(2));
+        let end = off.checked_add(len).ok_or_else(|| corrupt("posting slot overflow"))?;
+        if off < self.slots_off as u64 || end > self.store_off as u64 {
+            return Err(corrupt("posting slot outside the slots region"));
+        }
+        Ok((off as usize, len as usize, card))
+    }
+}
+
+/// The decoded v4 meta region — everything but postings and the
+/// maintenance store.
+struct MetaParts {
+    materialize: Materialize,
+    atkinson_b: f64,
+    cube: SegregationCube,
+    n_items: usize,
+    n_transactions: u32,
+    v_units: u32,
+    unit_of: Vec<u32>,
+}
+
+/// Decode the v4 meta region (exactly; trailing bytes are an error).
+fn decode_meta(bytes: &[u8]) -> Result<MetaParts> {
+    let mut r = Reader { bytes, pos: 0 };
+
+    // Build configuration.
+    let materialize = match r.u8()? {
+        0 => Materialize::AllFrequent,
+        1 => Materialize::ClosedOnly,
+        t => return Err(corrupt(&format!("unknown materialization tag {t}"))),
+    };
+    let atkinson_b = f64::from_bits(r.u64()?);
+    if !atkinson_b.is_finite() {
+        return Err(corrupt("non-finite Atkinson parameter"));
+    }
+
+    // Labels.
+    let n_items = r.u32()? as usize;
+    let mut items = Vec::with_capacity(n_items.min(PREALLOC_CAP));
+    for _ in 0..n_items {
+        let attr = r.str()?;
+        let value = r.str()?;
+        let is_sa = r.u8()? != 0;
+        items.push((attr, value, is_sa));
+    }
+    let labels = CubeLabels {
+        items,
+        sa_attrs: r.str_list()?,
+        ca_attrs: r.str_list()?,
+        unit_names: r.str_list()?,
+    };
+
+    // Cube metadata and cells.
+    let n_units = r.u32()?;
+    let min_support = r.u64()?;
+    let n_cells = r.u32()? as usize;
+    let mut cells: FxHashMap<CellCoords, IndexValues> =
+        scube_common::hash::fx_map_with_capacity(n_cells.min(PREALLOC_CAP));
+    for _ in 0..n_cells {
+        let sa = r.ids(n_items)?;
+        let ca = r.ids(n_items)?;
+        let values = r.values()?;
+        if cells.insert(CellCoords { sa, ca }, values).is_some() {
+            return Err(corrupt("duplicate cell coordinates"));
+        }
+    }
+    let cube = SegregationCube::new(cells, labels, n_units, min_support);
+
+    // Transaction space and tid → unit map.
+    let n_transactions = r.u32()?;
+    let v_units = r.u32()?;
+    let mut unit_of = Vec::with_capacity((n_transactions as usize).min(PREALLOC_CAP));
+    for _ in 0..n_transactions {
+        unit_of.push(r.u32()?);
+    }
+    if r.pos != r.bytes.len() {
+        return Err(corrupt("trailing bytes in the meta region"));
+    }
+    Ok(MetaParts { materialize, atkinson_b, cube, n_items, n_transactions, v_units, unit_of })
+}
+
+/// Encode the maintenance store: context totals then cell minorities, in
+/// canonical key order so serialization stays path-independent — an
+/// updated snapshot and a rebuilt one produce identical bytes. This is
+/// both the v4 store region and the tail of the v2/v3 payload.
+fn encode_store(store: &MaintenanceStore, out: &mut Vec<u8>) {
+    let mut ctx_keys: Vec<&Vec<ItemId>> = store.contexts.keys().collect();
+    ctx_keys.sort();
+    put_u32(out, ctx_keys.len() as u32);
+    for key in ctx_keys {
+        put_ids(out, key);
+        put_pairs(out, &store.contexts[key]);
+    }
+    let mut cell_keys: Vec<&CellCoords> = store.minorities.keys().collect();
+    cell_keys.sort();
+    put_u32(out, cell_keys.len() as u32);
+    for coords in cell_keys {
+        put_ids(out, &coords.sa);
+        put_ids(out, &coords.ca);
+        put_pairs(out, &store.minorities[coords]);
+    }
+}
+
+/// Decode a maintenance store from `r` (same validation whatever the
+/// enclosing version: sorted keys' structure, unit range, nonzero counts).
+fn decode_store(r: &mut Reader<'_>, n_items: usize, v_units: u32) -> Result<MaintenanceStore> {
+    let mut store = MaintenanceStore::default();
+    let n_contexts = r.u32()? as usize;
+    for _ in 0..n_contexts {
+        let key = r.ids(n_items)?;
+        let pairs = r.pairs(v_units)?;
+        if store.contexts.insert(key, pairs).is_some() {
+            return Err(corrupt("duplicate maintenance context"));
+        }
+    }
+    let n_minorities = r.u32()? as usize;
+    for _ in 0..n_minorities {
+        let sa = r.ids(n_items)?;
+        let ca = r.ids(n_items)?;
+        let pairs = r.pairs(v_units)?;
+        if store.minorities.insert(CellCoords { sa, ca }, pairs).is_some() {
+            return Err(corrupt("duplicate maintenance cell"));
+        }
+    }
+    Ok(store)
 }
 
 fn corrupt(msg: &str) -> ScubeError {
@@ -809,14 +1321,85 @@ mod tests {
                 p
             },
         ] {
+            // Legacy (v3) framing: a single checksummed payload.
             let mut bytes = Vec::new();
             bytes.extend_from_slice(MAGIC);
-            bytes.extend_from_slice(&VERSION.to_le_bytes());
+            bytes.extend_from_slice(&VERSION_3.to_le_bytes());
             bytes.push(EwahBitmap::SERIAL_TAG);
             bytes.extend_from_slice(&checksum(&payload).to_le_bytes());
             bytes.extend_from_slice(&payload);
             assert!(CubeSnapshot::<EwahBitmap>::from_bytes(&bytes).is_err());
         }
+    }
+
+    #[test]
+    fn crafted_v4_directory_errors_instead_of_allocating() {
+        // A well-formed v4 header whose directory promises 2^60 postings:
+        // parsing must reject the directory (regions cannot tile the
+        // file), not attempt the allocation.
+        let mut bytes = vec![0u8; META_OFF];
+        bytes[..8].copy_from_slice(MAGIC);
+        bytes[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        bytes[12] = EwahBitmap::SERIAL_TAG;
+        let dir: [u64; DIR_WORDS] = [META_OFF as u64, 0, META_OFF as u64, 1 << 60, 0, 0, 0, 0, 0];
+        for (i, w) in dir.iter().enumerate() {
+            bytes[DIR_OFF + 8 * i..DIR_OFF + 8 * i + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        let sum = checksum(&bytes[DIR_OFF..]);
+        bytes[13..21].copy_from_slice(&sum.to_le_bytes());
+        let err = CubeSnapshot::<EwahBitmap>::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("directory"), "{err}");
+    }
+
+    #[test]
+    fn v4_layout_directory_is_consistent() {
+        let db = db();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+        let bytes = snap.to_bytes();
+        assert_eq!(&bytes[8..12], &VERSION.to_le_bytes());
+        let word = |i: usize| {
+            u64::from_le_bytes(bytes[DIR_OFF + 8 * i..DIR_OFF + 8 * i + 8].try_into().unwrap())
+        };
+        assert_eq!(word(0), META_OFF as u64, "meta_off");
+        assert_eq!(word(2), META_OFF as u64 + word(1), "postdir_off");
+        assert_eq!(word(3), snap.vertical().num_items() as u64, "n_postings");
+        assert_eq!(word(4) % 8, 0, "slots 8-aligned");
+        assert_eq!(word(6), word(4) + word(5), "store_off");
+        assert_eq!(word(6) + word(7), bytes.len() as u64, "regions span the file");
+        // Every posting slot sits 8-aligned inside the slots region.
+        let postdir = word(2) as usize;
+        for i in 0..word(3) as usize {
+            let at = postdir + i * POSTDIR_ENTRY;
+            let off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+            let len = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
+            assert_eq!(off % 8, 0, "slot {i} aligned");
+            assert!(off >= word(4) && off + len <= word(6), "slot {i} in bounds");
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_over_existing_snapshot() {
+        // Make the save fail *after* the target exists (target becomes a
+        // directory → rename fails): the original bytes must be untouched
+        // and no temp file may linger.
+        let db = db();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+        let dir = std::env::temp_dir().join("scube_snapshot_atomic_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.scube");
+        snap.save(&path).unwrap();
+        let original = std::fs::read(&path).unwrap();
+        // A save onto a path whose parent vanished fails cleanly.
+        let gone = dir.join("nope").join("snap.scube");
+        assert!(snap.save(&gone).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), original, "target untouched");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files cleaned up: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

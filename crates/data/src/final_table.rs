@@ -12,7 +12,7 @@ use std::path::Path;
 
 use scube_common::{Result, ScubeError};
 
-use crate::relation::Relation;
+use crate::relation::{CsvRows, Relation};
 use crate::schema::{Attribute, Schema};
 use crate::transactions::{TransactionDb, TransactionDbBuilder};
 
@@ -100,40 +100,97 @@ impl FinalTableSpec {
 
     /// Encode a relation into a transaction database under this spec.
     pub fn encode(&self, rel: &Relation) -> Result<TransactionDb> {
+        let mut enc = self.encoder(rel.columns())?;
+        for row in rel.rows() {
+            enc.add_record(row)?;
+        }
+        Ok(enc.finish())
+    }
+
+    /// Start a streaming encoder over a table with the given `columns`.
+    ///
+    /// Feed records with [`FinalTableEncoder::add_record`]; only the
+    /// dictionary-encoded output accumulates, never the string rows —
+    /// peak staging memory is one record regardless of row count.
+    pub fn encoder(&self, columns: &[String]) -> Result<FinalTableEncoder> {
         let schema = self.schema()?;
+        let column_index = |name: &str| columns.iter().position(|c| c == name);
         let mut col_of_attr = Vec::with_capacity(schema.len());
         for attr in schema.attributes() {
-            let idx = rel.column_index(&attr.name).ok_or_else(|| {
+            let idx = column_index(&attr.name).ok_or_else(|| {
                 ScubeError::Schema(format!("final table misses column '{}'", attr.name))
             })?;
             col_of_attr.push(idx);
         }
-        let unit_col = rel.column_index(&self.unit_column).ok_or_else(|| {
+        let unit_col = column_index(&self.unit_column).ok_or_else(|| {
             ScubeError::Schema(format!("final table misses unit column '{}'", self.unit_column))
         })?;
-
-        let mut builder = TransactionDbBuilder::new(schema.clone());
-        let mut values: Vec<Vec<&str>> = vec![Vec::new(); schema.len()];
-        for row in rel.rows() {
-            for (a, attr) in schema.attributes().iter().enumerate() {
-                let cell = row[col_of_attr[a]].as_str();
-                values[a].clear();
-                if attr.multi_valued {
-                    values[a].extend(
-                        cell.split(MULTI_VALUE_SEPARATOR).map(str::trim).filter(|v| !v.is_empty()),
-                    );
-                } else if !cell.trim().is_empty() {
-                    values[a].push(cell);
-                }
-            }
-            builder.add_row(&values, &row[unit_col])?;
-        }
-        Ok(builder.finish())
+        let builder = TransactionDbBuilder::new(schema.clone());
+        Ok(FinalTableEncoder { schema, col_of_attr, unit_col, builder })
     }
 
-    /// Convenience: read a CSV file and encode it.
+    /// Read a CSV file and encode it, streaming record by record — the
+    /// string table is never resident as a whole, so this is safe for
+    /// inputs far larger than memory would allow via
+    /// [`Relation::read_csv_path`].
     pub fn load_csv(&self, path: impl AsRef<Path>) -> Result<TransactionDb> {
-        self.encode(&Relation::read_csv_path(path)?)
+        let mut rows = CsvRows::open_path(path)?;
+        let mut enc = self.encoder(rows.columns())?;
+        while let Some(row) = rows.next_row()? {
+            enc.add_record(row)?;
+        }
+        Ok(enc.finish())
+    }
+}
+
+/// Streaming counterpart of [`FinalTableSpec::encode`]: records go in one
+/// at a time (e.g. from [`CsvRows`]) and only the dictionary-encoded
+/// [`TransactionDb`] accumulates.
+pub struct FinalTableEncoder {
+    schema: Schema,
+    col_of_attr: Vec<usize>,
+    unit_col: usize,
+    builder: TransactionDbBuilder,
+}
+
+impl FinalTableEncoder {
+    /// Encode one record. Its arity must cover every declared column
+    /// (CSV readers enforce this against the header already).
+    pub fn add_record(&mut self, row: &[String]) -> Result<()> {
+        let width = self.col_of_attr.iter().chain([&self.unit_col]).max().unwrap() + 1;
+        if row.len() < width {
+            return Err(ScubeError::Schema(format!(
+                "record has {} fields, spec needs {width}",
+                row.len()
+            )));
+        }
+        let mut values: Vec<Vec<&str>> = vec![Vec::new(); self.schema.len()];
+        for (a, attr) in self.schema.attributes().iter().enumerate() {
+            let cell = row[self.col_of_attr[a]].as_str();
+            if attr.multi_valued {
+                values[a].extend(
+                    cell.split(MULTI_VALUE_SEPARATOR).map(str::trim).filter(|v| !v.is_empty()),
+                );
+            } else if !cell.trim().is_empty() {
+                values[a].push(cell);
+            }
+        }
+        self.builder.add_row(&values, &row[self.unit_col])
+    }
+
+    /// Number of records encoded so far.
+    pub fn len(&self) -> usize {
+        self.builder.len()
+    }
+
+    /// True when no records have been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish into the encoded transaction database.
+    pub fn finish(self) -> TransactionDb {
+        self.builder.finish()
     }
 }
 

@@ -23,8 +23,8 @@ pub mod transactions;
 pub mod vertical;
 
 pub use dictionary::{Dictionary, ItemId};
-pub use final_table::{FinalTableSpec, MULTI_VALUE_SEPARATOR};
-pub use relation::Relation;
+pub use final_table::{FinalTableEncoder, FinalTableSpec, MULTI_VALUE_SEPARATOR};
+pub use relation::{CsvRows, Relation};
 pub use schema::{AttrId, AttrRole, Attribute, Schema};
 pub use transactions::{TransactionDb, TransactionDbBuilder, UnitId};
 pub use vertical::{UnitScratch, VerticalDb};

@@ -4,6 +4,12 @@
 //! the encoded [`crate::TransactionDb`]: a header plus rows of strings.
 //! The pipeline's `individuals`, `groups`, `membership` and `finalTable`
 //! files all pass through here.
+//!
+//! Large inputs should not pass through a whole-table `Relation` at all:
+//! [`CsvRows`] streams one record at a time through a single reused buffer,
+//! so encoding a million-row final table holds O(one record) of staging
+//! memory instead of the entire file — see
+//! [`crate::FinalTableSpec::load_csv`].
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -80,21 +86,14 @@ impl Relation {
     }
 
     /// Read a relation from CSV with a header line.
+    ///
+    /// Materializes every row; for inputs too large to stage in memory,
+    /// stream them with [`CsvRows`] instead.
     pub fn read_csv<R: BufRead>(input: R) -> Result<Self> {
-        let mut reader = csv::Reader::new(input);
-        let mut rec = Vec::new();
-        if !reader.read_record(&mut rec)? {
-            return Err(ScubeError::Csv { line: 0, msg: "missing header".into() });
-        }
-        let mut rel = Relation::new(rec.clone())?;
-        while reader.read_record(&mut rec)? {
-            if rec.len() != rel.columns.len() {
-                return Err(ScubeError::Csv {
-                    line: reader.line(),
-                    msg: format!("expected {} fields, found {}", rel.columns.len(), rec.len()),
-                });
-            }
-            rel.rows.push(rec.clone());
+        let mut rows = CsvRows::open(input)?;
+        let mut rel = Relation::new(rows.columns().to_vec())?;
+        while let Some(rec) = rows.next_row()? {
+            rel.rows.push(rec.to_vec());
         }
         Ok(rel)
     }
@@ -123,6 +122,83 @@ impl Relation {
         let file = std::fs::File::create(path)
             .map_err(|e| ScubeError::io_at(path.display().to_string(), e))?;
         self.write_csv(file)
+    }
+}
+
+/// A streaming CSV record visitor: header parsed up front, then one record
+/// at a time through a reused buffer.
+///
+/// This is the bounded-memory counterpart of [`Relation::read_csv`] — peak
+/// staging memory is one record, independent of row count. Arity is checked
+/// against the header on every record, exactly like the materializing
+/// reader.
+///
+/// ```
+/// # use scube_data::CsvRows;
+/// let mut rows = CsvRows::open("id,gender\n1,F\n2,M\n".as_bytes()).unwrap();
+/// assert_eq!(rows.columns(), ["id", "gender"]);
+/// let mut seen = 0;
+/// while let Some(rec) = rows.next_row().unwrap() {
+///     assert_eq!(rec.len(), 2);
+///     seen += 1;
+/// }
+/// assert_eq!(seen, 2);
+/// ```
+pub struct CsvRows<R: BufRead> {
+    reader: csv::Reader<R>,
+    columns: Vec<String>,
+    rec: Vec<String>,
+}
+
+impl CsvRows<BufReader<std::fs::File>> {
+    /// Stream records from a CSV file.
+    pub fn open_path(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)
+            .map_err(|e| ScubeError::io_at(path.display().to_string(), e))?;
+        Self::open(BufReader::new(file))
+    }
+}
+
+impl<R: BufRead> CsvRows<R> {
+    /// Parse the header line and prepare to stream the records under it.
+    pub fn open(input: R) -> Result<Self> {
+        let mut reader = csv::Reader::new(input);
+        let mut columns = Vec::new();
+        if !reader.read_record(&mut columns)? {
+            return Err(ScubeError::Csv { line: 0, msg: "missing header".into() });
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].contains(c) {
+                return Err(ScubeError::Schema(format!("duplicate column '{c}'")));
+            }
+        }
+        Ok(CsvRows { reader, columns, rec: Vec::new() })
+    }
+
+    /// Column names from the header line.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The next record, or `None` at end of input. The returned slice
+    /// borrows an internal buffer that the next call overwrites.
+    pub fn next_row(&mut self) -> Result<Option<&[String]>> {
+        if !self.reader.read_record(&mut self.rec)? {
+            return Ok(None);
+        }
+        if self.rec.len() != self.columns.len() {
+            return Err(ScubeError::Csv {
+                line: self.reader.line(),
+                msg: format!("expected {} fields, found {}", self.columns.len(), self.rec.len()),
+            });
+        }
+        Ok(Some(&self.rec))
+    }
+
+    /// 1-based line number of the most recently read record (for errors).
+    pub fn line(&self) -> u64 {
+        self.reader.line()
     }
 }
 

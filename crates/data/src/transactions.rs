@@ -131,6 +131,16 @@ impl TransactionDbBuilder {
         }
     }
 
+    /// Number of rows added so far.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no rows have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Intern a unit name, returning its dense id.
     pub fn intern_unit(&mut self, name: &str) -> UnitId {
         if let Some(&u) = self.unit_lookup.get(name) {

@@ -62,6 +62,24 @@ impl<P: Posting> VerticalDb<P> {
         Some(VerticalDb { postings, n_transactions, unit_of, n_units })
     }
 
+    /// As [`Self::from_parts`], but trusting that every posting's tids are
+    /// already known to be `< n_transactions` — skipping the full posting
+    /// scan, which is O(total data) and would defeat a milliseconds-cold
+    /// mmap open. The unit map is still checked (it is O(rows), owned, and
+    /// cheap). Callers must have bounded the postings themselves: the
+    /// snapshot mmap path does so via `Posting::map_slot`'s universe check.
+    pub fn from_validated_parts(
+        postings: Vec<P>,
+        n_transactions: u32,
+        unit_of: Vec<UnitId>,
+        n_units: u32,
+    ) -> Option<Self> {
+        if unit_of.len() != n_transactions as usize || unit_of.iter().any(|&u| u >= n_units) {
+            return None;
+        }
+        Some(VerticalDb { postings, n_transactions, unit_of, n_units })
+    }
+
     /// Fold a batch of appended transactions into the database in place —
     /// the delta-ingest primitive behind incremental cube maintenance.
     ///

@@ -395,6 +395,196 @@ pub fn estonia(n_companies: usize) -> SyntheticBoards {
     generate(BoardsConfig::estonia(n_companies))
 }
 
+// ---------------------------------------------------------------------------
+// Streaming final-table emission (the million-row scale axis)
+// ---------------------------------------------------------------------------
+
+/// Column header of the CSV emitted by [`stream_final_table`]: one row per
+/// board seat, already joined into the paper's `finalTable` shape (director
+/// SAs + company CAs + `unitID` = the company).
+pub const FINAL_TABLE_COLUMNS: [&str; 8] =
+    ["gender", "age", "birthplace", "residence", "sector", "region", "area", "unitID"];
+
+/// Aggregate counts from a [`stream_final_table`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Companies generated (each is one organizational unit).
+    pub n_companies: usize,
+    /// Distinct directors behind the emitted seats.
+    pub n_directors: usize,
+    /// Final-table rows written (board seats).
+    pub n_rows: usize,
+}
+
+/// The [`scube_data::FinalTableSpec`] matching [`FINAL_TABLE_COLUMNS`]: director
+/// attributes as SAs, company attributes (plus residence) as CAs.
+pub fn final_table_spec() -> scube_data::FinalTableSpec {
+    scube_data::FinalTableSpec::new("unitID")
+        .sa("gender")
+        .sa("age")
+        .sa("birthplace")
+        .ca("residence")
+        .ca("sector")
+        .ca("region")
+        .ca("area")
+}
+
+/// A director retained for interlock reuse, packed to indices so the pool
+/// for millions of companies stays a few bytes per director.
+struct PooledDirector {
+    female: bool,
+    age_idx: u8,
+    /// Region whose macro-area is the birthplace, or [`BIRTH_FOREIGN`].
+    birth: u8,
+    /// Residence region index.
+    region_idx: u8,
+}
+
+const BIRTH_FOREIGN: u8 = u8::MAX;
+
+/// Generate an untimed registry and stream it straight to `out` as a
+/// final-table CSV ([`FINAL_TABLE_COLUMNS`] header, one row per board
+/// seat). Rows are written as they are generated — resident state is the
+/// compact director pool (O(directors), a few bytes each), never the
+/// table itself — so millions of companies fit in a small, flat memory
+/// budget. The planted skew matches [`generate`]: weighted sectors and
+/// regions, sector/regional gender propensities, and sector/region-affine
+/// director reuse. Deterministic under `config.seed`.
+///
+/// Temporal configurations are rejected: the final table is an untimed
+/// snapshot (`from`/`to` columns have no place in it).
+pub fn stream_final_table(
+    config: BoardsConfig,
+    out: &mut dyn std::io::Write,
+) -> Result<StreamStats> {
+    use scube_common::ScubeError;
+    if config.temporal.is_some() {
+        return Err(ScubeError::InvalidParameter(
+            "stream_final_table generates untimed snapshots; temporal must be None".into(),
+        ));
+    }
+    let io_err = |source: std::io::Error| ScubeError::Io { path: None, source };
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let geography: Vec<(&str, &str, f64)> =
+        if config.estonian_geography { names::COUNTIES.to_vec() } else { names::REGIONS.to_vec() };
+    assert!(geography.len() < BIRTH_FOREIGN as usize, "region index fits u8");
+    let region_weights: Vec<f64> = geography.iter().map(|&(_, _, w)| w).collect();
+    let national_female: f64 = {
+        let wsum: f64 = names::SECTOR_WEIGHTS.iter().sum();
+        names::SECTORS
+            .iter()
+            .zip(names::SECTOR_WEIGHTS.iter())
+            .map(|(&(_, p), &w)| p * w)
+            .sum::<f64>()
+            / wsum
+    };
+
+    let mut directors: Vec<PooledDirector> = Vec::new();
+    let mut by_region: Vec<Vec<u32>> = vec![Vec::new(); geography.len()];
+    let mut by_sector: Vec<Vec<u32>> = vec![Vec::new(); names::SECTORS.len()];
+    let p_new = (config.directors_per_company / config.mean_board_size).clamp(0.05, 1.0);
+    let mut n_rows = 0usize;
+
+    writeln!(out, "{}", FINAL_TABLE_COLUMNS.join(",")).map_err(io_err)?;
+    for c in 0..config.n_companies {
+        let sector = pick_weighted(&mut rng, &names::SECTOR_WEIGHTS);
+        let region = pick_weighted(&mut rng, &region_weights);
+        let size = board_size(&mut rng, config.mean_board_size, 15);
+        for _ in 0..size {
+            let reuse_pool = !directors.is_empty() && rng.random::<f64>() > p_new;
+            let director = if reuse_pool {
+                // Prefer a director from the company's own sector, then from
+                // its region, then anyone (same affinity cascade as
+                // `generate`).
+                if rng.random::<f64>() < config.sector_affinity && !by_sector[sector].is_empty() {
+                    let pool = &by_sector[sector];
+                    pool[rng.random_range(0..pool.len())] as usize
+                } else if rng.random::<f64>() < config.regional_affinity
+                    && !by_region[region].is_empty()
+                {
+                    let pool = &by_region[region];
+                    pool[rng.random_range(0..pool.len())] as usize
+                } else {
+                    rng.random_range(0..directors.len())
+                }
+            } else {
+                // Fresh director with sector/region-conditioned attributes.
+                let base = names::SECTORS[sector].1;
+                let mut p_female = national_female + config.sector_bias * (base - national_female);
+                match geography[region].1 {
+                    "south" | "east" => p_female -= config.regional_gap,
+                    "north" => p_female += config.regional_gap,
+                    _ => {}
+                }
+                let female = rng.random::<f64>() < p_female.clamp(0.01, 0.99);
+                let age_weights: [f64; 5] =
+                    if female { [2.0, 3.0, 2.5, 1.5, 0.5] } else { [1.0, 2.0, 3.0, 2.5, 1.5] };
+                let age_idx = pick_weighted(&mut rng, &age_weights) as u8;
+                let birth_roll = rng.random::<f64>();
+                let birth = if birth_roll < 0.75 {
+                    region as u8
+                } else if birth_roll < 0.95 {
+                    pick_weighted(&mut rng, &region_weights) as u8
+                } else {
+                    BIRTH_FOREIGN
+                };
+                let res_idx = if rng.random::<f64>() < 0.9 {
+                    region
+                } else {
+                    pick_weighted(&mut rng, &region_weights)
+                };
+                let idx = directors.len();
+                directors.push(PooledDirector {
+                    female,
+                    age_idx,
+                    birth,
+                    region_idx: res_idx as u8,
+                });
+                by_region[res_idx].push(idx as u32);
+                by_sector[sector].push(idx as u32);
+                idx
+            };
+
+            let d = &directors[director];
+            let birthplace =
+                if d.birth == BIRTH_FOREIGN { "foreign" } else { geography[d.birth as usize].1 };
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},c{c}",
+                if d.female { "F" } else { "M" },
+                names::AGE_BANDS[d.age_idx as usize],
+                birthplace,
+                geography[d.region_idx as usize].0,
+                names::SECTORS[sector].0,
+                geography[region].0,
+                geography[region].1,
+            )
+            .map_err(io_err)?;
+            n_rows += 1;
+        }
+    }
+    out.flush().map_err(io_err)?;
+    Ok(StreamStats { n_companies: config.n_companies, n_directors: directors.len(), n_rows })
+}
+
+/// [`stream_final_table`] into a buffered file at `path`.
+pub fn write_final_table_csv(
+    config: BoardsConfig,
+    path: impl AsRef<std::path::Path>,
+) -> Result<StreamStats> {
+    let path = path.as_ref();
+    let io_err = |source: std::io::Error| scube_common::ScubeError::Io {
+        path: Some(path.display().to_string()),
+        source,
+    };
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut out = std::io::BufWriter::with_capacity(1 << 20, file);
+    let stats = stream_final_table(config, &mut out)?;
+    out.into_inner().map_err(|e| io_err(e.into_error()))?.sync_all().map_err(io_err)?;
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +714,69 @@ mod tests {
         let early = share_at(1997);
         let late = share_at(2012);
         assert!(late > early, "late {late} <= early {early}");
+    }
+
+    #[test]
+    fn streamed_final_table_is_deterministic_and_loads() {
+        let mut a = Vec::new();
+        let stats = stream_final_table(BoardsConfig::italy(400), &mut a).unwrap();
+        let mut b = Vec::new();
+        let again = stream_final_table(BoardsConfig::italy(400), &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(stats, again);
+        assert_eq!(stats.n_companies, 400);
+        // One row per seat, mean board size near the configured 2.8.
+        let mean = stats.n_rows as f64 / 400.0;
+        assert!((2.2..3.6).contains(&mean), "mean board size {mean}");
+        let ratio = stats.n_directors as f64 / 400.0;
+        assert!((1.2..2.2).contains(&ratio), "directors/companies {ratio}");
+
+        // The emitted CSV round-trips through the streaming ingest: every
+        // company is a unit, every seat a transaction.
+        let dir = std::env::temp_dir().join(format!("scube_datagen_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.csv");
+        let written = write_final_table_csv(BoardsConfig::italy(400), &path).unwrap();
+        assert_eq!(written, stats);
+        assert_eq!(std::fs::read(&path).unwrap(), a);
+        let db = final_table_spec().load_csv(&path).unwrap();
+        assert_eq!(db.len(), stats.n_rows);
+        assert_eq!(db.num_units(), 400);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_final_table_keeps_planted_sector_bias() {
+        let mut buf = Vec::new();
+        stream_final_table(BoardsConfig::italy(3000), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut counts: std::collections::HashMap<&str, (u64, u64)> = Default::default();
+        for line in text.lines().skip(1) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), FINAL_TABLE_COLUMNS.len());
+            let e = counts.entry(fields[4]).or_default();
+            e.1 += 1;
+            if fields[0] == "F" {
+                e.0 += 1;
+            }
+        }
+        let share = |s: &str| {
+            let (f, t) = counts[s];
+            f as f64 / t as f64
+        };
+        assert!(
+            share("education") > share("construction") + 0.15,
+            "education {} vs construction {}",
+            share("education"),
+            share("construction")
+        );
+    }
+
+    #[test]
+    fn streamed_final_table_rejects_temporal_configs() {
+        let mut buf = Vec::new();
+        let err = stream_final_table(BoardsConfig::estonia(50), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("untimed"), "{err}");
     }
 
     #[test]

@@ -322,6 +322,91 @@ fn graceful_shutdown_drains_in_flight_requests() {
     server.join().unwrap().unwrap();
 }
 
+/// The `--max-body` cap, both sides: a `POST /update` body over the
+/// configured limit gets a 413 whose text names the cap, while a daemon
+/// with a raised cap accepts the *same* body and applies it.
+#[test]
+fn oversized_update_bodies_get_413_naming_the_configured_cap() {
+    const CAP: usize = 1024;
+    // A syntactically valid update comfortably over the small cap.
+    let row = r#"{"unit":"u_pad","values":[["gender","F"]]}"#;
+    let rows: Vec<&str> = std::iter::repeat_n(row, 40).collect();
+    let big_body = format!("{{\"add\":[{}],\"threads\":2}}", rows.join(","));
+    assert!(big_body.len() > CAP, "body must exceed the small cap");
+
+    // Side one: the capped daemon refuses it with a self-explaining 413.
+    let config = DaemonConfig { max_body: CAP, ..test_config() };
+    let (addr, server) = spawn_daemon(snapshot(), config);
+    let mut client = HttpClient::connect(&addr).expect("connect");
+    let resp = client.post("/update", big_body.as_bytes()).expect("response");
+    assert_eq!(resp.status, 413);
+    let text = resp.text().unwrap().to_string();
+    assert!(text.contains("limit 1024 bytes"), "413 must name the cap: {text:?}");
+
+    // The daemon survives the refusal and still applies in-cap updates.
+    let mut client = HttpClient::connect(&addr).expect("reconnect");
+    let small = format!("{{\"add\":[{row}],\"threads\":2}}");
+    assert!(small.len() <= CAP);
+    let resp = client.post("/update", small.as_bytes()).expect("small update");
+    assert_eq!(resp.status, 200, "{:?}", resp.text());
+    assert_eq!(client.post("/shutdown", b"").unwrap().status, 200);
+    server.join().unwrap().unwrap();
+
+    // Side two: raising --max-body admits the identical body.
+    let config = DaemonConfig { max_body: 1 << 20, ..test_config() };
+    let (addr, server) = spawn_daemon(snapshot(), config);
+    let mut client = HttpClient::connect(&addr).expect("connect");
+    let resp = client.post("/update", big_body.as_bytes()).expect("big update");
+    assert_eq!(resp.status, 200, "{:?}", resp.text());
+    let stats = Json::parse(resp.text().unwrap()).expect("valid JSON");
+    assert_eq!(stats.get("rows_added").unwrap().as_u64(), Some(40));
+    assert_eq!(client.post("/shutdown", b"").unwrap().status, 200);
+    server.join().unwrap().unwrap();
+}
+
+/// A daemon serving a memory-mapped snapshot answers byte-identically to
+/// the in-process heap engine, and `POST /update` still works (the mapped
+/// snapshot materializes its deferred maintenance store on first write).
+#[test]
+fn mmap_served_daemon_matches_heap_daemon() {
+    let snap = snapshot();
+    let path = std::env::temp_dir().join(format!("scube_daemon_mmap_{}.scube", std::process::id()));
+    snap.save(&path).expect("save");
+    let mapped: CubeSnapshot = CubeSnapshot::open_mmap(&path).expect("open_mmap");
+
+    let reference = ConcurrentCubeEngine::new(snap);
+    let labels = reference.cube().labels().clone();
+    let (addr, server) = spawn_daemon(mapped, test_config());
+    let mut client = HttpClient::connect(&addr).expect("connect");
+
+    let mut cells: Vec<CellCoords> = vec![CellCoords::apex()];
+    cells.extend(reference.cube().cells().map(|(c, _)| c.clone()).step_by(11).take(10));
+    for coords in &cells {
+        let resp = client
+            .get(&format!("/cubes/main/query?{}", coords_query(&labels, coords)))
+            .expect("query");
+        assert_eq!(resp.status, 200);
+        let values = reference.query(coords).expect("reference query");
+        assert_eq!(
+            resp.text().unwrap(),
+            daemon::cell_json(&labels, coords, &values),
+            "mapped serving must be bit-identical"
+        );
+    }
+
+    let resp = client
+        .post("/update", br#"{"add":[{"unit":"u_new","values":[["gender","F"]]}],"threads":2}"#)
+        .expect("update over mapped snapshot");
+    assert_eq!(resp.status, 200, "{:?}", resp.text());
+    let stats = Json::parse(resp.text().unwrap()).expect("valid JSON");
+    assert_eq!(stats.get("rows_added").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("new_units").unwrap().as_u64(), Some(1));
+
+    assert_eq!(client.post("/shutdown", b"").unwrap().status, 200);
+    server.join().unwrap().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
 /// Byte-level robustness over a real socket: corrupted or truncated
 /// requests must yield a 4xx/5xx or a clean close — and the daemon keeps
 /// serving correct answers afterwards.

@@ -1,0 +1,216 @@
+//! Differential proof that the mmap engine is the heap engine: for every
+//! posting representation × materialization strategy, a snapshot opened
+//! with `open_mmap` must re-save to the exact bytes of the file it was
+//! opened from, answer the full query universe identically to the
+//! heap-loaded snapshot, and fold updates to bit-identical results. On
+//! top of that, truncated and corrupted files must make `open_mmap` error
+//! cleanly — never panic, never UB.
+
+use scube::prelude::*;
+use scube_bitmap::{AdaptivePosting, DenseBitmap, EwahBitmap, Posting, TidVec};
+use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
+
+/// A database a bit richer than the compat golden: three attributes, four
+/// units, enough rows that every representation exercises real payloads.
+fn db() -> TransactionDb {
+    let schema =
+        Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("sector")])
+            .unwrap();
+    let mut b = TransactionDbBuilder::new(schema);
+    let sexes = ["F", "M"];
+    let ages = ["young", "mid", "old"];
+    let sectors = ["tech", "retail", "finance"];
+    let units = ["u0", "u1", "u2", "u3"];
+    for i in 0..200usize {
+        b.add_row(
+            &[vec![sexes[i % 2]], vec![ages[(i / 2) % 3]], vec![sectors[(i / 7) % 3]]],
+            units[(i / 5) % 4],
+        )
+        .unwrap();
+    }
+    b.finish()
+}
+
+fn save_to(bytes: &[u8], name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+fn check_rep<P>(rep: &str, materialize: Materialize)
+where
+    P: Posting + Send + Sync + PartialEq + std::fmt::Debug,
+{
+    let db = db();
+    let snap: CubeSnapshot<P> =
+        CubeSnapshot::from_db(&db, &CubeBuilder::new().materialize(materialize)).unwrap();
+    let path = std::env::temp_dir().join(format!("scube_mmap_diff_{rep}_{materialize:?}.scube"));
+    snap.save(&path).unwrap();
+    let file_bytes = std::fs::read(&path).unwrap();
+
+    let heap: CubeSnapshot<P> = CubeSnapshot::load(&path).unwrap();
+    let mapped: CubeSnapshot<P> = CubeSnapshot::open_mmap(&path).unwrap();
+    let verified: CubeSnapshot<P> = CubeSnapshot::open_mmap_verified(&path).unwrap();
+
+    // Re-save is byte-identical to the opened file, for every open path.
+    assert_eq!(heap.to_bytes(), file_bytes, "{rep} heap re-save");
+    assert_eq!(mapped.to_bytes(), file_bytes, "{rep} mapped re-save");
+    assert_eq!(verified.to_bytes(), file_bytes, "{rep} verified re-save");
+
+    // The cube halves agree exactly.
+    assert_eq!(mapped.cube(), heap.cube(), "{rep}");
+    assert_eq!(mapped.vertical().units(), heap.vertical().units(), "{rep}");
+    assert_eq!(mapped.vertical().postings(), heap.vertical().postings(), "{rep}");
+
+    // The full query universe — every materialized cell plus explorer
+    // fallbacks over every single-item coordinate pair — answers
+    // bit-identically through both engines.
+    let coords: Vec<_> = heap.cube().cells().map(|(c, _)| c.clone()).collect();
+    let mut heap_engine = CubeQueryEngine::new(heap);
+    let mut mapped_engine = CubeQueryEngine::new(mapped);
+    for c in &coords {
+        assert_eq!(
+            heap_engine.query(c).unwrap(),
+            mapped_engine.query(c).unwrap(),
+            "{rep} cell {c:?}"
+        );
+    }
+    let n_items = heap_engine.cube().labels().num_items();
+    let sa_items: Vec<u32> =
+        (0..n_items as u32).filter(|&i| heap_engine.cube().labels().is_sa_item(i)).collect();
+    let ca_items: Vec<u32> =
+        (0..n_items as u32).filter(|&i| !heap_engine.cube().labels().is_sa_item(i)).collect();
+    for &sa in &sa_items {
+        for &ca in &ca_items {
+            let c = scube_cube::CellCoords { sa: vec![sa], ca: vec![ca] };
+            assert_eq!(
+                heap_engine.query(&c).unwrap(),
+                mapped_engine.query(&c).unwrap(),
+                "{rep} fallback {c:?}"
+            );
+        }
+    }
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mmap_matches_heap_for_every_representation_and_strategy() {
+    for materialize in [Materialize::AllFrequent, Materialize::ClosedOnly] {
+        check_rep::<EwahBitmap>("ewah", materialize);
+        check_rep::<DenseBitmap>("dense", materialize);
+        check_rep::<TidVec>("tidvec", materialize);
+        check_rep::<AdaptivePosting>("adaptive", materialize);
+    }
+}
+
+#[test]
+fn mapped_updates_match_heap_updates_bit_for_bit() {
+    let db = db();
+    let snap: CubeSnapshot =
+        CubeSnapshot::from_db(&db, &CubeBuilder::new().materialize(Materialize::ClosedOnly))
+            .unwrap();
+    let path = std::env::temp_dir().join("scube_mmap_diff_update.scube");
+    snap.save(&path).unwrap();
+
+    let mut heap: CubeSnapshot = CubeSnapshot::load(&path).unwrap();
+    let mut mapped: CubeSnapshot = CubeSnapshot::open_mmap(&path).unwrap();
+
+    // An update that appends rows (new unit included) — the mapped
+    // snapshot must materialize its deferred maintenance store, copy the
+    // touched postings onto the heap, and land bit-identical to the heap
+    // path.
+    let mut batch = UpdateBatch::new();
+    batch.add_row(&[("sex", "F"), ("age", "old"), ("sector", "tech")], "u9");
+    batch.add_row(&[("sex", "M"), ("age", "young"), ("sector", "retail")], "u0");
+    let heap_stats = heap.apply_update(&batch).unwrap();
+    let mapped_stats = mapped.apply_update(&batch).unwrap();
+    assert_eq!(heap_stats.rows_added, mapped_stats.rows_added);
+    assert_eq!(heap.to_bytes(), mapped.to_bytes(), "post-update bytes");
+
+    // The concurrent engine path materializes the deferred store too.
+    let reopened: CubeSnapshot = CubeSnapshot::open_mmap(&path).unwrap();
+    let mut engine = ConcurrentCubeEngine::new(reopened);
+    engine.apply_update(&batch).unwrap();
+    let coords = engine.cube().coords_by_names(&[("sex", "F")], &[]).unwrap();
+    assert_eq!(engine.query(&coords).unwrap(), *heap.cube().get(&coords).unwrap());
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mapped_postings_live_off_heap_until_mutated() {
+    let db = db();
+    let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+    let path = std::env::temp_dir().join("scube_mmap_diff_heap_bytes.scube");
+    snap.save(&path).unwrap();
+
+    let heap: CubeSnapshot = CubeSnapshot::load(&path).unwrap();
+    let mapped: CubeSnapshot = CubeSnapshot::open_mmap(&path).unwrap();
+    let heap_bytes = |s: &CubeSnapshot| -> usize {
+        s.vertical().postings().iter().map(|p| p.heap_bytes()).sum()
+    };
+    assert!(heap_bytes(&heap) > 0, "heap postings occupy the heap");
+    assert_eq!(heap_bytes(&mapped), 0, "mapped postings are zero-copy");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn legacy_versions_are_rejected_by_open_mmap_with_guidance() {
+    let golden = include_bytes!("golden/snapshot_v3.scube");
+    let path = save_to(golden, "scube_mmap_diff_v3_reject.scube");
+    let err = CubeSnapshot::<EwahBitmap>::open_mmap(&path).unwrap_err();
+    assert!(err.to_string().contains("re-save"), "points at the conversion path: {err}");
+    // The heap loader happily converts it.
+    let loaded: CubeSnapshot = CubeSnapshot::load(&path).unwrap();
+    let v4_path = save_to(&loaded.to_bytes(), "scube_mmap_diff_v3_converted.scube");
+    assert!(CubeSnapshot::<EwahBitmap>::open_mmap(&v4_path).is_ok());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&v4_path).ok();
+}
+
+#[test]
+fn truncated_and_corrupted_mmap_opens_error_never_panic() {
+    let db = db();
+    let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+    let good = snap.to_bytes();
+
+    // Every truncation point: open_mmap must error (directory, meta
+    // checksum, slot bounds, or store bounds — depending on the cut).
+    let path = std::env::temp_dir().join("scube_mmap_diff_trunc.scube");
+    for cut in (0..good.len()).step_by(7).chain([good.len() - 1]) {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(
+            CubeSnapshot::<EwahBitmap>::open_mmap(&path).is_err(),
+            "truncate at {cut} must error"
+        );
+    }
+
+    // Flipping any byte of the meta-checksummed prefix (directory, meta
+    // region, posting directory) is caught eagerly.
+    let slots_off = u64::from_le_bytes(good[24 + 32..24 + 40].try_into().unwrap()) as usize;
+    for at in [24, 50, 96, 100, slots_off - 1] {
+        let mut bad = good.clone();
+        bad[at] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(CubeSnapshot::<EwahBitmap>::open_mmap(&path).is_err(), "flip at {at} must error");
+    }
+
+    // A flipped byte *anywhere* is caught by the verified open.
+    for at in [30, 99, slots_off + 3, good.len() - 1] {
+        let mut bad = good.clone();
+        bad[at] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(
+            CubeSnapshot::<EwahBitmap>::open_mmap_verified(&path).is_err(),
+            "verified flip at {at} must error"
+        );
+    }
+
+    // Wrong representation tag.
+    std::fs::write(&path, &good).unwrap();
+    assert!(CubeSnapshot::<TidVec>::open_mmap(&path).is_err(), "tag mismatch");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,102 @@
+//! Interrupted-save regression: killing a process mid-`save` must never
+//! leave an unloadable snapshot at the target path. Before saves went
+//! through a temp-file + fsync + rename, a kill mid-`std::fs::write`
+//! truncated the target in place — `scube update` could destroy its own
+//! input. The test re-executes itself as a child that saves in a tight
+//! loop, SIGKILLs it at staggered delays, and asserts the target always
+//! loads.
+
+use scube::prelude::*;
+use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
+
+const CHILD_ENV: &str = "SCUBE_ATOMIC_SAVE_CHILD";
+
+/// A database big enough that one serialized snapshot spans many write
+/// syscalls — a kill has a real window to land mid-write.
+fn big_db() -> TransactionDb {
+    let schema =
+        Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("sector")])
+            .unwrap();
+    let mut b = TransactionDbBuilder::new(schema);
+    let sexes = ["F", "M"];
+    let ages = ["y", "m", "o", "s", "e"];
+    let sectors = ["a", "b", "c", "d", "e", "f", "g"];
+    for i in 0..20_000usize {
+        b.add_row(
+            &[vec![sexes[i % 2]], vec![ages[(i / 2) % 5]], vec![sectors[(i / 11) % 7]]],
+            &format!("u{}", (i / 13) % 97),
+        )
+        .unwrap();
+    }
+    b.finish()
+}
+
+/// Child mode: save snapshots to the target path forever (alternating two
+/// builds so the bytes actually change), until killed.
+fn writer_loop(target: &str) -> ! {
+    let snap: CubeSnapshot = CubeSnapshot::from_db(&big_db(), &CubeBuilder::new()).unwrap();
+    let closed: CubeSnapshot =
+        CubeSnapshot::from_db(&big_db(), &CubeBuilder::new().materialize(Materialize::ClosedOnly))
+            .unwrap();
+    // Signal readiness: the parent waits for the first complete save.
+    snap.save(target).unwrap();
+    std::fs::write(format!("{target}.ready"), b"1").unwrap();
+    loop {
+        closed.save(target).unwrap();
+        snap.save(target).unwrap();
+    }
+}
+
+#[test]
+fn killed_writer_never_leaves_torn_snapshot() {
+    if let Ok(target) = std::env::var(CHILD_ENV) {
+        writer_loop(&target);
+    }
+
+    let dir = std::env::temp_dir().join(format!("scube_atomic_kill_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let target = dir.join("victim.scube");
+    let ready = dir.join("victim.scube.ready");
+    let exe = std::env::current_exe().unwrap();
+
+    let spawn_writer = || {
+        std::process::Command::new(&exe)
+            .env(CHILD_ENV, target.to_str().unwrap())
+            .arg("killed_writer_never_leaves_torn_snapshot")
+            .arg("--exact")
+            .arg("--nocapture")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn child writer")
+    };
+
+    for round in 0..4u64 {
+        std::fs::remove_file(&ready).ok();
+        let mut child = spawn_writer();
+
+        // Wait for the child's first complete save (its build takes a
+        // moment), then let the save loop churn briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        while !ready.exists() {
+            assert!(std::time::Instant::now() < deadline, "child never became ready");
+            if let Some(status) = child.try_wait().unwrap() {
+                panic!("child writer exited early: {status}");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // Stagger the delay so the SIGKILL lands at varied points of the
+        // write / fsync / rename cycle.
+        std::thread::sleep(std::time::Duration::from_millis(20 + 17 * round));
+        child.kill().unwrap();
+        child.wait().unwrap();
+
+        // The invariant: whatever instant the kill hit, the target is a
+        // complete, loadable snapshot (the old bytes or the new ones —
+        // never a torn mixture).
+        let loaded: std::result::Result<CubeSnapshot, _> = CubeSnapshot::load(&target);
+        assert!(loaded.is_ok(), "round {round}: target unloadable after kill: {:?}", loaded.err());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

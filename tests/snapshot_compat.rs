@@ -1,16 +1,18 @@
-//! Snapshot format compatibility: the v3 reader must load checked-in v1
-//! files exactly (the golden under `tests/golden/snapshot_v1.scube` was
-//! written by the PR-2 era v1 writer) *and* v2 files (the PR-4 era layout,
-//! identical to v3 apart from the version number), must re-save both as
-//! canonical v3, and must reject corrupt or unknown-version headers with
-//! an error — never a panic.
+//! Snapshot format compatibility: the v4 reader must load the checked-in
+//! v1 golden (`tests/golden/snapshot_v1.scube`, written by the PR-2 era v1
+//! writer) and v3 golden (`tests/golden/snapshot_v3.scube`, written by the
+//! last v3-era writer) exactly, must load v2 files (identical to v3 apart
+//! from the version number), must re-save every legacy file as canonical
+//! v4, and must reject corrupt or unknown-version headers with an error —
+//! never a panic.
 
 use scube::prelude::*;
 use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
 
 const V1_GOLDEN: &[u8] = include_bytes!("golden/snapshot_v1.scube");
+const V3_GOLDEN: &[u8] = include_bytes!("golden/snapshot_v3.scube");
 
-/// The exact database the v1 golden snapshot was built from.
+/// The exact database both golden snapshots were built from.
 fn golden_db() -> TransactionDb {
     let schema =
         Schema::new(vec![Attribute::sa("sex"), Attribute::sa("age"), Attribute::ca("region")])
@@ -32,6 +34,12 @@ fn golden_db() -> TransactionDb {
     b.finish()
 }
 
+/// The ClosedOnly build both goldens were written from.
+fn golden_rebuild() -> CubeSnapshot {
+    CubeSnapshot::from_db(&golden_db(), &CubeBuilder::new().materialize(Materialize::ClosedOnly))
+        .unwrap()
+}
+
 #[test]
 fn v1_golden_loads_byte_for_byte() {
     // The file self-identifies as format version 1.
@@ -41,11 +49,7 @@ fn v1_golden_loads_byte_for_byte() {
     let loaded: CubeSnapshot = CubeSnapshot::from_bytes(V1_GOLDEN).expect("v1 must keep loading");
     // Its contents equal a fresh build of the same data (the golden was
     // written from exactly this db with the ClosedOnly builder).
-    let rebuilt: CubeSnapshot = CubeSnapshot::from_db(
-        &golden_db(),
-        &CubeBuilder::new().materialize(Materialize::ClosedOnly),
-    )
-    .unwrap();
+    let rebuilt = golden_rebuild();
     assert_eq!(loaded.cube(), rebuilt.cube());
     assert_eq!(loaded.vertical().units(), rebuilt.vertical().units());
     assert_eq!(loaded.vertical().postings(), rebuilt.vertical().postings());
@@ -60,39 +64,59 @@ fn v1_golden_loads_byte_for_byte() {
 }
 
 #[test]
-fn v1_resaves_as_canonical_v3() {
-    let loaded: CubeSnapshot = CubeSnapshot::from_bytes(V1_GOLDEN).unwrap();
-    let v3 = loaded.to_bytes();
-    assert_eq!(u32::from_le_bytes(v3[8..12].try_into().unwrap()), 3, "writer emits v3");
-    // Canonical: load → save → load → save is a fixed point.
-    let again: CubeSnapshot = CubeSnapshot::from_bytes(&v3).unwrap();
-    assert_eq!(again.to_bytes(), v3);
-    assert_eq!(again.cube(), loaded.cube());
+fn v3_golden_loads_byte_for_byte() {
+    // The file self-identifies as format version 3 — the last pre-mmap
+    // layout, pinned so the legacy decoder can never drift.
+    assert_eq!(&V3_GOLDEN[..8], b"SCUBESNP");
+    assert_eq!(u32::from_le_bytes(V3_GOLDEN[8..12].try_into().unwrap()), 3);
+
+    let loaded: CubeSnapshot = CubeSnapshot::from_bytes(V3_GOLDEN).expect("v3 must keep loading");
+    let rebuilt = golden_rebuild();
+    assert_eq!(loaded.cube(), rebuilt.cube());
+    assert_eq!(loaded.vertical().units(), rebuilt.vertical().units());
+    assert_eq!(loaded.vertical().postings(), rebuilt.vertical().postings());
+    assert_eq!(loaded.materialize(), Materialize::ClosedOnly, "v3 carries the build config");
+}
+
+#[test]
+fn legacy_files_resave_as_canonical_v4() {
+    // Whatever legacy version loads, the writer emits v4, and load → save
+    // is a fixed point from there.
+    let expected = golden_rebuild().to_bytes();
+    assert_eq!(u32::from_le_bytes(expected[8..12].try_into().unwrap()), 4, "writer emits v4");
+    for (name, golden) in [("v1", V1_GOLDEN), ("v3", V3_GOLDEN)] {
+        let loaded: CubeSnapshot = CubeSnapshot::from_bytes(golden).unwrap();
+        let v4 = loaded.to_bytes();
+        assert_eq!(u32::from_le_bytes(v4[8..12].try_into().unwrap()), 4, "{name} resaves as v4");
+        // Canonical: load → save → load → save is a fixed point.
+        let again: CubeSnapshot = CubeSnapshot::from_bytes(&v4).unwrap();
+        assert_eq!(again.to_bytes(), v4, "{name}");
+        assert_eq!(again.cube(), loaded.cube(), "{name}");
+    }
+    // The v3 golden was built ClosedOnly like `expected`, so its v4 image
+    // is bit-identical to a fresh build's.
+    let v3_loaded: CubeSnapshot = CubeSnapshot::from_bytes(V3_GOLDEN).unwrap();
+    assert_eq!(v3_loaded.to_bytes(), expected);
 }
 
 #[test]
 fn v2_files_still_load() {
     // v2 and v3 share the payload layout byte for byte (the checksum
-    // covers the payload only), so a v2 file is exactly a v3 image with
+    // covers the payload only), so a v2 file is exactly the v3 golden with
     // the version field rewound — which is what PR-4 era writers produced.
-    let snap: CubeSnapshot = CubeSnapshot::from_db(
-        &golden_db(),
-        &CubeBuilder::new().materialize(Materialize::ClosedOnly),
-    )
-    .unwrap();
-    let v3 = snap.to_bytes();
-    let mut v2 = v3.clone();
+    let mut v2 = V3_GOLDEN.to_vec();
     v2[8..12].copy_from_slice(&2u32.to_le_bytes());
     let loaded: CubeSnapshot = CubeSnapshot::from_bytes(&v2).expect("v2 must keep loading");
-    assert_eq!(loaded.cube(), snap.cube());
+    let rebuilt = golden_rebuild();
+    assert_eq!(loaded.cube(), rebuilt.cube());
     assert_eq!(loaded.materialize(), Materialize::ClosedOnly, "v2 carries the build config");
-    // And it re-saves as canonical v3.
-    assert_eq!(loaded.to_bytes(), v3);
+    // And it re-saves as canonical v4.
+    assert_eq!(loaded.to_bytes(), rebuilt.to_bytes());
 }
 
 #[test]
 fn unknown_version_errors_never_panics() {
-    for version in [0u32, 4, 99, u32::MAX] {
+    for version in [0u32, 5, 99, u32::MAX] {
         let mut bytes = V1_GOLDEN.to_vec();
         bytes[8..12].copy_from_slice(&version.to_le_bytes());
         let err = CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&bytes)
@@ -108,34 +132,46 @@ fn corrupt_headers_and_payloads_error_never_panic() {
     bytes[0] = b'X';
     assert!(CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&bytes).is_err());
 
-    // Every truncation point of the golden file.
-    for cut in 0..V1_GOLDEN.len() {
-        assert!(
-            CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&V1_GOLDEN[..cut]).is_err(),
-            "truncate at {cut}"
-        );
+    // Every truncation point of both golden files.
+    for golden in [V1_GOLDEN, V3_GOLDEN] {
+        for cut in 0..golden.len() {
+            assert!(
+                CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&golden[..cut]).is_err(),
+                "truncate at {cut}"
+            );
+        }
     }
 
     // A flipped payload byte fails the checksum.
-    let mut bytes = V1_GOLDEN.to_vec();
-    let last = bytes.len() - 1;
-    bytes[last] ^= 0xFF;
-    assert!(CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&bytes).is_err());
+    for golden in [V1_GOLDEN, V3_GOLDEN] {
+        let mut bytes = golden.to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&bytes).is_err());
+    }
 
-    // A current-format file with a nonsense materialization tag errors too.
+    // A current-format (v4) file with a nonsense materialization tag —
+    // the first byte of the meta region — errors too. Both checksums are
+    // recomputed so the corruption reaches the config parser.
     let rebuilt: CubeSnapshot = CubeSnapshot::from_db(&golden_db(), &CubeBuilder::new()).unwrap();
-    let good = rebuilt.to_bytes();
-    let payload_start = 8 + 4 + 1 + 8;
-    let mut bad = good[..payload_start].to_vec();
-    let mut payload = good[payload_start..].to_vec();
-    payload[0] = 7; // materialization tag ∉ {0, 1}
-                    // Re-checksum so the corruption reaches the config parser.
+    let mut bad = rebuilt.to_bytes();
+    const DIR_OFF: usize = 24;
+    const META_OFF: usize = 96;
+    bad[META_OFF] = 7; // materialization tag ∉ {0, 1}
+    let slots_off =
+        u64::from_le_bytes(bad[DIR_OFF + 32..DIR_OFF + 40].try_into().unwrap()) as usize;
     use std::hash::Hasher;
     let mut h = scube_common::hash::FxHasher::default();
-    h.write(&payload);
-    h.write_u64(payload.len() as u64);
-    bad[13..21].copy_from_slice(&h.finish().to_le_bytes());
-    bad.extend_from_slice(&payload);
+    h.write(&bad[DIR_OFF..DIR_OFF + 64]);
+    h.write(&bad[META_OFF..slots_off]);
+    h.write_u64((64 + slots_off - META_OFF) as u64);
+    let meta_sum = h.finish();
+    bad[DIR_OFF + 64..META_OFF].copy_from_slice(&meta_sum.to_le_bytes());
+    let mut h = scube_common::hash::FxHasher::default();
+    h.write(&bad[DIR_OFF..]);
+    h.write_u64((bad.len() - DIR_OFF) as u64);
+    let full = h.finish();
+    bad[13..21].copy_from_slice(&full.to_le_bytes());
     let err = CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&bad)
         .expect_err("bad materialization tag must error");
     assert!(err.to_string().contains("materialization"), "{err}");

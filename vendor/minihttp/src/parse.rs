@@ -271,7 +271,10 @@ pub(crate) fn parse_request_head(
         Some(v) => {
             let n: u64 = v.parse().map_err(|_| RequestError::new(400, "invalid Content-Length"))?;
             if n > limits.max_body as u64 {
-                return Err(RequestError::new(413, "body too large"));
+                return Err(RequestError::new(
+                    413,
+                    format!("body too large (limit {} bytes)", limits.max_body),
+                ));
             }
             n as usize
         }
