@@ -37,6 +37,13 @@
 //!                    bit-identity between the two paths; writes
 //!                    BENCH_cube_scale.json (pass --smoke for a quick
 //!                    gate-only pass that skips the file write)
+//! cube-indexes E21 — the measure axis: single-index vs full-suite fold
+//!                    cost, snapshot-v5 round-trip, and the permutation
+//!                    significance pass — gated on the differential
+//!                    harness (subset builds bit-equal the masked full
+//!                    build *and* direct segindex recomputation); writes
+//!                    BENCH_cube_indexes.json (pass --smoke for a quick
+//!                    gate-only pass that skips the file write)
 //! all              — run everything
 //! ```
 //!
@@ -136,6 +143,10 @@ fn main() {
     }
     if run("cube-scale") {
         cube_scale_experiment(args.iter().any(|a| a == "--smoke"));
+        matched = true;
+    }
+    if run("cube-indexes") {
+        cube_indexes_experiment(args.iter().any(|a| a == "--smoke"));
         matched = true;
     }
     if !matched {
@@ -1849,6 +1860,177 @@ fn bitmap_kernels_experiment(smoke: bool) {
 /// E13 (extension) — permutation significance of discovered contexts:
 /// separates real segregation from the small-unit bias of random
 /// allocation before reporting findings.
+/// E21 — the measure axis: how much does the per-cell fold cost depend on
+/// the selected `MeasureSet`, and what does a permutation-significance
+/// pass over discovered contexts add on top? Every timing is gated on the
+/// differential harness — each subset build must bit-equal both the
+/// masked full build and a direct `SegIndex::compute` over the explorer's
+/// unit breakdown, and the v5 snapshot round-trip must be a byte-level
+/// fixed point. Writes `BENCH_cube_indexes.json`; `--smoke` runs the
+/// gates on a small dataset and skips the file write (the CI pass).
+fn cube_indexes_experiment(smoke: bool) {
+    banner("E21", "pluggable measure folds + significance (writes BENCH_cube_indexes.json)");
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let companies = if smoke { 300 } else { 4000 };
+    let db = italy_final_table(companies);
+    let rows = db.len();
+    let minsup = (rows as u64 / 200).max(1);
+
+    let suites: [(&str, MeasureSet); 4] = [
+        ("all", MeasureSet::FULL),
+        ("dissimilarity", MeasureSet::only(SegIndex::Dissimilarity)),
+        ("atkinson", MeasureSet::only(SegIndex::Atkinson)),
+        ("gini+isolation", MeasureSet::only(SegIndex::Gini).with(SegIndex::Isolation)),
+    ];
+    let builder_for =
+        |set: MeasureSet| CubeBuilder::new().min_support(minsup).parallel(false).measures(set);
+    let full_cube = builder_for(MeasureSet::FULL).build(&db).expect("full build");
+    let cells = full_cube.len();
+    println!("rows: {rows}, min_support: {minsup}, cells: {cells}");
+
+    // Differential gate: each subset build must carry exactly the masked
+    // full-suite values (bit for bit, absent elsewhere), and on a cell
+    // sample the folds must equal computing each index directly from the
+    // explorer's per-unit breakdown — segindex as an independent oracle.
+    let mut explorer: CubeExplorer = CubeExplorer::new(&db);
+    for (name, set) in suites {
+        let cube = builder_for(set).build(&db).expect("subset build");
+        assert_eq!(cube.len(), cells, "{name}: cell universe must not depend on measures");
+        for (coords, v) in cube.cells() {
+            let full_v = full_cube.get(coords).expect("same universe");
+            assert_eq!(
+                (v.minority, v.total, v.num_units),
+                (full_v.minority, full_v.total, full_v.num_units)
+            );
+            for index in SegIndex::ALL {
+                let want = if set.contains(index) { full_v.get(index) } else { None };
+                assert_eq!(
+                    v.get(index).map(f64::to_bits),
+                    want.map(f64::to_bits),
+                    "{name}: {index} diverged from the masked full build"
+                );
+            }
+        }
+        for (coords, v) in cube.cells().take(64) {
+            let counts = UnitCounts::from_triples(explorer.unit_breakdown(coords))
+                .expect("breakdown is consistent");
+            for index in set.iter() {
+                let want = match index {
+                    SegIndex::Atkinson => {
+                        scube_segindex::atkinson(&counts, scube_segindex::DEFAULT_ATKINSON_B)
+                    }
+                    _ => index.compute(&counts),
+                };
+                assert_eq!(
+                    v.get(index).map(f64::to_bits),
+                    want.map(f64::to_bits),
+                    "{name}: {index} diverged from direct segindex recomputation"
+                );
+            }
+        }
+    }
+
+    // v5 round-trip gate: a proper subset persists as version 5 and the
+    // load → save cycle is a byte-level fixed point.
+    let subset = MeasureSet::only(SegIndex::Gini).with(SegIndex::Isolation);
+    let snap: CubeSnapshot =
+        CubeSnapshot::from_db(&db, &builder_for(subset)).expect("subset snapshot builds");
+    let bytes = snap.to_bytes();
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 5, "subset saves as v5");
+    let reloaded: CubeSnapshot = CubeSnapshot::from_bytes(&bytes).expect("v5 loads");
+    assert_eq!(reloaded.to_bytes(), bytes, "v5 round-trip must be a fixed point");
+    println!("gates passed: masked-full identity, segindex differential, v5 fixed point");
+    if smoke {
+        println!("(smoke: gates only, skipping timings and the JSON write)");
+        return;
+    }
+
+    // Fold-cost sweep: best-of-3 full builds per measure suite. The fold
+    // is a small slice of the whole build (mining dominates), so vs_full
+    // measures how free a narrower suite actually is end to end.
+    let mut full_build_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        std::hint::black_box(builder_for(MeasureSet::FULL).build(&db).expect("build"));
+        full_build_s = full_build_s.min(t0.elapsed().as_secs_f64());
+    }
+    let mut table = TextTable::new()
+        .header(["measures", "n", "build", "vs full suite"])
+        .aligns(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut folds_json = String::new();
+    for (name, set) in suites {
+        let build_s = if set.is_full() {
+            full_build_s
+        } else {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                std::hint::black_box(builder_for(set).build(&db).expect("build"));
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let vs_full = full_build_s / build_s;
+        table.row([
+            name.to_string(),
+            set.len().to_string(),
+            format!("{:.1} ms", build_s * 1e3),
+            format!("{vs_full:.2}x"),
+        ]);
+        if !folds_json.is_empty() {
+            folds_json.push_str(",\n");
+        }
+        folds_json.push_str(&format!(
+            "    {{\"measures\": \"{name}\", \"n_measures\": {}, \
+             \"build_s\": {build_s:.6}, \"vs_full\": {vs_full:.2}}}",
+            set.len()
+        ));
+    }
+    print!("{}", table.render());
+
+    // Significance pass: the default 999-permutation test over the top-k
+    // discovered contexts by dissimilarity — the cost a `--significance`
+    // query adds per cell.
+    let k = 20usize;
+    let test = PermutationTest::default();
+    let top: Vec<CellCoords> = top_contexts(&full_cube, SegIndex::Dissimilarity, k, minsup)
+        .into_iter()
+        .map(|(c, _, _)| c.clone())
+        .collect();
+    let mut tested = 0usize;
+    let t0 = Instant::now();
+    for coords in &top {
+        let counts = UnitCounts::from_triples(explorer.unit_breakdown(coords))
+            .expect("breakdown is consistent");
+        if let Some(r) = test.run(SegIndex::Dissimilarity, &counts) {
+            std::hint::black_box(r);
+            tested += 1;
+        }
+    }
+    let sig_s = t0.elapsed().as_secs_f64();
+    let per_cell_ms = sig_s * 1e3 / tested.max(1) as f64;
+    println!(
+        "significance: {tested} cells x {} permutations in {:.1} ms ({per_cell_ms:.2} ms/cell)",
+        test.permutations,
+        sig_s * 1e3
+    );
+
+    let host = host_json();
+    let json = format!(
+        "{{\n  \"experiment\": \"cube_indexes\",\n  \"generated_by\": \
+         \"cargo run -p scube-bench --release --bin exp -- cube-indexes\",\n  \
+         \"host_threads\": {host_threads},\n  {host},\n  \"dataset\": \"italy\",\n  \
+         \"companies\": {companies},\n  \"rows\": {rows},\n  \"min_support\": {minsup},\n  \
+         \"cells\": {cells},\n  \"differential_gate\": \"passed\",\n  \
+         \"v5_roundtrip_gate\": \"passed\",\n  \"folds\": [\n{folds_json}\n  ],\n  \
+         \"significance\": {{\"index\": \"dissimilarity\", \"permutations\": {}, \
+         \"cells\": {tested}, \"total_s\": {sig_s:.6}, \"per_cell_ms\": {per_cell_ms:.4}}}\n}}\n",
+        test.permutations
+    );
+    std::fs::write("BENCH_cube_indexes.json", &json).expect("write BENCH_cube_indexes.json");
+    println!("\nwrote BENCH_cube_indexes.json");
+}
+
 fn significance(scale: usize) {
     banner("E13 (extension)", "permutation tests on the top discovered contexts");
     let db = italy_final_table(scale);

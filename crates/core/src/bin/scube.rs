@@ -96,6 +96,10 @@ verbs:
     --sa a=v,...         point query: minority coordinates (omit = *)
     --ca a=v,...         point query: context coordinates (omit = *)
     --breakdown          also print the per-unit drill-down of the cell
+    --index <name>       answer with one index only (d|gini|h|xpx|xpy|a);
+                         also the default --rank of a --top query
+    --significance       attach a permutation-test p-value to point-query
+                         indexes (999 permutations, fixed seed)
     --top <k>            top-k materialized cells by --rank
     --min-total <n>      top-k population filter [1]
     --slice a=v,...      materialized cells fixing these coordinates
@@ -129,6 +133,8 @@ optional:
   --min-support <n>      minimum cube-cell population [1]
   --closed               materialize closed cells only
   --parallel             parallel cube construction
+  --index <i1,...|all>   measure subset to fold per cell [all]; a proper
+                         subset persists as the compact snapshot v5
   --rank <index>         ranking index for top_contexts [dissimilarity]
 ";
 
@@ -138,7 +144,8 @@ struct Flags {
 }
 
 /// Flags that take no value (everything else consumes the next argument).
-const BOOLEAN_FLAGS: &[&str] = &["--closed", "--parallel", "--breakdown", "--mmap", "--help", "-h"];
+const BOOLEAN_FLAGS: &[&str] =
+    &["--closed", "--parallel", "--breakdown", "--mmap", "--significance", "--help", "-h"];
 
 impl Flags {
     /// Wrap an argument list, rejecting duplicate flags up front: `--sa
@@ -328,6 +335,9 @@ fn wizard_from_flags(flags: &Flags) -> Result<(Wizard, Vec<i64>)> {
     if flags.has("--closed") {
         wizard = wizard.materialize(Materialize::ClosedOnly);
     }
+    if let Some(measures) = parse_measures(flags)? {
+        wizard = wizard.measures(measures);
+    }
     Ok((wizard, dates))
 }
 
@@ -356,6 +366,9 @@ fn run_final_table_flags(flags: &Flags) -> Result<ScubeResult> {
     if flags.has("--closed") {
         cube = cube.materialize(Materialize::ClosedOnly);
     }
+    if let Some(measures) = parse_measures(flags)? {
+        cube = cube.measures(measures);
+    }
     scube::run_final_table_csv(path, &spec, &cube)
 }
 
@@ -368,6 +381,31 @@ fn parse_rank(flags: &Flags) -> Result<SegIndex> {
         })
         .transpose()
         .map(|r| r.unwrap_or(SegIndex::Dissimilarity))
+}
+
+/// The `--index` measure subset of a build verb (run/save), if given.
+fn parse_measures(flags: &Flags) -> Result<Option<MeasureSet>> {
+    flags
+        .value_of("--index")?
+        .map(|s| {
+            MeasureSet::parse(s).ok_or_else(|| {
+                ScubeError::InvalidParameter(format!(
+                    "bad --index '{s}' (want 'all' or a comma-separated list of index names)"
+                ))
+            })
+        })
+        .transpose()
+}
+
+/// The single `--index` of a query verb, if given.
+fn parse_query_index(flags: &Flags) -> Result<Option<SegIndex>> {
+    flags
+        .value_of("--index")?
+        .map(|s| {
+            SegIndex::parse(s)
+                .ok_or_else(|| ScubeError::InvalidParameter(format!("unknown index '{s}'")))
+        })
+        .transpose()
 }
 
 fn run(args: &[String]) -> Result<String> {
@@ -506,6 +544,51 @@ fn fmt_values(v: &IndexValues) -> String {
     )
 }
 
+/// Single-measure form of [`fmt_values`], for `query --index <name>`.
+fn fmt_one_value(v: &IndexValues, index: SegIndex) -> String {
+    format!(
+        "M={} T={} units={}  {}={}",
+        v.minority,
+        v.total,
+        v.num_units,
+        index.short_name(),
+        fmt_opt(v.get(index))
+    )
+}
+
+/// The `--significance` pass: permutation-test the point-query cell's
+/// indexes against random allocation of the minority over the units
+/// (deterministic seed, so transcripts are reproducible). Tests the single
+/// `--index` when given, otherwise every index the cell carries a value
+/// for.
+fn significance_lines(
+    breakdown: &[(u32, u64, u64)],
+    values: &IndexValues,
+    only: Option<SegIndex>,
+) -> Result<Vec<String>> {
+    let counts = UnitCounts::from_pairs(breakdown.iter().map(|&(_, m, t)| (m, t)))?;
+    let indexes: Vec<SegIndex> = match only {
+        Some(i) => vec![i],
+        None => SegIndex::ALL.into_iter().filter(|&i| values.get(i).is_some()).collect(),
+    };
+    let test = PermutationTest::default();
+    let mut out = Vec::with_capacity(indexes.len());
+    for index in indexes {
+        match test.run(index, &counts) {
+            Some(r) => out.push(format!(
+                "  significance {}: observed={:.4} null_mean={:.4} p={:.4}{}",
+                index.name(),
+                r.observed,
+                r.null_mean,
+                r.p_value,
+                if r.p_value < 0.05 { " *" } else { "" }
+            )),
+            None => out.push(format!("  significance {}: undefined on this cell", index.name())),
+        }
+    }
+    Ok(out)
+}
+
 /// How `scube query` serves a loaded snapshot: the single-session engine by
 /// default, or the shared-reference concurrent engine under `--threads N`
 /// (same answers, bit for bit; the concurrent form ranks top-k in parallel).
@@ -585,10 +668,13 @@ fn run_query(args: &[String]) -> Result<String> {
     let mut out: Vec<String> = Vec::new();
     let mut answered = false;
 
-    if flags.has("--breakdown") && !flags.has("--sa") && !flags.has("--ca") {
-        return Err(ScubeError::InvalidParameter(
-            "--breakdown drills into a point query; give it --sa and/or --ca".into(),
-        ));
+    let query_index = parse_query_index(&flags)?;
+    for point_only in ["--breakdown", "--significance"] {
+        if flags.has(point_only) && !flags.has("--sa") && !flags.has("--ca") {
+            return Err(ScubeError::InvalidParameter(format!(
+                "{point_only} drills into a point query; give it --sa and/or --ca"
+            )));
+        }
     }
     if !flags.has("--top") {
         for dependent in ["--rank", "--min-total"] {
@@ -609,7 +695,17 @@ fn run_query(args: &[String]) -> Result<String> {
         let coords = engine.resolve(&sa_refs, &ca_refs)?;
         let values = engine.query(&coords)?;
         out.push(engine.cube().labels().describe(&coords));
-        out.push(format!("  {}", fmt_values(&values)));
+        out.push(format!(
+            "  {}",
+            match query_index {
+                Some(index) => fmt_one_value(&values, index),
+                None => fmt_values(&values),
+            }
+        ));
+        if flags.has("--significance") {
+            let breakdown = engine.unit_breakdown(&coords);
+            out.extend(significance_lines(&breakdown, &values, query_index)?);
+        }
         if flags.has("--breakdown") {
             let breakdown = engine.unit_breakdown(&coords);
             let names = engine.cube().labels().unit_names.clone();
@@ -629,7 +725,13 @@ fn run_query(args: &[String]) -> Result<String> {
             .unwrap_or("1")
             .parse()
             .map_err(|_| ScubeError::InvalidParameter("bad --min-total".into()))?;
-        let rank = parse_rank(&flags)?;
+        // --rank wins; --index is the fallback so `--index gini --top 5`
+        // ranks by the measure it queries.
+        let rank = if flags.has("--rank") {
+            parse_rank(&flags)?
+        } else {
+            query_index.unwrap_or(SegIndex::Dissimilarity)
+        };
         out.push(format!("top {k} by {rank} (population >= {min_total}):"));
         for (coords, values, x) in engine.top_k(rank, k, min_total)? {
             out.push(format!(
@@ -650,7 +752,10 @@ fn run_query(args: &[String]) -> Result<String> {
             out.push(format!(
                 "  {}  {}",
                 engine.cube().labels().describe(&coords),
-                fmt_values(&values)
+                match query_index {
+                    Some(index) => fmt_one_value(&values, index),
+                    None => fmt_values(&values),
+                }
             ));
         }
     }
@@ -883,6 +988,109 @@ mod tests {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(run_save(&args).is_err(), "{args:?} should be rejected");
         }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn measure_subset_and_significance_roundtrip() {
+        let dir = std::env::temp_dir().join("scube_cli_measures");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).display().to_string();
+        std::fs::write(
+            p("rows.csv"),
+            "gender,unitID\nF,edu\nF,edu\nF,edu\nM,agri\nM,agri\nM,agri\n",
+        )
+        .unwrap();
+        let q = |args: &[&str]| -> Result<String> {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            run_query(&v)
+        };
+
+        // A subset build persists as snapshot v5.
+        let args: Vec<String> = [
+            "--final-table",
+            &p("rows.csv"),
+            "--sa",
+            "gender",
+            "--index",
+            "gini,isolation",
+            "--snapshot",
+            &p("subset.scube"),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run_save(&args).unwrap();
+        let bytes = std::fs::read(p("subset.scube")).unwrap();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 5, "subset saves as v5");
+
+        // Point queries project one measure; unselected measures read as
+        // absent from the subset store.
+        let one =
+            q(&["--snapshot", &p("subset.scube"), "--sa", "gender=F", "--index", "gini"]).unwrap();
+        assert!(one.contains("G=1.0000"), "{one}");
+        assert!(!one.contains("D="), "{one}");
+        let gone =
+            q(&["--snapshot", &p("subset.scube"), "--sa", "gender=F", "--index", "d"]).unwrap();
+        assert!(gone.contains("D=-"), "{gone}");
+
+        // --index doubles as the default --top ranking, and filters slices.
+        let top = q(&["--snapshot", &p("subset.scube"), "--top", "2", "--index", "gini"]).unwrap();
+        assert!(top.contains("top 2 by gini"), "{top}");
+        let slice = q(&["--snapshot", &p("subset.scube"), "--slice", "gender=F", "--index", "xpx"])
+            .unwrap();
+        assert!(slice.contains("xPx="), "{slice}");
+
+        // A full-suite snapshot serves --significance: deterministic
+        // permutation p-values per defined index, or just the --index one.
+        let args: Vec<String> =
+            ["--final-table", &p("rows.csv"), "--sa", "gender", "--snapshot", &p("full.scube")]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        run_save(&args).unwrap();
+        let sig =
+            q(&["--snapshot", &p("full.scube"), "--sa", "gender=F", "--significance"]).unwrap();
+        assert!(sig.contains("significance dissimilarity:"), "{sig}");
+        assert!(sig.contains("p="), "{sig}");
+        let sig_one = q(&[
+            "--snapshot",
+            &p("full.scube"),
+            "--sa",
+            "gender=F",
+            "--significance",
+            "--index",
+            "gini",
+        ])
+        .unwrap();
+        assert!(sig_one.contains("significance gini:"), "{sig_one}");
+        assert!(!sig_one.contains("significance dissimilarity:"), "{sig_one}");
+        // Identical on repeat — the test seed is fixed.
+        assert_eq!(
+            q(&["--snapshot", &p("full.scube"), "--sa", "gender=F", "--significance"]).unwrap(),
+            sig
+        );
+
+        // Bad measure surfaces error, not a silent full answer.
+        assert!(
+            q(&["--snapshot", &p("full.scube"), "--sa", "gender=F", "--index", "bogus"]).is_err()
+        );
+        assert!(q(&["--snapshot", &p("full.scube"), "--significance"]).is_err());
+        let bad_save: Vec<String> = [
+            "--final-table",
+            &p("rows.csv"),
+            "--sa",
+            "gender",
+            "--index",
+            "gini,bogus",
+            "--snapshot",
+            &p("x.scube"),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run_save(&bad_save).is_err());
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -18,6 +18,12 @@
 //! | GET | `/cubes/<name>/query?sa=a=v,..&ca=a=v,..` | one cell's indexes |
 //! | GET | `/cubes/<name>/topk?index=gini&k=10&min_total=1` | top-k ranking |
 //! | GET | `/cubes/<name>/slice?fixed=a=v,..` | slice view |
+//!
+//! `/query` and `/slice` accept an optional `index=<name>` parameter to
+//! answer with that single measure; `/query` additionally accepts
+//! `significance=1` to attach a permutation-test block per index
+//! (deterministic seed, 999 permutations — see
+//! [`scube_segindex::PermutationTest`]).
 //! | GET | `/cubes/<name>/dice?attrs=a,b` | dice view |
 //! | GET | `/cubes/<name>/breakdown?sa=a=v,..&ca=a=v,..` | per-unit drill-down |
 //! | GET | `/stats` | tier counters + per-endpoint request/latency counters |
@@ -46,7 +52,7 @@ use scube_cube::{
     CellCoords, ConcurrentCubeEngine, CubeLabels, CubeSnapshot, QueryStats, UpdateBatch,
     UpdateStats, DEFAULT_CACHE_CAPACITY, DEFAULT_SHARDS,
 };
-use scube_segindex::{IndexValues, SegIndex};
+use scube_segindex::{IndexValues, PermutationTest, SegIndex, UnitCounts};
 
 pub mod json;
 
@@ -537,6 +543,18 @@ pub fn values_json(v: &IndexValues) -> String {
     )
 }
 
+/// Render one selected measure of a cell (the `?index=` response form).
+pub fn values_json_one(v: &IndexValues, index: SegIndex) -> String {
+    format!(
+        "{{\"index\":\"{}\",\"value\":{},\"minority\":{},\"total\":{},\"num_units\":{}}}",
+        index.name(),
+        json::opt_num(v.get(index)),
+        v.minority,
+        v.total,
+        v.num_units,
+    )
+}
+
 /// Render cell coordinates as `{"sa":[["attr","value"],..],"ca":[..]}`
 /// (sorted item order, as stored).
 pub fn coords_json(labels: &CubeLabels, coords: &CellCoords) -> String {
@@ -659,6 +677,14 @@ fn cell_query(handle: &CubeHandle, raw_query: &str, breakdown: bool) -> HttpResp
         (Ok(sa), Ok(ca)) => (sa, ca),
         (Err(e), _) | (_, Err(e)) => return bad_request(&e),
     };
+    let index = match param(&params, "index") {
+        Some(raw) => match SegIndex::parse(raw) {
+            Some(ix) => Some(ix),
+            None => return bad_request(&format!("unknown index {raw:?}")),
+        },
+        None => None,
+    };
+    let significance = matches!(param(&params, "significance"), Some("1") | Some("true"));
     let engine = handle.engine();
     let coords = match engine.resolve(&as_refs(&sa), &as_refs(&ca)) {
         Ok(c) => c,
@@ -670,11 +696,64 @@ fn cell_query(handle: &CubeHandle, raw_query: &str, breakdown: bool) -> HttpResp
     } else {
         match engine.query(&coords) {
             Ok(values) => {
-                HttpResponse::json(200, cell_json(engine.cube().labels(), &coords, &values))
+                let labels = engine.cube().labels();
+                let values_body = match index {
+                    Some(ix) => values_json_one(&values, ix),
+                    None => values_json(&values),
+                };
+                let significance_body = if significance {
+                    let rows = engine.unit_breakdown(&coords);
+                    match significance_json(&rows, &values, index) {
+                        Ok(body) => format!(",\"significance\":{body}"),
+                        Err(e) => return error_response(&e),
+                    }
+                } else {
+                    String::new()
+                };
+                HttpResponse::json(
+                    200,
+                    format!(
+                        "{{\"cell\":{},\"describe\":\"{}\",\"values\":{}{}}}",
+                        coords_json(labels, &coords),
+                        json::escape(&labels.describe(&coords)),
+                        values_body,
+                        significance_body,
+                    ),
+                )
             }
             Err(e) => error_response(&e),
         }
     }
+}
+
+/// The `significance=1` block of a `/query` response: one permutation-test
+/// object per tested index (the single `index=` when given, otherwise every
+/// index the cell carries), computed on the cell's exact per-unit counts.
+fn significance_json(
+    breakdown: &[(u32, u64, u64)],
+    values: &IndexValues,
+    only: Option<SegIndex>,
+) -> Result<String> {
+    let counts = UnitCounts::from_pairs(breakdown.iter().map(|&(_, m, t)| (m, t)))?;
+    let indexes: Vec<SegIndex> = match only {
+        Some(ix) => vec![ix],
+        None => SegIndex::ALL.into_iter().filter(|&ix| values.get(ix).is_some()).collect(),
+    };
+    let test = PermutationTest::default();
+    let entries: Vec<String> = indexes
+        .into_iter()
+        .map(|ix| match test.run(ix, &counts) {
+            Some(r) => format!(
+                "{{\"index\":\"{}\",\"observed\":{},\"null_mean\":{},\"p_value\":{}}}",
+                ix.name(),
+                json::num(r.observed),
+                json::num(r.null_mean),
+                json::num(r.p_value),
+            ),
+            None => format!("{{\"index\":\"{}\",\"observed\":null}}", ix.name()),
+        })
+        .collect();
+    Ok(format!("[{}]", entries.join(",")))
 }
 
 fn top_k(state: &State, handle: &CubeHandle, raw_query: &str) -> HttpResponse {
@@ -714,9 +793,32 @@ fn slice(handle: &CubeHandle, raw_query: &str) -> HttpResponse {
         Ok(f) => f,
         Err(e) => return bad_request(&e),
     };
+    let index = match param(&params, "index") {
+        Some(raw) => match SegIndex::parse(raw) {
+            Some(ix) => Some(ix),
+            None => return bad_request(&format!("unknown index {raw:?}")),
+        },
+        None => None,
+    };
     let engine = handle.engine();
     let cells = engine.slice(&as_refs(&fixed));
-    HttpResponse::json(200, cells_json(engine.cube().labels(), &cells))
+    let body = match index {
+        Some(ix) => {
+            let rendered: Vec<String> = cells
+                .iter()
+                .map(|(coords, values)| {
+                    format!(
+                        "{{\"cell\":{},\"values\":{}}}",
+                        coords_json(engine.cube().labels(), coords),
+                        values_json_one(values, ix),
+                    )
+                })
+                .collect();
+            format!("{{\"rows\":[{}]}}", rendered.join(","))
+        }
+        None => cells_json(engine.cube().labels(), &cells),
+    };
+    HttpResponse::json(200, body)
 }
 
 fn dice(handle: &CubeHandle, raw_query: &str) -> HttpResponse {

@@ -100,5 +100,5 @@ pub mod prelude {
     };
     pub use scube_data::{FinalTableSpec, Relation};
     pub use scube_graph::{LabelPropParams, StocParams};
-    pub use scube_segindex::{IndexValues, PermutationTest, SegIndex};
+    pub use scube_segindex::{IndexValues, MeasureSet, PermutationTest, SegIndex, UnitCounts};
 }

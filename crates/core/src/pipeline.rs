@@ -178,8 +178,11 @@ pub fn run_final_table_csv(
 /// parameter.
 pub fn snapshot(result: &ScubeResult) -> Result<CubeSnapshot> {
     let config = result.builder.config();
-    Ok(CubeSnapshot::new(result.cube.clone(), result.vertical.clone())?
-        .with_build_config(config.materialize, config.atkinson_b))
+    Ok(CubeSnapshot::new(result.cube.clone(), result.vertical.clone())?.with_build_config(
+        config.materialize,
+        config.atkinson_b,
+        config.measures,
+    ))
 }
 
 /// Incremental maintenance: fold a batch of appended rows and retractions

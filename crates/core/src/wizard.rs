@@ -156,6 +156,13 @@ impl Wizard {
         self
     }
 
+    /// Cube parameter: the measure subset to fold per cell (defaults to
+    /// the full six-index suite).
+    pub fn measures(mut self, measures: scube_segindex::MeasureSet) -> Self {
+        self.cube = self.cube.measures(measures);
+        self
+    }
+
     /// Assemble and validate the dataset (steps 1–4).
     pub fn dataset(&self) -> Result<Dataset> {
         let (ind_src, ind_spec) = self.individuals.as_ref().ok_or_else(|| {

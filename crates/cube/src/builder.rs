@@ -28,7 +28,7 @@ use scube_common::{FxHashMap, FxHashSet, Result, ScubeError};
 use scube_data::{ItemId, TransactionDb, UnitScratch, VerticalDb};
 use scube_fpm::eclat::{mine_vertical_with_tidsets, mine_vertical_with_tidsets_parallel};
 use scube_fpm::itemset::FrequentItemset;
-use scube_segindex::{IndexValues, UnitCounts, DEFAULT_ATKINSON_B};
+use scube_segindex::{IndexValues, MeasureSet, UnitCounts, DEFAULT_ATKINSON_B};
 
 use crate::coords::CellCoords;
 use crate::cube::{CubeLabels, SegregationCube};
@@ -57,6 +57,8 @@ pub struct CubeConfig {
     pub materialize: Materialize,
     /// Atkinson shape parameter.
     pub atkinson_b: f64,
+    /// Which segregation indexes to fold per cell (default: all six).
+    pub measures: MeasureSet,
     /// Mine and evaluate on multiple threads.
     pub parallel: bool,
     /// Worker count when `parallel` (`None` = available parallelism).
@@ -69,6 +71,7 @@ impl Default for CubeConfig {
             min_support: 1,
             materialize: Materialize::default(),
             atkinson_b: DEFAULT_ATKINSON_B,
+            measures: MeasureSet::FULL,
             parallel: false,
             threads: None,
         }
@@ -128,6 +131,15 @@ impl CubeBuilder {
     /// Set the Atkinson shape parameter.
     pub fn atkinson_b(mut self, b: f64) -> Self {
         self.config.atkinson_b = b;
+        self
+    }
+
+    /// Select which segregation indexes each cell folds (default: all six,
+    /// [`MeasureSet::FULL`] — the paper's full suite). A subset build
+    /// leaves the unselected `IndexValues` fields `None` and persists as
+    /// the compact snapshot v5 layout.
+    pub fn measures(mut self, measures: MeasureSet) -> Self {
+        self.config.measures = measures;
         self
     }
 
@@ -309,6 +321,7 @@ impl CubeBuilder {
         // 4. Evaluate cells: per-worker scratch histograms, iterating only
         // the context's populated units.
         let atkinson_b = cfg.atkinson_b;
+        let measures = cfg.measures;
         let eval =
             |coords: &CellCoords, tids: &P, scratch: &mut UnitScratch| -> Result<IndexValues> {
                 vertical.unit_histogram_into(tids, scratch);
@@ -316,7 +329,7 @@ impl CubeBuilder {
                 let counts = UnitCounts::from_triples(
                     total.iter().map(|&(u, t)| (u, scratch.count_of(u), t)),
                 )?;
-                Ok(IndexValues::compute_with(&counts, atkinson_b))
+                Ok(IndexValues::compute_masked(&counts, atkinson_b, measures))
             };
 
         let mut cells: FxHashMap<CellCoords, IndexValues> =
@@ -358,7 +371,10 @@ impl CubeBuilder {
         let apex_counts = UnitCounts::from_triples(
             population.iter().enumerate().filter(|&(_, &t)| t > 0).map(|(u, &t)| (u as u32, t, t)),
         )?;
-        cells.insert(CellCoords::apex(), IndexValues::compute_with(&apex_counts, atkinson_b));
+        cells.insert(
+            CellCoords::apex(),
+            IndexValues::compute_masked(&apex_counts, atkinson_b, measures),
+        );
 
         Ok(SegregationCube::new(
             cells,
@@ -495,6 +511,30 @@ mod tests {
             assert_eq!(serial.len(), parallel.len(), "threads {threads}");
             for (coords, v) in serial.cells() {
                 assert_eq!(parallel.get(coords), Some(v), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_measures_mask_the_fold_bit_exactly() {
+        use scube_segindex::SegIndex;
+        let db = sample_db();
+        let full = CubeBuilder::new().materialize(Materialize::AllFrequent).build(&db).unwrap();
+        let set = MeasureSet::only(SegIndex::Gini).with(SegIndex::Isolation);
+        let subset = CubeBuilder::new()
+            .materialize(Materialize::AllFrequent)
+            .measures(set)
+            .build(&db)
+            .unwrap();
+        assert_eq!(full.len(), subset.len(), "measure selection never changes the cell set");
+        for (coords, v) in subset.cells() {
+            let reference = full.get(coords).expect("same coordinates");
+            assert_eq!(v.minority, reference.minority);
+            assert_eq!(v.total, reference.total);
+            assert_eq!(v.num_units, reference.num_units);
+            for idx in SegIndex::ALL {
+                let expected = if set.contains(idx) { reference.get(idx) } else { None };
+                assert_eq!(v.get(idx).map(f64::to_bits), expected.map(f64::to_bits), "{idx}");
             }
         }
     }

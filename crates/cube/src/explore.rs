@@ -23,7 +23,7 @@
 use scube_bitmap::{EwahBitmap, Posting};
 use scube_common::Result;
 use scube_data::{TransactionDb, UnitScratch, VerticalDb};
-use scube_segindex::{IndexValues, UnitCounts, DEFAULT_ATKINSON_B};
+use scube_segindex::{IndexValues, MeasureSet, UnitCounts, DEFAULT_ATKINSON_B};
 
 use crate::coords::CellCoords;
 
@@ -56,6 +56,7 @@ impl ExplorerScratch {
 pub struct CubeExplorer<P: Posting = EwahBitmap> {
     vertical: VerticalDb<P>,
     atkinson_b: f64,
+    measures: MeasureSet,
     scratch: ExplorerScratch,
 }
 
@@ -73,6 +74,7 @@ impl<P: Posting> CubeExplorer<P> {
         CubeExplorer {
             vertical,
             atkinson_b: DEFAULT_ATKINSON_B,
+            measures: MeasureSet::FULL,
             scratch: ExplorerScratch::new(n_units),
         }
     }
@@ -80,6 +82,13 @@ impl<P: Posting> CubeExplorer<P> {
     /// Override the Atkinson shape parameter.
     pub fn with_atkinson_b(mut self, b: f64) -> Self {
         self.atkinson_b = b;
+        self
+    }
+
+    /// Restrict the fallback fold to a measure subset, so recomputed cells
+    /// match a subset-built cube's materialized cells bit for bit.
+    pub fn with_measures(mut self, measures: MeasureSet) -> Self {
+        self.measures = measures;
         self
     }
 
@@ -160,7 +169,7 @@ impl<P: Posting> CubeExplorer<P> {
         let counts = UnitCounts::from_triples(
             total_pairs.iter().map(|&(u, t)| (u, minority.count_of(u), t)),
         )?;
-        Ok(IndexValues::compute_with(&counts, self.atkinson_b))
+        Ok(IndexValues::compute_masked(&counts, self.atkinson_b, self.measures))
     }
 
     /// Per-unit `(unit, minority, total)` drill-down through `&self` with
@@ -177,13 +186,13 @@ impl<P: Posting> CubeExplorer<P> {
 
     /// Evaluate the cell at `coords`, regardless of materialization.
     pub fn values_at(&mut self, coords: &CellCoords) -> Result<IndexValues> {
-        let CubeExplorer { vertical, atkinson_b, scratch } = self;
+        let CubeExplorer { vertical, atkinson_b, measures, scratch } = self;
         let total_pairs = Self::fill_histograms(vertical, coords, scratch);
         let minority = &scratch.minority;
         let counts = UnitCounts::from_triples(
             total_pairs.iter().map(|&(u, t)| (u, minority.count_of(u), t)),
         )?;
-        Ok(IndexValues::compute_with(&counts, *atkinson_b))
+        Ok(IndexValues::compute_masked(&counts, *atkinson_b, *measures))
     }
 
     /// Per-unit `(unit, minority, total)` drill-down of a cell — what the

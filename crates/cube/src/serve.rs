@@ -28,7 +28,7 @@
 use scube_bitmap::{EwahBitmap, Posting};
 use scube_common::{Result, ScubeError, SpinLock};
 use scube_data::TransactionDb;
-use scube_segindex::{IndexValues, SegIndex};
+use scube_segindex::{IndexValues, MeasureSet, SegIndex};
 
 use crate::builder::{CubeBuilder, Materialize};
 use crate::coords::CellCoords;
@@ -128,6 +128,7 @@ pub struct ConcurrentCubeEngine<P: Posting = EwahBitmap> {
     /// hands the store over undecoded; the first update materializes it.
     materialize: Materialize,
     atkinson_b: f64,
+    measures: MeasureSet,
     maintenance: MaintSource,
 }
 
@@ -143,17 +144,21 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
     /// e.g. 16 shards × capacity 100 hold up to 7 cells each; capacity 0
     /// disables caching entirely).
     pub fn with_config(snapshot: CubeSnapshot<P>, shards: usize, capacity: usize) -> Self {
-        let (cube, vertical, maintenance, materialize, atkinson_b) = snapshot.into_serving_parts();
+        let (cube, vertical, maintenance, materialize, atkinson_b, measures) =
+            snapshot.into_serving_parts();
         let n_shards = shards.max(1);
         let per_shard = if capacity == 0 { 0 } else { capacity.div_ceil(n_shards) };
         // Breakdown values are per-unit Vecs, so that cache is bounded by
         // an exact retained-triple budget (each entry weighs its own
         // triples), split across shards like the cell cache.
         let bd_budget = if capacity == 0 { 0 } else { BREAKDOWN_TRIPLE_BUDGET.div_ceil(n_shards) };
-        // Recompute fallback cells with the Atkinson parameter the cube
-        // was built with (recorded since snapshot v2): the cold tier stays
-        // bit-identical to the store even for non-default `b`.
-        let explorer = CubeExplorer::from_vertical(vertical).with_atkinson_b(atkinson_b);
+        // Recompute fallback cells with the Atkinson parameter and measure
+        // set the cube was built with (recorded since snapshot v2 and v5
+        // respectively): the cold tier stays bit-identical to the store
+        // even for non-default `b` or a partial measure suite.
+        let explorer = CubeExplorer::from_vertical(vertical)
+            .with_atkinson_b(atkinson_b)
+            .with_measures(measures);
         // Seed the scratch pool for the host's parallelism so even the
         // first wave of cold queries finds a scratch waiting; the pool
         // still grows (one allocation, once) if more threads ever query
@@ -171,6 +176,7 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
             stats: AtomicQueryStats::default(),
             materialize,
             atkinson_b,
+            measures,
             maintenance,
         }
     }
@@ -221,6 +227,7 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
             batch,
             self.materialize,
             self.atkinson_b,
+            self.measures,
             threads,
         )?;
         // The unit space may have grown or shrunk: refresh every pooled

@@ -8,7 +8,7 @@
 //! and the explorer fallback for non-materialized ⋆-combinations without
 //! re-mining anything.
 //!
-//! ## Format (version 4)
+//! ## Format (versions 4 and 5)
 //!
 //! All integers are little-endian; strings are `u32` length + UTF-8 bytes.
 //! The data region is laid out as fixed-width tables behind an offset
@@ -48,8 +48,29 @@
 //! what the heap loader checks; [`CubeSnapshot::open_mmap_verified`]
 //! checks it too for paranoid opens.
 //!
+//! ## Version 5: partial measure suites
+//!
+//! A cube built with a proper subset of the six indexes
+//! ([`MeasureSet`], `CubeBuilder::measures`) persists as **version 5** —
+//! same header, directory, posting, and store layout, two meta changes:
+//!
+//! * a measure-set byte (bit `i` = `SegIndex::ALL[i]`) follows the
+//!   Atkinson parameter;
+//! * cells store only coordinates + `minority u64` + `total u64` +
+//!   `num_units u32` inline; the selected measures' values follow as
+//!   columnar fixed-width tables — per measure (in `SegIndex::ALL`
+//!   order), `n_cells` × 9-byte slots (presence byte + f64 bits, zero
+//!   when absent), cells in the same sorted coordinate order.
+//!
+//! The full suite **always** writes v4 — bit-identical to pre-v5
+//! releases — and a v5 file declaring the full set is rejected as
+//! non-canonical, so each logical snapshot still has exactly one byte
+//! representation. v1–v4 readers imply [`MeasureSet::FULL`].
+//! [`CubeSnapshot::open_mmap`] accepts v5: the meta region was always
+//! heap-decoded, and posting slots stay zero-copy.
+//!
 //! Versions 1–3 (a single length-prefixed payload, no directory) still
-//! load via [`CubeSnapshot::load`]; the writer only emits v4. v1 predates
+//! load via [`CubeSnapshot::load`]; the writer only emits v4/v5. v1 predates
 //! the build-configuration section and the maintenance store (the builder
 //! defaults `AllFrequent` / [`DEFAULT_ATKINSON_B`] apply and the store is
 //! recomputed); v2 added both; v3 marked the retraction-capable
@@ -73,7 +94,7 @@ use scube_bitmap::{EwahBitmap, Posting};
 use scube_common::mmap::{ByteRegion, MmapFile};
 use scube_common::{FxHashMap, Result, ScubeError};
 use scube_data::{ItemId, TransactionDb, VerticalDb};
-use scube_segindex::{IndexValues, DEFAULT_ATKINSON_B};
+use scube_segindex::{IndexValues, MeasureSet, DEFAULT_ATKINSON_B};
 
 use crate::builder::{CubeBuilder, Materialize};
 use crate::coords::CellCoords;
@@ -81,6 +102,7 @@ use crate::cube::{CubeLabels, SegregationCube};
 use crate::update::{MaintenanceStore, UpdateBatch, UpdateOutcome, UpdateStats};
 
 const MAGIC: &[u8; 8] = b"SCUBESNP";
+const VERSION_5: u32 = 5;
 const VERSION: u32 = 4;
 const VERSION_3: u32 = 3;
 const VERSION_2: u32 = 2;
@@ -113,6 +135,11 @@ pub struct CubeSnapshot<P: Posting = EwahBitmap> {
     /// Atkinson shape parameter the cube was built with — recorded so
     /// re-evaluated dirty cells reproduce the original floats bit for bit.
     atkinson_b: f64,
+    /// The measure subset the cube was built with — recorded so updates
+    /// re-fold exactly the selected indexes. [`MeasureSet::FULL`] persists
+    /// as format v4 (byte-identical to pre-measure-layer snapshots); any
+    /// proper subset persists as the compact v5 value-table layout.
+    measures: MeasureSet,
     /// The integer per-unit histograms behind every cell value, kept so
     /// updates fold deltas in instead of re-deriving from full postings.
     /// Mapped snapshots defer decoding it until an update needs it.
@@ -186,6 +213,7 @@ impl<P: Posting> CubeSnapshot<P> {
             vertical,
             materialize: Materialize::default(),
             atkinson_b: DEFAULT_ATKINSON_B,
+            measures: MeasureSet::FULL,
             maintenance,
         })
     }
@@ -217,14 +245,20 @@ impl<P: Posting> CubeSnapshot<P> {
         Ok(())
     }
 
-    /// Record the build configuration (materialization strategy and
-    /// Atkinson parameter) the cube was built with. [`Self::from_db`] does
-    /// this automatically; use it when pairing a cube and vertical database
-    /// by hand so later [`Self::apply_update`] calls maintain the cube
-    /// under the same parameters.
-    pub fn with_build_config(mut self, materialize: Materialize, atkinson_b: f64) -> Self {
+    /// Record the build configuration (materialization strategy, Atkinson
+    /// parameter, and measure subset) the cube was built with.
+    /// [`Self::from_db`] does this automatically; use it when pairing a
+    /// cube and vertical database by hand so later [`Self::apply_update`]
+    /// calls maintain the cube under the same parameters.
+    pub fn with_build_config(
+        mut self,
+        materialize: Materialize,
+        atkinson_b: f64,
+        measures: MeasureSet,
+    ) -> Self {
         self.materialize = materialize;
         self.atkinson_b = atkinson_b;
+        self.measures = measures;
         self
     }
 
@@ -237,8 +271,12 @@ impl<P: Posting> CubeSnapshot<P> {
     {
         let vertical: VerticalDb<P> = VerticalDb::build(db);
         let cube = builder.build_from_vertical(db, &vertical)?;
-        Ok(CubeSnapshot::new(cube, vertical)?
-            .with_build_config(builder.config().materialize, builder.config().atkinson_b))
+        let cfg = builder.config();
+        Ok(CubeSnapshot::new(cube, vertical)?.with_build_config(
+            cfg.materialize,
+            cfg.atkinson_b,
+            cfg.measures,
+        ))
     }
 
     /// Fold a batch of appended rows and retractions into the snapshot in
@@ -313,6 +351,7 @@ impl<P: Posting> CubeSnapshot<P> {
             batch,
             self.materialize,
             self.atkinson_b,
+            self.measures,
             threads,
         )
     }
@@ -323,8 +362,15 @@ impl<P: Posting> CubeSnapshot<P> {
     /// folds deltas at the same cost as the snapshot path).
     pub(crate) fn into_serving_parts(
         self,
-    ) -> (SegregationCube, VerticalDb<P>, MaintSource, Materialize, f64) {
-        (self.cube, self.vertical, self.maintenance, self.materialize, self.atkinson_b)
+    ) -> (SegregationCube, VerticalDb<P>, MaintSource, Materialize, f64, MeasureSet) {
+        (
+            self.cube,
+            self.vertical,
+            self.maintenance,
+            self.materialize,
+            self.atkinson_b,
+            self.measures,
+        )
     }
 
     /// The materialization strategy the cube was built with (recorded in
@@ -337,6 +383,12 @@ impl<P: Posting> CubeSnapshot<P> {
     /// snapshot format v2; the default for loaded v1 files).
     pub fn atkinson_b(&self) -> f64 {
         self.atkinson_b
+    }
+
+    /// The measure subset the cube was built with (recorded in snapshot
+    /// format v5; [`MeasureSet::FULL`] for v1–v4 files).
+    pub fn measures(&self) -> MeasureSet {
+        self.measures
     }
 
     /// The materialized cube.
@@ -380,7 +432,8 @@ impl<P: Posting> CubeSnapshot<P> {
 
         let mut out = Vec::with_capacity(store_off + 1024);
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        let version = if self.measures.is_full() { VERSION } else { VERSION_5 };
+        out.extend_from_slice(&version.to_le_bytes());
         out.push(P::SERIAL_TAG);
         out.extend_from_slice(&[0u8; 8]); // full checksum, patched below
         out.extend_from_slice(&[0u8; 3]); // padding to an 8-aligned directory
@@ -411,8 +464,11 @@ impl<P: Posting> CubeSnapshot<P> {
         out
     }
 
-    /// The v4 meta region: build configuration, labels, cube metadata,
-    /// cells in canonical (sa, ca) order, and the tid → unit map.
+    /// The v4/v5 meta region: build configuration, labels, cube metadata,
+    /// cells in canonical (sa, ca) order, and the tid → unit map. A full
+    /// measure suite writes the v4 layout (values inline per cell); a
+    /// subset writes the v5 layout (measure-set byte, population summary
+    /// per cell, then one fixed-width value table per selected measure).
     fn encode_meta(&self) -> Vec<u8> {
         let mut meta = Vec::new();
         let labels = self.cube.labels();
@@ -423,6 +479,9 @@ impl<P: Posting> CubeSnapshot<P> {
             Materialize::ClosedOnly => 1,
         });
         put_u64(&mut meta, self.atkinson_b.to_bits());
+        if !self.measures.is_full() {
+            meta.push(self.measures.bits());
+        }
 
         // Labels.
         put_u32(&mut meta, labels.num_items() as u32);
@@ -443,10 +502,30 @@ impl<P: Posting> CubeSnapshot<P> {
         let mut cells: Vec<(&CellCoords, &IndexValues)> = self.cube.cells().collect();
         cells.sort_by(|a, b| a.0.cmp(b.0));
         put_u32(&mut meta, cells.len() as u32);
-        for (coords, values) in cells {
-            put_ids(&mut meta, &coords.sa);
-            put_ids(&mut meta, &coords.ca);
-            put_values(&mut meta, values);
+        if self.measures.is_full() {
+            for (coords, values) in &cells {
+                put_ids(&mut meta, &coords.sa);
+                put_ids(&mut meta, &coords.ca);
+                put_values(&mut meta, values);
+            }
+        } else {
+            // v5: coordinates + population summary inline, then one
+            // fixed-width little-endian value table per selected measure
+            // (9 bytes per cell: presence byte + f64 bits, zero when
+            // absent), in `SegIndex::ALL` order — columnar, so a reader
+            // interested in one index touches one contiguous table.
+            for (coords, values) in &cells {
+                put_ids(&mut meta, &coords.sa);
+                put_ids(&mut meta, &coords.ca);
+                put_u64(&mut meta, values.minority);
+                put_u64(&mut meta, values.total);
+                put_u32(&mut meta, values.num_units);
+            }
+            for index in self.measures.iter() {
+                for (_, values) in &cells {
+                    put_f64_slot(&mut meta, values.get(index));
+                }
+            }
         }
 
         // Transaction space and tid → unit map.
@@ -459,9 +538,9 @@ impl<P: Posting> CubeSnapshot<P> {
     }
 
     /// Deserialize a snapshot, verifying magic, version, representation
-    /// tag, and checksum before trusting any field. The current v4 format
-    /// and legacy v1–v3 files all load; any other version is an error,
-    /// never a panic.
+    /// tag, and checksum before trusting any field. The current v4/v5
+    /// formats and legacy v1–v3 files all load; any other version is an
+    /// error, never a panic.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.len() < HEADER_LEN {
             return Err(corrupt("shorter than the fixed header"));
@@ -471,10 +550,10 @@ impl<P: Posting> CubeSnapshot<P> {
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
         match version {
-            VERSION => Self::from_bytes_v4(bytes),
+            VERSION | VERSION_5 => Self::from_bytes_v4(bytes, version),
             VERSION_1 | VERSION_2 | VERSION_3 => Self::from_bytes_legacy(bytes, version),
             _ => Err(corrupt(&format!(
-                "unsupported format version {version} (want {VERSION_1}..={VERSION})"
+                "unsupported format version {version} (want {VERSION_1}..={VERSION_5})"
             ))),
         }
     }
@@ -600,15 +679,16 @@ impl<P: Posting> CubeSnapshot<P> {
             vertical,
             materialize,
             atkinson_b,
+            measures: MeasureSet::FULL,
             maintenance: MaintSource::Ready(maintenance),
         })
     }
 
-    /// The v4 heap decoder: verify the full checksum, walk the directory,
-    /// decode every region, and validate exactly as strictly as the legacy
-    /// path (owned postings via [`Posting::read_slot`], full
+    /// The v4/v5 heap decoder: verify the full checksum, walk the
+    /// directory, decode every region, and validate exactly as strictly as
+    /// the legacy path (owned postings via [`Posting::read_slot`], full
     /// [`VerticalDb::from_parts`] and store-coverage checks).
-    fn from_bytes_v4(bytes: &[u8]) -> Result<Self> {
+    fn from_bytes_v4(bytes: &[u8], version: u32) -> Result<Self> {
         if bytes.len() < META_OFF {
             return Err(corrupt("shorter than the fixed v4 header"));
         }
@@ -621,7 +701,7 @@ impl<P: Posting> CubeSnapshot<P> {
             return Err(corrupt("nonzero header padding"));
         }
         let d = Directory::parse(bytes)?;
-        let meta = decode_meta(&bytes[META_OFF..d.postdir_off])?;
+        let meta = decode_meta(&bytes[META_OFF..d.postdir_off], version)?;
         if d.n_postings != meta.n_items {
             return Err(corrupt("posting count does not match item count"));
         }
@@ -652,6 +732,7 @@ impl<P: Posting> CubeSnapshot<P> {
             vertical,
             materialize: meta.materialize,
             atkinson_b: meta.atkinson_b,
+            measures: meta.measures,
             maintenance: MaintSource::Ready(store),
         })
     }
@@ -712,9 +793,9 @@ impl<P: Posting> CubeSnapshot<P> {
                 "format v{version} predates mapped serving — load and re-save to convert to v4"
             )));
         }
-        if version != VERSION {
+        if version != VERSION && version != VERSION_5 {
             return Err(corrupt(&format!(
-                "unsupported format version {version} (want {VERSION_1}..={VERSION})"
+                "unsupported format version {version} (want {VERSION_1}..={VERSION_5})"
             )));
         }
         Self::check_tag(bytes)?;
@@ -732,7 +813,7 @@ impl<P: Posting> CubeSnapshot<P> {
         {
             return Err(corrupt("meta checksum mismatch (corrupted directory or meta region)"));
         }
-        let meta = decode_meta(&bytes[META_OFF..d.postdir_off])?;
+        let meta = decode_meta(&bytes[META_OFF..d.postdir_off], version)?;
         if d.n_postings != meta.n_items {
             return Err(corrupt("posting count does not match item count"));
         }
@@ -763,6 +844,7 @@ impl<P: Posting> CubeSnapshot<P> {
             vertical,
             materialize: meta.materialize,
             atkinson_b: meta.atkinson_b,
+            measures: meta.measures,
             maintenance: MaintSource::Deferred(DeferredStore {
                 region: store_region,
                 n_items: meta.n_items,
@@ -917,11 +999,12 @@ impl Directory {
     }
 }
 
-/// The decoded v4 meta region — everything but postings and the
+/// The decoded v4/v5 meta region — everything but postings and the
 /// maintenance store.
 struct MetaParts {
     materialize: Materialize,
     atkinson_b: f64,
+    measures: MeasureSet,
     cube: SegregationCube,
     n_items: usize,
     n_transactions: u32,
@@ -929,8 +1012,12 @@ struct MetaParts {
     unit_of: Vec<u32>,
 }
 
-/// Decode the v4 meta region (exactly; trailing bytes are an error).
-fn decode_meta(bytes: &[u8]) -> Result<MetaParts> {
+/// Decode the v4/v5 meta region (exactly; trailing bytes are an error).
+/// v4 carries no measure-set byte (the set is implicitly full) and stores
+/// every cell's six tagged-optional values inline; v5 adds the measure
+/// byte after the Atkinson parameter and moves the per-cell values into
+/// columnar fixed-width tables, one per selected measure.
+fn decode_meta(bytes: &[u8], version: u32) -> Result<MetaParts> {
     let mut r = Reader { bytes, pos: 0 };
 
     // Build configuration.
@@ -943,6 +1030,18 @@ fn decode_meta(bytes: &[u8]) -> Result<MetaParts> {
     if !atkinson_b.is_finite() {
         return Err(corrupt("non-finite Atkinson parameter"));
     }
+    let measures = if version >= VERSION_5 {
+        let bits = r.u8()?;
+        let set = MeasureSet::from_bits(bits)
+            .ok_or_else(|| corrupt(&format!("invalid measure-set byte {bits:#04x}")))?;
+        if set.is_full() {
+            // Canonical form: a full set is always written as v4.
+            return Err(corrupt("v5 snapshot declares the full measure set (must be v4)"));
+        }
+        set
+    } else {
+        MeasureSet::FULL
+    };
 
     // Labels.
     let n_items = r.u32()? as usize;
@@ -966,12 +1065,39 @@ fn decode_meta(bytes: &[u8]) -> Result<MetaParts> {
     let n_cells = r.u32()? as usize;
     let mut cells: FxHashMap<CellCoords, IndexValues> =
         scube_common::hash::fx_map_with_capacity(n_cells.min(PREALLOC_CAP));
-    for _ in 0..n_cells {
-        let sa = r.ids(n_items)?;
-        let ca = r.ids(n_items)?;
-        let values = r.values()?;
-        if cells.insert(CellCoords { sa, ca }, values).is_some() {
-            return Err(corrupt("duplicate cell coordinates"));
+    if measures.is_full() {
+        for _ in 0..n_cells {
+            let sa = r.ids(n_items)?;
+            let ca = r.ids(n_items)?;
+            let values = r.values()?;
+            if cells.insert(CellCoords { sa, ca }, values).is_some() {
+                return Err(corrupt("duplicate cell coordinates"));
+            }
+        }
+    } else {
+        // v5: coordinates and counts first, in canonical cell order, then
+        // one fixed-width value column per selected measure.
+        let mut order = Vec::with_capacity(n_cells.min(PREALLOC_CAP));
+        for _ in 0..n_cells {
+            let sa = r.ids(n_items)?;
+            let ca = r.ids(n_items)?;
+            let values = IndexValues {
+                minority: r.u64()?,
+                total: r.u64()?,
+                num_units: r.u32()?,
+                ..IndexValues::default()
+            };
+            order.push((CellCoords { sa, ca }, values));
+        }
+        for index in measures.iter() {
+            for (_, values) in order.iter_mut() {
+                values.set(index, r.f64_slot()?);
+            }
+        }
+        for (coords, values) in order {
+            if cells.insert(coords, values).is_some() {
+                return Err(corrupt("duplicate cell coordinates"));
+            }
         }
     }
     let cube = SegregationCube::new(cells, labels, n_units, min_support);
@@ -986,7 +1112,16 @@ fn decode_meta(bytes: &[u8]) -> Result<MetaParts> {
     if r.pos != r.bytes.len() {
         return Err(corrupt("trailing bytes in the meta region"));
     }
-    Ok(MetaParts { materialize, atkinson_b, cube, n_items, n_transactions, v_units, unit_of })
+    Ok(MetaParts {
+        materialize,
+        atkinson_b,
+        measures,
+        cube,
+        n_items,
+        n_transactions,
+        v_units,
+        unit_of,
+    })
 }
 
 /// Encode the maintenance store: context totals then cell minorities, in
@@ -1081,6 +1216,23 @@ fn put_f64_opt(out: &mut Vec<u8>, v: Option<f64>) {
             out.extend_from_slice(&x.to_bits().to_le_bytes());
         }
         None => out.push(0),
+    }
+}
+
+/// Fixed-width (9-byte) optional value for the v5 columnar tables:
+/// presence byte then the f64 bits, zero bits when absent. Fixed width
+/// keeps every column the same length, so a value can be located by
+/// `column_base + 9 * cell_index` without scanning.
+fn put_f64_slot(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        None => {
+            out.push(0);
+            out.extend_from_slice(&[0u8; 8]);
+        }
     }
 }
 
@@ -1187,6 +1339,20 @@ impl Reader<'_> {
         }
     }
 
+    /// Fixed-width counterpart of [`Self::f64_opt`] for the v5 columnar
+    /// value tables. An absent slot must carry zero payload bits so the
+    /// encoding stays canonical (one byte pattern per logical value).
+    fn f64_slot(&mut self) -> Result<Option<f64>> {
+        let tag = self.u8()?;
+        let bits = self.u64()?;
+        match tag {
+            0 if bits == 0 => Ok(None),
+            0 => Err(corrupt("absent value slot with nonzero payload")),
+            1 => Ok(Some(f64::from_bits(bits))),
+            _ => Err(corrupt("bad value-slot tag")),
+        }
+    }
+
     fn values(&mut self) -> Result<IndexValues> {
         Ok(IndexValues {
             dissimilarity: self.f64_opt()?,
@@ -1260,6 +1426,83 @@ mod tests {
         let loaded: CubeSnapshot = CubeSnapshot::load(&path).unwrap();
         assert_eq!(loaded.cube(), snap.cube());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v5_subset_roundtrip_all_representations() {
+        use scube_segindex::SegIndex;
+        fn check<P: Posting + Send + Sync + PartialEq + std::fmt::Debug>() {
+            let db = db();
+            let measures = MeasureSet::only(SegIndex::Gini).with(SegIndex::Isolation);
+            let snap: CubeSnapshot<P> =
+                CubeSnapshot::from_db(&db, &CubeBuilder::new().measures(measures)).unwrap();
+            let bytes = snap.to_bytes();
+            assert_eq!(&bytes[8..12], &VERSION_5.to_le_bytes(), "subset builds persist as v5");
+            let loaded = CubeSnapshot::<P>::from_bytes(&bytes).unwrap();
+            assert_eq!(loaded.measures(), measures);
+            assert_eq!(loaded.cube(), snap.cube());
+            assert_eq!(loaded.vertical().postings(), snap.vertical().postings());
+            // Canonical: resaving reproduces identical bytes.
+            assert_eq!(loaded.to_bytes(), bytes);
+            // Unselected measures are absent in every cell.
+            for (_, v) in loaded.cube().cells() {
+                assert!(v.dissimilarity.is_none() && v.information.is_none());
+                assert!(v.interaction.is_none() && v.atkinson.is_none());
+            }
+        }
+        check::<EwahBitmap>();
+        check::<DenseBitmap>();
+        check::<TidVec>();
+    }
+
+    #[test]
+    fn full_measure_set_always_writes_v4() {
+        let db = db();
+        let snap: CubeSnapshot =
+            CubeSnapshot::from_db(&db, &CubeBuilder::new().measures(MeasureSet::FULL)).unwrap();
+        let bytes = snap.to_bytes();
+        assert_eq!(&bytes[8..12], &VERSION.to_le_bytes());
+        let loaded = CubeSnapshot::<EwahBitmap>::from_bytes(&bytes).unwrap();
+        assert!(loaded.measures().is_full());
+    }
+
+    #[test]
+    fn v5_declaring_full_set_is_rejected_as_non_canonical() {
+        // Take a real v4 snapshot, stamp version 5 (whose meta would then
+        // need a measure byte), and fix the checksums: the reader must
+        // reject it — a full suite has exactly one canonical encoding (v4).
+        let db = db();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+        let mut bytes = snap.to_bytes();
+        bytes[8..12].copy_from_slice(&VERSION_5.to_le_bytes());
+        let sum = checksum(&bytes[DIR_OFF..]);
+        bytes[13..21].copy_from_slice(&sum.to_le_bytes());
+        assert!(CubeSnapshot::<EwahBitmap>::from_bytes(&bytes).is_err());
+
+        // And directly: a v5 meta region declaring the full measure byte.
+        let mut meta = Vec::new();
+        meta.push(0); // AllFrequent
+        put_u64(&mut meta, DEFAULT_ATKINSON_B.to_bits());
+        meta.push(MeasureSet::FULL.bits());
+        let err = decode_meta(&meta, VERSION_5).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("full measure set"), "{err}");
+    }
+
+    #[test]
+    fn v5_bad_measure_byte_and_bad_slots_error() {
+        // Measure byte 0 (empty) and 0xFF (unknown bits) are both invalid.
+        for bits in [0u8, 0xFF] {
+            let mut meta = Vec::new();
+            meta.push(0);
+            put_u64(&mut meta, DEFAULT_ATKINSON_B.to_bits());
+            meta.push(bits);
+            assert!(decode_meta(&meta, VERSION_5).is_err(), "measure byte {bits:#04x}");
+        }
+        // An absent value slot must carry zero payload bits.
+        let mut r = Reader { bytes: &[0u8, 1, 0, 0, 0, 0, 0, 0, 0], pos: 0 };
+        assert!(r.f64_slot().is_err(), "absent slot with nonzero payload");
+        let mut r = Reader { bytes: &[2u8, 0, 0, 0, 0, 0, 0, 0, 0], pos: 0 };
+        assert!(r.f64_slot().is_err(), "bad slot tag");
     }
 
     #[test]

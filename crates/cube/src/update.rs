@@ -67,7 +67,7 @@ use scube_bitmap::Posting;
 use scube_common::{FxHashMap, FxHashSet, Result, ScubeError};
 use scube_data::{ItemId, Relation, UnitId, UnitScratch, VerticalDb, MULTI_VALUE_SEPARATOR};
 use scube_fpm::eclat::mine_vertical_with_tidsets_scoped;
-use scube_segindex::{IndexValues, UnitCounts};
+use scube_segindex::{IndexValues, MeasureSet, UnitCounts};
 
 use crate::builder::Materialize;
 use crate::coords::CellCoords;
@@ -567,6 +567,7 @@ fn values_from_hists(
     context: &[(u32, u64)],
     minority: &[(u32, u64)],
     atkinson_b: f64,
+    measures: MeasureSet,
 ) -> Result<IndexValues> {
     let mut mi = minority.iter().peekable();
     let counts = UnitCounts::from_triples(context.iter().map(|&(u, t)| {
@@ -579,7 +580,7 @@ fn values_from_hists(
         };
         (u, m, t)
     }))?;
-    Ok(IndexValues::compute_with(&counts, atkinson_b))
+    Ok(IndexValues::compute_masked(&counts, atkinson_b, measures))
 }
 
 /// Tidset and support of `items` over the full postings, intersecting
@@ -869,9 +870,12 @@ fn commit_labels(cube: &mut SegregationCube, encoded: &EncodedBatch, n_units_aft
 /// the dirty cells — fanned over `threads` scoped workers when the dirty
 /// set is large — demote cells that fell below `min_support` or lost
 /// closedness, promote newly-frequent itemsets, and relabel the id space
-/// when retractions shrank or reordered the dictionary. `materialize` and
-/// `atkinson_b` must be the configuration the cube was built with —
-/// snapshots record them since format v2.
+/// when retractions shrank or reordered the dictionary. `materialize`,
+/// `atkinson_b`, and `measures` must be the configuration the cube was
+/// built with — snapshots record them (v2 for the first two, v5 for the
+/// measure set), so re-evaluated and promoted cells fold the exact same
+/// index subset a rebuild would.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_update<P: Posting + Send + Sync>(
     cube: &mut SegregationCube,
     vertical: &mut VerticalDb<P>,
@@ -879,6 +883,7 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
     batch: &UpdateBatch,
     materialize: Materialize,
     atkinson_b: f64,
+    measures: MeasureSet,
     threads: usize,
 ) -> Result<UpdateOutcome<P>> {
     if batch.is_empty() {
@@ -931,7 +936,13 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
     // intern order decides the final unit ids, and cell values are float
     // folds over per-unit triples *in unit order* — so re-evaluation must
     // iterate the post-relabel order to reproduce a rebuild's floats bit
-    // for bit, even though the histograms are permutation-equal. Only the
+    // for bit, even though the histograms are permutation-equal. This
+    // holds for *every* selected measure, not only Atkinson: the D/H/xPx/
+    // xPy sums and Gini's sort-then-prefix-scan all accumulate f64s in
+    // unit-visit order, so a permuted histogram can drift by 1 ULP. The
+    // `reorder_units` pass below is what keeps each index in the
+    // `MeasureSet` byte-identical to a rebuild (regression-tested per
+    // index in `tests/multi_index_equivalence.rs`). Only the
     // first-occurrence scan runs here — O(Σ row width), no row or label
     // clones — so the (common) identity outcome costs no materialization;
     // the relabeling commit path reconstructs the edited rows when, and
@@ -1068,7 +1079,7 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
             }
             let totals = reorder_units(&sc.totals, unit_remap);
             let counts = UnitCounts::from_triples(totals.iter().map(|&(u, t)| (u, t, t)))?;
-            Ok(CellFate::Keep(None, IndexValues::compute_with(&counts, atkinson_b)))
+            Ok(CellFate::Keep(None, IndexValues::compute_masked(&counts, atkinson_b, measures)))
         } else {
             let mut minority = store
                 .minorities
@@ -1130,6 +1141,7 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
                 &reorder_units(&sc.totals, unit_remap),
                 &reorder_units(&minority, unit_remap),
                 atkinson_b,
+                measures,
             )?;
             Ok(CellFate::Keep(Some(minority), values))
         }
@@ -1435,11 +1447,11 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
         let totals = &store.contexts[&coords.ca];
         let values = if coords.sa.is_empty() {
             let counts = UnitCounts::from_triples(totals.iter().map(|&(u, t)| (u, t, t)))?;
-            IndexValues::compute_with(&counts, atkinson_b)
+            IndexValues::compute_masked(&counts, atkinson_b, measures)
         } else {
             vertical.unit_histogram_into(&tids, &mut scratch);
             let minority = scratch.sorted_pairs();
-            let values = values_from_hists(totals, &minority, atkinson_b)?;
+            let values = values_from_hists(totals, &minority, atkinson_b, measures)?;
             store.minorities.insert(coords.clone(), minority);
             values
         };

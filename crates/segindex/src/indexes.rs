@@ -261,6 +261,122 @@ impl std::fmt::Display for SegIndex {
     }
 }
 
+/// A non-empty subset of the six [`SegIndex`] measures, as a one-byte
+/// bitset (bit `i` = `SegIndex::ALL[i]`).
+///
+/// This is the "the cube is parametric to the indexes" knob: a build folds
+/// exactly the selected measures per cell and leaves the rest undefined.
+/// The default is [`MeasureSet::FULL`] — every index, matching the
+/// historical (and paper's) full-suite behavior bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeasureSet {
+    bits: u8,
+}
+
+impl MeasureSet {
+    const ALL_BITS: u8 = (1 << SegIndex::ALL.len()) - 1;
+
+    /// Every index — the default.
+    pub const FULL: MeasureSet = MeasureSet { bits: Self::ALL_BITS };
+
+    fn bit(index: SegIndex) -> u8 {
+        match index {
+            SegIndex::Dissimilarity => 1 << 0,
+            SegIndex::Gini => 1 << 1,
+            SegIndex::Information => 1 << 2,
+            SegIndex::Isolation => 1 << 3,
+            SegIndex::Interaction => 1 << 4,
+            SegIndex::Atkinson => 1 << 5,
+        }
+    }
+
+    /// The set containing exactly one index.
+    pub fn only(index: SegIndex) -> MeasureSet {
+        MeasureSet { bits: Self::bit(index) }
+    }
+
+    /// This set plus one more index.
+    #[must_use]
+    pub fn with(self, index: SegIndex) -> MeasureSet {
+        MeasureSet { bits: self.bits | Self::bit(index) }
+    }
+
+    /// Is `index` selected?
+    pub fn contains(self, index: SegIndex) -> bool {
+        self.bits & Self::bit(index) != 0
+    }
+
+    /// Does this set select all six indexes?
+    pub fn is_full(self) -> bool {
+        self.bits == Self::ALL_BITS
+    }
+
+    /// Number of selected indexes (always ≥ 1).
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// A `MeasureSet` is never empty; kept for clippy's `len`/`is_empty`
+    /// pairing convention.
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The selected indexes, in [`SegIndex::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = SegIndex> {
+        SegIndex::ALL.into_iter().filter(move |&i| self.contains(i))
+    }
+
+    /// The raw bitset byte (bit `i` = `SegIndex::ALL[i]`), for persistence.
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Rebuild from a persisted byte; `None` when empty or when bits
+    /// beyond the six known indexes are set.
+    pub fn from_bits(bits: u8) -> Option<MeasureSet> {
+        (bits != 0 && bits & !Self::ALL_BITS == 0).then_some(MeasureSet { bits })
+    }
+
+    /// Parse a comma-separated list of index names (long or short, as
+    /// accepted by [`SegIndex::parse`]), or `"all"` for the full suite.
+    /// `None` on an empty list or any unknown name.
+    pub fn parse(s: &str) -> Option<MeasureSet> {
+        if s.trim().eq_ignore_ascii_case("all") {
+            return Some(MeasureSet::FULL);
+        }
+        let mut bits = 0u8;
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return None;
+            }
+            bits |= Self::bit(SegIndex::parse(part)?);
+        }
+        MeasureSet::from_bits(bits)
+    }
+}
+
+impl Default for MeasureSet {
+    fn default() -> Self {
+        MeasureSet::FULL
+    }
+}
+
+impl std::fmt::Display for MeasureSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for index in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            first = false;
+            f.write_str(index.name())?;
+        }
+        Ok(())
+    }
+}
+
 /// All six index values for one histogram, plus the population summary —
 /// the payload of one cube cell.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -306,9 +422,47 @@ impl IndexValues {
         Self::compute_with(c, DEFAULT_ATKINSON_B)
     }
 
+    /// Evaluate only the selected indexes; unselected fields stay `None`.
+    ///
+    /// With [`MeasureSet::FULL`] this is bit-for-bit identical to
+    /// [`IndexValues::compute_with`] — each fold runs the exact same code
+    /// path over the exact same histogram.
+    pub fn compute_masked(c: &UnitCounts, atkinson_b: f64, measures: MeasureSet) -> IndexValues {
+        let sel = |i: SegIndex, v: fn(&UnitCounts) -> Option<f64>| {
+            measures.contains(i).then(|| v(c)).flatten()
+        };
+        IndexValues {
+            dissimilarity: sel(SegIndex::Dissimilarity, dissimilarity),
+            gini: sel(SegIndex::Gini, gini),
+            information: sel(SegIndex::Information, information),
+            isolation: sel(SegIndex::Isolation, isolation),
+            interaction: sel(SegIndex::Interaction, interaction),
+            atkinson: measures
+                .contains(SegIndex::Atkinson)
+                .then(|| atkinson(c, atkinson_b))
+                .flatten(),
+            minority: c.minority(),
+            total: c.total(),
+            num_units: c.num_units() as u32,
+        }
+    }
+
     /// Overall minority proportion `P`, when defined.
     pub fn minority_proportion(&self) -> Option<f64> {
         (self.total > 0).then(|| self.minority as f64 / self.total as f64)
+    }
+
+    /// Set one index value — the write half of [`Self::get`], used by the
+    /// columnar snapshot decoder to reassemble cells from value tables.
+    pub fn set(&mut self, index: SegIndex, value: Option<f64>) {
+        match index {
+            SegIndex::Dissimilarity => self.dissimilarity = value,
+            SegIndex::Gini => self.gini = value,
+            SegIndex::Information => self.information = value,
+            SegIndex::Isolation => self.isolation = value,
+            SegIndex::Interaction => self.interaction = value,
+            SegIndex::Atkinson => self.atkinson = value,
+        }
     }
 
     /// Select one index value.
@@ -502,6 +656,85 @@ mod tests {
         // Degenerate populations.
         assert_eq!(correlation_ratio(&counts(&[(0, 10)])), None);
         assert_eq!(correlation_ratio(&counts(&[(10, 10)])), None);
+    }
+
+    #[test]
+    fn measure_set_basics() {
+        assert_eq!(MeasureSet::default(), MeasureSet::FULL);
+        assert!(MeasureSet::FULL.is_full());
+        assert_eq!(MeasureSet::FULL.len(), SegIndex::ALL.len());
+        assert!(!MeasureSet::FULL.is_empty());
+        let g = MeasureSet::only(SegIndex::Gini);
+        assert!(g.contains(SegIndex::Gini));
+        assert!(!g.contains(SegIndex::Atkinson));
+        assert!(!g.is_full());
+        assert_eq!(g.len(), 1);
+        let ga = g.with(SegIndex::Atkinson);
+        assert_eq!(ga.iter().collect::<Vec<_>>(), vec![SegIndex::Gini, SegIndex::Atkinson]);
+        // iter is in ALL order regardless of insertion order.
+        let ag = MeasureSet::only(SegIndex::Atkinson).with(SegIndex::Gini);
+        assert_eq!(ag, ga);
+    }
+
+    #[test]
+    fn measure_set_bits_roundtrip() {
+        for bits in 1u8..=0b11_1111 {
+            let set = MeasureSet::from_bits(bits).expect("valid bits");
+            assert_eq!(set.bits(), bits);
+            assert_eq!(set.len(), bits.count_ones() as usize);
+        }
+        assert_eq!(MeasureSet::from_bits(0), None, "empty set is invalid");
+        assert_eq!(MeasureSet::from_bits(0b100_0000), None, "unknown bit is invalid");
+        assert_eq!(MeasureSet::from_bits(0xFF), None);
+    }
+
+    #[test]
+    fn measure_set_parse_and_display() {
+        assert_eq!(MeasureSet::parse("all"), Some(MeasureSet::FULL));
+        assert_eq!(MeasureSet::parse("gini"), Some(MeasureSet::only(SegIndex::Gini)));
+        assert_eq!(
+            MeasureSet::parse("atkinson, d"),
+            Some(MeasureSet::only(SegIndex::Atkinson).with(SegIndex::Dissimilarity))
+        );
+        assert_eq!(MeasureSet::parse(""), None);
+        assert_eq!(MeasureSet::parse("gini,,d"), None);
+        assert_eq!(MeasureSet::parse("gini,nope"), None);
+        for bits in 1u8..=0b11_1111 {
+            let set = MeasureSet::from_bits(bits).unwrap();
+            assert_eq!(MeasureSet::parse(&set.to_string()), Some(set), "{set}");
+        }
+    }
+
+    #[test]
+    fn compute_masked_full_matches_compute_with() {
+        let c = counts(&[(1, 10), (5, 10), (9, 10), (3, 30), (0, 7)]);
+        for b in [0.3, 0.5, 0.7] {
+            let full = IndexValues::compute_with(&c, b);
+            let masked = IndexValues::compute_masked(&c, b, MeasureSet::FULL);
+            assert_eq!(full, masked);
+        }
+    }
+
+    #[test]
+    fn compute_masked_subsets_match_per_index() {
+        let c = counts(&[(4, 10), (1, 10), (5, 20)]);
+        let full = IndexValues::compute_with(&c, 0.4);
+        for bits in 1u8..=0b11_1111 {
+            let set = MeasureSet::from_bits(bits).unwrap();
+            let masked = IndexValues::compute_masked(&c, 0.4, set);
+            assert_eq!(masked.minority, full.minority);
+            assert_eq!(masked.total, full.total);
+            assert_eq!(masked.num_units, full.num_units);
+            for idx in SegIndex::ALL {
+                let expected = if set.contains(idx) { full.get(idx) } else { None };
+                // f64-bit-exact: the masked fold runs the same code path.
+                assert_eq!(
+                    masked.get(idx).map(f64::to_bits),
+                    expected.map(f64::to_bits),
+                    "{set} / {idx}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -123,6 +123,50 @@ fn check_churn_equals_rebuild<P: Posting + Send + Sync + PartialEq + std::fmt::D
     assert_eq!(updated.to_bytes(), rebuilt.to_bytes(), "{what}: snapshot bytes diverged");
 }
 
+/// As [`check_churn_equals_rebuild`], but on a build restricted to a
+/// measure subset: the churned snapshot must stay byte-identical to a
+/// rebuild of the same subset — which for a proper subset means both
+/// sides serialize as snapshot v5, value tables and all.
+#[allow(clippy::too_many_arguments)]
+fn check_measured_churn_equals_rebuild<P: Posting + Send + Sync + PartialEq + std::fmt::Debug>(
+    full_rel: &Relation,
+    spec: &FinalTableSpec,
+    measures: MeasureSet,
+    base_rows: usize,
+    remove: &[u32],
+    min_support: u64,
+    materialize: Materialize,
+    threads: usize,
+    what: &str,
+) {
+    let base_rel = full_rel.slice_rows(0..base_rows);
+    let delta_rel = full_rel.slice_rows(base_rows..full_rel.len());
+    let base_db = spec.encode(&base_rel).expect("base rows encode");
+
+    let builder =
+        CubeBuilder::new().min_support(min_support).materialize(materialize).measures(measures);
+    let mut updated: CubeSnapshot<P> =
+        CubeSnapshot::from_db(&base_db, &builder).expect("base snapshot builds");
+    let mut batch =
+        scube_cube::UpdateBatch::from_relation(&delta_rel, updated.cube().labels(), "unitID")
+            .expect("delta rows resolve");
+    for &t in remove {
+        batch.remove_tid(t);
+    }
+    updated.apply_update_threads(&batch, threads).expect("churn applies");
+    assert_eq!(updated.measures(), measures, "{what}: update must not alter the measure set");
+
+    let mut edited_rel = filter_rows(&base_rel, |i| !remove.contains(&(i as u32)));
+    for row in delta_rel.rows() {
+        edited_rel.push_row(row.to_vec()).expect("row shapes match");
+    }
+    let edited_db = spec.encode(&edited_rel).expect("edited rows encode");
+    let rebuilt: CubeSnapshot<P> =
+        CubeSnapshot::from_db(&edited_db, &builder).expect("edited snapshot builds");
+    assert_eq!(updated.cube(), rebuilt.cube(), "{what}: cube diverged");
+    assert_eq!(updated.to_bytes(), rebuilt.to_bytes(), "{what}: snapshot bytes diverged");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
@@ -158,6 +202,43 @@ proptest! {
             );
             check_churn_equals_rebuild::<TidVec>(
                 &full_rel, &spec, base_rows, &remove, minsup, materialize, threads, "tidvec",
+            );
+        }
+    }
+
+    #[test]
+    fn measured_churn_is_bit_identical_to_rebuild(
+        seed in any::<u64>(),
+        measure_bits in 1u8..=63,
+        remove_every in 2usize..=6,
+        delta_pct in 0usize..=12,
+        suffix in any::<bool>(),
+        threads in 1usize..=6,
+    ) {
+        // The multi-index layer under churn: random measure subsets (any
+        // of the 63 non-empty sets, incl. the full suite) must survive
+        // random append/retract/mixed splits byte-identically — whole
+        // snapshot, so a proper subset round-trips its v5 value tables.
+        let measures = MeasureSet::from_bits(measure_bits).expect("1..=63 is a valid set");
+        let db = final_table(0.6, seed, 140);
+        let full_rel = scube::final_table_relation(&db);
+        let spec = spec_of(&db);
+        let minsup = (db.len() as u64 / 50).max(1);
+        let base_rows = full_rel.len() - (full_rel.len() * delta_pct / 100).max(1);
+        let n_remove = (base_rows / remove_every).max(1);
+        let remove: Vec<u32> = if suffix {
+            ((base_rows - n_remove) as u32..base_rows as u32).collect()
+        } else {
+            (0..base_rows as u32).step_by(remove_every).collect()
+        };
+        for materialize in [Materialize::AllFrequent, Materialize::ClosedOnly] {
+            check_measured_churn_equals_rebuild::<EwahBitmap>(
+                &full_rel, &spec, measures, base_rows, &remove, minsup, materialize, threads,
+                "ewah",
+            );
+            check_measured_churn_equals_rebuild::<TidVec>(
+                &full_rel, &spec, measures, base_rows, &remove, minsup, materialize, threads,
+                "tidvec",
             );
         }
     }

@@ -118,6 +118,60 @@ fn responses_are_bit_identical_to_in_process_engine() {
         .expect("breakdown");
     assert_eq!(resp.text().unwrap(), daemon::breakdown_json(&labels, target, &rows));
 
+    // Per-measure projection (`index=`) and the on-demand permutation test
+    // (`significance=1`) on the same routes — still byte-exact, with the
+    // expected bodies assembled from the daemon's own render helpers and a
+    // reference `PermutationTest` run over the same unit breakdown.
+    let values = reference.query(target).expect("reference query");
+    let cell_prefix = format!(
+        "{{\"cell\":{},\"describe\":\"{}\"",
+        daemon::coords_json(&labels, target),
+        daemon::json::escape(&labels.describe(target)),
+    );
+    let one = client
+        .get(&format!("/cubes/main/query?{}&index=gini", coords_query(&labels, target)))
+        .expect("indexed query");
+    assert_eq!(one.status, 200);
+    assert_eq!(
+        one.text().unwrap(),
+        format!("{cell_prefix},\"values\":{}}}", daemon::values_json_one(&values, SegIndex::Gini)),
+        "indexed point query projects exactly one measure"
+    );
+    let counts = UnitCounts::from_pairs(rows.iter().map(|&(_, m, t)| (m, t))).expect("valid cell");
+    let perm = PermutationTest::default().run(SegIndex::Gini, &counts).expect("gini defined here");
+    let sig_path =
+        format!("/cubes/main/query?{}&index=gini&significance=1", coords_query(&labels, target));
+    let sig = client.get(&sig_path).expect("significance query");
+    assert_eq!(
+        sig.text().unwrap(),
+        format!(
+            "{cell_prefix},\"values\":{},\"significance\":[{{\"index\":\"gini\",\
+             \"observed\":{},\"null_mean\":{},\"p_value\":{}}}]}}",
+            daemon::values_json_one(&values, SegIndex::Gini),
+            daemon::json::num(perm.observed),
+            daemon::json::num(perm.null_mean),
+            daemon::json::num(perm.p_value),
+        ),
+        "the permutation test is seeded: its wire form is reproducible"
+    );
+    assert_eq!(client.get(&sig_path).unwrap().body, sig.body, "significance is deterministic");
+
+    // An indexed slice renders one `values_json_one` row per cell.
+    let resp = client
+        .get(&format!("/cubes/main/slice?fixed={}&index=xpx", percent_encode("sector=services")))
+        .expect("indexed slice");
+    let sliced_rows: Vec<String> = sliced
+        .iter()
+        .map(|(c, v)| {
+            format!(
+                "{{\"cell\":{},\"values\":{}}}",
+                daemon::coords_json(&labels, c),
+                daemon::values_json_one(v, SegIndex::Isolation)
+            )
+        })
+        .collect();
+    assert_eq!(resp.text().unwrap(), format!("{{\"rows\":[{}]}}", sliced_rows.join(",")));
+
     // Admin endpoints answer and the registry lists the cube.
     assert_eq!(client.get("/healthz").unwrap().status, 200);
     let cubes = client.get("/cubes").unwrap();
@@ -133,6 +187,8 @@ fn responses_are_bit_identical_to_in_process_engine() {
     assert_eq!(client.get("/cubes/main/query?sa=notanattr%3Dx").unwrap().status, 400);
     assert_eq!(client.get("/cubes/main/query?sa=gender").unwrap().status, 400);
     assert_eq!(client.get("/cubes/main/topk?index=wat").unwrap().status, 400);
+    assert_eq!(client.get("/cubes/main/query?sa=&ca=&index=bogus").unwrap().status, 400);
+    assert_eq!(client.get("/cubes/main/slice?fixed=&index=bogus").unwrap().status, 400);
     assert_eq!(client.get("/cubes/main/topk?k=minusone").unwrap().status, 400);
     assert_eq!(client.post("/cubes/main/query", b"").unwrap().status, 405);
     assert_eq!(client.post("/cubes/main/update", b"not json").unwrap().status, 400);

@@ -76,6 +76,30 @@ fn cube_sheet_matches_golden() {
 }
 
 #[test]
+fn multi_index_sheet_matches_golden() {
+    // A Gini + Isolation subset build served through a snapshot-v5 byte
+    // round-trip, reduced to the cube sheet: selected columns carry the
+    // exact full-suite numbers, unselected columns are uniformly absent.
+    let db = final_table();
+    let measures = MeasureSet::only(SegIndex::Gini).with(SegIndex::Isolation);
+    let closed = CubeBuilder::new()
+        .min_support(MIN_SUPPORT)
+        .materialize(Materialize::ClosedOnly)
+        .parallel(false)
+        .measures(measures);
+    let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &closed).unwrap();
+    let bytes = snap.to_bytes();
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 5, "subset saves as v5");
+    let loaded: CubeSnapshot = CubeSnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(loaded.measures(), measures);
+    check(
+        "italy_multi_index_sheet.csv",
+        include_str!("golden/italy_multi_index_sheet.csv"),
+        &scube_cube::to_csv(loaded.cube()),
+    );
+}
+
+#[test]
 fn top_contexts_match_golden() {
     let db = final_table();
     let cube = full_cube(&db);

@@ -37,14 +37,17 @@ fn save_to(bytes: &[u8], name: &str) -> std::path::PathBuf {
     path
 }
 
-fn check_rep<P>(rep: &str, materialize: Materialize)
+fn check_rep<P>(rep: &str, materialize: Materialize, measures: MeasureSet)
 where
     P: Posting + Send + Sync + PartialEq + std::fmt::Debug,
 {
     let db = db();
     let snap: CubeSnapshot<P> =
-        CubeSnapshot::from_db(&db, &CubeBuilder::new().materialize(materialize)).unwrap();
-    let path = std::env::temp_dir().join(format!("scube_mmap_diff_{rep}_{materialize:?}.scube"));
+        CubeSnapshot::from_db(&db, &CubeBuilder::new().materialize(materialize).measures(measures))
+            .unwrap();
+    let tag = measures.bits();
+    let path =
+        std::env::temp_dir().join(format!("scube_mmap_diff_{rep}_{materialize:?}_{tag}.scube"));
     snap.save(&path).unwrap();
     let file_bytes = std::fs::read(&path).unwrap();
 
@@ -97,11 +100,36 @@ where
 #[test]
 fn mmap_matches_heap_for_every_representation_and_strategy() {
     for materialize in [Materialize::AllFrequent, Materialize::ClosedOnly] {
-        check_rep::<EwahBitmap>("ewah", materialize);
-        check_rep::<DenseBitmap>("dense", materialize);
-        check_rep::<TidVec>("tidvec", materialize);
-        check_rep::<AdaptivePosting>("adaptive", materialize);
+        check_rep::<EwahBitmap>("ewah", materialize, MeasureSet::FULL);
+        check_rep::<DenseBitmap>("dense", materialize, MeasureSet::FULL);
+        check_rep::<TidVec>("tidvec", materialize, MeasureSet::FULL);
+        check_rep::<AdaptivePosting>("adaptive", materialize, MeasureSet::FULL);
     }
+}
+
+#[test]
+fn mmap_matches_heap_on_multi_index_snapshots() {
+    // A proper measure subset saves as snapshot v5; the mapped open must
+    // answer the same universe as the heap load — and the postings behind
+    // a v5 file stay zero-copy.
+    let subset = MeasureSet::only(SegIndex::Dissimilarity)
+        .with(SegIndex::Information)
+        .with(SegIndex::Atkinson);
+    for materialize in [Materialize::AllFrequent, Materialize::ClosedOnly] {
+        check_rep::<EwahBitmap>("ewah", materialize, subset);
+        check_rep::<AdaptivePosting>("adaptive", materialize, subset);
+    }
+
+    let snap: CubeSnapshot =
+        CubeSnapshot::from_db(&db(), &CubeBuilder::new().measures(subset)).unwrap();
+    let bytes = snap.to_bytes();
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 5, "subset saves as v5");
+    let path = save_to(&bytes, "scube_mmap_diff_v5_zero_copy.scube");
+    let mapped: CubeSnapshot = CubeSnapshot::open_mmap(&path).unwrap();
+    assert_eq!(mapped.measures(), subset, "mapped open carries the measure set");
+    let mapped_heap: usize = mapped.vertical().postings().iter().map(|p| p.heap_bytes()).sum();
+    assert_eq!(mapped_heap, 0, "v5 postings are zero-copy");
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

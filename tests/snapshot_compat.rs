@@ -1,16 +1,23 @@
-//! Snapshot format compatibility: the v4 reader must load the checked-in
+//! Snapshot format compatibility: the reader must load the checked-in
 //! v1 golden (`tests/golden/snapshot_v1.scube`, written by the PR-2 era v1
 //! writer) and v3 golden (`tests/golden/snapshot_v3.scube`, written by the
 //! last v3-era writer) exactly, must load v2 files (identical to v3 apart
 //! from the version number), must re-save every legacy file as canonical
-//! v4, and must reject corrupt or unknown-version headers with an error —
-//! never a panic.
+//! v4, must round-trip the v5 partial-measure golden
+//! (`tests/golden/snapshot_v5.scube`, a Gini + Isolation subset build)
+//! bit for bit, and must reject corrupt or unknown-version headers with
+//! an error — never a panic.
+//!
+//! To regenerate the v5 golden after an *intentional* format change:
+//! `GOLDEN_BLESS=1 cargo test -p scube --test snapshot_compat` and review
+//! the binary diff like any other code change.
 
 use scube::prelude::*;
 use scube_data::{Attribute, Schema, TransactionDb, TransactionDbBuilder};
 
 const V1_GOLDEN: &[u8] = include_bytes!("golden/snapshot_v1.scube");
 const V3_GOLDEN: &[u8] = include_bytes!("golden/snapshot_v3.scube");
+const V5_GOLDEN: &[u8] = include_bytes!("golden/snapshot_v5.scube");
 
 /// The exact database both golden snapshots were built from.
 fn golden_db() -> TransactionDb {
@@ -38,6 +45,20 @@ fn golden_db() -> TransactionDb {
 fn golden_rebuild() -> CubeSnapshot {
     CubeSnapshot::from_db(&golden_db(), &CubeBuilder::new().materialize(Materialize::ClosedOnly))
         .unwrap()
+}
+
+/// The measure subset the v5 golden was built with.
+fn golden_v5_measures() -> MeasureSet {
+    MeasureSet::only(SegIndex::Gini).with(SegIndex::Isolation)
+}
+
+/// The ClosedOnly Gini + Isolation build the v5 golden was written from.
+fn golden_v5_rebuild() -> CubeSnapshot {
+    CubeSnapshot::from_db(
+        &golden_db(),
+        &CubeBuilder::new().materialize(Materialize::ClosedOnly).measures(golden_v5_measures()),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -115,8 +136,67 @@ fn v2_files_still_load() {
 }
 
 #[test]
+fn v5_golden_round_trips_byte_for_byte() {
+    let fresh = golden_v5_rebuild().to_bytes();
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        let path = format!("{}/../../tests/golden/snapshot_v5.scube", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, &fresh).unwrap();
+        return;
+    }
+    // The file self-identifies as format version 5, and the writer is
+    // deterministic: a fresh subset build emits the golden bytes exactly.
+    assert_eq!(&V5_GOLDEN[..8], b"SCUBESNP");
+    assert_eq!(u32::from_le_bytes(V5_GOLDEN[8..12].try_into().unwrap()), 5);
+    assert_eq!(
+        fresh, V5_GOLDEN,
+        "v5 golden drifted; if the format change is intentional, regenerate with \
+         GOLDEN_BLESS=1 and review the diff"
+    );
+
+    let loaded: CubeSnapshot = CubeSnapshot::from_bytes(V5_GOLDEN).expect("v5 must keep loading");
+    assert_eq!(loaded.measures(), golden_v5_measures(), "v5 carries the measure set");
+    assert_eq!(loaded.materialize(), Materialize::ClosedOnly, "v5 carries the build config");
+    let rebuilt = golden_v5_rebuild();
+    assert_eq!(loaded.cube(), rebuilt.cube());
+    assert_eq!(loaded.vertical().units(), rebuilt.vertical().units());
+    assert_eq!(loaded.vertical().postings(), rebuilt.vertical().postings());
+    // Unselected measures are absent from every cell.
+    for (coords, v) in loaded.cube().cells() {
+        for index in [
+            SegIndex::Dissimilarity,
+            SegIndex::Information,
+            SegIndex::Interaction,
+            SegIndex::Atkinson,
+        ] {
+            assert_eq!(v.get(index), None, "unselected {index} present at {coords:?}");
+        }
+    }
+    // Resave is a fixed point: a subset build stays v5, bit for bit.
+    assert_eq!(loaded.to_bytes(), V5_GOLDEN, "v5 resave is a fixed point");
+}
+
+#[test]
+fn v5_golden_truncations_and_corruptions_error_never_panic() {
+    for cut in 0..V5_GOLDEN.len() {
+        assert!(
+            CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&V5_GOLDEN[..cut]).is_err(),
+            "truncate at {cut}"
+        );
+    }
+    // A flipped byte anywhere fails a checksum or a bounds check.
+    for at in [0, 9, 14, 40, 97, V5_GOLDEN.len() / 2, V5_GOLDEN.len() - 1] {
+        let mut bad = V5_GOLDEN.to_vec();
+        bad[at] ^= 0xFF;
+        assert!(
+            CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&bad).is_err(),
+            "flip at {at}"
+        );
+    }
+}
+
+#[test]
 fn unknown_version_errors_never_panics() {
-    for version in [0u32, 5, 99, u32::MAX] {
+    for version in [0u32, 6, 99, u32::MAX] {
         let mut bytes = V1_GOLDEN.to_vec();
         bytes[8..12].copy_from_slice(&version.to_le_bytes());
         let err = CubeSnapshot::<scube_bitmap::EwahBitmap>::from_bytes(&bytes)
