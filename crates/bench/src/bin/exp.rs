@@ -30,10 +30,12 @@
 //!                    in-process engine; writes BENCH_cube_serve_daemon.json
 //!                    (pass --smoke for a quick gate-only pass that skips
 //!                    the file write)
-//! cube-scale   E20 — the data-scale axis: datagen streams up to 10⁶
-//!                    final-table rows to CSV, the bounded-memory ingest
-//!                    encodes them, and the saved v4 snapshot is served
-//!                    heap-loaded vs mmap-opened — every number gated on
+//! cube-scale   E20 — the data-scale axis: datagen streams up to ~4×10⁶
+//!                    final-table rows to CSV, the cube builds both
+//!                    resident and chunked (bounded-memory) under the
+//!                    counting allocator — gated on whole-snapshot
+//!                    byte-identity — and the saved snapshot is served
+//!                    heap-loaded vs mmap-opened, every number gated on
 //!                    bit-identity between the two paths; writes
 //!                    BENCH_cube_scale.json (pass --smoke for a quick
 //!                    gate-only pass that skips the file write)
@@ -57,6 +59,13 @@ use scube_bench::{estonia_dataset, fmt, italy_dataset, italy_final_table};
 use scube_common::table::{Align, TextTable};
 use scube_cube::CubeExplorer;
 use scube_fpm::{Apriori, Eclat, FpGrowth, Miner};
+
+/// The counting allocator owns the whole process so E20 can report peak
+/// build allocation for the resident vs chunked construction paths. It
+/// costs two relaxed atomics per allocation — noise for the wall-clock
+/// numbers the other experiments report.
+#[global_allocator]
+static ALLOC: scube_bench::alloc::CountingAlloc = scube_bench::alloc::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -843,21 +852,38 @@ fn cube_query_experiment() {
 }
 
 /// E20 — the data-scale axis, end to end: `scube_datagen` streams a
-/// final table (up to 10⁶ rows, one per board seat, one unit per company)
-/// straight to CSV, `FinalTableSpec::load_csv` ingests it with bounded
-/// memory, the closed cube builds and saves a v4 snapshot, and serving is
-/// compared heap-loaded vs mmap-opened. Every recorded number is gated on
-/// bit-identity between the two paths: re-encoded bytes, every
+/// final table (up to ~4×10⁶ rows, one per board seat, one unit per
+/// company) straight to CSV, and the cube is built two ways under the
+/// counting global allocator: the chunked bounded-memory path
+/// ([`run_final_table_csv_chunked`] — tid-order chunks tail-appended into
+/// the vertical postings, the horizontal table never materialized) and
+/// the resident path (`FinalTableSpec::load_csv` + `CubeSnapshot::from_db`).
+/// The chunked snapshot must re-encode **byte-identical** to the resident
+/// one; the largest scale runs chunked-only — that input is what the
+/// bounded path exists for — and its record shows the chunked peak
+/// staying output-bounded while rows grow. The saved snapshot is then
+/// served heap-loaded vs mmap-opened, every recorded number gated on
+/// bit-identity between the two serving paths: re-encoded bytes, every
 /// materialized cell value, and the answers to a mixed
 /// materialized + fallback workload (the fallback tier recomputes from
 /// the snapshot's postings, so the mapped run exercises the zero-copy
 /// views). Written to `BENCH_cube_scale.json`.
 fn cube_scale_experiment(smoke: bool) {
-    banner("E20", "cube scale: streamed ingest + mmap serving (writes BENCH_cube_scale.json)");
+    banner(
+        "E20",
+        "cube scale: chunked vs resident build + mmap serving (writes BENCH_cube_scale.json)",
+    );
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let query_threads = 4usize.min(host_threads);
-    // Company counts; at mean board size 2.8 the largest is ~10⁶ rows.
-    let scales: &[usize] = if smoke { &[2_000] } else { &[45_000, 180_000, 360_000] };
+    // (company count, run the resident path too). Mean board size is
+    // ~2.8 seats, so the largest scale is ~4.2×10⁶ rows — chunked-only:
+    // materializing its horizontal table is the cost this path avoids.
+    let scales: &[(usize, bool)] = if smoke {
+        &[(2_000, true)]
+    } else {
+        &[(45_000, true), (180_000, true), (360_000, true), (1_500_000, false)]
+    };
+    let chunk_rows = scube_data::DEFAULT_CHUNK_ROWS;
     let dir = std::env::temp_dir().join(format!("scube_e20_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create scratch dir");
 
@@ -872,18 +898,21 @@ fn cube_scale_experiment(smoke: bool) {
     };
 
     let mut table = TextTable::new()
-        .header(["rows", "snapshot", "build", "heap load", "mmap open", "heap q/s", "mmap q/s"])
-        .aligns(vec![
-            Align::Right,
-            Align::Right,
-            Align::Right,
-            Align::Right,
-            Align::Right,
-            Align::Right,
-            Align::Right,
-        ]);
+        .header([
+            "rows",
+            "snapshot",
+            "build res",
+            "build chk",
+            "peak res",
+            "peak chk",
+            "heap load",
+            "mmap open",
+            "heap q/s",
+            "mmap q/s",
+        ])
+        .aligns(vec![Align::Right; 10]);
     let mut records = String::new();
-    for &n in scales {
+    for &(n, resident) in scales {
         let csv = dir.join(format!("scale_{n}.csv"));
         let snap_path = dir.join(format!("scale_{n}.snap"));
 
@@ -893,30 +922,68 @@ fn cube_scale_experiment(smoke: bool) {
                 .expect("datagen streams");
         let datagen_s = t0.elapsed().as_secs_f64();
         let csv_bytes = std::fs::metadata(&csv).expect("csv written").len();
+        let rows = stats.n_rows;
 
         let spec = scube_datagen::final_table_spec();
-        let t0 = Instant::now();
-        let db = spec.load_csv(&csv).expect("streaming ingest");
-        let ingest_s = t0.elapsed().as_secs_f64();
-        let rows = db.len();
-        assert_eq!(rows, stats.n_rows, "ingest must see every emitted row");
-
         let minsup = (rows as u64 / 200).max(1);
         let builder = CubeBuilder::new()
             .min_support(minsup)
             .materialize(Materialize::ClosedOnly)
             .parallel(true);
+
+        // Chunked bounded-memory build (every scale): CSV rows stream in
+        // tid-order chunks straight into the vertical postings, the cube
+        // mines from them, and the snapshot is assembled by move (the
+        // `snapshot_chunked` helper clones, which would inflate the peak
+        // measurement). Peak allocation here is bounded by the output
+        // (postings + cube) plus one staged chunk — not the input table.
         let t0 = Instant::now();
-        let snapshot: CubeSnapshot = CubeSnapshot::from_db(&db, &builder).expect("snapshot builds");
-        let build_s = t0.elapsed().as_secs_f64();
-        let cells = snapshot.cube().len();
+        let (chunked, chunked_peak) = scube_bench::alloc::measure(|| {
+            let cb = run_final_table_csv_chunked(&csv, &spec, &builder, chunk_rows)
+                .expect("chunked build");
+            assert_eq!(cb.stats.n_rows, rows, "chunked ingest must see every emitted row");
+            let ChunkedBuild { cube, vertical, .. } = cb;
+            let config = builder.config();
+            CubeSnapshot::new(cube, vertical).expect("snapshot assembles").with_build_config(
+                config.materialize,
+                config.atkinson_b,
+                config.measures,
+            )
+        });
+        let chunked_build_s = t0.elapsed().as_secs_f64();
+        let cells = chunked.cube().len();
+
+        // Resident build (skipped at the largest scale): materialize the
+        // whole horizontal table, then build. Gate: the chunked build's
+        // snapshot re-encodes byte-identical to the resident build's.
+        let mut ingest_s: Option<f64> = None;
+        let mut build_s: Option<f64> = None;
+        let mut resident_peak: Option<usize> = None;
+        if resident {
+            let (snapshot, peak) = scube_bench::alloc::measure(|| {
+                let t0 = Instant::now();
+                let db = spec.load_csv(&csv).expect("streaming ingest");
+                ingest_s = Some(t0.elapsed().as_secs_f64());
+                assert_eq!(db.len(), rows, "ingest must see every emitted row");
+                let t0 = Instant::now();
+                let snap: CubeSnapshot =
+                    CubeSnapshot::from_db(&db, &builder).expect("snapshot builds");
+                build_s = Some(t0.elapsed().as_secs_f64());
+                snap
+            });
+            resident_peak = Some(peak);
+            assert_eq!(
+                snapshot.to_bytes(),
+                chunked.to_bytes(),
+                "chunked build must re-encode byte-identical to the resident build"
+            );
+        }
 
         let t0 = Instant::now();
-        snapshot.save(&snap_path).expect("snapshot saves");
+        chunked.save(&snap_path).expect("snapshot saves");
         let save_s = t0.elapsed().as_secs_f64();
         let snapshot_bytes = std::fs::metadata(&snap_path).expect("snapshot written").len();
-        drop(snapshot);
-        drop(db);
+        drop(chunked);
 
         let heap_load_s = best_of(3, &mut || {
             let snap: CubeSnapshot = CubeSnapshot::load(&snap_path).expect("heap load");
@@ -978,10 +1045,14 @@ fn cube_scale_experiment(smoke: bool) {
         let heap_qps = qps(&heap_engine);
         let mapped_qps = qps(&mapped_engine);
 
+        let mb = |b: usize| format!("{:.1} MB", b as f64 / 1e6);
         table.row([
             rows.to_string(),
             format!("{:.1} MB", snapshot_bytes as f64 / 1e6),
-            format!("{build_s:.2} s"),
+            build_s.map(|s| format!("{s:.2} s")).unwrap_or_else(|| "-".into()),
+            format!("{chunked_build_s:.2} s"),
+            resident_peak.map(mb).unwrap_or_else(|| "-".into()),
+            mb(chunked_peak),
             format!("{:.1} ms", heap_load_s * 1e3),
             format!("{:.2} ms", mmap_open_s * 1e3),
             format!("{heap_qps:.0}"),
@@ -989,21 +1060,28 @@ fn cube_scale_experiment(smoke: bool) {
         ]);
         println!(
             "  {n} companies: {rows} rows ({} directors), csv {:.1} MB in {datagen_s:.2} s, \
-             ingest {ingest_s:.2} s, {cells} cells, workload {} ({fallback_cells} fallback)",
+             chunked build {chunked_build_s:.2} s ({chunk_rows}-row chunks), {cells} cells, \
+             workload {} ({fallback_cells} fallback){}",
             stats.n_directors,
             csv_bytes as f64 / 1e6,
             workload.len(),
+            if resident { "" } else { " [chunked-only]" },
         );
 
         if !records.is_empty() {
             records.push_str(",\n");
         }
+        let jf = |v: Option<f64>| v.map(|x| format!("{x:.6}")).unwrap_or_else(|| "null".into());
         records.push_str(&format!(
             "    {{\"dataset\": \"italy_final_table\", \"companies\": {n}, \"rows\": {rows}, \
              \"directors\": {dirs}, \"units\": {n}, \"csv_bytes\": {csv_bytes}, \
              \"datagen_s\": {datagen_s:.6}, \"datagen_rows_per_s\": {dgr:.0}, \
-             \"ingest_s\": {ingest_s:.6}, \"ingest_rows_per_s\": {igr:.0}, \
-             \"min_support\": {minsup}, \"build_s\": {build_s:.6}, \"cells\": {cells}, \
+             \"ingest_s\": {ing}, \"ingest_rows_per_s\": {igr}, \
+             \"min_support\": {minsup}, \"build_s\": {bld}, \"cells\": {cells}, \
+             \"chunk_rows\": {chunk_rows}, \"chunked_build_s\": {chunked_build_s:.6}, \
+             \"chunked_rows_per_s\": {ckr:.0}, \
+             \"build_peak_alloc_bytes\": {{\"resident\": {rpk}, \"chunked\": {chunked_peak}}}, \
+             \"chunked_matches_resident\": {cmr}, \
              \"save_s\": {save_s:.6}, \"snapshot_bytes\": {snapshot_bytes}, \
              \"heap_load_s\": {heap_load_s:.6}, \"mmap_open_s\": {mmap_open_s:.6}, \
              \"open_speedup\": {ospd:.1}, \"workload_cells\": {wl}, \
@@ -1012,7 +1090,12 @@ fn cube_scale_experiment(smoke: bool) {
              \"bit_identical\": true}}",
             dirs = stats.n_directors,
             dgr = rows as f64 / datagen_s,
-            igr = rows as f64 / ingest_s,
+            ing = jf(ingest_s),
+            igr = jf(ingest_s.map(|s| (rows as f64 / s).round())),
+            bld = jf(build_s),
+            ckr = rows as f64 / chunked_build_s,
+            rpk = resident_peak.map(|p| p.to_string()).unwrap_or_else(|| "null".into()),
+            cmr = if resident { "true" } else { "null" },
             ospd = heap_load_s / mmap_open_s,
             wl = workload.len(),
         ));

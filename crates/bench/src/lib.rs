@@ -1,6 +1,8 @@
 //! Shared fixtures for the SCube benchmark harness and the `exp`
 //! experiment-reproduction binary.
 
+pub mod alloc;
+
 use scube::prelude::*;
 use scube_data::TransactionDb;
 

@@ -131,6 +131,10 @@ optional:
   --side <groups|individuals>  projection side for graph units [groups]
   --min-shared <n>       projection weight threshold [1]
   --min-support <n>      minimum cube-cell population [1]
+  --chunk-rows <n>       (with --final-table) chunked bounded-memory build:
+                         fold rows into the postings every n rows and never
+                         materialize the horizontal table; the cube and any
+                         snapshot are byte-identical to the resident build's
   --closed               materialize closed cells only
   --parallel             parallel cube construction
   --index <i1,...|all>   measure subset to fold per cell [all]; a proper
@@ -341,10 +345,10 @@ fn wizard_from_flags(flags: &Flags) -> Result<(Wizard, Vec<i64>)> {
     Ok((wizard, dates))
 }
 
-/// The `--final-table` tabular shortcut: stream the CSV straight through
-/// the dictionary encoder (bounded staging memory) and build the cube.
-fn run_final_table_flags(flags: &Flags) -> Result<ScubeResult> {
-    let path = flags.require("--final-table")?;
+/// Parse the `--final-table` input flags shared by the resident and
+/// chunked paths: the CSV path, the role spec, and the cube builder.
+fn final_table_flags(flags: &Flags) -> Result<(String, FinalTableSpec, CubeBuilder)> {
+    let path = flags.require("--final-table")?.to_string();
     if flags.has("--dates") {
         return Err(ScubeError::InvalidParameter(
             "--final-table has no membership intervals; drop --dates".into(),
@@ -369,7 +373,44 @@ fn run_final_table_flags(flags: &Flags) -> Result<ScubeResult> {
     if let Some(measures) = parse_measures(flags)? {
         cube = cube.measures(measures);
     }
+    Ok((path, spec, cube))
+}
+
+/// The `--chunk-rows` flag: `Some(n)` selects the chunked build.
+fn parse_chunk_rows(flags: &Flags) -> Result<Option<usize>> {
+    flags
+        .value_of("--chunk-rows")?
+        .map(|s| match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(ScubeError::InvalidParameter(format!("bad --chunk-rows '{s}' (want >= 1)"))),
+        })
+        .transpose()
+}
+
+/// The `--final-table` tabular shortcut: stream the CSV straight through
+/// the dictionary encoder (bounded staging memory) and build the cube.
+fn run_final_table_flags(flags: &Flags) -> Result<ScubeResult> {
+    let (path, spec, cube) = final_table_flags(flags)?;
     scube::run_final_table_csv(path, &spec, &cube)
+}
+
+/// As [`run_final_table_flags`], via the chunked builder: the horizontal
+/// table is never materialized, peak memory is postings + one chunk.
+fn run_final_table_flags_chunked(flags: &Flags, chunk_rows: usize) -> Result<ChunkedBuild> {
+    let (path, spec, cube) = final_table_flags(flags)?;
+    scube::run_final_table_csv_chunked(path, &spec, &cube, chunk_rows)
+}
+
+/// The build-mode suffix of run/save summary lines: chunked runs report
+/// their peak staged-chunk residency, resident runs say so.
+fn build_mode_summary(chunked: Option<&scube_data::ChunkedBuildStats>) -> String {
+    match chunked {
+        Some(s) => format!(
+            "chunked build: {} flushes of <= {} rows, peak chunk {} rows / {} items staged",
+            s.flushes, s.chunk_rows, s.peak_chunk_rows, s.peak_chunk_items
+        ),
+        None => "resident build".to_string(),
+    }
 }
 
 fn parse_rank(flags: &Flags) -> Result<SegIndex> {
@@ -414,14 +455,32 @@ fn run(args: &[String]) -> Result<String> {
     let out_dir = flags.require("--out")?.to_string();
 
     if flags.has("--final-table") {
+        if let Some(chunk_rows) = parse_chunk_rows(&flags)? {
+            let result = run_final_table_flags_chunked(&flags, chunk_rows)?;
+            Visualizer::new(&out_dir).rank_by(rank).write_chunked(&result)?;
+            return Ok(format!(
+                "wrote {out_dir}: {} rows, {} units, {} cells ({:?}; {})",
+                result.stats.n_rows,
+                result.stats.n_units,
+                result.stats.n_cells,
+                result.timings.total(),
+                build_mode_summary(Some(&result.chunk_stats))
+            ));
+        }
         let result = run_final_table_flags(&flags)?;
         Visualizer::new(&out_dir).rank_by(rank).write_all(&result)?;
         return Ok(format!(
-            "wrote {out_dir}: {} rows, {} units, {} cells ({:?})",
+            "wrote {out_dir}: {} rows, {} units, {} cells ({:?}; {})",
             result.stats.n_rows,
             result.stats.n_units,
             result.stats.n_cells,
-            result.timings.total()
+            result.timings.total(),
+            build_mode_summary(None)
+        ));
+    }
+    if flags.has("--chunk-rows") {
+        return Err(ScubeError::InvalidParameter(
+            "--chunk-rows requires --final-table (the graph scenarios build resident)".into(),
         ));
     }
     let (wizard, dates) = wizard_from_flags(&flags)?;
@@ -455,6 +514,26 @@ fn run(args: &[String]) -> Result<String> {
 fn run_save(args: &[String]) -> Result<String> {
     let flags = Flags::new(args)?;
     let path = flags.require("--snapshot")?.to_string();
+    if flags.has("--final-table") {
+        if let Some(chunk_rows) = parse_chunk_rows(&flags)? {
+            let result = run_final_table_flags_chunked(&flags, chunk_rows)?;
+            let snap = scube::snapshot_chunked(&result)?;
+            snap.save(&path)?;
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            return Ok(format!(
+                "wrote {path}: {} cells over {} units ({} rows, {bytes} bytes, {:?}; {})",
+                result.cube.len(),
+                result.stats.n_units,
+                result.stats.n_rows,
+                result.timings.total(),
+                build_mode_summary(Some(&result.chunk_stats))
+            ));
+        }
+    } else if flags.has("--chunk-rows") {
+        return Err(ScubeError::InvalidParameter(
+            "--chunk-rows requires --final-table (the graph scenarios build resident)".into(),
+        ));
+    }
     let result = if flags.has("--final-table") {
         run_final_table_flags(&flags)?
     } else {
@@ -470,11 +549,12 @@ fn run_save(args: &[String]) -> Result<String> {
     snap.save(&path)?;
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     Ok(format!(
-        "wrote {path}: {} cells over {} units ({} rows, {bytes} bytes, {:?})",
+        "wrote {path}: {} cells over {} units ({} rows, {bytes} bytes, {:?}; {})",
         result.cube.len(),
         result.stats.n_units,
         result.stats.n_rows,
-        result.timings.total()
+        result.timings.total(),
+        build_mode_summary(None)
     ))
 }
 
@@ -988,6 +1068,90 @@ mod tests {
             let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(run_save(&args).is_err(), "{args:?} should be rejected");
         }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunked_save_is_byte_identical_to_resident() {
+        let dir = std::env::temp_dir().join("scube_cli_chunked");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).display().to_string();
+        std::fs::write(
+            p("rows.csv"),
+            "gender,region,unitID\nF,north,edu\nF,north,edu\nF,south,edu\nM,south,agri\nM,north,agri\nM,south,agri\nF,south,agri\n",
+        )
+        .unwrap();
+
+        let save = |extra: &[&str], out: &str| -> String {
+            let mut v = vec![
+                "--final-table".to_string(),
+                p("rows.csv"),
+                "--sa".to_string(),
+                "gender".to_string(),
+                "--ca".to_string(),
+                "region".to_string(),
+                "--snapshot".to_string(),
+                p(out),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            run_save(&v).unwrap()
+        };
+        let resident = save(&[], "resident.scube");
+        assert!(resident.contains("resident build"), "{resident}");
+        // Chunk sizes smaller than, straddling, and larger than the table.
+        for (chunk, out) in [("1", "c1.scube"), ("3", "c3.scube"), ("100", "c100.scube")] {
+            let summary = save(&["--chunk-rows", chunk], out);
+            assert!(summary.contains("chunked build"), "{summary}");
+            assert!(summary.contains("peak chunk"), "{summary}");
+            assert_eq!(
+                std::fs::read(p(out)).unwrap(),
+                std::fs::read(p("resident.scube")).unwrap(),
+                "--chunk-rows {chunk} snapshot must be byte-identical to the resident build's"
+            );
+        }
+
+        // The run verb writes reports through the same chunked path.
+        let args: Vec<String> = [
+            "--final-table",
+            &p("rows.csv"),
+            "--sa",
+            "gender",
+            "--ca",
+            "region",
+            "--chunk-rows",
+            "2",
+            "--out",
+            &p("out"),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let summary = run(&args).unwrap();
+        assert!(summary.contains("chunked build"), "{summary}");
+        assert!(dir.join("out").join("cube.csv").exists());
+        assert!(dir.join("out").join("summary.md").exists());
+        // No final_table.csv on the chunked path: the horizontal table
+        // never existed.
+        assert!(!dir.join("out").join("final_table.csv").exists());
+
+        // Bad invocations error.
+        for bad in [
+            vec!["--final-table", &p("rows.csv"), "--sa", "gender", "--chunk-rows", "0"],
+            vec!["--final-table", &p("rows.csv"), "--sa", "gender", "--chunk-rows", "x"],
+            vec!["--final-table", &p("rows.csv"), "--sa", "gender", "--chunk-rows"],
+        ] {
+            let mut v: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            v.extend(["--snapshot".to_string(), p("x.scube")]);
+            assert!(run_save(&v).is_err(), "{v:?} should be rejected");
+        }
+        // --chunk-rows without --final-table is a role error.
+        let v: Vec<String> = ["--chunk-rows", "8", "--units", "sector", "--out", &p("out2")]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&v).unwrap_err();
+        assert!(err.to_string().contains("--final-table"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -73,8 +73,9 @@ pub mod wizard;
 pub use daemon::{Daemon, DaemonConfig};
 pub use inputs::{Dataset, GroupsSpec, IndividualsSpec, MembershipSpec};
 pub use pipeline::{
-    run, run_final_table, run_final_table_csv, run_snapshots, snapshot, update,
-    update_snapshot_file, update_threads, ScubeConfig, ScubeResult,
+    run, run_final_table, run_final_table_csv, run_final_table_csv_chunked, run_snapshots,
+    snapshot, snapshot_chunked, update, update_snapshot_file, update_threads, ChunkedBuild,
+    ScubeConfig, ScubeResult,
 };
 pub use table_builder::{build_final_table, final_table_relation, FinalTable, UnitStrategy};
 pub use unit_assignment::ClusteringMethod;
@@ -85,8 +86,9 @@ pub use wizard::Wizard;
 pub mod prelude {
     pub use crate::inputs::{Dataset, GroupsSpec, IndividualsSpec, MembershipSpec};
     pub use crate::pipeline::{
-        run, run_final_table, run_final_table_csv, run_snapshots, snapshot, update,
-        update_snapshot_file, update_threads, ScubeConfig, ScubeResult,
+        run, run_final_table, run_final_table_csv, run_final_table_csv_chunked, run_snapshots,
+        snapshot, snapshot_chunked, update, update_snapshot_file, update_threads, ChunkedBuild,
+        ScubeConfig, ScubeResult,
     };
     pub use crate::table_builder::UnitStrategy;
     pub use crate::unit_assignment::ClusteringMethod;
@@ -98,7 +100,7 @@ pub mod prelude {
         CubeExplorer, CubeQueryEngine, CubeSnapshot, Materialize, QueryStats, SegregationCube,
         UpdateBatch, UpdateStats,
     };
-    pub use scube_data::{FinalTableSpec, Relation};
+    pub use scube_data::{ChunkedBuildStats, FinalTableSpec, Relation};
     pub use scube_graph::{LabelPropParams, StocParams};
     pub use scube_segindex::{IndexValues, MeasureSet, PermutationTest, SegIndex, UnitCounts};
 }

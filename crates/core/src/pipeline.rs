@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use scube_common::Result;
 use scube_cube::{CubeBuilder, CubeSnapshot, SegregationCube, UpdateBatch, UpdateStats};
-use scube_data::{FinalTableSpec, Relation, TransactionDb, VerticalDb};
+use scube_data::{ChunkedBuildStats, FinalTableSpec, Relation, TransactionDb, VerticalDb};
 use scube_graph::Clustering;
 
 use crate::inputs::Dataset;
@@ -167,6 +167,70 @@ pub fn run_final_table_csv(
         timings,
         stats,
     })
+}
+
+/// Everything a chunked (bounded-memory) build produces. Unlike
+/// [`ScubeResult`] there is no `final_table`: the horizontal
+/// [`TransactionDb`] is never materialized on this path — only the
+/// vertical postings, the cube, and the label metadata exist, so peak
+/// memory is bounded by the *output*, not the input table.
+#[derive(Debug)]
+pub struct ChunkedBuild {
+    /// The segregation data cube.
+    pub cube: SegregationCube,
+    /// The vertical (item → tidset) view, grown chunk by chunk.
+    pub vertical: VerticalDb,
+    /// The cube builder the run used (recorded into snapshots).
+    pub builder: CubeBuilder,
+    /// Chunk accounting: rows, flushes, peak staged rows/items.
+    pub chunk_stats: ChunkedBuildStats,
+    /// Stage timings.
+    pub timings: StageTimings,
+    /// Size statistics.
+    pub stats: RunStats,
+}
+
+/// As [`run_final_table_csv`], but through the chunked builder: rows
+/// stream off the CSV in tid order, are interned and staged at most
+/// `chunk_rows` at a time, and each full chunk is folded into the
+/// vertical postings by tail-append (`Posting::append_sorted`).
+/// The horizontal table never exists; peak memory is the postings plus one
+/// chunk. The resulting cube — and any snapshot saved from it — is
+/// **byte-identical** to the resident build's on the same table, because
+/// both paths intern through the same code in the same first-occurrence
+/// order and tids arrive pre-sorted.
+pub fn run_final_table_csv_chunked(
+    path: impl AsRef<Path>,
+    spec: &FinalTableSpec,
+    cube: &CubeBuilder,
+    chunk_rows: usize,
+) -> Result<ChunkedBuild> {
+    let join_start = Instant::now();
+    let (vertical, meta, chunk_stats): (VerticalDb, _, _) =
+        spec.load_csv_chunked(path, chunk_rows)?;
+    let join = join_start.elapsed();
+    let cube_start = Instant::now();
+    let built = cube.build_streaming(&meta, &vertical)?;
+    let timings = StageTimings { join, cube: cube_start.elapsed(), ..Default::default() };
+    let stats = RunStats {
+        n_individuals: vertical.num_transactions() as usize,
+        n_rows: vertical.num_transactions() as usize,
+        n_units: meta.num_units(),
+        n_cells: built.len(),
+        ..Default::default()
+    };
+    Ok(ChunkedBuild { cube: built, vertical, builder: *cube, chunk_stats, timings, stats })
+}
+
+/// As [`snapshot`], for a chunked build. Byte-identical to the snapshot of
+/// the equivalent resident run.
+pub fn snapshot_chunked(result: &ChunkedBuild) -> Result<CubeSnapshot> {
+    let config = result.builder.config();
+    Ok(CubeSnapshot::new(result.cube.clone(), result.vertical.clone())?.with_build_config(
+        config.materialize,
+        config.atkinson_b,
+        config.measures,
+    ))
 }
 
 /// Package a finished run as a persistable [`CubeSnapshot`]: the cube plus

@@ -17,7 +17,7 @@ use scube_common::{Result, ScubeError};
 use scube_cube::report;
 use scube_segindex::SegIndex;
 
-use crate::pipeline::ScubeResult;
+use crate::pipeline::{ChunkedBuild, ScubeResult};
 use crate::table_builder::final_table_relation;
 
 /// Writes a [`ScubeResult`] as a directory of reports.
@@ -92,13 +92,53 @@ impl Visualizer {
         )?);
 
         // Summary with run stats and a Fig. 1 grid when meaningful.
-        written.push(self.write_file("summary.md", &self.summary(result))?);
+        written.push(self.write_file(
+            "summary.md",
+            &self.summary(&result.cube, &result.stats, &result.timings),
+        )?);
         Ok(written)
     }
 
-    fn summary(&self, result: &ScubeResult) -> String {
+    /// Write the artefacts of a chunked (bounded-memory) build. Same
+    /// output as [`Self::write_all`] minus `final_table.csv` — dumping the
+    /// horizontal table back out is exactly the residency the chunked path
+    /// exists to avoid.
+    pub fn write_chunked(&self, result: &ChunkedBuild) -> Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(&self.out_dir)
+            .map_err(|e| ScubeError::io_at(self.out_dir.display().to_string(), e))?;
+        let mut written = Vec::new();
+        written.push(self.write_file("cube.csv", &report::to_csv(&result.cube))?);
+        let top = report::top_contexts(&result.cube, self.rank_index, self.top_k, self.min_total);
+        let mut rows = vec![vec![
+            "context".to_string(),
+            self.rank_index.name().to_string(),
+            "M".to_string(),
+            "T".to_string(),
+        ]];
+        for (coords, values, x) in &top {
+            rows.push(vec![
+                result.cube.labels().describe(coords),
+                format!("{x:.4}"),
+                values.minority.to_string(),
+                values.total.to_string(),
+            ]);
+        }
+        let csv = scube_common::csv::to_string(rows.iter().map(|r| r.iter()));
+        written.push(self.write_file("top_contexts.csv", &csv)?);
+        written.push(self.write_file(
+            "summary.md",
+            &self.summary(&result.cube, &result.stats, &result.timings),
+        )?);
+        Ok(written)
+    }
+
+    fn summary(
+        &self,
+        cube: &scube_cube::SegregationCube,
+        stats: &crate::stats::RunStats,
+        timings: &crate::stats::StageTimings,
+    ) -> String {
         let mut s = String::new();
-        let stats = &result.stats;
         let _ = writeln!(s, "# SCube run summary\n");
         let _ = writeln!(s, "| metric | value |");
         let _ = writeln!(s, "|--------|-------|");
@@ -109,7 +149,7 @@ impl Visualizer {
         let _ = writeln!(s, "| organizational units | {} |", stats.n_units);
         let _ = writeln!(s, "| cube cells | {} |", stats.n_cells);
         let _ = writeln!(s, "| isolated nodes | {} |", stats.n_isolated);
-        let t = &result.timings;
+        let t = timings;
         let _ = writeln!(s, "| projection time | {:?} |", t.projection);
         let _ = writeln!(s, "| clustering time | {:?} |", t.clustering);
         let _ = writeln!(s, "| join time | {:?} |", t.join);
@@ -118,13 +158,13 @@ impl Visualizer {
         // A Fig. 1-style grid over the first two SA attributes and the
         // first CA attribute when available (with no CA attribute the grid
         // degenerates to the ⋆ context row, which is still informative).
-        let labels = result.cube.labels();
+        let labels = cube.labels();
         if labels.sa_attrs.len() >= 2 {
             let ca_attr = labels.ca_attrs.first().map(String::as_str).unwrap_or("context");
             let _ = writeln!(s, "\n## Dissimilarity grid (Fig. 1 layout)\n");
             let _ = writeln!(s, "```");
             s.push_str(&report::fig1_grid(
-                &result.cube,
+                cube,
                 &labels.sa_attrs[0],
                 &labels.sa_attrs[1],
                 ca_attr,

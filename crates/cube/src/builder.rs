@@ -25,7 +25,7 @@
 
 use scube_bitmap::{EwahBitmap, Posting};
 use scube_common::{FxHashMap, FxHashSet, Result, ScubeError};
-use scube_data::{ItemId, TransactionDb, UnitScratch, VerticalDb};
+use scube_data::{ItemId, TableMeta, TransactionDb, UnitScratch, VerticalDb};
 use scube_fpm::eclat::{mine_vertical_with_tidsets, mine_vertical_with_tidsets_parallel};
 use scube_fpm::itemset::FrequentItemset;
 use scube_segindex::{IndexValues, MeasureSet, UnitCounts, DEFAULT_ATKINSON_B};
@@ -181,11 +181,37 @@ impl CubeBuilder {
         db: &TransactionDb,
         vertical: &VerticalDb<P>,
     ) -> Result<SegregationCube> {
+        if db.num_units() == 0 && !db.is_empty() {
+            return Err(ScubeError::Inconsistent("database has rows but no units".into()));
+        }
+        self.build_from_labels(CubeLabels::from_db(db), vertical)
+    }
+
+    /// Build over a chunked construction's output: the vertical database
+    /// plus its [`TableMeta`] — no horizontal [`TransactionDb`] anywhere.
+    /// Mining, closedness, histograms, and index evaluation all run off the
+    /// postings, so a chunked build's cube (and snapshot) is byte-identical
+    /// to the resident path's on the same table.
+    pub fn build_streaming<P: Posting + Send + Sync>(
+        &self,
+        meta: &TableMeta,
+        vertical: &VerticalDb<P>,
+    ) -> Result<SegregationCube> {
+        self.build_from_labels(CubeLabels::from_meta(meta), vertical)
+    }
+
+    /// The shared build core: everything runs off the vertical database and
+    /// the label snapshot (itemset → cell splits use the labels' SA roles).
+    fn build_from_labels<P: Posting + Send + Sync>(
+        &self,
+        labels: CubeLabels,
+        vertical: &VerticalDb<P>,
+    ) -> Result<SegregationCube> {
         let cfg = &self.config;
         if cfg.min_support == 0 {
             return Err(ScubeError::InvalidParameter("min_support must be >= 1".into()));
         }
-        if db.num_units() == 0 && !db.is_empty() {
+        if vertical.num_units() == 0 && vertical.num_transactions() > 0 {
             return Err(ScubeError::Inconsistent("database has rows but no units".into()));
         }
 
@@ -206,8 +232,10 @@ impl CubeBuilder {
         };
 
         // 3. Split every itemset into (A, B) coordinates by attribute role.
-        let mut splits: Vec<CellCoords> =
-            mined.iter().map(|(set, _)| CellCoords::from_itemset(&set.items, db)).collect();
+        let mut splits: Vec<CellCoords> = mined
+            .iter()
+            .map(|(set, _)| CellCoords::split_sorted(&set.items, |it| labels.is_sa_item(it)))
+            .collect();
 
         // Under ClosedOnly, mark survivors now but filter *after* harvesting
         // context tidsets: a kept cell's context may itself be non-closed.
@@ -376,12 +404,7 @@ impl CubeBuilder {
             IndexValues::compute_masked(&apex_counts, atkinson_b, measures),
         );
 
-        Ok(SegregationCube::new(
-            cells,
-            CubeLabels::from_db(db),
-            vertical.num_units(),
-            cfg.min_support,
-        ))
+        Ok(SegregationCube::new(cells, labels, vertical.num_units(), cfg.min_support))
     }
 }
 

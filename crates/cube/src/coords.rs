@@ -36,10 +36,17 @@ impl CellCoords {
     /// Split a sorted itemset into SA and CA parts using the database's
     /// attribute roles.
     pub fn from_itemset(items: &[ItemId], db: &TransactionDb) -> Self {
+        Self::split_sorted(items, |item| db.is_sa_item(item))
+    }
+
+    /// Split a sorted itemset by an arbitrary SA predicate — the shared
+    /// core of [`Self::from_itemset`] and the label-based splits used by
+    /// builds that never materialize a [`TransactionDb`].
+    pub fn split_sorted(items: &[ItemId], is_sa: impl Fn(ItemId) -> bool) -> Self {
         let mut sa = Vec::new();
         let mut ca = Vec::new();
         for &item in items {
-            if db.is_sa_item(item) {
+            if is_sa(item) {
                 sa.push(item);
             } else {
                 ca.push(item);

@@ -39,6 +39,27 @@ impl CubeLabels {
         }
     }
 
+    /// Snapshot the labels of a chunked build's [`scube_data::TableMeta`] —
+    /// identical to what [`Self::from_db`] produces on the equivalent
+    /// resident database, because both paths intern dictionary and unit
+    /// names through the same code in the same first-occurrence order.
+    pub fn from_meta(meta: &scube_data::TableMeta) -> Self {
+        let dict = meta.dictionary();
+        let schema = meta.schema();
+        let items = (0..dict.len() as ItemId)
+            .map(|it| {
+                let attr = dict.attr_of(it);
+                (schema.attr(attr).name.clone(), dict.value_of(it).to_string(), meta.is_sa_item(it))
+            })
+            .collect();
+        CubeLabels {
+            items,
+            sa_attrs: schema.sa_ids().iter().map(|&a| schema.attr(a).name.clone()).collect(),
+            ca_attrs: schema.ca_ids().iter().map(|&a| schema.attr(a).name.clone()).collect(),
+            unit_names: meta.unit_names().to_vec(),
+        }
+    }
+
     /// Attribute name of an item.
     pub fn attr_of(&self, item: ItemId) -> &str {
         &self.items[item as usize].0

@@ -39,8 +39,8 @@ use crate::query::{
     sorted_slice, AtomicQueryStats, LruCache, QueryStats, RankedCells, BREAKDOWN_TRIPLE_BUDGET,
     DEFAULT_CACHE_CAPACITY,
 };
-use crate::snapshot::{CubeSnapshot, MaintSource};
-use crate::update::{UpdateBatch, UpdateStats};
+use crate::snapshot::CubeSnapshot;
+use crate::update::{MaintenanceStore, UpdateBatch, UpdateStats};
 
 /// Default shard count of the fallback cell cache: enough that a handful of
 /// worker threads rarely collide, small enough to be negligible memory.
@@ -125,11 +125,12 @@ pub struct ConcurrentCubeEngine<P: Posting = EwahBitmap> {
     /// Build configuration and maintenance store carried over from the
     /// snapshot, so [`Self::apply_update`] maintains the cube under the
     /// parameters it was built with, at delta cost. A mapped snapshot
-    /// hands the store over undecoded; the first update materializes it.
+    /// hands the store over undecoded; updates index it once and then
+    /// decode exactly the entries they dirty.
     materialize: Materialize,
     atkinson_b: f64,
     measures: MeasureSet,
-    maintenance: MaintSource,
+    maintenance: MaintenanceStore,
 }
 
 impl<P: Posting> ConcurrentCubeEngine<P> {
@@ -219,11 +220,10 @@ impl<P: Posting> ConcurrentCubeEngine<P> {
     where
         P: Send + Sync,
     {
-        let maintenance = self.maintenance.ready_mut(&self.cube)?;
         let outcome = crate::update::apply_update(
             &mut self.cube,
             self.explorer.vertical_mut(),
-            maintenance,
+            &mut self.maintenance,
             batch,
             self.materialize,
             self.atkinson_b,

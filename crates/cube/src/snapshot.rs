@@ -41,9 +41,12 @@
 //! *eagerly*. Verifying it costs O(metadata), not O(file): posting slots
 //! are validated structurally per slot ([`Posting::map_slot`], enough to
 //! rule out panics and out-of-universe tids, in time proportional to slot
-//! metadata), and the maintenance-store region is decoded — and fully
-//! validated — only when an update first needs it. That keeps a cold
-//! `open_mmap` at milliseconds even for multi-gigabyte snapshots. The
+//! metadata), and the maintenance-store region stays raw bytes: the first
+//! update runs an O(keys) index scan over it, after which each histogram
+//! is decoded (and validated) individually when an update dirties its
+//! entry — a small batch touches a handful of entries, never the whole
+//! store (`LazyStore`). That keeps a cold `open_mmap` at milliseconds
+//! even for multi-gigabyte snapshots. The
 //! full checksum at [13..21) covers every byte after the header and is
 //! what the heap loader checks; [`CubeSnapshot::open_mmap_verified`]
 //! checks it too for paranoid opens.
@@ -142,60 +145,153 @@ pub struct CubeSnapshot<P: Posting = EwahBitmap> {
     measures: MeasureSet,
     /// The integer per-unit histograms behind every cell value, kept so
     /// updates fold deltas in instead of re-deriving from full postings.
-    /// Mapped snapshots defer decoding it until an update needs it.
-    maintenance: MaintSource,
+    /// Mapped snapshots leave it lazy ([`LazyStore`]): entries decode one
+    /// by one as updates dirty them.
+    maintenance: MaintenanceStore,
 }
 
-/// The maintenance store, either decoded ([`MaintenanceStore`]) or still
-/// sitting in a mapped snapshot's store region. `open_mmap` leaves it
-/// deferred — queries never touch it — and the first update materializes
-/// (and fully validates) it; `to_bytes` splices a deferred region back
-/// verbatim, which is canonical because the region came from the canonical
-/// writer.
+/// The undecoded remainder of a mapped snapshot's maintenance-store
+/// region. `open_mmap` attaches the raw region without even scanning it —
+/// queries never touch the store, so a cold open stays O(metadata). The
+/// first update runs the O(keys) *index* scan ([`MaintenanceStore::
+/// ensure_indexed`]): every key is parsed and validated, every histogram
+/// blob is bounds-checked and recorded as a byte range, nothing is
+/// decoded. From then on each entry moves from a range here to a decoded
+/// map entry exactly when an update dirties it — a small [`UpdateBatch`]
+/// on a million-context store decodes a handful of histograms, not the
+/// store. Histogram contents are validated per entry at decode time (unit
+/// range, ascending units, nonzero counts — the same [`Reader::pairs`]
+/// rejections the eager loaders apply), so corruption in an entry is
+/// caught the moment that entry is first trusted.
 #[derive(Debug, Clone)]
-pub(crate) enum MaintSource {
-    Ready(MaintenanceStore),
-    Deferred(DeferredStore),
-}
-
-/// An undecoded maintenance-store region of a mapped snapshot, plus the
-/// bounds its histograms must respect once decoded.
-#[derive(Debug, Clone)]
-pub(crate) struct DeferredStore {
+pub(crate) struct LazyStore {
     region: ByteRegion,
     n_items: usize,
     n_units: u32,
+    /// Context key → byte range of its totals blob (count prefix
+    /// included) within `region`. Keys here and in the decoded map are
+    /// disjoint.
+    pub(crate) ctx_ranges: FxHashMap<Vec<ItemId>, (usize, usize)>,
+    /// Cell coordinates → byte range of its minority blob.
+    pub(crate) min_ranges: FxHashMap<CellCoords, (usize, usize)>,
+    /// False until the index scan has run (the maps above are empty and
+    /// the whole region is still authoritative).
+    pub(crate) indexed: bool,
 }
 
-impl MaintSource {
-    /// The decoded store, materializing (decode + [`MaintenanceStore::covers`]
-    /// check) a deferred region first. Errors on a corrupt or non-covering
-    /// region — the same rejections the heap loader applies eagerly.
-    pub(crate) fn ready_mut(&mut self, cube: &SegregationCube) -> Result<&mut MaintenanceStore> {
-        if let MaintSource::Deferred(d) = self {
-            let mut r = Reader { bytes: d.region.as_slice(), pos: 0 };
-            let store = decode_store(&mut r, d.n_items, d.n_units)?;
-            if r.pos != r.bytes.len() {
-                return Err(corrupt("trailing bytes after the maintenance store"));
-            }
-            if !store.covers(cube) {
-                return Err(corrupt("maintenance store does not cover the cube"));
-            }
-            *self = MaintSource::Ready(store);
-        }
-        match self {
-            MaintSource::Ready(store) => Ok(store),
-            MaintSource::Deferred(_) => unreachable!("materialized above"),
+impl MaintenanceStore {
+    /// A store whose entries all still live in a mapped region,
+    /// undecoded and unscanned.
+    pub(crate) fn deferred(region: ByteRegion, n_items: usize, n_units: u32) -> Self {
+        MaintenanceStore {
+            contexts: FxHashMap::default(),
+            minorities: FxHashMap::default(),
+            lazy: Some(LazyStore {
+                region,
+                n_items,
+                n_units,
+                ctx_ranges: FxHashMap::default(),
+                min_ranges: FxHashMap::default(),
+                indexed: false,
+            }),
         }
     }
 
-    /// Append the store region bytes: canonical re-encode when decoded, a
-    /// verbatim splice when still deferred.
-    fn write_into(&self, out: &mut Vec<u8>) {
-        match self {
-            MaintSource::Ready(store) => encode_store(store, out),
-            MaintSource::Deferred(d) => out.extend_from_slice(d.region.as_slice()),
+    /// Build the per-entry byte index over a mapped store region: parse
+    /// (and validate) every key, bounds-check and skip every histogram
+    /// blob, record its range. O(keys + entry count), no histogram
+    /// decoding. No-op for heap stores and already-indexed regions.
+    pub(crate) fn ensure_indexed(&mut self) -> Result<()> {
+        let Some(lazy) = &mut self.lazy else { return Ok(()) };
+        if lazy.indexed {
+            return Ok(());
         }
+        let mut r = Reader { bytes: lazy.region.as_slice(), pos: 0 };
+        let n_contexts = r.u32()? as usize;
+        for _ in 0..n_contexts {
+            let key = r.ids(lazy.n_items)?;
+            let range = r.skip_pairs()?;
+            if lazy.ctx_ranges.insert(key, range).is_some() {
+                return Err(corrupt("duplicate maintenance context"));
+            }
+        }
+        let n_minorities = r.u32()? as usize;
+        for _ in 0..n_minorities {
+            let sa = r.ids(lazy.n_items)?;
+            let ca = r.ids(lazy.n_items)?;
+            let range = r.skip_pairs()?;
+            if lazy.min_ranges.insert(CellCoords { sa, ca }, range).is_some() {
+                return Err(corrupt("duplicate maintenance cell"));
+            }
+        }
+        if r.pos != r.bytes.len() {
+            return Err(corrupt("trailing bytes after the maintenance store"));
+        }
+        lazy.indexed = true;
+        Ok(())
+    }
+
+    /// Decode one histogram blob out of a lazy region, validating it
+    /// exactly as the eager loader would.
+    fn decode_lazy_pairs(lazy: &LazyStore, range: (usize, usize)) -> Result<Vec<(u32, u64)>> {
+        let blob = lazy
+            .region
+            .as_slice()
+            .get(range.0..range.1)
+            .ok_or_else(|| corrupt("histogram range out of bounds"))?;
+        let mut r = Reader { bytes: blob, pos: 0 };
+        let pairs = r.pairs(lazy.n_units)?;
+        if r.pos != blob.len() {
+            return Err(corrupt("trailing bytes in a histogram blob"));
+        }
+        Ok(pairs)
+    }
+
+    /// Move a context's totals from the lazy region into the decoded map
+    /// if they are still lazy; no-op when already decoded or absent.
+    pub(crate) fn ensure_context(&mut self, ca: &[ItemId]) -> Result<()> {
+        if self.contexts.contains_key(ca) {
+            return Ok(());
+        }
+        if let Some(lazy) = &mut self.lazy {
+            if let Some(range) = lazy.ctx_ranges.remove(ca) {
+                let pairs = Self::decode_lazy_pairs(lazy, range)?;
+                self.contexts.insert(ca.to_vec(), pairs);
+            }
+        }
+        Ok(())
+    }
+
+    /// Move a cell's minority counts from the lazy region into the
+    /// decoded map if they are still lazy; no-op otherwise.
+    pub(crate) fn ensure_minority(&mut self, coords: &CellCoords) -> Result<()> {
+        if self.minorities.contains_key(coords) {
+            return Ok(());
+        }
+        if let Some(lazy) = &mut self.lazy {
+            if let Some(range) = lazy.min_ranges.remove(coords) {
+                let pairs = Self::decode_lazy_pairs(lazy, range)?;
+                self.minorities.insert(coords.clone(), pairs);
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode every still-lazy entry and drop the mapped region — what
+    /// the wholesale relabel path needs (it rebuilds both maps under new
+    /// ids, so nothing may stay as bytes).
+    pub(crate) fn materialize_all(&mut self) -> Result<()> {
+        self.ensure_indexed()?;
+        let Some(mut lazy) = self.lazy.take() else { return Ok(()) };
+        for (key, range) in std::mem::take(&mut lazy.ctx_ranges) {
+            let pairs = Self::decode_lazy_pairs(&lazy, range)?;
+            self.contexts.insert(key, pairs);
+        }
+        for (coords, range) in std::mem::take(&mut lazy.min_ranges) {
+            let pairs = Self::decode_lazy_pairs(&lazy, range)?;
+            self.minorities.insert(coords, pairs);
+        }
+        Ok(())
     }
 }
 
@@ -207,7 +303,7 @@ impl<P: Posting> CubeSnapshot<P> {
     /// and explorer fallbacks from another.
     pub fn new(cube: SegregationCube, vertical: VerticalDb<P>) -> Result<Self> {
         Self::validate_pairing(&cube, &vertical)?;
-        let maintenance = MaintSource::Ready(MaintenanceStore::compute(&cube, &vertical));
+        let maintenance = MaintenanceStore::compute(&cube, &vertical);
         Ok(CubeSnapshot {
             cube,
             vertical,
@@ -343,11 +439,10 @@ impl<P: Posting> CubeSnapshot<P> {
     where
         P: Send + Sync,
     {
-        let maintenance = self.maintenance.ready_mut(&self.cube)?;
         crate::update::apply_update(
             &mut self.cube,
             &mut self.vertical,
-            maintenance,
+            &mut self.maintenance,
             batch,
             self.materialize,
             self.atkinson_b,
@@ -362,7 +457,7 @@ impl<P: Posting> CubeSnapshot<P> {
     /// folds deltas at the same cost as the snapshot path).
     pub(crate) fn into_serving_parts(
         self,
-    ) -> (SegregationCube, VerticalDb<P>, MaintSource, Materialize, f64, MeasureSet) {
+    ) -> (SegregationCube, VerticalDb<P>, MaintenanceStore, Materialize, f64, MeasureSet) {
         (
             self.cube,
             self.vertical,
@@ -454,7 +549,7 @@ impl<P: Posting> CubeSnapshot<P> {
         out.extend_from_slice(&postdir);
         out.resize(slots_off, 0); // alignment padding before the first slot
         out.extend_from_slice(&slots);
-        self.maintenance.write_into(&mut out);
+        encode_store(&self.maintenance, &mut out);
         let store_len = (out.len() - store_off) as u64;
         out[DIR_OFF + 7 * 8..DIR_OFF + 8 * 8].copy_from_slice(&store_len.to_le_bytes());
         let meta_sum = checksum2(&out[DIR_OFF..DIR_OFF + 8 * 8], &out[META_OFF..slots_off]);
@@ -680,7 +775,7 @@ impl<P: Posting> CubeSnapshot<P> {
             materialize,
             atkinson_b,
             measures: MeasureSet::FULL,
-            maintenance: MaintSource::Ready(maintenance),
+            maintenance,
         })
     }
 
@@ -733,7 +828,7 @@ impl<P: Posting> CubeSnapshot<P> {
             materialize: meta.materialize,
             atkinson_b: meta.atkinson_b,
             measures: meta.measures,
-            maintenance: MaintSource::Ready(store),
+            maintenance: store,
         })
     }
 
@@ -845,11 +940,7 @@ impl<P: Posting> CubeSnapshot<P> {
             materialize: meta.materialize,
             atkinson_b: meta.atkinson_b,
             measures: meta.measures,
-            maintenance: MaintSource::Deferred(DeferredStore {
-                region: store_region,
-                n_items: meta.n_items,
-                n_units: meta.v_units,
-            }),
+            maintenance: MaintenanceStore::deferred(store_region, meta.n_items, meta.v_units),
         })
     }
 
@@ -1128,21 +1219,60 @@ fn decode_meta(bytes: &[u8], version: u32) -> Result<MetaParts> {
 /// canonical key order so serialization stays path-independent — an
 /// updated snapshot and a rebuilt one produce identical bytes. This is
 /// both the v4 store region and the tail of the v2/v3 payload.
+///
+/// A partially-decoded mapped store stays canonical without decoding the
+/// rest: still-lazy entries splice their histogram bytes verbatim out of
+/// the mapped region (they came from this writer, so the bytes *are* the
+/// canonical encoding), interleaved with re-encoded decoded entries in
+/// one sorted key order. An untouched region skips even the merge and is
+/// spliced whole.
+/// A store key paired with `Some(byte range)` when it lives undecoded in
+/// the lazy region, `None` when it was decoded (and possibly mutated).
+type KeyedRanges<'a, K> = Vec<(&'a K, Option<(usize, usize)>)>;
+
 fn encode_store(store: &MaintenanceStore, out: &mut Vec<u8>) {
-    let mut ctx_keys: Vec<&Vec<ItemId>> = store.contexts.keys().collect();
-    ctx_keys.sort();
-    put_u32(out, ctx_keys.len() as u32);
-    for key in ctx_keys {
-        put_ids(out, key);
-        put_pairs(out, &store.contexts[key]);
+    if let Some(lazy) = &store.lazy {
+        if !lazy.indexed {
+            debug_assert!(store.contexts.is_empty() && store.minorities.is_empty());
+            out.extend_from_slice(lazy.region.as_slice());
+            return;
+        }
     }
-    let mut cell_keys: Vec<&CellCoords> = store.minorities.keys().collect();
-    cell_keys.sort();
+    let lazy_bytes = store.lazy.as_ref().map(|l| l.region.as_slice());
+    let splice = |out: &mut Vec<u8>, range: (usize, usize)| {
+        out.extend_from_slice(
+            &lazy_bytes.expect("lazy range implies lazy region")[range.0..range.1],
+        );
+    };
+
+    let mut ctx_keys: KeyedRanges<Vec<ItemId>> = store.contexts.keys().map(|k| (k, None)).collect();
+    if let Some(lazy) = &store.lazy {
+        ctx_keys.extend(lazy.ctx_ranges.iter().map(|(k, &r)| (k, Some(r))));
+    }
+    ctx_keys.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    put_u32(out, ctx_keys.len() as u32);
+    for (key, range) in ctx_keys {
+        put_ids(out, key);
+        match range {
+            None => put_pairs(out, &store.contexts[key]),
+            Some(r) => splice(out, r),
+        }
+    }
+
+    let mut cell_keys: KeyedRanges<CellCoords> =
+        store.minorities.keys().map(|k| (k, None)).collect();
+    if let Some(lazy) = &store.lazy {
+        cell_keys.extend(lazy.min_ranges.iter().map(|(k, &r)| (k, Some(r))));
+    }
+    cell_keys.sort_unstable_by(|a, b| a.0.cmp(b.0));
     put_u32(out, cell_keys.len() as u32);
-    for coords in cell_keys {
+    for (coords, range) in cell_keys {
         put_ids(out, &coords.sa);
         put_ids(out, &coords.ca);
-        put_pairs(out, &store.minorities[coords]);
+        match range {
+            None => put_pairs(out, &store.minorities[coords]),
+            Some(r) => splice(out, r),
+        }
     }
 }
 
@@ -1308,6 +1438,18 @@ impl Reader<'_> {
         Ok(out)
     }
 
+    /// Skip an ascending-pairs blob without decoding it, returning its
+    /// byte range (count prefix included) within the reader's buffer —
+    /// the structural half of [`Self::pairs`], used by the lazy store's
+    /// index scan.
+    fn skip_pairs(&mut self) -> Result<(usize, usize)> {
+        let start = self.pos;
+        let n = self.u32()? as usize;
+        let len = n.checked_mul(12).ok_or_else(|| corrupt("length overflow"))?;
+        self.take(len)?;
+        Ok((start, self.pos))
+    }
+
     /// Ascending `(unit, count)` pairs over known units, counts nonzero.
     fn pairs(&mut self, n_units: u32) -> Result<Vec<(u32, u64)>> {
         let n = self.u32()? as usize;
@@ -1425,6 +1567,49 @@ mod tests {
         snap.save(&path).unwrap();
         let loaded: CubeSnapshot = CubeSnapshot::load(&path).unwrap();
         assert_eq!(loaded.cube(), snap.cube());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_update_decodes_only_dirty_store_entries() {
+        let db = db();
+        let snap: CubeSnapshot = CubeSnapshot::from_db(&db, &CubeBuilder::new()).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("scube_lazy_store_{}.scube", std::process::id()));
+        snap.save(&path).unwrap();
+
+        // Heap path: load, update, serialize — the reference bytes.
+        let mut batch = UpdateBatch::new();
+        batch.add_row(&[("sex", "F"), ("age", "young"), ("region", "north")], "u0");
+        let mut heap = CubeSnapshot::<EwahBitmap>::load(&path).unwrap();
+        heap.apply_update(&batch).unwrap();
+        let want = heap.to_bytes();
+
+        // Mapped path: the same batch only touches "north"-side entries,
+        // so the "south" contexts and cells must stay undecoded ranges.
+        let mut mapped = CubeSnapshot::<EwahBitmap>::open_mmap(&path).unwrap();
+        assert!(
+            !mapped.maintenance.lazy.as_ref().unwrap().indexed,
+            "open stays O(metadata): not even the index scan runs"
+        );
+        mapped.apply_update(&batch).unwrap();
+        let lazy = mapped.maintenance.lazy.as_ref().expect("undirtied entries stay mapped");
+        assert!(lazy.indexed);
+        assert!(!lazy.ctx_ranges.is_empty(), "delta-clean contexts stay undecoded");
+        assert!(!lazy.min_ranges.is_empty(), "delta-clean cells stay undecoded");
+        assert!(!mapped.maintenance.contexts.is_empty(), "dirty contexts were decoded and updated");
+        // Decoded and lazy key sets partition the store.
+        for ca in mapped.maintenance.contexts.keys() {
+            assert!(!lazy.ctx_ranges.contains_key(ca), "context {ca:?} both decoded and lazy");
+        }
+        for coords in mapped.maintenance.minorities.keys() {
+            assert!(!lazy.min_ranges.contains_key(coords), "cell both decoded and lazy");
+        }
+        // The mixed writer (re-encoded dirty entries + verbatim-spliced
+        // clean ranges) is still canonical: byte-identical to the heap
+        // path's fully-decoded store.
+        assert_eq!(mapped.to_bytes(), want, "partially-decoded store serializes canonically");
+        assert_eq!(mapped.cube(), heap.cube());
         std::fs::remove_file(&path).ok();
     }
 

@@ -424,6 +424,13 @@ pub(crate) struct MaintenanceStore {
     pub(crate) contexts: FxHashMap<Vec<ItemId>, Vec<(u32, u64)>>,
     /// Cells with a non-`⋆` SA side → ascending `(unit, minority)` pairs.
     pub(crate) minorities: FxHashMap<CellCoords, Vec<(u32, u64)>>,
+    /// The still-undecoded remainder of a mapped snapshot's store region.
+    /// `None` for heap-built and heap-loaded stores. When present, the two
+    /// maps above hold only the entries an update has dirtied so far; the
+    /// rest stay as byte ranges into the mapped file (see
+    /// [`crate::snapshot::LazyStore`]) and the decoded and lazy key sets
+    /// are disjoint.
+    pub(crate) lazy: Option<crate::snapshot::LazyStore>,
 }
 
 impl MaintenanceStore {
@@ -451,7 +458,7 @@ impl MaintenanceStore {
             vertical.unit_histogram_into(&tids, &mut scratch);
             minorities.insert(coords.clone(), scratch.sorted_pairs());
         }
-        MaintenanceStore { contexts, minorities }
+        MaintenanceStore { contexts, minorities, lazy: None }
     }
 
     /// Structural consistency against a cube: every cell's context has
@@ -460,6 +467,12 @@ impl MaintenanceStore {
     /// `m ≤ t`), and nothing else is stored. Loaded snapshots are
     /// validated with this before any update trusts the store, so a
     /// crafted store errors up front instead of failing mid-update.
+    ///
+    /// Still-lazy entries of a mapped store count toward presence (their
+    /// keys were parsed and validated by the index scan); their histogram
+    /// contents — including the domination invariant — are checked
+    /// entry-by-entry when an update first decodes them, the same per-entry
+    /// rejections the eager loaders apply up front.
     pub(crate) fn covers(&self, cube: &SegregationCube) -> bool {
         let mut want_min = 0usize;
         let mut want_ctx: FxHashMap<&[ItemId], ()> = FxHashMap::default();
@@ -468,24 +481,89 @@ impl MaintenanceStore {
             if coords.sa.is_empty() {
                 continue;
             }
-            let (Some(minority), Some(totals)) =
-                (self.minorities.get(coords), self.contexts.get(&coords.ca))
-            else {
+            if !self.has_minority(coords) || !self.has_context(&coords.ca) {
                 return false;
-            };
-            let mut ti = totals.iter().peekable();
-            for &(mu, mc) in minority {
-                while ti.next_if(|&&(tu, _)| tu < mu).is_some() {}
-                match ti.peek() {
-                    Some(&&(tu, tc)) if tu == mu && mc <= tc => {}
-                    _ => return false,
+            }
+            if let (Some(minority), Some(totals)) =
+                (self.minorities.get(coords), self.contexts.get(&coords.ca))
+            {
+                let mut ti = totals.iter().peekable();
+                for &(mu, mc) in minority {
+                    while ti.next_if(|&&(tu, _)| tu < mu).is_some() {}
+                    match ti.peek() {
+                        Some(&&(tu, tc)) if tu == mu && mc <= tc => {}
+                        _ => return false,
+                    }
                 }
             }
             want_min += 1;
         }
-        self.minorities.len() == want_min
-            && self.contexts.len() == want_ctx.len()
-            && want_ctx.keys().all(|ca| self.contexts.contains_key(*ca))
+        self.num_minorities() == want_min
+            && self.num_contexts() == want_ctx.len()
+            && want_ctx.keys().all(|ca| self.has_context(ca))
+    }
+
+    /// Whether `ca` has totals, decoded or still lazy.
+    pub(crate) fn has_context(&self, ca: &[ItemId]) -> bool {
+        self.contexts.contains_key(ca)
+            || self.lazy.as_ref().is_some_and(|l| l.ctx_ranges.contains_key(ca))
+    }
+
+    /// Whether `coords` has minority counts, decoded or still lazy.
+    pub(crate) fn has_minority(&self, coords: &CellCoords) -> bool {
+        self.minorities.contains_key(coords)
+            || self.lazy.as_ref().is_some_and(|l| l.min_ranges.contains_key(coords))
+    }
+
+    fn num_contexts(&self) -> usize {
+        self.contexts.len() + self.lazy.as_ref().map_or(0, |l| l.ctx_ranges.len())
+    }
+
+    fn num_minorities(&self) -> usize {
+        self.minorities.len() + self.lazy.as_ref().map_or(0, |l| l.min_ranges.len())
+    }
+
+    /// Every context key, decoded and lazy (the store must be indexed
+    /// first — [`Self::ensure_indexed`] — or lazy keys are invisible).
+    fn context_keys(&self) -> Vec<Vec<ItemId>> {
+        debug_assert!(self.lazy.as_ref().is_none_or(|l| l.indexed));
+        let mut keys: Vec<Vec<ItemId>> = self.contexts.keys().cloned().collect();
+        if let Some(l) = &self.lazy {
+            keys.extend(l.ctx_ranges.keys().cloned());
+        }
+        keys
+    }
+
+    /// Insert context totals, superseding any lazy entry under the key.
+    pub(crate) fn insert_context(&mut self, ca: Vec<ItemId>, totals: Vec<(u32, u64)>) {
+        if let Some(l) = &mut self.lazy {
+            l.ctx_ranges.remove(&ca);
+        }
+        self.contexts.insert(ca, totals);
+    }
+
+    /// Insert cell minority counts, superseding any lazy entry.
+    pub(crate) fn insert_minority(&mut self, coords: CellCoords, minority: Vec<(u32, u64)>) {
+        if let Some(l) = &mut self.lazy {
+            l.min_ranges.remove(&coords);
+        }
+        self.minorities.insert(coords, minority);
+    }
+
+    /// Drop a cell's minority counts, decoded or lazy.
+    pub(crate) fn remove_minority(&mut self, coords: &CellCoords) {
+        self.minorities.remove(coords);
+        if let Some(l) = &mut self.lazy {
+            l.min_ranges.remove(coords);
+        }
+    }
+
+    /// Keep exactly the contexts `keep` accepts, decoded and lazy alike.
+    pub(crate) fn retain_contexts(&mut self, keep: impl Fn(&Vec<ItemId>) -> bool) {
+        self.contexts.retain(|ca, _| keep(ca));
+        if let Some(l) = &mut self.lazy {
+            l.ctx_ranges.retain(|ca, _| keep(ca));
+        }
     }
 }
 
@@ -896,6 +974,12 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
     // All fallible validation and histogram staging happens before anything
     // is mutated, so a rejected batch, an inconsistent store, or a
     // subtraction underflow leaves the snapshot exactly as it was.
+    //
+    // A mapped store is *indexed* here — an O(keys) structural scan — not
+    // decoded: each histogram stays as bytes in the mapped file until this
+    // update (or a later one) dirties its entry, so a small batch decodes
+    // only the contexts and cells it touches.
+    store.ensure_indexed()?;
     if !store.covers(cube) {
         return Err(ScubeError::Inconsistent(
             "update: maintenance store does not cover the cube".into(),
@@ -997,6 +1081,12 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
         compute_relabel(&first_item, &first_unit, &item_attr_pos)
     });
     let unit_remap: Option<&[Option<UnitId>]> = plan.as_ref().map(|p| p.unit_map.as_slice());
+    // A dictionary-relabeling retraction rebuilds both store maps under
+    // new ids wholesale, so nothing can stay lazy: decode the rest up
+    // front, while a corrupt mapped entry can still error before mutation.
+    if plan.as_ref().is_some_and(|p| !p.identity) {
+        store.materialize_all()?;
+    }
 
     // Phase 1 — stage the dirty context histograms: `hist(edited) =
     // hist(base) + hist(appended Δ) − hist(retracted Δ)`, all exact
@@ -1021,12 +1111,19 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
         .is_some_and(|p| p.unit_map.iter().enumerate().any(|(u, m)| *m != Some(u as u32)));
     let mut scratch = UnitScratch::new(n_units_after);
     let mut staged_ctx: FxHashMap<Vec<ItemId>, StagedCtx<P>> = FxHashMap::default();
-    for (ca, totals) in store.contexts.iter() {
-        let add = if ca.is_empty() { add_all.clone() } else { delta_tidset(&add_postings, ca) };
-        let rem = if ca.is_empty() { rem_all.clone() } else { delta_tidset(&rem_postings, ca) };
+    // Delta-clean contexts are skipped *before* their histograms are
+    // touched, so on a mapped snapshot they stay undecoded byte ranges —
+    // the point of the lazy store.
+    for ca in store.context_keys() {
+        let add = if ca.is_empty() { add_all.clone() } else { delta_tidset(&add_postings, &ca) };
+        let rem = if ca.is_empty() { rem_all.clone() } else { delta_tidset(&rem_postings, &ca) };
         if add.is_none() && rem.is_none() && !units_relabeled {
             continue;
         }
+        store.ensure_context(&ca)?;
+        let totals = store.contexts.get(&ca).ok_or_else(|| {
+            ScubeError::Inconsistent("update: context missing from maintenance store".into())
+        })?;
         let mut new_totals = totals.clone();
         if let Some(a) = &add {
             scratch.clear();
@@ -1038,7 +1135,7 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
             r.for_each(|t| scratch.bump(vertical.unit_of(t)));
             merge_sub(&mut new_totals, &scratch.sorted_pairs())?;
         }
-        staged_ctx.insert(ca.clone(), StagedCtx { totals: new_totals, add, rem });
+        staged_ctx.insert(ca, StagedCtx { totals: new_totals, add, rem });
     }
 
     // Phase 2 — stage every dirty cell: advance its minority histogram by
@@ -1052,6 +1149,15 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
         .filter(|(coords, _)| staged_ctx.contains_key(&coords.ca))
         .map(|(coords, _)| coords.clone())
         .collect();
+    // Decode each dirty cell's minority histogram now, serially: the
+    // evaluation closure below borrows the store immutably (it fans out
+    // over scoped threads), so lazy entries must already be in the map by
+    // the time it runs. Clean cells stay undecoded.
+    for coords in &dirty_cells {
+        if !coords.sa.is_empty() {
+            store.ensure_minority(coords)?;
+        }
+    }
     let eval_one = |coords: &CellCoords, scratch: &mut UnitScratch| -> Result<CellFate> {
         let sc = &staged_ctx[&coords.ca];
         if coords.sa.is_empty() {
@@ -1189,12 +1295,12 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
             match fate {
                 CellFate::Demote => {
                     cells.remove(&coords);
-                    store.minorities.remove(&coords);
+                    store.remove_minority(&coords);
                     stats.demoted_cells += 1;
                 }
                 CellFate::Keep(minority, values) => {
                     if let Some(m) = minority {
-                        store.minorities.insert(coords.clone(), m);
+                        store.insert_minority(coords.clone(), m);
                     }
                     cells.insert(coords, values);
                     stats.dirty_cells += 1;
@@ -1202,13 +1308,13 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
             }
         }
         for (ca, sc) in staged_ctx {
-            store.contexts.insert(ca, sc.totals);
+            store.insert_context(ca, sc.totals);
         }
         // Contexts no longer referenced by any cell leave the store,
         // exactly as a rebuild's store (derived from surviving cells)
         // would have it.
         let live: FxHashSet<Vec<ItemId>> = cells.keys().map(|c| c.ca.clone()).collect();
-        store.contexts.retain(|ca, _| live.contains(ca));
+        store.retain_contexts(|ca| live.contains(ca));
     }
 
     // Mutate the vertical database and labels; relabel when retraction
@@ -1315,6 +1421,7 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
                     cells.insert(remap_coords(&coords, &relabel.item_map), v);
                 }
             }
+            debug_assert!(store.lazy.is_none(), "relabel path materializes the store up front");
             let remap_pairs = |pairs: &mut Vec<(u32, u64)>| {
                 for p in pairs.iter_mut() {
                     p.0 = relabel.unit_map[p.0 as usize].expect("populated unit survives");
@@ -1438,11 +1545,14 @@ pub(crate) fn apply_update<P: Posting + Send + Sync>(
         {
             continue;
         }
+        // An existing-but-clean context may still be a lazy byte range;
+        // decode it rather than re-deriving the totals from full postings.
+        store.ensure_context(&coords.ca)?;
         if !store.contexts.contains_key(&coords.ca) {
             let ctx_tids = vertical.tidset(&coords.ca);
             vertical.unit_histogram_into(&ctx_tids, &mut scratch);
             let pairs = scratch.sorted_pairs();
-            store.contexts.insert(coords.ca.clone(), pairs);
+            store.insert_context(coords.ca.clone(), pairs);
         }
         let totals = &store.contexts[&coords.ca];
         let values = if coords.sa.is_empty() {

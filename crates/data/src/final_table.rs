@@ -10,11 +10,14 @@
 
 use std::path::Path;
 
+use scube_bitmap::Posting;
 use scube_common::{Result, ScubeError};
 
+use crate::chunked::{ChunkedBuildStats, TableMeta, VerticalDbBuilder};
 use crate::relation::{CsvRows, Relation};
 use crate::schema::{Attribute, Schema};
 use crate::transactions::{TransactionDb, TransactionDbBuilder};
+use crate::vertical::VerticalDb;
 
 /// In-cell separator for multi-valued attributes.
 pub const MULTI_VALUE_SEPARATOR: char = ';';
@@ -107,12 +110,9 @@ impl FinalTableSpec {
         Ok(enc.finish())
     }
 
-    /// Start a streaming encoder over a table with the given `columns`.
-    ///
-    /// Feed records with [`FinalTableEncoder::add_record`]; only the
-    /// dictionary-encoded output accumulates, never the string rows —
-    /// peak staging memory is one record regardless of row count.
-    pub fn encoder(&self, columns: &[String]) -> Result<FinalTableEncoder> {
+    /// Resolve this spec against a table header: the induced schema, the
+    /// column index of every attribute, and the unit column's index.
+    fn resolve_columns(&self, columns: &[String]) -> Result<(Schema, Vec<usize>, usize)> {
         let schema = self.schema()?;
         let column_index = |name: &str| columns.iter().position(|c| c == name);
         let mut col_of_attr = Vec::with_capacity(schema.len());
@@ -125,7 +125,34 @@ impl FinalTableSpec {
         let unit_col = column_index(&self.unit_column).ok_or_else(|| {
             ScubeError::Schema(format!("final table misses unit column '{}'", self.unit_column))
         })?;
+        Ok((schema, col_of_attr, unit_col))
+    }
+
+    /// Start a streaming encoder over a table with the given `columns`.
+    ///
+    /// Feed records with [`FinalTableEncoder::add_record`]; only the
+    /// dictionary-encoded output accumulates, never the string rows —
+    /// peak staging memory is one record regardless of row count.
+    pub fn encoder(&self, columns: &[String]) -> Result<FinalTableEncoder> {
+        let (schema, col_of_attr, unit_col) = self.resolve_columns(columns)?;
         let builder = TransactionDbBuilder::new(schema.clone());
+        Ok(FinalTableEncoder { schema, col_of_attr, unit_col, builder })
+    }
+
+    /// Start a *chunked* streaming encoder: records feed a
+    /// [`VerticalDbBuilder`] directly, so no horizontal table is ever
+    /// materialized — peak memory is the postings plus one `chunk_rows`
+    /// chunk of encoded rows. Record parsing (multi-value splitting,
+    /// trimming) is shared with [`Self::encoder`], and so is the interning
+    /// code underneath, so the output is byte-identical to the resident
+    /// path's.
+    pub fn chunked_encoder<P: Posting>(
+        &self,
+        columns: &[String],
+        chunk_rows: usize,
+    ) -> Result<FinalTableEncoder<VerticalDbBuilder<P>>> {
+        let (schema, col_of_attr, unit_col) = self.resolve_columns(columns)?;
+        let builder = VerticalDbBuilder::new(schema.clone(), chunk_rows);
         Ok(FinalTableEncoder { schema, col_of_attr, unit_col, builder })
     }
 
@@ -141,19 +168,76 @@ impl FinalTableSpec {
         }
         Ok(enc.finish())
     }
+
+    /// Read a CSV file straight into postings, chunk by chunk: the
+    /// bounded-memory counterpart of [`Self::load_csv`] for builds that
+    /// never need the horizontal table. Returns the vertical database, the
+    /// table metadata (schema, dictionary, unit names), and the chunk
+    /// residency stats.
+    pub fn load_csv_chunked<P: Posting>(
+        &self,
+        path: impl AsRef<Path>,
+        chunk_rows: usize,
+    ) -> Result<(VerticalDb<P>, TableMeta, ChunkedBuildStats)> {
+        let mut rows = CsvRows::open_path(path)?;
+        let mut enc = self.chunked_encoder::<P>(rows.columns(), chunk_rows)?;
+        while let Some(row) = rows.next_row()? {
+            enc.add_record(row)?;
+        }
+        enc.into_builder().finish()
+    }
+}
+
+/// Where a [`FinalTableEncoder`] sends its dictionary-encoded rows: the
+/// resident [`TransactionDbBuilder`] (horizontal table accumulates) or the
+/// chunked [`VerticalDbBuilder`] (postings accumulate, rows don't).
+pub trait RowSink {
+    /// Add one encoded row; same contract as
+    /// [`TransactionDbBuilder::add_row`].
+    fn add_row<S: AsRef<str>>(&mut self, values: &[Vec<S>], unit: &str) -> Result<()>;
+
+    /// Rows consumed so far.
+    fn len(&self) -> usize;
+
+    /// Whether no rows have been consumed yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl RowSink for TransactionDbBuilder {
+    fn add_row<S: AsRef<str>>(&mut self, values: &[Vec<S>], unit: &str) -> Result<()> {
+        TransactionDbBuilder::add_row(self, values, unit)
+    }
+
+    fn len(&self) -> usize {
+        TransactionDbBuilder::len(self)
+    }
+}
+
+impl<P: Posting> RowSink for VerticalDbBuilder<P> {
+    fn add_row<S: AsRef<str>>(&mut self, values: &[Vec<S>], unit: &str) -> Result<()> {
+        VerticalDbBuilder::add_row(self, values, unit)
+    }
+
+    fn len(&self) -> usize {
+        VerticalDbBuilder::len(self)
+    }
 }
 
 /// Streaming counterpart of [`FinalTableSpec::encode`]: records go in one
-/// at a time (e.g. from [`CsvRows`]) and only the dictionary-encoded
-/// [`TransactionDb`] accumulates.
-pub struct FinalTableEncoder {
+/// at a time (e.g. from [`CsvRows`]) and only the dictionary-encoded output
+/// accumulates — a [`TransactionDb`] through the default
+/// [`TransactionDbBuilder`] sink, or postings through a
+/// [`VerticalDbBuilder`] sink (see [`FinalTableSpec::chunked_encoder`]).
+pub struct FinalTableEncoder<B: RowSink = TransactionDbBuilder> {
     schema: Schema,
     col_of_attr: Vec<usize>,
     unit_col: usize,
-    builder: TransactionDbBuilder,
+    builder: B,
 }
 
-impl FinalTableEncoder {
+impl<B: RowSink> FinalTableEncoder<B> {
     /// Encode one record. Its arity must cover every declared column
     /// (CSV readers enforce this against the header already).
     pub fn add_record(&mut self, row: &[String]) -> Result<()> {
@@ -188,6 +272,14 @@ impl FinalTableEncoder {
         self.len() == 0
     }
 
+    /// Tear down into the underlying sink (e.g. to
+    /// [`VerticalDbBuilder::finish`] a chunked build).
+    pub fn into_builder(self) -> B {
+        self.builder
+    }
+}
+
+impl FinalTableEncoder<TransactionDbBuilder> {
     /// Finish into the encoded transaction database.
     pub fn finish(self) -> TransactionDb {
         self.builder.finish()

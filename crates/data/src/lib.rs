@@ -13,8 +13,12 @@
 //! * [`transactions`] — the horizontal [`TransactionDb`] (one transaction
 //!   per individual, unit id carried alongside);
 //! * [`vertical`] — the item→tidset [`VerticalDb`], generic over tidset
-//!   representation ([`scube_bitmap::Posting`]).
+//!   representation ([`scube_bitmap::Posting`]);
+//! * [`chunked`] — bounded-memory construction: [`VerticalDbBuilder`]
+//!   grows the postings chunk by chunk without ever materializing the
+//!   horizontal table.
 
+pub mod chunked;
 pub mod dictionary;
 pub mod final_table;
 pub mod relation;
@@ -22,8 +26,9 @@ pub mod schema;
 pub mod transactions;
 pub mod vertical;
 
+pub use chunked::{ChunkedBuildStats, TableMeta, VerticalDbBuilder, DEFAULT_CHUNK_ROWS};
 pub use dictionary::{Dictionary, ItemId};
-pub use final_table::{FinalTableEncoder, FinalTableSpec, MULTI_VALUE_SEPARATOR};
+pub use final_table::{FinalTableEncoder, FinalTableSpec, RowSink, MULTI_VALUE_SEPARATOR};
 pub use relation::{CsvRows, Relation};
 pub use schema::{AttrId, AttrRole, Attribute, Schema};
 pub use transactions::{TransactionDb, TransactionDbBuilder, UnitId};

@@ -152,11 +152,19 @@ impl TransactionDbBuilder {
         u
     }
 
-    /// Add one individual.
-    ///
-    /// `values[a]` holds the values of attribute `a` (one entry for single-
-    /// valued attributes, several for multi-valued ones; empty = missing).
-    pub fn add_row<S: AsRef<str>>(&mut self, values: &[Vec<S>], unit: &str) -> Result<()> {
+    /// Validate and dictionary-encode one row *without* appending it to the
+    /// horizontal store: the sorted, deduplicated item ids land in an
+    /// internal scratch buffer (borrowed by the return value) and the unit
+    /// name is interned. [`Self::add_row`] is exactly this plus the append;
+    /// the chunked vertical builder calls it directly, so both construction
+    /// paths intern through literally the same code and the first-occurrence
+    /// dictionary order that snapshot byte-identity depends on cannot drift
+    /// between them.
+    pub fn encode_row<S: AsRef<str>>(
+        &mut self,
+        values: &[Vec<S>],
+        unit: &str,
+    ) -> Result<(UnitId, &[ItemId])> {
         if values.len() != self.schema.len() {
             return Err(ScubeError::Schema(format!(
                 "row has {} attribute slots, schema has {}",
@@ -185,10 +193,42 @@ impl TransactionDbBuilder {
         self.scratch.sort_unstable();
         self.scratch.dedup();
         let unit_id = self.intern_unit(unit);
+        Ok((unit_id, &self.scratch))
+    }
+
+    /// Add one individual.
+    ///
+    /// `values[a]` holds the values of attribute `a` (one entry for single-
+    /// valued attributes, several for multi-valued ones; empty = missing).
+    pub fn add_row<S: AsRef<str>>(&mut self, values: &[Vec<S>], unit: &str) -> Result<()> {
+        let (unit_id, _) = self.encode_row(values, unit)?;
         self.items.extend_from_slice(&self.scratch);
         self.offsets.push(self.items.len() as u32);
         self.units.push(unit_id);
         Ok(())
+    }
+
+    /// The schema rows are encoded under.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The item dictionary interned so far.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Number of distinct units interned so far.
+    pub fn num_units(&self) -> usize {
+        self.unit_names.len()
+    }
+
+    /// Tear down into the encoding state — schema, dictionary, unit names —
+    /// without the horizontal rows. The chunked vertical builder keeps this
+    /// after the postings have absorbed every row; the rows themselves were
+    /// never accumulated here.
+    pub fn into_encoding_parts(self) -> (Schema, Dictionary, Vec<String>) {
+        (self.schema, self.dictionary, self.unit_names)
     }
 
     /// Finish, producing the immutable database.

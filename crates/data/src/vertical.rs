@@ -20,6 +20,15 @@ pub struct VerticalDb<P: Posting = EwahBitmap> {
 }
 
 impl<P: Posting> VerticalDb<P> {
+    /// An empty database — no items, no transactions, no units. The
+    /// starting point of chunked construction: every chunk of rows then
+    /// arrives through [`Self::append_rows`], which only ever extends
+    /// posting tails, so the grown database is byte-identical to a
+    /// one-shot [`Self::build`] on the same rows.
+    pub fn empty() -> Self {
+        VerticalDb { postings: Vec::new(), n_transactions: 0, unit_of: Vec::new(), n_units: 0 }
+    }
+
     /// Build from a horizontal database.
     pub fn build(db: &TransactionDb) -> Self {
         // Collect tids per item, then freeze each list into a posting.

@@ -9,59 +9,11 @@
 //! visitor existed, `scube save` staged the entire string table — the
 //! ingest that this PR's million-row datasets would have made impossible.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+use scube_bench::alloc::{measure, CountingAlloc};
 use scube_data::{FinalTableSpec, Relation, TransactionDb};
 
-/// A byte-exact high-water-mark allocator wrapping the system one.
-struct Counting;
-
-static LIVE: AtomicUsize = AtomicUsize::new(0);
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-
-fn on_alloc(n: usize) {
-    let live = LIVE.fetch_add(n, Ordering::Relaxed) + n;
-    PEAK.fetch_max(live, Ordering::Relaxed);
-}
-
-unsafe impl GlobalAlloc for Counting {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            on_alloc(layout.size());
-        }
-        p
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc_zeroed(layout);
-        if !p.is_null() {
-            on_alloc(layout.size());
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
-        System.dealloc(p, layout);
-        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
-    }
-
-    unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let q = System.realloc(p, layout, new_size);
-        if !q.is_null() {
-            if new_size >= layout.size() {
-                on_alloc(new_size - layout.size());
-            } else {
-                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
-            }
-        }
-        q
-    }
-}
-
 #[global_allocator]
-static ALLOC: Counting = Counting;
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const ROWS: usize = 30_000;
 const ATTRS: usize = 12;
@@ -94,15 +46,6 @@ fn spec() -> FinalTableSpec {
         }
     }
     spec
-}
-
-/// Run `f`, returning its result and the peak allocation growth (bytes
-/// above the live heap at entry) it caused.
-fn measure<T>(f: impl FnOnce() -> T) -> (T, usize) {
-    let start = LIVE.load(Ordering::Relaxed);
-    PEAK.store(start, Ordering::Relaxed);
-    let out = f();
-    (out, PEAK.load(Ordering::Relaxed).saturating_sub(start))
 }
 
 fn check_same(a: &TransactionDb, b: &TransactionDb) {
